@@ -1,0 +1,437 @@
+//! The Edge-baseline (§II-C): writes are certified at the cloud
+//! *synchronously*, then the regenerated (Merkle-covered) state is
+//! shipped to the edge, which serves proof-carrying reads.
+//!
+//! This is "mLSM used with no changes in an edge-cloud environment"
+//! (§VII): every put pays client→cloud data transfer, cloud Merkle
+//! regeneration, cloud→edge state transfer, and an edge ack before
+//! the client hears back. Index updates apply in order, so the cloud
+//! keeps at most one install outstanding per edge — the serialization
+//! that caps its scalability in Fig 5a. The commit path is the
+//! triangle client → cloud → edge → client; the edge's install ack
+//! returns to the cloud off the client's critical path.
+
+use crate::msg::BMsg;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use wedge_core::cost::CostModel;
+use wedge_core::metrics::ClientMetrics;
+use wedge_crypto::{Identity, IdentityId, KeyRegistry};
+use wedge_log::{Block, BlockId, BlockProof, CertLedger, LogStore};
+use wedge_lsmerkle::{
+    build_read_proof, verify_read_proof, CloudIndex, LsmConfig, LsMerkle, MergeRequest,
+    MergeResult,
+};
+use wedge_sim::{Actor, ActorId, Context, SimTime};
+use wedge_workload::KeySampler;
+
+/// The Edge-baseline cloud: the system of record. It seals blocks,
+/// maintains its own authoritative LSMerkle, and pushes every update
+/// to the edge before acking the client.
+pub struct EbCloud {
+    identity: Identity,
+    edge: ActorId,
+    cost: CostModel,
+    ledger: CertLedger,
+    index: CloudIndex,
+    /// The cloud's authoritative copy of the tree.
+    pub tree: LsMerkle,
+    next_bid: BlockId,
+    next_seq: u64,
+    /// One install outstanding at a time; the rest queue here.
+    queue: VecDeque<(ActorId, u64, Vec<wedge_log::Entry>)>,
+    in_flight: Option<(ActorId, u64)>,
+    /// Batches committed end-to-end.
+    pub batches_committed: u64,
+    /// Bytes shipped to the edge (bandwidth-stress metric).
+    pub wan_bytes_to_edge: u64,
+}
+
+impl EbCloud {
+    /// Creates the Edge-baseline cloud.
+    pub fn new(identity: Identity, edge: ActorId, edge_identity: IdentityId, cost: CostModel, lsm: LsmConfig) -> Self {
+        let mut index = CloudIndex::new(lsm.clone());
+        let init = index.init_edge(&identity, edge_identity, 0);
+        let tree = LsMerkle::new(edge_identity, lsm, init);
+        EbCloud {
+            identity,
+            edge,
+            cost,
+            ledger: CertLedger::new(),
+            index,
+            tree,
+            next_bid: BlockId(0),
+            next_seq: 0,
+            queue: VecDeque::new(),
+            in_flight: None,
+            batches_committed: 0,
+            wan_bytes_to_edge: 0,
+        }
+    }
+
+    /// Seals, certifies and merges a batch without the network —
+    /// used by the runner's preload path. Returns the install bundle
+    /// the edge replica must apply.
+    pub fn preload_block(
+        &mut self,
+        entries: Vec<wedge_log::Entry>,
+        now_ns: u64,
+    ) -> (Block, BlockProof, Vec<(MergeRequest, MergeResult)>) {
+        let bid = self.next_bid;
+        self.next_bid = self.next_bid.next();
+        let block = Block { edge: self.tree.edge(), id: bid, entries, sealed_at_ns: now_ns };
+        let digest = block.digest();
+        self.ledger.offer(self.tree.edge(), bid, digest);
+        let proof = BlockProof::issue(&self.identity, self.tree.edge(), bid, digest);
+        self.tree.apply_block(block.clone());
+        self.tree.attach_block_proof(proof.clone());
+        let mut merges = Vec::new();
+        while let Some(level) = self.tree.overflowing_level() {
+            let req = self.tree.build_merge_request(level);
+            if level == 0 && req.source_l0.is_empty() {
+                break;
+            }
+            let res = self
+                .index
+                .process_merge(&self.identity, &self.ledger, &req, now_ns)
+                .expect("preload merge verifies");
+            self.tree.apply_merge_result(&req, res.clone()).expect("preload merge applies");
+            merges.push((req, res));
+        }
+        (block, proof, merges)
+    }
+
+    /// Processes one queued batch: seal, certify, merge, ship to edge.
+    fn process_next(&mut self, ctx: &mut Context<'_, BMsg>) {
+        if self.in_flight.is_some() {
+            return;
+        }
+        let Some((client, req_id, entries)) = self.queue.pop_front() else {
+            return;
+        };
+        let ops = entries.len() as u64;
+        // Synchronous certification + Merkle regeneration (the §II-C
+        // drawback: the cloud is on the write path).
+        ctx.use_cpu(self.cost.eb_cloud_process(ops));
+        let bid = self.next_bid;
+        self.next_bid = self.next_bid.next();
+        let block = Block {
+            edge: self.tree.edge(),
+            id: bid,
+            entries,
+            sealed_at_ns: ctx.now().as_nanos(),
+        };
+        let digest = block.digest();
+        self.ledger.offer(self.tree.edge(), bid, digest);
+        let proof = BlockProof::issue(&self.identity, self.tree.edge(), bid, digest);
+        self.tree.apply_block(block.clone());
+        self.tree.attach_block_proof(proof.clone());
+
+        // Run merges locally (cloud trusts itself) and collect the
+        // deltas so the edge replica can replay them.
+        let mut merges: Vec<(MergeRequest, MergeResult)> = Vec::new();
+        while let Some(level) = self.tree.overflowing_level() {
+            let req = self.tree.build_merge_request(level);
+            if level == 0 && req.source_l0.is_empty() {
+                break;
+            }
+            let records: u64 = req
+                .source_l0
+                .iter()
+                .map(|p| p.records.len() as u64)
+                .chain(req.source_pages.iter().map(|p| p.records.len() as u64))
+                .chain(req.target_pages.iter().map(|p| p.records.len() as u64))
+                .sum();
+            ctx.use_cpu(self.cost.merge(records));
+            let res = self
+                .index
+                .process_merge(&self.identity, &self.ledger, &req, ctx.now().as_nanos())
+                .expect("cloud's own merge must verify");
+            self.tree.apply_merge_result(&req, res.clone()).expect("cloud applies own merge");
+            merges.push((req, res));
+        }
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let msg = BMsg::EbInstall { seq, client, req_id, block, proof, merges };
+        let sz = msg.wire_size();
+        self.wan_bytes_to_edge += sz as u64;
+        self.in_flight = Some((client, req_id));
+        ctx.send(self.edge, msg, sz);
+    }
+}
+
+impl Actor<BMsg> for EbCloud {
+    fn on_message(&mut self, ctx: &mut Context<'_, BMsg>, from: ActorId, msg: BMsg) {
+        match msg {
+            BMsg::EbBatch { req_id, entries } => {
+                self.queue.push_back((from, req_id, entries));
+                self.process_next(ctx);
+            }
+            BMsg::EbInstallAck { .. } => {
+                // The edge already acked the client; this just releases
+                // the next install.
+                if self.in_flight.take().is_some() {
+                    self.batches_committed += 1;
+                }
+                self.process_next(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The Edge-baseline edge: a passive, certified replica that serves
+/// proof-carrying reads.
+pub struct EbEdge {
+    cloud: ActorId,
+    cost: CostModel,
+    /// The replica tree (every page certified on arrival).
+    pub tree: LsMerkle,
+    /// The replica log.
+    pub log: LogStore,
+    /// Gets served.
+    pub gets_served: u64,
+}
+
+impl EbEdge {
+    /// Creates the edge replica.
+    pub fn new(cloud: ActorId, cost: CostModel, tree: LsMerkle) -> Self {
+        EbEdge { cloud, cost, tree, log: LogStore::new(), gets_served: 0 }
+    }
+}
+
+impl Actor<BMsg> for EbEdge {
+    fn on_message(&mut self, ctx: &mut Context<'_, BMsg>, from: ActorId, msg: BMsg) {
+        match msg {
+            BMsg::EbInstall { seq, client, req_id, block, proof, merges } => {
+                ctx.use_cpu(self.cost.eb_edge_apply());
+                self.log.append(block.clone());
+                self.log.attach_proof(proof.clone());
+                self.tree.apply_block(block);
+                self.tree.attach_block_proof(proof);
+                for (req, res) in merges {
+                    self.tree.apply_merge_result(&req, res).expect("replica replays merge");
+                }
+                // Ack the nearby client directly; release the cloud's
+                // install slot in parallel.
+                ctx.send(client, BMsg::EbBatchAck { req_id }, 8);
+                ctx.send(self.cloud, BMsg::EbInstallAck { seq }, 16);
+            }
+            BMsg::EbGet { req_id, key } => {
+                let pages = (self.tree.l0_pages().len() + self.tree.levels().len()) as u64;
+                ctx.use_cpu(self.cost.build_read_proof(pages));
+                self.gets_served += 1;
+                let proof = build_read_proof(&self.tree, key);
+                let resp = BMsg::EbGetResp { req_id, proof: Box::new(proof) };
+                let sz = resp.wire_size();
+                ctx.send(from, resp, sz);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The Edge-baseline client: writes to the cloud, reads from the edge
+/// (verifying proofs).
+pub struct EbClient {
+    identity: Identity,
+    cloud: ActorId,
+    edge: ActorId,
+    edge_identity: IdentityId,
+    cloud_identity: IdentityId,
+    registry: KeyRegistry,
+    cost: CostModel,
+    plan: wedge_core::client::ClientPlan,
+    sampler: KeySampler,
+    next_req: u64,
+    next_seq: u64,
+    batches_done: u64,
+    reads_issued: u64,
+    burst_remaining: u64,
+    outstanding_batch: Option<(u64, SimTime)>,
+    outstanding_reads: HashMap<u64, SimTime>,
+    /// Measurements.
+    pub metrics: ClientMetrics,
+}
+
+impl EbClient {
+    /// Creates the client.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        identity: Identity,
+        cloud: ActorId,
+        edge: ActorId,
+        edge_identity: IdentityId,
+        cloud_identity: IdentityId,
+        registry: KeyRegistry,
+        cost: CostModel,
+        plan: wedge_core::client::ClientPlan,
+    ) -> Self {
+        let sampler = KeySampler::new(plan.key_dist.clone(), plan.key_space);
+        EbClient {
+            identity,
+            cloud,
+            edge,
+            edge_identity,
+            cloud_identity,
+            registry,
+            cost,
+            plan,
+            sampler,
+            next_req: 0,
+            next_seq: 0,
+            batches_done: 0,
+            reads_issued: 0,
+            burst_remaining: 0,
+            outstanding_batch: None,
+            outstanding_reads: HashMap::new(),
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    fn send_batch(&mut self, ctx: &mut Context<'_, BMsg>) {
+        let mut entries = Vec::with_capacity(self.plan.batch_size);
+        for _ in 0..self.plan.batch_size {
+            let key = self.sampler.sample(ctx.rng());
+            let op = wedge_lsmerkle::KvOp::put(key, vec![0xAB; self.plan.value_size]);
+            // Modeled signatures: the entry CPU cost is in the cloud's
+            // processing budget, as with the WedgeChain client.
+            entries.push(wedge_log::Entry {
+                client: self.identity.id,
+                sequence: self.next_seq,
+                payload: op.encode(),
+                signature: wedge_crypto::Signature { e: 0, s: 0 },
+            });
+            self.next_seq += 1;
+        }
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let msg = BMsg::EbBatch { req_id, entries };
+        let sz = msg.wire_size();
+        self.outstanding_batch = Some((req_id, ctx.now_with_cpu()));
+        ctx.send(self.cloud, msg, sz);
+    }
+
+    fn send_read(&mut self, ctx: &mut Context<'_, BMsg>) {
+        let key = self.sampler.sample(ctx.rng());
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.outstanding_reads.insert(req_id, ctx.now_with_cpu());
+        ctx.send(self.edge, BMsg::EbGet { req_id, key }, 24);
+    }
+
+    fn pump(&mut self, ctx: &mut Context<'_, BMsg>) {
+        let batches_left = self.plan.write_batches.saturating_sub(self.batches_done);
+        if self.plan.interleave && self.burst_remaining > 0 {
+            if self.reads_issued >= self.plan.reads {
+                self.burst_remaining = 0; // read budget exhausted
+            }
+            while self.outstanding_reads.len() < self.plan.read_pipeline
+                && self.burst_remaining > 0
+                && self.reads_issued < self.plan.reads
+            {
+                self.send_read(ctx);
+                self.reads_issued += 1;
+                self.burst_remaining -= 1;
+            }
+            if !self.outstanding_reads.is_empty() || self.burst_remaining > 0 {
+                return;
+            }
+        }
+        if batches_left > 0 {
+            if self.outstanding_batch.is_none() {
+                self.send_batch(ctx);
+            }
+            return;
+        }
+        if self.reads_issued < self.plan.reads {
+            while self.outstanding_reads.len() < self.plan.read_pipeline
+                && self.reads_issued < self.plan.reads
+            {
+                self.send_read(ctx);
+                self.reads_issued += 1;
+            }
+            return;
+        }
+        if self.outstanding_batch.is_none()
+            && self.outstanding_reads.is_empty()
+            && self.metrics.finished_at.is_none()
+            && (self.plan.write_batches > 0 || self.plan.reads > 0)
+        {
+            self.metrics.finished_at = Some(ctx.now());
+        }
+    }
+}
+
+impl Actor<BMsg> for EbClient {
+    fn on_message(&mut self, ctx: &mut Context<'_, BMsg>, _from: ActorId, msg: BMsg) {
+        match msg {
+            BMsg::Start => self.pump(ctx),
+            BMsg::EbBatchAck { req_id } => {
+                let Some((id, sent)) = self.outstanding_batch.take() else { return };
+                if id != req_id {
+                    self.outstanding_batch = Some((id, sent));
+                    return;
+                }
+                let ms = ctx.now().since(sent).as_millis_f64();
+                // Certified before ack: commit is final.
+                self.metrics.p1_latency.record(ms);
+                self.metrics.p2_latency.record(ms);
+                self.batches_done += 1;
+                self.metrics.ops_p1 += self.plan.batch_size as u64;
+                self.metrics.ops_p2 += self.plan.batch_size as u64;
+                self.metrics.p1_timeline.record(ctx.now(), self.batches_done);
+                self.metrics.p2_timeline.record(ctx.now(), self.batches_done);
+                if self.plan.interleave {
+                    self.burst_remaining = self.plan.batch_size as u64;
+                }
+                self.pump(ctx);
+            }
+            BMsg::EbGetResp { req_id, proof } => {
+                let Some(sent) = self.outstanding_reads.remove(&req_id) else { return };
+                ctx.use_cpu(self.cost.verify_read());
+                let result = verify_read_proof(
+                    &proof,
+                    self.edge_identity,
+                    self.cloud_identity,
+                    &self.registry,
+                    ctx.now().as_nanos(),
+                    None,
+                );
+                match result {
+                    Ok(_) => {
+                        self.metrics.read_latency.record(ctx.now().since(sent).as_millis_f64());
+                        self.metrics.reads_ok += 1;
+                    }
+                    Err(_) => {
+                        self.metrics.reads_rejected += 1;
+                    }
+                }
+                self.pump(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,22 @@
+//! # wedge-baselines
+//!
+//! The two comparison systems of the evaluation (§II-C, §VI):
+//!
+//! - [`cloud_only`]: every request is processed by the trusted cloud.
+//!   Results need no verification, but each operation pays the
+//!   wide-area round trip.
+//! - [`edge_baseline`]: writes are certified at the cloud *before*
+//!   the edge can serve them — the "mLSM with no changes" deployment
+//!   the paper contrasts lazy certification against.
+//! - [`runner`]: a unified [`runner::run_scenario`] entry point so the
+//!   bench harness can sweep all three systems uniformly.
+
+pub mod cloud_only;
+pub mod edge_baseline;
+pub mod msg;
+pub mod runner;
+
+pub use cloud_only::{CloudOnlyClient, CloudOnlyCloud};
+pub use edge_baseline::{EbClient, EbCloud, EbEdge};
+pub use msg::BMsg;
+pub use runner::{plan_from_scenario, run_scenario, RunOutput, SystemKind};

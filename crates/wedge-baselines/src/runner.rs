@@ -1,0 +1,245 @@
+//! Unified experiment runner: one entry point that builds any of the
+//! three systems for a [`Scenario`] and returns comparable metrics.
+//!
+//! The bench targets call [`run_scenario`] once per (system, point)
+//! pair and print the paper-style rows.
+
+use crate::cloud_only::{CloudOnlyClient, CloudOnlyCloud};
+use crate::edge_baseline::{EbClient, EbCloud, EbEdge};
+use crate::msg::BMsg;
+use wedge_core::client::ClientPlan;
+use wedge_core::config::SystemConfig;
+use wedge_core::fault::FaultPlan;
+use wedge_core::harness::{Aggregate, SystemHarness};
+use wedge_core::metrics::{ClientMetrics, Timeline};
+use wedge_crypto::{Identity, KeyRegistry};
+use wedge_lsmerkle::{CloudIndex, LsMerkle};
+use wedge_sim::{ActorId, Simulation};
+use wedge_workload::{Mix, Scenario};
+
+/// The three systems of the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The paper's system (lazy certification).
+    WedgeChain,
+    /// All requests at the cloud.
+    CloudOnly,
+    /// Synchronous cloud certification, edge serves reads.
+    EdgeBaseline,
+}
+
+impl SystemKind {
+    /// All three, in the paper's plotting order.
+    pub const ALL: [SystemKind; 3] =
+        [SystemKind::WedgeChain, SystemKind::CloudOnly, SystemKind::EdgeBaseline];
+
+    /// Display name as used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::WedgeChain => "WedgeChain",
+            SystemKind::CloudOnly => "Cloud-only",
+            SystemKind::EdgeBaseline => "Edge-baseline",
+        }
+    }
+}
+
+/// Result of one experiment point.
+#[derive(Clone, Debug, Default)]
+pub struct RunOutput {
+    /// Aggregate latency/throughput.
+    pub agg: Aggregate,
+    /// P1 commit timeline of client 0 (Fig 6).
+    pub p1_timeline: Timeline,
+    /// P2 commit timeline of client 0 (Fig 6).
+    pub p2_timeline: Timeline,
+}
+
+/// Builds a [`ClientPlan`] from a scenario.
+pub fn plan_from_scenario(s: &Scenario) -> ClientPlan {
+    ClientPlan {
+        write_batches: s.batches_per_client,
+        reads: s.reads_per_client,
+        batch_size: s.batch_size,
+        value_size: s.value_size,
+        key_dist: s.dist.clone(),
+        key_space: s.key_space,
+        read_pipeline: s.read_pipeline,
+        interleave: matches!(s.mix, Mix::Mixed5050),
+        kv: true,
+    }
+}
+
+/// Runs `scenario` on `kind` under `cfg` and returns the metrics.
+pub fn run_scenario(kind: SystemKind, mut cfg: SystemConfig, scenario: &Scenario) -> RunOutput {
+    cfg.num_clients = scenario.clients;
+    cfg.batch_size = scenario.batch_size;
+    cfg.value_size = scenario.value_size;
+    cfg.key_space = scenario.key_space;
+    let plan = plan_from_scenario(scenario);
+    match kind {
+        SystemKind::WedgeChain => run_wedgechain(cfg, plan, scenario),
+        SystemKind::CloudOnly => run_cloud_only(cfg, plan, scenario),
+        SystemKind::EdgeBaseline => run_edge_baseline(cfg, plan, scenario),
+    }
+}
+
+fn run_wedgechain(cfg: SystemConfig, plan: ClientPlan, scenario: &Scenario) -> RunOutput {
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::honest());
+    if scenario.reads_per_client > 0 {
+        // Reads need data: preload the key space (capped for memory).
+        h.preload(scenario.key_space.min(20_000));
+    }
+    h.run(None);
+    let m0 = h.client_metrics(0).clone();
+    RunOutput { agg: h.aggregate(), p1_timeline: m0.p1_timeline, p2_timeline: m0.p2_timeline }
+}
+
+fn aggregate_from(metrics: Vec<ClientMetrics>) -> Aggregate {
+    let mut agg = Aggregate::default();
+    let (mut p1s, mut p1n, mut p2s, mut p2n, mut rds, mut rdn) = (0.0, 0usize, 0.0, 0usize, 0.0, 0usize);
+    let mut makespan = 0.0f64;
+    for m in &metrics {
+        p1s += m.p1_latency.mean() * m.p1_latency.count() as f64;
+        p1n += m.p1_latency.count();
+        p2s += m.p2_latency.mean() * m.p2_latency.count() as f64;
+        p2n += m.p2_latency.count();
+        rds += m.read_latency.mean() * m.read_latency.count() as f64;
+        rdn += m.read_latency.count();
+        agg.total_ops += m.total_ops();
+        if let Some(t) = m.finished_at {
+            makespan = makespan.max(t.as_secs_f64());
+        }
+    }
+    agg.p1_latency_ms = if p1n > 0 { p1s / p1n as f64 } else { 0.0 };
+    agg.p2_latency_ms = if p2n > 0 { p2s / p2n as f64 } else { 0.0 };
+    agg.read_latency_ms = if rdn > 0 { rds / rdn as f64 } else { 0.0 };
+    agg.makespan_secs = makespan;
+    agg.throughput_kops =
+        if makespan > 0.0 { agg.total_ops as f64 / makespan / 1_000.0 } else { 0.0 };
+    agg
+}
+
+fn run_cloud_only(cfg: SystemConfig, plan: ClientPlan, scenario: &Scenario) -> RunOutput {
+    let mut sim: Simulation<BMsg> = Simulation::new(cfg.net.clone(), cfg.seed);
+    let cloud_node = CloudOnlyCloud::new(cfg.cost.clone());
+    let cloud = sim.add_actor("cloud", cfg.cloud_region, Box::new(cloud_node));
+    let mut clients = Vec::new();
+    for i in 0..cfg.num_clients {
+        let node = CloudOnlyClient::new(cloud, plan.clone());
+        clients.push(sim.add_actor(format!("client-{i}"), cfg.client_region, Box::new(node)));
+    }
+    if scenario.reads_per_client > 0 {
+        // Preload the trusted store directly.
+        let store = &mut sim.actor_mut::<CloudOnlyCloud>(cloud).store;
+        for k in 0..scenario.key_space.min(20_000) {
+            store.insert(k, vec![0xEE; cfg.value_size]);
+        }
+    }
+    sim.start();
+    for &c in &clients {
+        sim.inject(cloud, c, BMsg::Start);
+    }
+    sim.run_until_idle(u64::MAX / 2);
+    let metrics: Vec<ClientMetrics> =
+        clients.iter().map(|&c| sim.actor::<CloudOnlyClient>(c).metrics.clone()).collect();
+    let m0 = metrics[0].clone();
+    RunOutput {
+        agg: aggregate_from(metrics),
+        p1_timeline: m0.p1_timeline,
+        p2_timeline: m0.p2_timeline,
+    }
+}
+
+fn run_edge_baseline(cfg: SystemConfig, plan: ClientPlan, scenario: &Scenario) -> RunOutput {
+    let mut sim: Simulation<BMsg> = Simulation::new(cfg.net.clone(), cfg.seed);
+    let cloud_ident = Identity::derive("cloud", 1);
+    let edge_ident = Identity::derive("edge", 100);
+    let mut registry = KeyRegistry::new();
+    registry.register(cloud_ident.id, cloud_ident.public()).unwrap();
+    registry.register(edge_ident.id, edge_ident.public()).unwrap();
+
+    // Pre-computed ids: cloud=0, edge=1, clients=2…
+    let cloud_id = ActorId::from_index(0);
+    let edge_id = ActorId::from_index(1);
+    let cloud_node = EbCloud::new(
+        cloud_ident.clone(),
+        edge_id,
+        edge_ident.id,
+        cfg.cost.clone(),
+        cfg.lsm.clone(),
+    );
+    let cloud = sim.add_actor("cloud", cfg.cloud_region, Box::new(cloud_node));
+    assert_eq!(cloud, cloud_id);
+
+    // The edge replica starts from the same (deterministic) init state.
+    let mut replica_index = CloudIndex::new(cfg.lsm.clone());
+    let init = replica_index.init_edge(&cloud_ident, edge_ident.id, 0);
+    let replica = LsMerkle::new(edge_ident.id, cfg.lsm.clone(), init);
+    let edge_node = EbEdge::new(cloud, cfg.cost.clone(), replica);
+    let edge = sim.add_actor("edge", cfg.edge_region, Box::new(edge_node));
+    assert_eq!(edge, edge_id);
+
+    if scenario.reads_per_client > 0 {
+        // Preload both the cloud's authoritative tree and the edge
+        // replica, bypassing the network (read-benchmark setup).
+        let n = scenario.key_space.min(20_000);
+        let batch = cfg.batch_size.max(1) as u64;
+        let mut key = 0u64;
+        let mut seq = u64::MAX / 2;
+        while key < n {
+            let entries: Vec<wedge_log::Entry> = (0..batch.min(n - key))
+                .map(|_| {
+                    let op = wedge_lsmerkle::KvOp::put(key, vec![0xEE; cfg.value_size]);
+                    let e = wedge_log::Entry {
+                        client: wedge_crypto::IdentityId(1000),
+                        sequence: seq,
+                        payload: op.encode(),
+                        signature: wedge_crypto::Signature { e: 0, s: 0 },
+                    };
+                    seq += 1;
+                    key += 1;
+                    e
+                })
+                .collect();
+            let (block, proof, merges) =
+                sim.actor_mut::<EbCloud>(cloud).preload_block(entries, 0);
+            let replica = sim.actor_mut::<EbEdge>(edge);
+            replica.log.append(block.clone());
+            replica.log.attach_proof(proof.clone());
+            replica.tree.apply_block(block);
+            replica.tree.attach_block_proof(proof);
+            for (rq, rs) in merges {
+                replica.tree.apply_merge_result(&rq, rs).expect("replica preload merge");
+            }
+        }
+    }
+    let mut clients = Vec::new();
+    for i in 0..cfg.num_clients {
+        let ident = Identity::derive("client", 1000 + i as u64);
+        registry.register(ident.id, ident.public()).unwrap();
+        let node = EbClient::new(
+            ident,
+            cloud,
+            edge,
+            edge_ident.id,
+            cloud_ident.id,
+            registry.clone(),
+            cfg.cost.clone(),
+            plan.clone(),
+        );
+        clients.push(sim.add_actor(format!("client-{i}"), cfg.client_region, Box::new(node)));
+    }
+    sim.start();
+    for &c in &clients {
+        sim.inject(cloud, c, BMsg::Start);
+    }
+    sim.run_until_idle(u64::MAX / 2);
+    let metrics: Vec<ClientMetrics> =
+        clients.iter().map(|&c| sim.actor::<EbClient>(c).metrics.clone()).collect();
+    let m0 = metrics[0].clone();
+    RunOutput {
+        agg: aggregate_from(metrics),
+        p1_timeline: m0.p1_timeline,
+        p2_timeline: m0.p2_timeline,
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-system sanity: the paper's headline ordering must hold.
+
+use wedge_baselines::{run_scenario, SystemKind};
+use wedge_core::config::SystemConfig;
+use wedge_workload::{Mix, Scenario};
+
+fn small_write_scenario(batch: usize) -> Scenario {
+    Scenario { batch_size: batch, batches_per_client: 15, ..Scenario::paper_default() }
+}
+
+#[test]
+fn write_latency_ordering_matches_fig4a() {
+    let s = small_write_scenario(100);
+    let wc = run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &s);
+    let co = run_scenario(SystemKind::CloudOnly, SystemConfig::default(), &s);
+    let eb = run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &s);
+    let (wc_l, co_l, eb_l) =
+        (wc.agg.p1_latency_ms, co.agg.p1_latency_ms, eb.agg.p1_latency_ms);
+    // Fig 4a ordering: WedgeChain < Cloud-only < Edge-baseline.
+    assert!(wc_l < co_l, "WedgeChain {wc_l} !< Cloud-only {co_l}");
+    assert!(co_l < eb_l, "Cloud-only {co_l} !< Edge-baseline {eb_l}");
+    // Magnitudes near the paper's: ~15 ms / ~78 ms / ~109 ms.
+    assert!((10.0..30.0).contains(&wc_l), "WedgeChain latency {wc_l}");
+    assert!((60.0..100.0).contains(&co_l), "Cloud-only latency {co_l}");
+    assert!((90.0..150.0).contains(&eb_l), "Edge-baseline latency {eb_l}");
+}
+
+#[test]
+fn edge_baseline_degrades_with_batch_size() {
+    let small = run_scenario(
+        SystemKind::EdgeBaseline,
+        SystemConfig::default(),
+        &small_write_scenario(100),
+    );
+    let large = run_scenario(
+        SystemKind::EdgeBaseline,
+        SystemConfig::default(),
+        &small_write_scenario(2000),
+    );
+    // Fig 4a: Edge-baseline roughly doubles (109 → 213 ms).
+    let ratio = large.agg.p1_latency_ms / small.agg.p1_latency_ms;
+    assert!(ratio > 1.5, "Edge-baseline only degraded {ratio}x");
+    // WedgeChain stays nearly flat (15 → 20 ms).
+    let wc_small = run_scenario(
+        SystemKind::WedgeChain,
+        SystemConfig::default(),
+        &small_write_scenario(100),
+    );
+    let wc_large = run_scenario(
+        SystemKind::WedgeChain,
+        SystemConfig::default(),
+        &small_write_scenario(2000),
+    );
+    let wc_ratio = wc_large.agg.p1_latency_ms / wc_small.agg.p1_latency_ms;
+    assert!(wc_ratio < 1.6, "WedgeChain degraded {wc_ratio}x");
+}
+
+#[test]
+fn read_workload_ordering_matches_fig5c() {
+    let s = Scenario {
+        reads_per_client: 100,
+        key_space: 2_000,
+        ..Scenario::paper_default().with_mix(Mix::AllRead)
+    };
+    let wc = run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &s);
+    let co = run_scenario(SystemKind::CloudOnly, SystemConfig::default(), &s);
+    let eb = run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &s);
+    // Fig 5c: WedgeChain ≈ Edge-baseline ≫ Cloud-only (reads pay the
+    // WAN in Cloud-only).
+    assert!(wc.agg.read_latency_ms < co.agg.read_latency_ms / 2.0);
+    assert!(eb.agg.read_latency_ms < co.agg.read_latency_ms / 2.0);
+    let wc_eb_ratio = wc.agg.read_latency_ms / eb.agg.read_latency_ms;
+    assert!((0.5..2.0).contains(&wc_eb_ratio), "WC/EB read ratio {wc_eb_ratio}");
+    // Every proof verified.
+    assert_eq!(wc.agg.total_ops, 100);
+}
+
+#[test]
+fn mixed_workload_ordering_matches_fig5b() {
+    let s = Scenario {
+        batches_per_client: 4,
+        key_space: 2_000,
+        ..Scenario::paper_default().with_mix(Mix::Mixed5050)
+    };
+    let wc = run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &s);
+    let co = run_scenario(SystemKind::CloudOnly, SystemConfig::default(), &s);
+    let eb = run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &s);
+    // Fig 5b: WedgeChain > Edge-baseline > Cloud-only on throughput.
+    assert!(
+        wc.agg.throughput_kops > eb.agg.throughput_kops,
+        "WC {} !> EB {}",
+        wc.agg.throughput_kops,
+        eb.agg.throughput_kops
+    );
+    assert!(
+        eb.agg.throughput_kops > co.agg.throughput_kops,
+        "EB {} !> CO {}",
+        eb.agg.throughput_kops,
+        co.agg.throughput_kops
+    );
+}

@@ -1,0 +1,77 @@
+//! Criterion microbenches of the cryptographic substrate.
+//!
+//! These quantify the constants behind the cost model: SHA-256
+//! throughput (data-free certification hashes each block once),
+//! Schnorr sign/verify (every receipt and proof), and Merkle
+//! build/prove/verify (every LSMerkle level and read proof).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wedge_crypto::{sha256, Keypair, MerkleTree, Sha256};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024, 256 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("sha256_incremental_1mb_in_4k_chunks", |b| {
+        let chunk = vec![0u8; 4096];
+        b.iter(|| {
+            let mut h = Sha256::new();
+            for _ in 0..256 {
+                h.update(black_box(&chunk));
+            }
+            black_box(h.finalize())
+        })
+    });
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = Keypair::from_seed(b"bench");
+    let msg = vec![0x42u8; 256];
+    let sig = kp.sign(&msg);
+    c.bench_function("schnorr_sign_256b", |b| b.iter(|| black_box(kp.sign(black_box(&msg)))));
+    c.bench_function("schnorr_verify_256b", |b| {
+        b.iter(|| black_box(kp.public().verify(black_box(&msg), black_box(&sig))))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [10usize, 100, 1000] {
+        let leaves: Vec<_> = (0..n).map(|i| sha256(format!("page-{i}").as_bytes())).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, leaves| {
+            b.iter(|| black_box(MerkleTree::from_leaves(black_box(leaves))))
+        });
+        let tree = MerkleTree::from_leaves(&leaves);
+        group.bench_with_input(BenchmarkId::new("prove", n), &tree, |b, tree| {
+            b.iter(|| black_box(tree.prove(black_box(n / 2)).unwrap()))
+        });
+        let proof = tree.prove(n / 2).unwrap();
+        let root = tree.root();
+        let leaf = leaves[n / 2];
+        group.bench_with_input(BenchmarkId::new("verify", n), &proof, |b, proof| {
+            b.iter(|| {
+                assert!(MerkleTree::verify(
+                    black_box(&root),
+                    black_box(&leaf),
+                    black_box(proof)
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_sha256, bench_schnorr, bench_merkle
+}
+criterion_main!(benches);

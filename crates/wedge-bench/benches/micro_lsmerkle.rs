@@ -1,0 +1,129 @@
+//! Criterion microbenches of the LSMerkle index and logging layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wedge_crypto::{Identity, IdentityId};
+use wedge_log::{Block, BlockBuffer, BlockId, BlockProof, CertLedger, Entry};
+use wedge_lsmerkle::{
+    build_read_proof, kv_entry, CloudIndex, KvOp, LsmConfig, LsMerkle, MergeRequest,
+};
+
+fn kv_block(client: &Identity, edge: IdentityId, bid: u64, base_key: u64, n: u64) -> Block {
+    let entries: Vec<Entry> = (0..n)
+        .map(|i| kv_entry(client, bid * 10_000 + i, &KvOp::put(base_key + i, vec![0xAB; 100])))
+        .collect();
+    Block { edge, id: BlockId(bid), entries, sealed_at_ns: bid }
+}
+
+/// A fully settled tree with `n` keys plus its cloud state.
+fn settled_tree(n: u64) -> (LsMerkle, CloudIndex, CertLedger, Identity) {
+    let cloud = Identity::derive("cloud", 1);
+    let edge = IdentityId(100);
+    let client = Identity::derive("client", 1000);
+    let mut index = CloudIndex::new(LsmConfig::paper_eval());
+    let init = index.init_edge(&cloud, edge, 0);
+    let mut tree = LsMerkle::new(edge, LsmConfig::paper_eval(), init);
+    let mut ledger = CertLedger::new();
+    let mut key = 0u64;
+    let mut bid = 0u64;
+    while key < n {
+        let take = 100.min(n - key);
+        let block = kv_block(&client, edge, bid, key, take);
+        key += take;
+        bid += 1;
+        let digest = block.digest();
+        ledger.offer(edge, block.id, digest);
+        let proof = BlockProof::issue(&cloud, edge, block.id, digest);
+        tree.apply_block(block);
+        tree.attach_block_proof(proof);
+        while let Some(level) = tree.overflowing_level() {
+            let req = tree.build_merge_request(level);
+            if level == 0 && req.source_l0.is_empty() {
+                break;
+            }
+            let res = index.process_merge(&cloud, &ledger, &req, 0).unwrap();
+            tree.apply_merge_result(&req, res).unwrap();
+        }
+    }
+    (tree, index, ledger, cloud)
+}
+
+fn bench_log(c: &mut Criterion) {
+    let client = Identity::derive("client", 1000);
+    c.bench_function("log_buffer_push_and_seal_100", |b| {
+        let entries: Vec<Entry> =
+            (0..100).map(|i| kv_entry(&client, i, &KvOp::put(i, vec![0xAB; 100]))).collect();
+        b.iter(|| {
+            let mut buf = BlockBuffer::new(IdentityId(100), 100);
+            for (i, e) in entries.iter().enumerate() {
+                let mut e = e.clone();
+                e.sequence = i as u64; // fresh sequences per iteration
+                buf.push(e);
+            }
+            black_box(buf.seal(0))
+        })
+    });
+    c.bench_function("block_digest_100x100b", |b| {
+        let block = kv_block(&client, IdentityId(100), 0, 0, 100);
+        b.iter(|| black_box(block.digest()))
+    });
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsmerkle");
+    for n in [1_000u64, 10_000] {
+        let (tree, ..) = settled_tree(n);
+        group.bench_with_input(BenchmarkId::new("get_proof", n), &tree, |b, tree| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 13) % n;
+                black_box(build_read_proof(tree, black_box(k)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("find_newest", n), &tree, |b, tree| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 13) % n;
+                black_box(tree.find_newest(black_box(k)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // One L0→L1 merge of 11 certified blocks of 100 records.
+    let cloud = Identity::derive("cloud", 1);
+    let edge = IdentityId(100);
+    let client = Identity::derive("client", 1000);
+    c.bench_function("cloud_merge_l0_1100_records", |b| {
+        b.iter_with_setup(
+            || {
+                let mut index = CloudIndex::new(LsmConfig::paper_eval());
+                let init = index.init_edge(&cloud, edge, 0);
+                let mut tree = LsMerkle::new(edge, LsmConfig::paper_eval(), init);
+                let mut ledger = CertLedger::new();
+                for bid in 0..11u64 {
+                    let block = kv_block(&client, edge, bid, bid * 100, 100);
+                    let digest = block.digest();
+                    ledger.offer(edge, block.id, digest);
+                    let proof = BlockProof::issue(&cloud, edge, block.id, digest);
+                    tree.apply_block(block);
+                    tree.attach_block_proof(proof);
+                }
+                let req: MergeRequest = tree.build_merge_request(0);
+                (index, ledger, req)
+            },
+            |(mut index, ledger, req)| {
+                black_box(index.process_merge(&cloud, &ledger, &req, 0).unwrap())
+            },
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(25);
+    targets = bench_log, bench_tree_ops, bench_merge
+}
+criterion_main!(benches);

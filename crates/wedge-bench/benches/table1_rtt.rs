@@ -1,0 +1,31 @@
+//! Table I: round-trip times between the five datacenters.
+//!
+//! Prints the configured RTT matrix (the California row is the paper's
+//! verbatim measurement; see `wedge_sim::net::RTT_MS`) and verifies the
+//! simulator actually delivers those RTTs end to end.
+
+use wedge_bench::banner;
+use wedge_sim::{format_table1, NetConfig, NetworkModel, Region, SimTime};
+
+fn main() {
+    banner(
+        "Table I",
+        "Average RTTs (ms) between California and other datacenters",
+    );
+    print!("{}", format_table1());
+
+    // Verify the model: measured delivery RTT == configured matrix.
+    let mut net = NetworkModel::new(NetConfig::default(), 1);
+    println!("\nmeasured end-to-end RTTs from California (model check):");
+    for to in Region::ALL {
+        net.reset_queues();
+        let t1 = net.delivery_at(SimTime::ZERO, Region::California, to, 64);
+        net.reset_queues();
+        let t2 = net.delivery_at(t1, to, Region::California, 64);
+        println!(
+            "  C -> {} -> C : {:>7.1} ms",
+            to.code(),
+            t2.as_millis_f64()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared helpers for the figure/table bench targets.
+//!
+//! Each bench target regenerates one table or figure of the paper: it
+//! sweeps the paper's parameters, runs the three systems on the
+//! deterministic simulator, and prints the same rows/series the paper
+//! plots. Absolute numbers depend on the calibrated cost model
+//! (DESIGN.md §2); the *shape* — who wins, by what factor, where the
+//! crossovers are — is the reproduction target recorded in
+//! EXPERIMENTS.md.
+
+use wedge_baselines::{run_scenario, RunOutput, SystemKind};
+use wedge_core::config::SystemConfig;
+use wedge_workload::Scenario;
+
+/// Prints a figure banner.
+pub fn banner(id: &str, caption: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id} — {caption}");
+    println!("================================================================");
+}
+
+/// Prints a latency table header for the three systems.
+pub fn latency_header(xlabel: &str) {
+    println!(
+        "{:<14} {:>14} {:>14} {:>16}",
+        xlabel, "WedgeChain", "Cloud-only", "Edge-baseline"
+    );
+}
+
+/// Runs one scenario on all three systems.
+pub fn run_all(cfg: &SystemConfig, scenario: &Scenario) -> [RunOutput; 3] {
+    let wc = run_scenario(SystemKind::WedgeChain, cfg.clone(), scenario);
+    let co = run_scenario(SystemKind::CloudOnly, cfg.clone(), scenario);
+    let eb = run_scenario(SystemKind::EdgeBaseline, cfg.clone(), scenario);
+    [wc, co, eb]
+}
+
+/// Formats milliseconds with one decimal.
+pub fn ms(v: f64) -> String {
+    format!("{v:.1} ms")
+}
+
+/// Formats K-operations-per-second with one decimal.
+pub fn kops(v: f64) -> String {
+    format!("{v:.2} K/s")
+}

@@ -1,0 +1,105 @@
+//! System-level configuration for a WedgeChain deployment.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+use wedge_lsmerkle::LsmConfig;
+use wedge_sim::{NetConfig, Region};
+
+/// How much real cryptography the simulation performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CryptoMode {
+    /// Sign and verify everything for real (tests, examples,
+    /// correctness runs).
+    Real,
+    /// Skip bulk per-entry signatures (their CPU cost is still charged
+    /// via the cost model); receipts, block proofs and roots remain
+    /// really signed. Used by the macro benchmarks, where signing
+    /// 4000×1000 entries for real would dominate host time without
+    /// changing any protocol behaviour.
+    Modeled,
+}
+
+/// Full configuration of a simulated WedgeChain deployment.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Number of clients (the paper sweeps 1–9, Fig 5).
+    pub num_clients: usize,
+    /// Operations per batch/block (the paper sweeps 100–2000, Fig 4).
+    pub batch_size: usize,
+    /// Value payload size in bytes (100 B in §VI).
+    pub value_size: usize,
+    /// Key space per partition (100 K in §VI).
+    pub key_space: u64,
+    /// Where clients live.
+    pub client_region: Region,
+    /// Where the edge node lives.
+    pub edge_region: Region,
+    /// Where the cloud node lives.
+    pub cloud_region: Region,
+    /// LSMerkle shape.
+    pub lsm: LsmConfig,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Network model parameters.
+    pub net: NetConfig,
+    /// Cryptography fidelity.
+    pub crypto_mode: CryptoMode,
+    /// Cloud gossip period (ms of virtual time); 0 disables gossip.
+    pub gossip_period_ms: u64,
+    /// How long a client waits for Phase II before disputing (ms).
+    pub dispute_timeout_ms: u64,
+    /// Read freshness window (ms); `None` disables the check (§V-D).
+    pub freshness_window_ms: Option<u64>,
+    /// RNG seed for deterministic runs.
+    pub seed: u64,
+    /// Data-free certification (§IV-B): send only the 32-byte digest
+    /// to the cloud. `false` ships the whole block (the ablation in
+    /// `benches/ablations.rs`).
+    pub data_free: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            num_clients: 1,
+            batch_size: 100,
+            value_size: 100,
+            key_space: 100_000,
+            client_region: Region::California,
+            edge_region: Region::California,
+            cloud_region: Region::Virginia,
+            lsm: LsmConfig::paper_eval(),
+            cost: CostModel::default(),
+            net: NetConfig::default(),
+            crypto_mode: CryptoMode::Modeled,
+            gossip_period_ms: 1_000,
+            dispute_timeout_ms: 5_000,
+            freshness_window_ms: None,
+            seed: 42,
+            data_free: true,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Config with real crypto everywhere (for tests and examples).
+    pub fn real_crypto() -> Self {
+        SystemConfig { crypto_mode: CryptoMode::Real, ..SystemConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_vi() {
+        let c = SystemConfig::default();
+        assert_eq!(c.batch_size, 100);
+        assert_eq!(c.value_size, 100);
+        assert_eq!(c.key_space, 100_000);
+        assert_eq!(c.lsm.level_thresholds, vec![10, 10, 100, 1000]);
+        assert_eq!(c.client_region, Region::California);
+        assert_eq!(c.cloud_region, Region::Virginia);
+    }
+}

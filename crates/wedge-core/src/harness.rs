@@ -1,0 +1,605 @@
+//! The system harness: builds a full WedgeChain deployment inside the
+//! simulator and drives it.
+//!
+//! This is the entry point examples, tests and benches use: place N
+//! clients and an edge node in one region and the cloud in another,
+//! hand each client a [`ClientPlan`], run, and read the metrics.
+
+use crate::client::{ClientNode, ClientPlan, GetOutcome, PutOutcome};
+use crate::cloud::CloudNode;
+use crate::config::SystemConfig;
+use crate::edge::EdgeNode;
+use crate::fault::FaultPlan;
+use crate::messages::Msg;
+use crate::metrics::ClientMetrics;
+use std::collections::HashMap;
+use wedge_crypto::{Identity, KeyRegistry};
+use wedge_log::BlockProof;
+use wedge_lsmerkle::{CloudIndex, KvOp, LsMerkle};
+use wedge_sim::{ActorId, SimDuration, SimTime, Simulation};
+
+/// Identity id blocks: clients 1000+, edges 100+, cloud 1.
+const CLOUD_ID: u64 = 1;
+const EDGE_ID_BASE: u64 = 100;
+const CLIENT_ID_BASE: u64 = 1000;
+
+/// A fully wired single-partition WedgeChain deployment.
+pub struct SystemHarness {
+    /// The simulation (exposed for advanced scenarios).
+    pub sim: Simulation<Msg>,
+    /// Client actor ids, in plan order.
+    pub clients: Vec<ActorId>,
+    /// The edge node actor.
+    pub edge: ActorId,
+    /// The cloud node actor.
+    pub cloud: ActorId,
+    cfg: SystemConfig,
+    max_events: u64,
+}
+
+/// Aggregate results across clients.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Mean Phase-I latency (ms) across all batches of all clients.
+    pub p1_latency_ms: f64,
+    /// Mean Phase-II latency (ms).
+    pub p2_latency_ms: f64,
+    /// Mean verified read latency (ms).
+    pub read_latency_ms: f64,
+    /// Total throughput, K operations per virtual second.
+    pub throughput_kops: f64,
+    /// Total operations Phase-I committed.
+    pub total_ops: u64,
+    /// Virtual seconds to finish the whole workload.
+    pub makespan_secs: f64,
+}
+
+/// A multi-partition deployment: several edge nodes (one partition
+/// each, as §III prescribes — every client belongs to exactly one
+/// partition) sharing one trusted cloud.
+pub struct MultiPartitionHarness {
+    /// The simulation.
+    pub sim: Simulation<Msg>,
+    /// Edge actor per partition.
+    pub edges: Vec<ActorId>,
+    /// Clients grouped by partition.
+    pub clients: Vec<Vec<ActorId>>,
+    /// The shared cloud node.
+    pub cloud: ActorId,
+}
+
+impl MultiPartitionHarness {
+    /// Builds `partitions` edge nodes, each with `clients_per_partition`
+    /// clients running `plan`; `faults[i]` scripts partition `i`'s edge
+    /// (missing entries default to honest).
+    pub fn new(
+        cfg: SystemConfig,
+        partitions: usize,
+        clients_per_partition: usize,
+        plan: ClientPlan,
+        faults: Vec<FaultPlan>,
+    ) -> Self {
+        assert!(partitions > 0);
+        let mut sim: Simulation<Msg> = Simulation::new(cfg.net.clone(), cfg.seed);
+        let cloud_ident = Identity::derive("cloud", CLOUD_ID);
+        let mut registry = KeyRegistry::new();
+        registry.register(cloud_ident.id, cloud_ident.public()).unwrap();
+        let edge_idents: Vec<Identity> =
+            (0..partitions).map(|p| Identity::derive("edge", EDGE_ID_BASE + p as u64)).collect();
+        for e in &edge_idents {
+            registry.register(e.id, e.public()).unwrap();
+        }
+        let mut client_idents = Vec::new();
+        for p in 0..partitions {
+            let mut per = Vec::new();
+            for c in 0..clients_per_partition {
+                let ident = Identity::derive(
+                    "client",
+                    CLIENT_ID_BASE + (p * clients_per_partition + c) as u64,
+                );
+                registry.register(ident.id, ident.public()).unwrap();
+                per.push(ident);
+            }
+            client_idents.push(per);
+        }
+
+        // Actor layout: cloud = 0, edges = 1..=P, clients after.
+        let cloud_actor = ActorId::from_index(0);
+        let edge_actors: Vec<ActorId> =
+            (0..partitions).map(|p| ActorId::from_index(1 + p)).collect();
+        let mut next = 1 + partitions;
+        let client_actors: Vec<Vec<ActorId>> = (0..partitions)
+            .map(|_| {
+                (0..clients_per_partition)
+                    .map(|_| {
+                        let id = ActorId::from_index(next);
+                        next += 1;
+                        id
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut index = CloudIndex::new(cfg.lsm.clone());
+        let mut inits = Vec::new();
+        for e in &edge_idents {
+            inits.push(index.init_edge(&cloud_ident, e.id, 0));
+        }
+        let gossip = if cfg.gossip_period_ms > 0 {
+            Some(SimDuration::from_millis(cfg.gossip_period_ms))
+        } else {
+            None
+        };
+        let mut edge_map = HashMap::new();
+        for (p, e) in edge_idents.iter().enumerate() {
+            edge_map.insert(edge_actors[p], e.id);
+        }
+        let cloud_node = CloudNode::new(
+            cloud_ident.clone(),
+            registry.clone(),
+            cfg.cost.clone(),
+            index,
+            edge_map,
+            gossip,
+        );
+        assert_eq!(sim.add_actor("cloud", cfg.cloud_region, Box::new(cloud_node)), cloud_actor);
+
+        for (p, e) in edge_idents.iter().enumerate() {
+            let tree = LsMerkle::new(e.id, cfg.lsm.clone(), inits[p].clone());
+            let fault = faults.get(p).cloned().unwrap_or_default();
+            let mut node = EdgeNode::new(
+                e.clone(),
+                cloud_actor,
+                cloud_ident.id,
+                registry.clone(),
+                cfg.cost.clone(),
+                cfg.crypto_mode,
+                fault,
+                tree,
+                client_actors[p].clone(),
+            );
+            node.data_free = cfg.data_free;
+            assert_eq!(
+                sim.add_actor(format!("edge-{p}"), cfg.edge_region, Box::new(node)),
+                edge_actors[p]
+            );
+        }
+        for (p, idents) in client_idents.into_iter().enumerate() {
+            for (c, ident) in idents.into_iter().enumerate() {
+                let node = ClientNode::new(
+                    ident,
+                    edge_actors[p],
+                    cloud_actor,
+                    edge_idents[p].id,
+                    cloud_ident.id,
+                    registry.clone(),
+                    cfg.cost.clone(),
+                    cfg.crypto_mode,
+                    plan.clone(),
+                    cfg.freshness_window_ms.map(|ms| ms * 1_000_000),
+                    SimDuration::from_millis(cfg.dispute_timeout_ms),
+                );
+                assert_eq!(
+                    sim.add_actor(format!("client-{p}-{c}"), cfg.client_region, Box::new(node)),
+                    client_actors[p][c]
+                );
+            }
+        }
+        MultiPartitionHarness { sim, edges: edge_actors, clients: client_actors, cloud: cloud_actor }
+    }
+
+    /// Starts all clients and runs until everyone finished or halted
+    /// (bounded by `max_events`).
+    pub fn run(&mut self, max_events: u64) {
+        self.sim.start();
+        for group in self.clients.clone() {
+            for c in group {
+                self.sim.inject(self.cloud, c, Msg::Start);
+            }
+        }
+        let mut n = 0u64;
+        loop {
+            if !self.sim.step() {
+                break;
+            }
+            n += 1;
+            if n >= max_events {
+                break;
+            }
+            if n.is_multiple_of(512) && self.all_finished() {
+                break;
+            }
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.clients.iter().flatten().all(|&c| {
+            let node = self.sim.actor::<ClientNode>(c);
+            node.metrics.finished_at.is_some() || node.halted
+        })
+    }
+
+    /// Metrics of client `c` in partition `p`.
+    pub fn client_metrics(&self, p: usize, c: usize) -> &ClientMetrics {
+        &self.sim.actor::<ClientNode>(self.clients[p][c]).metrics
+    }
+
+    /// The cloud node.
+    pub fn cloud_node(&self) -> &CloudNode {
+        self.sim.actor::<CloudNode>(self.cloud)
+    }
+
+    /// Partition `p`'s edge node.
+    pub fn edge_node(&self, p: usize) -> &EdgeNode {
+        self.sim.actor::<EdgeNode>(self.edges[p])
+    }
+}
+
+impl SystemHarness {
+    /// Builds a WedgeChain deployment where every client runs `plan`.
+    pub fn wedgechain_with(cfg: SystemConfig, plan: ClientPlan, fault: FaultPlan) -> Self {
+        let mut sim: Simulation<Msg> = Simulation::new(cfg.net.clone(), cfg.seed);
+
+        // --- identities & registry ---
+        let cloud_ident = Identity::derive("cloud", CLOUD_ID);
+        let edge_ident = Identity::derive("edge", EDGE_ID_BASE);
+        let client_idents: Vec<Identity> =
+            (0..cfg.num_clients).map(|i| Identity::derive("client", CLIENT_ID_BASE + i as u64)).collect();
+        let mut registry = KeyRegistry::new();
+        registry.register(cloud_ident.id, cloud_ident.public()).unwrap();
+        registry.register(edge_ident.id, edge_ident.public()).unwrap();
+        for c in &client_idents {
+            registry.register(c.id, c.public()).unwrap();
+        }
+
+        // --- cloud-side index bootstrap ---
+        let mut index = CloudIndex::new(cfg.lsm.clone());
+        let init = index.init_edge(&cloud_ident, edge_ident.id, 0);
+        let tree = LsMerkle::new(edge_ident.id, cfg.lsm.clone(), init);
+
+        // --- actors (placeholder wiring resolved below) ---
+        // Order: cloud, edge, clients — ids are deterministic.
+        let gossip = if cfg.gossip_period_ms > 0 {
+            Some(SimDuration::from_millis(cfg.gossip_period_ms))
+        } else {
+            None
+        };
+        // Cloud must know the edge's ActorId; the edge is added right
+        // after the cloud, so its id is predictable (cloud=0, edge=1).
+        let cloud_actor_id = ActorId::from_index(0);
+        let edge_actor_id = ActorId::from_index(1);
+        let client_actor_ids: Vec<ActorId> =
+            (0..cfg.num_clients).map(|i| ActorId::from_index(2 + i)).collect();
+
+        let mut edge_map = HashMap::new();
+        edge_map.insert(edge_actor_id, edge_ident.id);
+        let cloud_node = CloudNode::new(
+            cloud_ident.clone(),
+            registry.clone(),
+            cfg.cost.clone(),
+            index,
+            edge_map,
+            gossip,
+        );
+        let cloud = sim.add_actor("cloud", cfg.cloud_region, Box::new(cloud_node));
+        assert_eq!(cloud, cloud_actor_id);
+
+        let mut edge_node = EdgeNode::new(
+            edge_ident.clone(),
+            cloud,
+            cloud_ident.id,
+            registry.clone(),
+            cfg.cost.clone(),
+            cfg.crypto_mode,
+            fault,
+            tree,
+            client_actor_ids.clone(),
+        );
+        edge_node.data_free = cfg.data_free;
+        let edge = sim.add_actor("edge", cfg.edge_region, Box::new(edge_node));
+        assert_eq!(edge, edge_actor_id);
+
+        let mut clients = Vec::with_capacity(cfg.num_clients);
+        for (i, ident) in client_idents.into_iter().enumerate() {
+            let node = ClientNode::new(
+                ident,
+                edge,
+                cloud,
+                edge_ident.id,
+                cloud_ident.id,
+                registry.clone(),
+                cfg.cost.clone(),
+                cfg.crypto_mode,
+                plan.clone(),
+                cfg.freshness_window_ms.map(|ms| ms * 1_000_000),
+                SimDuration::from_millis(cfg.dispute_timeout_ms),
+            );
+            let id = sim.add_actor(format!("client-{i}"), cfg.client_region, Box::new(node));
+            assert_eq!(id, client_actor_ids[i]);
+            clients.push(id);
+        }
+
+        SystemHarness { sim, clients, edge, cloud, cfg, max_events: 50_000_000 }
+    }
+
+    /// A deployment with honest nodes and idle clients (drive it with
+    /// [`SystemHarness::put`] / [`SystemHarness::get`]).
+    pub fn wedgechain(cfg: SystemConfig) -> Self {
+        Self::wedgechain_with(cfg, ClientPlan::idle(), FaultPlan::honest())
+    }
+
+    /// The configuration this deployment was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Starts every client's workload and runs until the simulation
+    /// goes idle (all work, certification, merges and gossip drained)
+    /// or until `deadline` if given.
+    pub fn run(&mut self, deadline: Option<SimTime>) {
+        self.sim.start();
+        for c in self.clients.clone() {
+            self.sim.inject(self.cloud, c, Msg::Start);
+        }
+        match deadline {
+            Some(d) => self.sim.run_until(d, self.max_events),
+            None => self.run_until_clients_finish(),
+        };
+    }
+
+    fn run_until_clients_finish(&mut self) -> u64 {
+        // Gossip timers re-arm forever, so "queue empty" never happens
+        // when gossip is on; instead, run until every client reports
+        // finished (then a short drain for P2 traffic).
+        let mut processed = 0;
+        let time_cap = SimTime::from_nanos(7_200 * 1_000_000_000); // 2 h virtual
+        loop {
+            if !self.sim.step() {
+                break;
+            }
+            processed += 1;
+            if processed % 256 == 0
+                && (self.all_clients_finished() || self.sim.now() > time_cap)
+            {
+                break;
+            }
+            if processed >= self.max_events {
+                break;
+            }
+        }
+        // Drain certification/merge traffic for a grace window so
+        // Phase-II metrics and timelines complete.
+        let drain_until = self.sim.now() + SimDuration::from_secs(300);
+        let mut guard = 0u64;
+        while !self.pending_p2_empty() {
+            if !self.sim.step() {
+                break;
+            }
+            guard += 1;
+            if self.sim.now() > drain_until || guard > self.max_events {
+                break;
+            }
+        }
+        processed
+    }
+
+    fn all_clients_finished(&self) -> bool {
+        self.clients
+            .iter()
+            .all(|&c| self.sim.actor::<ClientNode>(c).metrics.finished_at.is_some())
+    }
+
+    fn pending_p2_empty(&self) -> bool {
+        self.clients
+            .iter()
+            .all(|&c| {
+                let m = &self.sim.actor::<ClientNode>(c).metrics;
+                m.ops_p2 >= m.ops_p1
+            })
+    }
+
+    /// Metrics of client `i`.
+    pub fn client_metrics(&self, i: usize) -> &ClientMetrics {
+        &self.sim.actor::<ClientNode>(self.clients[i]).metrics
+    }
+
+    /// Mutable client access (rarely needed; mainly for tests).
+    pub fn client_mut(&mut self, i: usize) -> &mut ClientNode {
+        let id = self.clients[i];
+        self.sim.actor_mut::<ClientNode>(id)
+    }
+
+    /// The edge node's state.
+    pub fn edge_node(&self) -> &EdgeNode {
+        self.sim.actor::<EdgeNode>(self.edge)
+    }
+
+    /// The cloud node's state.
+    pub fn cloud_node(&self) -> &CloudNode {
+        self.sim.actor::<CloudNode>(self.cloud)
+    }
+
+    /// Aggregates metrics across all clients.
+    pub fn aggregate(&self) -> Aggregate {
+        let mut agg = Aggregate::default();
+        let mut p1_sum = 0.0;
+        let mut p1_n = 0usize;
+        let mut p2_sum = 0.0;
+        let mut p2_n = 0usize;
+        let mut rd_sum = 0.0;
+        let mut rd_n = 0usize;
+        let mut makespan = 0.0f64;
+        for &c in &self.clients {
+            let m = self.sim.actor::<ClientNode>(c).metrics.clone();
+            p1_sum += m.p1_latency.mean() * m.p1_latency.count() as f64;
+            p1_n += m.p1_latency.count();
+            p2_sum += m.p2_latency.mean() * m.p2_latency.count() as f64;
+            p2_n += m.p2_latency.count();
+            rd_sum += m.read_latency.mean() * m.read_latency.count() as f64;
+            rd_n += m.read_latency.count();
+            agg.total_ops += m.total_ops();
+            if let Some(t) = m.finished_at {
+                makespan = makespan.max(t.as_secs_f64());
+            }
+        }
+        agg.p1_latency_ms = if p1_n > 0 { p1_sum / p1_n as f64 } else { 0.0 };
+        agg.p2_latency_ms = if p2_n > 0 { p2_sum / p2_n as f64 } else { 0.0 };
+        agg.read_latency_ms = if rd_n > 0 { rd_sum / rd_n as f64 } else { 0.0 };
+        agg.makespan_secs = makespan;
+        agg.throughput_kops = if makespan > 0.0 {
+            agg.total_ops as f64 / makespan / 1_000.0
+        } else {
+            0.0
+        };
+        agg
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience single-operation API (quickstart / doctests / tests)
+    // ------------------------------------------------------------------
+
+    /// Performs one put through client `i` and waits for Phase I.
+    pub fn put(&mut self, client: usize, key: u64, value: Vec<u8>) -> PutOutcome {
+        self.sim.start();
+        let c = self.clients[client];
+        // Clear any previous result *before* injecting: the DoPut is
+        // only processed after the first step, so a stale result would
+        // otherwise satisfy the wait loop immediately.
+        self.sim.actor_mut::<ClientNode>(c).last_put = None;
+        self.sim.inject(self.cloud, c, Msg::DoPut { key, value });
+        let mut guard = 0u64;
+        while self.sim.actor::<ClientNode>(c).last_put.is_none() {
+            assert!(self.sim.step(), "simulation went idle before put completed");
+            guard += 1;
+            assert!(guard < 1_000_000, "put did not complete");
+        }
+        self.sim.actor::<ClientNode>(c).last_put.clone().unwrap()
+    }
+
+    /// Performs one put and additionally waits for Phase II.
+    pub fn put_certified(&mut self, client: usize, key: u64, value: Vec<u8>) -> PutOutcome {
+        let first = self.put(client, key, value);
+        let c = self.clients[client];
+        let mut guard = 0u64;
+        while self
+            .sim
+            .actor::<ClientNode>(c)
+            .last_put
+            .as_ref()
+            .is_some_and(|p| p.phase2_latency.is_none())
+        {
+            if !self.sim.step() {
+                break;
+            }
+            guard += 1;
+            if guard > 1_000_000 {
+                break;
+            }
+        }
+        self.sim.actor::<ClientNode>(c).last_put.clone().unwrap_or(first)
+    }
+
+    /// Performs one verified get through client `i`.
+    pub fn get(&mut self, client: usize, key: u64) -> GetOutcome {
+        self.sim.start();
+        let c = self.clients[client];
+        self.sim.actor_mut::<ClientNode>(c).last_get = None;
+        self.sim.inject(self.cloud, c, Msg::DoGet { key });
+        let mut guard = 0u64;
+        while self.sim.actor::<ClientNode>(c).last_get.is_none() {
+            assert!(self.sim.step(), "simulation went idle before get completed");
+            guard += 1;
+            assert!(guard < 1_000_000, "get did not complete");
+        }
+        self.sim.actor::<ClientNode>(c).last_get.clone().unwrap()
+    }
+
+    /// Preloads `n` sequential keys directly into the edge's log/index
+    /// and the cloud's ledger, bypassing the network (setup for read
+    /// benchmarks). Keys are `0..n`, values `value_size` bytes.
+    pub fn preload(&mut self, n: u64) {
+        let edge_ident = Identity::derive("edge", EDGE_ID_BASE);
+        let cloud_ident = Identity::derive("cloud", CLOUD_ID);
+        let client_ident = Identity::derive("client", CLIENT_ID_BASE);
+        let batch = self.cfg.batch_size.max(1) as u64;
+        let value_size = self.cfg.value_size;
+        let edge_actor = self.edge;
+        let cloud_actor = self.cloud;
+
+        let mut key = 0u64;
+        let mut seq = u64::MAX / 2; // avoid colliding with workload seqs
+        while key < n {
+            let mut entries = Vec::with_capacity(batch as usize);
+            for _ in 0..batch.min(n - key) {
+                let op = KvOp::put(key, vec![0xEE; value_size]);
+                entries.push(wedge_log::Entry {
+                    client: client_ident.id,
+                    sequence: seq,
+                    payload: op.encode(),
+                    signature: wedge_crypto::Signature { e: 0, s: 0 },
+                });
+                seq += 1;
+                key += 1;
+            }
+            // Seal at the edge.
+            let (block, digest) = {
+                let edge = self.sim.actor_mut::<EdgeNode>(edge_actor);
+                let bid = edge.log.iter().last().map(|b| b.block.id.next()).unwrap_or_default();
+                let block = wedge_log::Block {
+                    edge: edge_ident.id,
+                    id: bid,
+                    entries,
+                    sealed_at_ns: 0,
+                };
+                let digest = block.digest();
+                edge.log.append(block.clone());
+                edge.tree.apply_block(block.clone());
+                (block, digest)
+            };
+            // Certify at the cloud.
+            let proof = {
+                let cloud = self.sim.actor_mut::<CloudNode>(cloud_actor);
+                cloud.ledger.offer(edge_ident.id, block.id, digest);
+                BlockProof::issue(&cloud_ident, edge_ident.id, block.id, digest)
+            };
+            {
+                let edge = self.sim.actor_mut::<EdgeNode>(edge_actor);
+                edge.log.attach_proof(proof.clone());
+                edge.tree.attach_block_proof(proof);
+                edge.sync_next_bid();
+            }
+            // Merge synchronously whenever the tree overflows.
+            self.drain_merges_direct();
+        }
+        self.drain_merges_direct();
+    }
+
+    /// Runs pending merges synchronously, bypassing the network.
+    fn drain_merges_direct(&mut self) {
+        let cloud_ident = Identity::derive("cloud", CLOUD_ID);
+        loop {
+            let req = {
+                let edge = self.sim.actor_mut::<EdgeNode>(self.edge);
+                match edge.tree.overflowing_level() {
+                    Some(level) => {
+                        let req = edge.tree.build_merge_request(level);
+                        if level == 0 && req.source_l0.is_empty() {
+                            return;
+                        }
+                        req
+                    }
+                    None => return,
+                }
+            };
+            let res = {
+                let cloud = self.sim.actor_mut::<CloudNode>(self.cloud);
+                cloud
+                    .index
+                    .process_merge(&cloud_ident, &cloud.ledger, &req, 0)
+                    .expect("preload merge must succeed")
+            };
+            let edge = self.sim.actor_mut::<EdgeNode>(self.edge);
+            edge.tree.apply_merge_result(&req, res).expect("preload merge applies");
+        }
+    }
+}

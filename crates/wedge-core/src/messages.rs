@@ -1,0 +1,424 @@
+//! Protocol messages and signed receipts.
+//!
+//! Every message is signed by its sender in the real protocol; in the
+//! simulator the receipts that matter for disputes ([`AddReceipt`],
+//! [`ReadReceipt`]) carry genuine Schnorr signatures, while bulk
+//! entry signatures can be elided under
+//! [`crate::config::CryptoMode::Modeled`] (their CPU cost is still
+//! charged).
+
+use serde::{Deserialize, Serialize};
+use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, Signature};
+use wedge_log::{Block, BlockId, BlockProof, Encoder, Entry, GossipWatermark};
+use wedge_lsmerkle::{IndexReadProof, Key, MergeRequest, MergeResult};
+
+/// A signed edge statement: "entry set `entries_digest` from `client`
+/// is committed in block `bid` with digest `block_digest`".
+///
+/// This is the client's Phase-I dispute evidence (Definition 1): if
+/// the certified digest for `bid` ever differs from `block_digest`,
+/// this receipt convicts the edge.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddReceipt {
+    /// The promising edge node.
+    pub edge: IdentityId,
+    /// The client the promise was made to.
+    pub client: IdentityId,
+    /// Request id chosen by the client (echoed back).
+    pub req_id: u64,
+    /// Digest over the client's submitted entries.
+    pub entries_digest: Digest,
+    /// The block the entries were committed into.
+    pub bid: BlockId,
+    /// The sealed block's digest.
+    pub block_digest: Digest,
+    /// Edge signature over all of the above.
+    pub signature: Signature,
+}
+
+impl AddReceipt {
+    fn signing_bytes(
+        edge: IdentityId,
+        client: IdentityId,
+        req_id: u64,
+        entries_digest: &Digest,
+        bid: BlockId,
+        block_digest: &Digest,
+    ) -> Vec<u8> {
+        let mut enc = Encoder::with_tag("wedge-add-receipt-v1");
+        enc.put_u64(edge.0)
+            .put_u64(client.0)
+            .put_u64(req_id)
+            .put_digest(entries_digest)
+            .put_u64(bid.0)
+            .put_digest(block_digest);
+        enc.finish()
+    }
+
+    /// Signs a receipt as the edge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue(
+        edge: &Identity,
+        client: IdentityId,
+        req_id: u64,
+        entries_digest: Digest,
+        bid: BlockId,
+        block_digest: Digest,
+    ) -> Self {
+        let signature = edge.sign(&Self::signing_bytes(
+            edge.id,
+            client,
+            req_id,
+            &entries_digest,
+            bid,
+            &block_digest,
+        ));
+        AddReceipt { edge: edge.id, client, req_id, entries_digest, bid, block_digest, signature }
+    }
+
+    /// Verifies the edge's signature.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        registry.verify(
+            self.edge,
+            &Self::signing_bytes(
+                self.edge,
+                self.client,
+                self.req_id,
+                &self.entries_digest,
+                self.bid,
+                &self.block_digest,
+            ),
+            &self.signature,
+        )
+    }
+}
+
+/// A signed edge statement about a log read: either "block `bid` has
+/// digest `digest`" or "block `bid` is not available".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadReceipt {
+    /// The responding edge.
+    pub edge: IdentityId,
+    /// The requesting client.
+    pub client: IdentityId,
+    /// The block id asked about.
+    pub bid: BlockId,
+    /// The digest served, or `None` for a "not available" answer.
+    pub digest: Option<Digest>,
+    /// Edge signature.
+    pub signature: Signature,
+}
+
+impl ReadReceipt {
+    fn signing_bytes(
+        edge: IdentityId,
+        client: IdentityId,
+        bid: BlockId,
+        digest: &Option<Digest>,
+    ) -> Vec<u8> {
+        let mut enc = Encoder::with_tag("wedge-read-receipt-v1");
+        enc.put_u64(edge.0).put_u64(client.0).put_u64(bid.0);
+        match digest {
+            Some(d) => {
+                enc.put_u8(1);
+                enc.put_digest(d);
+            }
+            None => {
+                enc.put_u8(0);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Signs a read receipt as the edge.
+    pub fn issue(edge: &Identity, client: IdentityId, bid: BlockId, digest: Option<Digest>) -> Self {
+        let signature = edge.sign(&Self::signing_bytes(edge.id, client, bid, &digest));
+        ReadReceipt { edge: edge.id, client, bid, digest, signature }
+    }
+
+    /// Verifies the edge's signature.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        registry.verify(
+            self.edge,
+            &Self::signing_bytes(self.edge, self.client, self.bid, &self.digest),
+            &self.signature,
+        )
+    }
+}
+
+/// A client dispute: evidence that the edge may have lied.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Dispute {
+    /// Phase II never arrived for a Phase-I-committed add.
+    MissingCertification {
+        /// The edge's signed promise.
+        receipt: AddReceipt,
+    },
+    /// A read served content that certification later contradicted.
+    WrongRead {
+        /// The edge's signed read answer.
+        receipt: ReadReceipt,
+    },
+    /// The edge denied a block the cloud's gossip says exists.
+    Omission {
+        /// The edge's signed "not available".
+        receipt: ReadReceipt,
+        /// The gossip watermark proving existence.
+        watermark: GossipWatermark,
+    },
+}
+
+/// The cloud's ruling on a dispute.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisputeVerdict {
+    /// The edge lied; it has been punished (revoked).
+    EdgePunished {
+        /// The convicted edge.
+        edge: IdentityId,
+        /// Human-readable grounds.
+        grounds: String,
+    },
+    /// No wrongdoing provable (e.g. certification simply in flight).
+    Dismissed,
+}
+
+/// All WedgeChain protocol messages.
+///
+/// Wire sizes for the network model are computed by
+/// [`Msg::wire_size`]; digests-only coordination is what keeps the
+/// edge→cloud sizes small (data-free certification).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Msg {
+    // ---- harness → client ----
+    /// Kick a client's workload.
+    Start,
+    /// Harness-driven single put (see `SystemHarness::put`).
+    DoPut {
+        /// The key.
+        key: Key,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Harness-driven single get.
+    DoGet {
+        /// The key.
+        key: Key,
+    },
+    /// Harness-driven log read.
+    DoLogRead {
+        /// The block id.
+        bid: BlockId,
+    },
+    // ---- client → edge ----
+    /// A batch of signed entries to append (one block's worth).
+    BatchAdd {
+        /// Client request id.
+        req_id: u64,
+        /// The signed entries.
+        entries: Vec<Entry>,
+    },
+    /// Log read by block id.
+    LogRead {
+        /// The block id to fetch.
+        bid: BlockId,
+    },
+    /// Key-value get.
+    Get {
+        /// Client request id.
+        req_id: u64,
+        /// The key.
+        key: Key,
+    },
+    // ---- edge → client ----
+    /// Phase-I commitment: the signed receipt (block content rides
+    /// along for clients that asked for it).
+    AddResponse {
+        /// The edge's signed promise.
+        receipt: AddReceipt,
+    },
+    /// Reply to a log read: block + best-available proof, or a signed
+    /// denial.
+    LogReadResponse {
+        /// Signed statement of what was served.
+        receipt: ReadReceipt,
+        /// The block, if available.
+        block: Option<Block>,
+        /// The cloud proof, if already certified (Phase II read).
+        proof: Option<BlockProof>,
+    },
+    /// Reply to a get: the full index read proof.
+    GetResponse {
+        /// Echoed request id.
+        req_id: u64,
+        /// Proof material for client-side verification.
+        proof: Box<IndexReadProof>,
+    },
+    /// Phase-II notification forwarded to clients of a block.
+    BlockProofForward(BlockProof),
+    /// Gossip watermark forwarded from the cloud.
+    GossipForward(GossipWatermark),
+    // ---- edge → cloud ----
+    /// Data-free certification request: digest only.
+    BlockCertify {
+        /// The block id.
+        bid: BlockId,
+        /// The block digest.
+        digest: Digest,
+        /// Edge signature over (bid, digest).
+        signature: Signature,
+    },
+    /// A merge request (ships pages).
+    MergeReq(Box<MergeRequest>),
+    // ---- cloud → edge ----
+    /// Certification success.
+    BlockProofMsg(BlockProof),
+    /// Merge reply.
+    MergeRes(Box<MergeResult>),
+    /// Certification refused: equivocation detected.
+    CertRejected {
+        /// The offending block id.
+        bid: BlockId,
+    },
+    /// A re-signed global root with a fresh timestamp (§V-D freshness).
+    GlobalRefresh(wedge_lsmerkle::GlobalRootCert),
+    // ---- client ↔ cloud ----
+    /// A dispute with evidence.
+    DisputeMsg(Box<Dispute>),
+    /// The ruling.
+    VerdictMsg(DisputeVerdict),
+    /// Gossip direct to a subscriber.
+    Gossip(GossipWatermark),
+}
+
+/// Canonical signing bytes for a block-certify message.
+pub fn certify_signing_bytes(edge: IdentityId, bid: BlockId, digest: &Digest) -> Vec<u8> {
+    let mut enc = Encoder::with_tag("wedge-certify-v1");
+    enc.put_u64(edge.0).put_u64(bid.0).put_digest(digest);
+    enc.finish()
+}
+
+impl Msg {
+    /// Short variant name, used as the trace label
+    /// (`Simulation::enable_trace(cap, Msg::label)`).
+    pub fn label(msg: &Msg) -> String {
+        let name = match msg {
+            Msg::Start => "Start",
+            Msg::DoPut { .. } => "DoPut",
+            Msg::DoGet { .. } => "DoGet",
+            Msg::DoLogRead { .. } => "DoLogRead",
+            Msg::BatchAdd { .. } => "BatchAdd",
+            Msg::LogRead { .. } => "LogRead",
+            Msg::Get { .. } => "Get",
+            Msg::AddResponse { .. } => "AddResponse",
+            Msg::LogReadResponse { .. } => "LogReadResponse",
+            Msg::GetResponse { .. } => "GetResponse",
+            Msg::BlockProofForward(_) => "BlockProofForward",
+            Msg::GossipForward(_) => "GossipForward",
+            Msg::BlockCertify { .. } => "BlockCertify",
+            Msg::MergeReq(_) => "MergeReq",
+            Msg::BlockProofMsg(_) => "BlockProofMsg",
+            Msg::MergeRes(_) => "MergeRes",
+            Msg::CertRejected { .. } => "CertRejected",
+            Msg::GlobalRefresh(_) => "GlobalRefresh",
+            Msg::DisputeMsg(_) => "DisputeMsg",
+            Msg::VerdictMsg(_) => "VerdictMsg",
+            Msg::Gossip(_) => "Gossip",
+        };
+        name.to_string()
+    }
+
+    /// Approximate wire size in bytes, for the bandwidth model.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            Msg::Start | Msg::DoPut { .. } | Msg::DoGet { .. } | Msg::DoLogRead { .. } => 8,
+            Msg::BatchAdd { entries, .. } => {
+                16 + entries.iter().map(|e| e.wire_size()).sum::<u32>()
+            }
+            Msg::LogRead { .. } => 16,
+            Msg::Get { .. } => 24,
+            Msg::AddResponse { .. } => 8 + 8 + 8 + 32 + 8 + 32 + 32,
+            Msg::LogReadResponse { block, .. } => {
+                90 + block.as_ref().map_or(0, |b| b.wire_size()) + BlockProof::WIRE_SIZE
+            }
+            Msg::GetResponse { proof, .. } => 8 + proof.wire_size(),
+            Msg::BlockProofForward(_) | Msg::BlockProofMsg(_) => BlockProof::WIRE_SIZE,
+            Msg::GossipForward(_) | Msg::Gossip(_) => GossipWatermark::WIRE_SIZE,
+            Msg::BlockCertify { .. } => 8 + 32 + 32,
+            Msg::MergeReq(r) => r.wire_size(),
+            Msg::MergeRes(r) => r.wire_size(),
+            Msg::CertRejected { .. } => 16,
+            Msg::GlobalRefresh(_) => 96,
+            Msg::DisputeMsg(_) => 256,
+            Msg::VerdictMsg(_) => 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_crypto::sha256;
+
+    #[test]
+    fn add_receipt_roundtrip_and_binding() {
+        let edge = Identity::derive("edge", 1);
+        let mut reg = KeyRegistry::new();
+        reg.register(edge.id, edge.public()).unwrap();
+        let r = AddReceipt::issue(
+            &edge,
+            IdentityId(7),
+            3,
+            sha256(b"entries"),
+            BlockId(5),
+            sha256(b"block"),
+        );
+        assert!(r.verify(&reg));
+        let mut bad = r.clone();
+        bad.bid = BlockId(6);
+        assert!(!bad.verify(&reg));
+        let mut bad = r.clone();
+        bad.block_digest = sha256(b"other");
+        assert!(!bad.verify(&reg));
+    }
+
+    #[test]
+    fn read_receipt_covers_denials() {
+        let edge = Identity::derive("edge", 1);
+        let mut reg = KeyRegistry::new();
+        reg.register(edge.id, edge.public()).unwrap();
+        let denial = ReadReceipt::issue(&edge, IdentityId(7), BlockId(5), None);
+        assert!(denial.verify(&reg));
+        let served = ReadReceipt::issue(&edge, IdentityId(7), BlockId(5), Some(sha256(b"b")));
+        assert!(served.verify(&reg));
+        assert_ne!(denial.signature, served.signature);
+        // A denial cannot be replayed as a serve.
+        let mut forged = denial.clone();
+        forged.digest = Some(sha256(b"b"));
+        assert!(!forged.verify(&reg));
+    }
+
+    #[test]
+    fn certify_is_data_free() {
+        // The certify message must be O(1) regardless of block size.
+        let d = sha256(b"block");
+        let edge = Identity::derive("edge", 1);
+        let msg = Msg::BlockCertify {
+            bid: BlockId(1),
+            digest: d,
+            signature: edge.sign(&certify_signing_bytes(edge.id, BlockId(1), &d)),
+        };
+        assert!(msg.wire_size() < 100);
+    }
+
+    #[test]
+    fn batch_add_wire_size_scales() {
+        let client = Identity::derive("client", 1);
+        let mk = |n: usize| Msg::BatchAdd {
+            req_id: 0,
+            entries: (0..n).map(|i| Entry::new_signed(&client, i as u64, vec![0; 100])).collect(),
+        };
+        let small = mk(10).wire_size();
+        let large = mk(100).wire_size();
+        assert!(large > small * 8);
+    }
+}

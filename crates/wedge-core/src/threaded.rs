@@ -1,0 +1,408 @@
+//! A real-threads runtime for WedgeChain's data path.
+//!
+//! The simulator is the measurement substrate; this module is the
+//! proof that the same protocol objects (blocks, receipts, ledger,
+//! LSMerkle, read proofs) run on actual concurrency primitives: an
+//! edge service thread and a cloud service thread exchanging messages
+//! over crossbeam channels, with all cryptography real. Used by the
+//! examples and the threaded integration tests.
+//!
+//! Latency can be injected per hop to mimic a WAN without a simulator
+//! (`ThreadedConfig::cloud_hop_latency`).
+
+use crate::messages::AddReceipt;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wedge_crypto::{sha256_concat, Identity, IdentityId, KeyRegistry};
+use wedge_log::{Block, BlockId, BlockProof, CertLedger, CertOutcome, Entry, LogStore};
+use wedge_lsmerkle::{
+    build_read_proof, verify_read_proof, CloudIndex, IndexReadProof, KvOp, LsmConfig, LsMerkle,
+    VerifiedRead,
+};
+
+/// Configuration for the threaded runtime.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// LSMerkle shape.
+    pub lsm: LsmConfig,
+    /// Operations per sealed block.
+    pub batch_size: usize,
+    /// Injected one-way latency for each edge↔cloud hop.
+    pub cloud_hop_latency: Duration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            lsm: LsmConfig::exposition(),
+            batch_size: 4,
+            cloud_hop_latency: Duration::ZERO,
+        }
+    }
+}
+
+enum CloudMsg {
+    Certify { bid: BlockId, digest: wedge_crypto::Digest, reply: Sender<BlockProof> },
+    Merge { req: Box<wedge_lsmerkle::MergeRequest>, reply: Sender<wedge_lsmerkle::MergeResult> },
+    Shutdown,
+}
+
+enum EdgeMsg {
+    Put { entries: Vec<Entry>, reply: Sender<PutReply> },
+    Get { key: u64, reply: Sender<Box<IndexReadProof>> },
+    Shutdown,
+}
+
+/// Reply to a threaded put: the Phase-I receipt plus a channel that
+/// later yields the Phase-II proof.
+pub struct PutReply {
+    /// The edge's signed Phase-I promise.
+    pub receipt: AddReceipt,
+    /// Resolves once the cloud certifies the block.
+    pub certified: Receiver<BlockProof>,
+}
+
+/// A running edge+cloud pair on real threads.
+pub struct ThreadedCluster {
+    edge_tx: Sender<EdgeMsg>,
+    cloud_tx: Sender<CloudMsg>,
+    edge_handle: Option<JoinHandle<()>>,
+    cloud_handle: Option<JoinHandle<()>>,
+    /// Public registry for client-side verification.
+    pub registry: KeyRegistry,
+    /// The edge's identity id.
+    pub edge_id: IdentityId,
+    /// The cloud's identity id.
+    pub cloud_id: IdentityId,
+    client: Identity,
+    next_seq: Mutex<u64>,
+    buffer: Mutex<Vec<Entry>>,
+    batch_size: usize,
+}
+
+impl ThreadedCluster {
+    /// Spawns the edge and cloud service threads.
+    pub fn start(cfg: ThreadedConfig) -> Arc<Self> {
+        let cloud_ident = Identity::derive("cloud", 1);
+        let edge_ident = Identity::derive("edge", 100);
+        let client_ident = Identity::derive("client", 1000);
+        let mut registry = KeyRegistry::new();
+        registry.register(cloud_ident.id, cloud_ident.public()).unwrap();
+        registry.register(edge_ident.id, edge_ident.public()).unwrap();
+        registry.register(client_ident.id, client_ident.public()).unwrap();
+
+        let mut index = CloudIndex::new(cfg.lsm.clone());
+        let init = index.init_edge(&cloud_ident, edge_ident.id, 0);
+        let tree = LsMerkle::new(edge_ident.id, cfg.lsm.clone(), init);
+
+        let (cloud_tx, cloud_rx) = bounded::<CloudMsg>(1024);
+        let (edge_tx, edge_rx) = bounded::<EdgeMsg>(1024);
+
+        let hop = cfg.cloud_hop_latency;
+        let epoch = Instant::now();
+        let cloud_handle = std::thread::Builder::new()
+            .name("wedge-cloud".into())
+            .spawn(move || cloud_service(cloud_ident, index, cloud_rx, hop, epoch))
+            .expect("spawn cloud thread");
+
+        let edge_registry = registry.clone();
+        let cloud_tx_for_edge = cloud_tx.clone();
+        let edge_handle = std::thread::Builder::new()
+            .name("wedge-edge".into())
+            .spawn(move || {
+                edge_service(edge_ident, tree, edge_registry, edge_rx, cloud_tx_for_edge, epoch)
+            })
+            .expect("spawn edge thread");
+
+        Arc::new(ThreadedCluster {
+            edge_tx,
+            cloud_tx,
+            edge_handle: Some(edge_handle),
+            cloud_handle: Some(cloud_handle),
+            registry,
+            edge_id: edge_ident_id(),
+            cloud_id: cloud_ident_id(),
+            client: client_ident,
+            next_seq: Mutex::new(0),
+            buffer: Mutex::new(Vec::new()),
+            batch_size: cfg.batch_size.max(1),
+        })
+    }
+
+    /// Puts a key-value pair. Buffers client-side until a batch is
+    /// full, then submits the batch and returns the Phase-I reply.
+    /// Returns `None` while buffering.
+    pub fn put(&self, key: u64, value: Vec<u8>) -> Option<PutReply> {
+        let entry = {
+            let mut seq = self.next_seq.lock();
+            let e = Entry::new_signed(&self.client, *seq, KvOp::put(key, value).encode());
+            *seq += 1;
+            e
+        };
+        let batch = {
+            let mut buf = self.buffer.lock();
+            buf.push(entry);
+            if buf.len() >= self.batch_size {
+                Some(std::mem::take(&mut *buf))
+            } else {
+                None
+            }
+        };
+        batch.map(|entries| self.submit(entries))
+    }
+
+    /// Flushes any buffered entries as a partial batch.
+    pub fn flush(&self) -> Option<PutReply> {
+        let batch = {
+            let mut buf = self.buffer.lock();
+            if buf.is_empty() {
+                None
+            } else {
+                Some(std::mem::take(&mut *buf))
+            }
+        };
+        batch.map(|entries| self.submit(entries))
+    }
+
+    fn submit(&self, entries: Vec<Entry>) -> PutReply {
+        let (tx, rx) = bounded(1);
+        self.edge_tx.send(EdgeMsg::Put { entries, reply: tx }).expect("edge thread alive");
+        rx.recv().expect("edge replies")
+    }
+
+    /// Gets a key with full client-side verification.
+    pub fn get(&self, key: u64) -> Result<VerifiedRead, wedge_lsmerkle::ProofError> {
+        let (tx, rx) = bounded(1);
+        self.edge_tx.send(EdgeMsg::Get { key, reply: tx }).expect("edge thread alive");
+        let proof = rx.recv().expect("edge replies");
+        verify_read_proof(&proof, self.edge_id, self.cloud_id, &self.registry, u64::MAX, None)
+    }
+
+    /// Shuts both services down and joins their threads.
+    pub fn shutdown(mut self: Arc<Self>) {
+        // Only the last owner actually joins.
+        if let Some(this) = Arc::get_mut(&mut self) {
+            let _ = this.edge_tx.send(EdgeMsg::Shutdown);
+            let _ = this.cloud_tx.send(CloudMsg::Shutdown);
+            if let Some(h) = this.edge_handle.take() {
+                let _ = h.join();
+            }
+            if let Some(h) = this.cloud_handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn edge_ident_id() -> IdentityId {
+    Identity::derive("edge", 100).id
+}
+
+fn cloud_ident_id() -> IdentityId {
+    Identity::derive("cloud", 1).id
+}
+
+fn edge_service(
+    identity: Identity,
+    mut tree: LsMerkle,
+    registry: KeyRegistry,
+    rx: Receiver<EdgeMsg>,
+    cloud: Sender<CloudMsg>,
+    epoch: Instant,
+) {
+    let mut log = LogStore::new();
+    let mut next_bid = BlockId(0);
+    let mut pending_proofs: Vec<Receiver<BlockProof>> = Vec::new();
+
+    let drain_proofs = |tree: &mut LsMerkle,
+                            log: &mut LogStore,
+                            pending: &mut Vec<Receiver<BlockProof>>| {
+        pending.retain(|rx| match rx.try_recv() {
+            Ok(proof) => {
+                log.attach_proof(proof.clone());
+                tree.attach_block_proof(proof);
+                false
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => true,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => false,
+        });
+    };
+
+    while let Ok(msg) = rx.recv() {
+        drain_proofs(&mut tree, &mut log, &mut pending_proofs);
+        match msg {
+            EdgeMsg::Put { entries, reply } => {
+                assert!(entries.iter().all(|e| e.verify(&registry)), "bad client signature");
+                let client = entries.first().map(|e| e.client).unwrap_or(IdentityId(0));
+                let parts: Vec<Vec<u8>> = entries.iter().map(|e| e.signing_bytes()).collect();
+                let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+                let entries_digest = sha256_concat(&refs);
+                let bid = next_bid;
+                next_bid = next_bid.next();
+                let block = Block {
+                    edge: identity.id,
+                    id: bid,
+                    entries,
+                    sealed_at_ns: epoch.elapsed().as_nanos() as u64,
+                };
+                let digest = block.digest();
+                let receipt =
+                    AddReceipt::issue(&identity, client, bid.0, entries_digest, bid, digest);
+                log.append(block.clone());
+                tree.apply_block(block);
+
+                // Lazy certification: request it, hand the caller the
+                // pending channel, do not wait.
+                let (ptx, prx) = bounded(1);
+                let (fwd_tx, fwd_rx) = bounded(1);
+                cloud
+                    .send(CloudMsg::Certify { bid, digest, reply: ptx })
+                    .expect("cloud thread alive");
+                // Tee the proof: one copy for the caller, one applied
+                // locally on the next loop turn.
+                let (tee_tx, tee_rx) = bounded(1);
+                std::thread::spawn(move || {
+                    if let Ok(proof) = prx.recv() {
+                        let _ = fwd_tx.send(proof.clone());
+                        let _ = tee_tx.send(proof);
+                    }
+                });
+                pending_proofs.push(tee_rx);
+                let _ = reply.send(PutReply { receipt, certified: fwd_rx });
+
+                // Merge synchronously when overflowing (simple but
+                // correct; the DES models the asynchronous variant).
+                while let Some(level) = tree.overflowing_level() {
+                    drain_proofs(&mut tree, &mut log, &mut pending_proofs);
+                    let req = tree.build_merge_request(level);
+                    if level == 0 && req.source_l0.is_empty() {
+                        break;
+                    }
+                    let (mtx, mrx) = bounded(1);
+                    cloud
+                        .send(CloudMsg::Merge { req: Box::new(req.clone()), reply: mtx })
+                        .expect("cloud thread alive");
+                    match mrx.recv() {
+                        Ok(res) => tree.apply_merge_result(&req, res).expect("merge applies"),
+                        Err(_) => break,
+                    }
+                }
+            }
+            EdgeMsg::Get { key, reply } => {
+                let proof = build_read_proof(&tree, key);
+                let _ = reply.send(Box::new(proof));
+            }
+            EdgeMsg::Shutdown => break,
+        }
+    }
+}
+
+fn cloud_service(
+    identity: Identity,
+    mut index: CloudIndex,
+    rx: Receiver<CloudMsg>,
+    hop: Duration,
+    _epoch: Instant,
+) {
+    let mut ledger = CertLedger::new();
+    while let Ok(msg) = rx.recv() {
+        if !hop.is_zero() {
+            std::thread::sleep(hop);
+        }
+        match msg {
+            CloudMsg::Certify { bid, digest, reply } => {
+                let edge = edge_ident_id();
+                match ledger.offer(edge, bid, digest) {
+                    CertOutcome::Certified | CertOutcome::AlreadyCertified => {
+                        let proof = BlockProof::issue(&identity, edge, bid, digest);
+                        let _ = reply.send(proof);
+                    }
+                    CertOutcome::Equivocation(_) => { /* drop: edge flagged */ }
+                }
+            }
+            CloudMsg::Merge { req, reply } => {
+                let now = _epoch.elapsed().as_nanos() as u64;
+                if let Ok(res) = index.process_merge(&identity, &ledger, &req, now) {
+                    let _ = reply.send(res);
+                }
+            }
+            CloudMsg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_put_get_roundtrip() {
+        let cluster = ThreadedCluster::start(ThreadedConfig {
+            batch_size: 2,
+            ..ThreadedConfig::default()
+        });
+        assert!(cluster.put(1, b"a".to_vec()).is_none()); // buffered
+        let reply = cluster.put(2, b"b".to_vec()).expect("batch sealed");
+        assert!(reply.receipt.verify(&cluster.registry));
+        // Phase II arrives asynchronously.
+        let proof = reply.certified.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(proof.digest, reply.receipt.block_digest);
+        // Verified read.
+        let read = cluster.get(1).unwrap();
+        assert_eq!(read.value.as_deref(), Some(b"a".as_ref()));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn threaded_merges_preserve_data() {
+        let cluster = ThreadedCluster::start(ThreadedConfig {
+            batch_size: 1,
+            ..ThreadedConfig::default()
+        });
+        let mut last = None;
+        for k in 0..20u64 {
+            last = cluster.put(k, format!("v{k}").into_bytes());
+        }
+        // Wait for the final certification so merges settle.
+        if let Some(reply) = last {
+            let _ = reply.certified.recv_timeout(Duration::from_secs(5));
+        }
+        for k in 0..20u64 {
+            let read = cluster.get(k).unwrap();
+            assert_eq!(read.value, Some(format!("v{k}").into_bytes()), "key {k}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn threaded_absent_key_is_none() {
+        let cluster = ThreadedCluster::start(ThreadedConfig::default());
+        cluster.put(5, b"x".to_vec());
+        cluster.flush();
+        let read = cluster.get(999).unwrap();
+        assert_eq!(read.value, None);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn threaded_with_injected_latency() {
+        let cluster = ThreadedCluster::start(ThreadedConfig {
+            batch_size: 1,
+            cloud_hop_latency: Duration::from_millis(5),
+            ..ThreadedConfig::default()
+        });
+        let t0 = Instant::now();
+        let reply = cluster.put(1, b"v".to_vec()).unwrap();
+        let p1 = t0.elapsed();
+        let _ = reply.certified.recv_timeout(Duration::from_secs(5)).unwrap();
+        let p2 = t0.elapsed();
+        // Phase I returns without waiting for the cloud hop; Phase II
+        // pays it.
+        assert!(p2 >= Duration::from_millis(5));
+        assert!(p1 < p2);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,227 @@
+//! Identities and the public-key registry.
+//!
+//! WedgeChain's security model (§II-D) assumes node identities are
+//! *known*: an edge node belongs to an identifiable provider, so a
+//! malicious act can be punished and the node barred from re-entry
+//! (assumption 2). The [`KeyRegistry`] models exactly that: it maps
+//! identity ids to public keys, records revocations, and refuses to
+//! re-register a revoked identity.
+
+use crate::schnorr::{Keypair, PublicKey, Signature};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A stable identity for a participant (client, edge node, or cloud).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IdentityId(pub u64);
+
+impl fmt::Debug for IdentityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "id:{}", self.0)
+    }
+}
+
+impl fmt::Display for IdentityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A participant's identity: id plus signing keypair.
+#[derive(Clone)]
+pub struct Identity {
+    pub id: IdentityId,
+    keypair: Keypair,
+}
+
+impl Identity {
+    /// Derives an identity deterministically from an id and a domain
+    /// label (e.g. `"edge"`, `"client"`, `"cloud"`).
+    pub fn derive(label: &str, id: u64) -> Self {
+        let seed = format!("wedge-identity:{label}:{id}");
+        Identity { id: IdentityId(id), keypair: Keypair::from_seed(seed.as_bytes()) }
+    }
+
+    /// The public verification key.
+    pub fn public(&self) -> PublicKey {
+        self.keypair.public()
+    }
+
+    /// Signs a message as this identity.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.keypair.sign(message)
+    }
+}
+
+/// Why an identity was revoked.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RevocationReason {
+    /// The cloud proved the node certified two different digests for
+    /// the same block id (equivocation).
+    Equivocation,
+    /// The node claimed a block was unavailable that the cloud knows
+    /// was reported (omission attack).
+    Omission,
+    /// A client dispute was upheld: the node's signed response does not
+    /// match the certified digest.
+    DisputeUpheld,
+    /// Operator decision outside the protocol.
+    Administrative(String),
+}
+
+/// Registry of known identities, with revocation ("punishment").
+///
+/// The registry is the trusted PKI substrate the paper assumes: all
+/// parties can resolve an [`IdentityId`] to a public key, and a revoked
+/// (punished) identity can never re-enter (§II-D, assumption 2).
+#[derive(Clone, Default)]
+pub struct KeyRegistry {
+    keys: HashMap<IdentityId, PublicKey>,
+    revoked: HashMap<IdentityId, RevocationReason>,
+}
+
+/// Errors from registry operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The identity was revoked and may not re-register.
+    Revoked(RevocationReason),
+    /// The identity is already registered with a different key.
+    KeyMismatch,
+    /// The identity is not known to the registry.
+    Unknown(IdentityId),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Revoked(r) => write!(f, "identity revoked: {r:?}"),
+            RegistryError::KeyMismatch => f.write_str("identity registered with different key"),
+            RegistryError::Unknown(id) => write!(f, "unknown identity {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl KeyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `id → key`. Registration is idempotent for the same
+    /// key; revoked identities are refused (no re-entry).
+    pub fn register(&mut self, id: IdentityId, key: PublicKey) -> Result<(), RegistryError> {
+        if let Some(reason) = self.revoked.get(&id) {
+            return Err(RegistryError::Revoked(reason.clone()));
+        }
+        match self.keys.get(&id) {
+            Some(existing) if *existing != key => Err(RegistryError::KeyMismatch),
+            _ => {
+                self.keys.insert(id, key);
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves an identity to its public key, failing for unknown or
+    /// revoked identities.
+    pub fn lookup(&self, id: IdentityId) -> Result<PublicKey, RegistryError> {
+        if let Some(reason) = self.revoked.get(&id) {
+            return Err(RegistryError::Revoked(reason.clone()));
+        }
+        self.keys.get(&id).copied().ok_or(RegistryError::Unknown(id))
+    }
+
+    /// Verifies `sig` over `message` as `id`. Returns `false` for
+    /// unknown or revoked identities.
+    pub fn verify(&self, id: IdentityId, message: &[u8], sig: &Signature) -> bool {
+        match self.lookup(id) {
+            Ok(key) => key.verify(message, sig),
+            Err(_) => false,
+        }
+    }
+
+    /// Punishes an identity: removes it and bars re-entry.
+    pub fn revoke(&mut self, id: IdentityId, reason: RevocationReason) {
+        self.keys.remove(&id);
+        self.revoked.insert(id, reason);
+    }
+
+    /// True iff `id` has been revoked.
+    pub fn is_revoked(&self, id: IdentityId) -> bool {
+        self.revoked.contains_key(&id)
+    }
+
+    /// Reason an identity was revoked, if it was.
+    pub fn revocation_reason(&self, id: IdentityId) -> Option<&RevocationReason> {
+        self.revoked.get(&id)
+    }
+
+    /// Number of live (non-revoked) registered identities.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True iff no identities are registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_verify() {
+        let ident = Identity::derive("edge", 1);
+        let mut reg = KeyRegistry::new();
+        reg.register(ident.id, ident.public()).unwrap();
+        let sig = ident.sign(b"hello");
+        assert!(reg.verify(ident.id, b"hello", &sig));
+        assert!(!reg.verify(ident.id, b"tampered", &sig));
+    }
+
+    #[test]
+    fn unknown_identity_fails() {
+        let reg = KeyRegistry::new();
+        assert_eq!(reg.lookup(IdentityId(9)), Err(RegistryError::Unknown(IdentityId(9))));
+    }
+
+    #[test]
+    fn revoked_identity_cannot_verify_or_reenter() {
+        let ident = Identity::derive("edge", 2);
+        let mut reg = KeyRegistry::new();
+        reg.register(ident.id, ident.public()).unwrap();
+        reg.revoke(ident.id, RevocationReason::Equivocation);
+        let sig = ident.sign(b"m");
+        assert!(!reg.verify(ident.id, b"m", &sig));
+        assert!(matches!(
+            reg.register(ident.id, ident.public()),
+            Err(RegistryError::Revoked(RevocationReason::Equivocation))
+        ));
+        assert!(reg.is_revoked(ident.id));
+    }
+
+    #[test]
+    fn key_mismatch_rejected() {
+        let a = Identity::derive("edge", 3);
+        let b = Identity::derive("edge", 4);
+        let mut reg = KeyRegistry::new();
+        reg.register(a.id, a.public()).unwrap();
+        assert_eq!(reg.register(a.id, b.public()), Err(RegistryError::KeyMismatch));
+        // Idempotent same-key registration is fine.
+        assert!(reg.register(a.id, a.public()).is_ok());
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_label_scoped() {
+        let a1 = Identity::derive("edge", 7);
+        let a2 = Identity::derive("edge", 7);
+        let b = Identity::derive("client", 7);
+        assert_eq!(a1.public(), a2.public());
+        assert_ne!(a1.public(), b.public());
+    }
+}

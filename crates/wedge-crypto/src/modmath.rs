@@ -1,0 +1,137 @@
+//! Modular arithmetic over u128 for moduli below 2^127.
+//!
+//! The Schnorr group used by [`crate::schnorr`] lives in a 127-bit
+//! safe-prime field, so all values fit in a `u128` and `a + b` never
+//! overflows when `a, b < 2^127`. Multiplication is done with a
+//! double-and-add ladder to avoid needing 256-bit intermediates.
+
+/// Adds `a + b (mod m)`. Requires `a, b < m < 2^127`.
+#[inline]
+pub fn addmod(a: u128, b: u128, m: u128) -> u128 {
+    debug_assert!(a < m && b < m);
+    let s = a + b; // cannot overflow: a, b < 2^127
+    if s >= m {
+        s - m
+    } else {
+        s
+    }
+}
+
+/// Subtracts `a - b (mod m)`. Requires `a, b < m`.
+#[inline]
+pub fn submod(a: u128, b: u128, m: u128) -> u128 {
+    debug_assert!(a < m && b < m);
+    if a >= b {
+        a - b
+    } else {
+        m - (b - a)
+    }
+}
+
+/// Multiplies `a * b (mod m)` via double-and-add. Requires `m < 2^127`.
+///
+/// O(128) additions; fast enough for signing/verification at protocol
+/// rates (a full Schnorr verify is ~3 modpows of ~128 mulmods each).
+pub fn mulmod(mut a: u128, mut b: u128, m: u128) -> u128 {
+    debug_assert!(m < (1u128 << 127), "modulus must fit in 127 bits");
+    a %= m;
+    b %= m;
+    // Keep the smaller operand as the ladder counter.
+    if a < b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    let mut acc: u128 = 0;
+    while b > 0 {
+        if b & 1 == 1 {
+            acc = addmod(acc, a, m);
+        }
+        a = addmod(a, a, m);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Computes `base^exp (mod m)` by square-and-multiply. Requires `m < 2^127`.
+pub fn modpow(mut base: u128, mut exp: u128, m: u128) -> u128 {
+    debug_assert!(m > 1);
+    let mut acc: u128 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem: `a^(m-2) mod m`.
+/// Requires `m` prime and `a != 0 (mod m)`.
+pub fn invmod(a: u128, m: u128) -> u128 {
+    debug_assert!(!a.is_multiple_of(m), "zero has no inverse");
+    modpow(a, m - 2, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: u128 = 0x4000_0000_0000_0000_0000_0000_0000_0337; // 127-bit safe prime
+
+    #[test]
+    fn addmod_wraps() {
+        assert_eq!(addmod(P - 1, 1, P), 0);
+        assert_eq!(addmod(P - 1, 2, P), 1);
+        assert_eq!(addmod(0, 0, P), 0);
+    }
+
+    #[test]
+    fn submod_wraps() {
+        assert_eq!(submod(0, 1, P), P - 1);
+        assert_eq!(submod(5, 3, P), 2);
+    }
+
+    #[test]
+    fn mulmod_small_cases() {
+        assert_eq!(mulmod(7, 6, 41), 1);
+        assert_eq!(mulmod(0, 12345, P), 0);
+        assert_eq!(mulmod(1, 12345, P), 12345);
+    }
+
+    #[test]
+    fn mulmod_large_operands() {
+        // (P-1)^2 mod P == 1 since P-1 ≡ -1.
+        assert_eq!(mulmod(P - 1, P - 1, P), 1);
+        // (P-1) * 2 mod P == P - 2.
+        assert_eq!(mulmod(P - 1, 2, P), P - 2);
+    }
+
+    #[test]
+    fn modpow_matches_naive() {
+        let m = 1_000_003u128;
+        for base in [2u128, 3, 65537] {
+            let mut naive = 1u128;
+            for e in 0..20u128 {
+                assert_eq!(modpow(base, e, m), naive, "base {base} exp {e}");
+                naive = naive * base % m;
+            }
+        }
+    }
+
+    #[test]
+    fn fermat_holds_in_group() {
+        // a^(P-1) == 1 mod P for P prime.
+        for a in [2u128, 3, 0x1234_5678_9abc_def0] {
+            assert_eq!(modpow(a, P - 1, P), 1);
+        }
+    }
+
+    #[test]
+    fn invmod_is_inverse() {
+        for a in [2u128, 999, 0xdead_beef, P - 2] {
+            let inv = invmod(a, P);
+            assert_eq!(mulmod(a, inv, P), 1);
+        }
+    }
+}

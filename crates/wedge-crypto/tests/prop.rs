@@ -1,0 +1,137 @@
+//! Property-based tests for the crypto substrate.
+
+use proptest::prelude::*;
+use wedge_crypto::merkle::MerkleTree;
+use wedge_crypto::modmath::{addmod, invmod, modpow, mulmod, submod};
+use wedge_crypto::schnorr::{Keypair, Q};
+use wedge_crypto::sha256::{sha256, Sha256};
+
+const P127: u128 = wedge_crypto::schnorr::P;
+
+proptest! {
+    /// Incremental hashing over arbitrary chunkings equals one-shot.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                 cuts in proptest::collection::vec(any::<u16>(), 0..8)) {
+        let oneshot = sha256(&data);
+        let mut inc = Sha256::new();
+        let mut rest: &[u8] = &data;
+        for c in cuts {
+            if rest.is_empty() { break; }
+            let at = (c as usize) % rest.len();
+            let (a, b) = rest.split_at(at);
+            inc.update(a);
+            rest = b;
+        }
+        inc.update(rest);
+        prop_assert_eq!(oneshot, inc.finalize());
+    }
+
+    /// Distinct inputs (almost surely) hash differently.
+    #[test]
+    fn sha256_injective_in_practice(a in proptest::collection::vec(any::<u8>(), 0..256),
+                                    b in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    /// Field axioms hold for the Schnorr prime.
+    #[test]
+    fn modmath_field_axioms(a in 0u128..P127, b in 0u128..P127, c in 0u128..P127) {
+        // Commutativity and associativity of mulmod.
+        prop_assert_eq!(mulmod(a, b, P127), mulmod(b, a, P127));
+        prop_assert_eq!(
+            mulmod(mulmod(a, b, P127), c, P127),
+            mulmod(a, mulmod(b, c, P127), P127)
+        );
+        // Distributivity.
+        prop_assert_eq!(
+            mulmod(a, addmod(b, c, P127), P127),
+            addmod(mulmod(a, b, P127), mulmod(a, c, P127), P127)
+        );
+        // add/sub inverse.
+        prop_assert_eq!(submod(addmod(a, b, P127), b, P127), a);
+    }
+
+    /// Multiplicative inverses from Fermat's little theorem.
+    #[test]
+    fn modmath_inverses(a in 1u128..P127) {
+        prop_assert_eq!(mulmod(a, invmod(a, P127), P127), 1);
+    }
+
+    /// Exponent laws: g^(a+b) == g^a * g^b (exponents mod Q because the
+    /// generator has order Q).
+    #[test]
+    fn modpow_exponent_addition(a in 0u128..Q, b in 0u128..Q) {
+        let g = wedge_crypto::schnorr::G;
+        let lhs = modpow(g, addmod(a, b, Q), P127);
+        let rhs = mulmod(modpow(g, a, P127), modpow(g, b, P127), P127);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Schnorr roundtrip for arbitrary seeds and messages; tampering
+    /// with the message is rejected.
+    #[test]
+    fn schnorr_roundtrip(seed in proptest::collection::vec(any::<u8>(), 1..64),
+                         msg in proptest::collection::vec(any::<u8>(), 0..512),
+                         flip in any::<u8>(), at in any::<u16>()) {
+        let kp = Keypair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public().verify(&msg, &sig));
+        // Flip one byte (if non-empty and the flip actually changes it).
+        if !msg.is_empty() && flip != 0 {
+            let mut tampered = msg.clone();
+            let i = (at as usize) % tampered.len();
+            tampered[i] ^= flip;
+            prop_assert!(!kp.public().verify(&tampered, &sig));
+        }
+    }
+
+    /// A signature from one key never verifies under an independent key.
+    #[test]
+    fn schnorr_key_separation(seed_a in proptest::collection::vec(any::<u8>(), 1..32),
+                              seed_b in proptest::collection::vec(any::<u8>(), 1..32),
+                              msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assume!(seed_a != seed_b);
+        let ka = Keypair::from_seed(&seed_a);
+        let kb = Keypair::from_seed(&seed_b);
+        let sig = ka.sign(&msg);
+        prop_assert!(!kb.public().verify(&msg, &sig));
+    }
+
+    /// Merkle proofs verify for every leaf; a mutated leaf fails.
+    #[test]
+    fn merkle_soundness(n in 1usize..40, pick in any::<usize>()) {
+        let leaves: Vec<_> = (0..n).map(|i| sha256(format!("leaf{i}").as_bytes())).collect();
+        let tree = MerkleTree::from_leaves(&leaves);
+        let i = pick % n;
+        let proof = tree.prove(i).unwrap();
+        prop_assert!(MerkleTree::verify(&tree.root(), &leaves[i], &proof));
+        let mutated = sha256(b"evil");
+        prop_assert!(!MerkleTree::verify(&tree.root(), &mutated, &proof));
+    }
+
+    /// A proof for index i does not verify a different leaf j != i.
+    #[test]
+    fn merkle_index_binding(n in 2usize..40, pick in any::<usize>()) {
+        let leaves: Vec<_> = (0..n).map(|i| sha256(format!("leaf{i}").as_bytes())).collect();
+        let tree = MerkleTree::from_leaves(&leaves);
+        let i = pick % n;
+        let j = (i + 1) % n;
+        let proof = tree.prove(i).unwrap();
+        prop_assert!(!MerkleTree::verify(&tree.root(), &leaves[j], &proof));
+    }
+
+    /// Trees over different leaf sets have different roots.
+    #[test]
+    fn merkle_root_binds_content(n in 1usize..20, mutate in any::<usize>()) {
+        let leaves: Vec<_> = (0..n).map(|i| sha256(format!("leaf{i}").as_bytes())).collect();
+        let mut other = leaves.clone();
+        let i = mutate % n;
+        other[i] = sha256(b"mutated");
+        let t1 = MerkleTree::from_leaves(&leaves);
+        let t2 = MerkleTree::from_leaves(&other);
+        prop_assert_ne!(t1.root(), t2.root());
+    }
+}

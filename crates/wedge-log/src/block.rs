@@ -1,0 +1,165 @@
+//! Blocks: the unit of commitment and certification.
+//!
+//! An edge node batches client entries into blocks (§III). Block ids
+//! are unique monotonic numbers *per edge node*. The block's digest —
+//! a one-way hash over the id, the owning edge, and every entry — is
+//! what the cloud certifies (data-free certification, §IV-B): agreeing
+//! on the digest is agreeing on the content.
+
+use crate::enc::Encoder;
+use crate::entry::Entry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wedge_crypto::{Digest, IdentityId, KeyRegistry};
+
+/// Monotonic per-edge block identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct BlockId(pub u64);
+
+impl BlockId {
+    /// The next block id.
+    pub fn next(&self) -> BlockId {
+        BlockId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bid:{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A sealed batch of entries.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The edge node that sealed this block. Block ids are only unique
+    /// relative to one edge node (§III), so the digest binds both.
+    pub edge: IdentityId,
+    /// This block's id in the edge node's log.
+    pub id: BlockId,
+    /// The batched client entries.
+    pub entries: Vec<Entry>,
+    /// Virtual time (ns) at which the block was sealed; feeds the
+    /// LSMerkle page timestamp and freshness checks.
+    pub sealed_at_ns: u64,
+}
+
+impl Block {
+    /// Canonical bytes of the whole block (id + edge + entries).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_tag("wedge-block-v1");
+        enc.put_u64(self.edge.0).put_u64(self.id.0).put_u64(self.sealed_at_ns);
+        enc.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            e.encode(&mut enc);
+        }
+        enc.finish()
+    }
+
+    /// The block digest the cloud certifies.
+    pub fn digest(&self) -> Digest {
+        wedge_crypto::sha256(&self.canonical_bytes())
+    }
+
+    /// Verifies every entry's client signature.
+    pub fn verify_entries(&self, registry: &KeyRegistry) -> bool {
+        self.entries.iter().all(|e| e.verify(registry))
+    }
+
+    /// True iff the given client has at least one entry in this block.
+    pub fn contains_client(&self, client: IdentityId) -> bool {
+        self.entries.iter().any(|e| e.client == client)
+    }
+
+    /// True iff the block contains this exact entry.
+    pub fn contains_entry(&self, entry: &Entry) -> bool {
+        self.entries.iter().any(|e| e == entry)
+    }
+
+    /// Approximate wire size when shipping the full block.
+    pub fn wire_size(&self) -> u32 {
+        24 + self.entries.iter().map(|e| e.wire_size()).sum::<u32>()
+    }
+
+    /// Number of operations (entries) in the block.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the block holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_crypto::Identity;
+
+    fn sample_block(n: usize) -> Block {
+        let client = Identity::derive("client", 1);
+        let entries =
+            (0..n).map(|i| Entry::new_signed(&client, i as u64, vec![i as u8; 16])).collect();
+        Block { edge: IdentityId(100), id: BlockId(7), entries, sealed_at_ns: 5_000 }
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        assert_eq!(sample_block(3).digest(), sample_block(3).digest());
+    }
+
+    #[test]
+    fn digest_binds_id_edge_and_content() {
+        let b = sample_block(3);
+        let mut other = b.clone();
+        other.id = BlockId(8);
+        assert_ne!(b.digest(), other.digest());
+        let mut other = b.clone();
+        other.edge = IdentityId(101);
+        assert_ne!(b.digest(), other.digest());
+        let mut other = b.clone();
+        other.entries.pop();
+        assert_ne!(b.digest(), other.digest());
+    }
+
+    #[test]
+    fn entry_verification() {
+        let b = sample_block(2);
+        let client = Identity::derive("client", 1);
+        let mut reg = KeyRegistry::new();
+        reg.register(client.id, client.public()).unwrap();
+        assert!(b.verify_entries(&reg));
+        let mut tampered = b.clone();
+        tampered.entries[0].payload = b"evil".to_vec();
+        assert!(!tampered.verify_entries(&reg));
+    }
+
+    #[test]
+    fn contains_checks() {
+        let b = sample_block(2);
+        assert!(b.contains_client(IdentityId(1)));
+        assert!(!b.contains_client(IdentityId(2)));
+        assert!(b.contains_entry(&b.entries[0]));
+        let client = Identity::derive("client", 1);
+        let foreign = Entry::new_signed(&client, 99, b"zzz".to_vec());
+        assert!(!b.contains_entry(&foreign));
+    }
+
+    #[test]
+    fn block_id_ordering() {
+        assert!(BlockId(1) < BlockId(2));
+        assert_eq!(BlockId(1).next(), BlockId(2));
+    }
+
+    #[test]
+    fn wire_size_scales() {
+        assert!(sample_block(10).wire_size() > sample_block(1).wire_size());
+    }
+}

@@ -1,0 +1,32 @@
+//! # wedge-log
+//!
+//! WedgeChain's logging layer (§III–IV of the paper): client-signed
+//! [`entry::Entry`]s are batched by a [`buffer::BlockBuffer`] into
+//! [`block::Block`]s, appended to a [`store::LogStore`], and certified
+//! by the cloud through the [`cert`] module's [`cert::BlockProof`] /
+//! [`cert::CertLedger`] pair. [`watermark`] provides the signed gossip
+//! that bounds omission attacks.
+//!
+//! The protocol logic that moves these types between nodes lives in
+//! `wedge-core`; this crate is the pure data layer and is fully
+//! testable without a network.
+
+pub mod block;
+pub mod buffer;
+pub mod cert;
+pub mod enc;
+pub mod entry;
+pub mod reserve;
+pub mod store;
+pub mod watermark;
+
+pub use block::{Block, BlockId};
+pub use buffer::{BlockBuffer, PushOutcome};
+pub use cert::{BlockProof, CertLedger, CertOutcome, CommitPhase};
+pub use enc::Encoder;
+pub use entry::Entry;
+pub use reserve::{
+    LogPosition, PositionedRequest, Reservation, ReservePolicy, ReservingBuffer,
+};
+pub use store::{LogStore, StoredBlock};
+pub use watermark::{GossipWatermark, WatermarkTracker};

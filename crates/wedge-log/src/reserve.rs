@@ -1,0 +1,362 @@
+//! Log-position reservations: the §IV-E extension for making
+//! *arbitrary* requests idempotent.
+//!
+//! The base protocol relies on naturally idempotent requests (sensor
+//! readings keyed by timestamp) or the `(client, sequence)` replay
+//! window. For requests that are not naturally idempotent, the paper
+//! sketches a stronger scheme: the client first *reserves* a log
+//! position with the edge, then signs the request **for that specific
+//! position** — any replay at a different position is detectably
+//! invalid, with no extra edge-cloud communication.
+//!
+//! Reservations come in two flavours (§IV-E): **mandatory** (the block
+//! waits for all reserved requests) and **best-effort** (late
+//! reservations are discarded and the client must re-reserve).
+
+use crate::block::{Block, BlockId};
+use crate::enc::Encoder;
+use crate::entry::Entry;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
+
+/// A position in the edge node's log: block id plus offset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LogPosition {
+    /// The block the position falls in.
+    pub bid: BlockId,
+    /// Offset within the block.
+    pub offset: u32,
+}
+
+/// An edge-signed reservation: "position `pos` is held for `client`
+/// until the block seals".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// The reserving client.
+    pub client: IdentityId,
+    /// The granted position.
+    pub pos: LogPosition,
+    /// Edge signature (the client's proof it was granted the slot).
+    pub signature: Signature,
+}
+
+impl Reservation {
+    fn signing_bytes(client: IdentityId, pos: LogPosition) -> Vec<u8> {
+        let mut enc = Encoder::with_tag("wedge-reservation-v1");
+        enc.put_u64(client.0).put_u64(pos.bid.0).put_u32(pos.offset);
+        enc.finish()
+    }
+
+    /// Verifies the edge's signature on the grant.
+    pub fn verify(&self, edge: IdentityId, registry: &KeyRegistry) -> bool {
+        registry.verify(edge, &Self::signing_bytes(self.client, self.pos), &self.signature)
+    }
+}
+
+/// A client request bound to a reserved position: the client signs
+/// `(position, payload)`, so the same payload at any other position
+/// carries an invalid signature — replays are structurally impossible.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionedRequest {
+    /// The signing client.
+    pub client: IdentityId,
+    /// The position the payload is signed for.
+    pub pos: LogPosition,
+    /// The payload.
+    pub payload: Vec<u8>,
+    /// Client signature over `(pos, payload)`.
+    pub signature: Signature,
+}
+
+impl PositionedRequest {
+    fn signing_bytes(client: IdentityId, pos: LogPosition, payload: &[u8]) -> Vec<u8> {
+        let mut enc = Encoder::with_tag("wedge-positioned-v1");
+        enc.put_u64(client.0).put_u64(pos.bid.0).put_u32(pos.offset).put_bytes(payload);
+        enc.finish()
+    }
+
+    /// Builds and signs a request for a reserved position.
+    pub fn sign(identity: &Identity, pos: LogPosition, payload: Vec<u8>) -> Self {
+        let signature = identity.sign(&Self::signing_bytes(identity.id, pos, &payload));
+        PositionedRequest { client: identity.id, pos, payload, signature }
+    }
+
+    /// Verifies the position-bound signature.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        registry.verify(
+            self.client,
+            &Self::signing_bytes(self.client, self.pos, &self.payload),
+            &self.signature,
+        )
+    }
+}
+
+/// Reservation policy (§IV-E).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReservePolicy {
+    /// The block waits for every reserved slot to be filled.
+    Mandatory,
+    /// Sealing discards unfilled reservations; late clients must
+    /// re-reserve.
+    BestEffort,
+}
+
+/// Outcome of attempting to seal a reserving block.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SealOutcome {
+    /// Sealed; unfilled best-effort reservations were discarded (their
+    /// clients are listed for re-reservation notices).
+    Sealed(Vec<IdentityId>),
+    /// Mandatory policy and reservations are still outstanding.
+    WaitingFor(Vec<LogPosition>),
+}
+
+/// Errors from the reserving buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReserveError {
+    /// The position was never reserved or was reserved by another
+    /// client.
+    NotReserved(LogPosition),
+    /// The position is in an already-sealed block.
+    BlockSealed(BlockId),
+    /// The request's signature does not cover this position.
+    BadSignature,
+    /// The slot was already filled.
+    AlreadyFilled(LogPosition),
+}
+
+/// A block buffer where every slot is reserved before it is filled.
+pub struct ReservingBuffer {
+    edge: Identity,
+    batch_size: u32,
+    policy: ReservePolicy,
+    current: BlockId,
+    next_offset: u32,
+    /// Reserved-but-unfilled slots of the current block.
+    reserved: HashMap<LogPosition, IdentityId>,
+    /// Filled slots (offset → entry payload source).
+    filled: HashMap<u32, PositionedRequest>,
+}
+
+impl ReservingBuffer {
+    /// Creates a reserving buffer sealing blocks of `batch_size` slots.
+    pub fn new(edge: Identity, batch_size: u32, policy: ReservePolicy) -> Self {
+        assert!(batch_size > 0);
+        ReservingBuffer {
+            edge,
+            batch_size,
+            policy,
+            current: BlockId(0),
+            next_offset: 0,
+            reserved: HashMap::new(),
+            filled: HashMap::new(),
+        }
+    }
+
+    /// The block currently being filled.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Reserves the next free slot for `client`. Returns the signed
+    /// grant, or `None` if the current block has no free slots left
+    /// (callers seal and retry).
+    pub fn reserve(&mut self, client: IdentityId) -> Option<Reservation> {
+        if self.next_offset >= self.batch_size {
+            return None;
+        }
+        let pos = LogPosition { bid: self.current, offset: self.next_offset };
+        self.next_offset += 1;
+        self.reserved.insert(pos, client);
+        let signature = self.edge.sign(&Reservation::signing_bytes(client, pos));
+        Some(Reservation { client, pos, signature })
+    }
+
+    /// Submits a position-bound request for its reserved slot.
+    pub fn submit(
+        &mut self,
+        req: PositionedRequest,
+        registry: &KeyRegistry,
+    ) -> Result<(), ReserveError> {
+        if req.pos.bid != self.current {
+            return Err(ReserveError::BlockSealed(req.pos.bid));
+        }
+        match self.reserved.get(&req.pos) {
+            Some(holder) if *holder == req.client => {}
+            _ => return Err(ReserveError::NotReserved(req.pos)),
+        }
+        if self.filled.contains_key(&req.pos.offset) {
+            return Err(ReserveError::AlreadyFilled(req.pos));
+        }
+        if !req.verify(registry) {
+            return Err(ReserveError::BadSignature);
+        }
+        self.reserved.remove(&req.pos);
+        self.filled.insert(req.pos.offset, req);
+        Ok(())
+    }
+
+    /// True iff every issued slot of the current block is filled.
+    pub fn is_complete(&self) -> bool {
+        self.reserved.is_empty() && self.next_offset > 0
+    }
+
+    /// Attempts to seal the current block.
+    ///
+    /// Entries appear in offset order; unfilled best-effort slots are
+    /// skipped (their holders returned for notification). Mandatory
+    /// policy refuses to seal while reservations are outstanding.
+    pub fn seal(&mut self, now_ns: u64) -> Result<(Block, SealOutcome), SealOutcome> {
+        if self.next_offset == 0 {
+            return Err(SealOutcome::Sealed(Vec::new())); // nothing to seal
+        }
+        if self.policy == ReservePolicy::Mandatory && !self.reserved.is_empty() {
+            let mut waiting: Vec<LogPosition> = self.reserved.keys().copied().collect();
+            waiting.sort();
+            return Err(SealOutcome::WaitingFor(waiting));
+        }
+        let discarded: Vec<IdentityId> = self.reserved.drain().map(|(_, c)| c).collect();
+        let mut offsets: Vec<u32> = self.filled.keys().copied().collect();
+        offsets.sort_unstable();
+        let entries: Vec<Entry> = offsets
+            .iter()
+            .map(|off| {
+                let req = &self.filled[off];
+                // The positioned signature replaces the plain entry
+                // signature; the entry records which position it was
+                // signed for via the sequence field (offset).
+                Entry {
+                    client: req.client,
+                    sequence: (req.pos.bid.0 << 20) | req.pos.offset as u64,
+                    payload: req.payload.clone(),
+                    signature: req.signature,
+                }
+            })
+            .collect();
+        let block =
+            Block { edge: self.edge.id, id: self.current, entries, sealed_at_ns: now_ns };
+        self.filled.clear();
+        self.current = self.current.next();
+        self.next_offset = 0;
+        Ok((block, SealOutcome::Sealed(discarded)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ReservingBuffer, Identity, Identity, KeyRegistry) {
+        let edge = Identity::derive("edge", 100);
+        let client = Identity::derive("client", 1);
+        let mut reg = KeyRegistry::new();
+        reg.register(edge.id, edge.public()).unwrap();
+        reg.register(client.id, client.public()).unwrap();
+        let buf = ReservingBuffer::new(edge.clone(), 3, ReservePolicy::BestEffort);
+        (buf, edge, client, reg)
+    }
+
+    #[test]
+    fn reserve_submit_seal_roundtrip() {
+        let (mut buf, edge, client, reg) = setup();
+        let r1 = buf.reserve(client.id).unwrap();
+        assert!(r1.verify(edge.id, &reg));
+        let req = PositionedRequest::sign(&client, r1.pos, b"op-1".to_vec());
+        assert!(req.verify(&reg));
+        buf.submit(req, &reg).unwrap();
+        let (block, outcome) = buf.seal(0).unwrap();
+        assert_eq!(block.len(), 1);
+        assert_eq!(outcome, SealOutcome::Sealed(vec![]));
+        assert_eq!(buf.current_block(), BlockId(1));
+    }
+
+    #[test]
+    fn replay_at_other_position_fails_signature() {
+        let (mut buf, _edge, client, reg) = setup();
+        let r1 = buf.reserve(client.id).unwrap();
+        let r2 = buf.reserve(client.id).unwrap();
+        let req = PositionedRequest::sign(&client, r1.pos, b"pay-once".to_vec());
+        // Replay the same signed payload at the second slot.
+        let replay = PositionedRequest { pos: r2.pos, ..req.clone() };
+        buf.submit(req, &reg).unwrap();
+        assert_eq!(buf.submit(replay, &reg), Err(ReserveError::BadSignature));
+    }
+
+    #[test]
+    fn unreserved_and_foreign_slots_rejected() {
+        let (mut buf, _edge, client, reg) = setup();
+        let other = Identity::derive("client", 2);
+        let mut reg2 = reg.clone();
+        reg2.register(other.id, other.public()).unwrap();
+        let r = buf.reserve(client.id).unwrap();
+        // Another client tries to fill the reserved slot.
+        let foreign = PositionedRequest::sign(&other, r.pos, b"steal".to_vec());
+        assert_eq!(buf.submit(foreign, &reg2), Err(ReserveError::NotReserved(r.pos)));
+        // A made-up position.
+        let fake_pos = LogPosition { bid: buf.current_block(), offset: 99 };
+        let fake = PositionedRequest::sign(&client, fake_pos, b"x".to_vec());
+        assert_eq!(buf.submit(fake, &reg), Err(ReserveError::NotReserved(fake_pos)));
+    }
+
+    #[test]
+    fn double_fill_rejected() {
+        let (mut buf, _edge, client, reg) = setup();
+        let r = buf.reserve(client.id).unwrap();
+        buf.submit(PositionedRequest::sign(&client, r.pos, b"a".to_vec()), &reg).unwrap();
+        let again = PositionedRequest::sign(&client, r.pos, b"b".to_vec());
+        assert_eq!(buf.submit(again, &reg), Err(ReserveError::NotReserved(r.pos)));
+    }
+
+    #[test]
+    fn best_effort_discards_late_reservations() {
+        let (mut buf, _edge, client, reg) = setup();
+        let r1 = buf.reserve(client.id).unwrap();
+        let _r2 = buf.reserve(client.id).unwrap(); // never filled
+        buf.submit(PositionedRequest::sign(&client, r1.pos, b"a".to_vec()), &reg).unwrap();
+        let (block, outcome) = buf.seal(0).unwrap();
+        assert_eq!(block.len(), 1);
+        assert_eq!(outcome, SealOutcome::Sealed(vec![client.id]));
+    }
+
+    #[test]
+    fn mandatory_waits_for_all_slots() {
+        let edge = Identity::derive("edge", 100);
+        let client = Identity::derive("client", 1);
+        let mut reg = KeyRegistry::new();
+        reg.register(edge.id, edge.public()).unwrap();
+        reg.register(client.id, client.public()).unwrap();
+        let mut buf = ReservingBuffer::new(edge, 2, ReservePolicy::Mandatory);
+        let r1 = buf.reserve(client.id).unwrap();
+        let r2 = buf.reserve(client.id).unwrap();
+        buf.submit(PositionedRequest::sign(&client, r1.pos, b"a".to_vec()), &reg).unwrap();
+        // Sealing must wait for r2.
+        match buf.seal(0) {
+            Err(SealOutcome::WaitingFor(waiting)) => assert_eq!(waiting, vec![r2.pos]),
+            other => panic!("expected WaitingFor, got {other:?}"),
+        }
+        buf.submit(PositionedRequest::sign(&client, r2.pos, b"b".to_vec()), &reg).unwrap();
+        let (block, _) = buf.seal(0).unwrap();
+        assert_eq!(block.len(), 2);
+    }
+
+    #[test]
+    fn stale_block_submission_rejected() {
+        let (mut buf, _edge, client, reg) = setup();
+        let r = buf.reserve(client.id).unwrap();
+        buf.submit(PositionedRequest::sign(&client, r.pos, b"a".to_vec()), &reg).unwrap();
+        buf.seal(0).unwrap();
+        // A late submission for the sealed block.
+        let late = PositionedRequest::sign(&client, r.pos, b"late".to_vec());
+        assert_eq!(buf.submit(late, &reg), Err(ReserveError::BlockSealed(BlockId(0))));
+    }
+
+    #[test]
+    fn exhausted_block_stops_reserving() {
+        let (mut buf, _edge, client, _reg) = setup();
+        for _ in 0..3 {
+            assert!(buf.reserve(client.id).is_some());
+        }
+        assert!(buf.reserve(client.id).is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! The edge node's append-only block log.
+//!
+//! Stores sealed blocks by id and tracks each block's certification
+//! state (Phase I until the cloud's block-proof arrives, then
+//! Phase II). Read requests are served from here with the best
+//! available proof (§IV-D2).
+
+use crate::block::{Block, BlockId};
+use crate::cert::{BlockProof, CommitPhase};
+use std::collections::BTreeMap;
+
+/// A block plus its certification state.
+#[derive(Clone, Debug)]
+pub struct StoredBlock {
+    /// The sealed block.
+    pub block: Block,
+    /// Cloud proof, once certified.
+    pub proof: Option<BlockProof>,
+}
+
+impl StoredBlock {
+    /// The block's current commit phase.
+    pub fn phase(&self) -> CommitPhase {
+        if self.proof.is_some() {
+            CommitPhase::Phase2
+        } else {
+            CommitPhase::Phase1
+        }
+    }
+}
+
+/// Append-only log of sealed blocks, ordered by id.
+#[derive(Default, Debug)]
+pub struct LogStore {
+    blocks: BTreeMap<BlockId, StoredBlock>,
+}
+
+impl LogStore {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sealed block. Panics on id reuse — sealing is
+    /// monotonic by construction, so reuse is a logic error.
+    pub fn append(&mut self, block: Block) {
+        let id = block.id;
+        let prev = self.blocks.insert(id, StoredBlock { block, proof: None });
+        assert!(prev.is_none(), "block id {id} appended twice");
+    }
+
+    /// Attaches a cloud proof to its block. Returns `false` if the
+    /// block is unknown (e.g. proof arrived for a garbage-collected
+    /// block).
+    pub fn attach_proof(&mut self, proof: BlockProof) -> bool {
+        match self.blocks.get_mut(&proof.bid) {
+            Some(sb) => {
+                sb.proof = Some(proof);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fetches a stored block.
+    pub fn get(&self, bid: BlockId) -> Option<&StoredBlock> {
+        self.blocks.get(&bid)
+    }
+
+    /// Number of blocks in the log.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True iff the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Count of Phase II (certified) blocks.
+    pub fn certified_count(&self) -> usize {
+        self.blocks.values().filter(|b| b.proof.is_some()).count()
+    }
+
+    /// Iterates blocks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredBlock> {
+        self.blocks.values()
+    }
+
+    /// Ids of blocks still awaiting certification (for retry loops).
+    pub fn uncertified_ids(&self) -> Vec<BlockId> {
+        self.blocks
+            .values()
+            .filter(|b| b.proof.is_none())
+            .map(|b| b.block.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Entry;
+    use wedge_crypto::{Identity, IdentityId};
+
+    fn block(id: u64) -> Block {
+        let c = Identity::derive("client", 1);
+        Block {
+            edge: IdentityId(9),
+            id: BlockId(id),
+            entries: vec![Entry::new_signed(&c, id, vec![1, 2, 3])],
+            sealed_at_ns: id * 1000,
+        }
+    }
+
+    #[test]
+    fn append_and_get() {
+        let mut log = LogStore::new();
+        log.append(block(0));
+        log.append(block(1));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.get(BlockId(1)).unwrap().block.id, BlockId(1));
+        assert!(log.get(BlockId(2)).is_none());
+    }
+
+    #[test]
+    fn phase_transitions_with_proof() {
+        let cloud = Identity::derive("cloud", 0);
+        let mut log = LogStore::new();
+        let b = block(0);
+        let digest = b.digest();
+        log.append(b);
+        assert_eq!(log.get(BlockId(0)).unwrap().phase(), CommitPhase::Phase1);
+        let proof = BlockProof::issue(&cloud, IdentityId(9), BlockId(0), digest);
+        assert!(log.attach_proof(proof));
+        assert_eq!(log.get(BlockId(0)).unwrap().phase(), CommitPhase::Phase2);
+        assert_eq!(log.certified_count(), 1);
+    }
+
+    #[test]
+    fn proof_for_unknown_block_is_reported() {
+        let cloud = Identity::derive("cloud", 0);
+        let mut log = LogStore::new();
+        let proof =
+            BlockProof::issue(&cloud, IdentityId(9), BlockId(5), wedge_crypto::sha256(b"x"));
+        assert!(!log.attach_proof(proof));
+    }
+
+    #[test]
+    fn uncertified_tracking() {
+        let cloud = Identity::derive("cloud", 0);
+        let mut log = LogStore::new();
+        for i in 0..3 {
+            log.append(block(i));
+        }
+        let digest = log.get(BlockId(1)).unwrap().block.digest();
+        log.attach_proof(BlockProof::issue(&cloud, IdentityId(9), BlockId(1), digest));
+        assert_eq!(log.uncertified_ids(), vec![BlockId(0), BlockId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended twice")]
+    fn duplicate_append_panics() {
+        let mut log = LogStore::new();
+        log.append(block(0));
+        log.append(block(0));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut log = LogStore::new();
+        log.append(block(2));
+        log.append(block(0));
+        log.append(block(1));
+        let ids: Vec<_> = log.iter().map(|b| b.block.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Merkle-covered levels and cloud-signed roots.
+//!
+//! Each level ≥ 1 keeps a Merkle tree over its page digests; the root
+//! is signed by the cloud at merge time. The *global root* — the hash
+//! of all level roots — is signed together with a timestamp and epoch,
+//! which is what read freshness (§V-D) checks against.
+
+use crate::page::Page;
+use serde::{Deserialize, Serialize};
+use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, MerkleTree, Signature};
+use wedge_log::Encoder;
+
+/// A cloud-signed statement binding a level's Merkle root to an epoch.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedLevelRoot {
+    /// The edge node whose index this root describes.
+    pub edge: IdentityId,
+    /// Level number (1-based: L1 is the first Merkle level).
+    pub level: u32,
+    /// Index epoch; incremented by every merge.
+    pub epoch: u64,
+    /// Merkle root over the level's page digests.
+    pub root: Digest,
+    /// Cloud signature.
+    pub signature: Signature,
+}
+
+impl SignedLevelRoot {
+    fn signing_bytes(edge: IdentityId, level: u32, epoch: u64, root: &Digest) -> Vec<u8> {
+        let mut enc = Encoder::with_tag("wedge-level-root-v1");
+        enc.put_u64(edge.0).put_u32(level).put_u64(epoch).put_digest(root);
+        enc.finish()
+    }
+
+    /// Issues a signed level root as the cloud.
+    pub fn issue(cloud: &Identity, edge: IdentityId, level: u32, epoch: u64, root: Digest) -> Self {
+        let signature = cloud.sign(&Self::signing_bytes(edge, level, epoch, &root));
+        SignedLevelRoot { edge, level, epoch, root, signature }
+    }
+
+    /// Verifies the cloud signature.
+    pub fn verify(&self, cloud_id: IdentityId, registry: &KeyRegistry) -> bool {
+        registry.verify(
+            cloud_id,
+            &Self::signing_bytes(self.edge, self.level, self.epoch, &self.root),
+            &self.signature,
+        )
+    }
+}
+
+/// A cloud-signed global root: hash of all level roots, plus the
+/// freshness timestamp (§V-D: "The cloud node timestamps the global
+/// root of each merged LSMerkle").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalRootCert {
+    /// The edge node whose index this describes.
+    pub edge: IdentityId,
+    /// Index epoch.
+    pub epoch: u64,
+    /// Cloud-side virtual time when signed.
+    pub timestamp_ns: u64,
+    /// `H(root(L1) || … || root(Ln))`.
+    pub root: Digest,
+    /// Cloud signature over (edge, epoch, timestamp, root).
+    pub signature: Signature,
+}
+
+impl GlobalRootCert {
+    fn signing_bytes(edge: IdentityId, epoch: u64, timestamp_ns: u64, root: &Digest) -> Vec<u8> {
+        let mut enc = Encoder::with_tag("wedge-global-root-v1");
+        enc.put_u64(edge.0).put_u64(epoch).put_u64(timestamp_ns).put_digest(root);
+        enc.finish()
+    }
+
+    /// Issues a signed global root as the cloud.
+    pub fn issue(
+        cloud: &Identity,
+        edge: IdentityId,
+        epoch: u64,
+        timestamp_ns: u64,
+        root: Digest,
+    ) -> Self {
+        let signature = cloud.sign(&Self::signing_bytes(edge, epoch, timestamp_ns, &root));
+        GlobalRootCert { edge, epoch, timestamp_ns, root, signature }
+    }
+
+    /// Verifies the cloud signature.
+    pub fn verify(&self, cloud_id: IdentityId, registry: &KeyRegistry) -> bool {
+        registry.verify(
+            cloud_id,
+            &Self::signing_bytes(self.edge, self.epoch, self.timestamp_ns, &self.root),
+            &self.signature,
+        )
+    }
+}
+
+/// A Merkle level held at the edge: pages plus the tree over their
+/// digests and the cloud's signature on the root.
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// Range-partitioned pages, sorted by `min`.
+    pub pages: Vec<Page>,
+    /// Merkle tree over page digests (rebuilt on replace).
+    pub tree: MerkleTree,
+    /// The cloud's signature on `tree.root()` at the current epoch.
+    pub signed_root: SignedLevelRoot,
+}
+
+impl Level {
+    /// Builds a level from pages and a matching signed root.
+    ///
+    /// # Panics
+    /// Panics (debug) if the signed root does not match the pages —
+    /// that would mean the edge accepted a bogus merge result.
+    pub fn new(pages: Vec<Page>, signed_root: SignedLevelRoot) -> Self {
+        let tree = tree_over(&pages);
+        debug_assert_eq!(tree.root(), signed_root.root, "signed root mismatch");
+        Level { pages, tree, signed_root }
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The level's current Merkle root.
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+}
+
+/// Builds the Merkle tree over a page list (empty list ⇒ sentinel
+/// empty-tree root).
+pub fn tree_over(pages: &[Page]) -> MerkleTree {
+    let digests: Vec<Digest> = pages.iter().map(|p| p.digest()).collect();
+    MerkleTree::from_leaves(&digests)
+}
+
+/// The root of an empty level.
+pub fn empty_level_root() -> Digest {
+    MerkleTree::from_leaves(&[]).root()
+}
+
+/// Computes the global root digest from level roots (L1..Ln order).
+pub fn compute_global_root(level_roots: &[Digest]) -> Digest {
+    wedge_crypto::merkle::global_root(level_roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{KvRecord, Version};
+    use crate::page::split_into_pages;
+
+    fn cloud_reg() -> (Identity, KeyRegistry) {
+        let cloud = Identity::derive("cloud", 0);
+        let mut reg = KeyRegistry::new();
+        reg.register(cloud.id, cloud.public()).unwrap();
+        (cloud, reg)
+    }
+
+    fn sample_pages(n: usize) -> Vec<Page> {
+        let records: Vec<KvRecord> = (0..n as u64 * 3)
+            .map(|k| KvRecord { key: k, version: Version { bid: 1, pos: 0 }, value: Some(vec![1]) })
+            .collect();
+        split_into_pages(records, 3, 0)
+    }
+
+    #[test]
+    fn signed_level_root_roundtrip() {
+        let (cloud, reg) = cloud_reg();
+        let pages = sample_pages(2);
+        let root = tree_over(&pages).root();
+        let slr = SignedLevelRoot::issue(&cloud, IdentityId(9), 1, 5, root);
+        assert!(slr.verify(cloud.id, &reg));
+        let mut bad = slr.clone();
+        bad.epoch = 6;
+        assert!(!bad.verify(cloud.id, &reg));
+        let mut bad = slr;
+        bad.level = 2;
+        assert!(!bad.verify(cloud.id, &reg));
+    }
+
+    #[test]
+    fn global_root_cert_roundtrip() {
+        let (cloud, reg) = cloud_reg();
+        let root = compute_global_root(&[empty_level_root(), empty_level_root()]);
+        let cert = GlobalRootCert::issue(&cloud, IdentityId(9), 0, 123, root);
+        assert!(cert.verify(cloud.id, &reg));
+        let mut bad = cert;
+        bad.timestamp_ns = 999;
+        assert!(!bad.verify(cloud.id, &reg));
+    }
+
+    #[test]
+    fn level_tree_matches_pages() {
+        let (cloud, _) = cloud_reg();
+        let pages = sample_pages(3);
+        let root = tree_over(&pages).root();
+        let slr = SignedLevelRoot::issue(&cloud, IdentityId(9), 1, 0, root);
+        let level = Level::new(pages.clone(), slr);
+        assert_eq!(level.page_count(), pages.len());
+        assert_eq!(level.root(), root);
+        // Inclusion proofs work for each page.
+        for (i, p) in pages.iter().enumerate() {
+            let proof = level.tree.prove(i).unwrap();
+            assert!(MerkleTree::verify(&level.root(), &p.digest(), &proof));
+        }
+    }
+
+    #[test]
+    fn empty_level_root_is_stable() {
+        assert_eq!(empty_level_root(), empty_level_root());
+        let pages = sample_pages(1);
+        assert_ne!(empty_level_root(), tree_over(&pages).root());
+    }
+}

@@ -1,0 +1,39 @@
+//! # wedge-lsmerkle
+//!
+//! The LSMerkle trusted index (§V of the paper): an mLSM-style
+//! LSM-tree-of-Merkle-trees extended with WedgeChain's lazy
+//! certification.
+//!
+//! - [`kv`]: keys, values, versions, and the KV op encoding carried in
+//!   log entries.
+//! - [`page`]: immutable pages — block-backed L0 pages and sorted,
+//!   range-covering pages for deeper levels (with the paper's
+//!   `p_x.max = p_y.min − 1` adjacency invariant).
+//! - [`level`]: Merkle-covered levels, cloud-signed level roots, and
+//!   the timestamped global root.
+//! - [`tree`]: the edge-resident [`tree::LsMerkle`] state machine.
+//! - [`merge`]: the cloud-verified merge/compaction protocol
+//!   ([`merge::CloudIndex`]).
+//! - [`proof`]: read proofs — build at the edge, verify at the client
+//!   ([`proof::build_read_proof`] / [`proof::verify_read_proof`]).
+//! - [`config`]: tree shape ([`config::LsmConfig`]), including the
+//!   paper's evaluation configuration (thresholds 10/10/100/1000).
+
+pub mod config;
+pub mod kv;
+pub mod level;
+pub mod merge;
+pub mod page;
+pub mod proof;
+pub mod tree;
+
+pub use config::LsmConfig;
+pub use kv::{kv_entry, records_from_block, Key, KvOp, KvRecord, Value, Version};
+pub use level::{GlobalRootCert, Level, SignedLevelRoot};
+pub use merge::{CloudIndex, InitBundle, MergeError, MergeRequest, MergeResult};
+pub use page::{check_level_ranges, find_covering, split_into_pages, L0Page, Page};
+pub use proof::{
+    build_read_proof, verify_read_proof, IndexReadProof, L0Witness, LevelWitness, ProofError,
+    VerifiedRead,
+};
+pub use tree::{LsMerkle, RecordLocation};

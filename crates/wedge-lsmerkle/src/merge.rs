@@ -1,0 +1,575 @@
+//! Merge/compaction: the cloud-coordinated protocol of §V-B.
+//!
+//! When level `i` exceeds its page threshold, the edge ships *all* of
+//! level `i`'s pages plus level `i+1`'s pages to the cloud. The cloud
+//! verifies their authenticity (L0 pages against the block-cert
+//! ledger, deeper levels against the level roots it previously
+//! signed), performs an LSM merge (newest version per key wins,
+//! tombstones dropped at the deepest level), re-partitions into
+//! range-covering pages, rebuilds the level's Merkle tree, and signs
+//! the new level roots and a fresh timestamped global root.
+
+use crate::config::LsmConfig;
+use crate::kv::KvRecord;
+use crate::level::{
+    compute_global_root, empty_level_root, tree_over, GlobalRootCert, SignedLevelRoot,
+};
+use crate::page::{check_level_ranges, split_into_pages, L0Page, Page};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wedge_crypto::{Digest, Identity, IdentityId};
+use wedge_log::{CertLedger, BlockId};
+
+/// A merge request from an edge node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MergeRequest {
+    /// The requesting edge.
+    pub edge: IdentityId,
+    /// Source level (0 = L0). All its pages move to `source_level+1`.
+    pub source_level: u32,
+    /// Source pages when `source_level == 0` (blocks ride along so the
+    /// cloud can re-verify digests against its cert ledger).
+    pub source_l0: Vec<L0Page>,
+    /// Source pages when `source_level >= 1`.
+    pub source_pages: Vec<Page>,
+    /// The current pages of the target level.
+    pub target_pages: Vec<Page>,
+    /// The edge's view of the index epoch (stale views are rejected).
+    pub epoch: u64,
+}
+
+impl MergeRequest {
+    /// Bytes shipped edge→cloud for this merge.
+    pub fn wire_size(&self) -> u32 {
+        let l0: u32 = self.source_l0.iter().map(|p| p.wire_size()).sum();
+        let src: u32 = self.source_pages.iter().map(|p| p.wire_size()).sum();
+        let tgt: u32 = self.target_pages.iter().map(|p| p.wire_size()).sum();
+        32 + l0 + src + tgt
+    }
+}
+
+/// The cloud's reply to a successful merge.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MergeResult {
+    /// The edge whose index was merged.
+    pub edge: IdentityId,
+    /// Source level that was drained.
+    pub source_level: u32,
+    /// New pages of the target level (`source_level + 1`).
+    pub new_target_pages: Vec<Page>,
+    /// Signed root for the (now empty) source level; `None` for L0,
+    /// which is not Merkle-covered.
+    pub new_source_root: Option<SignedLevelRoot>,
+    /// Signed root for the rebuilt target level.
+    pub new_target_root: SignedLevelRoot,
+    /// Authoritative roots of every Merkle level (L1..Ln) after the
+    /// merge, in level order.
+    pub all_level_roots: Vec<Digest>,
+    /// Fresh timestamped global root.
+    pub global: GlobalRootCert,
+    /// The epoch after this merge.
+    pub new_epoch: u64,
+}
+
+impl MergeResult {
+    /// Bytes shipped cloud→edge for this merge reply.
+    pub fn wire_size(&self) -> u32 {
+        let pages: u32 = self.new_target_pages.iter().map(|p| p.wire_size()).sum();
+        let roots = (self.all_level_roots.len() as u32) * 32;
+        pages + roots + 2 * 96 + 32
+    }
+}
+
+/// Why the cloud refused a merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The edge is not initialized in the cloud index.
+    UnknownEdge(IdentityId),
+    /// The edge's epoch is stale or from the future.
+    EpochMismatch { expected: u64, got: u64 },
+    /// An L0 page's block was never certified — the edge is trying to
+    /// merge data the cloud never saw a digest for.
+    UncertifiedBlock(BlockId),
+    /// An L0 page's block digest does not match the certified digest —
+    /// equivocation at merge time.
+    BlockDigestMismatch(BlockId),
+    /// Source pages do not hash to the root the cloud signed.
+    SourceRootMismatch,
+    /// Target pages do not hash to the root the cloud signed.
+    TargetRootMismatch,
+    /// Merging out of the deepest level is impossible.
+    BadLevel(u32),
+    /// The L0 page's advertised records don't match its block content.
+    L0RecordsMismatch(BlockId),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// The roots + global cert an edge starts from.
+#[derive(Clone, Debug)]
+pub struct InitBundle {
+    /// Signed (empty) roots for L1..Ln at epoch 0.
+    pub level_roots: Vec<SignedLevelRoot>,
+    /// The signed global root at epoch 0.
+    pub global: GlobalRootCert,
+}
+
+/// Per-edge authoritative index state at the cloud.
+#[derive(Clone, Debug)]
+pub struct CloudIndexState {
+    /// Roots of L1..Ln.
+    pub level_roots: Vec<Digest>,
+    /// Current epoch (merge count).
+    pub epoch: u64,
+}
+
+/// The cloud node's view of every edge's LSMerkle.
+///
+/// The cloud is the *only* writer of level roots, which is what lets
+/// it verify merge inputs without re-reading any data: pages either
+/// hash to a root it signed, or they are forged.
+#[derive(Debug)]
+pub struct CloudIndex {
+    cfg: LsmConfig,
+    states: HashMap<IdentityId, CloudIndexState>,
+}
+
+impl CloudIndex {
+    /// Creates a cloud index for the given LSMerkle shape.
+    pub fn new(cfg: LsmConfig) -> Self {
+        cfg.validate().expect("invalid LSMerkle config");
+        CloudIndex { cfg, states: HashMap::new() }
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> &LsmConfig {
+        &self.cfg
+    }
+
+    /// Initializes (or re-issues) the empty index for an edge and
+    /// returns the signed roots the edge starts from.
+    pub fn init_edge(&mut self, cloud: &Identity, edge: IdentityId, now_ns: u64) -> InitBundle {
+        let n = self.cfg.num_merkle_levels();
+        let roots: Vec<Digest> = vec![empty_level_root(); n];
+        self.states
+            .insert(edge, CloudIndexState { level_roots: roots.clone(), epoch: 0 });
+        let level_roots = (0..n)
+            .map(|i| SignedLevelRoot::issue(cloud, edge, (i + 1) as u32, 0, roots[i]))
+            .collect();
+        let global = GlobalRootCert::issue(cloud, edge, 0, now_ns, compute_global_root(&roots));
+        InitBundle { level_roots, global }
+    }
+
+    /// The cloud's recorded state for an edge.
+    pub fn state(&self, edge: IdentityId) -> Option<&CloudIndexState> {
+        self.states.get(&edge)
+    }
+
+    /// Re-signs the current global root with a fresh timestamp (the
+    /// freshness "no-op" path of §V-D).
+    pub fn refresh_global(
+        &self,
+        cloud: &Identity,
+        edge: IdentityId,
+        now_ns: u64,
+    ) -> Option<GlobalRootCert> {
+        let st = self.states.get(&edge)?;
+        Some(GlobalRootCert::issue(
+            cloud,
+            edge,
+            st.epoch,
+            now_ns,
+            compute_global_root(&st.level_roots),
+        ))
+    }
+
+    /// Verifies and performs a merge, returning the signed result.
+    pub fn process_merge(
+        &mut self,
+        cloud: &Identity,
+        ledger: &CertLedger,
+        req: &MergeRequest,
+        now_ns: u64,
+    ) -> Result<MergeResult, MergeError> {
+        let n_levels = self.cfg.num_merkle_levels();
+        let target_level = req.source_level + 1;
+        if target_level as usize > n_levels {
+            return Err(MergeError::BadLevel(req.source_level));
+        }
+        let state = self
+            .states
+            .get(&req.edge)
+            .ok_or(MergeError::UnknownEdge(req.edge))?;
+        if state.epoch != req.epoch {
+            return Err(MergeError::EpochMismatch { expected: state.epoch, got: req.epoch });
+        }
+
+        // --- Verify sources ---
+        let mut source_records: Vec<KvRecord> = Vec::new();
+        if req.source_level == 0 {
+            for page in &req.source_l0 {
+                let digest = page.block.digest();
+                match ledger.lookup(req.edge, page.block.id) {
+                    None => return Err(MergeError::UncertifiedBlock(page.block.id)),
+                    Some(d) if *d != digest => {
+                        return Err(MergeError::BlockDigestMismatch(page.block.id))
+                    }
+                    Some(_) => {}
+                }
+                // Never trust the edge's decoded records; re-derive.
+                let derived = crate::kv::records_from_block(&page.block);
+                if derived != page.records {
+                    return Err(MergeError::L0RecordsMismatch(page.block.id));
+                }
+                source_records.extend(derived);
+            }
+        } else {
+            let idx = (req.source_level - 1) as usize;
+            let root = tree_over(&req.source_pages).root();
+            if root != state.level_roots[idx] {
+                return Err(MergeError::SourceRootMismatch);
+            }
+            for p in &req.source_pages {
+                source_records.extend(p.records.iter().cloned());
+            }
+        }
+
+        // --- Verify target ---
+        let t_idx = (target_level - 1) as usize;
+        let t_root = tree_over(&req.target_pages).root();
+        if t_root != state.level_roots[t_idx] {
+            return Err(MergeError::TargetRootMismatch);
+        }
+
+        // --- Merge (newest version per key wins) ---
+        let mut combined = source_records;
+        for p in &req.target_pages {
+            combined.extend(p.records.iter().cloned());
+        }
+        combined.sort_by(|a, b| a.key.cmp(&b.key).then(b.version.cmp(&a.version)));
+        combined.dedup_by(|a, b| a.key == b.key); // keeps first = newest
+        let deepest = target_level as usize == n_levels;
+        if deepest {
+            combined.retain(|r| r.value.is_some());
+        }
+        let new_pages = split_into_pages(combined, self.cfg.page_capacity, now_ns);
+        debug_assert!(check_level_ranges(&new_pages).is_ok());
+
+        // --- Re-sign roots ---
+        let state = self.states.get_mut(&req.edge).expect("checked above");
+        let new_epoch = state.epoch + 1;
+        state.epoch = new_epoch;
+        state.level_roots[t_idx] = tree_over(&new_pages).root();
+        let new_source_root = if req.source_level >= 1 {
+            let s_idx = (req.source_level - 1) as usize;
+            state.level_roots[s_idx] = empty_level_root();
+            Some(SignedLevelRoot::issue(
+                cloud,
+                req.edge,
+                req.source_level,
+                new_epoch,
+                state.level_roots[s_idx],
+            ))
+        } else {
+            None
+        };
+        let new_target_root =
+            SignedLevelRoot::issue(cloud, req.edge, target_level, new_epoch, state.level_roots[t_idx]);
+        let all_level_roots = state.level_roots.clone();
+        let global = GlobalRootCert::issue(
+            cloud,
+            req.edge,
+            new_epoch,
+            now_ns,
+            compute_global_root(&all_level_roots),
+        );
+        Ok(MergeResult {
+            edge: req.edge,
+            source_level: req.source_level,
+            new_target_pages: new_pages,
+            new_source_root,
+            new_target_root,
+            all_level_roots,
+            global,
+            new_epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{kv_entry, KvOp};
+    use wedge_log::{Block, CertOutcome};
+
+    fn setup() -> (Identity, CertLedger, CloudIndex, IdentityId) {
+        let cloud = Identity::derive("cloud", 0);
+        let ledger = CertLedger::new();
+        let index = CloudIndex::new(LsmConfig::exposition());
+        (cloud, ledger, index, IdentityId(9))
+    }
+
+    fn kv_block(edge: IdentityId, bid: u64, kvs: &[(u64, &[u8])]) -> Block {
+        let client = Identity::derive("client", 1);
+        let entries = kvs
+            .iter()
+            .enumerate()
+            .map(|(i, (k, v))| kv_entry(&client, bid * 100 + i as u64, &KvOp::put(*k, v.to_vec())))
+            .collect();
+        Block { edge, id: BlockId(bid), entries, sealed_at_ns: bid }
+    }
+
+    fn certified_l0(
+        ledger: &mut CertLedger,
+        edge: IdentityId,
+        bid: u64,
+        kvs: &[(u64, &[u8])],
+    ) -> L0Page {
+        let block = kv_block(edge, bid, kvs);
+        assert_eq!(ledger.offer(edge, block.id, block.digest()), CertOutcome::Certified);
+        L0Page::from_block(block)
+    }
+
+    #[test]
+    fn l0_merge_produces_sorted_level() {
+        let (cloud, mut ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        let p0 = certified_l0(&mut ledger, edge, 0, &[(5, b"a"), (1, b"b")]);
+        let p1 = certified_l0(&mut ledger, edge, 1, &[(5, b"c"), (9, b"d")]);
+        let req = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![p0, p1],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        let res = index.process_merge(&cloud, &ledger, &req, 1000).unwrap();
+        assert_eq!(res.new_epoch, 1);
+        assert!(check_level_ranges(&res.new_target_pages).is_ok());
+        let all: Vec<(u64, Vec<u8>)> = res
+            .new_target_pages
+            .iter()
+            .flat_map(|p| p.records.iter())
+            .map(|r| (r.key, r.value.clone().unwrap()))
+            .collect();
+        // Key 5 resolved to the newer block's value "c".
+        assert_eq!(all, vec![(1, b"b".to_vec()), (5, b"c".to_vec()), (9, b"d".to_vec())]);
+    }
+
+    #[test]
+    fn uncertified_block_rejected() {
+        let (cloud, ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        let page = L0Page::from_block(kv_block(edge, 0, &[(1, b"x")]));
+        let req = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![page],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        assert_eq!(
+            index.process_merge(&cloud, &ledger, &req, 0),
+            Err(MergeError::UncertifiedBlock(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn tampered_block_rejected() {
+        let (cloud, mut ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        // Certify an honest block, then try to merge a different one
+        // with the same id.
+        let honest = kv_block(edge, 0, &[(1, b"honest")]);
+        ledger.offer(edge, honest.id, honest.digest());
+        let lying = L0Page::from_block(kv_block(edge, 0, &[(1, b"lying")]));
+        let req = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![lying],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        assert_eq!(
+            index.process_merge(&cloud, &ledger, &req, 0),
+            Err(MergeError::BlockDigestMismatch(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn stale_epoch_rejected() {
+        let (cloud, mut ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        let p0 = certified_l0(&mut ledger, edge, 0, &[(1, b"a")]);
+        let req = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![p0.clone()],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        index.process_merge(&cloud, &ledger, &req, 0).unwrap();
+        // Replay at the old epoch.
+        assert_eq!(
+            index.process_merge(&cloud, &ledger, &req, 0),
+            Err(MergeError::EpochMismatch { expected: 1, got: 0 })
+        );
+    }
+
+    #[test]
+    fn forged_target_pages_rejected() {
+        let (cloud, mut ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        let p0 = certified_l0(&mut ledger, edge, 0, &[(1, b"a")]);
+        // Target level is empty at the cloud; sending a forged page
+        // must fail the root check.
+        let forged = Page {
+            min: 0,
+            max: u64::MAX,
+            records: vec![KvRecord {
+                key: 3,
+                version: crate::kv::Version { bid: 0, pos: 0 },
+                value: Some(b"evil".to_vec()),
+            }],
+            created_at_ns: 0,
+        };
+        let req = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![p0],
+            source_pages: vec![],
+            target_pages: vec![forged],
+            epoch: 0,
+        };
+        assert_eq!(index.process_merge(&cloud, &ledger, &req, 0), Err(MergeError::TargetRootMismatch));
+    }
+
+    #[test]
+    fn cascading_merge_level1_to_level2() {
+        let (cloud, mut ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        // First: L0 -> L1.
+        let p0 = certified_l0(&mut ledger, edge, 0, &[(1, b"a"), (2, b"b")]);
+        let req = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![p0],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        let res1 = index.process_merge(&cloud, &ledger, &req, 10).unwrap();
+        // Then: L1 -> L2 (deepest in the exposition config).
+        let req2 = MergeRequest {
+            edge,
+            source_level: 1,
+            source_l0: vec![],
+            source_pages: res1.new_target_pages.clone(),
+            target_pages: vec![],
+            epoch: res1.new_epoch,
+        };
+        let res2 = index.process_merge(&cloud, &ledger, &req2, 20).unwrap();
+        assert_eq!(res2.new_epoch, 2);
+        assert_eq!(res2.new_source_root.as_ref().unwrap().root, empty_level_root());
+        let keys: Vec<u64> = res2
+            .new_target_pages
+            .iter()
+            .flat_map(|p| p.records.iter().map(|r| r.key))
+            .collect();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn tombstones_dropped_only_at_deepest_level() {
+        let (cloud, mut ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        let client = Identity::derive("client", 1);
+        let entries = vec![
+            kv_entry(&client, 0, &KvOp::put(1, b"v".to_vec())),
+            kv_entry(&client, 1, &KvOp::delete(2)),
+        ];
+        let block = Block { edge, id: BlockId(0), entries, sealed_at_ns: 0 };
+        ledger.offer(edge, block.id, block.digest());
+        let req = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![L0Page::from_block(block)],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        // L0 -> L1: tombstone for key 2 survives (L1 is not deepest).
+        let res1 = index.process_merge(&cloud, &ledger, &req, 0).unwrap();
+        let has_tombstone = res1
+            .new_target_pages
+            .iter()
+            .flat_map(|p| p.records.iter())
+            .any(|r| r.key == 2 && r.value.is_none());
+        assert!(has_tombstone);
+        // L1 -> L2 (deepest): tombstone dropped.
+        let req2 = MergeRequest {
+            edge,
+            source_level: 1,
+            source_l0: vec![],
+            source_pages: res1.new_target_pages.clone(),
+            target_pages: vec![],
+            epoch: res1.new_epoch,
+        };
+        let res2 = index.process_merge(&cloud, &ledger, &req2, 0).unwrap();
+        let keys: Vec<u64> = res2
+            .new_target_pages
+            .iter()
+            .flat_map(|p| p.records.iter().map(|r| r.key))
+            .collect();
+        assert_eq!(keys, vec![1]);
+    }
+
+    #[test]
+    fn refresh_global_updates_timestamp_only() {
+        let (cloud, _ledger, mut index, edge) = setup();
+        let init = index.init_edge(&cloud, edge, 100);
+        let refreshed = index.refresh_global(&cloud, edge, 500).unwrap();
+        assert_eq!(refreshed.root, init.global.root);
+        assert_eq!(refreshed.epoch, init.global.epoch);
+        assert_eq!(refreshed.timestamp_ns, 500);
+    }
+
+    #[test]
+    fn merge_out_of_deepest_level_rejected() {
+        let (cloud, ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        let req = MergeRequest {
+            edge,
+            source_level: 2, // exposition config has merkle levels 1..2
+            source_l0: vec![],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        assert_eq!(index.process_merge(&cloud, &ledger, &req, 0), Err(MergeError::BadLevel(2)));
+    }
+
+    #[test]
+    fn unknown_edge_rejected() {
+        let (cloud, ledger, mut index, edge) = setup();
+        let req = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        assert_eq!(index.process_merge(&cloud, &ledger, &req, 0), Err(MergeError::UnknownEdge(edge)));
+    }
+}

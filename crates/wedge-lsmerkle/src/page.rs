@@ -1,0 +1,344 @@
+//! Pages: the immutable storage unit of LSMerkle levels.
+//!
+//! Two kinds exist (§V-B):
+//!
+//! - **L0 pages** ([`L0Page`]) wrap a sealed WedgeChain block: the
+//!   page's digest *is* the block digest, so one block-certify /
+//!   block-proof exchange certifies both the log block and the index
+//!   page. Records keep block order; several versions of a key may
+//!   coexist.
+//! - **Sorted pages** ([`Page`]) for levels ≥ 1: records sorted by
+//!   key, at most one version per key, and an explicit `[min, max]`
+//!   key range obeying the adjacency invariant `p_x.max = p_y.min − 1`
+//!   with the first page's min = 0 and the last page's max = ∞
+//!   (`u64::MAX`).
+
+use crate::kv::{Key, KvRecord};
+use serde::{Deserialize, Serialize};
+use wedge_crypto::Digest;
+use wedge_log::Encoder;
+
+/// A sorted, range-covering page in level ≥ 1.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Page {
+    /// Smallest key this page is responsible for (inclusive).
+    pub min: Key,
+    /// Largest key this page is responsible for (inclusive).
+    pub max: Key,
+    /// Records sorted by key; at most one version per key.
+    pub records: Vec<KvRecord>,
+    /// Virtual time (ns) the page was created (at merge time).
+    pub created_at_ns: u64,
+}
+
+impl Page {
+    /// Canonical digest of the page.
+    pub fn digest(&self) -> Digest {
+        let mut enc = Encoder::with_tag("wedge-page-v1");
+        enc.put_u64(self.min).put_u64(self.max).put_u64(self.created_at_ns);
+        enc.put_u64(self.records.len() as u64);
+        for r in &self.records {
+            enc.put_u64(r.key).put_u64(r.version.bid).put_u32(r.version.pos);
+            match &r.value {
+                Some(v) => {
+                    enc.put_u8(1);
+                    enc.put_bytes(v);
+                }
+                None => {
+                    enc.put_u8(0);
+                }
+            }
+        }
+        wedge_crypto::sha256(&enc.finish())
+    }
+
+    /// True iff `key` falls in this page's responsibility range.
+    pub fn covers(&self, key: Key) -> bool {
+        self.min <= key && key <= self.max
+    }
+
+    /// Binary-searches for `key` among the sorted records.
+    pub fn lookup(&self, key: Key) -> Option<&KvRecord> {
+        self.records
+            .binary_search_by_key(&key, |r| r.key)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Checks internal well-formedness: sorted unique keys, all within
+    /// `[min, max]`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.records.windows(2) {
+            if w[0].key >= w[1].key {
+                return Err(format!("records not strictly sorted: {} !< {}", w[0].key, w[1].key));
+            }
+        }
+        for r in &self.records {
+            if !self.covers(r.key) {
+                return Err(format!("record key {} outside range [{}, {}]", r.key, self.min, self.max));
+            }
+        }
+        if self.min > self.max {
+            return Err(format!("inverted range [{}, {}]", self.min, self.max));
+        }
+        Ok(())
+    }
+
+    /// Approximate wire size (for the network model).
+    pub fn wire_size(&self) -> u32 {
+        28 + self.records.iter().map(|r| r.wire_size()).sum::<u32>()
+    }
+}
+
+/// Checks the paper's level-wide range invariants over adjacent pages:
+/// first `min = 0`, last `max = ∞`, and `p_x.max = p_y.min − 1`.
+pub fn check_level_ranges(pages: &[Page]) -> Result<(), String> {
+    if pages.is_empty() {
+        return Ok(());
+    }
+    if pages[0].min != 0 {
+        return Err(format!("first page min is {}, expected 0", pages[0].min));
+    }
+    if pages[pages.len() - 1].max != Key::MAX {
+        return Err("last page max is not infinity".into());
+    }
+    for w in pages.windows(2) {
+        if w[0].max != w[1].min - 1 {
+            return Err(format!(
+                "adjacency violated: max {} then min {}",
+                w[0].max, w[1].min
+            ));
+        }
+    }
+    for p in pages {
+        p.check_invariants()?;
+    }
+    Ok(())
+}
+
+/// An L0 page: a sealed block viewed as index records.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L0Page {
+    /// The underlying block (kept so the cloud can re-verify the block
+    /// digest against its cert ledger during merges).
+    pub block: wedge_log::Block,
+    /// KV records decoded from the block, in block order.
+    pub records: Vec<KvRecord>,
+}
+
+impl L0Page {
+    /// Builds an L0 page from a sealed block.
+    pub fn from_block(block: wedge_log::Block) -> Self {
+        let records = crate::kv::records_from_block(&block);
+        L0Page { block, records }
+    }
+
+    /// The page digest — identical to the block digest, so one
+    /// certification covers both (§V-B "Put operations").
+    pub fn digest(&self) -> Digest {
+        self.block.digest()
+    }
+
+    /// The newest record for `key` within this page, if any.
+    pub fn lookup(&self, key: Key) -> Option<&KvRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.key == key)
+            .max_by_key(|r| r.version)
+    }
+
+    /// The page's block id (doubles as its version epoch).
+    pub fn bid(&self) -> u64 {
+        self.block.id.0
+    }
+
+    /// Wire size when shipped to the cloud for merging.
+    pub fn wire_size(&self) -> u32 {
+        self.block.wire_size()
+    }
+}
+
+/// The newest record for `key` across a set of L0 pages.
+pub fn l0_lookup(pages: &[L0Page], key: Key) -> Option<&KvRecord> {
+    pages.iter().filter_map(|p| p.lookup(key)).max_by_key(|r| r.version)
+}
+
+/// [`l0_lookup`] over borrowed pages (used by proof verification,
+/// which holds references into a proof structure).
+pub fn l0_lookup_pages<'a>(pages: &[&'a L0Page], key: Key) -> Option<&'a KvRecord> {
+    pages.iter().filter_map(|p| p.lookup(key)).max_by_key(|r| r.version)
+}
+
+/// Splits merged, sorted records into range-covering pages of at most
+/// `page_capacity` records, assigning ranges that satisfy
+/// [`check_level_ranges`].
+pub fn split_into_pages(records: Vec<KvRecord>, page_capacity: usize, now_ns: u64) -> Vec<Page> {
+    assert!(page_capacity > 0);
+    if records.is_empty() {
+        return Vec::new();
+    }
+    let chunks: Vec<&[KvRecord]> = records.chunks(page_capacity).collect();
+    let n = chunks.len();
+    let mut pages = Vec::with_capacity(n);
+    let mut next_min: Key = 0;
+    for (i, chunk) in chunks.iter().enumerate() {
+        let max = if i + 1 == n {
+            Key::MAX
+        } else {
+            // Boundary: one below the next chunk's first key.
+            chunks[i + 1][0].key - 1
+        };
+        pages.push(Page {
+            min: next_min,
+            max,
+            records: chunk.to_vec(),
+            created_at_ns: now_ns,
+        });
+        next_min = max.wrapping_add(1);
+    }
+    pages
+}
+
+/// Finds the unique page covering `key` in a range-partitioned level.
+pub fn find_covering(pages: &[Page], key: Key) -> Option<(usize, &Page)> {
+    // Pages are sorted by min; binary search the partition point.
+    let idx = pages.partition_point(|p| p.max < key);
+    pages.get(idx).filter(|p| p.covers(key)).map(|p| (idx, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::Version;
+    use crate::kv::{kv_entry, KvOp};
+    use wedge_crypto::{Identity, IdentityId};
+    use wedge_log::{Block, BlockId};
+
+    fn rec(key: Key, bid: u64, val: &[u8]) -> KvRecord {
+        KvRecord { key, version: Version { bid, pos: 0 }, value: Some(val.to_vec()) }
+    }
+
+    #[test]
+    fn page_lookup_and_covers() {
+        let p = Page {
+            min: 10,
+            max: 20,
+            records: vec![rec(11, 1, b"a"), rec(15, 1, b"b"), rec(20, 1, b"c")],
+            created_at_ns: 0,
+        };
+        assert!(p.covers(10) && p.covers(20));
+        assert!(!p.covers(9) && !p.covers(21));
+        assert_eq!(p.lookup(15).unwrap().value.as_deref(), Some(b"b".as_ref()));
+        assert!(p.lookup(12).is_none());
+        assert!(p.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn invariant_checks_catch_violations() {
+        let unsorted = Page {
+            min: 0,
+            max: Key::MAX,
+            records: vec![rec(5, 1, b"a"), rec(3, 1, b"b")],
+            created_at_ns: 0,
+        };
+        assert!(unsorted.check_invariants().is_err());
+        let out_of_range = Page { min: 10, max: 20, records: vec![rec(5, 1, b"a")], created_at_ns: 0 };
+        assert!(out_of_range.check_invariants().is_err());
+    }
+
+    #[test]
+    fn split_satisfies_level_ranges() {
+        let records: Vec<KvRecord> = (0..10).map(|i| rec(i * 7 + 3, 1, b"v")).collect();
+        let pages = split_into_pages(records, 3, 99);
+        assert_eq!(pages.len(), 4);
+        assert!(check_level_ranges(&pages).is_ok());
+        assert_eq!(pages[0].min, 0);
+        assert_eq!(pages.last().unwrap().max, Key::MAX);
+        // Adjacency: p_x.max = p_y.min - 1 (checked), and every key
+        // findable via find_covering.
+        for i in 0..10u64 {
+            let key = i * 7 + 3;
+            let (_, p) = find_covering(&pages, key).unwrap();
+            assert_eq!(p.lookup(key).unwrap().key, key);
+        }
+    }
+
+    #[test]
+    fn split_empty_is_empty() {
+        assert!(split_into_pages(vec![], 4, 0).is_empty());
+    }
+
+    #[test]
+    fn find_covering_misses_nothing() {
+        let records: Vec<KvRecord> = [10u64, 20, 30, 40].iter().map(|&k| rec(k, 1, b"v")).collect();
+        let pages = split_into_pages(records, 2, 0);
+        // Keys between records still map to exactly one covering page.
+        for key in [0u64, 10, 15, 25, 39, 40, 41, Key::MAX] {
+            let hits = pages.iter().filter(|p| p.covers(key)).count();
+            assert_eq!(hits, 1, "key {key} covered by {hits} pages");
+            assert!(find_covering(&pages, key).is_some());
+        }
+    }
+
+    #[test]
+    fn page_digest_binds_everything() {
+        let p = Page { min: 0, max: Key::MAX, records: vec![rec(1, 1, b"a")], created_at_ns: 0 };
+        let mut q = p.clone();
+        q.max = 100;
+        assert_ne!(p.digest(), q.digest());
+        let mut q = p.clone();
+        q.records[0].value = Some(b"b".to_vec());
+        assert_ne!(p.digest(), q.digest());
+        let mut q = p.clone();
+        q.records[0].version = Version { bid: 2, pos: 0 };
+        assert_ne!(p.digest(), q.digest());
+    }
+
+    #[test]
+    fn l0_page_digest_equals_block_digest() {
+        let client = Identity::derive("client", 1);
+        let block = Block {
+            edge: IdentityId(9),
+            id: BlockId(0),
+            entries: vec![kv_entry(&client, 0, &KvOp::put(1, b"v".to_vec()))],
+            sealed_at_ns: 0,
+        };
+        let digest = block.digest();
+        let page = L0Page::from_block(block);
+        assert_eq!(page.digest(), digest);
+    }
+
+    #[test]
+    fn l0_lookup_newest_version_wins() {
+        let client = Identity::derive("client", 1);
+        let mk_block = |bid: u64, val: &[u8]| {
+            Block {
+                edge: IdentityId(9),
+                id: BlockId(bid),
+                entries: vec![kv_entry(&client, bid, &KvOp::put(5, val.to_vec()))],
+                sealed_at_ns: 0,
+            }
+        };
+        let pages =
+            vec![L0Page::from_block(mk_block(0, b"old")), L0Page::from_block(mk_block(1, b"new"))];
+        let r = l0_lookup(&pages, 5).unwrap();
+        assert_eq!(r.value.as_deref(), Some(b"new".as_ref()));
+        assert!(l0_lookup(&pages, 6).is_none());
+    }
+
+    #[test]
+    fn l0_page_multiple_versions_within_block() {
+        let client = Identity::derive("client", 1);
+        let block = Block {
+            edge: IdentityId(9),
+            id: BlockId(0),
+            entries: vec![
+                kv_entry(&client, 0, &KvOp::put(5, b"first".to_vec())),
+                kv_entry(&client, 1, &KvOp::put(5, b"second".to_vec())),
+            ],
+            sealed_at_ns: 0,
+        };
+        let page = L0Page::from_block(block);
+        assert_eq!(page.lookup(5).unwrap().value.as_deref(), Some(b"second".as_ref()));
+    }
+}

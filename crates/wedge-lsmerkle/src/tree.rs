@@ -1,0 +1,455 @@
+//! The edge-resident LSMerkle tree (§V-B).
+//!
+//! L0 is a list of block-backed pages (the WedgeChain log/buffer acting
+//! as mLSM's memory component); levels 1..n are Merkle-covered sorted
+//! runs whose roots the cloud signs. This type holds the edge's state
+//! and produces/applies the merge protocol messages; it never signs
+//! anything itself — an untrusted edge only *relays* cloud signatures.
+
+use crate::config::LsmConfig;
+use crate::kv::Key;
+use crate::level::{empty_level_root, tree_over, GlobalRootCert, Level};
+use crate::merge::{InitBundle, MergeRequest, MergeResult};
+use crate::page::L0Page;
+use wedge_crypto::{Digest, IdentityId};
+use wedge_log::{Block, BlockId, BlockProof};
+
+/// The edge node's LSMerkle state.
+#[derive(Debug)]
+pub struct LsMerkle {
+    edge: IdentityId,
+    cfg: LsmConfig,
+    /// L0 pages in block order, each optionally carrying its cloud
+    /// certification (attached when the block-proof arrives).
+    l0: Vec<(L0Page, Option<BlockProof>)>,
+    /// Merkle levels; index 0 is L1.
+    levels: Vec<Level>,
+    /// The freshest signed global root.
+    global: GlobalRootCert,
+    /// Current index epoch (must match the cloud's).
+    epoch: u64,
+}
+
+impl LsMerkle {
+    /// Creates an empty tree from the cloud's [`InitBundle`].
+    pub fn new(edge: IdentityId, cfg: LsmConfig, init: InitBundle) -> Self {
+        cfg.validate().expect("invalid LSMerkle config");
+        assert_eq!(init.level_roots.len(), cfg.num_merkle_levels());
+        let levels = init
+            .level_roots
+            .into_iter()
+            .map(|slr| Level::new(Vec::new(), slr))
+            .collect();
+        LsMerkle { edge, cfg, l0: Vec::new(), levels, global: init.global, epoch: 0 }
+    }
+
+    /// The owning edge identity.
+    pub fn edge(&self) -> IdentityId {
+        self.edge
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> &LsmConfig {
+        &self.cfg
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The freshest signed global root.
+    pub fn global(&self) -> &GlobalRootCert {
+        &self.global
+    }
+
+    /// Replaces the global cert with a fresher one (same root/epoch,
+    /// newer timestamp) from the cloud's freshness refresh path.
+    pub fn refresh_global(&mut self, cert: GlobalRootCert) {
+        debug_assert_eq!(cert.epoch, self.epoch);
+        if cert.timestamp_ns >= self.global.timestamp_ns {
+            self.global = cert;
+        }
+    }
+
+    /// L0 pages with their certification status.
+    pub fn l0_pages(&self) -> &[(L0Page, Option<BlockProof>)] {
+        &self.l0
+    }
+
+    /// The Merkle levels (index 0 = L1).
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Current roots of all Merkle levels, L1..Ln.
+    pub fn level_roots(&self) -> Vec<Digest> {
+        self.levels.iter().map(|l| l.root()).collect()
+    }
+
+    /// Total records across the tree (diagnostics).
+    pub fn record_count(&self) -> usize {
+        let l0: usize = self.l0.iter().map(|(p, _)| p.records.len()).sum();
+        let lv: usize =
+            self.levels.iter().flat_map(|l| l.pages.iter()).map(|p| p.records.len()).sum();
+        l0 + lv
+    }
+
+    /// Ingests a sealed block as a new L0 page.
+    pub fn apply_block(&mut self, block: Block) {
+        self.l0.push((L0Page::from_block(block), None));
+    }
+
+    /// Attaches a cloud block-proof to its L0 page (if still present —
+    /// the page may already have been merged away).
+    pub fn attach_block_proof(&mut self, proof: BlockProof) -> bool {
+        for (page, slot) in &mut self.l0 {
+            if page.block.id == proof.bid {
+                *slot = Some(proof);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The shallowest level whose page count exceeds its threshold, if
+    /// any. Only levels that *can* merge downward are reported (the
+    /// deepest level has nowhere to go).
+    pub fn overflowing_level(&self) -> Option<u32> {
+        if self.l0.len() > self.cfg.level_thresholds[0] {
+            return Some(0);
+        }
+        for (i, level) in self.levels.iter().enumerate() {
+            let level_no = i + 1;
+            // A merge from `level_no` targets `level_no + 1`, which must
+            // exist; the deepest level never merges out.
+            if level_no < self.cfg.num_merkle_levels()
+                && level.page_count() > self.cfg.level_thresholds[level_no]
+            {
+                return Some(level_no as u32);
+            }
+        }
+        None
+    }
+
+    /// Builds the merge request draining `source_level`. Only L0 pages
+    /// that are already certified are included (the cloud would reject
+    /// uncertified ones); uncertified pages stay in L0 for the next
+    /// merge.
+    pub fn build_merge_request(&self, source_level: u32) -> MergeRequest {
+        if source_level == 0 {
+            let source_l0: Vec<L0Page> = self
+                .l0
+                .iter()
+                .filter(|(_, proof)| proof.is_some())
+                .map(|(p, _)| p.clone())
+                .collect();
+            MergeRequest {
+                edge: self.edge,
+                source_level: 0,
+                source_l0,
+                source_pages: Vec::new(),
+                target_pages: self.levels[0].pages.clone(),
+                epoch: self.epoch,
+            }
+        } else {
+            let s = (source_level - 1) as usize;
+            MergeRequest {
+                edge: self.edge,
+                source_level,
+                source_l0: Vec::new(),
+                source_pages: self.levels[s].pages.clone(),
+                target_pages: self.levels[s + 1].pages.clone(),
+                epoch: self.epoch,
+            }
+        }
+    }
+
+    /// Applies a cloud merge result produced for `req`.
+    ///
+    /// Validates that the returned pages hash to the signed roots
+    /// before mutating any state (the edge distrusts nothing — the
+    /// cloud is trusted — but a transport corruption would otherwise
+    /// poison the index).
+    pub fn apply_merge_result(
+        &mut self,
+        req: &MergeRequest,
+        res: MergeResult,
+    ) -> Result<(), String> {
+        if res.edge != self.edge || res.source_level != req.source_level {
+            return Err("merge result does not match request".into());
+        }
+        if res.new_epoch != self.epoch + 1 {
+            return Err(format!(
+                "epoch gap: have {}, result is {}",
+                self.epoch, res.new_epoch
+            ));
+        }
+        let t_idx = res.source_level as usize; // target level index in self.levels
+        let new_tree_root = tree_over(&res.new_target_pages).root();
+        if new_tree_root != res.new_target_root.root {
+            return Err("target pages do not hash to signed root".into());
+        }
+        if res.all_level_roots.len() != self.levels.len() {
+            return Err("level root count mismatch".into());
+        }
+        // Install the new target level.
+        self.levels[t_idx] = Level::new(res.new_target_pages, res.new_target_root);
+        // Drain the source.
+        if res.source_level == 0 {
+            let merged: std::collections::HashSet<BlockId> =
+                req.source_l0.iter().map(|p| p.block.id).collect();
+            self.l0.retain(|(p, _)| !merged.contains(&p.block.id));
+        } else {
+            let s_idx = (res.source_level - 1) as usize;
+            let slr = res.new_source_root.ok_or("missing source root")?;
+            if slr.root != empty_level_root() {
+                return Err("source root is not the empty root".into());
+            }
+            self.levels[s_idx] = Level::new(Vec::new(), slr);
+        }
+        // Sanity: our level roots must now match the cloud's.
+        let ours = self.level_roots();
+        if ours != res.all_level_roots {
+            return Err("level roots diverged after merge".into());
+        }
+        self.epoch = res.new_epoch;
+        self.global = res.global;
+        Ok(())
+    }
+
+    /// Looks up the newest record for `key` across L0 and all levels,
+    /// returning where it was found. Levels report `(level_no, page
+    /// index within level)`.
+    pub fn find_newest(&self, key: Key) -> Option<(crate::kv::KvRecord, RecordLocation)> {
+        let mut best: Option<(crate::kv::KvRecord, RecordLocation)> = None;
+        for (page, _) in &self.l0 {
+            if let Some(r) = page.lookup(key) {
+                if best.as_ref().is_none_or(|(b, _)| r.version > b.version) {
+                    best = Some((r.clone(), RecordLocation::L0 { bid: page.bid() }));
+                }
+            }
+        }
+        for (i, level) in self.levels.iter().enumerate() {
+            if let Some((pidx, page)) = crate::page::find_covering(&level.pages, key) {
+                if let Some(r) = page.lookup(key) {
+                    if best.as_ref().is_none_or(|(b, _)| r.version > b.version) {
+                        best = Some((
+                            r.clone(),
+                            RecordLocation::Level { level: (i + 1) as u32, page: pidx },
+                        ));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Where a record was found in the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordLocation {
+    /// In an L0 page (identified by block id).
+    L0 {
+        /// Block id of the containing page.
+        bid: u64,
+    },
+    /// In a Merkle level.
+    Level {
+        /// Level number (1-based).
+        level: u32,
+        /// Page index within the level.
+        page: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{kv_entry, KvOp};
+    use crate::merge::CloudIndex;
+    use wedge_crypto::Identity;
+    use wedge_log::{CertLedger, Entry};
+
+    struct Fixture {
+        cloud: Identity,
+        ledger: CertLedger,
+        index: CloudIndex,
+        tree: LsMerkle,
+        edge: IdentityId,
+        client: Identity,
+        next_bid: u64,
+        next_seq: u64,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let cloud = Identity::derive("cloud", 0);
+            let edge = IdentityId(9);
+            let mut index = CloudIndex::new(LsmConfig::exposition());
+            let init = index.init_edge(&cloud, edge, 0);
+            let tree = LsMerkle::new(edge, LsmConfig::exposition(), init);
+            Fixture {
+                cloud,
+                ledger: CertLedger::new(),
+                index,
+                tree,
+                edge,
+                client: Identity::derive("client", 1),
+                next_bid: 0,
+                next_seq: 0,
+            }
+        }
+
+        /// Seals a block of puts, certifies it, feeds it to the tree.
+        fn ingest(&mut self, kvs: &[(u64, &[u8])]) {
+            let entries: Vec<Entry> = kvs
+                .iter()
+                .map(|(k, v)| {
+                    let e = kv_entry(&self.client, self.next_seq, &KvOp::put(*k, v.to_vec()));
+                    self.next_seq += 1;
+                    e
+                })
+                .collect();
+            let block = Block {
+                edge: self.edge,
+                id: BlockId(self.next_bid),
+                entries,
+                sealed_at_ns: self.next_bid,
+            };
+            self.next_bid += 1;
+            let digest = block.digest();
+            self.ledger.offer(self.edge, block.id, digest);
+            let proof = BlockProof::issue(&self.cloud, self.edge, block.id, digest);
+            self.tree.apply_block(block);
+            assert!(self.tree.attach_block_proof(proof));
+        }
+
+        /// Runs merges until nothing overflows.
+        fn drain_merges(&mut self) {
+            while let Some(level) = self.tree.overflowing_level() {
+                let req = self.tree.build_merge_request(level);
+                let res = self
+                    .index
+                    .process_merge(&self.cloud, &self.ledger, &req, 1_000)
+                    .unwrap();
+                self.tree.apply_merge_result(&req, res).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_and_find_in_l0() {
+        let mut fx = Fixture::new();
+        fx.ingest(&[(5, b"a"), (7, b"b")]);
+        let (rec, loc) = fx.tree.find_newest(5).unwrap();
+        assert_eq!(rec.value.as_deref(), Some(b"a".as_ref()));
+        assert_eq!(loc, RecordLocation::L0 { bid: 0 });
+        assert!(fx.tree.find_newest(6).is_none());
+    }
+
+    #[test]
+    fn overflow_triggers_merge_and_lookup_moves_to_level() {
+        let mut fx = Fixture::new();
+        // Exposition config: L0 threshold 2 — the third block overflows.
+        fx.ingest(&[(1, b"a")]);
+        fx.ingest(&[(2, b"b")]);
+        fx.ingest(&[(3, b"c")]);
+        assert_eq!(fx.tree.overflowing_level(), Some(0));
+        fx.drain_merges();
+        assert_eq!(fx.tree.l0_pages().len(), 0);
+        assert!(fx.tree.levels()[0].page_count() > 0);
+        let (rec, loc) = fx.tree.find_newest(2).unwrap();
+        assert_eq!(rec.value.as_deref(), Some(b"b".as_ref()));
+        assert!(matches!(loc, RecordLocation::Level { level: 1, .. }));
+    }
+
+    #[test]
+    fn newest_version_wins_across_l0_and_levels() {
+        let mut fx = Fixture::new();
+        fx.ingest(&[(1, b"old")]);
+        fx.ingest(&[(9, b"x")]);
+        fx.ingest(&[(8, b"y")]);
+        fx.drain_merges();
+        // Now overwrite key 1 in L0.
+        fx.ingest(&[(1, b"new")]);
+        let (rec, loc) = fx.tree.find_newest(1).unwrap();
+        assert_eq!(rec.value.as_deref(), Some(b"new".as_ref()));
+        assert!(matches!(loc, RecordLocation::L0 { .. }));
+    }
+
+    #[test]
+    fn uncertified_pages_stay_in_l0_during_merge() {
+        let mut fx = Fixture::new();
+        fx.ingest(&[(1, b"a")]);
+        fx.ingest(&[(2, b"b")]);
+        // A third, *uncertified* block.
+        let entries = vec![kv_entry(&fx.client, 999, &KvOp::put(3, b"c".to_vec()))];
+        let block =
+            Block { edge: fx.edge, id: BlockId(fx.next_bid), entries, sealed_at_ns: 0 };
+        fx.next_bid += 1;
+        fx.tree.apply_block(block);
+        assert_eq!(fx.tree.overflowing_level(), Some(0));
+        let req = fx.tree.build_merge_request(0);
+        // Only the two certified pages are shipped.
+        assert_eq!(req.source_l0.len(), 2);
+        let res = fx.index.process_merge(&fx.cloud, &fx.ledger, &req, 0).unwrap();
+        fx.tree.apply_merge_result(&req, res).unwrap();
+        // The uncertified page remains in L0.
+        assert_eq!(fx.tree.l0_pages().len(), 1);
+        assert_eq!(fx.tree.find_newest(3).unwrap().0.value.as_deref(), Some(b"c".as_ref()));
+    }
+
+    #[test]
+    fn epoch_advances_per_merge() {
+        let mut fx = Fixture::new();
+        assert_eq!(fx.tree.epoch(), 0);
+        fx.ingest(&[(1, b"a")]);
+        fx.ingest(&[(2, b"b")]);
+        fx.ingest(&[(3, b"c")]);
+        fx.drain_merges();
+        assert!(fx.tree.epoch() >= 1);
+        let roots = fx.tree.level_roots();
+        assert_eq!(roots, fx.index.state(fx.edge).unwrap().level_roots);
+    }
+
+    #[test]
+    fn deletes_shadow_older_values() {
+        let mut fx = Fixture::new();
+        fx.ingest(&[(5, b"v1")]);
+        // Tombstone in a later block.
+        let entries = vec![kv_entry(&fx.client, 50, &KvOp::delete(5))];
+        let block = Block { edge: fx.edge, id: BlockId(fx.next_bid), entries, sealed_at_ns: 0 };
+        fx.next_bid += 1;
+        let digest = block.digest();
+        fx.ledger.offer(fx.edge, block.id, digest);
+        let proof = BlockProof::issue(&fx.cloud, fx.edge, block.id, digest);
+        fx.tree.apply_block(block);
+        fx.tree.attach_block_proof(proof);
+        let (rec, _) = fx.tree.find_newest(5).unwrap();
+        assert_eq!(rec.value, None); // tombstone is the newest
+    }
+
+    #[test]
+    fn many_blocks_cascade_correctly() {
+        let mut fx = Fixture::new();
+        // 40 single-put blocks over 20 keys: forces repeated L0->L1 and
+        // L1->L2 merges in the tiny exposition config.
+        for i in 0..40u64 {
+            let key = i % 20;
+            let val = format!("v{i}");
+            fx.ingest(&[(key, val.as_bytes())]);
+            fx.drain_merges();
+        }
+        // Every key resolves to its newest write.
+        for key in 0..20u64 {
+            let expect = format!("v{}", key + 20);
+            let (rec, _) = fx.tree.find_newest(key).unwrap();
+            assert_eq!(rec.value.as_deref(), Some(expect.as_bytes()), "key {key}");
+        }
+        // All levels obey range invariants.
+        for level in fx.tree.levels() {
+            crate::page::check_level_ranges(&level.pages).unwrap();
+        }
+    }
+}

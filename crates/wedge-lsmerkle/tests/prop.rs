@@ -1,0 +1,197 @@
+//! Property-based tests for LSMerkle: model-based equivalence against
+//! a plain ordered map, plus structural invariants under arbitrary
+//! workloads.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wedge_crypto::{Identity, IdentityId, KeyRegistry};
+use wedge_log::{Block, BlockId, BlockProof, CertLedger, Entry};
+use wedge_lsmerkle::{
+    build_read_proof, check_level_ranges, kv_entry, verify_read_proof, CloudIndex, KvOp,
+    LsmConfig, LsMerkle,
+};
+
+/// A full edge+cloud fixture that ingests scripted ops.
+struct Fixture {
+    cloud: Identity,
+    client: Identity,
+    registry: KeyRegistry,
+    ledger: CertLedger,
+    index: CloudIndex,
+    tree: LsMerkle,
+    edge: IdentityId,
+    next_bid: u64,
+    next_seq: u64,
+}
+
+impl Fixture {
+    fn new(cfg: LsmConfig) -> Self {
+        let cloud = Identity::derive("cloud", 1);
+        let client = Identity::derive("client", 1000);
+        let edge = IdentityId(100);
+        let mut registry = KeyRegistry::new();
+        registry.register(cloud.id, cloud.public()).unwrap();
+        registry.register(client.id, client.public()).unwrap();
+        let mut index = CloudIndex::new(cfg.clone());
+        let init = index.init_edge(&cloud, edge, 0);
+        let tree = LsMerkle::new(edge, cfg, init);
+        Fixture {
+            cloud,
+            client,
+            registry,
+            ledger: CertLedger::new(),
+            index,
+            tree,
+            edge,
+            next_bid: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn ingest_block(&mut self, ops: &[(u64, Option<Vec<u8>>)]) {
+        let entries: Vec<Entry> = ops
+            .iter()
+            .map(|(k, v)| {
+                let op = match v {
+                    Some(v) => KvOp::put(*k, v.clone()),
+                    None => KvOp::delete(*k),
+                };
+                let e = kv_entry(&self.client, self.next_seq, &op);
+                self.next_seq += 1;
+                e
+            })
+            .collect();
+        let block = Block {
+            edge: self.edge,
+            id: BlockId(self.next_bid),
+            entries,
+            sealed_at_ns: self.next_bid,
+        };
+        self.next_bid += 1;
+        let digest = block.digest();
+        self.ledger.offer(self.edge, block.id, digest);
+        let proof = BlockProof::issue(&self.cloud, self.edge, block.id, digest);
+        self.tree.apply_block(block);
+        self.tree.attach_block_proof(proof);
+        while let Some(level) = self.tree.overflowing_level() {
+            let req = self.tree.build_merge_request(level);
+            if level == 0 && req.source_l0.is_empty() {
+                break;
+            }
+            let res = self.index.process_merge(&self.cloud, &self.ledger, &req, 0).unwrap();
+            self.tree.apply_merge_result(&req, res).unwrap();
+        }
+    }
+}
+
+/// Arbitrary op stream: (key in a small space, Some(value) | None).
+fn ops_strategy() -> impl Strategy<Value = Vec<(u64, Option<Vec<u8>>)>> {
+    proptest::collection::vec(
+        (0u64..64, proptest::option::weighted(0.8, proptest::collection::vec(any::<u8>(), 1..8))),
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LSMerkle agrees with a plain BTreeMap model under arbitrary
+    /// put/delete streams and arbitrary batching (merges included).
+    #[test]
+    fn model_equivalence(ops in ops_strategy(), batch in 1usize..7) {
+        let mut fx = Fixture::new(LsmConfig::exposition());
+        let mut model: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+        for chunk in ops.chunks(batch) {
+            fx.ingest_block(chunk);
+            for (k, v) in chunk {
+                model.insert(*k, v.clone());
+            }
+        }
+        for key in 0u64..64 {
+            let expect = model.get(&key).cloned().flatten();
+            let got = fx.tree.find_newest(key).and_then(|(r, _)| r.value);
+            prop_assert_eq!(expect, got, "key {}", key);
+        }
+    }
+
+    /// Every level obeys the paper's range invariants after any
+    /// sequence of merges.
+    #[test]
+    fn level_invariants_hold(ops in ops_strategy(), batch in 1usize..7) {
+        let mut fx = Fixture::new(LsmConfig::exposition());
+        for chunk in ops.chunks(batch) {
+            fx.ingest_block(chunk);
+            for level in fx.tree.levels() {
+                prop_assert!(check_level_ranges(&level.pages).is_ok());
+            }
+        }
+    }
+
+    /// Read proofs for every key — present or absent — verify, and the
+    /// verified value matches the model.
+    #[test]
+    fn read_proofs_verify_and_match(ops in ops_strategy(), batch in 1usize..7,
+                                    probe in proptest::collection::vec(0u64..80, 1..12)) {
+        let mut fx = Fixture::new(LsmConfig::exposition());
+        let mut model: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+        for chunk in ops.chunks(batch) {
+            fx.ingest_block(chunk);
+            for (k, v) in chunk {
+                model.insert(*k, v.clone());
+            }
+        }
+        for key in probe {
+            let proof = build_read_proof(&fx.tree, key);
+            let read = verify_read_proof(
+                &proof, fx.edge, fx.cloud.id, &fx.registry, u64::MAX, None,
+            );
+            prop_assert!(read.is_ok(), "key {}: {:?}", key, read.err());
+            let expect = model.get(&key).cloned().flatten();
+            prop_assert_eq!(read.unwrap().value, expect, "key {}", key);
+        }
+    }
+
+    /// The epoch advances exactly once per merge, and the edge's level
+    /// roots always equal the cloud's authoritative roots.
+    #[test]
+    fn edge_cloud_root_agreement(ops in ops_strategy(), batch in 1usize..7) {
+        let mut fx = Fixture::new(LsmConfig::exposition());
+        for chunk in ops.chunks(batch) {
+            fx.ingest_block(chunk);
+            let cloud_state = fx.index.state(fx.edge).unwrap();
+            prop_assert_eq!(fx.tree.epoch(), cloud_state.epoch);
+            prop_assert_eq!(fx.tree.level_roots(), cloud_state.level_roots.clone());
+        }
+    }
+
+    /// Tampering with any page in a proof is always detected.
+    #[test]
+    fn tampered_proofs_rejected(ops in ops_strategy(), key in 0u64..64,
+                                tamper_value in proptest::collection::vec(any::<u8>(), 1..4)) {
+        let mut fx = Fixture::new(LsmConfig::exposition());
+        for chunk in ops.chunks(3) {
+            fx.ingest_block(chunk);
+        }
+        let mut proof = build_read_proof(&fx.tree, key);
+        // Tamper wherever there is material.
+        let mut tampered = false;
+        if let Some(w) = proof.witnesses.first_mut() {
+            if let Some(r) = w.page.records.first_mut() {
+                if r.value.as_ref() != Some(&tamper_value) {
+                    r.value = Some(tamper_value.clone());
+                    tampered = true;
+                }
+            }
+        } else if let Some(w) = proof.l0.first_mut() {
+            if let Some(r) = w.page.records.first_mut() {
+                if r.value.as_ref() != Some(&tamper_value) {
+                    r.value = Some(tamper_value.clone());
+                    tampered = true;
+                }
+            }
+        }
+        prop_assume!(tampered);
+        let read = verify_read_proof(&proof, fx.edge, fx.cloud.id, &fx.registry, u64::MAX, None);
+        prop_assert!(read.is_err(), "tampered proof accepted");
+    }
+}

@@ -1,0 +1,165 @@
+//! Key distributions: uniform, Zipf, and sequential.
+//!
+//! The paper's workload draws keys from a partition of 100 K keys
+//! (§VI); skewed access is standard in KV evaluations, so a Zipf
+//! sampler is provided for the skew ablations.
+
+use serde::{Deserialize, Serialize};
+use wedge_sim::SimRng;
+
+/// A key distribution over `[0, key_space)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// Uniform over the key space.
+    Uniform,
+    /// Zipf with exponent `alpha` (α = 0 reduces to uniform-ish;
+    /// α ≈ 0.99 is the YCSB default).
+    Zipf {
+        /// The skew exponent.
+        alpha: f64,
+    },
+    /// Round-robin sequential (ingest-style streams).
+    Sequential,
+}
+
+/// A stateful sampler for a [`KeyDist`].
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    dist: KeyDist,
+    key_space: u64,
+    /// Sequential cursor.
+    next: u64,
+    /// Precomputed Zipf normalization constant.
+    zipf_norm: f64,
+}
+
+impl KeySampler {
+    /// Creates a sampler over `[0, key_space)`.
+    pub fn new(dist: KeyDist, key_space: u64) -> Self {
+        assert!(key_space > 0, "key space must be positive");
+        let zipf_norm = match dist {
+            KeyDist::Zipf { alpha } => {
+                // Harmonic normalization H_{n,α}; exact for small
+                // spaces, integral approximation above 10^6 keys.
+                if key_space <= 1_000_000 {
+                    (1..=key_space).map(|k| 1.0 / (k as f64).powf(alpha)).sum()
+                } else {
+                    let n = key_space as f64;
+                    if (alpha - 1.0).abs() < 1e-9 {
+                        n.ln() + 0.5772
+                    } else {
+                        (n.powf(1.0 - alpha) - 1.0) / (1.0 - alpha) + 1.0
+                    }
+                }
+            }
+            _ => 0.0,
+        };
+        KeySampler { dist, key_space, next: 0, zipf_norm }
+    }
+
+    /// Draws the next key.
+    pub fn sample(&mut self, rng: &mut SimRng) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => rng.gen_range(self.key_space),
+            KeyDist::Sequential => {
+                let k = self.next;
+                self.next = (self.next + 1) % self.key_space;
+                k
+            }
+            KeyDist::Zipf { alpha } => self.sample_zipf(rng, alpha),
+        }
+    }
+
+    /// Inverse-CDF Zipf sampling by bisection on the rank CDF.
+    fn sample_zipf(&mut self, rng: &mut SimRng, alpha: f64) -> u64 {
+        let u = rng.gen_f64() * self.zipf_norm;
+        // Bisection over rank; CDF(k) = sum_{i<=k} i^-α. For large
+        // spaces use the integral approximation inverse.
+        if self.key_space <= 4096 {
+            let mut acc = 0.0;
+            for k in 1..=self.key_space {
+                acc += 1.0 / (k as f64).powf(alpha);
+                if acc >= u {
+                    return k - 1;
+                }
+            }
+            self.key_space - 1
+        } else {
+            // Integral approximation: F(k) ≈ (k^{1-α} − 1)/(1−α) + 1.
+            let k = if (alpha - 1.0).abs() < 1e-9 {
+                (u.exp()).min(self.key_space as f64)
+            } else {
+                ((u - 1.0) * (1.0 - alpha) + 1.0)
+                    .max(1.0)
+                    .powf(1.0 / (1.0 - alpha))
+                    .min(self.key_space as f64)
+            };
+            (k as u64).saturating_sub(1).min(self.key_space - 1)
+        }
+    }
+
+    /// The distribution this sampler draws from.
+    pub fn dist(&self) -> &KeyDist {
+        &self.dist
+    }
+
+    /// The key space bound.
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_range_and_spreads() {
+        let mut s = KeySampler::new(KeyDist::Uniform, 100);
+        let mut rng = SimRng::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let k = s.sample(&mut rng);
+            assert!(k < 100);
+            seen.insert(k);
+        }
+        assert!(seen.len() > 80, "uniform sampler too clumped: {}", seen.len());
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut s = KeySampler::new(KeyDist::Sequential, 3);
+        let mut rng = SimRng::new(1);
+        let ks: Vec<u64> = (0..7).map(|_| s.sample(&mut rng)).collect();
+        assert_eq!(ks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut s = KeySampler::new(KeyDist::Zipf { alpha: 0.99 }, 1000);
+        let mut rng = SimRng::new(7);
+        let n = 20_000;
+        let head = (0..n)
+            .map(|_| s.sample(&mut rng))
+            .filter(|&k| k < 10)
+            .count();
+        // Top-10 ranks of a 1000-key Zipf(0.99) hold ~39% of mass.
+        let frac = head as f64 / n as f64;
+        assert!(frac > 0.25, "zipf head mass only {frac}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range_large_space() {
+        let mut s = KeySampler::new(KeyDist::Zipf { alpha: 0.8 }, 10_000_000);
+        let mut rng = SimRng::new(9);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key space must be positive")]
+    fn zero_key_space_panics() {
+        let _ = KeySampler::new(KeyDist::Uniform, 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! # wedge-workload
+//!
+//! Workload generation for the evaluation (§VI): key distributions
+//! ([`keys::KeyDist`]), operation mixes, and the parameter sweeps the
+//! paper's figures use ([`scenario::Scenario`]).
+
+pub mod keys;
+pub mod scenario;
+
+pub use keys::{KeyDist, KeySampler};
+pub use scenario::{Mix, Scenario};

@@ -1,0 +1,95 @@
+//! Malice, detection, punishment: the lazy-trust guarantee end to end.
+//!
+//! Three attacks from the paper's threat model (§IV-E), each scripted
+//! with a [`FaultPlan`] against a live deployment:
+//!
+//! 1. **Equivocation** — the edge promises the client one block digest
+//!    and certifies a different one at the cloud.
+//! 2. **Certification withholding** — the edge never certifies; the
+//!    client's dispute timeout fires.
+//! 3. **Omission** — the edge denies a block that gossip watermarks
+//!    prove exists.
+//!
+//! In every case the edge is detected and punished (revoked, barred
+//! from re-entry).
+//!
+//! Run with: `cargo run --release --example dispute_audit`
+
+use wedgechain::core::client::ClientPlan;
+use wedgechain::core::config::SystemConfig;
+use wedgechain::core::fault::FaultPlan;
+use wedgechain::core::harness::SystemHarness;
+use wedgechain::core::messages::Msg;
+use wedgechain::log::BlockId;
+
+fn attack(title: &str, fault: FaultPlan, cfg: SystemConfig) -> SystemHarness {
+    println!("--- {title} ---");
+    let plan = ClientPlan::writer(5, 50, 100, 10_000);
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, fault);
+    h.run(None);
+    h
+}
+
+fn report(h: &SystemHarness) {
+    let cloud = h.cloud_node();
+    let m = h.client_metrics(0);
+    println!("  disputes filed by client : {}", m.disputes_filed);
+    println!("  equivocations detected   : {}", cloud.stats.equivocations_detected);
+    println!("  disputes upheld          : {}", cloud.stats.disputes_upheld);
+    println!("  edge punished (revoked)  : {}\n", !cloud.punished.is_empty());
+}
+
+fn main() {
+    println!("WedgeChain dispute audit — every lie is eventually detected\n");
+
+    // 1. Equivocation at block 2: the cloud sees a digest that does
+    //    not match what the edge signed to the client. Detection can
+    //    happen at the cloud (duplicate certify) or via the client's
+    //    proof comparison; either way the edge is revoked.
+    let h = attack(
+        "Attack 1: equivocation on block 2",
+        FaultPlan::equivocate_on(2),
+        SystemConfig { dispute_timeout_ms: 2_000, ..SystemConfig::real_crypto() },
+    );
+    report(&h);
+    assert!(!h.cloud_node().punished.is_empty(), "equivocation must be punished");
+
+    // 2. Withholding certification of block 1: Phase II never arrives,
+    //    the client's timeout files a dispute, the cloud finds no
+    //    certification and punishes.
+    let h = attack(
+        "Attack 2: certification withheld for block 1",
+        FaultPlan::withhold_on(1),
+        SystemConfig { dispute_timeout_ms: 2_000, ..SystemConfig::real_crypto() },
+    );
+    report(&h);
+    assert!(!h.cloud_node().punished.is_empty(), "withholding must be punished");
+
+    // 3. Omission: the edge stores block 0 but answers "not available".
+    //    The client holds a gossip watermark proving blocks 0..n exist,
+    //    so the signed denial is itself the conviction.
+    println!("--- Attack 3: omission of block 0 on a log read ---");
+    let cfg = SystemConfig {
+        gossip_period_ms: 300,
+        dispute_timeout_ms: 2_000,
+        ..SystemConfig::real_crypto()
+    };
+    let plan = ClientPlan::writer(5, 50, 100, 10_000);
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::omit_on(0));
+    h.run(None); // writes finish; gossip watermarks reach the client
+    let client = h.clients[0];
+    let cloud_actor = h.cloud;
+    h.sim.inject(cloud_actor, client, Msg::DoLogRead { bid: BlockId(0) });
+    // Run until the dispute resolves.
+    for _ in 0..200_000 {
+        if !h.sim.step() || !h.cloud_node().punished.is_empty() {
+            break;
+        }
+    }
+    report(&h);
+    assert!(!h.cloud_node().punished.is_empty(), "omission must be punished");
+
+    println!("All three attacks detected; all three edges revoked.");
+    println!("Deterrence is the product: a rational edge with a known identity");
+    println!("does not lie when lying is guaranteed to be caught.");
+}

@@ -1,0 +1,49 @@
+//! # WedgeChain
+//!
+//! A reproduction of **"WedgeChain: A Trusted Edge-Cloud Store With
+//! Asynchronous (Lazy) Trust"** (Faisal Nawab, ICDE 2021,
+//! arXiv:2012.02258), built as a Rust workspace.
+//!
+//! WedgeChain spans untrusted *edge* nodes and a trusted *cloud* node.
+//! Its three ideas, all implemented here:
+//!
+//! 1. **Lazy (asynchronous) certification** — clients commit at the
+//!    edge immediately (*Phase I*), holding a signed edge response as
+//!    dispute evidence; the cloud certifies asynchronously (*Phase II*).
+//!    A lying edge is always detected eventually and punished.
+//! 2. **Data-free certification** — only 32-byte digests cross the
+//!    WAN; agreement on a one-way digest is agreement on the data.
+//! 3. **LSMerkle** — an LSM-tree-of-Merkle-trees index (extending
+//!    mLSM) that serves trusted key-value reads from the edge.
+//!
+//! This facade crate re-exports the workspace's public API. Start with
+//! [`core`] for the protocol, [`sim`] for the deterministic testbed,
+//! and the `examples/` directory for runnable scenarios.
+//!
+//! ```
+//! use wedgechain::core::harness::SystemHarness;
+//! use wedgechain::core::config::SystemConfig;
+//!
+//! // One edge node in California, the cloud in Virginia, one client.
+//! let mut h = SystemHarness::wedgechain(SystemConfig::real_crypto());
+//! let put = h.put(0, 17, b"72F".to_vec());
+//! // Phase I commits at edge latency, far below the 61 ms cloud RTT.
+//! assert!(put.phase1_latency.as_millis_f64() < 30.0);
+//! let got = h.get(0, 17);
+//! assert_eq!(got.value.as_deref(), Some(b"72F".as_ref()));
+//! ```
+
+/// Cryptographic substrate: SHA-256, HMAC, Schnorr, Merkle trees.
+pub use wedge_crypto as crypto;
+/// Deterministic discrete-event simulator and WAN model.
+pub use wedge_sim as sim;
+/// The logging layer: blocks, batching, certification state.
+pub use wedge_log as log;
+/// The LSMerkle trusted index.
+pub use wedge_lsmerkle as lsmerkle;
+/// The WedgeChain protocol: client/edge/cloud state machines.
+pub use wedge_core as core;
+/// Cloud-only and Edge-baseline comparison systems.
+pub use wedge_baselines as baselines;
+/// Workload generation for the evaluation.
+pub use wedge_workload as workload;

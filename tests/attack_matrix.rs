@@ -1,0 +1,117 @@
+//! The complete §IV-E attack matrix, end to end: every lie in the
+//! paper's threat model is injected, detected, and punished — and the
+//! "lazy but honest" case is *not* punished.
+
+use wedgechain::core::client::ClientPlan;
+use wedgechain::core::config::SystemConfig;
+use wedgechain::core::fault::FaultPlan;
+use wedgechain::core::harness::SystemHarness;
+use wedgechain::core::messages::Msg;
+use wedgechain::log::BlockId;
+
+fn run_with_fault(fault: FaultPlan, cfg: SystemConfig) -> SystemHarness {
+    let plan = ClientPlan::writer(5, 30, 80, 2_000);
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, fault);
+    h.run(None);
+    h
+}
+
+#[test]
+fn wrong_read_is_detected_and_punished() {
+    // The edge serves block 1's content when asked for block 0.
+    let cfg = SystemConfig { dispute_timeout_ms: 800, ..SystemConfig::real_crypto() };
+    let fault = FaultPlan { wrong_read: [(0u64, 1u64)].into(), ..FaultPlan::honest() };
+    let plan = ClientPlan::writer(4, 20, 50, 1_000);
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, fault);
+    h.run(None);
+    // A client audits block 0 by reading it from the log.
+    let client = h.clients[0];
+    let cloud = h.cloud;
+    h.sim.inject(cloud, client, Msg::DoLogRead { bid: BlockId(0) });
+    for _ in 0..500_000 {
+        if !h.sim.step() || !h.cloud_node().punished.is_empty() {
+            break;
+        }
+    }
+    assert!(
+        !h.cloud_node().punished.is_empty(),
+        "wrong-read went unpunished (disputes: {} filed / {} upheld)",
+        h.client_metrics(0).disputes_filed,
+        h.cloud_node().stats.disputes_upheld,
+    );
+}
+
+#[test]
+fn honest_log_read_is_not_punished() {
+    // Same audit flow against an honest edge: the Phase-I read's audit
+    // timer fires, the cloud compares digests, and dismisses.
+    let cfg = SystemConfig { dispute_timeout_ms: 800, ..SystemConfig::real_crypto() };
+    let plan = ClientPlan::writer(4, 20, 50, 1_000);
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::honest());
+    h.run(None);
+    let client = h.clients[0];
+    let cloud = h.cloud;
+    h.sim.inject(cloud, client, Msg::DoLogRead { bid: BlockId(0) });
+    let deadline = h.sim.now() + wedgechain::sim::SimDuration::from_secs(5);
+    h.sim.run_until(deadline, 1_000_000);
+    assert!(h.cloud_node().punished.is_empty(), "honest edge punished after log-read audit");
+}
+
+#[test]
+fn suppressed_proof_forwards_trigger_disputes_but_no_conviction() {
+    // The edge certifies honestly but never forwards Phase-II proofs
+    // ("lazy", not lying). Clients dispute on timeout; the cloud finds
+    // matching digests, dismisses, and re-sends the proofs itself.
+    let cfg = SystemConfig { dispute_timeout_ms: 800, ..SystemConfig::default() };
+    let fault = FaultPlan { suppress_proof_forwards: true, ..FaultPlan::honest() };
+    let h = run_with_fault(fault, cfg);
+    let m = h.client_metrics(0);
+    assert!(m.disputes_filed >= 1, "no dispute was filed");
+    // Lazy is not a crime: no punishment, and the client still reached
+    // Phase II via the cloud's re-sent proofs.
+    assert!(h.cloud_node().punished.is_empty(), "honest-but-lazy edge was punished");
+    assert!(m.ops_p2 > 0, "client never reached Phase II via dispute path");
+}
+
+#[test]
+fn equivocation_detected_even_without_client_timeouts() {
+    // With a generous timeout, detection still happens through the
+    // client's Phase-II digest comparison (forwarded proof vs receipt).
+    let cfg = SystemConfig { dispute_timeout_ms: 60_000, ..SystemConfig::default() };
+    let h = run_with_fault(FaultPlan::equivocate_on(0), cfg);
+    assert!(!h.cloud_node().punished.is_empty(), "equivocation undetected");
+}
+
+#[test]
+fn punished_edge_is_ignored_thereafter() {
+    let cfg = SystemConfig { dispute_timeout_ms: 500, ..SystemConfig::default() };
+    let fault = FaultPlan::equivocate_on(0);
+    let plan = ClientPlan::writer(10, 20, 50, 1_000);
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, fault);
+    h.run(None);
+    let cloud = h.cloud_node();
+    assert!(!cloud.punished.is_empty());
+    // After punishment the cloud certifies nothing more from this
+    // edge: certs issued stays below blocks sealed.
+    let sealed = h.edge_node().stats.blocks_sealed;
+    assert!(
+        cloud.stats.certs_issued < sealed,
+        "cloud kept certifying a punished edge ({} certs / {} blocks)",
+        cloud.stats.certs_issued,
+        sealed
+    );
+    // Re-registration is barred (assumption 2 of §II-D).
+    let edge_id = h.edge_node().id();
+    assert!(h.cloud_node().registry.is_revoked(edge_id));
+}
+
+#[test]
+fn data_full_mode_still_correct() {
+    // The data-free ablation switch must not change semantics.
+    let cfg = SystemConfig { data_free: false, ..SystemConfig::real_crypto() };
+    let mut h = SystemHarness::wedgechain(cfg);
+    h.put_certified(0, 3, b"x".to_vec());
+    let got = h.get(0, 3);
+    assert_eq!(got.verify_error, None);
+    assert_eq!(got.value.as_deref(), Some(b"x".as_ref()));
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the comparison systems and the real-threads
+//! runtime.
+
+use std::time::Duration;
+use wedgechain::baselines::{run_scenario, SystemKind};
+use wedgechain::core::config::SystemConfig;
+use wedgechain::core::threaded::{ThreadedCluster, ThreadedConfig};
+use wedgechain::lsmerkle::LsmConfig;
+use wedgechain::workload::{Mix, Scenario};
+
+fn quick_scenario() -> Scenario {
+    Scenario { batches_per_client: 8, ..Scenario::paper_default() }
+}
+
+#[test]
+fn all_three_systems_complete_the_same_workload() {
+    let s = quick_scenario();
+    for kind in SystemKind::ALL {
+        let out = run_scenario(kind, SystemConfig::default(), &s);
+        assert_eq!(out.agg.total_ops, 800, "{}", kind.name());
+        assert!(out.agg.p1_latency_ms > 0.0, "{}", kind.name());
+    }
+}
+
+#[test]
+fn baselines_have_no_commit_phase_gap() {
+    // Cloud-only and Edge-baseline certify synchronously: P1 == P2.
+    let s = quick_scenario();
+    for kind in [SystemKind::CloudOnly, SystemKind::EdgeBaseline] {
+        let out = run_scenario(kind, SystemConfig::default(), &s);
+        assert!(
+            (out.agg.p1_latency_ms - out.agg.p2_latency_ms).abs() < 1e-9,
+            "{}: p1 {} != p2 {}",
+            kind.name(),
+            out.agg.p1_latency_ms,
+            out.agg.p2_latency_ms
+        );
+    }
+    // WedgeChain has a real gap (the whole point).
+    let wc = run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &s);
+    assert!(wc.agg.p2_latency_ms > wc.agg.p1_latency_ms + 30.0);
+}
+
+#[test]
+fn edge_baseline_serializes_installs() {
+    // With many clients the EB cloud's one-install-at-a-time rule caps
+    // throughput: per-client rates must fall as clients are added.
+    let mut s = quick_scenario();
+    s.clients = 1;
+    let t1 = run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &s);
+    s.clients = 9;
+    let t9 = run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &s);
+    let scale = t9.agg.throughput_kops / t1.agg.throughput_kops;
+    assert!(
+        scale < 3.0,
+        "Edge-baseline scaled {scale}x with 9x clients — installs are not serialized"
+    );
+}
+
+#[test]
+fn all_read_mix_verifies_everything() {
+    let s = Scenario {
+        reads_per_client: 50,
+        key_space: 1_000,
+        ..Scenario::paper_default().with_mix(Mix::AllRead)
+    };
+    let wc = run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &s);
+    assert_eq!(wc.agg.total_ops, 50, "all reads verified");
+    let eb = run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &s);
+    assert_eq!(eb.agg.total_ops, 50, "all EB reads verified");
+}
+
+#[test]
+fn threaded_cluster_full_lifecycle() {
+    let cluster = ThreadedCluster::start(ThreadedConfig {
+        lsm: LsmConfig { level_thresholds: vec![2, 2, 4], page_capacity: 4 },
+        batch_size: 2,
+        cloud_hop_latency: Duration::from_millis(1),
+    });
+    // Write enough to force merges; hold the last Phase II receipt.
+    let mut last = None;
+    for k in 0..16u64 {
+        if let Some(r) = cluster.put(k, format!("t{k}").into_bytes()) {
+            last = Some(r);
+        }
+    }
+    if let Some(r) = cluster.flush() {
+        last = Some(r);
+    }
+    let reply = last.expect("at least one batch sealed");
+    let proof = reply.certified.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(proof.digest, reply.receipt.block_digest);
+    // Every write readable with a verified proof.
+    for k in 0..16u64 {
+        let read = cluster.get(k).unwrap();
+        assert_eq!(read.value, Some(format!("t{k}").into_bytes()), "key {k}");
+    }
+    // Absent keys produce verifiable absence.
+    assert_eq!(cluster.get(10_000).unwrap().value, None);
+    cluster.shutdown();
+}
+
+#[test]
+fn threaded_concurrent_readers() {
+    let cluster = ThreadedCluster::start(ThreadedConfig {
+        batch_size: 1,
+        ..ThreadedConfig::default()
+    });
+    for k in 0..8u64 {
+        cluster.put(k, vec![k as u8; 16]);
+    }
+    // Hammer reads from multiple threads concurrently.
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let cluster = &cluster;
+            scope.spawn(move || {
+                for i in 0..20u64 {
+                    let k = (t + i) % 8;
+                    let read = cluster.get(k).unwrap();
+                    assert_eq!(read.value, Some(vec![k as u8; 16]));
+                }
+            });
+        }
+    });
+    cluster.shutdown();
+}

@@ -1,0 +1,177 @@
+//! Workspace-level integration tests: the full WedgeChain stack —
+//! crypto, simulator, log, LSMerkle, protocol — exercised through the
+//! public facade crate.
+
+use wedgechain::core::client::ClientPlan;
+use wedgechain::core::config::SystemConfig;
+use wedgechain::core::fault::FaultPlan;
+use wedgechain::core::harness::SystemHarness;
+use wedgechain::log::CommitPhase;
+use wedgechain::sim::Region;
+
+#[test]
+fn lazy_certification_two_phases() {
+    let mut h = SystemHarness::wedgechain(SystemConfig::real_crypto());
+    let put = h.put_certified(0, 1, b"v1".to_vec());
+    let p1 = put.phase1_latency.as_millis_f64();
+    let p2 = put.phase2_latency.unwrap().as_millis_f64();
+    // Phase I ≈ client↔edge (local); Phase II adds the C↔V WAN RTT.
+    assert!(p1 < 30.0, "p1 {p1}");
+    assert!(p2 > 61.0, "p2 {p2}");
+    assert!(p2 - p1 > 50.0, "phases too close: {p1} vs {p2}");
+}
+
+#[test]
+fn writes_survive_merges_and_read_back() {
+    let mut cfg = SystemConfig::real_crypto();
+    cfg.lsm = wedgechain::lsmerkle::LsmConfig::exposition();
+    let mut h = SystemHarness::wedgechain(cfg);
+    // Enough writes to force cascading merges through every level.
+    for k in 0..30u64 {
+        h.put_certified(0, k, format!("value-{k}").into_bytes());
+    }
+    assert!(h.edge_node().stats.merges_completed > 0, "merges must have run");
+    for k in 0..30u64 {
+        let got = h.get(0, k);
+        assert_eq!(got.verify_error, None, "key {k}");
+        assert_eq!(got.value, Some(format!("value-{k}").into_bytes()), "key {k}");
+    }
+}
+
+#[test]
+fn overwrites_return_newest_version() {
+    let mut h = SystemHarness::wedgechain(SystemConfig::real_crypto());
+    h.put_certified(0, 5, b"old".to_vec());
+    h.put_certified(0, 5, b"mid".to_vec());
+    h.put_certified(0, 5, b"new".to_vec());
+    let got = h.get(0, 5);
+    assert_eq!(got.value.as_deref(), Some(b"new".as_ref()));
+}
+
+#[test]
+fn reads_from_multiple_clients_agree() {
+    let mut cfg = SystemConfig::real_crypto();
+    cfg.num_clients = 3;
+    let mut h = SystemHarness::wedgechain(cfg);
+    h.put_certified(0, 9, b"shared".to_vec());
+    // Agreement: all clients see the same certified value.
+    for c in 0..3 {
+        let got = h.get(c, 9);
+        assert_eq!(got.verify_error, None, "client {c}");
+        assert_eq!(got.value.as_deref(), Some(b"shared".as_ref()), "client {c}");
+        assert_eq!(got.phase, CommitPhase::Phase2);
+    }
+}
+
+#[test]
+fn equivocating_edge_is_punished() {
+    let cfg = SystemConfig { dispute_timeout_ms: 1_000, ..SystemConfig::real_crypto() };
+    let plan = ClientPlan::writer(4, 20, 50, 1_000);
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::equivocate_on(1));
+    h.run(None);
+    let cloud = h.cloud_node();
+    assert!(!cloud.punished.is_empty(), "equivocation went unpunished");
+    assert!(cloud.registry.is_revoked(h.edge_node().id()));
+    assert!(h.client_metrics(0).disputes_filed >= 1);
+}
+
+#[test]
+fn withholding_edge_is_punished_after_timeout() {
+    let cfg = SystemConfig { dispute_timeout_ms: 1_000, ..SystemConfig::real_crypto() };
+    let plan = ClientPlan::writer(3, 10, 50, 1_000);
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::withhold_on(0));
+    h.run(None);
+    assert!(!h.cloud_node().punished.is_empty(), "withholding went unpunished");
+    assert_eq!(h.client_metrics(0).disputes_upheld, 1);
+}
+
+#[test]
+fn honest_edge_is_never_punished() {
+    let cfg = SystemConfig { dispute_timeout_ms: 1_500, ..SystemConfig::default() };
+    let plan = ClientPlan {
+        reads: 40,
+        interleave: true,
+        ..ClientPlan::writer(10, 50, 100, 5_000)
+    };
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::honest());
+    h.run(None);
+    assert!(h.cloud_node().punished.is_empty());
+    assert_eq!(h.client_metrics(0).disputes_upheld, 0);
+    assert_eq!(h.client_metrics(0).reads_rejected, 0);
+}
+
+#[test]
+fn freshness_window_rejects_frozen_edge() {
+    // The edge stops applying merges/refreshes (stale serving); a
+    // client with a freshness window must reject its reads.
+    let cfg = SystemConfig {
+        freshness_window_ms: Some(2_000),
+        gossip_period_ms: 500,
+        ..SystemConfig::real_crypto()
+    };
+    let plan = ClientPlan::idle();
+    let fault = FaultPlan { freeze_after_epoch: Some(0), ..FaultPlan::honest() };
+    let mut h = SystemHarness::wedgechain_with(cfg, plan, fault);
+    h.put_certified(0, 1, b"v".to_vec());
+    // Let virtual time pass beyond the window (gossip keeps running,
+    // but the frozen edge ignores the refreshed global roots).
+    let deadline = h.sim.now() + wedgechain::sim::SimDuration::from_secs(10);
+    h.sim.run_until(deadline, 1_000_000);
+    let got = h.get(0, 1);
+    assert!(
+        matches!(got.verify_error, Some(wedgechain::lsmerkle::ProofError::Stale { .. })),
+        "stale read accepted: {:?}",
+        got.verify_error
+    );
+}
+
+#[test]
+fn fresh_edge_passes_freshness_window() {
+    let cfg = SystemConfig {
+        freshness_window_ms: Some(2_000),
+        gossip_period_ms: 500,
+        ..SystemConfig::real_crypto()
+    };
+    let mut h = SystemHarness::wedgechain(cfg);
+    h.put_certified(0, 1, b"v".to_vec());
+    let deadline = h.sim.now() + wedgechain::sim::SimDuration::from_secs(10);
+    h.sim.run_until(deadline, 1_000_000);
+    let got = h.get(0, 1);
+    assert_eq!(got.verify_error, None, "honest edge read rejected");
+    assert_eq!(got.value.as_deref(), Some(b"v".as_ref()));
+}
+
+#[test]
+fn wedgechain_beats_cloud_only_on_writes_everywhere() {
+    // Fig 7(a) invariant: wherever the cloud is, WedgeChain's Phase-I
+    // latency is unchanged and below Cloud-only's.
+    for cloud in [Region::Oregon, Region::Virginia, Region::Ireland, Region::Mumbai] {
+        let cfg = SystemConfig { cloud_region: cloud, ..SystemConfig::default() };
+        let mut h = SystemHarness::wedgechain(cfg);
+        let put = h.put(0, 1, b"v".to_vec());
+        let p1 = put.phase1_latency.as_millis_f64();
+        assert!(p1 < 30.0, "cloud@{cloud}: p1 {p1}");
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let cfg = SystemConfig { seed: 7, ..SystemConfig::default() };
+        let plan = ClientPlan {
+            reads: 30,
+            interleave: true,
+            ..ClientPlan::writer(8, 40, 80, 2_000)
+        };
+        let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::honest());
+        h.run(None);
+        let a = h.aggregate();
+        (
+            a.total_ops,
+            (a.p1_latency_ms * 1e6) as u64,
+            (a.p2_latency_ms * 1e6) as u64,
+            (a.read_latency_ms * 1e6) as u64,
+        )
+    };
+    assert_eq!(run(), run());
+}

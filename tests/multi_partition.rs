@@ -1,0 +1,59 @@
+//! Multi-partition deployments: several untrusted edges, one trusted
+//! cloud. Punishment is per-edge — a lying partition burns while the
+//! others keep working.
+
+use wedgechain::core::client::ClientPlan;
+use wedgechain::core::config::SystemConfig;
+use wedgechain::core::fault::FaultPlan;
+use wedgechain::core::harness::MultiPartitionHarness;
+
+#[test]
+fn partitions_progress_independently() {
+    let cfg = SystemConfig::default();
+    let plan = ClientPlan::writer(6, 50, 100, 5_000);
+    let mut h = MultiPartitionHarness::new(cfg, 3, 2, plan, vec![]);
+    h.run(10_000_000);
+    for p in 0..3 {
+        for c in 0..2 {
+            let m = h.client_metrics(p, c);
+            assert_eq!(m.ops_p1, 300, "partition {p} client {c}");
+        }
+        assert_eq!(h.edge_node(p).stats.blocks_sealed, 12, "partition {p}");
+    }
+    // The shared cloud certified all partitions' blocks.
+    assert_eq!(h.cloud_node().stats.certs_issued, 36);
+    assert!(h.cloud_node().punished.is_empty());
+}
+
+#[test]
+fn one_malicious_partition_does_not_poison_the_rest() {
+    let cfg = SystemConfig { dispute_timeout_ms: 1_000, ..SystemConfig::default() };
+    let plan = ClientPlan::writer(5, 40, 100, 5_000);
+    // Partition 1's edge equivocates on its block 2.
+    let faults = vec![FaultPlan::honest(), FaultPlan::equivocate_on(2), FaultPlan::honest()];
+    let mut h = MultiPartitionHarness::new(cfg, 3, 1, plan, faults);
+    h.run(10_000_000);
+    let cloud = h.cloud_node();
+    // Exactly the guilty edge was punished.
+    assert_eq!(cloud.punished.len(), 1);
+    assert!(cloud.punished.contains(&h.edge_node(1).id()));
+    // Honest partitions completed their workloads fully certified.
+    for p in [0usize, 2] {
+        let m = h.client_metrics(p, 0);
+        assert_eq!(m.ops_p1, 200, "partition {p}");
+        assert_eq!(m.ops_p2, 200, "partition {p} certification incomplete");
+    }
+}
+
+#[test]
+fn block_ids_are_per_partition() {
+    // §III: "ids are unique relative to an edge node, but are not
+    // unique across edge nodes" — the cert ledger must key by edge.
+    let cfg = SystemConfig::default();
+    let plan = ClientPlan::writer(3, 10, 50, 1_000);
+    let mut h = MultiPartitionHarness::new(cfg, 2, 1, plan, vec![]);
+    h.run(10_000_000);
+    // Both partitions used block ids 0..3; all six got certified.
+    assert_eq!(h.cloud_node().stats.certs_issued, 6);
+    assert_eq!(h.cloud_node().stats.equivocations_detected, 0);
+}
