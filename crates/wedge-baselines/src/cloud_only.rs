@@ -53,9 +53,7 @@ impl Actor<BMsg> for CloudOnlyCloud {
             BMsg::CoGet { req_id, key } => {
                 // Trusted read: index probe + I/O model only (Fig 5d's
                 // 0.5 ms without verification).
-                ctx.use_cpu(
-                    SimDuration::from_nanos(self.cost.read_base_ns) + self.cost.io_probe(),
-                );
+                ctx.use_cpu(SimDuration::from_nanos(self.cost.read_base_ns) + self.cost.io_probe());
                 self.gets_served += 1;
                 let value = self.store.get(&key).cloned();
                 let resp = BMsg::CoGetResp { req_id, value };

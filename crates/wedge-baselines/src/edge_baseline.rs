@@ -19,8 +19,7 @@ use wedge_core::metrics::ClientMetrics;
 use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_log::{Block, BlockId, BlockProof, CertLedger, LogStore};
 use wedge_lsmerkle::{
-    build_read_proof, verify_read_proof, CloudIndex, LsmConfig, LsMerkle, MergeRequest,
-    MergeResult,
+    build_read_proof, verify_read_proof, CloudIndex, LsMerkle, LsmConfig, MergeRequest, MergeResult,
 };
 use wedge_sim::{Actor, ActorId, Context, SimTime};
 use wedge_workload::KeySampler;
@@ -49,7 +48,13 @@ pub struct EbCloud {
 
 impl EbCloud {
     /// Creates the Edge-baseline cloud.
-    pub fn new(identity: Identity, edge: ActorId, edge_identity: IdentityId, cost: CostModel, lsm: LsmConfig) -> Self {
+    pub fn new(
+        identity: Identity,
+        edge: ActorId,
+        edge_identity: IdentityId,
+        cost: CostModel,
+        lsm: LsmConfig,
+    ) -> Self {
         let mut index = CloudIndex::new(lsm.clone());
         let init = index.init_edge(&identity, edge_identity, 0);
         let tree = LsMerkle::new(edge_identity, lsm, init);
@@ -115,12 +120,8 @@ impl EbCloud {
         ctx.use_cpu(self.cost.eb_cloud_process(ops));
         let bid = self.next_bid;
         self.next_bid = self.next_bid.next();
-        let block = Block {
-            edge: self.tree.edge(),
-            id: bid,
-            entries,
-            sealed_at_ns: ctx.now().as_nanos(),
-        };
+        let block =
+            Block { edge: self.tree.edge(), id: bid, entries, sealed_at_ns: ctx.now().as_nanos() };
         let digest = block.digest();
         self.ledger.offer(self.tree.edge(), bid, digest);
         let proof = BlockProof::issue(&self.identity, self.tree.edge(), bid, digest);

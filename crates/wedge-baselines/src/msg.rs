@@ -100,9 +100,7 @@ impl BMsg {
                     .sum::<u32>()
             }
             BMsg::CoGet { .. } | BMsg::EbGet { .. } => 24,
-            BMsg::CoGetResp { value, .. } => {
-                16 + value.as_ref().map_or(0, |v| v.len() as u32)
-            }
+            BMsg::CoGetResp { value, .. } => 16 + value.as_ref().map_or(0, |v| v.len() as u32),
             BMsg::EbBatch { entries, .. } => {
                 16 + entries.iter().map(|e| e.wire_size()).sum::<u32>()
             }

@@ -96,7 +96,8 @@ fn run_wedgechain(cfg: SystemConfig, plan: ClientPlan, scenario: &Scenario) -> R
 
 fn aggregate_from(metrics: Vec<ClientMetrics>) -> Aggregate {
     let mut agg = Aggregate::default();
-    let (mut p1s, mut p1n, mut p2s, mut p2n, mut rds, mut rdn) = (0.0, 0usize, 0.0, 0usize, 0.0, 0usize);
+    let (mut p1s, mut p1n, mut p2s, mut p2n, mut rds, mut rdn) =
+        (0.0, 0usize, 0.0, 0usize, 0.0, 0usize);
     let mut makespan = 0.0f64;
     for m in &metrics {
         p1s += m.p1_latency.mean() * m.p1_latency.count() as f64;
@@ -201,8 +202,7 @@ fn run_edge_baseline(cfg: SystemConfig, plan: ClientPlan, scenario: &Scenario) -
                     e
                 })
                 .collect();
-            let (block, proof, merges) =
-                sim.actor_mut::<EbCloud>(cloud).preload_block(entries, 0);
+            let (block, proof, merges) = sim.actor_mut::<EbCloud>(cloud).preload_block(entries, 0);
             let replica = sim.actor_mut::<EbEdge>(edge);
             replica.log.append(block.clone());
             replica.log.attach_proof(proof.clone());

@@ -14,8 +14,7 @@ fn write_latency_ordering_matches_fig4a() {
     let wc = run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &s);
     let co = run_scenario(SystemKind::CloudOnly, SystemConfig::default(), &s);
     let eb = run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &s);
-    let (wc_l, co_l, eb_l) =
-        (wc.agg.p1_latency_ms, co.agg.p1_latency_ms, eb.agg.p1_latency_ms);
+    let (wc_l, co_l, eb_l) = (wc.agg.p1_latency_ms, co.agg.p1_latency_ms, eb.agg.p1_latency_ms);
     // Fig 4a ordering: WedgeChain < Cloud-only < Edge-baseline.
     assert!(wc_l < co_l, "WedgeChain {wc_l} !< Cloud-only {co_l}");
     assert!(co_l < eb_l, "Cloud-only {co_l} !< Edge-baseline {eb_l}");
@@ -27,11 +26,8 @@ fn write_latency_ordering_matches_fig4a() {
 
 #[test]
 fn edge_baseline_degrades_with_batch_size() {
-    let small = run_scenario(
-        SystemKind::EdgeBaseline,
-        SystemConfig::default(),
-        &small_write_scenario(100),
-    );
+    let small =
+        run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &small_write_scenario(100));
     let large = run_scenario(
         SystemKind::EdgeBaseline,
         SystemConfig::default(),
@@ -41,16 +37,10 @@ fn edge_baseline_degrades_with_batch_size() {
     let ratio = large.agg.p1_latency_ms / small.agg.p1_latency_ms;
     assert!(ratio > 1.5, "Edge-baseline only degraded {ratio}x");
     // WedgeChain stays nearly flat (15 → 20 ms).
-    let wc_small = run_scenario(
-        SystemKind::WedgeChain,
-        SystemConfig::default(),
-        &small_write_scenario(100),
-    );
-    let wc_large = run_scenario(
-        SystemKind::WedgeChain,
-        SystemConfig::default(),
-        &small_write_scenario(2000),
-    );
+    let wc_small =
+        run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &small_write_scenario(100));
+    let wc_large =
+        run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &small_write_scenario(2000));
     let wc_ratio = wc_large.agg.p1_latency_ms / wc_small.agg.p1_latency_ms;
     assert!(wc_ratio < 1.6, "WedgeChain degraded {wc_ratio}x");
 }

@@ -49,14 +49,8 @@ fn ablation_lazy() {
         Scenario { batch_size: 500, batches_per_client: 20, ..Scenario::paper_default() };
     let wc = run_scenario(SystemKind::WedgeChain, SystemConfig::default(), &scenario);
     let eb = run_scenario(SystemKind::EdgeBaseline, SystemConfig::default(), &scenario);
-    println!(
-        "  lazy  (WedgeChain commit at Phase I): {:>7.1} ms",
-        wc.agg.p1_latency_ms
-    );
-    println!(
-        "  eager (certify-before-ack, = Edge-baseline): {:>7.1} ms",
-        eb.agg.p1_latency_ms
-    );
+    println!("  lazy  (WedgeChain commit at Phase I): {:>7.1} ms", wc.agg.p1_latency_ms);
+    println!("  eager (certify-before-ack, = Edge-baseline): {:>7.1} ms", eb.agg.p1_latency_ms);
     println!(
         "  eager/lazy penalty: {:.1}x — the cost of keeping the cloud on the write path",
         eb.agg.p1_latency_ms / wc.agg.p1_latency_ms

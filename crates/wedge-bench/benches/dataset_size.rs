@@ -13,10 +13,7 @@ use wedge_core::config::SystemConfig;
 use wedge_workload::Scenario;
 
 fn main() {
-    banner(
-        "Section VI-E",
-        "Put latency (ms) vs dataset size (keys per partition)",
-    );
+    banner("Section VI-E", "Put latency (ms) vs dataset size (keys per partition)");
     latency_header("keys");
     let mut first: Option<[f64; 3]> = None;
     let mut last = [0.0f64; 3];
@@ -24,21 +21,11 @@ fn main() {
         let mut cfg = SystemConfig::default();
         cfg.cost.dataset_keys = keys;
         cfg.key_space = keys;
-        let scenario = Scenario {
-            key_space: keys,
-            batches_per_client: 20,
-            ..Scenario::paper_default()
-        };
+        let scenario =
+            Scenario { key_space: keys, batches_per_client: 20, ..Scenario::paper_default() };
         let out = run_all(&cfg, &scenario);
-        let row = [
-            out[0].agg.p1_latency_ms,
-            out[1].agg.p1_latency_ms,
-            out[2].agg.p1_latency_ms,
-        ];
-        println!(
-            "{:<14} {:>14.1} {:>14.1} {:>16.1}",
-            keys, row[0], row[1], row[2]
-        );
+        let row = [out[0].agg.p1_latency_ms, out[1].agg.p1_latency_ms, out[2].agg.p1_latency_ms];
+        println!("{:<14} {:>14.1} {:>14.1} {:>16.1}", keys, row[0], row[1], row[2]);
         if first.is_none() {
             first = Some(row);
         }

@@ -20,11 +20,8 @@ fn main() {
     latency_header("batch");
     let mut rows = Vec::new();
     for &batch in &sweep {
-        let scenario = Scenario {
-            batch_size: batch,
-            batches_per_client: 30,
-            ..Scenario::paper_default()
-        };
+        let scenario =
+            Scenario { batch_size: batch, batches_per_client: 30, ..Scenario::paper_default() };
         let out = run_all(&cfg, &scenario);
         println!(
             "{:<14} {:>14.1} {:>14.1} {:>16.1}",

@@ -3,19 +3,18 @@
 //! The paper measures reads directly at the serving node (no WAN):
 //! WedgeChain/Edge-baseline ≈ 0.71 ms of which ~0.19 ms is client-side
 //! verification; Cloud-only ≈ 0.50 ms with no verification. This is a
-//! *real-time* microbenchmark (Criterion) over the actual data
-//! structures — proof construction, proof verification, and a plain
-//! trusted lookup — so the numbers here are hardware-dependent; the
-//! shape to check is `verify > 0` and `trusted read < proof-carrying
-//! read`.
+//! *real-time* microbenchmark over the actual data structures — proof
+//! construction, proof verification, and a plain trusted lookup — so
+//! the numbers here are hardware-dependent; the shape to check is
+//! `verify > 0` and `trusted read < proof-carrying read`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
+use wedge_bench::bench_fn;
 use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_log::{Block, BlockId, BlockProof, CertLedger};
 use wedge_lsmerkle::{
-    build_read_proof, kv_entry, verify_read_proof, CloudIndex, KvOp, LsmConfig, LsMerkle,
+    build_read_proof, kv_entry, verify_read_proof, CloudIndex, KvOp, LsMerkle, LsmConfig,
 };
 
 struct Fixture {
@@ -72,66 +71,40 @@ fn fixture(n: u64) -> Fixture {
     Fixture { tree, registry, edge: edge_ident.id, cloud: cloud_ident.id, trusted }
 }
 
-fn bench_fig5d(c: &mut Criterion) {
+fn main() {
     let fx = fixture(10_000);
-    let mut group = c.benchmark_group("fig5d_best_case_read");
+    println!("\n-- fig5d_best_case_read --");
 
     // WedgeChain / Edge-baseline edge-side: build the proof.
-    group.bench_function("edge_build_read_proof", |b| {
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7) % 10_000;
-            black_box(build_read_proof(&fx.tree, black_box(k)))
-        })
+    let mut k = 0u64;
+    bench_fn("edge_build_read_proof", 30, || {
+        k = (k + 7) % 10_000;
+        black_box(build_read_proof(&fx.tree, black_box(k)))
     });
 
     // Client-side: verify the proof (the paper's 0.19 ms overhead).
     let proof = build_read_proof(&fx.tree, 5_000);
-    group.bench_function("client_verify_read_proof", |b| {
-        b.iter(|| {
-            black_box(
-                verify_read_proof(
-                    black_box(&proof),
-                    fx.edge,
-                    fx.cloud,
-                    &fx.registry,
-                    u64::MAX,
-                    None,
-                )
+    bench_fn("client_verify_read_proof", 30, || {
+        black_box(
+            verify_read_proof(black_box(&proof), fx.edge, fx.cloud, &fx.registry, u64::MAX, None)
                 .unwrap(),
-            )
-        })
+        )
     });
 
     // End-to-end proof-carrying read (paper: ~0.71 ms total).
-    group.bench_function("wedgechain_read_total", |b| {
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7) % 10_000;
-            let p = build_read_proof(&fx.tree, black_box(k));
-            black_box(
-                verify_read_proof(&p, fx.edge, fx.cloud, &fx.registry, u64::MAX, None).unwrap(),
-            )
-        })
+    let mut k = 0u64;
+    bench_fn("wedgechain_read_total", 30, || {
+        k = (k + 7) % 10_000;
+        let p = build_read_proof(&fx.tree, black_box(k));
+        black_box(verify_read_proof(&p, fx.edge, fx.cloud, &fx.registry, u64::MAX, None).unwrap())
     });
 
     // Cloud-only: trusted read, no verification (paper: ~0.50 ms
     // including their server stack; here it is a bare map probe, so
     // expect it far below the proof-carrying read).
-    group.bench_function("cloud_only_trusted_read", |b| {
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7) % 10_000;
-            black_box(fx.trusted.get(&black_box(k)))
-        })
+    let mut k = 0u64;
+    bench_fn("cloud_only_trusted_read", 30, || {
+        k = (k + 7) % 10_000;
+        black_box(fx.trusted.get(&black_box(k)))
     });
-
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_fig5d
-}
-criterion_main!(benches);

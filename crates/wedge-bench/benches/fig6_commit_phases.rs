@@ -16,10 +16,7 @@ use wedge_workload::Scenario;
 const BATCHES: u64 = 4000;
 
 fn main() {
-    banner(
-        "Figure 6",
-        "P1 vs P2 commit progress over time, 4000 batches (logging workload)",
-    );
+    banner("Figure 6", "P1 vs P2 commit progress over time, 4000 batches (logging workload)");
     for &batch in &Scenario::fig6_batch_sizes() {
         let cfg = SystemConfig {
             // Logging workload: gossip/freshness machinery off the

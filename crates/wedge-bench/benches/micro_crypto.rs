@@ -1,77 +1,73 @@
-//! Criterion microbenches of the cryptographic substrate.
+//! Microbenches of the cryptographic substrate.
 //!
 //! These quantify the constants behind the cost model: SHA-256
 //! throughput (data-free certification hashes each block once),
 //! Schnorr sign/verify (every receipt and proof), and Merkle
 //! build/prove/verify (every LSMerkle level and read proof).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
+use wedge_bench::bench_fn;
 use wedge_crypto::{sha256, Keypair, MerkleTree, Sha256};
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256() {
+    println!("\n-- sha256 --");
     for size in [64usize, 1024, 16 * 1024, 256 * 1024] {
         let data = vec![0xABu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| sha256(black_box(data)))
-        });
+        // Throughput line: time a fixed batch, report MB/s.
+        let reps = (4 * 1024 * 1024 / size).max(8);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            black_box(sha256(black_box(&data)));
+        }
+        let dt = t0.elapsed();
+        let mbs = (reps * size) as f64 / dt.as_secs_f64() / 1e6;
+        println!("sha256/{size:<40} {mbs:>10.1} MB/s");
     }
-    group.finish();
 
-    c.bench_function("sha256_incremental_1mb_in_4k_chunks", |b| {
+    bench_fn("sha256_incremental_1mb_in_4k_chunks", 40, || {
         let chunk = vec![0u8; 4096];
-        b.iter(|| {
-            let mut h = Sha256::new();
-            for _ in 0..256 {
-                h.update(black_box(&chunk));
-            }
-            black_box(h.finalize())
-        })
+        let mut h = Sha256::new();
+        for _ in 0..256 {
+            h.update(black_box(&chunk));
+        }
+        black_box(h.finalize())
     });
 }
 
-fn bench_schnorr(c: &mut Criterion) {
+fn bench_schnorr() {
+    println!("\n-- schnorr --");
     let kp = Keypair::from_seed(b"bench");
     let msg = vec![0x42u8; 256];
     let sig = kp.sign(&msg);
-    c.bench_function("schnorr_sign_256b", |b| b.iter(|| black_box(kp.sign(black_box(&msg)))));
-    c.bench_function("schnorr_verify_256b", |b| {
-        b.iter(|| black_box(kp.public().verify(black_box(&msg), black_box(&sig))))
+    bench_fn("schnorr_sign_256b", 40, || black_box(kp.sign(black_box(&msg))));
+    bench_fn("schnorr_verify_256b", 40, || {
+        black_box(kp.public().verify(black_box(&msg), black_box(&sig)))
     });
 }
 
-fn bench_merkle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merkle");
+fn bench_merkle() {
+    println!("\n-- merkle --");
     for n in [10usize, 100, 1000] {
         let leaves: Vec<_> = (0..n).map(|i| sha256(format!("page-{i}").as_bytes())).collect();
-        group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, leaves| {
-            b.iter(|| black_box(MerkleTree::from_leaves(black_box(leaves))))
+        bench_fn(&format!("merkle/build/{n}"), 40, || {
+            black_box(MerkleTree::from_leaves(black_box(&leaves)))
         });
         let tree = MerkleTree::from_leaves(&leaves);
-        group.bench_with_input(BenchmarkId::new("prove", n), &tree, |b, tree| {
-            b.iter(|| black_box(tree.prove(black_box(n / 2)).unwrap()))
+        bench_fn(&format!("merkle/prove/{n}"), 40, || {
+            black_box(tree.prove(black_box(n / 2)).unwrap())
         });
         let proof = tree.prove(n / 2).unwrap();
         let root = tree.root();
         let leaf = leaves[n / 2];
-        group.bench_with_input(BenchmarkId::new("verify", n), &proof, |b, proof| {
-            b.iter(|| {
-                assert!(MerkleTree::verify(
-                    black_box(&root),
-                    black_box(&leaf),
-                    black_box(proof)
-                ))
-            })
+        bench_fn(&format!("merkle/verify/{n}"), 40, || {
+            assert!(MerkleTree::verify(black_box(&root), black_box(&leaf), black_box(&proof)))
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_sha256, bench_schnorr, bench_merkle
+fn main() {
+    bench_sha256();
+    bench_schnorr();
+    bench_merkle();
 }
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion microbenches of the LSMerkle index and logging layer.
+//! Microbenches of the LSMerkle index and logging layer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wedge_bench::{bench_fn, bench_with_setup};
 use wedge_crypto::{Identity, IdentityId};
 use wedge_log::{Block, BlockBuffer, BlockId, BlockProof, CertLedger, Entry};
 use wedge_lsmerkle::{
-    build_read_proof, kv_entry, CloudIndex, KvOp, LsmConfig, LsMerkle, MergeRequest,
+    build_read_proof, kv_entry, CloudIndex, KvOp, LsMerkle, LsmConfig, MergeRequest,
 };
 
 fn kv_block(client: &Identity, edge: IdentityId, bid: u64, base_key: u64, n: u64) -> Block {
@@ -48,82 +48,74 @@ fn settled_tree(n: u64) -> (LsMerkle, CloudIndex, CertLedger, Identity) {
     (tree, index, ledger, cloud)
 }
 
-fn bench_log(c: &mut Criterion) {
+fn bench_log() {
+    println!("\n-- log --");
     let client = Identity::derive("client", 1000);
-    c.bench_function("log_buffer_push_and_seal_100", |b| {
-        let entries: Vec<Entry> =
-            (0..100).map(|i| kv_entry(&client, i, &KvOp::put(i, vec![0xAB; 100]))).collect();
-        b.iter(|| {
-            let mut buf = BlockBuffer::new(IdentityId(100), 100);
-            for (i, e) in entries.iter().enumerate() {
-                let mut e = e.clone();
-                e.sequence = i as u64; // fresh sequences per iteration
-                buf.push(e);
-            }
-            black_box(buf.seal(0))
-        })
+    let entries: Vec<Entry> =
+        (0..100).map(|i| kv_entry(&client, i, &KvOp::put(i, vec![0xAB; 100]))).collect();
+    bench_fn("log_buffer_push_and_seal_100", 25, || {
+        let mut buf = BlockBuffer::new(IdentityId(100), 100);
+        for (i, e) in entries.iter().enumerate() {
+            let mut e = e.clone();
+            e.sequence = i as u64; // fresh sequences per iteration
+            buf.push(e);
+        }
+        black_box(buf.seal(0))
     });
-    c.bench_function("block_digest_100x100b", |b| {
-        let block = kv_block(&client, IdentityId(100), 0, 0, 100);
-        b.iter(|| black_box(block.digest()))
-    });
+    let block = kv_block(&client, IdentityId(100), 0, 0, 100);
+    bench_fn("block_digest_100x100b", 25, || black_box(block.digest()));
 }
 
-fn bench_tree_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lsmerkle");
+fn bench_tree_ops() {
+    println!("\n-- lsmerkle --");
     for n in [1_000u64, 10_000] {
         let (tree, ..) = settled_tree(n);
-        group.bench_with_input(BenchmarkId::new("get_proof", n), &tree, |b, tree| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k = (k + 13) % n;
-                black_box(build_read_proof(tree, black_box(k)))
-            })
+        let mut k = 0u64;
+        bench_fn(&format!("lsmerkle/get_proof/{n}"), 25, || {
+            k = (k + 13) % n;
+            black_box(build_read_proof(&tree, black_box(k)))
         });
-        group.bench_with_input(BenchmarkId::new("find_newest", n), &tree, |b, tree| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k = (k + 13) % n;
-                black_box(tree.find_newest(black_box(k)))
-            })
+        let mut k = 0u64;
+        bench_fn(&format!("lsmerkle/find_newest/{n}"), 25, || {
+            k = (k + 13) % n;
+            black_box(tree.find_newest(black_box(k)))
         });
     }
-    group.finish();
 }
 
-fn bench_merge(c: &mut Criterion) {
+fn bench_merge() {
+    println!("\n-- merge --");
     // One L0→L1 merge of 11 certified blocks of 100 records.
     let cloud = Identity::derive("cloud", 1);
     let edge = IdentityId(100);
     let client = Identity::derive("client", 1000);
-    c.bench_function("cloud_merge_l0_1100_records", |b| {
-        b.iter_with_setup(
-            || {
-                let mut index = CloudIndex::new(LsmConfig::paper_eval());
-                let init = index.init_edge(&cloud, edge, 0);
-                let mut tree = LsMerkle::new(edge, LsmConfig::paper_eval(), init);
-                let mut ledger = CertLedger::new();
-                for bid in 0..11u64 {
-                    let block = kv_block(&client, edge, bid, bid * 100, 100);
-                    let digest = block.digest();
-                    ledger.offer(edge, block.id, digest);
-                    let proof = BlockProof::issue(&cloud, edge, block.id, digest);
-                    tree.apply_block(block);
-                    tree.attach_block_proof(proof);
-                }
-                let req: MergeRequest = tree.build_merge_request(0);
-                (index, ledger, req)
-            },
-            |(mut index, ledger, req)| {
-                black_box(index.process_merge(&cloud, &ledger, &req, 0).unwrap())
-            },
-        )
-    });
+    bench_with_setup(
+        "cloud_merge_l0_1100_records",
+        25,
+        || {
+            let mut index = CloudIndex::new(LsmConfig::paper_eval());
+            let init = index.init_edge(&cloud, edge, 0);
+            let mut tree = LsMerkle::new(edge, LsmConfig::paper_eval(), init);
+            let mut ledger = CertLedger::new();
+            for bid in 0..11u64 {
+                let block = kv_block(&client, edge, bid, bid * 100, 100);
+                let digest = block.digest();
+                ledger.offer(edge, block.id, digest);
+                let proof = BlockProof::issue(&cloud, edge, block.id, digest);
+                tree.apply_block(block);
+                tree.attach_block_proof(proof);
+            }
+            let req: MergeRequest = tree.build_merge_request(0);
+            (index, ledger, req)
+        },
+        |(mut index, ledger, req)| {
+            black_box(index.process_merge(&cloud, &ledger, &req, 0).unwrap())
+        },
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(25);
-    targets = bench_log, bench_tree_ops, bench_merge
+fn main() {
+    bench_log();
+    bench_tree_ops();
+    bench_merge();
 }
-criterion_main!(benches);

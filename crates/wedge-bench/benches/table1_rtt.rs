@@ -8,10 +8,7 @@ use wedge_bench::banner;
 use wedge_sim::{format_table1, NetConfig, NetworkModel, Region, SimTime};
 
 fn main() {
-    banner(
-        "Table I",
-        "Average RTTs (ms) between California and other datacenters",
-    );
+    banner("Table I", "Average RTTs (ms) between California and other datacenters");
     print!("{}", format_table1());
 
     // Verify the model: measured delivery RTT == configured matrix.
@@ -22,10 +19,6 @@ fn main() {
         let t1 = net.delivery_at(SimTime::ZERO, Region::California, to, 64);
         net.reset_queues();
         let t2 = net.delivery_at(t1, to, Region::California, 64);
-        println!(
-            "  C -> {} -> C : {:>7.1} ms",
-            to.code(),
-            t2.as_millis_f64()
-        );
+        println!("  C -> {} -> C : {:>7.1} ms", to.code(), t2.as_millis_f64());
     }
 }

@@ -8,9 +8,46 @@
 //! crossovers are — is the reproduction target recorded in
 //! EXPERIMENTS.md.
 
+use std::time::{Duration, Instant};
 use wedge_baselines::{run_scenario, RunOutput, SystemKind};
 use wedge_core::config::SystemConfig;
 use wedge_workload::Scenario;
+
+/// Minimal real-time micro-bench harness (Criterion is not available
+/// in the offline build environment): warm up, time `iters`
+/// iterations individually, report mean / median / min.
+pub fn bench_fn<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..iters.div_ceil(10).min(5) {
+        std::hint::black_box(f());
+    }
+    bench_with_setup(name, iters, || (), |()| f());
+}
+
+/// Like [`bench_fn`], but rebuilds untimed input state before every
+/// timed iteration (for consuming benchmarks such as merges) and
+/// skips the warmup.
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    iters: u32,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) {
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters.max(1) {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(f(input));
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<48} mean {:>11.3?}  median {:>11.3?}  min {:>11.3?}",
+        mean, median, samples[0]
+    );
+}
 
 /// Prints a figure banner.
 pub fn banner(id: &str, caption: &str) {
@@ -22,10 +59,7 @@ pub fn banner(id: &str, caption: &str) {
 
 /// Prints a latency table header for the three systems.
 pub fn latency_header(xlabel: &str) {
-    println!(
-        "{:<14} {:>14} {:>14} {:>16}",
-        xlabel, "WedgeChain", "Cloud-only", "Edge-baseline"
-    );
+    println!("{:<14} {:>14} {:>14} {:>16}", xlabel, "WedgeChain", "Cloud-only", "Edge-baseline");
 }
 
 /// Runs one scenario on all three systems.

@@ -13,8 +13,8 @@ use crate::messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt};
 use crate::metrics::ClientMetrics;
 use std::any::Any;
 use std::collections::HashMap;
-use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_crypto::Signature;
+use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_log::{BlockId, CommitPhase, Entry, WatermarkTracker};
 use wedge_lsmerkle::{verify_read_proof, KvOp, ProofError};
 use wedge_sim::{Actor, ActorId, Context, SimDuration, SimTime, TimerId};
@@ -74,12 +74,7 @@ impl ClientPlan {
 
     /// A pure interactive-reader plan.
     pub fn reader(reads: u64, pipeline: usize, key_space: u64) -> Self {
-        ClientPlan {
-            reads,
-            read_pipeline: pipeline.max(1),
-            key_space,
-            ..ClientPlan::idle()
-        }
+        ClientPlan { reads, read_pipeline: pipeline.max(1), key_space, ..ClientPlan::idle() }
     }
 }
 
@@ -434,9 +429,10 @@ impl Actor<Msg> for ClientNode {
             Msg::BlockProofForward(proof) => self.handle_block_proof(ctx, proof),
             Msg::GetResponse { req_id, proof } => self.handle_get_response(ctx, req_id, *proof),
             Msg::GossipForward(wm) | Msg::Gossip(wm)
-                if wm.verify(self.cloud_identity, &self.registry) => {
-                    self.watermarks.record(wm);
-                }
+                if wm.verify(self.cloud_identity, &self.registry) =>
+            {
+                self.watermarks.record(wm);
+            }
             Msg::LogReadResponse { receipt, block, proof } => {
                 // Omission detection via watermark (§IV-E).
                 if receipt.digest.is_none()
@@ -461,8 +457,7 @@ impl Actor<Msg> for ClientNode {
                     if !ok {
                         // Served content contradicts certification.
                         self.metrics.disputes_filed += 1;
-                        let msg =
-                            Msg::DisputeMsg(Box::new(Dispute::WrongRead { receipt }));
+                        let msg = Msg::DisputeMsg(Box::new(Dispute::WrongRead { receipt }));
                         ctx.send(self.cloud, msg, 256);
                     }
                 } else if block.is_some() {
@@ -508,7 +503,11 @@ impl Actor<Msg> for ClientNode {
             let bid = BlockId(u64::MAX - tag);
             if let Some(receipt) = self.pending_log_reads.remove(&bid) {
                 self.metrics.disputes_filed += 1;
-                ctx.send(self.cloud, Msg::DisputeMsg(Box::new(Dispute::WrongRead { receipt })), 256);
+                ctx.send(
+                    self.cloud,
+                    Msg::DisputeMsg(Box::new(Dispute::WrongRead { receipt })),
+                    256,
+                );
             }
             return;
         }
@@ -516,8 +515,9 @@ impl Actor<Msg> for ClientNode {
         if let Some((receipt, sent, timer)) = self.pending_p2.remove(&bid) {
             // Phase II never arrived: dispute with our signed evidence.
             self.metrics.disputes_filed += 1;
-            let msg =
-                Msg::DisputeMsg(Box::new(Dispute::MissingCertification { receipt: receipt.clone() }));
+            let msg = Msg::DisputeMsg(Box::new(Dispute::MissingCertification {
+                receipt: receipt.clone(),
+            }));
             ctx.send(self.cloud, msg, 256);
             // Keep the receipt: if the verdict is Dismissed the cloud
             // re-sends the proof and Phase II can still complete (the

@@ -1,58 +1,29 @@
-//! The trusted cloud node actor.
+//! The trusted cloud node actor — a thin simulator driver over the
+//! sans-IO [`CloudEngine`].
 //!
-//! The cloud never sits on the write path (that is the whole point of
-//! lazy certification): it certifies digests asynchronously, performs
-//! merges, gossips watermarks, rules on disputes, and punishes — it is
-//! the detection-and-punishment half of the "commit now, verify
-//! eventually" bargain.
+//! All protocol logic (certification ledger, merge verification,
+//! dispute rulings, punishment, gossip content) lives in
+//! [`crate::engine::cloud::CloudEngine`]; this actor only arms the
+//! gossip timer and translates messages/effects to and from the
+//! simulation [`Context`].
 
 use crate::cost::CostModel;
-use crate::messages::{certify_signing_bytes, Dispute, DisputeVerdict, Msg};
+use crate::engine::{CloudCommand, CloudEffect, CloudEngine};
+use crate::messages::Msg;
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
-use wedge_crypto::{Identity, IdentityId, KeyRegistry, RevocationReason};
-use wedge_log::{BlockProof, CertLedger, CertOutcome, GossipWatermark};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_lsmerkle::CloudIndex;
 use wedge_sim::{Actor, ActorId, Context, SimDuration, TimerId};
 
-/// Counters exposed for benches and assertions.
-#[derive(Clone, Debug, Default)]
-pub struct CloudStats {
-    /// Block proofs issued.
-    pub certs_issued: u64,
-    /// Equivocations detected at certify time.
-    pub equivocations_detected: u64,
-    /// Merges processed successfully.
-    pub merges_processed: u64,
-    /// Merge requests rejected (forged/stale inputs).
-    pub merges_rejected: u64,
-    /// Disputes received.
-    pub disputes_received: u64,
-    /// Disputes upheld (punishments).
-    pub disputes_upheld: u64,
-    /// Gossip rounds emitted.
-    pub gossip_rounds: u64,
-    /// Bytes received from edges (data-free ablation metric).
-    pub wan_bytes_from_edges: u64,
-}
+pub use crate::engine::CloudStats;
 
-/// The cloud node state machine.
+/// The cloud node actor: the shared engine plus its simulator wiring.
 pub struct CloudNode {
-    identity: Identity,
-    /// The trusted key registry (revocations = punishments live here).
-    pub registry: KeyRegistry,
-    cost: CostModel,
-    /// Certified digests (the agreement anchor).
-    pub ledger: CertLedger,
-    /// Authoritative LSMerkle roots per edge.
-    pub index: CloudIndex,
-    /// Edge actor ↔ identity mapping.
-    edges: HashMap<ActorId, IdentityId>,
-    /// Punished edges (also revoked in `registry`).
-    pub punished: HashSet<IdentityId>,
+    /// The protocol state machine (shared with the threaded runtime).
+    pub engine: CloudEngine<ActorId>,
     gossip_period: Option<SimDuration>,
-    /// Counters.
-    pub stats: CloudStats,
 }
 
 impl CloudNode {
@@ -65,208 +36,33 @@ impl CloudNode {
         edges: HashMap<ActorId, IdentityId>,
         gossip_period: Option<SimDuration>,
     ) -> Self {
-        CloudNode {
-            identity,
-            registry,
-            cost,
-            ledger: CertLedger::new(),
-            index,
-            edges,
-            punished: HashSet::new(),
-            gossip_period,
-            stats: CloudStats::default(),
-        }
+        let engine = CloudEngine::new(identity, registry, cost, index, edges);
+        CloudNode { engine, gossip_period }
     }
 
-    /// The cloud's identity id.
-    pub fn id(&self) -> IdentityId {
-        self.identity.id
-    }
-
-    fn punish(&mut self, edge: IdentityId, reason: RevocationReason) {
-        if self.punished.insert(edge) {
-            self.registry.revoke(edge, reason);
-        }
-    }
-
-    fn edge_identity(&self, actor: ActorId) -> Option<IdentityId> {
-        self.edges.get(&actor).copied()
-    }
-
-    fn handle_certify(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        from: ActorId,
-        bid: wedge_log::BlockId,
-        digest: wedge_crypto::Digest,
-        signature: wedge_crypto::Signature,
-    ) {
-        let Some(edge) = self.edge_identity(from) else { return };
-        if self.punished.contains(&edge) {
-            return; // punished edges are ignored entirely
-        }
-        ctx.use_cpu(self.cost.cloud_certify());
-        self.stats.wan_bytes_from_edges += 72;
-        // The certify request is signed: the signature is what turns a
-        // later contradiction into *proof* of equivocation.
-        if !self.registry.verify(edge, &certify_signing_bytes(edge, bid, &digest), &signature) {
-            return;
-        }
-        match self.ledger.offer(edge, bid, digest) {
-            CertOutcome::Certified | CertOutcome::AlreadyCertified => {
-                let proof = BlockProof::issue(&self.identity, edge, bid, digest);
-                self.stats.certs_issued += 1;
-                ctx.send(from, Msg::BlockProofMsg(proof), BlockProof::WIRE_SIZE);
-            }
-            CertOutcome::Equivocation(_) => {
-                // Second digest for the same block id: malicious.
-                self.stats.equivocations_detected += 1;
-                self.punish(edge, RevocationReason::Equivocation);
-                ctx.send(from, Msg::CertRejected { bid }, 16);
+    fn run(&mut self, ctx: &mut Context<'_, Msg>, cmd: CloudCommand<ActorId>) {
+        for effect in self.engine.handle(cmd, ctx.now().as_nanos()) {
+            match effect {
+                CloudEffect::UseCpu(d) => ctx.use_cpu(d),
+                CloudEffect::Send { to, msg, wire } => ctx.send(to, msg, wire),
             }
         }
     }
+}
 
-    fn handle_merge(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        from: ActorId,
-        req: wedge_lsmerkle::MergeRequest,
-    ) {
-        let Some(edge) = self.edge_identity(from) else { return };
-        if self.punished.contains(&edge) || req.edge != edge {
-            return;
-        }
-        let records: u64 = req
-            .source_l0
-            .iter()
-            .map(|p| p.records.len() as u64)
-            .chain(req.source_pages.iter().map(|p| p.records.len() as u64))
-            .chain(req.target_pages.iter().map(|p| p.records.len() as u64))
-            .sum();
-        ctx.use_cpu(self.cost.merge(records));
-        self.stats.wan_bytes_from_edges += req.wire_size() as u64;
-        match self.index.process_merge(&self.identity, &self.ledger, &req, ctx.now().as_nanos()) {
-            Ok(result) => {
-                self.stats.merges_processed += 1;
-                let msg = Msg::MergeRes(Box::new(result));
-                let sz = msg.wire_size();
-                ctx.send(from, msg, sz);
-            }
-            Err(err) => {
-                self.stats.merges_rejected += 1;
-                use wedge_lsmerkle::MergeError::*;
-                match err {
-                    UncertifiedBlock(_) | BlockDigestMismatch(_) | L0RecordsMismatch(_)
-                    | SourceRootMismatch | TargetRootMismatch => {
-                        // Forged merge inputs are malicious, not racy.
-                        self.punish(edge, RevocationReason::DisputeUpheld);
-                    }
-                    EpochMismatch { .. } | UnknownEdge(_) | BadLevel(_) => {}
-                }
-            }
-        }
+/// The actor is, protocol-wise, its engine: state access in harnesses,
+/// tests and benches goes straight through.
+impl Deref for CloudNode {
+    type Target = CloudEngine<ActorId>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.engine
     }
+}
 
-    fn handle_dispute(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, dispute: Dispute) {
-        ctx.use_cpu(SimDuration::from_nanos(self.cost.verify_ns * 2));
-        self.stats.disputes_received += 1;
-        let verdict = match dispute {
-            Dispute::MissingCertification { receipt } => {
-                if !receipt.verify(&self.registry) && !self.punished.contains(&receipt.edge) {
-                    // Unverifiable evidence (and not merely because we
-                    // already revoked the signer): dismiss.
-                    DisputeVerdict::Dismissed
-                } else {
-                    match self.ledger.lookup(receipt.edge, receipt.bid) {
-                        Some(d) if *d == receipt.block_digest => {
-                            // Certification exists and matches: resend
-                            // the proof; the edge was slow, not lying.
-                            let proof = BlockProof::issue(
-                                &self.identity,
-                                receipt.edge,
-                                receipt.bid,
-                                *d,
-                            );
-                            ctx.send(from, Msg::BlockProofForward(proof), BlockProof::WIRE_SIZE);
-                            DisputeVerdict::Dismissed
-                        }
-                        Some(_) => {
-                            // The edge signed one digest to the client
-                            // and certified another: equivocation.
-                            self.punish(receipt.edge, RevocationReason::Equivocation);
-                            DisputeVerdict::EdgePunished {
-                                edge: receipt.edge,
-                                grounds: "certified digest contradicts signed receipt".into(),
-                            }
-                        }
-                        None => {
-                            // Never certified despite the client's
-                            // timeout: withholding.
-                            self.punish(receipt.edge, RevocationReason::DisputeUpheld);
-                            DisputeVerdict::EdgePunished {
-                                edge: receipt.edge,
-                                grounds: "block never certified after timeout".into(),
-                            }
-                        }
-                    }
-                }
-            }
-            Dispute::WrongRead { receipt } => {
-                let valid = receipt.verify(&self.registry) || self.punished.contains(&receipt.edge);
-                match (valid, receipt.digest, self.ledger.lookup(receipt.edge, receipt.bid)) {
-                    (true, Some(served), Some(certified)) if served != *certified => {
-                        self.punish(receipt.edge, RevocationReason::DisputeUpheld);
-                        DisputeVerdict::EdgePunished {
-                            edge: receipt.edge,
-                            grounds: "served block contradicts certified digest".into(),
-                        }
-                    }
-                    _ => DisputeVerdict::Dismissed,
-                }
-            }
-            Dispute::Omission { receipt, watermark } => {
-                let wm_ok = watermark.verify(self.identity.id, &self.registry);
-                let rc_ok = receipt.verify(&self.registry) || self.punished.contains(&receipt.edge);
-                if wm_ok
-                    && rc_ok
-                    && receipt.digest.is_none()
-                    && watermark.edge == receipt.edge
-                    && watermark.proves_existence(receipt.bid.0)
-                {
-                    self.punish(receipt.edge, RevocationReason::Omission);
-                    DisputeVerdict::EdgePunished {
-                        edge: receipt.edge,
-                        grounds: "denied a block the gossip watermark proves exists".into(),
-                    }
-                } else {
-                    DisputeVerdict::Dismissed
-                }
-            }
-        };
-        if matches!(verdict, DisputeVerdict::EdgePunished { .. }) {
-            self.stats.disputes_upheld += 1;
-        }
-        ctx.send(from, Msg::VerdictMsg(verdict), 64);
-    }
-
-    fn gossip_round(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.stats.gossip_rounds += 1;
-        let now = ctx.now().as_nanos();
-        let edges: Vec<(ActorId, IdentityId)> =
-            self.edges.iter().map(|(a, i)| (*a, *i)).collect();
-        for (actor, edge) in edges {
-            if self.punished.contains(&edge) {
-                continue;
-            }
-            let len = self.ledger.contiguous_len(edge);
-            let wm = GossipWatermark::issue(&self.identity, edge, now, len);
-            ctx.send(actor, Msg::Gossip(wm), GossipWatermark::WIRE_SIZE);
-            // Freshness refresh rides the gossip cadence (§V-D).
-            if let Some(cert) = self.index.refresh_global(&self.identity, edge, now) {
-                ctx.send(actor, Msg::GlobalRefresh(cert), 96);
-            }
-        }
+impl DerefMut for CloudNode {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.engine
     }
 }
 
@@ -278,21 +74,15 @@ impl Actor<Msg> for CloudNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _timer: TimerId, _tag: u64) {
-        self.gossip_round(ctx);
+        self.run(ctx, CloudCommand::GossipTick);
         if let Some(p) = self.gossip_period {
             ctx.set_timer(p, 0);
         }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, msg: Msg) {
-        match msg {
-            Msg::BlockCertify { bid, digest, signature } => {
-                self.handle_certify(ctx, from, bid, digest, signature)
-            }
-            Msg::MergeReq(req) => self.handle_merge(ctx, from, *req),
-            Msg::DisputeMsg(d) => self.handle_dispute(ctx, from, *d),
-            _ => {}
-        }
+        let Some(cmd) = CloudCommand::from_msg(from, msg) else { return };
+        self.run(ctx, cmd);
     }
 
     fn as_any(&self) -> &dyn Any {

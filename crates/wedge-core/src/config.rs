@@ -1,12 +1,11 @@
 //! System-level configuration for a WedgeChain deployment.
 
 use crate::cost::CostModel;
-use serde::{Deserialize, Serialize};
 use wedge_lsmerkle::LsmConfig;
 use wedge_sim::{NetConfig, Region};
 
 /// How much real cryptography the simulation performs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CryptoMode {
     /// Sign and verify everything for real (tests, examples,
     /// correctness runs).

@@ -10,11 +10,10 @@
 //!
 //! All costs are in nanoseconds of virtual time.
 
-use serde::{Deserialize, Serialize};
 use wedge_sim::SimDuration;
 
 /// Tunable CPU costs (virtual nanoseconds).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// Hashing throughput, ns per byte (≈ 3 ns/B ⇒ ~330 MB/s).
     pub hash_ns_per_byte: f64,
@@ -68,8 +67,8 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             hash_ns_per_byte: 3.0,
-            sign_ns: 120_000,   // 0.12 ms
-            verify_ns: 180_000, // 0.18 ms — Fig 5d's client verify is ~0.19 ms
+            sign_ns: 120_000,         // 0.12 ms
+            verify_ns: 180_000,       // 0.18 ms — Fig 5d's client verify is ~0.19 ms
             block_base_ns: 4_300_000, // 4.3 ms
             per_op_ns: 2_500,
             cert_per_op_ns: 50_000, // 50 µs — Fig 6 calibration
@@ -80,7 +79,7 @@ impl Default for CostModel {
             eb_cloud_base_ns: 30_000_000,     // 30 ms
             eb_edge_apply_ns: 2_000_000,      // 2 ms
             proof_per_page_ns: 30_000,
-            read_base_ns: 250_000, // 0.25 ms edge-side read handling
+            read_base_ns: 250_000,          // 0.25 ms edge-side read handling
             client_verify_read_ns: 190_000, // 0.19 ms (Fig 5d)
             merge_per_record_ns: 1_500,
             io_ns_per_level_log2key: 1_200.0,

@@ -1,70 +1,31 @@
-//! The (untrusted) edge node actor.
+//! The (untrusted) edge node actor — a thin simulator driver over the
+//! sans-IO [`EdgeEngine`].
 //!
-//! Honest behaviour implements §IV (logging) and §V (LSMerkle):
-//! batch → seal block → signed Phase-I receipt to the client →
-//! asynchronous data-free certification at the cloud → forward the
-//! Phase-II proof. A [`FaultPlan`] lets tests script every lie the
-//! paper's threat model considers; detection is the cloud's and the
-//! clients' job, never the edge's goodwill.
+//! All protocol logic (sealing, receipts, lazy certification, merges,
+//! read proofs, fault injection) lives in
+//! [`crate::engine::edge::EdgeEngine`]; this actor only translates
+//! simulator messages into [`EdgeCommand`]s and replays the resulting
+//! [`EdgeEffect`]s into the simulation [`Context`] (CPU charging,
+//! foreground sends, background sends).
 
 use crate::config::CryptoMode;
 use crate::cost::CostModel;
+use crate::engine::{EdgeCommand, EdgeEffect, EdgeEngine};
 use crate::fault::FaultPlan;
-use crate::messages::{certify_signing_bytes, AddReceipt, Msg, ReadReceipt};
+use crate::messages::Msg;
 use std::any::Any;
-use std::collections::HashMap;
-use wedge_crypto::{sha256_concat, Identity, IdentityId, KeyRegistry};
-use wedge_log::{Block, BlockId, LogStore};
-use wedge_lsmerkle::{build_read_proof, LsMerkle, MergeRequest};
-use wedge_sim::{Actor, ActorId, Context, SimDuration};
+use std::ops::{Deref, DerefMut};
+use wedge_crypto::{Identity, IdentityId, KeyRegistry};
+use wedge_lsmerkle::LsMerkle;
+use wedge_sim::{Actor, ActorId, Context};
 
-/// Counters exposed for benches and ablations.
-#[derive(Clone, Debug, Default)]
-pub struct EdgeStats {
-    /// Blocks sealed.
-    pub blocks_sealed: u64,
-    /// Certification requests sent.
-    pub certs_sent: u64,
-    /// Certifications acknowledged by the cloud.
-    pub certs_acked: u64,
-    /// Merges completed.
-    pub merges_completed: u64,
-    /// Bytes sent to the cloud (the data-free ablation's metric).
-    pub wan_bytes_to_cloud: u64,
-    /// Bytes sent to the cloud for certification alone (excludes
-    /// merge traffic) — the data-free vs data-full comparison.
-    pub cert_bytes_to_cloud: u64,
-    /// Get requests served.
-    pub gets_served: u64,
-    /// Log reads served.
-    pub log_reads_served: u64,
-    /// Set when the cloud rejected one of our certifications.
-    pub flagged_malicious: bool,
-}
+pub use crate::engine::EdgeStats;
 
-/// The edge node state machine.
+/// The edge node actor: the shared engine plus its simulator wiring.
 pub struct EdgeNode {
-    identity: Identity,
+    /// The protocol state machine (shared with the threaded runtime).
+    pub engine: EdgeEngine<ActorId>,
     cloud: ActorId,
-    cloud_identity: IdentityId,
-    registry: KeyRegistry,
-    cost: CostModel,
-    crypto_mode: CryptoMode,
-    fault: FaultPlan,
-    /// Data-free certification toggle (ablation).
-    pub data_free: bool,
-    /// The append-only block log (§IV).
-    pub log: LogStore,
-    /// The LSMerkle index (§V).
-    pub tree: LsMerkle,
-    next_bid: BlockId,
-    /// Clients to notify when a block's proof arrives.
-    block_clients: HashMap<BlockId, Vec<ActorId>>,
-    /// All clients of this partition (gossip fan-out).
-    clients: Vec<ActorId>,
-    merge_in_flight: Option<MergeRequest>,
-    /// Counters.
-    pub stats: EdgeStats,
 }
 
 impl EdgeNode {
@@ -85,252 +46,50 @@ impl EdgeNode {
         tree: LsMerkle,
         clients: Vec<ActorId>,
     ) -> Self {
-        EdgeNode {
+        let engine = EdgeEngine::new(
             identity,
-            cloud,
             cloud_identity,
             registry,
             cost,
             crypto_mode,
             fault,
-            data_free: true,
-            log: LogStore::new(),
             tree,
-            next_bid: BlockId(0),
-            block_clients: HashMap::new(),
             clients,
-            merge_in_flight: None,
-            stats: EdgeStats::default(),
-        }
+        );
+        EdgeNode { engine, cloud }
     }
+}
 
-    /// This edge's identity id.
-    pub fn id(&self) -> IdentityId {
-        self.identity.id
+/// The actor is, protocol-wise, its engine: state access in harnesses,
+/// tests and benches goes straight through.
+impl Deref for EdgeNode {
+    type Target = EdgeEngine<ActorId>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.engine
     }
+}
 
-    /// Aligns the block-id counter with externally injected state
-    /// (used by the harness's preload path, which appends blocks to
-    /// the log directly).
-    pub fn sync_next_bid(&mut self) {
-        if let Some(last) = self.log.iter().last() {
-            if last.block.id >= self.next_bid {
-                self.next_bid = last.block.id.next();
-            }
-        }
-    }
-
-    fn handle_batch_add(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        from: ActorId,
-        req_id: u64,
-        entries: Vec<wedge_log::Entry>,
-    ) {
-        let ops = entries.len() as u64;
-        let bytes: u64 = entries.iter().map(|e| e.wire_size() as u64).sum();
-        ctx.use_cpu(self.cost.seal_block(ops, bytes));
-        if self.crypto_mode == CryptoMode::Real {
-            // Reject batches containing invalid client signatures.
-            if !entries.iter().all(|e| e.verify(&self.registry)) {
-                return;
-            }
-        }
-        let client_ident = entries.first().map(|e| e.client).unwrap_or(IdentityId(0));
-        // Digest over the client's submitted entries, for the receipt.
-        let parts: Vec<Vec<u8>> = entries.iter().map(|e| e.signing_bytes()).collect();
-        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
-        let entries_digest = sha256_concat(&refs);
-
-        let bid = self.next_bid;
-        self.next_bid = self.next_bid.next();
-        let block = Block {
-            edge: self.identity.id,
-            id: bid,
-            entries,
-            sealed_at_ns: ctx.now().as_nanos(),
-        };
-        let digest = block.digest();
-        let block_wire_size = block.wire_size();
-        self.stats.blocks_sealed += 1;
-
-        // Phase-I receipt back to the client (signed — this is the
-        // client's dispute evidence).
-        let receipt =
-            AddReceipt::issue(&self.identity, client_ident, req_id, entries_digest, bid, digest);
-        let resp = Msg::AddResponse { receipt };
-        let sz = resp.wire_size();
-        ctx.send(from, resp, sz);
-
-        // Store locally: log + index (KV blocks only).
-        self.log.append(block.clone());
-        let is_kv = block
-            .entries
-            .first()
-            .is_some_and(|e| wedge_lsmerkle::KvOp::decode(&e.payload).is_some());
-        if is_kv {
-            self.tree.apply_block(block);
-        }
-        self.block_clients.entry(bid).or_default().push(from);
-
-        // Asynchronous, data-free certification (§IV-B). The dispatch
-        // runs on the edge's background core: it never delays Phase I,
-        // but the background lane is serial — when per-batch dispatch
-        // cost exceeds the batch arrival interval, Phase II lags
-        // behind Phase I exactly as Fig 6 shows.
-        if self.fault.drop_cert(bid) {
-            return; // withholding attack: silently never certify
-        }
-        let cert_digest = if self.fault.tamper_cert(bid) {
-            // Equivocation: certify a digest for *different* content
-            // than promised to the client.
-            sha256_concat(&[b"tampered", digest.as_bytes()])
-        } else {
-            digest
-        };
-        let signature =
-            self.identity.sign(&certify_signing_bytes(self.identity.id, bid, &cert_digest));
-        let msg = Msg::BlockCertify { bid, digest: cert_digest, signature };
-        // Data-free: only the digest crosses the WAN. The ablation
-        // ships the full block's bytes instead (same message, larger
-        // wire size), quantifying what §IV-B saves.
-        let sz = if self.data_free { msg.wire_size() } else { block_wire_size };
-        self.stats.certs_sent += 1;
-        self.stats.wan_bytes_to_cloud += sz as u64;
-        self.stats.cert_bytes_to_cloud += sz as u64;
-        ctx.send_background(self.cloud, msg, sz, self.cost.certify_dispatch(ops));
-    }
-
-    fn handle_log_read(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, bid: BlockId) {
-        ctx.use_cpu(SimDuration::from_nanos(self.cost.read_base_ns));
-        self.stats.log_reads_served += 1;
-        let client_ident = IdentityId(0); // receipts bind the requester loosely in sim
-        if self.fault.deny_read(bid) || self.log.get(bid).is_none() {
-            let receipt = ReadReceipt::issue(&self.identity, client_ident, bid, None);
-            let msg = Msg::LogReadResponse { receipt, block: None, proof: None };
-            let sz = msg.wire_size();
-            ctx.send(from, msg, sz);
-            return;
-        }
-        // Wrong-read fault: serve another block's content under this id.
-        let serve_bid = match self.fault.wrong_read.get(&bid.0) {
-            Some(other) if self.log.get(BlockId(*other)).is_some() => BlockId(*other),
-            _ => bid,
-        };
-        let stored = self.log.get(serve_bid).expect("checked above");
-        let served_block = stored.block.clone();
-        let digest = served_block.digest();
-        let receipt = ReadReceipt::issue(&self.identity, client_ident, bid, Some(digest));
-        // A proof can only accompany an honest serve; the certified
-        // digest for `bid` will not match a wrong block.
-        let proof = if serve_bid == bid { stored.proof.clone() } else { None };
-        let msg = Msg::LogReadResponse { receipt, block: Some(served_block), proof };
-        let sz = msg.wire_size();
-        ctx.send(from, msg, sz);
-    }
-
-    fn handle_get(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, req_id: u64, key: u64) {
-        let pages_touched =
-            (self.tree.l0_pages().len() + self.tree.levels().len()) as u64;
-        ctx.use_cpu(self.cost.build_read_proof(pages_touched));
-        self.stats.gets_served += 1;
-        let proof = build_read_proof(&self.tree, key);
-        let msg = Msg::GetResponse { req_id, proof: Box::new(proof) };
-        let sz = msg.wire_size();
-        ctx.send(from, msg, sz);
-    }
-
-    fn maybe_start_merge(&mut self, ctx: &mut Context<'_, Msg>) {
-        if self.merge_in_flight.is_some() {
-            return;
-        }
-        if let Some(freeze) = self.fault.freeze_after_epoch {
-            if self.tree.epoch() >= freeze {
-                return; // stale-serving attack: stop compacting
-            }
-        }
-        let Some(level) = self.tree.overflowing_level() else {
-            return;
-        };
-        let req = self.tree.build_merge_request(level);
-        if level == 0 && req.source_l0.is_empty() {
-            return; // nothing certified yet; retry on next proof
-        }
-        let msg = Msg::MergeReq(Box::new(req.clone()));
-        let sz = msg.wire_size();
-        self.stats.wan_bytes_to_cloud += sz as u64;
-        // Merging "does not interfere with the normal operation of the
-        // LSMerkle tree" (§V-B): background lane.
-        ctx.send_background(self.cloud, msg, sz, SimDuration::from_micros(100));
-        self.merge_in_flight = Some(req);
+impl DerefMut for EdgeNode {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.engine
     }
 }
 
 impl Actor<Msg> for EdgeNode {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, msg: Msg) {
-        match msg {
-            Msg::BatchAdd { req_id, entries } => self.handle_batch_add(ctx, from, req_id, entries),
-            Msg::LogRead { bid } => self.handle_log_read(ctx, from, bid),
-            Msg::Get { req_id, key } => self.handle_get(ctx, from, req_id, key),
-            Msg::BlockProofMsg(proof) => {
-                if self.crypto_mode == CryptoMode::Real
-                    && !proof.verify(self.cloud_identity, &self.registry)
-                {
-                    return;
+        let Some(cmd) = EdgeCommand::from_msg(from, msg) else { return };
+        let cloud = self.cloud;
+        for effect in self.engine.handle(cmd, ctx.now().as_nanos()) {
+            match effect {
+                EdgeEffect::UseCpu(d) => ctx.use_cpu(d),
+                EdgeEffect::UseCpuBackground(d) => ctx.use_cpu_background(d),
+                EdgeEffect::Send { to, msg, wire } => ctx.send(to, msg, wire),
+                EdgeEffect::SendCloud { msg, wire, dispatch: Some(cost) } => {
+                    ctx.send_background(cloud, msg, wire, cost)
                 }
-                ctx.use_cpu(SimDuration::from_nanos(self.cost.verify_ns));
-                let bid = proof.bid;
-                self.stats.certs_acked += 1;
-                self.log.attach_proof(proof.clone());
-                self.tree.attach_block_proof(proof.clone());
-                if !self.fault.suppress_proof_forwards {
-                    if let Some(clients) = self.block_clients.remove(&bid) {
-                        for c in clients {
-                            let m = Msg::BlockProofForward(proof.clone());
-                            let sz = m.wire_size();
-                            ctx.send(c, m, sz);
-                        }
-                    }
-                }
-                self.maybe_start_merge(ctx);
+                EdgeEffect::SendCloud { msg, wire, dispatch: None } => ctx.send(cloud, msg, wire),
             }
-            Msg::MergeRes(result) => {
-                let req = self.merge_in_flight.take().expect("merge result without request");
-                let records: u64 = result
-                    .new_target_pages
-                    .iter()
-                    .map(|p| p.records.len() as u64)
-                    .sum();
-                ctx.use_cpu_background(SimDuration::from_nanos(
-                    records * self.cost.merge_per_record_ns,
-                ));
-                self.tree
-                    .apply_merge_result(&req, *result)
-                    .expect("cloud merge result must apply cleanly");
-                self.stats.merges_completed += 1;
-                self.maybe_start_merge(ctx);
-            }
-            Msg::CertRejected { .. } => {
-                self.stats.flagged_malicious = true;
-            }
-            Msg::GlobalRefresh(cert) => {
-                if let Some(freeze) = self.fault.freeze_after_epoch {
-                    if self.tree.epoch() >= freeze {
-                        return; // stale-serving: ignore refreshes too
-                    }
-                }
-                if cert.epoch == self.tree.epoch() {
-                    self.tree.refresh_global(cert);
-                }
-            }
-            Msg::Gossip(wm) => {
-                // Fan the cloud's watermark out to the partition's
-                // clients (the paper's "through the edge node" path).
-                for c in self.clients.clone() {
-                    ctx.send(c, Msg::GossipForward(wm.clone()), 56);
-                }
-            }
-            _ => {}
         }
     }
 

@@ -1,0 +1,363 @@
+//! The trusted cloud protocol engine — sans-IO.
+//!
+//! The cloud never sits on the write path (that is the whole point of
+//! lazy certification): it certifies digests asynchronously, performs
+//! merges, gossips watermarks, rules on disputes, and punishes — it is
+//! the detection-and-punishment half of the "commit now, verify
+//! eventually" bargain.
+//!
+//! The engine is generic over the peer handle type `P` (the simulator
+//! instantiates `P = ActorId`, the threaded runtime a fixed peer
+//! index). Gossip rounds are driven by the runtime (a timer in the
+//! simulator) via [`CloudCommand::GossipTick`].
+
+use crate::cost::CostModel;
+use crate::messages::{certify_signing_bytes, Dispute, DisputeVerdict, Msg};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, RevocationReason, Signature};
+use wedge_log::{BlockId, BlockProof, CertLedger, CertOutcome, GossipWatermark};
+use wedge_lsmerkle::{CloudIndex, MergeRequest};
+use wedge_sim::SimDuration;
+
+/// Counters exposed for benches and assertions.
+#[derive(Clone, Debug, Default)]
+pub struct CloudStats {
+    /// Block proofs issued.
+    pub certs_issued: u64,
+    /// Equivocations detected at certify time.
+    pub equivocations_detected: u64,
+    /// Merges processed successfully.
+    pub merges_processed: u64,
+    /// Merge requests rejected (forged/stale inputs).
+    pub merges_rejected: u64,
+    /// Disputes received.
+    pub disputes_received: u64,
+    /// Disputes upheld (punishments).
+    pub disputes_upheld: u64,
+    /// Gossip rounds emitted.
+    pub gossip_rounds: u64,
+    /// Bytes received from edges (data-free ablation metric).
+    pub wan_bytes_from_edges: u64,
+}
+
+/// A typed command for the cloud engine.
+#[derive(Debug)]
+pub enum CloudCommand<P> {
+    /// An edge's data-free certification request.
+    Certify {
+        /// The submitting peer.
+        from: P,
+        /// The block id.
+        bid: BlockId,
+        /// The digest to certify.
+        digest: Digest,
+        /// Edge signature over `(edge, bid, digest)`.
+        signature: Signature,
+    },
+    /// An edge's merge request.
+    Merge {
+        /// The submitting peer.
+        from: P,
+        /// The request (ships pages).
+        req: Box<MergeRequest>,
+    },
+    /// A client dispute with evidence.
+    Dispute {
+        /// The filing peer.
+        from: P,
+        /// The dispute.
+        dispute: Box<Dispute>,
+    },
+    /// Runtime-driven gossip round (a timer in the simulator).
+    GossipTick,
+}
+
+impl<P> CloudCommand<P> {
+    /// Maps a protocol message arriving at the cloud to a command.
+    /// Returns `None` for messages the cloud does not handle.
+    pub fn from_msg(from: P, msg: Msg) -> Option<Self> {
+        Some(match msg {
+            Msg::BlockCertify { bid, digest, signature } => {
+                CloudCommand::Certify { from, bid, digest, signature }
+            }
+            Msg::MergeReq(req) => CloudCommand::Merge { from, req },
+            Msg::DisputeMsg(dispute) => CloudCommand::Dispute { from, dispute },
+            _ => return None,
+        })
+    }
+}
+
+/// A typed effect emitted by the cloud engine. Apply in order: CPU
+/// effects time-shift the sends that follow them.
+#[derive(Debug)]
+// `Msg` dwarfs the CPU variant; effects are short-lived values moved
+// straight into the runtime's queues, so boxing would only add an
+// allocation per message.
+#[allow(clippy::large_enum_variant)]
+pub enum CloudEffect<P> {
+    /// Foreground CPU consumed.
+    UseCpu(SimDuration),
+    /// A message to a peer (edge or dispute-filing client).
+    Send {
+        /// The destination peer.
+        to: P,
+        /// The message.
+        msg: Msg,
+        /// Wire size for the bandwidth model.
+        wire: u32,
+    },
+}
+
+/// The cloud node protocol state machine (sans-IO).
+pub struct CloudEngine<P> {
+    identity: Identity,
+    /// The trusted key registry (revocations = punishments live here).
+    pub registry: KeyRegistry,
+    cost: CostModel,
+    /// Certified digests (the agreement anchor).
+    pub ledger: CertLedger,
+    /// Authoritative LSMerkle roots per edge.
+    pub index: CloudIndex,
+    /// Edge peer ↔ identity mapping.
+    edges: HashMap<P, IdentityId>,
+    /// Punished edges (also revoked in `registry`).
+    pub punished: HashSet<IdentityId>,
+    /// Counters.
+    pub stats: CloudStats,
+}
+
+impl<P: Copy + Eq + Hash> CloudEngine<P> {
+    /// Creates the cloud engine.
+    pub fn new(
+        identity: Identity,
+        registry: KeyRegistry,
+        cost: CostModel,
+        index: CloudIndex,
+        edges: HashMap<P, IdentityId>,
+    ) -> Self {
+        CloudEngine {
+            identity,
+            registry,
+            cost,
+            ledger: CertLedger::new(),
+            index,
+            edges,
+            punished: HashSet::new(),
+            stats: CloudStats::default(),
+        }
+    }
+
+    /// The cloud's identity id.
+    pub fn id(&self) -> IdentityId {
+        self.identity.id
+    }
+
+    /// Processes one command at time `now_ns`, returning the effects
+    /// to apply in order.
+    pub fn handle(&mut self, cmd: CloudCommand<P>, now_ns: u64) -> Vec<CloudEffect<P>> {
+        let mut out = Vec::new();
+        match cmd {
+            CloudCommand::Certify { from, bid, digest, signature } => {
+                self.certify(&mut out, from, bid, digest, signature)
+            }
+            CloudCommand::Merge { from, req } => self.merge(&mut out, from, *req, now_ns),
+            CloudCommand::Dispute { from, dispute } => self.dispute(&mut out, from, *dispute),
+            CloudCommand::GossipTick => self.gossip_round(&mut out, now_ns),
+        }
+        out
+    }
+
+    fn punish(&mut self, edge: IdentityId, reason: RevocationReason) {
+        if self.punished.insert(edge) {
+            self.registry.revoke(edge, reason);
+        }
+    }
+
+    fn edge_identity(&self, peer: P) -> Option<IdentityId> {
+        self.edges.get(&peer).copied()
+    }
+
+    fn certify(
+        &mut self,
+        out: &mut Vec<CloudEffect<P>>,
+        from: P,
+        bid: BlockId,
+        digest: Digest,
+        signature: Signature,
+    ) {
+        let Some(edge) = self.edge_identity(from) else { return };
+        if self.punished.contains(&edge) {
+            return; // punished edges are ignored entirely
+        }
+        out.push(CloudEffect::UseCpu(self.cost.cloud_certify()));
+        self.stats.wan_bytes_from_edges += 72;
+        // The certify request is signed: the signature is what turns a
+        // later contradiction into *proof* of equivocation.
+        if !self.registry.verify(edge, &certify_signing_bytes(edge, bid, &digest), &signature) {
+            return;
+        }
+        match self.ledger.offer(edge, bid, digest) {
+            CertOutcome::Certified | CertOutcome::AlreadyCertified => {
+                let proof = BlockProof::issue(&self.identity, edge, bid, digest);
+                self.stats.certs_issued += 1;
+                out.push(CloudEffect::Send {
+                    to: from,
+                    msg: Msg::BlockProofMsg(proof),
+                    wire: BlockProof::WIRE_SIZE,
+                });
+            }
+            CertOutcome::Equivocation(_) => {
+                // Second digest for the same block id: malicious.
+                self.stats.equivocations_detected += 1;
+                self.punish(edge, RevocationReason::Equivocation);
+                out.push(CloudEffect::Send { to: from, msg: Msg::CertRejected { bid }, wire: 16 });
+            }
+        }
+    }
+
+    fn merge(&mut self, out: &mut Vec<CloudEffect<P>>, from: P, req: MergeRequest, now_ns: u64) {
+        let Some(edge) = self.edge_identity(from) else { return };
+        if self.punished.contains(&edge) || req.edge != edge {
+            return;
+        }
+        let records: u64 = req
+            .source_l0
+            .iter()
+            .map(|p| p.records.len() as u64)
+            .chain(req.source_pages.iter().map(|p| p.records.len() as u64))
+            .chain(req.target_pages.iter().map(|p| p.records.len() as u64))
+            .sum();
+        out.push(CloudEffect::UseCpu(self.cost.merge(records)));
+        self.stats.wan_bytes_from_edges += req.wire_size() as u64;
+        match self.index.process_merge(&self.identity, &self.ledger, &req, now_ns) {
+            Ok(result) => {
+                self.stats.merges_processed += 1;
+                let msg = Msg::MergeRes(Box::new(result));
+                let wire = msg.wire_size();
+                out.push(CloudEffect::Send { to: from, msg, wire });
+            }
+            Err(err) => {
+                self.stats.merges_rejected += 1;
+                use wedge_lsmerkle::MergeError::*;
+                match err {
+                    UncertifiedBlock(_)
+                    | BlockDigestMismatch(_)
+                    | L0RecordsMismatch(_)
+                    | SourceRootMismatch
+                    | TargetRootMismatch => {
+                        // Forged merge inputs are malicious, not racy.
+                        self.punish(edge, RevocationReason::DisputeUpheld);
+                    }
+                    EpochMismatch { .. } | UnknownEdge(_) | BadLevel(_) => {}
+                }
+            }
+        }
+    }
+
+    fn dispute(&mut self, out: &mut Vec<CloudEffect<P>>, from: P, dispute: Dispute) {
+        out.push(CloudEffect::UseCpu(SimDuration::from_nanos(self.cost.verify_ns * 2)));
+        self.stats.disputes_received += 1;
+        let verdict = match dispute {
+            Dispute::MissingCertification { receipt } => {
+                if !receipt.verify(&self.registry) && !self.punished.contains(&receipt.edge) {
+                    // Unverifiable evidence (and not merely because we
+                    // already revoked the signer): dismiss.
+                    DisputeVerdict::Dismissed
+                } else {
+                    match self.ledger.lookup(receipt.edge, receipt.bid) {
+                        Some(d) if *d == receipt.block_digest => {
+                            // Certification exists and matches: resend
+                            // the proof; the edge was slow, not lying.
+                            let proof =
+                                BlockProof::issue(&self.identity, receipt.edge, receipt.bid, *d);
+                            out.push(CloudEffect::Send {
+                                to: from,
+                                msg: Msg::BlockProofForward(proof),
+                                wire: BlockProof::WIRE_SIZE,
+                            });
+                            DisputeVerdict::Dismissed
+                        }
+                        Some(_) => {
+                            // The edge signed one digest to the client
+                            // and certified another: equivocation.
+                            self.punish(receipt.edge, RevocationReason::Equivocation);
+                            DisputeVerdict::EdgePunished {
+                                edge: receipt.edge,
+                                grounds: "certified digest contradicts signed receipt".into(),
+                            }
+                        }
+                        None => {
+                            // Never certified despite the client's
+                            // timeout: withholding.
+                            self.punish(receipt.edge, RevocationReason::DisputeUpheld);
+                            DisputeVerdict::EdgePunished {
+                                edge: receipt.edge,
+                                grounds: "block never certified after timeout".into(),
+                            }
+                        }
+                    }
+                }
+            }
+            Dispute::WrongRead { receipt } => {
+                let valid = receipt.verify(&self.registry) || self.punished.contains(&receipt.edge);
+                match (valid, receipt.digest, self.ledger.lookup(receipt.edge, receipt.bid)) {
+                    (true, Some(served), Some(certified)) if served != *certified => {
+                        self.punish(receipt.edge, RevocationReason::DisputeUpheld);
+                        DisputeVerdict::EdgePunished {
+                            edge: receipt.edge,
+                            grounds: "served block contradicts certified digest".into(),
+                        }
+                    }
+                    _ => DisputeVerdict::Dismissed,
+                }
+            }
+            Dispute::Omission { receipt, watermark } => {
+                let wm_ok = watermark.verify(self.identity.id, &self.registry);
+                let rc_ok = receipt.verify(&self.registry) || self.punished.contains(&receipt.edge);
+                if wm_ok
+                    && rc_ok
+                    && receipt.digest.is_none()
+                    && watermark.edge == receipt.edge
+                    && watermark.proves_existence(receipt.bid.0)
+                {
+                    self.punish(receipt.edge, RevocationReason::Omission);
+                    DisputeVerdict::EdgePunished {
+                        edge: receipt.edge,
+                        grounds: "denied a block the gossip watermark proves exists".into(),
+                    }
+                } else {
+                    DisputeVerdict::Dismissed
+                }
+            }
+        };
+        if matches!(verdict, DisputeVerdict::EdgePunished { .. }) {
+            self.stats.disputes_upheld += 1;
+        }
+        out.push(CloudEffect::Send { to: from, msg: Msg::VerdictMsg(verdict), wire: 64 });
+    }
+
+    fn gossip_round(&mut self, out: &mut Vec<CloudEffect<P>>, now_ns: u64) {
+        self.stats.gossip_rounds += 1;
+        // Deterministic order regardless of HashMap seeding: sort by
+        // edge identity.
+        let mut edges: Vec<(P, IdentityId)> = self.edges.iter().map(|(p, i)| (*p, *i)).collect();
+        edges.sort_by_key(|(_, ident)| ident.0);
+        for (peer, edge) in edges {
+            if self.punished.contains(&edge) {
+                continue;
+            }
+            let len = self.ledger.contiguous_len(edge);
+            let wm = GossipWatermark::issue(&self.identity, edge, now_ns, len);
+            out.push(CloudEffect::Send {
+                to: peer,
+                msg: Msg::Gossip(wm),
+                wire: GossipWatermark::WIRE_SIZE,
+            });
+            // Freshness refresh rides the gossip cadence (§V-D).
+            if let Some(cert) = self.index.refresh_global(&self.identity, edge, now_ns) {
+                out.push(CloudEffect::Send { to: peer, msg: Msg::GlobalRefresh(cert), wire: 96 });
+            }
+        }
+    }
+}

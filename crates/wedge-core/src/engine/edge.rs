@@ -1,0 +1,447 @@
+//! The (untrusted) edge node protocol engine — sans-IO.
+//!
+//! Honest behaviour implements §IV (logging) and §V (LSMerkle):
+//! batch → seal block → signed Phase-I receipt to the client →
+//! asynchronous data-free certification at the cloud → forward the
+//! Phase-II proof. A [`FaultPlan`] lets tests script every lie the
+//! paper's threat model considers; detection is the cloud's and the
+//! clients' job, never the edge's goodwill.
+//!
+//! The engine is generic over the peer handle type `C` (the simulator
+//! instantiates `C = ActorId`, the threaded runtime a request token),
+//! takes virtual/real time as an explicit `now_ns` argument, and
+//! expresses all I/O and CPU-accounting intent as [`EdgeEffect`]s.
+
+use crate::config::CryptoMode;
+use crate::cost::CostModel;
+use crate::fault::FaultPlan;
+use crate::messages::{certify_signing_bytes, AddReceipt, Msg, ReadReceipt};
+use std::collections::HashMap;
+use std::hash::Hash;
+use wedge_crypto::{sha256_concat, Identity, IdentityId, KeyRegistry};
+use wedge_log::{BlockBuffer, BlockId, BlockProof, Entry, GossipWatermark, LogStore};
+use wedge_lsmerkle::{
+    build_read_proof, GlobalRootCert, Key, KvOp, LsMerkle, MergeRequest, MergeResult,
+};
+use wedge_sim::SimDuration;
+
+/// Counters exposed for benches and ablations.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeStats {
+    /// Blocks sealed.
+    pub blocks_sealed: u64,
+    /// Certification requests sent.
+    pub certs_sent: u64,
+    /// Certifications acknowledged by the cloud.
+    pub certs_acked: u64,
+    /// Merges completed.
+    pub merges_completed: u64,
+    /// Bytes sent to the cloud (the data-free ablation's metric).
+    pub wan_bytes_to_cloud: u64,
+    /// Bytes sent to the cloud for certification alone (excludes
+    /// merge traffic) — the data-free vs data-full comparison.
+    pub cert_bytes_to_cloud: u64,
+    /// Get requests served.
+    pub gets_served: u64,
+    /// Log reads served.
+    pub log_reads_served: u64,
+    /// Set when the cloud rejected one of our certifications.
+    pub flagged_malicious: bool,
+}
+
+/// A typed command for the edge engine: every input the protocol
+/// reacts to, whichever transport delivered it.
+#[derive(Debug)]
+pub enum EdgeCommand<C> {
+    /// A client batch of signed entries to append (one block's worth).
+    BatchAdd {
+        /// The requesting client.
+        from: C,
+        /// Client request id (echoed in the receipt).
+        req_id: u64,
+        /// The signed entries.
+        entries: Vec<Entry>,
+    },
+    /// A client log read by block id.
+    LogRead {
+        /// The requesting client.
+        from: C,
+        /// The block asked for.
+        bid: BlockId,
+    },
+    /// A client key-value get.
+    Get {
+        /// The requesting client.
+        from: C,
+        /// Client request id (echoed in the response).
+        req_id: u64,
+        /// The key.
+        key: Key,
+    },
+    /// The cloud certified one of our blocks.
+    BlockProof(BlockProof),
+    /// The cloud answered a merge request.
+    MergeResult(Box<MergeResult>),
+    /// The cloud refused a certification (equivocation detected).
+    CertRejected {
+        /// The offending block id.
+        bid: BlockId,
+    },
+    /// A re-signed global root with a fresh timestamp (§V-D).
+    GlobalRefresh(GlobalRootCert),
+    /// A cloud gossip watermark to fan out to the partition's clients.
+    Gossip(GossipWatermark),
+}
+
+impl<C> EdgeCommand<C> {
+    /// Maps a protocol message arriving at the edge to a command.
+    /// `from` identifies the sender for client requests (it is unused
+    /// for cloud-originated messages). Returns `None` for messages the
+    /// edge does not handle.
+    pub fn from_msg(from: C, msg: Msg) -> Option<Self> {
+        Some(match msg {
+            Msg::BatchAdd { req_id, entries } => EdgeCommand::BatchAdd { from, req_id, entries },
+            Msg::LogRead { bid } => EdgeCommand::LogRead { from, bid },
+            Msg::Get { req_id, key } => EdgeCommand::Get { from, req_id, key },
+            Msg::BlockProofMsg(proof) => EdgeCommand::BlockProof(proof),
+            Msg::MergeRes(result) => EdgeCommand::MergeResult(result),
+            Msg::CertRejected { bid } => EdgeCommand::CertRejected { bid },
+            Msg::GlobalRefresh(cert) => EdgeCommand::GlobalRefresh(cert),
+            Msg::Gossip(wm) => EdgeCommand::Gossip(wm),
+            _ => return None,
+        })
+    }
+}
+
+/// A typed effect emitted by the edge engine. Effects must be applied
+/// in emission order: CPU effects time-shift the sends that follow
+/// them (exactly as `Context::use_cpu` does in the simulator). Drivers
+/// without a CPU model simply ignore the CPU effects.
+#[derive(Debug)]
+pub enum EdgeEffect<C> {
+    /// Foreground CPU consumed (delays this handler's later sends and
+    /// the node's availability).
+    UseCpu(SimDuration),
+    /// Background-lane CPU consumed (off the request path).
+    UseCpuBackground(SimDuration),
+    /// A message to a client peer.
+    Send {
+        /// The destination peer.
+        to: C,
+        /// The message.
+        msg: Msg,
+        /// Wire size for the bandwidth model.
+        wire: u32,
+    },
+    /// A message to the cloud. `dispatch` is background-lane CPU to
+    /// charge before transmission (lazy certification dispatch);
+    /// `None` sends from the foreground lane.
+    SendCloud {
+        /// The message.
+        msg: Msg,
+        /// Wire size for the bandwidth model.
+        wire: u32,
+        /// Background dispatch cost, if the send is asynchronous.
+        dispatch: Option<SimDuration>,
+    },
+}
+
+/// The edge node protocol state machine (sans-IO).
+pub struct EdgeEngine<C> {
+    identity: Identity,
+    cloud_identity: IdentityId,
+    registry: KeyRegistry,
+    cost: CostModel,
+    crypto_mode: CryptoMode,
+    fault: FaultPlan,
+    /// Data-free certification toggle (ablation).
+    pub data_free: bool,
+    /// The append-only block log (§IV).
+    pub log: LogStore,
+    /// The LSMerkle index (§V).
+    pub tree: LsMerkle,
+    /// Seals batches into blocks and enforces the replay window.
+    buffer: BlockBuffer,
+    /// Clients to notify when a block's proof arrives.
+    block_clients: HashMap<BlockId, Vec<C>>,
+    /// All clients of this partition (gossip fan-out).
+    clients: Vec<C>,
+    merge_in_flight: Option<MergeRequest>,
+    /// Counters.
+    pub stats: EdgeStats,
+}
+
+impl<C: Copy + Eq + Hash> EdgeEngine<C> {
+    /// Creates an edge engine.
+    ///
+    /// `registry` must contain the cloud's and all clients' keys;
+    /// `tree` comes initialized from the cloud's
+    /// [`wedge_lsmerkle::InitBundle`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        identity: Identity,
+        cloud_identity: IdentityId,
+        registry: KeyRegistry,
+        cost: CostModel,
+        crypto_mode: CryptoMode,
+        fault: FaultPlan,
+        tree: LsMerkle,
+        clients: Vec<C>,
+    ) -> Self {
+        let buffer = BlockBuffer::new(identity.id, 1);
+        EdgeEngine {
+            identity,
+            cloud_identity,
+            registry,
+            cost,
+            crypto_mode,
+            fault,
+            data_free: true,
+            log: LogStore::new(),
+            tree,
+            buffer,
+            block_clients: HashMap::new(),
+            clients,
+            merge_in_flight: None,
+            stats: EdgeStats::default(),
+        }
+    }
+
+    /// This edge's identity id.
+    pub fn id(&self) -> IdentityId {
+        self.identity.id
+    }
+
+    /// Aligns the block-id counter with externally injected state
+    /// (used by the harness's preload path, which appends blocks to
+    /// the log directly).
+    pub fn sync_next_bid(&mut self) {
+        if let Some(last) = self.log.iter().last() {
+            self.buffer.align_next_id(last.block.id.next());
+        }
+    }
+
+    /// Processes one command at time `now_ns`, returning the effects
+    /// to apply in order.
+    pub fn handle(&mut self, cmd: EdgeCommand<C>, now_ns: u64) -> Vec<EdgeEffect<C>> {
+        let mut out = Vec::new();
+        match cmd {
+            EdgeCommand::BatchAdd { from, req_id, entries } => {
+                self.batch_add(&mut out, from, req_id, entries, now_ns)
+            }
+            EdgeCommand::LogRead { from, bid } => self.log_read(&mut out, from, bid),
+            EdgeCommand::Get { from, req_id, key } => self.get(&mut out, from, req_id, key),
+            EdgeCommand::BlockProof(proof) => self.block_proof(&mut out, proof),
+            EdgeCommand::MergeResult(result) => self.merge_result(&mut out, *result),
+            EdgeCommand::CertRejected { .. } => self.stats.flagged_malicious = true,
+            EdgeCommand::GlobalRefresh(cert) => {
+                if let Some(freeze) = self.fault.freeze_after_epoch {
+                    if self.tree.epoch() >= freeze {
+                        return out; // stale-serving: ignore refreshes too
+                    }
+                }
+                if cert.epoch == self.tree.epoch() {
+                    self.tree.refresh_global(cert);
+                }
+            }
+            EdgeCommand::Gossip(wm) => {
+                // Fan the cloud's watermark out to the partition's
+                // clients (the paper's "through the edge node" path).
+                for &c in &self.clients {
+                    out.push(EdgeEffect::Send {
+                        to: c,
+                        msg: Msg::GossipForward(wm.clone()),
+                        wire: 56,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn batch_add(
+        &mut self,
+        out: &mut Vec<EdgeEffect<C>>,
+        from: C,
+        req_id: u64,
+        entries: Vec<Entry>,
+        now_ns: u64,
+    ) {
+        let ops = entries.len() as u64;
+        let bytes: u64 = entries.iter().map(|e| e.wire_size() as u64).sum();
+        out.push(EdgeEffect::UseCpu(self.cost.seal_block(ops, bytes)));
+        if self.crypto_mode == CryptoMode::Real {
+            // Reject batches containing invalid client signatures.
+            if !entries.iter().all(|e| e.verify(&self.registry)) {
+                return;
+            }
+        }
+        let client_ident = entries.first().map(|e| e.client).unwrap_or(IdentityId(0));
+        // The replay window (§IV-E idempotence) silently drops
+        // duplicate (client, sequence) pairs; the block seals over the
+        // accepted entries.
+        for e in entries {
+            let _ = self.buffer.push(e);
+        }
+        let Some(block) = self.buffer.seal(now_ns) else {
+            return; // empty or fully-replayed batch: nothing to commit
+        };
+        // Digest over the accepted entries, for the receipt.
+        let parts: Vec<Vec<u8>> = block.entries.iter().map(|e| e.signing_bytes()).collect();
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let entries_digest = sha256_concat(&refs);
+
+        let bid = block.id;
+        let digest = block.digest();
+        let block_wire_size = block.wire_size();
+        self.stats.blocks_sealed += 1;
+
+        // Phase-I receipt back to the client (signed — this is the
+        // client's dispute evidence).
+        let receipt =
+            AddReceipt::issue(&self.identity, client_ident, req_id, entries_digest, bid, digest);
+        let resp = Msg::AddResponse { receipt };
+        let wire = resp.wire_size();
+        out.push(EdgeEffect::Send { to: from, msg: resp, wire });
+
+        // Store locally: log + index (KV blocks only).
+        let is_kv = block.entries.first().is_some_and(|e| KvOp::decode(&e.payload).is_some());
+        self.log.append(block.clone());
+        if is_kv {
+            self.tree.apply_block(block);
+        }
+        self.block_clients.entry(bid).or_default().push(from);
+
+        // Asynchronous, data-free certification (§IV-B). The dispatch
+        // runs on the edge's background core: it never delays Phase I,
+        // but the background lane is serial — when per-batch dispatch
+        // cost exceeds the batch arrival interval, Phase II lags
+        // behind Phase I exactly as Fig 6 shows.
+        if self.fault.drop_cert(bid) {
+            return; // withholding attack: silently never certify
+        }
+        let cert_digest = if self.fault.tamper_cert(bid) {
+            // Equivocation: certify a digest for *different* content
+            // than promised to the client.
+            sha256_concat(&[b"tampered", digest.as_bytes()])
+        } else {
+            digest
+        };
+        let signature =
+            self.identity.sign(&certify_signing_bytes(self.identity.id, bid, &cert_digest));
+        let msg = Msg::BlockCertify { bid, digest: cert_digest, signature };
+        // Data-free: only the digest crosses the WAN. The ablation
+        // ships the full block's bytes instead (same message, larger
+        // wire size), quantifying what §IV-B saves.
+        let wire = if self.data_free { msg.wire_size() } else { block_wire_size };
+        self.stats.certs_sent += 1;
+        self.stats.wan_bytes_to_cloud += wire as u64;
+        self.stats.cert_bytes_to_cloud += wire as u64;
+        out.push(EdgeEffect::SendCloud {
+            msg,
+            wire,
+            dispatch: Some(self.cost.certify_dispatch(ops)),
+        });
+    }
+
+    fn log_read(&mut self, out: &mut Vec<EdgeEffect<C>>, from: C, bid: BlockId) {
+        out.push(EdgeEffect::UseCpu(SimDuration::from_nanos(self.cost.read_base_ns)));
+        self.stats.log_reads_served += 1;
+        let client_ident = IdentityId(0); // receipts bind the requester loosely in sim
+        if self.fault.deny_read(bid) || self.log.get(bid).is_none() {
+            let receipt = ReadReceipt::issue(&self.identity, client_ident, bid, None);
+            let msg = Msg::LogReadResponse { receipt, block: None, proof: None };
+            let wire = msg.wire_size();
+            out.push(EdgeEffect::Send { to: from, msg, wire });
+            return;
+        }
+        // Wrong-read fault: serve another block's content under this id.
+        let serve_bid = match self.fault.wrong_read.get(&bid.0) {
+            Some(other) if self.log.get(BlockId(*other)).is_some() => BlockId(*other),
+            _ => bid,
+        };
+        let stored = self.log.get(serve_bid).expect("checked above");
+        let served_block = stored.block.clone();
+        let digest = served_block.digest();
+        let receipt = ReadReceipt::issue(&self.identity, client_ident, bid, Some(digest));
+        // A proof can only accompany an honest serve; the certified
+        // digest for `bid` will not match a wrong block.
+        let proof = if serve_bid == bid { stored.proof.clone() } else { None };
+        let msg = Msg::LogReadResponse { receipt, block: Some(served_block), proof };
+        let wire = msg.wire_size();
+        out.push(EdgeEffect::Send { to: from, msg, wire });
+    }
+
+    fn get(&mut self, out: &mut Vec<EdgeEffect<C>>, from: C, req_id: u64, key: Key) {
+        let pages_touched = (self.tree.l0_pages().len() + self.tree.levels().len()) as u64;
+        out.push(EdgeEffect::UseCpu(self.cost.build_read_proof(pages_touched)));
+        self.stats.gets_served += 1;
+        let proof = build_read_proof(&self.tree, key);
+        let msg = Msg::GetResponse { req_id, proof: Box::new(proof) };
+        let wire = msg.wire_size();
+        out.push(EdgeEffect::Send { to: from, msg, wire });
+    }
+
+    fn block_proof(&mut self, out: &mut Vec<EdgeEffect<C>>, proof: BlockProof) {
+        if self.crypto_mode == CryptoMode::Real
+            && !proof.verify(self.cloud_identity, &self.registry)
+        {
+            return;
+        }
+        out.push(EdgeEffect::UseCpu(SimDuration::from_nanos(self.cost.verify_ns)));
+        let bid = proof.bid;
+        self.stats.certs_acked += 1;
+        self.log.attach_proof(proof.clone());
+        self.tree.attach_block_proof(proof.clone());
+        if !self.fault.suppress_proof_forwards {
+            if let Some(clients) = self.block_clients.remove(&bid) {
+                for c in clients {
+                    let msg = Msg::BlockProofForward(proof.clone());
+                    let wire = msg.wire_size();
+                    out.push(EdgeEffect::Send { to: c, msg, wire });
+                }
+            }
+        }
+        self.maybe_start_merge(out);
+    }
+
+    fn merge_result(&mut self, out: &mut Vec<EdgeEffect<C>>, result: MergeResult) {
+        let req = self.merge_in_flight.take().expect("merge result without request");
+        let records: u64 = result.new_target_pages.iter().map(|p| p.records.len() as u64).sum();
+        out.push(EdgeEffect::UseCpuBackground(SimDuration::from_nanos(
+            records * self.cost.merge_per_record_ns,
+        )));
+        self.tree.apply_merge_result(&req, result).expect("cloud merge result must apply cleanly");
+        self.stats.merges_completed += 1;
+        self.maybe_start_merge(out);
+    }
+
+    fn maybe_start_merge(&mut self, out: &mut Vec<EdgeEffect<C>>) {
+        if self.merge_in_flight.is_some() {
+            return;
+        }
+        if let Some(freeze) = self.fault.freeze_after_epoch {
+            if self.tree.epoch() >= freeze {
+                return; // stale-serving attack: stop compacting
+            }
+        }
+        let Some(level) = self.tree.overflowing_level() else {
+            return;
+        };
+        let req = self.tree.build_merge_request(level);
+        if level == 0 && req.source_l0.is_empty() {
+            return; // nothing certified yet; retry on next proof
+        }
+        let msg = Msg::MergeReq(Box::new(req.clone()));
+        let wire = msg.wire_size();
+        self.stats.wan_bytes_to_cloud += wire as u64;
+        // Merging "does not interfere with the normal operation of the
+        // LSMerkle tree" (§V-B): background lane.
+        out.push(EdgeEffect::SendCloud {
+            msg,
+            wire,
+            dispatch: Some(SimDuration::from_micros(100)),
+        });
+        self.merge_in_flight = Some(req);
+    }
+}

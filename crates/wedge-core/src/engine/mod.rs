@@ -1,0 +1,29 @@
+//! Sans-IO protocol engines.
+//!
+//! [`EdgeEngine`] and [`CloudEngine`] are the single implementation of
+//! the WedgeChain protocol state machines: they own the protocol state
+//! (`BlockBuffer` + `LogStore` + `LsMerkle` on the edge, `CertLedger` +
+//! `CloudIndex` + `KeyRegistry` on the cloud), consume typed commands,
+//! and emit typed effects. They never touch channels, sockets, clocks,
+//! or the simulator — time arrives as a `now_ns` argument and all I/O
+//! intent leaves as [`EdgeEffect`]/[`CloudEffect`] values.
+//!
+//! Every runtime is a thin *driver* over these engines:
+//!
+//! - the deterministic simulator actors ([`crate::edge::EdgeNode`],
+//!   [`crate::cloud::CloudNode`]) translate `wedge-sim` messages into
+//!   commands and replay effects into the simulation `Context` (CPU
+//!   charging included);
+//! - the real-threads runtime ([`crate::threaded`]) feeds the same
+//!   engines from `std::sync::mpsc` channels and maps effects onto
+//!   reply channels.
+//!
+//! Adding a tokio, sharded, or networked runtime means writing another
+//! driver — not a third copy of the seal/certify/merge/read-proof
+//! logic.
+
+pub mod cloud;
+pub mod edge;
+
+pub use cloud::{CloudCommand, CloudEffect, CloudEngine, CloudStats};
+pub use edge::{EdgeCommand, EdgeEffect, EdgeEngine, EdgeStats};

@@ -8,12 +8,11 @@
 //! withholding (never Phase-II-ing), and stale serving (freshness
 //! violations).
 
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use wedge_log::BlockId;
 
 /// Scripted misbehaviour for an edge node. Default: fully honest.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     /// For these blocks, certify a *tampered* digest at the cloud
     /// while promising the honest one to the client (equivocation —

@@ -185,7 +185,12 @@ impl MultiPartitionHarness {
                 );
             }
         }
-        MultiPartitionHarness { sim, edges: edge_actors, clients: client_actors, cloud: cloud_actor }
+        MultiPartitionHarness {
+            sim,
+            edges: edge_actors,
+            clients: client_actors,
+            cloud: cloud_actor,
+        }
     }
 
     /// Starts all clients and runs until everyone finished or halted
@@ -243,8 +248,9 @@ impl SystemHarness {
         // --- identities & registry ---
         let cloud_ident = Identity::derive("cloud", CLOUD_ID);
         let edge_ident = Identity::derive("edge", EDGE_ID_BASE);
-        let client_idents: Vec<Identity> =
-            (0..cfg.num_clients).map(|i| Identity::derive("client", CLIENT_ID_BASE + i as u64)).collect();
+        let client_idents: Vec<Identity> = (0..cfg.num_clients)
+            .map(|i| Identity::derive("client", CLIENT_ID_BASE + i as u64))
+            .collect();
         let mut registry = KeyRegistry::new();
         registry.register(cloud_ident.id, cloud_ident.public()).unwrap();
         registry.register(edge_ident.id, edge_ident.public()).unwrap();
@@ -358,9 +364,7 @@ impl SystemHarness {
                 break;
             }
             processed += 1;
-            if processed % 256 == 0
-                && (self.all_clients_finished() || self.sim.now() > time_cap)
-            {
+            if processed % 256 == 0 && (self.all_clients_finished() || self.sim.now() > time_cap) {
                 break;
             }
             if processed >= self.max_events {
@@ -384,18 +388,14 @@ impl SystemHarness {
     }
 
     fn all_clients_finished(&self) -> bool {
-        self.clients
-            .iter()
-            .all(|&c| self.sim.actor::<ClientNode>(c).metrics.finished_at.is_some())
+        self.clients.iter().all(|&c| self.sim.actor::<ClientNode>(c).metrics.finished_at.is_some())
     }
 
     fn pending_p2_empty(&self) -> bool {
-        self.clients
-            .iter()
-            .all(|&c| {
-                let m = &self.sim.actor::<ClientNode>(c).metrics;
-                m.ops_p2 >= m.ops_p1
-            })
+        self.clients.iter().all(|&c| {
+            let m = &self.sim.actor::<ClientNode>(c).metrics;
+            m.ops_p2 >= m.ops_p1
+        })
     }
 
     /// Metrics of client `i`.
@@ -446,11 +446,8 @@ impl SystemHarness {
         agg.p2_latency_ms = if p2_n > 0 { p2_sum / p2_n as f64 } else { 0.0 };
         agg.read_latency_ms = if rd_n > 0 { rd_sum / rd_n as f64 } else { 0.0 };
         agg.makespan_secs = makespan;
-        agg.throughput_kops = if makespan > 0.0 {
-            agg.total_ops as f64 / makespan / 1_000.0
-        } else {
-            0.0
-        };
+        agg.throughput_kops =
+            if makespan > 0.0 { agg.total_ops as f64 / makespan / 1_000.0 } else { 0.0 };
         agg
     }
 
@@ -545,12 +542,8 @@ impl SystemHarness {
             let (block, digest) = {
                 let edge = self.sim.actor_mut::<EdgeNode>(edge_actor);
                 let bid = edge.log.iter().last().map(|b| b.block.id.next()).unwrap_or_default();
-                let block = wedge_log::Block {
-                    edge: edge_ident.id,
-                    id: bid,
-                    entries,
-                    sealed_at_ns: 0,
-                };
+                let block =
+                    wedge_log::Block { edge: edge_ident.id, id: bid, entries, sealed_at_ns: 0 };
                 let digest = block.digest();
                 edge.log.append(block.clone());
                 edge.tree.apply_block(block.clone());
@@ -592,10 +585,10 @@ impl SystemHarness {
                 }
             };
             let res = {
-                let cloud = self.sim.actor_mut::<CloudNode>(self.cloud);
-                cloud
+                let engine = &mut self.sim.actor_mut::<CloudNode>(self.cloud).engine;
+                engine
                     .index
-                    .process_merge(&cloud_ident, &cloud.ledger, &req, 0)
+                    .process_merge(&cloud_ident, &engine.ledger, &req, 0)
                     .expect("preload merge must succeed")
             };
             let edge = self.sim.actor_mut::<EdgeNode>(self.edge);

@@ -13,17 +13,21 @@
 //! - [`messages`]: the protocol message set with wire sizes (the
 //!   data-free certification message is 72 bytes regardless of block
 //!   size).
+//! - [`engine`]: the sans-IO protocol engines
+//!   ([`engine::EdgeEngine`], [`engine::CloudEngine`]) — the single
+//!   implementation of the protocol, shared by every runtime.
 //! - [`harness`]: one-call deployment builder
 //!   ([`harness::SystemHarness`]) used by examples, tests and benches.
 //! - [`cost`]: the calibrated CPU cost model; [`config`]: deployment
 //!   knobs; [`metrics`]: latency/timeline collection; [`threaded`]: a
-//!   real-threads runtime for the core data structures.
+//!   real-threads driver over the same engines.
 
 pub mod client;
 pub mod cloud;
 pub mod config;
 pub mod cost;
 pub mod edge;
+pub mod engine;
 pub mod fault;
 pub mod harness;
 pub mod messages;
@@ -35,6 +39,7 @@ pub use cloud::{CloudNode, CloudStats};
 pub use config::{CryptoMode, SystemConfig};
 pub use cost::CostModel;
 pub use edge::{EdgeNode, EdgeStats};
+pub use engine::{CloudCommand, CloudEffect, CloudEngine, EdgeCommand, EdgeEffect, EdgeEngine};
 pub use fault::FaultPlan;
 pub use harness::{Aggregate, MultiPartitionHarness, SystemHarness};
 pub use messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt};

@@ -7,7 +7,6 @@
 //! [`crate::config::CryptoMode::Modeled`] (their CPU cost is still
 //! charged).
 
-use serde::{Deserialize, Serialize};
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, Signature};
 use wedge_log::{Block, BlockId, BlockProof, Encoder, Entry, GossipWatermark};
 use wedge_lsmerkle::{IndexReadProof, Key, MergeRequest, MergeResult};
@@ -18,7 +17,7 @@ use wedge_lsmerkle::{IndexReadProof, Key, MergeRequest, MergeResult};
 /// This is the client's Phase-I dispute evidence (Definition 1): if
 /// the certified digest for `bid` ever differs from `block_digest`,
 /// this receipt convicts the edge.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AddReceipt {
     /// The promising edge node.
     pub edge: IdentityId,
@@ -95,7 +94,7 @@ impl AddReceipt {
 
 /// A signed edge statement about a log read: either "block `bid` has
 /// digest `digest`" or "block `bid` is not available".
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReadReceipt {
     /// The responding edge.
     pub edge: IdentityId,
@@ -131,7 +130,12 @@ impl ReadReceipt {
     }
 
     /// Signs a read receipt as the edge.
-    pub fn issue(edge: &Identity, client: IdentityId, bid: BlockId, digest: Option<Digest>) -> Self {
+    pub fn issue(
+        edge: &Identity,
+        client: IdentityId,
+        bid: BlockId,
+        digest: Option<Digest>,
+    ) -> Self {
         let signature = edge.sign(&Self::signing_bytes(edge.id, client, bid, &digest));
         ReadReceipt { edge: edge.id, client, bid, digest, signature }
     }
@@ -147,7 +151,7 @@ impl ReadReceipt {
 }
 
 /// A client dispute: evidence that the edge may have lied.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Dispute {
     /// Phase II never arrived for a Phase-I-committed add.
     MissingCertification {
@@ -169,7 +173,7 @@ pub enum Dispute {
 }
 
 /// The cloud's ruling on a dispute.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DisputeVerdict {
     /// The edge lied; it has been punished (revoked).
     EdgePunished {
@@ -187,7 +191,7 @@ pub enum DisputeVerdict {
 /// Wire sizes for the network model are computed by
 /// [`Msg::wire_size`]; digests-only coordination is what keeps the
 /// edge→cloud sizes small (data-free certification).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Msg {
     // ---- harness → client ----
     /// Kick a client's workload.

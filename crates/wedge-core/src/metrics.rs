@@ -102,12 +102,7 @@ impl Timeline {
 
     /// Cumulative count at or before `t_secs` (0 if none).
     pub fn count_at(&self, t_secs: f64) -> u64 {
-        self.points
-            .iter()
-            .take_while(|(t, _)| *t <= t_secs)
-            .last()
-            .map(|(_, c)| *c)
-            .unwrap_or(0)
+        self.points.iter().take_while(|(t, _)| *t <= t_secs).last().map(|(_, c)| *c).unwrap_or(0)
     }
 
     /// Time (secs) at which the cumulative count first reached `n`.
@@ -162,9 +157,7 @@ impl ClientMetrics {
     /// later of the last write / read completion.
     pub fn throughput_kops(&self) -> f64 {
         match self.finished_at {
-            Some(t) if t.as_secs_f64() > 0.0 => {
-                self.total_ops() as f64 / t.as_secs_f64() / 1_000.0
-            }
+            Some(t) if t.as_secs_f64() > 0.0 => self.total_ops() as f64 / t.as_secs_f64() / 1_000.0,
             _ => 0.0,
         }
     }

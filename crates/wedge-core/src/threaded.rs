@@ -1,26 +1,38 @@
 //! A real-threads runtime for WedgeChain's data path.
 //!
 //! The simulator is the measurement substrate; this module is the
-//! proof that the same protocol objects (blocks, receipts, ledger,
-//! LSMerkle, read proofs) run on actual concurrency primitives: an
-//! edge service thread and a cloud service thread exchanging messages
-//! over crossbeam channels, with all cryptography real. Used by the
-//! examples and the threaded integration tests.
+//! proof that the *same protocol engines*
+//! ([`crate::engine::EdgeEngine`], [`crate::engine::CloudEngine`]) run
+//! on actual concurrency primitives: an edge service thread and a
+//! cloud service thread exchanging messages over `std::sync::mpsc`
+//! channels, with all cryptography real. Used by the examples, the
+//! threaded integration tests, and the sim-vs-threads differential
+//! test.
 //!
-//! Latency can be injected per hop to mimic a WAN without a simulator
-//! (`ThreadedConfig::cloud_hop_latency`).
+//! The threads contain no protocol logic — they translate inbound
+//! channel messages into engine commands and engine effects back onto
+//! channels. Latency can be injected per hop to mimic a WAN without a
+//! simulator (`ThreadedConfig::cloud_hop_latency`), and block seal
+//! times can be scripted (`ThreadedConfig::seal_times`) so a threaded
+//! run is byte-for-byte comparable to a simulator run.
 
-use crate::messages::AddReceipt;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use crate::config::CryptoMode;
+use crate::cost::CostModel;
+use crate::engine::{
+    CloudCommand, CloudEffect, CloudEngine, CloudStats, EdgeCommand, EdgeEffect, EdgeEngine,
+    EdgeStats,
+};
+use crate::fault::FaultPlan;
+use crate::messages::{AddReceipt, Msg};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wedge_crypto::{sha256_concat, Identity, IdentityId, KeyRegistry};
-use wedge_log::{Block, BlockId, BlockProof, CertLedger, CertOutcome, Entry, LogStore};
+use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry};
+use wedge_log::{BlockId, BlockProof, Entry};
 use wedge_lsmerkle::{
-    build_read_proof, verify_read_proof, CloudIndex, IndexReadProof, KvOp, LsmConfig, LsMerkle,
-    VerifiedRead,
+    verify_read_proof, CloudIndex, IndexReadProof, KvOp, LsMerkle, LsmConfig, VerifiedRead,
 };
 
 /// Configuration for the threaded runtime.
@@ -32,6 +44,12 @@ pub struct ThreadedConfig {
     pub batch_size: usize,
     /// Injected one-way latency for each edge↔cloud hop.
     pub cloud_hop_latency: Duration,
+    /// Scripted `sealed_at_ns` per block, in seal order. When present,
+    /// block `i` seals at `seal_times[i]` instead of the wall clock —
+    /// this makes block digests reproducible and comparable across
+    /// runtimes (the differential test replays the simulator's seal
+    /// times here). Falls back to the wall clock when exhausted.
+    pub seal_times: Option<Vec<u64>>,
 }
 
 impl Default for ThreadedConfig {
@@ -40,19 +58,34 @@ impl Default for ThreadedConfig {
             lsm: LsmConfig::exposition(),
             batch_size: 4,
             cloud_hop_latency: Duration::ZERO,
+            seal_times: None,
         }
     }
 }
 
-enum CloudMsg {
-    Certify { bid: BlockId, digest: wedge_crypto::Digest, reply: Sender<BlockProof> },
-    Merge { req: Box<wedge_lsmerkle::MergeRequest>, reply: Sender<wedge_lsmerkle::MergeResult> },
+/// Inbox of the edge service thread.
+enum EdgeIn {
+    /// A client batch to seal (the reply carries the Phase-I receipt).
+    Put {
+        entries: Vec<Entry>,
+        reply: Sender<PutReply>,
+    },
+    /// A client get (the reply carries the proof material).
+    Get {
+        key: u64,
+        reply: Sender<Box<IndexReadProof>>,
+    },
+    /// A protocol message from the cloud service.
+    FromCloud(Msg),
     Shutdown,
 }
 
-enum EdgeMsg {
-    Put { entries: Vec<Entry>, reply: Sender<PutReply> },
-    Get { key: u64, reply: Sender<Box<IndexReadProof>> },
+/// Inbox of the cloud service thread.
+// `Msg` dwarfs `Shutdown`; inbox values are moved once per hop.
+#[allow(clippy::large_enum_variant)]
+enum CloudIn {
+    /// A protocol message from the edge service.
+    FromEdge(Msg),
     Shutdown,
 }
 
@@ -65,12 +98,26 @@ pub struct PutReply {
     pub certified: Receiver<BlockProof>,
 }
 
+/// Final state of a threaded run, extracted at shutdown. This is what
+/// the differential test compares against the simulator.
+#[derive(Clone, Debug)]
+pub struct ThreadedReport {
+    /// Per log block, in id order: the block's digest, the proof
+    /// digest attached at the edge (if Phase II arrived), and the
+    /// digest the cloud's ledger certified (if any).
+    pub blocks: Vec<(BlockId, Digest, Option<Digest>, Option<Digest>)>,
+    /// Edge-side counters.
+    pub edge_stats: EdgeStats,
+    /// Cloud-side counters.
+    pub cloud_stats: CloudStats,
+}
+
 /// A running edge+cloud pair on real threads.
 pub struct ThreadedCluster {
-    edge_tx: Sender<EdgeMsg>,
-    cloud_tx: Sender<CloudMsg>,
-    edge_handle: Option<JoinHandle<()>>,
-    cloud_handle: Option<JoinHandle<()>>,
+    edge_tx: Sender<EdgeIn>,
+    cloud_tx: SyncSender<CloudIn>,
+    edge_handle: Option<JoinHandle<EdgeEngine<u64>>>,
+    cloud_handle: Option<JoinHandle<CloudEngine<u8>>>,
     /// Public registry for client-side verification.
     pub registry: KeyRegistry,
     /// The edge's identity id.
@@ -78,9 +125,17 @@ pub struct ThreadedCluster {
     /// The cloud's identity id.
     pub cloud_id: IdentityId,
     client: Identity,
-    next_seq: Mutex<u64>,
-    buffer: Mutex<Vec<Entry>>,
+    batcher: Mutex<ClientBatcher>,
     batch_size: usize,
+}
+
+/// Client-side batching state. Sequence assignment and buffer
+/// insertion happen under one lock so concurrent `put`s can never
+/// enqueue entries out of sequence order (the engine's replay window
+/// would reject a lower sequence arriving after a higher one).
+struct ClientBatcher {
+    next_seq: u64,
+    pending: Vec<Entry>,
 }
 
 impl ThreadedCluster {
@@ -98,23 +153,49 @@ impl ThreadedCluster {
         let init = index.init_edge(&cloud_ident, edge_ident.id, 0);
         let tree = LsMerkle::new(edge_ident.id, cfg.lsm.clone(), init);
 
-        let (cloud_tx, cloud_rx) = bounded::<CloudMsg>(1024);
-        let (edge_tx, edge_rx) = bounded::<EdgeMsg>(1024);
+        let edge_id = edge_ident.id;
+        let cloud_id = cloud_ident.id;
+        // The same engines the simulator drives — real crypto, honest.
+        let edge_engine = EdgeEngine::new(
+            edge_ident,
+            cloud_id,
+            registry.clone(),
+            CostModel::default(),
+            CryptoMode::Real,
+            FaultPlan::honest(),
+            tree,
+            Vec::new(),
+        );
+        let cloud_engine = CloudEngine::new(
+            cloud_ident,
+            registry.clone(),
+            CostModel::default(),
+            index,
+            HashMap::from([(EDGE_PEER, edge_id)]),
+        );
+
+        // The edge->cloud direction is bounded: certification and
+        // merge traffic queues behind the (possibly sleeping) cloud
+        // service, and an unbounded inbox would grow without limit
+        // under a sustained write load. The cloud->edge direction
+        // stays unbounded so the two services can never block on
+        // each other in a cycle.
+        let (cloud_tx, cloud_rx) = sync_channel::<CloudIn>(1024);
+        let (edge_tx, edge_rx) = channel::<EdgeIn>();
 
         let hop = cfg.cloud_hop_latency;
         let epoch = Instant::now();
+        let edge_tx_for_cloud = edge_tx.clone();
         let cloud_handle = std::thread::Builder::new()
             .name("wedge-cloud".into())
-            .spawn(move || cloud_service(cloud_ident, index, cloud_rx, hop, epoch))
+            .spawn(move || cloud_service(cloud_engine, cloud_rx, edge_tx_for_cloud, hop, epoch))
             .expect("spawn cloud thread");
 
-        let edge_registry = registry.clone();
         let cloud_tx_for_edge = cloud_tx.clone();
+        let seal_times = cfg.seal_times.clone().unwrap_or_default().into();
         let edge_handle = std::thread::Builder::new()
             .name("wedge-edge".into())
-            .spawn(move || {
-                edge_service(edge_ident, tree, edge_registry, edge_rx, cloud_tx_for_edge, epoch)
-            })
+            .spawn(move || edge_service(edge_engine, edge_rx, cloud_tx_for_edge, epoch, seal_times))
             .expect("spawn edge thread");
 
         Arc::new(ThreadedCluster {
@@ -123,11 +204,10 @@ impl ThreadedCluster {
             edge_handle: Some(edge_handle),
             cloud_handle: Some(cloud_handle),
             registry,
-            edge_id: edge_ident_id(),
-            cloud_id: cloud_ident_id(),
+            edge_id,
+            cloud_id,
             client: client_ident,
-            next_seq: Mutex::new(0),
-            buffer: Mutex::new(Vec::new()),
+            batcher: Mutex::new(ClientBatcher { next_seq: 0, pending: Vec::new() }),
             batch_size: cfg.batch_size.max(1),
         })
     }
@@ -136,202 +216,235 @@ impl ThreadedCluster {
     /// full, then submits the batch and returns the Phase-I reply.
     /// Returns `None` while buffering.
     pub fn put(&self, key: u64, value: Vec<u8>) -> Option<PutReply> {
-        let entry = {
-            let mut seq = self.next_seq.lock();
-            let e = Entry::new_signed(&self.client, *seq, KvOp::put(key, value).encode());
-            *seq += 1;
-            e
-        };
-        let batch = {
-            let mut buf = self.buffer.lock();
-            buf.push(entry);
-            if buf.len() >= self.batch_size {
-                Some(std::mem::take(&mut *buf))
+        let pending = {
+            let mut b = self.batcher.lock().unwrap();
+            let seq = b.next_seq;
+            b.next_seq += 1;
+            let entry = Entry::new_signed(&self.client, seq, KvOp::put(key, value).encode());
+            b.pending.push(entry);
+            if b.pending.len() >= self.batch_size {
+                let entries = std::mem::take(&mut b.pending);
+                Some(self.submit(entries))
             } else {
                 None
             }
         };
-        batch.map(|entries| self.submit(entries))
+        pending.map(|rx| rx.recv().expect("edge replies"))
     }
 
     /// Flushes any buffered entries as a partial batch.
     pub fn flush(&self) -> Option<PutReply> {
-        let batch = {
-            let mut buf = self.buffer.lock();
-            if buf.is_empty() {
+        let pending = {
+            let mut b = self.batcher.lock().unwrap();
+            if b.pending.is_empty() {
                 None
             } else {
-                Some(std::mem::take(&mut *buf))
+                let entries = std::mem::take(&mut b.pending);
+                Some(self.submit(entries))
             }
         };
-        batch.map(|entries| self.submit(entries))
+        pending.map(|rx| rx.recv().expect("edge replies"))
     }
 
-    fn submit(&self, entries: Vec<Entry>) -> PutReply {
-        let (tx, rx) = bounded(1);
-        self.edge_tx.send(EdgeMsg::Put { entries, reply: tx }).expect("edge thread alive");
-        rx.recv().expect("edge replies")
+    /// Sends one batch to the edge service. Must be called with the
+    /// batcher lock held: sequence numbers are assigned under that
+    /// lock, and the engine's replay window requires batches to arrive
+    /// in sequence order — only awaiting the reply happens unlocked.
+    fn submit(&self, entries: Vec<Entry>) -> Receiver<PutReply> {
+        let (tx, rx) = channel();
+        self.edge_tx.send(EdgeIn::Put { entries, reply: tx }).expect("edge thread alive");
+        rx
     }
 
     /// Gets a key with full client-side verification.
     pub fn get(&self, key: u64) -> Result<VerifiedRead, wedge_lsmerkle::ProofError> {
-        let (tx, rx) = bounded(1);
-        self.edge_tx.send(EdgeMsg::Get { key, reply: tx }).expect("edge thread alive");
+        let (tx, rx) = channel();
+        self.edge_tx.send(EdgeIn::Get { key, reply: tx }).expect("edge thread alive");
         let proof = rx.recv().expect("edge replies");
         verify_read_proof(&proof, self.edge_id, self.cloud_id, &self.registry, u64::MAX, None)
     }
 
-    /// Shuts both services down and joins their threads.
-    pub fn shutdown(mut self: Arc<Self>) {
+    /// Shuts both services down, joins their threads, and returns the
+    /// final protocol state (for assertions and the differential
+    /// test). Returns `None` unless called on the last owner.
+    pub fn shutdown(mut self: Arc<Self>) -> Option<ThreadedReport> {
         // Only the last owner actually joins.
-        if let Some(this) = Arc::get_mut(&mut self) {
-            let _ = this.edge_tx.send(EdgeMsg::Shutdown);
-            let _ = this.cloud_tx.send(CloudMsg::Shutdown);
-            if let Some(h) = this.edge_handle.take() {
-                let _ = h.join();
-            }
-            if let Some(h) = this.cloud_handle.take() {
-                let _ = h.join();
-            }
-        }
+        let this = Arc::get_mut(&mut self)?;
+        let _ = this.edge_tx.send(EdgeIn::Shutdown);
+        let _ = this.cloud_tx.send(CloudIn::Shutdown);
+        let edge_engine = this.edge_handle.take().and_then(|h| h.join().ok());
+        let cloud_engine = this.cloud_handle.take().and_then(|h| h.join().ok());
+        let (edge_engine, cloud_engine) = (edge_engine?, cloud_engine?);
+        let edge_id = this.edge_id;
+        let blocks = edge_engine
+            .log
+            .iter()
+            .map(|sb| {
+                (
+                    sb.block.id,
+                    sb.block.digest(),
+                    sb.proof.as_ref().map(|p| p.digest),
+                    cloud_engine.ledger.lookup(edge_id, sb.block.id).copied(),
+                )
+            })
+            .collect();
+        Some(ThreadedReport {
+            blocks,
+            edge_stats: edge_engine.stats.clone(),
+            cloud_stats: cloud_engine.stats.clone(),
+        })
     }
 }
 
-fn edge_ident_id() -> IdentityId {
-    Identity::derive("edge", 100).id
-}
+/// The cloud engine's single edge peer handle.
+const EDGE_PEER: u8 = 0;
 
-fn cloud_ident_id() -> IdentityId {
-    Identity::derive("cloud", 1).id
-}
+/// Peer tokens the edge engine never sends to (placeholder `from` for
+/// cloud-originated commands).
+const NO_CLIENT: u64 = u64::MAX;
 
+/// The edge service: drives the [`EdgeEngine`] from the inbox and
+/// routes effects — cloud-bound messages onto the cloud channel,
+/// client-bound messages onto the per-request reply channels.
 fn edge_service(
-    identity: Identity,
-    mut tree: LsMerkle,
-    registry: KeyRegistry,
-    rx: Receiver<EdgeMsg>,
-    cloud: Sender<CloudMsg>,
+    mut engine: EdgeEngine<u64>,
+    rx: Receiver<EdgeIn>,
+    cloud: SyncSender<CloudIn>,
     epoch: Instant,
-) {
-    let mut log = LogStore::new();
-    let mut next_bid = BlockId(0);
-    let mut pending_proofs: Vec<Receiver<BlockProof>> = Vec::new();
+    mut seal_times: VecDeque<u64>,
+) -> EdgeEngine<u64> {
+    let mut next_token: u64 = 0;
+    // Pending reply routes, keyed by the request token the engine sees
+    // as the client handle.
+    let mut put_replies: HashMap<u64, (Sender<PutReply>, Receiver<BlockProof>)> = HashMap::new();
+    let mut proof_waiters: HashMap<u64, Sender<BlockProof>> = HashMap::new();
+    let mut get_waiters: HashMap<u64, Sender<Box<IndexReadProof>>> = HashMap::new();
 
-    let drain_proofs = |tree: &mut LsMerkle,
-                            log: &mut LogStore,
-                            pending: &mut Vec<Receiver<BlockProof>>| {
-        pending.retain(|rx| match rx.try_recv() {
-            Ok(proof) => {
-                log.attach_proof(proof.clone());
-                tree.attach_block_proof(proof);
-                false
+    let apply = |engine: &mut EdgeEngine<u64>,
+                 put_replies: &mut HashMap<u64, (Sender<PutReply>, Receiver<BlockProof>)>,
+                 proof_waiters: &mut HashMap<u64, Sender<BlockProof>>,
+                 get_waiters: &mut HashMap<u64, Sender<Box<IndexReadProof>>>,
+                 cmd: EdgeCommand<u64>,
+                 now_ns: u64| {
+        for effect in engine.handle(cmd, now_ns) {
+            match effect {
+                EdgeEffect::SendCloud { msg, .. } => {
+                    let _ = cloud.send(CloudIn::FromEdge(msg));
+                }
+                EdgeEffect::Send { to, msg: Msg::AddResponse { receipt }, .. } => {
+                    if let Some((reply, certified)) = put_replies.remove(&to) {
+                        let _ = reply.send(PutReply { receipt, certified });
+                    }
+                }
+                EdgeEffect::Send { to, msg: Msg::BlockProofForward(proof), .. } => {
+                    if let Some(tx) = proof_waiters.remove(&to) {
+                        let _ = tx.send(proof);
+                    }
+                }
+                EdgeEffect::Send { to, msg: Msg::GetResponse { proof, .. }, .. } => {
+                    if let Some(tx) = get_waiters.remove(&to) {
+                        let _ = tx.send(proof);
+                    }
+                }
+                // CPU accounting and unrouted messages have no real-
+                // time counterpart here.
+                EdgeEffect::Send { .. }
+                | EdgeEffect::UseCpu(_)
+                | EdgeEffect::UseCpuBackground(_) => {}
             }
-            Err(crossbeam::channel::TryRecvError::Empty) => true,
-            Err(crossbeam::channel::TryRecvError::Disconnected) => false,
-        });
+        }
     };
 
     while let Ok(msg) = rx.recv() {
-        drain_proofs(&mut tree, &mut log, &mut pending_proofs);
         match msg {
-            EdgeMsg::Put { entries, reply } => {
-                assert!(entries.iter().all(|e| e.verify(&registry)), "bad client signature");
-                let client = entries.first().map(|e| e.client).unwrap_or(IdentityId(0));
-                let parts: Vec<Vec<u8>> = entries.iter().map(|e| e.signing_bytes()).collect();
-                let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
-                let entries_digest = sha256_concat(&refs);
-                let bid = next_bid;
-                next_bid = next_bid.next();
-                let block = Block {
-                    edge: identity.id,
-                    id: bid,
-                    entries,
-                    sealed_at_ns: epoch.elapsed().as_nanos() as u64,
-                };
-                let digest = block.digest();
-                let receipt =
-                    AddReceipt::issue(&identity, client, bid.0, entries_digest, bid, digest);
-                log.append(block.clone());
-                tree.apply_block(block);
-
-                // Lazy certification: request it, hand the caller the
-                // pending channel, do not wait.
-                let (ptx, prx) = bounded(1);
-                let (fwd_tx, fwd_rx) = bounded(1);
-                cloud
-                    .send(CloudMsg::Certify { bid, digest, reply: ptx })
-                    .expect("cloud thread alive");
-                // Tee the proof: one copy for the caller, one applied
-                // locally on the next loop turn.
-                let (tee_tx, tee_rx) = bounded(1);
-                std::thread::spawn(move || {
-                    if let Ok(proof) = prx.recv() {
-                        let _ = fwd_tx.send(proof.clone());
-                        let _ = tee_tx.send(proof);
-                    }
-                });
-                pending_proofs.push(tee_rx);
-                let _ = reply.send(PutReply { receipt, certified: fwd_rx });
-
-                // Merge synchronously when overflowing (simple but
-                // correct; the DES models the asynchronous variant).
-                while let Some(level) = tree.overflowing_level() {
-                    drain_proofs(&mut tree, &mut log, &mut pending_proofs);
-                    let req = tree.build_merge_request(level);
-                    if level == 0 && req.source_l0.is_empty() {
-                        break;
-                    }
-                    let (mtx, mrx) = bounded(1);
-                    cloud
-                        .send(CloudMsg::Merge { req: Box::new(req.clone()), reply: mtx })
-                        .expect("cloud thread alive");
-                    match mrx.recv() {
-                        Ok(res) => tree.apply_merge_result(&req, res).expect("merge applies"),
-                        Err(_) => break,
-                    }
+            EdgeIn::Put { entries, reply } => {
+                let token = next_token;
+                next_token += 1;
+                let now_ns =
+                    seal_times.pop_front().unwrap_or_else(|| epoch.elapsed().as_nanos() as u64);
+                let (ptx, prx) = channel();
+                put_replies.insert(token, (reply, prx));
+                proof_waiters.insert(token, ptx);
+                let cmd = EdgeCommand::BatchAdd { from: token, req_id: token, entries };
+                apply(
+                    &mut engine,
+                    &mut put_replies,
+                    &mut proof_waiters,
+                    &mut get_waiters,
+                    cmd,
+                    now_ns,
+                );
+                // A rejected batch (bad signatures / full replay)
+                // produced no receipt and requested no certification:
+                // drop both routes so the caller observes a closed
+                // channel instead of hanging and no waiter leaks.
+                if put_replies.remove(&token).is_some() {
+                    proof_waiters.remove(&token);
                 }
             }
-            EdgeMsg::Get { key, reply } => {
-                let proof = build_read_proof(&tree, key);
-                let _ = reply.send(Box::new(proof));
+            EdgeIn::Get { key, reply } => {
+                let token = next_token;
+                next_token += 1;
+                get_waiters.insert(token, reply);
+                let now_ns = epoch.elapsed().as_nanos() as u64;
+                let cmd = EdgeCommand::Get { from: token, req_id: token, key };
+                apply(
+                    &mut engine,
+                    &mut put_replies,
+                    &mut proof_waiters,
+                    &mut get_waiters,
+                    cmd,
+                    now_ns,
+                );
             }
-            EdgeMsg::Shutdown => break,
+            EdgeIn::FromCloud(msg) => {
+                let Some(cmd) = EdgeCommand::from_msg(NO_CLIENT, msg) else { continue };
+                let now_ns = epoch.elapsed().as_nanos() as u64;
+                apply(
+                    &mut engine,
+                    &mut put_replies,
+                    &mut proof_waiters,
+                    &mut get_waiters,
+                    cmd,
+                    now_ns,
+                );
+            }
+            EdgeIn::Shutdown => break,
         }
     }
+    engine
 }
 
+/// The cloud service: drives the [`CloudEngine`] from the inbox and
+/// sends every effect back to the edge service.
 fn cloud_service(
-    identity: Identity,
-    mut index: CloudIndex,
-    rx: Receiver<CloudMsg>,
+    mut engine: CloudEngine<u8>,
+    rx: Receiver<CloudIn>,
+    edge: Sender<EdgeIn>,
     hop: Duration,
-    _epoch: Instant,
-) {
-    let mut ledger = CertLedger::new();
+    epoch: Instant,
+) -> CloudEngine<u8> {
     while let Ok(msg) = rx.recv() {
-        if !hop.is_zero() {
-            std::thread::sleep(hop);
-        }
         match msg {
-            CloudMsg::Certify { bid, digest, reply } => {
-                let edge = edge_ident_id();
-                match ledger.offer(edge, bid, digest) {
-                    CertOutcome::Certified | CertOutcome::AlreadyCertified => {
-                        let proof = BlockProof::issue(&identity, edge, bid, digest);
-                        let _ = reply.send(proof);
+            CloudIn::FromEdge(msg) => {
+                if !hop.is_zero() {
+                    std::thread::sleep(hop);
+                }
+                let Some(cmd) = CloudCommand::from_msg(EDGE_PEER, msg) else { continue };
+                let now_ns = epoch.elapsed().as_nanos() as u64;
+                for effect in engine.handle(cmd, now_ns) {
+                    match effect {
+                        CloudEffect::Send { msg, .. } => {
+                            let _ = edge.send(EdgeIn::FromCloud(msg));
+                        }
+                        CloudEffect::UseCpu(_) => {}
                     }
-                    CertOutcome::Equivocation(_) => { /* drop: edge flagged */ }
                 }
             }
-            CloudMsg::Merge { req, reply } => {
-                let now = _epoch.elapsed().as_nanos() as u64;
-                if let Ok(res) = index.process_merge(&identity, &ledger, &req, now) {
-                    let _ = reply.send(res);
-                }
-            }
-            CloudMsg::Shutdown => break,
+            CloudIn::Shutdown => break,
         }
     }
+    engine
 }
 
 #[cfg(test)]
@@ -340,10 +453,8 @@ mod tests {
 
     #[test]
     fn threaded_put_get_roundtrip() {
-        let cluster = ThreadedCluster::start(ThreadedConfig {
-            batch_size: 2,
-            ..ThreadedConfig::default()
-        });
+        let cluster =
+            ThreadedCluster::start(ThreadedConfig { batch_size: 2, ..ThreadedConfig::default() });
         assert!(cluster.put(1, b"a".to_vec()).is_none()); // buffered
         let reply = cluster.put(2, b"b".to_vec()).expect("batch sealed");
         assert!(reply.receipt.verify(&cluster.registry));
@@ -358,10 +469,8 @@ mod tests {
 
     #[test]
     fn threaded_merges_preserve_data() {
-        let cluster = ThreadedCluster::start(ThreadedConfig {
-            batch_size: 1,
-            ..ThreadedConfig::default()
-        });
+        let cluster =
+            ThreadedCluster::start(ThreadedConfig { batch_size: 1, ..ThreadedConfig::default() });
         let mut last = None;
         for k in 0..20u64 {
             last = cluster.put(k, format!("v{k}").into_bytes());
@@ -374,7 +483,9 @@ mod tests {
             let read = cluster.get(k).unwrap();
             assert_eq!(read.value, Some(format!("v{k}").into_bytes()), "key {k}");
         }
-        cluster.shutdown();
+        let report = cluster.shutdown().expect("sole owner gets the report");
+        assert_eq!(report.edge_stats.blocks_sealed, 20);
+        assert!(report.cloud_stats.merges_processed > 0, "merges ran");
     }
 
     #[test]
@@ -404,5 +515,57 @@ mod tests {
         assert!(p2 >= Duration::from_millis(5));
         assert!(p1 < p2);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn threaded_concurrent_writers_lose_nothing() {
+        // Regression: sequence assignment, buffer insertion, AND the
+        // channel send must happen under one lock — otherwise a
+        // higher-sequence batch can overtake a lower one and the
+        // engine's replay window silently drops the late batch.
+        let cluster =
+            ThreadedCluster::start(ThreadedConfig { batch_size: 2, ..ThreadedConfig::default() });
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cluster = &cluster;
+                scope.spawn(move || {
+                    for i in 0..25u64 {
+                        cluster.put(t * 1000 + i, vec![t as u8, i as u8]);
+                    }
+                });
+            }
+        });
+        cluster.flush();
+        // Every one of the 100 distinct keys must be readable: no
+        // batch was rejected by the replay window.
+        for t in 0..4u64 {
+            for i in 0..25u64 {
+                let read = cluster.get(t * 1000 + i).unwrap();
+                assert_eq!(read.value, Some(vec![t as u8, i as u8]), "key {t}/{i}");
+            }
+        }
+        let report = cluster.shutdown().expect("report");
+        assert_eq!(report.edge_stats.blocks_sealed, 50, "100 entries in full batches of 2");
+    }
+
+    #[test]
+    fn threaded_scripted_seal_times_are_deterministic() {
+        let run = || {
+            let cluster = ThreadedCluster::start(ThreadedConfig {
+                batch_size: 2,
+                seal_times: Some(vec![1_000, 2_000, 3_000]),
+                ..ThreadedConfig::default()
+            });
+            for k in 0..6u64 {
+                cluster.put(k, vec![k as u8; 8]);
+            }
+            cluster.shutdown().expect("report")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.blocks.len(), 3);
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1, "scripted seal times make digests reproducible");
+        }
     }
 }

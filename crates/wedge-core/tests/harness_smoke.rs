@@ -110,16 +110,12 @@ fn trace_captures_the_protocol_sequence() {
     // The lazy-certification message sequence, in causal order:
     // BatchAdd -> AddResponse (Phase I) -> BlockCertify ->
     // BlockProofMsg -> BlockProofForward (Phase II).
-    let order: Vec<&str> = ["BatchAdd", "AddResponse", "BlockCertify", "BlockProofMsg", "BlockProofForward"]
-        .into_iter()
-        .filter(|l| !trace.matching(l).is_empty())
-        .collect();
-    assert_eq!(
-        order.len(),
-        5,
-        "missing protocol steps; trace:\n{}",
-        trace.dump()
-    );
+    let order: Vec<&str> =
+        ["BatchAdd", "AddResponse", "BlockCertify", "BlockProofMsg", "BlockProofForward"]
+            .into_iter()
+            .filter(|l| !trace.matching(l).is_empty())
+            .collect();
+    assert_eq!(order.len(), 5, "missing protocol steps; trace:\n{}", trace.dump());
     let at = |label: &str| trace.matching(label)[0].at;
     assert!(at("BatchAdd") <= at("AddResponse"));
     assert!(at("AddResponse") <= at("BlockCertify"), "certification must not delay Phase I");

@@ -4,14 +4,13 @@
 //! data by its SHA-256 digest; this newtype keeps those 32 bytes
 //! strongly typed and cheap to copy/compare.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 32-byte SHA-256 digest.
 ///
 /// `Digest` is `Copy` (32 bytes) and ordered, so it can serve as a map
 /// key. The `Display`/`Debug` impls render lowercase hex.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Digest([u8; 32]);
 
 impl Digest {

@@ -8,12 +8,11 @@
 //! re-register a revoked identity.
 
 use crate::schnorr::{Keypair, PublicKey, Signature};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A stable identity for a participant (client, edge node, or cloud).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IdentityId(pub u64);
 
 impl fmt::Debug for IdentityId {
@@ -55,7 +54,7 @@ impl Identity {
 }
 
 /// Why an identity was revoked.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RevocationReason {
     /// The cloud proved the node certified two different digests for
     /// the same block id (equivocation).

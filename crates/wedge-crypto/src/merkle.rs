@@ -13,7 +13,6 @@
 
 use crate::digest::Digest;
 use crate::sha256::sha256_concat;
-use serde::{Deserialize, Serialize};
 
 const LEAF_TAG: &[u8] = &[0x00];
 const NODE_TAG: &[u8] = &[0x01];
@@ -40,7 +39,7 @@ pub struct MerkleTree {
 }
 
 /// A proof that a leaf is included under a Merkle root.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InclusionProof {
     /// Index of the proven leaf in the original sequence.
     pub leaf_index: usize,
@@ -52,10 +51,8 @@ impl MerkleTree {
     /// Builds a tree from already-computed leaf content digests (e.g.
     /// page digests). Each is re-tagged as a leaf node internally.
     pub fn from_leaves(leaves: &[Digest]) -> Self {
-        let tagged: Vec<Digest> = leaves
-            .iter()
-            .map(|d| sha256_concat(&[LEAF_TAG, d.as_bytes()]))
-            .collect();
+        let tagged: Vec<Digest> =
+            leaves.iter().map(|d| sha256_concat(&[LEAF_TAG, d.as_bytes()])).collect();
         Self::from_tagged(tagged)
     }
 
@@ -129,11 +126,7 @@ impl MerkleTree {
         let mut acc = sha256_concat(&[LEAF_TAG, leaf_digest.as_bytes()]);
         let mut idx = proof.leaf_index;
         for sib in &proof.siblings {
-            acc = if idx & 1 == 0 {
-                hash_node(&acc, sib)
-            } else {
-                hash_node(sib, &acc)
-            };
+            acc = if idx & 1 == 0 { hash_node(&acc, sib) } else { hash_node(sib, &acc) };
             idx /= 2;
         }
         acc == *root
@@ -145,11 +138,7 @@ impl MerkleTree {
         let mut acc = hash_leaf(leaf);
         let mut idx = proof.leaf_index;
         for sib in &proof.siblings {
-            acc = if idx & 1 == 0 {
-                hash_node(&acc, sib)
-            } else {
-                hash_node(sib, &acc)
-            };
+            acc = if idx & 1 == 0 { hash_node(&acc, sib) } else { hash_node(sib, &acc) };
             idx /= 2;
         }
         acc == *root

@@ -22,7 +22,6 @@ use crate::digest::Digest;
 use crate::hmac::hmac_sha256;
 use crate::modmath::{addmod, modpow, mulmod, submod};
 use crate::sha256::sha256_concat;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The 127-bit safe prime `p = 2q + 1`.
@@ -39,14 +38,14 @@ pub struct SecretKey {
 }
 
 /// A public verification key: `y = g^x mod p`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PublicKey {
     y: u128,
 }
 
 /// A Schnorr signature `(e, s)` with the standard verification equation
 /// `e == H(g^s · y^{-e} mod p || m)`.
-#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct Signature {
     pub e: u128,
     pub s: u128,

@@ -1,6 +1,9 @@
-//! Property-based tests for the crypto substrate.
+//! Property-style tests for the crypto substrate.
+//!
+//! The container has no third-party crates, so instead of proptest
+//! these run each property over a deterministic stream of SplitMix64-
+//! generated cases — same coverage intent, fully reproducible.
 
-use proptest::prelude::*;
 use wedge_crypto::merkle::MerkleTree;
 use wedge_crypto::modmath::{addmod, invmod, modpow, mulmod, submod};
 use wedge_crypto::schnorr::{Keypair, Q};
@@ -8,130 +11,198 @@ use wedge_crypto::sha256::{sha256, Sha256};
 
 const P127: u128 = wedge_crypto::schnorr::P;
 
-proptest! {
-    /// Incremental hashing over arbitrary chunkings equals one-shot.
-    #[test]
-    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..2048),
-                                 cuts in proptest::collection::vec(any::<u16>(), 0..8)) {
+/// Minimal SplitMix64 case generator (test-local; the simulator has
+/// its own copy — crypto stays dependency-free).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn below_u128(&mut self, n: u128) -> u128 {
+        (((self.next() as u128) << 64) | self.next() as u128) % n.max(1)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+#[test]
+fn sha256_chunking_invariant() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x5AA5 ^ case);
+        let n = rng.below(2048) as usize;
+        let data = rng.bytes(n);
         let oneshot = sha256(&data);
         let mut inc = Sha256::new();
         let mut rest: &[u8] = &data;
-        for c in cuts {
-            if rest.is_empty() { break; }
-            let at = (c as usize) % rest.len();
+        for _ in 0..rng.below(8) {
+            if rest.is_empty() {
+                break;
+            }
+            let at = rng.below(rest.len() as u64) as usize;
             let (a, b) = rest.split_at(at);
             inc.update(a);
             rest = b;
         }
         inc.update(rest);
-        prop_assert_eq!(oneshot, inc.finalize());
+        assert_eq!(oneshot, inc.finalize(), "case {case}");
     }
+}
 
-    /// Distinct inputs (almost surely) hash differently.
-    #[test]
-    fn sha256_injective_in_practice(a in proptest::collection::vec(any::<u8>(), 0..256),
-                                    b in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn sha256_injective_in_practice() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0xD1FF ^ case);
+        let na = rng.below(256) as usize;
+        let a = rng.bytes(na);
+        let nb = rng.below(256) as usize;
+        let b = rng.bytes(nb);
         if a != b {
-            prop_assert_ne!(sha256(&a), sha256(&b));
+            assert_ne!(sha256(&a), sha256(&b), "case {case}");
         }
     }
+}
 
-    /// Field axioms hold for the Schnorr prime.
-    #[test]
-    fn modmath_field_axioms(a in 0u128..P127, b in 0u128..P127, c in 0u128..P127) {
+#[test]
+fn modmath_field_axioms() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0xF1E1D ^ case);
+        let a = rng.below_u128(P127);
+        let b = rng.below_u128(P127);
+        let c = rng.below_u128(P127);
         // Commutativity and associativity of mulmod.
-        prop_assert_eq!(mulmod(a, b, P127), mulmod(b, a, P127));
-        prop_assert_eq!(
-            mulmod(mulmod(a, b, P127), c, P127),
-            mulmod(a, mulmod(b, c, P127), P127)
-        );
+        assert_eq!(mulmod(a, b, P127), mulmod(b, a, P127));
+        assert_eq!(mulmod(mulmod(a, b, P127), c, P127), mulmod(a, mulmod(b, c, P127), P127));
         // Distributivity.
-        prop_assert_eq!(
+        assert_eq!(
             mulmod(a, addmod(b, c, P127), P127),
             addmod(mulmod(a, b, P127), mulmod(a, c, P127), P127)
         );
         // add/sub inverse.
-        prop_assert_eq!(submod(addmod(a, b, P127), b, P127), a);
+        assert_eq!(submod(addmod(a, b, P127), b, P127), a);
     }
+}
 
-    /// Multiplicative inverses from Fermat's little theorem.
-    #[test]
-    fn modmath_inverses(a in 1u128..P127) {
-        prop_assert_eq!(mulmod(a, invmod(a, P127), P127), 1);
+#[test]
+fn modmath_inverses() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x1479 ^ case);
+        let a = 1 + rng.below_u128(P127 - 1);
+        assert_eq!(mulmod(a, invmod(a, P127), P127), 1, "a = {a}");
     }
+}
 
-    /// Exponent laws: g^(a+b) == g^a * g^b (exponents mod Q because the
-    /// generator has order Q).
-    #[test]
-    fn modpow_exponent_addition(a in 0u128..Q, b in 0u128..Q) {
+#[test]
+fn modpow_exponent_addition() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0xE4B0 ^ case);
+        let a = rng.below_u128(Q);
+        let b = rng.below_u128(Q);
         let g = wedge_crypto::schnorr::G;
         let lhs = modpow(g, addmod(a, b, Q), P127);
         let rhs = mulmod(modpow(g, a, P127), modpow(g, b, P127), P127);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "a = {a}, b = {b}");
     }
+}
 
-    /// Schnorr roundtrip for arbitrary seeds and messages; tampering
-    /// with the message is rejected.
-    #[test]
-    fn schnorr_roundtrip(seed in proptest::collection::vec(any::<u8>(), 1..64),
-                         msg in proptest::collection::vec(any::<u8>(), 0..512),
-                         flip in any::<u8>(), at in any::<u16>()) {
+#[test]
+fn schnorr_roundtrip() {
+    for case in 0..16u64 {
+        let mut rng = Rng::new(0x5C40 ^ case);
+        let ns = 1 + rng.below(63) as usize;
+        let seed = rng.bytes(ns);
+        let nm = rng.below(512) as usize;
+        let msg = rng.bytes(nm);
         let kp = Keypair::from_seed(&seed);
         let sig = kp.sign(&msg);
-        prop_assert!(kp.public().verify(&msg, &sig));
+        assert!(kp.public().verify(&msg, &sig), "case {case}");
         // Flip one byte (if non-empty and the flip actually changes it).
+        let flip = rng.next() as u8;
         if !msg.is_empty() && flip != 0 {
             let mut tampered = msg.clone();
-            let i = (at as usize) % tampered.len();
+            let i = rng.below(tampered.len() as u64) as usize;
             tampered[i] ^= flip;
-            prop_assert!(!kp.public().verify(&tampered, &sig));
+            assert!(!kp.public().verify(&tampered, &sig), "case {case}");
         }
     }
+}
 
-    /// A signature from one key never verifies under an independent key.
-    #[test]
-    fn schnorr_key_separation(seed_a in proptest::collection::vec(any::<u8>(), 1..32),
-                              seed_b in proptest::collection::vec(any::<u8>(), 1..32),
-                              msg in proptest::collection::vec(any::<u8>(), 0..128)) {
-        prop_assume!(seed_a != seed_b);
+#[test]
+fn schnorr_key_separation() {
+    for case in 0..16u64 {
+        let mut rng = Rng::new(0x5E9A ^ case);
+        let na = 1 + rng.below(31) as usize;
+        let seed_a = rng.bytes(na);
+        let nb = 1 + rng.below(31) as usize;
+        let seed_b = rng.bytes(nb);
+        if seed_a == seed_b {
+            continue;
+        }
+        let nm = rng.below(128) as usize;
+        let msg = rng.bytes(nm);
         let ka = Keypair::from_seed(&seed_a);
         let kb = Keypair::from_seed(&seed_b);
         let sig = ka.sign(&msg);
-        prop_assert!(!kb.public().verify(&msg, &sig));
+        assert!(!kb.public().verify(&msg, &sig), "case {case}");
     }
+}
 
-    /// Merkle proofs verify for every leaf; a mutated leaf fails.
-    #[test]
-    fn merkle_soundness(n in 1usize..40, pick in any::<usize>()) {
+#[test]
+fn merkle_soundness() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x3E61E ^ case);
+        let n = 1 + rng.below(39) as usize;
         let leaves: Vec<_> = (0..n).map(|i| sha256(format!("leaf{i}").as_bytes())).collect();
         let tree = MerkleTree::from_leaves(&leaves);
-        let i = pick % n;
+        let i = rng.below(n as u64) as usize;
         let proof = tree.prove(i).unwrap();
-        prop_assert!(MerkleTree::verify(&tree.root(), &leaves[i], &proof));
+        assert!(MerkleTree::verify(&tree.root(), &leaves[i], &proof), "n = {n}, i = {i}");
         let mutated = sha256(b"evil");
-        prop_assert!(!MerkleTree::verify(&tree.root(), &mutated, &proof));
+        assert!(!MerkleTree::verify(&tree.root(), &mutated, &proof), "n = {n}, i = {i}");
     }
+}
 
-    /// A proof for index i does not verify a different leaf j != i.
-    #[test]
-    fn merkle_index_binding(n in 2usize..40, pick in any::<usize>()) {
+#[test]
+fn merkle_index_binding() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x1DB ^ case);
+        let n = 2 + rng.below(38) as usize;
         let leaves: Vec<_> = (0..n).map(|i| sha256(format!("leaf{i}").as_bytes())).collect();
         let tree = MerkleTree::from_leaves(&leaves);
-        let i = pick % n;
+        let i = rng.below(n as u64) as usize;
         let j = (i + 1) % n;
         let proof = tree.prove(i).unwrap();
-        prop_assert!(!MerkleTree::verify(&tree.root(), &leaves[j], &proof));
+        assert!(!MerkleTree::verify(&tree.root(), &leaves[j], &proof), "n = {n}, i = {i}");
     }
+}
 
-    /// Trees over different leaf sets have different roots.
-    #[test]
-    fn merkle_root_binds_content(n in 1usize..20, mutate in any::<usize>()) {
+#[test]
+fn merkle_root_binds_content() {
+    for case in 0..32u64 {
+        let mut rng = Rng::new(0x3007 ^ case);
+        let n = 1 + rng.below(19) as usize;
         let leaves: Vec<_> = (0..n).map(|i| sha256(format!("leaf{i}").as_bytes())).collect();
         let mut other = leaves.clone();
-        let i = mutate % n;
+        let i = rng.below(n as u64) as usize;
         other[i] = sha256(b"mutated");
         let t1 = MerkleTree::from_leaves(&leaves);
         let t2 = MerkleTree::from_leaves(&other);
-        prop_assert_ne!(t1.root(), t2.root());
+        assert_ne!(t1.root(), t2.root(), "n = {n}, i = {i}");
     }
 }

@@ -8,12 +8,11 @@
 
 use crate::enc::Encoder;
 use crate::entry::Entry;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use wedge_crypto::{Digest, IdentityId, KeyRegistry};
 
 /// Monotonic per-edge block identifier.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct BlockId(pub u64);
 
 impl BlockId {
@@ -36,7 +35,7 @@ impl fmt::Display for BlockId {
 }
 
 /// A sealed batch of entries.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Block {
     /// The edge node that sealed this block. Block ids are only unique
     /// relative to one edge node (§III), so the digest binds both.

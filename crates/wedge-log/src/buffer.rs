@@ -81,6 +81,15 @@ impl BlockBuffer {
         }
     }
 
+    /// Advances the next block id to `next` if it is ahead — used when
+    /// blocks were appended to the log out-of-band (e.g. the harness
+    /// preload path) so sealing resumes after them.
+    pub fn align_next_id(&mut self, next: BlockId) {
+        if next > self.next_id {
+            self.next_id = next;
+        }
+    }
+
     /// Seals the pending entries into a block (even if not full — used
     /// for timeouts and no-op freshness blocks). Returns `None` when
     /// empty.

@@ -9,12 +9,11 @@
 
 use crate::block::BlockId;
 use crate::enc::Encoder;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, Signature};
 
 /// The two commit phases of lazy certification (Definitions 1 and 2).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CommitPhase {
     /// Edge acknowledged; dispute evidence held; cloud not yet heard.
     Phase1,
@@ -24,7 +23,7 @@ pub enum CommitPhase {
 
 /// A cloud-signed certification that block `bid` at `edge` has digest
 /// `digest` — the paper's *block-proof* message.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BlockProof {
     /// The edge node whose log contains the block.
     pub edge: IdentityId,
@@ -161,10 +160,7 @@ mod tests {
         let d1 = sha256(b"honest");
         let d2 = sha256(b"lying");
         ledger.offer(IdentityId(1), BlockId(0), d1);
-        assert_eq!(
-            ledger.offer(IdentityId(1), BlockId(0), d2),
-            CertOutcome::Equivocation(d1)
-        );
+        assert_eq!(ledger.offer(IdentityId(1), BlockId(0), d2), CertOutcome::Equivocation(d1));
     }
 
     #[test]

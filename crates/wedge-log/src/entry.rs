@@ -6,11 +6,10 @@
 //! canonical encoding.
 
 use crate::enc::Encoder;
-use serde::{Deserialize, Serialize};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
 
 /// A single client-signed log entry.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Entry {
     /// The producing client.
     pub client: IdentityId,
@@ -27,12 +26,8 @@ pub struct Entry {
 impl Entry {
     /// Builds and signs an entry as `identity`.
     pub fn new_signed(identity: &Identity, sequence: u64, payload: Vec<u8>) -> Self {
-        let mut e = Entry {
-            client: identity.id,
-            sequence,
-            payload,
-            signature: Signature { e: 0, s: 0 },
-        };
+        let mut e =
+            Entry { client: identity.id, sequence, payload, signature: Signature { e: 0, s: 0 } };
         e.signature = identity.sign(&e.signing_bytes());
         e
     }
@@ -40,9 +35,7 @@ impl Entry {
     /// The canonical bytes covered by the signature.
     pub fn signing_bytes(&self) -> Vec<u8> {
         let mut enc = Encoder::with_tag("wedge-entry-v1");
-        enc.put_u64(self.client.0)
-            .put_u64(self.sequence)
-            .put_bytes(&self.payload);
+        enc.put_u64(self.client.0).put_u64(self.sequence).put_bytes(&self.payload);
         enc.finish()
     }
 

@@ -25,8 +25,6 @@ pub use buffer::{BlockBuffer, PushOutcome};
 pub use cert::{BlockProof, CertLedger, CertOutcome, CommitPhase};
 pub use enc::Encoder;
 pub use entry::Entry;
-pub use reserve::{
-    LogPosition, PositionedRequest, Reservation, ReservePolicy, ReservingBuffer,
-};
+pub use reserve::{LogPosition, PositionedRequest, Reservation, ReservePolicy, ReservingBuffer};
 pub use store::{LogStore, StoredBlock};
 pub use watermark::{GossipWatermark, WatermarkTracker};

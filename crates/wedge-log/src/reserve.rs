@@ -16,12 +16,11 @@
 use crate::block::{Block, BlockId};
 use crate::enc::Encoder;
 use crate::entry::Entry;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
 
 /// A position in the edge node's log: block id plus offset.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct LogPosition {
     /// The block the position falls in.
     pub bid: BlockId,
@@ -31,7 +30,7 @@ pub struct LogPosition {
 
 /// An edge-signed reservation: "position `pos` is held for `client`
 /// until the block seals".
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Reservation {
     /// The reserving client.
     pub client: IdentityId,
@@ -57,7 +56,7 @@ impl Reservation {
 /// A client request bound to a reserved position: the client signs
 /// `(position, payload)`, so the same payload at any other position
 /// carries an invalid signature — replays are structurally impossible.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PositionedRequest {
     /// The signing client.
     pub client: IdentityId,
@@ -93,7 +92,7 @@ impl PositionedRequest {
 }
 
 /// Reservation policy (§IV-E).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReservePolicy {
     /// The block waits for every reserved slot to be filled.
     Mandatory,
@@ -234,8 +233,7 @@ impl ReservingBuffer {
                 }
             })
             .collect();
-        let block =
-            Block { edge: self.edge.id, id: self.current, entries, sealed_at_ns: now_ns };
+        let block = Block { edge: self.edge.id, id: self.current, entries, sealed_at_ns: now_ns };
         self.filled.clear();
         self.current = self.current.next();
         self.next_offset = 0;

@@ -89,11 +89,7 @@ impl LogStore {
 
     /// Ids of blocks still awaiting certification (for retry loops).
     pub fn uncertified_ids(&self) -> Vec<BlockId> {
-        self.blocks
-            .values()
-            .filter(|b| b.proof.is_none())
-            .map(|b| b.block.id)
-            .collect()
+        self.blocks.values().filter(|b| b.proof.is_none()).map(|b| b.block.id).collect()
     }
 }
 

@@ -7,12 +7,11 @@
 //! negative read response for such an id is provable misbehaviour.
 
 use crate::enc::Encoder;
-use serde::{Deserialize, Serialize};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
 
 /// A cloud-signed statement: "as of `timestamp_ns`, edge `edge`'s log
 /// has `log_len` contiguously certified blocks".
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GossipWatermark {
     /// The edge node the statement is about.
     pub edge: IdentityId,

@@ -1,9 +1,7 @@
 //! LSMerkle configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Shape of the LSMerkle tree.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LsmConfig {
     /// Maximum pages per level; index 0 is L0. When level `i` exceeds
     /// `level_thresholds[i]`, all its pages merge into level `i+1`

@@ -6,7 +6,6 @@
 //! bytes. Versions are `(block id, position)` pairs: block ids are
 //! monotonic per edge, so version order is write order.
 
-use serde::{Deserialize, Serialize};
 use wedge_log::{Block, Encoder, Entry};
 
 /// An index key. `0` and `u64::MAX` act as the paper's "min of 0" and
@@ -17,7 +16,7 @@ pub type Key = u64;
 pub type Value = Vec<u8>;
 
 /// Totally ordered write version: `(block id, position in block)`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Version {
     /// Sealing block's id (monotonic per edge).
     pub bid: u64,
@@ -31,7 +30,7 @@ impl Version {
 }
 
 /// A key-value operation as carried in a log entry payload.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KvOp {
     /// The key being written.
     pub key: Key,
@@ -108,7 +107,7 @@ fn read_u64(buf: &[u8], off: &mut usize) -> Option<u64> {
 }
 
 /// A versioned record stored in pages.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KvRecord {
     /// The key.
     pub key: Key,

@@ -6,12 +6,11 @@
 //! which is what read freshness (§V-D) checks against.
 
 use crate::page::Page;
-use serde::{Deserialize, Serialize};
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, MerkleTree, Signature};
 use wedge_log::Encoder;
 
 /// A cloud-signed statement binding a level's Merkle root to an epoch.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SignedLevelRoot {
     /// The edge node whose index this root describes.
     pub edge: IdentityId,
@@ -51,7 +50,7 @@ impl SignedLevelRoot {
 /// A cloud-signed global root: hash of all level roots, plus the
 /// freshness timestamp (§V-D: "The cloud node timestamps the global
 /// root of each merged LSMerkle").
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GlobalRootCert {
     /// The edge node whose index this describes.
     pub edge: IdentityId,

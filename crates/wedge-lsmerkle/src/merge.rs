@@ -15,13 +15,12 @@ use crate::level::{
     compute_global_root, empty_level_root, tree_over, GlobalRootCert, SignedLevelRoot,
 };
 use crate::page::{check_level_ranges, split_into_pages, L0Page, Page};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use wedge_crypto::{Digest, Identity, IdentityId};
-use wedge_log::{CertLedger, BlockId};
+use wedge_log::{BlockId, CertLedger};
 
 /// A merge request from an edge node.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MergeRequest {
     /// The requesting edge.
     pub edge: IdentityId,
@@ -49,7 +48,7 @@ impl MergeRequest {
 }
 
 /// The cloud's reply to a successful merge.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MergeResult {
     /// The edge whose index was merged.
     pub edge: IdentityId,
@@ -157,8 +156,7 @@ impl CloudIndex {
     pub fn init_edge(&mut self, cloud: &Identity, edge: IdentityId, now_ns: u64) -> InitBundle {
         let n = self.cfg.num_merkle_levels();
         let roots: Vec<Digest> = vec![empty_level_root(); n];
-        self.states
-            .insert(edge, CloudIndexState { level_roots: roots.clone(), epoch: 0 });
+        self.states.insert(edge, CloudIndexState { level_roots: roots.clone(), epoch: 0 });
         let level_roots = (0..n)
             .map(|i| SignedLevelRoot::issue(cloud, edge, (i + 1) as u32, 0, roots[i]))
             .collect();
@@ -202,10 +200,7 @@ impl CloudIndex {
         if target_level as usize > n_levels {
             return Err(MergeError::BadLevel(req.source_level));
         }
-        let state = self
-            .states
-            .get(&req.edge)
-            .ok_or(MergeError::UnknownEdge(req.edge))?;
+        let state = self.states.get(&req.edge).ok_or(MergeError::UnknownEdge(req.edge))?;
         if state.epoch != req.epoch {
             return Err(MergeError::EpochMismatch { expected: state.epoch, got: req.epoch });
         }
@@ -279,8 +274,13 @@ impl CloudIndex {
         } else {
             None
         };
-        let new_target_root =
-            SignedLevelRoot::issue(cloud, req.edge, target_level, new_epoch, state.level_roots[t_idx]);
+        let new_target_root = SignedLevelRoot::issue(
+            cloud,
+            req.edge,
+            target_level,
+            new_epoch,
+            state.level_roots[t_idx],
+        );
         let all_level_roots = state.level_roots.clone();
         let global = GlobalRootCert::issue(
             cloud,
@@ -451,7 +451,10 @@ mod tests {
             target_pages: vec![forged],
             epoch: 0,
         };
-        assert_eq!(index.process_merge(&cloud, &ledger, &req, 0), Err(MergeError::TargetRootMismatch));
+        assert_eq!(
+            index.process_merge(&cloud, &ledger, &req, 0),
+            Err(MergeError::TargetRootMismatch)
+        );
     }
 
     #[test]
@@ -481,11 +484,8 @@ mod tests {
         let res2 = index.process_merge(&cloud, &ledger, &req2, 20).unwrap();
         assert_eq!(res2.new_epoch, 2);
         assert_eq!(res2.new_source_root.as_ref().unwrap().root, empty_level_root());
-        let keys: Vec<u64> = res2
-            .new_target_pages
-            .iter()
-            .flat_map(|p| p.records.iter().map(|r| r.key))
-            .collect();
+        let keys: Vec<u64> =
+            res2.new_target_pages.iter().flat_map(|p| p.records.iter().map(|r| r.key)).collect();
         assert_eq!(keys, vec![1, 2]);
     }
 
@@ -526,11 +526,8 @@ mod tests {
             epoch: res1.new_epoch,
         };
         let res2 = index.process_merge(&cloud, &ledger, &req2, 0).unwrap();
-        let keys: Vec<u64> = res2
-            .new_target_pages
-            .iter()
-            .flat_map(|p| p.records.iter().map(|r| r.key))
-            .collect();
+        let keys: Vec<u64> =
+            res2.new_target_pages.iter().flat_map(|p| p.records.iter().map(|r| r.key)).collect();
         assert_eq!(keys, vec![1]);
     }
 
@@ -570,6 +567,9 @@ mod tests {
             target_pages: vec![],
             epoch: 0,
         };
-        assert_eq!(index.process_merge(&cloud, &ledger, &req, 0), Err(MergeError::UnknownEdge(edge)));
+        assert_eq!(
+            index.process_merge(&cloud, &ledger, &req, 0),
+            Err(MergeError::UnknownEdge(edge))
+        );
     }
 }

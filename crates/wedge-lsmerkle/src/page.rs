@@ -14,12 +14,11 @@
 //!   (`u64::MAX`).
 
 use crate::kv::{Key, KvRecord};
-use serde::{Deserialize, Serialize};
 use wedge_crypto::Digest;
 use wedge_log::Encoder;
 
 /// A sorted, range-covering page in level ≥ 1.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Page {
     /// Smallest key this page is responsible for (inclusive).
     pub min: Key,
@@ -59,10 +58,7 @@ impl Page {
 
     /// Binary-searches for `key` among the sorted records.
     pub fn lookup(&self, key: Key) -> Option<&KvRecord> {
-        self.records
-            .binary_search_by_key(&key, |r| r.key)
-            .ok()
-            .map(|i| &self.records[i])
+        self.records.binary_search_by_key(&key, |r| r.key).ok().map(|i| &self.records[i])
     }
 
     /// Checks internal well-formedness: sorted unique keys, all within
@@ -75,7 +71,10 @@ impl Page {
         }
         for r in &self.records {
             if !self.covers(r.key) {
-                return Err(format!("record key {} outside range [{}, {}]", r.key, self.min, self.max));
+                return Err(format!(
+                    "record key {} outside range [{}, {}]",
+                    r.key, self.min, self.max
+                ));
             }
         }
         if self.min > self.max {
@@ -104,10 +103,7 @@ pub fn check_level_ranges(pages: &[Page]) -> Result<(), String> {
     }
     for w in pages.windows(2) {
         if w[0].max != w[1].min - 1 {
-            return Err(format!(
-                "adjacency violated: max {} then min {}",
-                w[0].max, w[1].min
-            ));
+            return Err(format!("adjacency violated: max {} then min {}", w[0].max, w[1].min));
         }
     }
     for p in pages {
@@ -117,7 +113,7 @@ pub fn check_level_ranges(pages: &[Page]) -> Result<(), String> {
 }
 
 /// An L0 page: a sealed block viewed as index records.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct L0Page {
     /// The underlying block (kept so the cloud can re-verify the block
     /// digest against its cert ledger during merges).
@@ -141,10 +137,7 @@ impl L0Page {
 
     /// The newest record for `key` within this page, if any.
     pub fn lookup(&self, key: Key) -> Option<&KvRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.key == key)
-            .max_by_key(|r| r.version)
+        self.records.iter().filter(|r| r.key == key).max_by_key(|r| r.version)
     }
 
     /// The page's block id (doubles as its version epoch).
@@ -188,12 +181,7 @@ pub fn split_into_pages(records: Vec<KvRecord>, page_capacity: usize, now_ns: u6
             // Boundary: one below the next chunk's first key.
             chunks[i + 1][0].key - 1
         };
-        pages.push(Page {
-            min: next_min,
-            max,
-            records: chunk.to_vec(),
-            created_at_ns: now_ns,
-        });
+        pages.push(Page { min: next_min, max, records: chunk.to_vec(), created_at_ns: now_ns });
         next_min = max.wrapping_add(1);
     }
     pages
@@ -242,7 +230,8 @@ mod tests {
             created_at_ns: 0,
         };
         assert!(unsorted.check_invariants().is_err());
-        let out_of_range = Page { min: 10, max: 20, records: vec![rec(5, 1, b"a")], created_at_ns: 0 };
+        let out_of_range =
+            Page { min: 10, max: 20, records: vec![rec(5, 1, b"a")], created_at_ns: 0 };
         assert!(out_of_range.check_invariants().is_err());
     }
 
@@ -311,13 +300,11 @@ mod tests {
     #[test]
     fn l0_lookup_newest_version_wins() {
         let client = Identity::derive("client", 1);
-        let mk_block = |bid: u64, val: &[u8]| {
-            Block {
-                edge: IdentityId(9),
-                id: BlockId(bid),
-                entries: vec![kv_entry(&client, bid, &KvOp::put(5, val.to_vec()))],
-                sealed_at_ns: 0,
-            }
+        let mk_block = |bid: u64, val: &[u8]| Block {
+            edge: IdentityId(9),
+            id: BlockId(bid),
+            entries: vec![kv_entry(&client, bid, &KvOp::put(5, val.to_vec()))],
+            sealed_at_ns: 0,
         };
         let pages =
             vec![L0Page::from_block(mk_block(0, b"old")), L0Page::from_block(mk_block(1, b"new"))];

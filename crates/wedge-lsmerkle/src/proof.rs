@@ -19,12 +19,11 @@ use crate::kv::{Key, KvRecord, Value};
 use crate::level::{compute_global_root, empty_level_root, GlobalRootCert};
 use crate::page::{l0_lookup_pages, L0Page, Page};
 use crate::tree::LsMerkle;
-use serde::{Deserialize, Serialize};
 use wedge_crypto::{Digest, IdentityId, InclusionProof, KeyRegistry, MerkleTree};
 use wedge_log::{BlockProof, CommitPhase};
 
 /// An L0 page plus its certification, if any.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct L0Witness {
     /// The page (block-backed).
     pub page: L0Page,
@@ -33,7 +32,7 @@ pub struct L0Witness {
 }
 
 /// The covering page of one Merkle level, with its inclusion proof.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LevelWitness {
     /// Level number (1-based).
     pub level: u32,
@@ -44,7 +43,7 @@ pub struct LevelWitness {
 }
 
 /// Everything a client needs to verify a get response.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IndexReadProof {
     /// The edge that served the read.
     pub edge: IdentityId,
@@ -347,8 +346,7 @@ mod tests {
         fn drain_merges(&mut self) {
             while let Some(level) = self.tree.overflowing_level() {
                 let req = self.tree.build_merge_request(level);
-                let res =
-                    self.index.process_merge(&self.cloud, &self.ledger, &req, 1_000).unwrap();
+                let res = self.index.process_merge(&self.cloud, &self.ledger, &req, 1_000).unwrap();
                 self.tree.apply_merge_result(&req, res).unwrap();
             }
         }
@@ -463,7 +461,8 @@ mod tests {
         fx.ingest_certified(&[(1, Some(b"a"))]);
         let mut proof = build_read_proof(&fx.tree, 1);
         let evil = Identity::derive("edge", 66);
-        proof.global = GlobalRootCert::issue(&evil, fx.edge, proof.global.epoch, 0, proof.global.root);
+        proof.global =
+            GlobalRootCert::issue(&evil, fx.edge, proof.global.epoch, 0, proof.global.root);
         assert_eq!(fx.verify(&proof), Err(ProofError::BadGlobalCert));
     }
 

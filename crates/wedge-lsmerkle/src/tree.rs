@@ -35,11 +35,7 @@ impl LsMerkle {
     pub fn new(edge: IdentityId, cfg: LsmConfig, init: InitBundle) -> Self {
         cfg.validate().expect("invalid LSMerkle config");
         assert_eq!(init.level_roots.len(), cfg.num_merkle_levels());
-        let levels = init
-            .level_roots
-            .into_iter()
-            .map(|slr| Level::new(Vec::new(), slr))
-            .collect();
+        let levels = init.level_roots.into_iter().map(|slr| Level::new(Vec::new(), slr)).collect();
         LsMerkle { edge, cfg, l0: Vec::new(), levels, global: init.global, epoch: 0 }
     }
 
@@ -180,10 +176,7 @@ impl LsMerkle {
             return Err("merge result does not match request".into());
         }
         if res.new_epoch != self.epoch + 1 {
-            return Err(format!(
-                "epoch gap: have {}, result is {}",
-                self.epoch, res.new_epoch
-            ));
+            return Err(format!("epoch gap: have {}, result is {}", self.epoch, res.new_epoch));
         }
         let t_idx = res.source_level as usize; // target level index in self.levels
         let new_tree_root = tree_over(&res.new_target_pages).root();
@@ -329,10 +322,7 @@ mod tests {
         fn drain_merges(&mut self) {
             while let Some(level) = self.tree.overflowing_level() {
                 let req = self.tree.build_merge_request(level);
-                let res = self
-                    .index
-                    .process_merge(&self.cloud, &self.ledger, &req, 1_000)
-                    .unwrap();
+                let res = self.index.process_merge(&self.cloud, &self.ledger, &req, 1_000).unwrap();
                 self.tree.apply_merge_result(&req, res).unwrap();
             }
         }
@@ -385,8 +375,7 @@ mod tests {
         fx.ingest(&[(2, b"b")]);
         // A third, *uncertified* block.
         let entries = vec![kv_entry(&fx.client, 999, &KvOp::put(3, b"c".to_vec()))];
-        let block =
-            Block { edge: fx.edge, id: BlockId(fx.next_bid), entries, sealed_at_ns: 0 };
+        let block = Block { edge: fx.edge, id: BlockId(fx.next_bid), entries, sealed_at_ns: 0 };
         fx.next_bid += 1;
         fx.tree.apply_block(block);
         assert_eq!(fx.tree.overflowing_level(), Some(0));

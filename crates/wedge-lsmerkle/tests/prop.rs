@@ -1,15 +1,56 @@
-//! Property-based tests for LSMerkle: model-based equivalence against
+//! Property-style tests for LSMerkle: model-based equivalence against
 //! a plain ordered map, plus structural invariants under arbitrary
 //! workloads.
+//!
+//! No third-party crates are available in the build environment, so
+//! these run each property over deterministic SplitMix64-generated
+//! case streams instead of proptest.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_log::{Block, BlockId, BlockProof, CertLedger, Entry};
 use wedge_lsmerkle::{
-    build_read_proof, check_level_ranges, kv_entry, verify_read_proof, CloudIndex, KvOp,
-    LsmConfig, LsMerkle,
+    build_read_proof, check_level_ranges, kv_entry, verify_read_proof, CloudIndex, KvOp, LsMerkle,
+    LsmConfig,
 };
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Arbitrary op stream: (key in a small space, Some(value) | None).
+    fn ops(&mut self) -> Vec<(u64, Option<Vec<u8>>)> {
+        let n = 1 + self.below(119);
+        (0..n)
+            .map(|_| {
+                let key = self.below(64);
+                let value = if self.below(10) < 8 {
+                    let len = 1 + self.below(7) as usize;
+                    Some((0..len).map(|_| self.next() as u8).collect())
+                } else {
+                    None
+                };
+                (key, value)
+            })
+            .collect()
+    }
+}
 
 /// A full edge+cloud fixture that ingests scripted ops.
 struct Fixture {
@@ -84,21 +125,14 @@ impl Fixture {
     }
 }
 
-/// Arbitrary op stream: (key in a small space, Some(value) | None).
-fn ops_strategy() -> impl Strategy<Value = Vec<(u64, Option<Vec<u8>>)>> {
-    proptest::collection::vec(
-        (0u64..64, proptest::option::weighted(0.8, proptest::collection::vec(any::<u8>(), 1..8))),
-        1..120,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// LSMerkle agrees with a plain BTreeMap model under arbitrary
-    /// put/delete streams and arbitrary batching (merges included).
-    #[test]
-    fn model_equivalence(ops in ops_strategy(), batch in 1usize..7) {
+/// LSMerkle agrees with a plain BTreeMap model under arbitrary
+/// put/delete streams and arbitrary batching (merges included).
+#[test]
+fn model_equivalence() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x30DE1 ^ case);
+        let ops = rng.ops();
+        let batch = 1 + rng.below(6) as usize;
         let mut fx = Fixture::new(LsmConfig::exposition());
         let mut model: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
         for chunk in ops.chunks(batch) {
@@ -110,28 +144,37 @@ proptest! {
         for key in 0u64..64 {
             let expect = model.get(&key).cloned().flatten();
             let got = fx.tree.find_newest(key).and_then(|(r, _)| r.value);
-            prop_assert_eq!(expect, got, "key {}", key);
+            assert_eq!(expect, got, "case {case} key {key}");
         }
     }
+}
 
-    /// Every level obeys the paper's range invariants after any
-    /// sequence of merges.
-    #[test]
-    fn level_invariants_hold(ops in ops_strategy(), batch in 1usize..7) {
+/// Every level obeys the paper's range invariants after any sequence
+/// of merges.
+#[test]
+fn level_invariants_hold() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x1E7E1 ^ case);
+        let ops = rng.ops();
+        let batch = 1 + rng.below(6) as usize;
         let mut fx = Fixture::new(LsmConfig::exposition());
         for chunk in ops.chunks(batch) {
             fx.ingest_block(chunk);
             for level in fx.tree.levels() {
-                prop_assert!(check_level_ranges(&level.pages).is_ok());
+                assert!(check_level_ranges(&level.pages).is_ok(), "case {case}");
             }
         }
     }
+}
 
-    /// Read proofs for every key — present or absent — verify, and the
-    /// verified value matches the model.
-    #[test]
-    fn read_proofs_verify_and_match(ops in ops_strategy(), batch in 1usize..7,
-                                    probe in proptest::collection::vec(0u64..80, 1..12)) {
+/// Read proofs for every key — present or absent — verify, and the
+/// verified value matches the model.
+#[test]
+fn read_proofs_verify_and_match() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x9200F ^ case);
+        let ops = rng.ops();
+        let batch = 1 + rng.below(6) as usize;
         let mut fx = Fixture::new(LsmConfig::exposition());
         let mut model: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
         for chunk in ops.chunks(batch) {
@@ -140,34 +183,44 @@ proptest! {
                 model.insert(*k, v.clone());
             }
         }
-        for key in probe {
+        for _ in 0..1 + rng.below(11) {
+            let key = rng.below(80);
             let proof = build_read_proof(&fx.tree, key);
-            let read = verify_read_proof(
-                &proof, fx.edge, fx.cloud.id, &fx.registry, u64::MAX, None,
-            );
-            prop_assert!(read.is_ok(), "key {}: {:?}", key, read.err());
+            let read =
+                verify_read_proof(&proof, fx.edge, fx.cloud.id, &fx.registry, u64::MAX, None);
+            assert!(read.is_ok(), "case {case} key {key}: {:?}", read.err());
             let expect = model.get(&key).cloned().flatten();
-            prop_assert_eq!(read.unwrap().value, expect, "key {}", key);
+            assert_eq!(read.unwrap().value, expect, "case {case} key {key}");
         }
     }
+}
 
-    /// The epoch advances exactly once per merge, and the edge's level
-    /// roots always equal the cloud's authoritative roots.
-    #[test]
-    fn edge_cloud_root_agreement(ops in ops_strategy(), batch in 1usize..7) {
+/// The epoch advances exactly once per merge, and the edge's level
+/// roots always equal the cloud's authoritative roots.
+#[test]
+fn edge_cloud_root_agreement() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0xA62EE ^ case);
+        let ops = rng.ops();
+        let batch = 1 + rng.below(6) as usize;
         let mut fx = Fixture::new(LsmConfig::exposition());
         for chunk in ops.chunks(batch) {
             fx.ingest_block(chunk);
             let cloud_state = fx.index.state(fx.edge).unwrap();
-            prop_assert_eq!(fx.tree.epoch(), cloud_state.epoch);
-            prop_assert_eq!(fx.tree.level_roots(), cloud_state.level_roots.clone());
+            assert_eq!(fx.tree.epoch(), cloud_state.epoch);
+            assert_eq!(fx.tree.level_roots(), cloud_state.level_roots.clone());
         }
     }
+}
 
-    /// Tampering with any page in a proof is always detected.
-    #[test]
-    fn tampered_proofs_rejected(ops in ops_strategy(), key in 0u64..64,
-                                tamper_value in proptest::collection::vec(any::<u8>(), 1..4)) {
+/// Tampering with any page in a proof is always detected.
+#[test]
+fn tampered_proofs_rejected() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0x7A27E ^ case);
+        let ops = rng.ops();
+        let key = rng.below(64);
+        let tamper_value: Vec<u8> = (0..1 + rng.below(3)).map(|_| rng.next() as u8).collect();
         let mut fx = Fixture::new(LsmConfig::exposition());
         for chunk in ops.chunks(3) {
             fx.ingest_block(chunk);
@@ -190,8 +243,10 @@ proptest! {
                 }
             }
         }
-        prop_assume!(tampered);
+        if !tampered {
+            continue;
+        }
         let read = verify_read_proof(&proof, fx.edge, fx.cloud.id, &fx.registry, u64::MAX, None);
-        prop_assert!(read.is_err(), "tampered proof accepted");
+        assert!(read.is_err(), "case {case}: tampered proof accepted");
     }
 }

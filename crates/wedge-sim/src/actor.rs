@@ -73,12 +73,7 @@ pub(crate) enum BgOp<M> {
     /// Consume background CPU.
     Work(SimDuration),
     /// Consume `cost` of background CPU, then transmit.
-    Send {
-        to: ActorId,
-        msg: M,
-        bytes: u32,
-        cost: SimDuration,
-    },
+    Send { to: ActorId, msg: M, bytes: u32, cost: SimDuration },
 }
 
 /// Handler-side view of the simulation.

@@ -9,12 +9,11 @@
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// The five datacenter regions of the evaluation (§VI, Table I).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum Region {
     /// California — the edge location in most experiments.
     California,
@@ -30,13 +29,8 @@ pub enum Region {
 
 impl Region {
     /// All regions, in Table I column order.
-    pub const ALL: [Region; 5] = [
-        Region::California,
-        Region::Oregon,
-        Region::Virginia,
-        Region::Ireland,
-        Region::Mumbai,
-    ];
+    pub const ALL: [Region; 5] =
+        [Region::California, Region::Oregon, Region::Virginia, Region::Ireland, Region::Mumbai];
 
     /// One-letter code used in the paper's tables.
     pub fn code(&self) -> char {
@@ -82,7 +76,7 @@ pub const RTT_MS: [[u64; 5]; 5] = [
 ];
 
 /// Network configuration knobs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NetConfig {
     /// RTT within a region (client ↔ edge in the same city), ms.
     /// Table I lists 0 for C↔C; the measured ~15 ms WedgeChain commit
@@ -231,10 +225,7 @@ mod tests {
         let net = NetworkModel::new(NetConfig::default(), 1);
         let p = net.propagation(Region::California, Region::Virginia);
         assert_eq!(p.as_millis_f64(), 30.5);
-        assert_eq!(
-            net.rtt(Region::California, Region::Virginia).as_millis_f64(),
-            61.0
-        );
+        assert_eq!(net.rtt(Region::California, Region::Virginia).as_millis_f64(), 61.0);
     }
 
     #[test]

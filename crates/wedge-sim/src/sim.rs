@@ -20,13 +20,26 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
 enum EventKind<M> {
-    Deliver { from: ActorId, to: ActorId, msg: M },
+    Deliver {
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+    },
     /// A send leaving its node at this instant: the network link is
     /// reserved *now* (event time), so reservations always happen in
     /// nondecreasing time order and a future background transfer can
     /// never block an earlier foreground one.
-    Dispatch { from: ActorId, to: ActorId, msg: M, bytes: u32 },
-    Timer { actor: ActorId, id: TimerId, tag: u64 },
+    Dispatch {
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+        bytes: u32,
+    },
+    Timer {
+        actor: ActorId,
+        id: TimerId,
+        tag: u64,
+    },
 }
 
 struct QueuedEvent<M> {
@@ -167,7 +180,11 @@ impl<M: 'static> Simulation<M> {
     pub fn inject_at(&mut self, at: SimTime, from: ActorId, to: ActorId, msg: M) {
         assert!(at >= self.now, "cannot inject into the past");
         let seq = self.bump_seq();
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind: EventKind::Deliver { from, to, msg } }));
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq,
+            kind: EventKind::Deliver { from, to, msg },
+        }));
     }
 
     /// Injects a message for immediate delivery at the current time.
@@ -614,11 +631,8 @@ mod bg_lane_tests {
     fn background_work_never_delays_foreground() {
         let mut sim: Simulation<M> = Simulation::new(NetConfig::default(), 1);
         let worker = sim.add_actor("worker", Region::California, Box::new(BgWorker));
-        let coll = sim.add_actor(
-            "collector",
-            Region::California,
-            Box::new(Collector { events: vec![] }),
-        );
+        let coll =
+            sim.add_actor("collector", Region::California, Box::new(Collector { events: vec![] }));
         sim.start();
         // Three back-to-back requests.
         for n in 0..3 {
@@ -661,11 +675,8 @@ mod bg_lane_tests {
         }
         let mut sim: Simulation<M> = Simulation::new(NetConfig::default(), 1);
         let burner = sim.add_actor("burner", Region::California, Box::new(Burner));
-        let coll = sim.add_actor(
-            "collector",
-            Region::California,
-            Box::new(Collector { events: vec![] }),
-        );
+        let coll =
+            sim.add_actor("collector", Region::California, Box::new(Collector { events: vec![] }));
         sim.start();
         sim.inject(coll, burner, M::Go(0));
         sim.inject(coll, burner, M::Go(1));

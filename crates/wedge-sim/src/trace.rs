@@ -83,10 +83,7 @@ impl Trace {
 
     /// Events involving `actor` (as executor or sender).
     pub fn for_actor(&self, actor: ActorId) -> Vec<&TraceEvent> {
-        self.events
-            .iter()
-            .filter(|e| e.actor == actor || e.from == Some(actor))
-            .collect()
+        self.events.iter().filter(|e| e.actor == actor || e.from == Some(actor)).collect()
     }
 
     /// Events whose label contains `needle`.

@@ -4,11 +4,10 @@
 //! (§VI); skewed access is standard in KV evaluations, so a Zipf
 //! sampler is provided for the skew ablations.
 
-use serde::{Deserialize, Serialize};
 use wedge_sim::SimRng;
 
 /// A key distribution over `[0, key_space)`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum KeyDist {
     /// Uniform over the key space.
     Uniform,
@@ -139,10 +138,7 @@ mod tests {
         let mut s = KeySampler::new(KeyDist::Zipf { alpha: 0.99 }, 1000);
         let mut rng = SimRng::new(7);
         let n = 20_000;
-        let head = (0..n)
-            .map(|_| s.sample(&mut rng))
-            .filter(|&k| k < 10)
-            .count();
+        let head = (0..n).map(|_| s.sample(&mut rng)).filter(|&k| k < 10).count();
         // Top-10 ranks of a 1000-key Zipf(0.99) hold ~39% of mass.
         let frac = head as f64 / n as f64;
         assert!(frac > 0.25, "zipf head mass only {frac}");

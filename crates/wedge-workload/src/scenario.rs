@@ -1,10 +1,9 @@
 //! Evaluation scenarios: the parameter sweeps behind each figure.
 
 use crate::keys::KeyDist;
-use serde::{Deserialize, Serialize};
 
 /// Read/write mix of a workload.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Mix {
     /// 100% batched writes (Fig 4, Fig 5a).
     AllWrite,
@@ -26,7 +25,7 @@ impl Mix {
 }
 
 /// A complete workload scenario for one experiment point.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// Number of concurrent clients.
     pub clients: usize,

@@ -20,6 +20,7 @@ fn main() {
         lsm: LsmConfig { level_thresholds: vec![4, 4, 16, 64], page_capacity: 64 },
         batch_size: 32,
         cloud_hop_latency: Duration::from_millis(30), // simulated WAN hop
+        ..ThreadedConfig::default()
     });
 
     // 64 sensors, 16 readings each: 1024 puts, batched 32 per block.

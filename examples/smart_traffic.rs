@@ -41,15 +41,28 @@ fn main() {
     let agg = h.aggregate();
     println!("workload: 9 clients x (30 batches of 100 readings + 60 interactive reads)");
     println!("  ingested operations : {}", agg.total_ops);
-    println!("  Phase-I latency     : {:>7.1} ms  (sensor sees its reading committed)", agg.p1_latency_ms);
-    println!("  Phase-II latency    : {:>7.1} ms  (cloud certification, asynchronous)", agg.p2_latency_ms);
-    println!("  verified read       : {:>7.1} ms  (traffic controller reads with proof)", agg.read_latency_ms);
+    println!(
+        "  Phase-I latency     : {:>7.1} ms  (sensor sees its reading committed)",
+        agg.p1_latency_ms
+    );
+    println!(
+        "  Phase-II latency    : {:>7.1} ms  (cloud certification, asynchronous)",
+        agg.p2_latency_ms
+    );
+    println!(
+        "  verified read       : {:>7.1} ms  (traffic controller reads with proof)",
+        agg.read_latency_ms
+    );
     println!("  throughput          : {:>7.2} K ops/s", agg.throughput_kops);
 
     let edge = h.edge_node();
-    println!("\nedge node: {} blocks sealed, {} certified, {} merges, {} proofs served",
-        edge.stats.blocks_sealed, edge.stats.certs_acked, edge.stats.merges_completed,
-        edge.stats.gets_served);
+    println!(
+        "\nedge node: {} blocks sealed, {} certified, {} merges, {} proofs served",
+        edge.stats.blocks_sealed,
+        edge.stats.certs_acked,
+        edge.stats.merges_completed,
+        edge.stats.gets_served
+    );
     println!(
         "edge→cloud certification traffic: {} bytes total ({} per block — digests only)",
         edge.stats.cert_bytes_to_cloud,
@@ -62,8 +75,10 @@ fn main() {
     );
 
     let m = h.client_metrics(0);
-    println!("\nclient 0: {} reads verified, {} rejected, {} disputes filed",
-        m.reads_ok, m.reads_rejected, m.disputes_filed);
+    println!(
+        "\nclient 0: {} reads verified, {} rejected, {} disputes filed",
+        m.reads_ok, m.reads_rejected, m.disputes_filed
+    );
     println!("\nEvery read was served by an UNTRUSTED edge and verified against");
     println!("cloud-signed Merkle roots — the edge cannot lie without being caught.");
 }

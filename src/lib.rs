@@ -33,17 +33,17 @@
 //! assert_eq!(got.value.as_deref(), Some(b"72F".as_ref()));
 //! ```
 
+/// Cloud-only and Edge-baseline comparison systems.
+pub use wedge_baselines as baselines;
+/// The WedgeChain protocol: client/edge/cloud state machines.
+pub use wedge_core as core;
 /// Cryptographic substrate: SHA-256, HMAC, Schnorr, Merkle trees.
 pub use wedge_crypto as crypto;
-/// Deterministic discrete-event simulator and WAN model.
-pub use wedge_sim as sim;
 /// The logging layer: blocks, batching, certification state.
 pub use wedge_log as log;
 /// The LSMerkle trusted index.
 pub use wedge_lsmerkle as lsmerkle;
-/// The WedgeChain protocol: client/edge/cloud state machines.
-pub use wedge_core as core;
-/// Cloud-only and Edge-baseline comparison systems.
-pub use wedge_baselines as baselines;
+/// Deterministic discrete-event simulator and WAN model.
+pub use wedge_sim as sim;
 /// Workload generation for the evaluation.
 pub use wedge_workload as workload;

@@ -76,6 +76,7 @@ fn threaded_cluster_full_lifecycle() {
         lsm: LsmConfig { level_thresholds: vec![2, 2, 4], page_capacity: 4 },
         batch_size: 2,
         cloud_hop_latency: Duration::from_millis(1),
+        ..ThreadedConfig::default()
     });
     // Write enough to force merges; hold the last Phase II receipt.
     let mut last = None;
@@ -102,10 +103,8 @@ fn threaded_cluster_full_lifecycle() {
 
 #[test]
 fn threaded_concurrent_readers() {
-    let cluster = ThreadedCluster::start(ThreadedConfig {
-        batch_size: 1,
-        ..ThreadedConfig::default()
-    });
+    let cluster =
+        ThreadedCluster::start(ThreadedConfig { batch_size: 1, ..ThreadedConfig::default() });
     for k in 0..8u64 {
         cluster.put(k, vec![k as u8; 16]);
     }

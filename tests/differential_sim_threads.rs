@@ -1,0 +1,137 @@
+//! Differential test: the simulator-driven and thread-driven runtimes
+//! are two drivers over the *same* sans-IO protocol engines, so the
+//! same scripted workload must produce identical protocol outcomes —
+//! byte-identical block digests, identical certification results, and
+//! identical verified-read verdicts.
+//!
+//! The only nondeterministic input to a block digest is its seal time,
+//! so the threaded run replays the simulator's `sealed_at_ns` values
+//! via `ThreadedConfig::seal_times`. Entries are byte-identical by
+//! construction: both runtimes derive the same client/edge/cloud
+//! identities, assign sequence numbers from 0, and sign with the same
+//! deterministic Schnorr scheme.
+
+use std::time::Duration;
+use wedgechain::core::config::SystemConfig;
+use wedgechain::core::harness::SystemHarness;
+use wedgechain::core::threaded::{ThreadedCluster, ThreadedConfig};
+use wedgechain::lsmerkle::LsmConfig;
+
+/// The scripted workload: distinct keys, deterministic values. 12
+/// single-put blocks crosses the paper-eval L0 threshold (10), so a
+/// cloud-verified merge runs in both runtimes too.
+fn workload() -> Vec<(u64, Vec<u8>)> {
+    (0..12u64).map(|k| (k, format!("value-{k}").into_bytes())).collect()
+}
+
+#[test]
+fn sim_and_threads_agree_on_digests_certs_and_reads() {
+    let ops = workload();
+
+    // --- simulator run (real crypto, paper-eval tree shape) ---
+    let cfg = SystemConfig { batch_size: 1, ..SystemConfig::real_crypto() };
+    let mut sim = SystemHarness::wedgechain(cfg);
+    for (k, v) in &ops {
+        let put = sim.put_certified(0, *k, v.clone());
+        assert!(put.phase2_latency.is_some(), "sim block {k} certified");
+    }
+    let mut sim_reads = Vec::new();
+    for (k, _) in &ops {
+        let got = sim.get(0, *k);
+        assert!(got.verify_error.is_none(), "sim read of key {k} verifies");
+        sim_reads.push(got.value);
+    }
+    let edge_id = sim.edge_node().id();
+    // Per block: (bid, digest, edge-side proof digest, cloud-certified digest, seal time).
+    let sim_blocks: Vec<_> = sim
+        .edge_node()
+        .log
+        .iter()
+        .map(|sb| {
+            (
+                sb.block.id,
+                sb.block.digest(),
+                sb.proof.as_ref().map(|p| p.digest),
+                sim.cloud_node().ledger.lookup(edge_id, sb.block.id).copied(),
+                sb.block.sealed_at_ns,
+            )
+        })
+        .collect();
+    assert_eq!(sim_blocks.len(), ops.len(), "one block per scripted put");
+
+    // --- threaded run, replaying the simulator's seal times ---
+    let cluster = ThreadedCluster::start(ThreadedConfig {
+        lsm: LsmConfig::paper_eval(),
+        batch_size: 1,
+        cloud_hop_latency: Duration::ZERO,
+        seal_times: Some(sim_blocks.iter().map(|b| b.4).collect()),
+    });
+    for (k, v) in &ops {
+        let reply = cluster.put(*k, v.clone()).expect("batch size 1 seals every put");
+        let proof = reply
+            .certified
+            .recv_timeout(Duration::from_secs(10))
+            .expect("threaded block certified");
+        assert_eq!(proof.digest, reply.receipt.block_digest, "threaded cert matches receipt");
+    }
+    let mut thread_reads = Vec::new();
+    for (k, _) in &ops {
+        let read = cluster.get(*k).expect("threaded read verifies");
+        thread_reads.push(read.value);
+    }
+    let report = cluster.shutdown().expect("sole owner receives the final state");
+
+    // --- identical block digests, edge proofs, and cloud certifications ---
+    assert_eq!(report.blocks.len(), sim_blocks.len(), "same number of sealed blocks");
+    for ((bid, digest, edge_proof, certified), (s_bid, s_digest, s_proof, s_cert, _)) in
+        report.blocks.iter().zip(&sim_blocks)
+    {
+        assert_eq!(bid, s_bid, "block ids agree");
+        assert_eq!(digest, s_digest, "block {bid}: digests byte-identical across runtimes");
+        assert_eq!(edge_proof, s_proof, "block {bid}: edge-side Phase-II proof digests agree");
+        assert_eq!(certified, s_cert, "block {bid}: cloud-certified digests agree");
+        assert_eq!(
+            certified.as_ref(),
+            Some(digest),
+            "block {bid}: certification outcome is the honest digest"
+        );
+    }
+
+    // --- identical verified-read verdicts ---
+    assert_eq!(sim_reads, thread_reads, "verified reads return the same values");
+    for ((k, v), got) in ops.iter().zip(&thread_reads) {
+        assert_eq!(got.as_ref(), Some(v), "key {k} returns its written value");
+    }
+
+    // Both runtimes exercised the merge path (12 blocks > L0 threshold
+    // of 10) with the shared engine.
+    assert!(report.cloud_stats.merges_processed >= 1, "threaded merge ran");
+    assert!(sim.cloud_node().stats.merges_processed >= 1, "sim merge ran");
+    assert_eq!(
+        report.edge_stats.blocks_sealed,
+        sim.edge_node().stats.blocks_sealed,
+        "same number of blocks sealed"
+    );
+}
+
+/// The same workload absent scripted seal times still agrees on
+/// everything except the (time-bearing) digests — certification is
+/// content-honest in both runtimes.
+#[test]
+fn threads_certify_exactly_what_they_seal_without_scripting() {
+    let cluster = ThreadedCluster::start(ThreadedConfig {
+        lsm: LsmConfig::paper_eval(),
+        batch_size: 1,
+        ..ThreadedConfig::default()
+    });
+    for (k, v) in workload() {
+        let reply = cluster.put(k, v).expect("sealed");
+        let proof = reply.certified.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(proof.digest, reply.receipt.block_digest);
+    }
+    let report = cluster.shutdown().expect("report");
+    for (bid, digest, edge_proof, certified) in &report.blocks {
+        assert_eq!(certified.as_ref(), Some(digest), "block {bid} certified honestly");
+        assert_eq!(edge_proof.as_ref(), Some(digest), "block {bid} proof attached");
+    }
+}

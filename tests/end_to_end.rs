@@ -88,11 +88,7 @@ fn withholding_edge_is_punished_after_timeout() {
 #[test]
 fn honest_edge_is_never_punished() {
     let cfg = SystemConfig { dispute_timeout_ms: 1_500, ..SystemConfig::default() };
-    let plan = ClientPlan {
-        reads: 40,
-        interleave: true,
-        ..ClientPlan::writer(10, 50, 100, 5_000)
-    };
+    let plan = ClientPlan { reads: 40, interleave: true, ..ClientPlan::writer(10, 50, 100, 5_000) };
     let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::honest());
     h.run(None);
     assert!(h.cloud_node().punished.is_empty());
@@ -158,11 +154,8 @@ fn wedgechain_beats_cloud_only_on_writes_everywhere() {
 fn deterministic_end_to_end() {
     let run = || {
         let cfg = SystemConfig { seed: 7, ..SystemConfig::default() };
-        let plan = ClientPlan {
-            reads: 30,
-            interleave: true,
-            ..ClientPlan::writer(8, 40, 80, 2_000)
-        };
+        let plan =
+            ClientPlan { reads: 30, interleave: true, ..ClientPlan::writer(8, 40, 80, 2_000) };
         let mut h = SystemHarness::wedgechain_with(cfg, plan, FaultPlan::honest());
         h.run(None);
         let a = h.aggregate();
