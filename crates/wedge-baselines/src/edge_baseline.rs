@@ -88,7 +88,7 @@ impl EbCloud {
         let digest = block.digest();
         self.ledger.offer(self.tree.edge(), bid, digest);
         let proof = BlockProof::issue(&self.identity, self.tree.edge(), bid, digest);
-        self.tree.apply_block(block.clone());
+        self.tree.apply_block_with_digest(block.clone(), digest);
         self.tree.attach_block_proof(proof.clone());
         let mut merges = Vec::new();
         while let Some(level) = self.tree.overflowing_level() {
@@ -125,7 +125,7 @@ impl EbCloud {
         let digest = block.digest();
         self.ledger.offer(self.tree.edge(), bid, digest);
         let proof = BlockProof::issue(&self.identity, self.tree.edge(), bid, digest);
-        self.tree.apply_block(block.clone());
+        self.tree.apply_block_with_digest(block.clone(), digest);
         self.tree.attach_block_proof(proof.clone());
 
         // Run merges locally (cloud trusts itself) and collect the
@@ -139,9 +139,9 @@ impl EbCloud {
             let records: u64 = req
                 .source_l0
                 .iter()
-                .map(|p| p.records.len() as u64)
-                .chain(req.source_pages.iter().map(|p| p.records.len() as u64))
-                .chain(req.target_pages.iter().map(|p| p.records.len() as u64))
+                .map(|p| p.records().len() as u64)
+                .chain(req.source_pages.iter().map(|p| p.records().len() as u64))
+                .chain(req.target_pages.iter().map(|p| p.records().len() as u64))
                 .sum();
             ctx.use_cpu(self.cost.merge(records));
             let res = self
@@ -216,7 +216,7 @@ impl Actor<BMsg> for EbEdge {
                 ctx.use_cpu(self.cost.eb_edge_apply());
                 self.log.append(block.clone());
                 self.log.attach_proof(proof.clone());
-                self.tree.apply_block(block);
+                self.tree.apply_block_with_digest(block, proof.digest);
                 self.tree.attach_block_proof(proof);
                 for (req, res) in merges {
                     self.tree.apply_merge_result(&req, res).expect("replica replays merge");

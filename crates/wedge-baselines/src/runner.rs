@@ -206,7 +206,7 @@ fn run_edge_baseline(cfg: SystemConfig, plan: ClientPlan, scenario: &Scenario) -
             let replica = sim.actor_mut::<EbEdge>(edge);
             replica.log.append(block.clone());
             replica.log.attach_proof(proof.clone());
-            replica.tree.apply_block(block);
+            replica.tree.apply_block_with_digest(block, proof.digest);
             replica.tree.attach_block_proof(proof);
             for (rq, rs) in merges {
                 replica.tree.apply_merge_result(&rq, rs).expect("replica preload merge");

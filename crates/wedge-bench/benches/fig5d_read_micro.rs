@@ -57,7 +57,7 @@ fn fixture(n: u64) -> Fixture {
         let digest = block.digest();
         ledger.offer(edge_ident.id, block.id, digest);
         let proof = BlockProof::issue(&cloud_ident, edge_ident.id, block.id, digest);
-        tree.apply_block(block);
+        tree.apply_block_with_digest(block, digest);
         tree.attach_block_proof(proof);
         while let Some(level) = tree.overflowing_level() {
             let req = tree.build_merge_request(level);
@@ -107,4 +107,6 @@ fn main() {
         k = (k + 7) % 10_000;
         black_box(fx.trusted.get(&black_box(k)))
     });
+
+    wedge_bench::write_json("fig5d_read_micro");
 }

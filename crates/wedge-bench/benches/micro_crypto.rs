@@ -70,4 +70,5 @@ fn main() {
     bench_sha256();
     bench_schnorr();
     bench_merkle();
+    wedge_bench::write_json("micro_crypto");
 }

@@ -8,10 +8,30 @@
 //! crossovers are — is the reproduction target recorded in
 //! EXPERIMENTS.md.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use wedge_baselines::{run_scenario, RunOutput, SystemKind};
 use wedge_core::config::SystemConfig;
 use wedge_workload::Scenario;
+
+/// One recorded micro-bench result (all durations in nanoseconds).
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Bench name as printed in the table.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Mean across iterations, ns.
+    pub mean_ns: u128,
+    /// Median across iterations, ns.
+    pub median_ns: u128,
+    /// Fastest iteration, ns.
+    pub min_ns: u128,
+}
+
+/// Every result recorded by [`bench_fn`]/[`bench_with_setup`] in this
+/// process, in run order — the source for [`write_json`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Minimal real-time micro-bench harness (Criterion is not available
 /// in the offline build environment): warm up, time `iters`
@@ -47,6 +67,70 @@ pub fn bench_with_setup<S, T>(
         "{name:<48} mean {:>11.3?}  median {:>11.3?}  min {:>11.3?}",
         mean, median, samples[0]
     );
+    RESULTS.lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        iters: iters.max(1),
+        mean_ns: mean.as_nanos(),
+        median_ns: median.as_nanos(),
+        min_ns: samples[0].as_nanos(),
+    });
+}
+
+/// Snapshot of every result recorded so far in this process.
+pub fn recorded_results() -> Vec<BenchRecord> {
+    RESULTS.lock().unwrap().clone()
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Serializes the recorded results as a JSON document (`{"bench":
+/// <target>, "results": [...]}`). Hand-rolled: serde is unavailable in
+/// the offline build image.
+pub fn results_json(target: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(target)));
+    out.push_str("  \"results\": [\n");
+    let results = recorded_results();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"min_ns\": {}}}{comma}\n",
+            json_escape(&r.name),
+            r.iters,
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the recorded results to `BENCH_<target>.json` — the
+/// machine-readable artifact CI uploads for regression tracking. The
+/// directory is `$BENCH_JSON_DIR` if set, else the current directory.
+/// Call once at the end of a bench target's `main`.
+pub fn write_json(target: &str) {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("\nfailed to create {dir}: {e}");
+        return;
+    }
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{target}.json"));
+    match std::fs::write(&path, results_json(target)) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
 }
 
 /// Prints a figure banner.

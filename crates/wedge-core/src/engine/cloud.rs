@@ -224,9 +224,9 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
         let records: u64 = req
             .source_l0
             .iter()
-            .map(|p| p.records.len() as u64)
-            .chain(req.source_pages.iter().map(|p| p.records.len() as u64))
-            .chain(req.target_pages.iter().map(|p| p.records.len() as u64))
+            .map(|p| p.records().len() as u64)
+            .chain(req.source_pages.iter().map(|p| p.records().len() as u64))
+            .chain(req.target_pages.iter().map(|p| p.records().len() as u64))
             .sum();
         out.push(CloudEffect::UseCpu(self.cost.merge(records)));
         self.stats.wan_bytes_from_edges += req.wire_size() as u64;

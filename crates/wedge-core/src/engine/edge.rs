@@ -240,9 +240,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
                         return out; // stale-serving: ignore refreshes too
                     }
                 }
-                if cert.epoch == self.tree.epoch() {
-                    self.tree.refresh_global(cert);
-                }
+                // The tree itself rejects wrong-edge/epoch/stale certs.
+                let _accepted = self.tree.refresh_global(cert);
             }
             EdgeCommand::Gossip(wm) => {
                 // Fan the cloud's watermark out to the partition's
@@ -304,11 +303,13 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         let wire = resp.wire_size();
         out.push(EdgeEffect::Send { to: from, msg: resp, wire });
 
-        // Store locally: log + index (KV blocks only).
+        // Store locally: log + index (KV blocks only). The digest
+        // computed for the receipt seeds the page's memo, so the block
+        // is hashed exactly once on the seal path.
         let is_kv = block.entries.first().is_some_and(|e| KvOp::decode(&e.payload).is_some());
         self.log.append(block.clone());
         if is_kv {
-            self.tree.apply_block(block);
+            self.tree.apply_block_with_digest(block, digest);
         }
         self.block_clients.entry(bid).or_default().push(from);
 
@@ -407,7 +408,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
 
     fn merge_result(&mut self, out: &mut Vec<EdgeEffect<C>>, result: MergeResult) {
         let req = self.merge_in_flight.take().expect("merge result without request");
-        let records: u64 = result.new_target_pages.iter().map(|p| p.records.len() as u64).sum();
+        let records: u64 = result.new_target_pages.iter().map(|p| p.records().len() as u64).sum();
         out.push(EdgeEffect::UseCpuBackground(SimDuration::from_nanos(
             records * self.cost.merge_per_record_ns,
         )));

@@ -546,7 +546,7 @@ impl SystemHarness {
                     wedge_log::Block { edge: edge_ident.id, id: bid, entries, sealed_at_ns: 0 };
                 let digest = block.digest();
                 edge.log.append(block.clone());
-                edge.tree.apply_block(block.clone());
+                edge.tree.apply_block_with_digest(block.clone(), digest);
                 (block, digest)
             };
             // Certify at the cloud.

@@ -13,9 +13,18 @@
 
 use crate::digest::Digest;
 use crate::sha256::sha256_concat;
+use std::sync::OnceLock;
 
 const LEAF_TAG: &[u8] = &[0x00];
 const NODE_TAG: &[u8] = &[0x01];
+
+/// The conventional root of an empty tree, `H(0x00 || "")`. Computed
+/// once per process: empty levels are rebuilt on every merge, so this
+/// sits on the compaction hot path.
+pub fn empty_root() -> Digest {
+    static EMPTY: OnceLock<Digest> = OnceLock::new();
+    *EMPTY.get_or_init(|| hash_leaf(b""))
+}
 
 /// Hashes raw leaf data with the leaf domain tag.
 pub fn hash_leaf(data: &[u8]) -> Digest {
@@ -51,8 +60,15 @@ impl MerkleTree {
     /// Builds a tree from already-computed leaf content digests (e.g.
     /// page digests). Each is re-tagged as a leaf node internally.
     pub fn from_leaves(leaves: &[Digest]) -> Self {
+        Self::from_leaf_iter(leaves.iter().copied())
+    }
+
+    /// Builds a tree from an iterator of leaf content digests without
+    /// materializing them first — the caller can stream cached page
+    /// digests straight in.
+    pub fn from_leaf_iter<I: IntoIterator<Item = Digest>>(leaves: I) -> Self {
         let tagged: Vec<Digest> =
-            leaves.iter().map(|d| sha256_concat(&[LEAF_TAG, d.as_bytes()])).collect();
+            leaves.into_iter().map(|d| sha256_concat(&[LEAF_TAG, d.as_bytes()])).collect();
         Self::from_tagged(tagged)
     }
 
@@ -65,7 +81,7 @@ impl MerkleTree {
     fn from_tagged(tagged: Vec<Digest>) -> Self {
         let mut levels = Vec::new();
         if tagged.is_empty() {
-            levels.push(vec![hash_leaf(b"")]);
+            levels.push(vec![empty_root()]);
             return MerkleTree { levels };
         }
         levels.push(tagged);

@@ -6,6 +6,7 @@
 //! which is what read freshness (§V-D) checks against.
 
 use crate::page::Page;
+use std::sync::Arc;
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, MerkleTree, Signature};
 use wedge_log::Encoder;
 
@@ -95,26 +96,57 @@ impl GlobalRootCert {
 
 /// A Merkle level held at the edge: pages plus the tree over their
 /// digests and the cloud's signature on the root.
+///
+/// Immutable after construction: the tree is built exactly once (from
+/// memoized page digests) and reused for every root read and
+/// inclusion proof until the level is replaced by a merge.
 #[derive(Clone, Debug)]
 pub struct Level {
     /// Range-partitioned pages, sorted by `min`.
-    pub pages: Vec<Page>,
-    /// Merkle tree over page digests (rebuilt on replace).
-    pub tree: MerkleTree,
+    pages: Vec<Arc<Page>>,
+    /// Merkle tree over page digests (built once per level lifetime).
+    tree: MerkleTree,
     /// The cloud's signature on `tree.root()` at the current epoch.
-    pub signed_root: SignedLevelRoot,
+    signed_root: SignedLevelRoot,
 }
 
 impl Level {
-    /// Builds a level from pages and a matching signed root.
+    /// Builds a level from pages, the tree already computed over their
+    /// digests, and a matching signed root. The caller builds the tree
+    /// once (usually to validate the signed root) and hands it over —
+    /// the level never rebuilds it.
     ///
     /// # Panics
-    /// Panics (debug) if the signed root does not match the pages —
+    /// Panics (debug) if the tree does not match the signed root —
     /// that would mean the edge accepted a bogus merge result.
-    pub fn new(pages: Vec<Page>, signed_root: SignedLevelRoot) -> Self {
-        let tree = tree_over(&pages);
+    pub fn from_parts(
+        pages: Vec<Arc<Page>>,
+        tree: MerkleTree,
+        signed_root: SignedLevelRoot,
+    ) -> Self {
         debug_assert_eq!(tree.root(), signed_root.root, "signed root mismatch");
+        debug_assert_eq!(tree.root(), tree_over(&pages).root(), "tree does not cover pages");
         Level { pages, tree, signed_root }
+    }
+
+    /// An empty level under a signed empty root.
+    pub fn empty(signed_root: SignedLevelRoot) -> Self {
+        Self::from_parts(Vec::new(), MerkleTree::from_leaves(&[]), signed_root)
+    }
+
+    /// Range-partitioned pages, sorted by `min`.
+    pub fn pages(&self) -> &[Arc<Page>] {
+        &self.pages
+    }
+
+    /// The Merkle tree over the page digests.
+    pub fn tree(&self) -> &MerkleTree {
+        &self.tree
+    }
+
+    /// The cloud's signature on the level root.
+    pub fn signed_root(&self) -> &SignedLevelRoot {
+        &self.signed_root
     }
 
     /// Number of pages.
@@ -129,15 +161,15 @@ impl Level {
 }
 
 /// Builds the Merkle tree over a page list (empty list ⇒ sentinel
-/// empty-tree root).
-pub fn tree_over(pages: &[Page]) -> MerkleTree {
-    let digests: Vec<Digest> = pages.iter().map(|p| p.digest()).collect();
-    MerkleTree::from_leaves(&digests)
+/// empty-tree root). Page digests are memoized, so rebuilding a tree
+/// over already-hashed pages costs only the interior node hashes.
+pub fn tree_over(pages: &[Arc<Page>]) -> MerkleTree {
+    MerkleTree::from_leaf_iter(pages.iter().map(|p| p.digest()))
 }
 
-/// The root of an empty level.
+/// The root of an empty level (computed once per process).
 pub fn empty_level_root() -> Digest {
-    MerkleTree::from_leaves(&[]).root()
+    wedge_crypto::merkle::empty_root()
 }
 
 /// Computes the global root digest from level roots (L1..Ln order).
@@ -158,7 +190,7 @@ mod tests {
         (cloud, reg)
     }
 
-    fn sample_pages(n: usize) -> Vec<Page> {
+    fn sample_pages(n: usize) -> Vec<Arc<Page>> {
         let records: Vec<KvRecord> = (0..n as u64 * 3)
             .map(|k| KvRecord { key: k, version: Version { bid: 1, pos: 0 }, value: Some(vec![1]) })
             .collect();
@@ -195,14 +227,15 @@ mod tests {
     fn level_tree_matches_pages() {
         let (cloud, _) = cloud_reg();
         let pages = sample_pages(3);
-        let root = tree_over(&pages).root();
+        let tree = tree_over(&pages);
+        let root = tree.root();
         let slr = SignedLevelRoot::issue(&cloud, IdentityId(9), 1, 0, root);
-        let level = Level::new(pages.clone(), slr);
+        let level = Level::from_parts(pages.clone(), tree, slr);
         assert_eq!(level.page_count(), pages.len());
         assert_eq!(level.root(), root);
         // Inclusion proofs work for each page.
         for (i, p) in pages.iter().enumerate() {
-            let proof = level.tree.prove(i).unwrap();
+            let proof = level.tree().prove(i).unwrap();
             assert!(MerkleTree::verify(&level.root(), &p.digest(), &proof));
         }
     }

@@ -8,7 +8,9 @@
 //!   log entries.
 //! - [`page`]: immutable pages — block-backed L0 pages and sorted,
 //!   range-covering pages for deeper levels (with the paper's
-//!   `p_x.max = p_y.min − 1` adjacency invariant).
+//!   `p_x.max = p_y.min − 1` adjacency invariant). Pages memoize
+//!   their digest (hashed at most once per lifetime) and are shared
+//!   as `Arc`s between the tree, merge messages, and read proofs.
 //! - [`level`]: Merkle-covered levels, cloud-signed level roots, and
 //!   the timestamped global root.
 //! - [`tree`]: the edge-resident [`tree::LsMerkle`] state machine.
@@ -30,7 +32,7 @@ pub mod tree;
 pub use config::LsmConfig;
 pub use kv::{kv_entry, records_from_block, Key, KvOp, KvRecord, Value, Version};
 pub use level::{GlobalRootCert, Level, SignedLevelRoot};
-pub use merge::{CloudIndex, InitBundle, MergeError, MergeRequest, MergeResult};
+pub use merge::{kway_merge_newest, CloudIndex, InitBundle, MergeError, MergeRequest, MergeResult};
 pub use page::{check_level_ranges, find_covering, split_into_pages, L0Page, Page};
 pub use proof::{
     build_read_proof, verify_read_proof, IndexReadProof, L0Witness, LevelWitness, ProofError,

@@ -4,10 +4,15 @@
 //! level `i`'s pages plus level `i+1`'s pages to the cloud. The cloud
 //! verifies their authenticity (L0 pages against the block-cert
 //! ledger, deeper levels against the level roots it previously
-//! signed), performs an LSM merge (newest version per key wins,
-//! tombstones dropped at the deepest level), re-partitions into
-//! range-covering pages, rebuilds the level's Merkle tree, and signs
-//! the new level roots and a fresh timestamped global root.
+//! signed), performs a streaming k-way LSM merge over the
+//! already-sorted runs (newest version per key wins, tombstones
+//! dropped at the deepest level), re-partitions into range-covering
+//! pages, builds the level's Merkle tree exactly once from memoized
+//! page digests, and signs the new level roots and a fresh
+//! timestamped global root.
+//!
+//! Pages travel as `Arc`s: building a [`MergeRequest`] clones
+//! pointers, not records.
 
 use crate::config::LsmConfig;
 use crate::kv::KvRecord;
@@ -15,7 +20,9 @@ use crate::level::{
     compute_global_root, empty_level_root, tree_over, GlobalRootCert, SignedLevelRoot,
 };
 use crate::page::{check_level_ranges, split_into_pages, L0Page, Page};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use wedge_crypto::{Digest, Identity, IdentityId};
 use wedge_log::{BlockId, CertLedger};
 
@@ -28,11 +35,11 @@ pub struct MergeRequest {
     pub source_level: u32,
     /// Source pages when `source_level == 0` (blocks ride along so the
     /// cloud can re-verify digests against its cert ledger).
-    pub source_l0: Vec<L0Page>,
+    pub source_l0: Vec<Arc<L0Page>>,
     /// Source pages when `source_level >= 1`.
-    pub source_pages: Vec<Page>,
+    pub source_pages: Vec<Arc<Page>>,
     /// The current pages of the target level.
-    pub target_pages: Vec<Page>,
+    pub target_pages: Vec<Arc<Page>>,
     /// The edge's view of the index epoch (stale views are rejected).
     pub epoch: u64,
 }
@@ -55,7 +62,7 @@ pub struct MergeResult {
     /// Source level that was drained.
     pub source_level: u32,
     /// New pages of the target level (`source_level + 1`).
-    pub new_target_pages: Vec<Page>,
+    pub new_target_pages: Vec<Arc<Page>>,
     /// Signed root for the (now empty) source level; `None` for L0,
     /// which is not Merkle-covered.
     pub new_source_root: Option<SignedLevelRoot>,
@@ -109,6 +116,46 @@ impl std::fmt::Display for MergeError {
 }
 
 impl std::error::Error for MergeError {}
+
+/// Streaming k-way merge over runs each sorted by `(key asc, version
+/// desc)`: emits the newest version of every key in ascending key
+/// order, cloning only the surviving records. `drop_tombstones` skips
+/// deleted keys (the deepest-level rule). This replaces the old
+/// materialize-all + `sort_by` + `dedup_by` compaction: O(n log k)
+/// comparisons on keys instead of O(n log n) on full records, and no
+/// clones of shadowed versions.
+pub fn kway_merge_newest(runs: &[&[KvRecord]], drop_tombstones: bool) -> Vec<KvRecord> {
+    // Max-heap of Reverse(ordering key) ⇒ pops the smallest key; among
+    // equal keys the largest version; run index breaks exact ties
+    // deterministically.
+    type HeapKey = Reverse<(u64, Reverse<crate::kv::Version>, usize)>;
+    let mut heap: BinaryHeap<HeapKey> = BinaryHeap::with_capacity(runs.len());
+    let mut cursors: Vec<usize> = vec![0; runs.len()];
+    let push_head = |heap: &mut BinaryHeap<HeapKey>, cursors: &[usize], run_idx: usize| {
+        if let Some(r) = runs[run_idx].get(cursors[run_idx]) {
+            heap.push(Reverse((r.key, Reverse(r.version), run_idx)));
+        }
+    };
+    for i in 0..runs.len() {
+        push_head(&mut heap, &cursors, i);
+    }
+    let mut out = Vec::with_capacity(runs.iter().map(|r| r.len()).sum());
+    let mut last_key: Option<u64> = None;
+    while let Some(Reverse((key, _, run_idx))) = heap.pop() {
+        let rec = &runs[run_idx][cursors[run_idx]];
+        cursors[run_idx] += 1;
+        push_head(&mut heap, &cursors, run_idx);
+        if last_key == Some(key) {
+            continue; // an older (or duplicate) version: shadowed
+        }
+        last_key = Some(key);
+        if drop_tombstones && rec.value.is_none() {
+            continue;
+        }
+        out.push(rec.clone());
+    }
+    out
+}
 
 /// The roots + global cert an edge starts from.
 #[derive(Clone, Debug)]
@@ -206,32 +253,28 @@ impl CloudIndex {
         }
 
         // --- Verify sources ---
-        let mut source_records: Vec<KvRecord> = Vec::new();
         if req.source_level == 0 {
             for page in &req.source_l0 {
-                let digest = page.block.digest();
-                match ledger.lookup(req.edge, page.block.id) {
-                    None => return Err(MergeError::UncertifiedBlock(page.block.id)),
+                // Memoized: the block is hashed at most once per page
+                // lifetime, even across certify → merge → proof.
+                let digest = page.digest();
+                match ledger.lookup(req.edge, page.block().id) {
+                    None => return Err(MergeError::UncertifiedBlock(page.block().id)),
                     Some(d) if *d != digest => {
-                        return Err(MergeError::BlockDigestMismatch(page.block.id))
+                        return Err(MergeError::BlockDigestMismatch(page.block().id))
                     }
                     Some(_) => {}
                 }
                 // Never trust the edge's decoded records; re-derive.
-                let derived = crate::kv::records_from_block(&page.block);
-                if derived != page.records {
-                    return Err(MergeError::L0RecordsMismatch(page.block.id));
+                if !page.matches_block() {
+                    return Err(MergeError::L0RecordsMismatch(page.block().id));
                 }
-                source_records.extend(derived);
             }
         } else {
             let idx = (req.source_level - 1) as usize;
             let root = tree_over(&req.source_pages).root();
             if root != state.level_roots[idx] {
                 return Err(MergeError::SourceRootMismatch);
-            }
-            for p in &req.source_pages {
-                source_records.extend(p.records.iter().cloned());
             }
         }
 
@@ -242,25 +285,29 @@ impl CloudIndex {
             return Err(MergeError::TargetRootMismatch);
         }
 
-        // --- Merge (newest version per key wins) ---
-        let mut combined = source_records;
-        for p in &req.target_pages {
-            combined.extend(p.records.iter().cloned());
-        }
-        combined.sort_by(|a, b| a.key.cmp(&b.key).then(b.version.cmp(&a.version)));
-        combined.dedup_by(|a, b| a.key == b.key); // keeps first = newest
+        // --- Merge: streaming k-way over the already-sorted runs ---
+        // Every run is sorted by (key asc, version desc): L0 pages by
+        // construction, level pages trivially (one version per key).
+        // Source runs carry strictly newer versions than the target
+        // for any shared key, but the heap order handles ties anyway.
         let deepest = target_level as usize == n_levels;
-        if deepest {
-            combined.retain(|r| r.value.is_some());
-        }
-        let new_pages = split_into_pages(combined, self.cfg.page_capacity, now_ns);
+        let runs: Vec<&[KvRecord]> = req
+            .source_l0
+            .iter()
+            .map(|p| p.records())
+            .chain(req.source_pages.iter().map(|p| p.records()))
+            .chain(req.target_pages.iter().map(|p| p.records()))
+            .collect();
+        let merged = kway_merge_newest(&runs, deepest);
+        let new_pages = split_into_pages(merged, self.cfg.page_capacity, now_ns);
         debug_assert!(check_level_ranges(&new_pages).is_ok());
 
-        // --- Re-sign roots ---
+        // --- Re-sign roots (tree built once, from memoized digests) ---
+        let new_tree = tree_over(&new_pages);
         let state = self.states.get_mut(&req.edge).expect("checked above");
         let new_epoch = state.epoch + 1;
         state.epoch = new_epoch;
-        state.level_roots[t_idx] = tree_over(&new_pages).root();
+        state.level_roots[t_idx] = new_tree.root();
         let new_source_root = if req.source_level >= 1 {
             let s_idx = (req.source_level - 1) as usize;
             state.level_roots[s_idx] = empty_level_root();
@@ -330,10 +377,10 @@ mod tests {
         edge: IdentityId,
         bid: u64,
         kvs: &[(u64, &[u8])],
-    ) -> L0Page {
+    ) -> Arc<L0Page> {
         let block = kv_block(edge, bid, kvs);
         assert_eq!(ledger.offer(edge, block.id, block.digest()), CertOutcome::Certified);
-        L0Page::from_block(block)
+        Arc::new(L0Page::from_block(block))
     }
 
     #[test]
@@ -356,7 +403,7 @@ mod tests {
         let all: Vec<(u64, Vec<u8>)> = res
             .new_target_pages
             .iter()
-            .flat_map(|p| p.records.iter())
+            .flat_map(|p| p.records().iter())
             .map(|r| (r.key, r.value.clone().unwrap()))
             .collect();
         // Key 5 resolved to the newer block's value "c".
@@ -367,7 +414,7 @@ mod tests {
     fn uncertified_block_rejected() {
         let (cloud, ledger, mut index, edge) = setup();
         index.init_edge(&cloud, edge, 0);
-        let page = L0Page::from_block(kv_block(edge, 0, &[(1, b"x")]));
+        let page = Arc::new(L0Page::from_block(kv_block(edge, 0, &[(1, b"x")])));
         let req = MergeRequest {
             edge,
             source_level: 0,
@@ -390,7 +437,7 @@ mod tests {
         // with the same id.
         let honest = kv_block(edge, 0, &[(1, b"honest")]);
         ledger.offer(edge, honest.id, honest.digest());
-        let lying = L0Page::from_block(kv_block(edge, 0, &[(1, b"lying")]));
+        let lying = Arc::new(L0Page::from_block(kv_block(edge, 0, &[(1, b"lying")])));
         let req = MergeRequest {
             edge,
             source_level: 0,
@@ -433,16 +480,16 @@ mod tests {
         let p0 = certified_l0(&mut ledger, edge, 0, &[(1, b"a")]);
         // Target level is empty at the cloud; sending a forged page
         // must fail the root check.
-        let forged = Page {
-            min: 0,
-            max: u64::MAX,
-            records: vec![KvRecord {
+        let forged = Arc::new(Page::new(
+            0,
+            u64::MAX,
+            vec![KvRecord {
                 key: 3,
                 version: crate::kv::Version { bid: 0, pos: 0 },
                 value: Some(b"evil".to_vec()),
             }],
-            created_at_ns: 0,
-        };
+            0,
+        ));
         let req = MergeRequest {
             edge,
             source_level: 0,
@@ -485,7 +532,7 @@ mod tests {
         assert_eq!(res2.new_epoch, 2);
         assert_eq!(res2.new_source_root.as_ref().unwrap().root, empty_level_root());
         let keys: Vec<u64> =
-            res2.new_target_pages.iter().flat_map(|p| p.records.iter().map(|r| r.key)).collect();
+            res2.new_target_pages.iter().flat_map(|p| p.records().iter().map(|r| r.key)).collect();
         assert_eq!(keys, vec![1, 2]);
     }
 
@@ -503,7 +550,7 @@ mod tests {
         let req = MergeRequest {
             edge,
             source_level: 0,
-            source_l0: vec![L0Page::from_block(block)],
+            source_l0: vec![Arc::new(L0Page::from_block(block))],
             source_pages: vec![],
             target_pages: vec![],
             epoch: 0,
@@ -513,7 +560,7 @@ mod tests {
         let has_tombstone = res1
             .new_target_pages
             .iter()
-            .flat_map(|p| p.records.iter())
+            .flat_map(|p| p.records().iter())
             .any(|r| r.key == 2 && r.value.is_none());
         assert!(has_tombstone);
         // L1 -> L2 (deepest): tombstone dropped.
@@ -527,7 +574,7 @@ mod tests {
         };
         let res2 = index.process_merge(&cloud, &ledger, &req2, 0).unwrap();
         let keys: Vec<u64> =
-            res2.new_target_pages.iter().flat_map(|p| p.records.iter().map(|r| r.key)).collect();
+            res2.new_target_pages.iter().flat_map(|p| p.records().iter().map(|r| r.key)).collect();
         assert_eq!(keys, vec![1]);
     }
 

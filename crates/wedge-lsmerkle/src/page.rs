@@ -5,50 +5,152 @@
 //! - **L0 pages** ([`L0Page`]) wrap a sealed WedgeChain block: the
 //!   page's digest *is* the block digest, so one block-certify /
 //!   block-proof exchange certifies both the log block and the index
-//!   page. Records keep block order; several versions of a key may
-//!   coexist.
+//!   page. Records are pre-sorted by `(key, newest version first)` at
+//!   construction so lookups binary-search; several versions of a key
+//!   may coexist.
 //! - **Sorted pages** ([`Page`]) for levels ≥ 1: records sorted by
 //!   key, at most one version per key, and an explicit `[min, max]`
 //!   key range obeying the adjacency invariant `p_x.max = p_y.min − 1`
 //!   with the first page's min = 0 and the last page's max = ∞
 //!   (`u64::MAX`).
+//!
+//! Both kinds are **immutable after construction** and carry a
+//! lazily-computed, memoized digest: a page is hashed at most once per
+//! lifetime, no matter how many merge requests, read proofs, or
+//! verifications it flows through. Pages are shared as `Arc<Page>` /
+//! `Arc<L0Page>` between the tree, merge messages, and read proofs,
+//! so building those clones pointers, not records.
 
 use crate::kv::{Key, KvRecord};
+use std::sync::{Arc, OnceLock};
 use wedge_crypto::Digest;
 use wedge_log::Encoder;
 
-/// A sorted, range-covering page in level ≥ 1.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Page {
-    /// Smallest key this page is responsible for (inclusive).
-    pub min: Key,
-    /// Largest key this page is responsible for (inclusive).
-    pub max: Key,
-    /// Records sorted by key; at most one version per key.
-    pub records: Vec<KvRecord>,
-    /// Virtual time (ns) the page was created (at merge time).
-    pub created_at_ns: u64,
+/// Test-only instrumentation proving the hash-once property: pages
+/// constructed and page digests actually computed (cache misses) on
+/// the current thread. Thread-local so concurrently running tests
+/// cannot pollute each other's counts.
+#[cfg(test)]
+pub(crate) mod hash_stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        pub static PAGES_CONSTRUCTED: Cell<u64> = const { Cell::new(0) };
+        pub static DIGESTS_COMPUTED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub fn constructed() -> u64 {
+        PAGES_CONSTRUCTED.with(|c| c.get())
+    }
+
+    pub fn computed() -> u64 {
+        DIGESTS_COMPUTED.with(|c| c.get())
+    }
+
+    pub fn note_constructed() {
+        PAGES_CONSTRUCTED.with(|c| c.set(c.get() + 1));
+    }
+
+    pub fn note_computed() {
+        DIGESTS_COMPUTED.with(|c| c.set(c.get() + 1));
+    }
 }
 
+#[cfg(test)]
+use hash_stats::{note_computed, note_constructed};
+
+#[cfg(not(test))]
+fn note_constructed() {}
+
+#[cfg(not(test))]
+fn note_computed() {}
+
+/// A sorted, range-covering page in level ≥ 1. Immutable: fields are
+/// fixed at construction so the memoized digest can never go stale.
+#[derive(Debug)]
+pub struct Page {
+    min: Key,
+    max: Key,
+    records: Vec<KvRecord>,
+    created_at_ns: u64,
+    digest: OnceLock<Digest>,
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        // The cached digest stays valid on a clone because the logical
+        // fields are immutable.
+        Page {
+            min: self.min,
+            max: self.max,
+            records: self.records.clone(),
+            created_at_ns: self.created_at_ns,
+            digest: self.digest.clone(),
+        }
+    }
+}
+
+impl PartialEq for Page {
+    fn eq(&self, other: &Self) -> bool {
+        self.min == other.min
+            && self.max == other.max
+            && self.created_at_ns == other.created_at_ns
+            && self.records == other.records
+    }
+}
+
+impl Eq for Page {}
+
 impl Page {
-    /// Canonical digest of the page.
+    /// Builds a page. `records` must be strictly sorted by key and lie
+    /// within `[min, max]` (see [`Page::check_invariants`]).
+    pub fn new(min: Key, max: Key, records: Vec<KvRecord>, created_at_ns: u64) -> Self {
+        note_constructed();
+        Page { min, max, records, created_at_ns, digest: OnceLock::new() }
+    }
+
+    /// Smallest key this page is responsible for (inclusive).
+    pub fn min(&self) -> Key {
+        self.min
+    }
+
+    /// Largest key this page is responsible for (inclusive).
+    pub fn max(&self) -> Key {
+        self.max
+    }
+
+    /// Records sorted by key; at most one version per key.
+    pub fn records(&self) -> &[KvRecord] {
+        &self.records
+    }
+
+    /// Virtual time (ns) the page was created (at merge time).
+    pub fn created_at_ns(&self) -> u64 {
+        self.created_at_ns
+    }
+
+    /// Canonical digest of the page — computed on first use, memoized
+    /// for the page's lifetime.
     pub fn digest(&self) -> Digest {
-        let mut enc = Encoder::with_tag("wedge-page-v1");
-        enc.put_u64(self.min).put_u64(self.max).put_u64(self.created_at_ns);
-        enc.put_u64(self.records.len() as u64);
-        for r in &self.records {
-            enc.put_u64(r.key).put_u64(r.version.bid).put_u32(r.version.pos);
-            match &r.value {
-                Some(v) => {
-                    enc.put_u8(1);
-                    enc.put_bytes(v);
-                }
-                None => {
-                    enc.put_u8(0);
+        *self.digest.get_or_init(|| {
+            note_computed();
+            let mut enc = Encoder::with_tag("wedge-page-v1");
+            enc.put_u64(self.min).put_u64(self.max).put_u64(self.created_at_ns);
+            enc.put_u64(self.records.len() as u64);
+            for r in &self.records {
+                enc.put_u64(r.key).put_u64(r.version.bid).put_u32(r.version.pos);
+                match &r.value {
+                    Some(v) => {
+                        enc.put_u8(1);
+                        enc.put_bytes(v);
+                    }
+                    None => {
+                        enc.put_u8(0);
+                    }
                 }
             }
-        }
-        wedge_crypto::sha256(&enc.finish())
+            wedge_crypto::sha256(&enc.finish())
+        })
     }
 
     /// True iff `key` falls in this page's responsibility range.
@@ -91,19 +193,19 @@ impl Page {
 
 /// Checks the paper's level-wide range invariants over adjacent pages:
 /// first `min = 0`, last `max = ∞`, and `p_x.max = p_y.min − 1`.
-pub fn check_level_ranges(pages: &[Page]) -> Result<(), String> {
+pub fn check_level_ranges(pages: &[Arc<Page>]) -> Result<(), String> {
     if pages.is_empty() {
         return Ok(());
     }
-    if pages[0].min != 0 {
-        return Err(format!("first page min is {}, expected 0", pages[0].min));
+    if pages[0].min() != 0 {
+        return Err(format!("first page min is {}, expected 0", pages[0].min()));
     }
-    if pages[pages.len() - 1].max != Key::MAX {
+    if pages[pages.len() - 1].max() != Key::MAX {
         return Err("last page max is not infinity".into());
     }
     for w in pages.windows(2) {
-        if w[0].max != w[1].min - 1 {
-            return Err(format!("adjacency violated: max {} then min {}", w[0].max, w[1].min));
+        if w[0].max() != w[1].min() - 1 {
+            return Err(format!("adjacency violated: max {} then min {}", w[0].max(), w[1].min()));
         }
     }
     for p in pages {
@@ -112,32 +214,110 @@ pub fn check_level_ranges(pages: &[Page]) -> Result<(), String> {
     Ok(())
 }
 
-/// An L0 page: a sealed block viewed as index records.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// An L0 page: a sealed block viewed as index records. Immutable, with
+/// a memoized digest (= the block digest).
+#[derive(Debug)]
 pub struct L0Page {
     /// The underlying block (kept so the cloud can re-verify the block
     /// digest against its cert ledger during merges).
-    pub block: wedge_log::Block,
-    /// KV records decoded from the block, in block order.
-    pub records: Vec<KvRecord>,
+    block: wedge_log::Block,
+    /// KV records decoded from the block, sorted by `(key asc, version
+    /// desc)` — the newest version of a key comes first.
+    records: Vec<KvRecord>,
+    digest: OnceLock<Digest>,
 }
+
+impl Clone for L0Page {
+    fn clone(&self) -> Self {
+        L0Page {
+            block: self.block.clone(),
+            records: self.records.clone(),
+            digest: self.digest.clone(),
+        }
+    }
+}
+
+impl PartialEq for L0Page {
+    fn eq(&self, other: &Self) -> bool {
+        self.block == other.block && self.records == other.records
+    }
+}
+
+impl Eq for L0Page {}
 
 impl L0Page {
     /// Builds an L0 page from a sealed block.
     pub fn from_block(block: wedge_log::Block) -> Self {
-        let records = crate::kv::records_from_block(&block);
-        L0Page { block, records }
+        let records = Self::sorted_records(&block);
+        note_constructed();
+        L0Page { block, records, digest: OnceLock::new() }
+    }
+
+    /// Builds an L0 page from a sealed block whose digest the caller
+    /// already computed (e.g. at seal time), seeding the memo so the
+    /// block is never hashed again. `digest` **must** be
+    /// `block.digest()` — passing anything else poisons every check
+    /// downstream (debug-asserted).
+    pub fn from_block_with_digest(block: wedge_log::Block, digest: Digest) -> Self {
+        debug_assert_eq!(digest, block.digest(), "seeded digest must match the block");
+        let records = Self::sorted_records(&block);
+        note_constructed();
+        let memo = OnceLock::new();
+        let _ = memo.set(digest);
+        L0Page { block, records, digest: memo }
+    }
+
+    /// Adversarial/test constructor: an L0 page whose advertised
+    /// records need *not* match its block. Merge and proof
+    /// verification must catch the mismatch — this models a lying
+    /// edge, never honest code.
+    #[doc(hidden)]
+    pub fn forged(block: wedge_log::Block, records: Vec<KvRecord>) -> Self {
+        note_constructed();
+        L0Page { block, records, digest: OnceLock::new() }
+    }
+
+    /// The canonical record decode of `block`, in L0 page order:
+    /// `(key asc, version desc)`.
+    pub fn sorted_records(block: &wedge_log::Block) -> Vec<KvRecord> {
+        let mut records = crate::kv::records_from_block(block);
+        records.sort_unstable_by(|a, b| a.key.cmp(&b.key).then(b.version.cmp(&a.version)));
+        records
+    }
+
+    /// True iff the advertised records are exactly the canonical
+    /// decode of the underlying block. Verifiers must never trust the
+    /// denormalized `records` (they are not covered by the block
+    /// digest) without this check.
+    pub fn matches_block(&self) -> bool {
+        Self::sorted_records(&self.block) == self.records
+    }
+
+    /// The underlying sealed block.
+    pub fn block(&self) -> &wedge_log::Block {
+        &self.block
+    }
+
+    /// Records sorted by `(key asc, version desc)`.
+    pub fn records(&self) -> &[KvRecord] {
+        &self.records
     }
 
     /// The page digest — identical to the block digest, so one
-    /// certification covers both (§V-B "Put operations").
+    /// certification covers both (§V-B "Put operations"). Memoized.
     pub fn digest(&self) -> Digest {
-        self.block.digest()
+        *self.digest.get_or_init(|| {
+            note_computed();
+            self.block.digest()
+        })
     }
 
-    /// The newest record for `key` within this page, if any.
+    /// The newest record for `key` within this page, if any. Binary
+    /// search: records are sorted by `(key asc, version desc)`, so the
+    /// first record of a key run is the newest.
     pub fn lookup(&self, key: Key) -> Option<&KvRecord> {
-        self.records.iter().filter(|r| r.key == key).max_by_key(|r| r.version)
+        let idx = self.records.partition_point(|r| r.key < key);
+        self.records.get(idx).filter(|r| r.key == key)
     }
 
     /// The page's block id (doubles as its version epoch).
@@ -151,13 +331,8 @@ impl L0Page {
     }
 }
 
-/// The newest record for `key` across a set of L0 pages.
-pub fn l0_lookup(pages: &[L0Page], key: Key) -> Option<&KvRecord> {
-    pages.iter().filter_map(|p| p.lookup(key)).max_by_key(|r| r.version)
-}
-
-/// [`l0_lookup`] over borrowed pages (used by proof verification,
-/// which holds references into a proof structure).
+/// The newest record for `key` across a set of L0 pages (used by
+/// proof verification, which holds references into a proof structure).
 pub fn l0_lookup_pages<'a>(pages: &[&'a L0Page], key: Key) -> Option<&'a KvRecord> {
     pages.iter().filter_map(|p| p.lookup(key)).max_by_key(|r| r.version)
 }
@@ -165,32 +340,35 @@ pub fn l0_lookup_pages<'a>(pages: &[&'a L0Page], key: Key) -> Option<&'a KvRecor
 /// Splits merged, sorted records into range-covering pages of at most
 /// `page_capacity` records, assigning ranges that satisfy
 /// [`check_level_ranges`].
-pub fn split_into_pages(records: Vec<KvRecord>, page_capacity: usize, now_ns: u64) -> Vec<Page> {
+pub fn split_into_pages(
+    records: Vec<KvRecord>,
+    page_capacity: usize,
+    now_ns: u64,
+) -> Vec<Arc<Page>> {
     assert!(page_capacity > 0);
     if records.is_empty() {
         return Vec::new();
     }
-    let chunks: Vec<&[KvRecord]> = records.chunks(page_capacity).collect();
-    let n = chunks.len();
+    let n = records.len().div_ceil(page_capacity);
     let mut pages = Vec::with_capacity(n);
     let mut next_min: Key = 0;
-    for (i, chunk) in chunks.iter().enumerate() {
-        let max = if i + 1 == n {
-            Key::MAX
-        } else {
+    let mut chunks = records.chunks(page_capacity).peekable();
+    while let Some(chunk) = chunks.next() {
+        let max = match chunks.peek() {
             // Boundary: one below the next chunk's first key.
-            chunks[i + 1][0].key - 1
+            Some(next) => next[0].key - 1,
+            None => Key::MAX,
         };
-        pages.push(Page { min: next_min, max, records: chunk.to_vec(), created_at_ns: now_ns });
+        pages.push(Arc::new(Page::new(next_min, max, chunk.to_vec(), now_ns)));
         next_min = max.wrapping_add(1);
     }
     pages
 }
 
 /// Finds the unique page covering `key` in a range-partitioned level.
-pub fn find_covering(pages: &[Page], key: Key) -> Option<(usize, &Page)> {
+pub fn find_covering(pages: &[Arc<Page>], key: Key) -> Option<(usize, &Arc<Page>)> {
     // Pages are sorted by min; binary search the partition point.
-    let idx = pages.partition_point(|p| p.max < key);
+    let idx = pages.partition_point(|p| p.max() < key);
     pages.get(idx).filter(|p| p.covers(key)).map(|p| (idx, p))
 }
 
@@ -208,12 +386,7 @@ mod tests {
 
     #[test]
     fn page_lookup_and_covers() {
-        let p = Page {
-            min: 10,
-            max: 20,
-            records: vec![rec(11, 1, b"a"), rec(15, 1, b"b"), rec(20, 1, b"c")],
-            created_at_ns: 0,
-        };
+        let p = Page::new(10, 20, vec![rec(11, 1, b"a"), rec(15, 1, b"b"), rec(20, 1, b"c")], 0);
         assert!(p.covers(10) && p.covers(20));
         assert!(!p.covers(9) && !p.covers(21));
         assert_eq!(p.lookup(15).unwrap().value.as_deref(), Some(b"b".as_ref()));
@@ -223,15 +396,9 @@ mod tests {
 
     #[test]
     fn invariant_checks_catch_violations() {
-        let unsorted = Page {
-            min: 0,
-            max: Key::MAX,
-            records: vec![rec(5, 1, b"a"), rec(3, 1, b"b")],
-            created_at_ns: 0,
-        };
+        let unsorted = Page::new(0, Key::MAX, vec![rec(5, 1, b"a"), rec(3, 1, b"b")], 0);
         assert!(unsorted.check_invariants().is_err());
-        let out_of_range =
-            Page { min: 10, max: 20, records: vec![rec(5, 1, b"a")], created_at_ns: 0 };
+        let out_of_range = Page::new(10, 20, vec![rec(5, 1, b"a")], 0);
         assert!(out_of_range.check_invariants().is_err());
     }
 
@@ -241,8 +408,8 @@ mod tests {
         let pages = split_into_pages(records, 3, 99);
         assert_eq!(pages.len(), 4);
         assert!(check_level_ranges(&pages).is_ok());
-        assert_eq!(pages[0].min, 0);
-        assert_eq!(pages.last().unwrap().max, Key::MAX);
+        assert_eq!(pages[0].min(), 0);
+        assert_eq!(pages.last().unwrap().max(), Key::MAX);
         // Adjacency: p_x.max = p_y.min - 1 (checked), and every key
         // findable via find_covering.
         for i in 0..10u64 {
@@ -271,16 +438,30 @@ mod tests {
 
     #[test]
     fn page_digest_binds_everything() {
-        let p = Page { min: 0, max: Key::MAX, records: vec![rec(1, 1, b"a")], created_at_ns: 0 };
-        let mut q = p.clone();
-        q.max = 100;
+        let p = Page::new(0, Key::MAX, vec![rec(1, 1, b"a")], 0);
+        let q = Page::new(0, 100, vec![rec(1, 1, b"a")], 0);
         assert_ne!(p.digest(), q.digest());
-        let mut q = p.clone();
-        q.records[0].value = Some(b"b".to_vec());
+        let q = Page::new(0, Key::MAX, vec![rec(1, 1, b"b")], 0);
         assert_ne!(p.digest(), q.digest());
-        let mut q = p.clone();
-        q.records[0].version = Version { bid: 2, pos: 0 };
+        let q = Page::new(
+            0,
+            Key::MAX,
+            vec![KvRecord {
+                key: 1,
+                version: Version { bid: 2, pos: 0 },
+                value: Some(b"a".to_vec()),
+            }],
+            0,
+        );
         assert_ne!(p.digest(), q.digest());
+    }
+
+    #[test]
+    fn cloned_page_keeps_digest() {
+        let p = Page::new(0, Key::MAX, vec![rec(1, 1, b"a")], 0);
+        let d = p.digest();
+        let q = p.clone();
+        assert_eq!(q.digest(), d);
     }
 
     #[test]
@@ -293,8 +474,10 @@ mod tests {
             sealed_at_ns: 0,
         };
         let digest = block.digest();
-        let page = L0Page::from_block(block);
+        let page = L0Page::from_block(block.clone());
         assert_eq!(page.digest(), digest);
+        let seeded = L0Page::from_block_with_digest(block, digest);
+        assert_eq!(seeded.digest(), digest);
     }
 
     #[test]
@@ -307,10 +490,11 @@ mod tests {
             sealed_at_ns: 0,
         };
         let pages =
-            vec![L0Page::from_block(mk_block(0, b"old")), L0Page::from_block(mk_block(1, b"new"))];
-        let r = l0_lookup(&pages, 5).unwrap();
+            [L0Page::from_block(mk_block(0, b"old")), L0Page::from_block(mk_block(1, b"new"))];
+        let refs: Vec<&L0Page> = pages.iter().collect();
+        let r = l0_lookup_pages(&refs, 5).unwrap();
         assert_eq!(r.value.as_deref(), Some(b"new".as_ref()));
-        assert!(l0_lookup(&pages, 6).is_none());
+        assert!(l0_lookup_pages(&refs, 6).is_none());
     }
 
     #[test]
@@ -327,5 +511,29 @@ mod tests {
         };
         let page = L0Page::from_block(block);
         assert_eq!(page.lookup(5).unwrap().value.as_deref(), Some(b"second".as_ref()));
+    }
+
+    #[test]
+    fn l0_records_sorted_and_match_block() {
+        let client = Identity::derive("client", 1);
+        let block = Block {
+            edge: IdentityId(9),
+            id: BlockId(3),
+            entries: vec![
+                kv_entry(&client, 0, &KvOp::put(9, b"a".to_vec())),
+                kv_entry(&client, 1, &KvOp::put(2, b"b".to_vec())),
+                kv_entry(&client, 2, &KvOp::put(9, b"c".to_vec())),
+            ],
+            sealed_at_ns: 0,
+        };
+        let page = L0Page::from_block(block);
+        let keys: Vec<u64> = page.records().iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![2, 9, 9]);
+        // Newest version of key 9 first.
+        assert_eq!(page.records()[1].value.as_deref(), Some(b"c".as_ref()));
+        assert!(page.matches_block());
+        // A forged page (records not matching the block) is detected.
+        let forged = L0Page::forged(page.block().clone(), vec![]);
+        assert!(!forged.matches_block());
     }
 }

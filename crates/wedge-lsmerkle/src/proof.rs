@@ -19,25 +19,28 @@ use crate::kv::{Key, KvRecord, Value};
 use crate::level::{compute_global_root, empty_level_root, GlobalRootCert};
 use crate::page::{l0_lookup_pages, L0Page, Page};
 use crate::tree::LsMerkle;
+use std::sync::Arc;
 use wedge_crypto::{Digest, IdentityId, InclusionProof, KeyRegistry, MerkleTree};
 use wedge_log::{BlockProof, CommitPhase};
 
-/// An L0 page plus its certification, if any.
+/// An L0 page plus its certification, if any. The page is shared with
+/// the tree (`Arc`): building a witness clones a pointer, not records.
 #[derive(Clone, Debug)]
 pub struct L0Witness {
     /// The page (block-backed).
-    pub page: L0Page,
+    pub page: Arc<L0Page>,
     /// The cloud's block-proof; `None` ⇒ the read is Phase I.
     pub proof: Option<BlockProof>,
 }
 
 /// The covering page of one Merkle level, with its inclusion proof.
+/// The page is shared with the tree (`Arc`).
 #[derive(Clone, Debug)]
 pub struct LevelWitness {
     /// Level number (1-based).
     pub level: u32,
     /// The unique page whose `[min, max]` covers the key.
-    pub page: Page,
+    pub page: Arc<Page>,
     /// Merkle inclusion proof of the page under the level's root.
     pub inclusion: InclusionProof,
 }
@@ -128,7 +131,7 @@ pub fn build_read_proof(tree: &LsMerkle, key: Key) -> IndexReadProof {
     let l0: Vec<L0Witness> = tree
         .l0_pages()
         .iter()
-        .map(|(page, proof)| L0Witness { page: page.clone(), proof: proof.clone() })
+        .map(|(page, proof)| L0Witness { page: Arc::clone(page), proof: proof.clone() })
         .collect();
 
     let best = tree.find_newest(key);
@@ -147,13 +150,13 @@ pub fn build_read_proof(tree: &LsMerkle, key: Key) -> IndexReadProof {
     let mut witnesses = Vec::new();
     for level_no in 1..=deepest_needed {
         let level = &tree.levels()[(level_no - 1) as usize];
-        if level.pages.is_empty() {
+        if level.pages().is_empty() {
             continue; // client checks the empty root instead
         }
-        let (pidx, page) = crate::page::find_covering(&level.pages, key)
+        let (pidx, page) = crate::page::find_covering(level.pages(), key)
             .expect("non-empty level ranges span the whole key space");
-        let inclusion = level.tree.prove(pidx).expect("page index in range");
-        witnesses.push(LevelWitness { level: level_no, page: page.clone(), inclusion });
+        let inclusion = level.tree().prove(pidx).expect("page index in range");
+        witnesses.push(LevelWitness { level: level_no, page: Arc::clone(page), inclusion });
     }
     IndexReadProof {
         edge: tree.edge(),
@@ -203,13 +206,13 @@ pub fn verify_read_proof(
     //    honestly-certified block.
     let mut phase = CommitPhase::Phase2;
     for w in &proof.l0 {
-        if crate::kv::records_from_block(&w.page.block) != w.page.records {
+        if !w.page.matches_block() {
             return Err(ProofError::BadL0Proof(w.page.bid()));
         }
         match &w.proof {
             Some(bp) => {
                 let ok = bp.edge == edge
-                    && bp.bid == w.page.block.id
+                    && bp.bid == w.page.block().id
                     && bp.digest == w.page.digest()
                     && bp.verify(cloud, registry);
                 if !ok {
@@ -237,7 +240,7 @@ pub fn verify_read_proof(
         }
     }
     // 6. Recompute the newest record from the supplied material.
-    let l0_pages: Vec<&L0Page> = proof.l0.iter().map(|w| &w.page).collect();
+    let l0_pages: Vec<&L0Page> = proof.l0.iter().map(|w| w.page.as_ref()).collect();
     let mut best: Option<&KvRecord> = l0_lookup_pages(&l0_pages, proof.key);
     let mut best_level: Option<u32> = None;
     for w in &proof.witnesses {
@@ -449,7 +452,13 @@ mod tests {
         fx.ingest_certified(&[(3, Some(b"c"))]);
         fx.drain_merges();
         let mut proof = build_read_proof(&fx.tree, 2);
-        proof.witnesses[0].page.records[0].value = Some(b"evil".to_vec());
+        // Rebuild the witness page with a tampered record (pages are
+        // immutable, as a lying edge would construct a fresh one).
+        let honest = &proof.witnesses[0].page;
+        let mut records = honest.records().to_vec();
+        records[0].value = Some(b"evil".to_vec());
+        proof.witnesses[0].page =
+            Arc::new(Page::new(honest.min(), honest.max(), records, honest.created_at_ns()));
         // Outcome check or inclusion check fails depending on which
         // record was tampered; both are detection.
         assert!(fx.verify(&proof).is_err());
@@ -487,6 +496,45 @@ mod tests {
         let stolen = proof.l0[1].proof.clone();
         proof.l0[0].proof = stolen;
         assert!(matches!(fx.verify(&proof), Err(ProofError::BadL0Proof(_))));
+    }
+
+    /// The hash-once property, end-to-end: across build → merge →
+    /// read-proof → verify in one process, every page's digest is
+    /// computed at most once (memoized on first use), and re-serving
+    /// reads from a settled tree computes no page digest at all.
+    /// Counters are thread-local, so concurrent tests cannot skew
+    /// this test's arithmetic.
+    #[test]
+    fn page_digests_computed_at_most_once_end_to_end() {
+        use crate::page::hash_stats;
+        let mut fx = Fixture::new();
+        let c0 = hash_stats::constructed();
+        let d0 = hash_stats::computed();
+        // Build: enough certified blocks to cascade several merges.
+        for i in 0..12u64 {
+            fx.ingest_certified(&[(i, Some(b"v")), (i + 100, Some(b"w"))]);
+        }
+        fx.drain_merges();
+        // Read-proof + client verify, hits and misses.
+        for key in [0u64, 5, 11, 105, 999] {
+            let proof = build_read_proof(&fx.tree, key);
+            fx.verify(&proof).unwrap();
+        }
+        let constructed = hash_stats::constructed() - c0;
+        let computed = hash_stats::computed() - d0;
+        assert!(constructed > 0, "pipeline must have created pages");
+        assert!(
+            computed <= constructed,
+            "{computed} digest computations for {constructed} pages: some page was hashed twice"
+        );
+        // A second pass over the settled tree re-uses every memo: zero
+        // additional hash work.
+        let d1 = hash_stats::computed();
+        for key in [0u64, 5, 11, 105, 999] {
+            let proof = build_read_proof(&fx.tree, key);
+            fx.verify(&proof).unwrap();
+        }
+        assert_eq!(hash_stats::computed(), d1, "settled-tree reads must not hash any page");
     }
 
     #[test]

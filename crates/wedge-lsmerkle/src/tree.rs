@@ -11,6 +11,7 @@ use crate::kv::Key;
 use crate::level::{empty_level_root, tree_over, GlobalRootCert, Level};
 use crate::merge::{InitBundle, MergeRequest, MergeResult};
 use crate::page::L0Page;
+use std::sync::Arc;
 use wedge_crypto::{Digest, IdentityId};
 use wedge_log::{Block, BlockId, BlockProof};
 
@@ -21,7 +22,7 @@ pub struct LsMerkle {
     cfg: LsmConfig,
     /// L0 pages in block order, each optionally carrying its cloud
     /// certification (attached when the block-proof arrives).
-    l0: Vec<(L0Page, Option<BlockProof>)>,
+    l0: Vec<(Arc<L0Page>, Option<BlockProof>)>,
     /// Merkle levels; index 0 is L1.
     levels: Vec<Level>,
     /// The freshest signed global root.
@@ -35,7 +36,7 @@ impl LsMerkle {
     pub fn new(edge: IdentityId, cfg: LsmConfig, init: InitBundle) -> Self {
         cfg.validate().expect("invalid LSMerkle config");
         assert_eq!(init.level_roots.len(), cfg.num_merkle_levels());
-        let levels = init.level_roots.into_iter().map(|slr| Level::new(Vec::new(), slr)).collect();
+        let levels = init.level_roots.into_iter().map(Level::empty).collect();
         LsMerkle { edge, cfg, l0: Vec::new(), levels, global: init.global, epoch: 0 }
     }
 
@@ -61,16 +62,29 @@ impl LsMerkle {
 
     /// Replaces the global cert with a fresher one (same root/epoch,
     /// newer timestamp) from the cloud's freshness refresh path.
-    pub fn refresh_global(&mut self, cert: GlobalRootCert) {
-        debug_assert_eq!(cert.epoch, self.epoch);
-        if cert.timestamp_ns >= self.global.timestamp_ns {
-            self.global = cert;
+    /// Returns `false` (rejecting the cert) if it is for another
+    /// edge/epoch or older than the current cert — a mismatched-epoch
+    /// cert must never silently replace the global root.
+    pub fn refresh_global(&mut self, cert: GlobalRootCert) -> bool {
+        if cert.edge != self.edge || cert.epoch != self.epoch {
+            return false;
         }
+        if cert.timestamp_ns < self.global.timestamp_ns {
+            return false;
+        }
+        self.global = cert;
+        true
     }
 
     /// L0 pages with their certification status.
-    pub fn l0_pages(&self) -> &[(L0Page, Option<BlockProof>)] {
+    pub fn l0_pages(&self) -> &[(Arc<L0Page>, Option<BlockProof>)] {
         &self.l0
+    }
+
+    /// Number of L0 pages whose block-proof has arrived. Only these
+    /// are eligible for merging (the cloud rejects uncertified ones).
+    pub fn certified_l0_count(&self) -> usize {
+        self.l0.iter().filter(|(_, proof)| proof.is_some()).count()
     }
 
     /// The Merkle levels (index 0 = L1).
@@ -85,22 +99,28 @@ impl LsMerkle {
 
     /// Total records across the tree (diagnostics).
     pub fn record_count(&self) -> usize {
-        let l0: usize = self.l0.iter().map(|(p, _)| p.records.len()).sum();
+        let l0: usize = self.l0.iter().map(|(p, _)| p.records().len()).sum();
         let lv: usize =
-            self.levels.iter().flat_map(|l| l.pages.iter()).map(|p| p.records.len()).sum();
+            self.levels.iter().flat_map(|l| l.pages().iter()).map(|p| p.records().len()).sum();
         l0 + lv
     }
 
     /// Ingests a sealed block as a new L0 page.
     pub fn apply_block(&mut self, block: Block) {
-        self.l0.push((L0Page::from_block(block), None));
+        self.l0.push((Arc::new(L0Page::from_block(block)), None));
+    }
+
+    /// Ingests a sealed block whose digest the caller already computed
+    /// (the seal path always has), so the block is never hashed again.
+    pub fn apply_block_with_digest(&mut self, block: Block, digest: Digest) {
+        self.l0.push((Arc::new(L0Page::from_block_with_digest(block, digest)), None));
     }
 
     /// Attaches a cloud block-proof to its L0 page (if still present —
     /// the page may already have been merged away).
     pub fn attach_block_proof(&mut self, proof: BlockProof) -> bool {
         for (page, slot) in &mut self.l0 {
-            if page.block.id == proof.bid {
+            if page.block().id == proof.bid {
                 *slot = Some(proof);
                 return true;
             }
@@ -111,8 +131,13 @@ impl LsMerkle {
     /// The shallowest level whose page count exceeds its threshold, if
     /// any. Only levels that *can* merge downward are reported (the
     /// deepest level has nowhere to go).
+    ///
+    /// L0 counts only *certified* pages: `build_merge_request` ships
+    /// nothing else, so counting uncertified pages would report an
+    /// overflow that an L0 merge cannot drain — merge loops would spin
+    /// forever on empty requests (livelock).
     pub fn overflowing_level(&self) -> Option<u32> {
-        if self.l0.len() > self.cfg.level_thresholds[0] {
+        if self.certified_l0_count() > self.cfg.level_thresholds[0] {
             return Some(0);
         }
         for (i, level) in self.levels.iter().enumerate() {
@@ -134,18 +159,19 @@ impl LsMerkle {
     /// merge.
     pub fn build_merge_request(&self, source_level: u32) -> MergeRequest {
         if source_level == 0 {
-            let source_l0: Vec<L0Page> = self
+            // Arc clones: the request shares the tree's pages.
+            let source_l0: Vec<Arc<L0Page>> = self
                 .l0
                 .iter()
                 .filter(|(_, proof)| proof.is_some())
-                .map(|(p, _)| p.clone())
+                .map(|(p, _)| Arc::clone(p))
                 .collect();
             MergeRequest {
                 edge: self.edge,
                 source_level: 0,
                 source_l0,
                 source_pages: Vec::new(),
-                target_pages: self.levels[0].pages.clone(),
+                target_pages: self.levels[0].pages().to_vec(),
                 epoch: self.epoch,
             }
         } else {
@@ -154,8 +180,8 @@ impl LsMerkle {
                 edge: self.edge,
                 source_level,
                 source_l0: Vec::new(),
-                source_pages: self.levels[s].pages.clone(),
-                target_pages: self.levels[s + 1].pages.clone(),
+                source_pages: self.levels[s].pages().to_vec(),
+                target_pages: self.levels[s + 1].pages().to_vec(),
                 epoch: self.epoch,
             }
         }
@@ -179,27 +205,30 @@ impl LsMerkle {
             return Err(format!("epoch gap: have {}, result is {}", self.epoch, res.new_epoch));
         }
         let t_idx = res.source_level as usize; // target level index in self.levels
-        let new_tree_root = tree_over(&res.new_target_pages).root();
-        if new_tree_root != res.new_target_root.root {
+                                               // Build the target tree exactly once: it both validates the
+                                               // signed root and becomes the installed level's tree. Page
+                                               // digests are memoized, so this costs interior hashes only.
+        let new_tree = tree_over(&res.new_target_pages);
+        if new_tree.root() != res.new_target_root.root {
             return Err("target pages do not hash to signed root".into());
         }
         if res.all_level_roots.len() != self.levels.len() {
             return Err("level root count mismatch".into());
         }
         // Install the new target level.
-        self.levels[t_idx] = Level::new(res.new_target_pages, res.new_target_root);
+        self.levels[t_idx] = Level::from_parts(res.new_target_pages, new_tree, res.new_target_root);
         // Drain the source.
         if res.source_level == 0 {
             let merged: std::collections::HashSet<BlockId> =
-                req.source_l0.iter().map(|p| p.block.id).collect();
-            self.l0.retain(|(p, _)| !merged.contains(&p.block.id));
+                req.source_l0.iter().map(|p| p.block().id).collect();
+            self.l0.retain(|(p, _)| !merged.contains(&p.block().id));
         } else {
             let s_idx = (res.source_level - 1) as usize;
             let slr = res.new_source_root.ok_or("missing source root")?;
             if slr.root != empty_level_root() {
                 return Err("source root is not the empty root".into());
             }
-            self.levels[s_idx] = Level::new(Vec::new(), slr);
+            self.levels[s_idx] = Level::empty(slr);
         }
         // Sanity: our level roots must now match the cloud's.
         let ours = self.level_roots();
@@ -224,7 +253,7 @@ impl LsMerkle {
             }
         }
         for (i, level) in self.levels.iter().enumerate() {
-            if let Some((pidx, page)) = crate::page::find_covering(&level.pages, key) {
+            if let Some((pidx, page)) = crate::page::find_covering(level.pages(), key) {
                 if let Some(r) = page.lookup(key) {
                     if best.as_ref().is_none_or(|(b, _)| r.version > b.version) {
                         best = Some((
@@ -373,20 +402,69 @@ mod tests {
         let mut fx = Fixture::new();
         fx.ingest(&[(1, b"a")]);
         fx.ingest(&[(2, b"b")]);
-        // A third, *uncertified* block.
+        fx.ingest(&[(4, b"d")]);
+        // A fourth, *uncertified* block.
         let entries = vec![kv_entry(&fx.client, 999, &KvOp::put(3, b"c".to_vec()))];
         let block = Block { edge: fx.edge, id: BlockId(fx.next_bid), entries, sealed_at_ns: 0 };
         fx.next_bid += 1;
         fx.tree.apply_block(block);
+        // Three certified pages overflow the threshold of 2; the
+        // uncertified page does not count.
+        assert_eq!(fx.tree.certified_l0_count(), 3);
         assert_eq!(fx.tree.overflowing_level(), Some(0));
         let req = fx.tree.build_merge_request(0);
-        // Only the two certified pages are shipped.
-        assert_eq!(req.source_l0.len(), 2);
+        // Only the three certified pages are shipped.
+        assert_eq!(req.source_l0.len(), 3);
         let res = fx.index.process_merge(&fx.cloud, &fx.ledger, &req, 0).unwrap();
         fx.tree.apply_merge_result(&req, res).unwrap();
         // The uncertified page remains in L0.
         assert_eq!(fx.tree.l0_pages().len(), 1);
         assert_eq!(fx.tree.find_newest(3).unwrap().0.value.as_deref(), Some(b"c".as_ref()));
+    }
+
+    /// Regression: uncertified pages alone must never report an L0
+    /// overflow — `build_merge_request(0)` would ship zero pages and a
+    /// `drain_merges`-style loop would spin forever on empty merges.
+    #[test]
+    fn uncertified_pages_alone_never_overflow() {
+        let mut fx = Fixture::new();
+        // Four uncertified blocks: past the raw threshold of 2, but
+        // nothing is eligible to merge.
+        for i in 0..4u64 {
+            let entries = vec![kv_entry(&fx.client, 900 + i, &KvOp::put(i, b"v".to_vec()))];
+            let block = Block { edge: fx.edge, id: BlockId(fx.next_bid), entries, sealed_at_ns: 0 };
+            fx.next_bid += 1;
+            fx.tree.apply_block(block);
+        }
+        assert_eq!(fx.tree.certified_l0_count(), 0);
+        assert_eq!(fx.tree.overflowing_level(), None);
+        // drain_merges terminates immediately instead of livelocking.
+        fx.drain_merges();
+        assert_eq!(fx.tree.l0_pages().len(), 4);
+    }
+
+    /// Regression: a global cert from another epoch (or edge) must be
+    /// rejected outright, not just debug-asserted away.
+    #[test]
+    fn refresh_global_rejects_wrong_epoch_or_edge() {
+        let mut fx = Fixture::new();
+        let good = fx.tree.global().clone();
+        // Wrong epoch.
+        let wrong_epoch =
+            crate::level::GlobalRootCert::issue(&fx.cloud, fx.edge, 99, 5_000, good.root);
+        assert!(!fx.tree.refresh_global(wrong_epoch));
+        assert_eq!(*fx.tree.global(), good);
+        // Wrong edge.
+        let wrong_edge =
+            crate::level::GlobalRootCert::issue(&fx.cloud, IdentityId(77), 0, 5_000, good.root);
+        assert!(!fx.tree.refresh_global(wrong_edge));
+        assert_eq!(*fx.tree.global(), good);
+        // Older timestamp.
+        let stale = crate::level::GlobalRootCert::issue(&fx.cloud, fx.edge, 0, 0, good.root);
+        let newer = crate::level::GlobalRootCert::issue(&fx.cloud, fx.edge, 0, 9_000, good.root);
+        assert!(fx.tree.refresh_global(newer));
+        assert!(!fx.tree.refresh_global(stale));
+        assert_eq!(fx.tree.global().timestamp_ns, 9_000);
     }
 
     #[test]
@@ -438,7 +516,7 @@ mod tests {
         }
         // All levels obey range invariants.
         for level in fx.tree.levels() {
-            crate::page::check_level_ranges(&level.pages).unwrap();
+            crate::page::check_level_ranges(level.pages()).unwrap();
         }
     }
 }

@@ -7,11 +7,12 @@
 //! case streams instead of proptest.
 
 use std::collections::BTreeMap;
-use wedge_crypto::{Identity, IdentityId, KeyRegistry};
+use std::sync::Arc;
+use wedge_crypto::{Identity, IdentityId, KeyRegistry, MerkleTree};
 use wedge_log::{Block, BlockId, BlockProof, CertLedger, Entry};
 use wedge_lsmerkle::{
-    build_read_proof, check_level_ranges, kv_entry, verify_read_proof, CloudIndex, KvOp, LsMerkle,
-    LsmConfig,
+    build_read_proof, check_level_ranges, kv_entry, records_from_block, verify_read_proof,
+    CloudIndex, KvOp, KvRecord, L0Page, LsMerkle, LsmConfig, MergeRequest, Page,
 };
 
 struct Rng(u64);
@@ -89,6 +90,27 @@ impl Fixture {
         }
     }
 
+    /// The pre-optimization compaction, kept as a reference model:
+    /// materialize every record, full-sort newest-first, dedup per
+    /// key, drop tombstones at the deepest level. The streaming k-way
+    /// merge must reproduce this byte-for-byte.
+    fn reference_merge(&self, req: &MergeRequest) -> Vec<KvRecord> {
+        let mut combined: Vec<KvRecord> = Vec::new();
+        for p in &req.source_l0 {
+            combined.extend(records_from_block(p.block()));
+        }
+        for p in req.source_pages.iter().chain(req.target_pages.iter()) {
+            combined.extend(p.records().iter().cloned());
+        }
+        combined.sort_by(|a, b| a.key.cmp(&b.key).then(b.version.cmp(&a.version)));
+        combined.dedup_by(|a, b| a.key == b.key); // keeps first = newest
+        let deepest = (req.source_level + 1) as usize == self.index.config().num_merkle_levels();
+        if deepest {
+            combined.retain(|r| r.value.is_some());
+        }
+        combined
+    }
+
     fn ingest_block(&mut self, ops: &[(u64, Option<Vec<u8>>)]) {
         let entries: Vec<Entry> = ops
             .iter()
@@ -119,9 +141,44 @@ impl Fixture {
             if level == 0 && req.source_l0.is_empty() {
                 break;
             }
+            let reference = self.reference_merge(&req);
             let res = self.index.process_merge(&self.cloud, &self.ledger, &req, 0).unwrap();
+            // The k-way merge output must equal the old sort-based
+            // merge, record for record.
+            let merged: Vec<KvRecord> =
+                res.new_target_pages.iter().flat_map(|p| p.records().iter().cloned()).collect();
+            assert_eq!(merged, reference, "k-way merge diverged from sort-based reference");
             self.tree.apply_merge_result(&req, res).unwrap();
         }
+    }
+
+    /// Recomputes every digest/root in the tree from scratch and
+    /// asserts the memoized values are byte-identical.
+    fn assert_caches_fresh(&self) {
+        for (page, _) in self.tree.l0_pages() {
+            assert_eq!(page.digest(), page.block().digest(), "stale L0 digest memo");
+        }
+        let mut fresh_roots = Vec::new();
+        for level in self.tree.levels() {
+            for page in level.pages() {
+                let fresh = Page::new(
+                    page.min(),
+                    page.max(),
+                    page.records().to_vec(),
+                    page.created_at_ns(),
+                );
+                assert_eq!(page.digest(), fresh.digest(), "stale page digest memo");
+            }
+            let fresh_tree = MerkleTree::from_leaf_iter(level.pages().iter().map(|p| p.digest()));
+            assert_eq!(level.root(), fresh_tree.root(), "stale level tree");
+            fresh_roots.push(fresh_tree.root());
+        }
+        assert_eq!(self.tree.level_roots(), fresh_roots);
+        assert_eq!(
+            self.tree.global().root,
+            wedge_crypto::merkle::global_root(&fresh_roots),
+            "global cert does not cover the freshly recomputed roots"
+        );
     }
 }
 
@@ -161,7 +218,7 @@ fn level_invariants_hold() {
         for chunk in ops.chunks(batch) {
             fx.ingest_block(chunk);
             for level in fx.tree.levels() {
-                assert!(check_level_ranges(&level.pages).is_ok(), "case {case}");
+                assert!(check_level_ranges(level.pages()).is_ok(), "case {case}");
             }
         }
     }
@@ -227,18 +284,28 @@ fn tampered_proofs_rejected() {
         }
         let mut proof = build_read_proof(&fx.tree, key);
         // Tamper wherever there is material.
+        // Pages are immutable; a lying edge constructs replacements.
         let mut tampered = false;
         if let Some(w) = proof.witnesses.first_mut() {
-            if let Some(r) = w.page.records.first_mut() {
+            let mut records = w.page.records().to_vec();
+            if let Some(r) = records.first_mut() {
                 if r.value.as_ref() != Some(&tamper_value) {
                     r.value = Some(tamper_value.clone());
+                    w.page = Arc::new(Page::new(
+                        w.page.min(),
+                        w.page.max(),
+                        records,
+                        w.page.created_at_ns(),
+                    ));
                     tampered = true;
                 }
             }
         } else if let Some(w) = proof.l0.first_mut() {
-            if let Some(r) = w.page.records.first_mut() {
+            let mut records = w.page.records().to_vec();
+            if let Some(r) = records.first_mut() {
                 if r.value.as_ref() != Some(&tamper_value) {
                     r.value = Some(tamper_value.clone());
+                    w.page = Arc::new(L0Page::forged(w.page.block().clone(), records));
                     tampered = true;
                 }
             }
@@ -248,5 +315,30 @@ fn tampered_proofs_rejected() {
         }
         let read = verify_read_proof(&proof, fx.edge, fx.cloud.id, &fx.registry, u64::MAX, None);
         assert!(read.is_err(), "case {case}: tampered proof accepted");
+    }
+}
+
+/// Differential property: across random ingest/merge/read schedules,
+/// every memoized digest, level root, and the global root are
+/// byte-identical to freshly recomputed ones, and the streaming k-way
+/// merge matches the old sort-based compaction (checked per merge
+/// inside `ingest_block`).
+#[test]
+fn cached_digests_match_fresh_recompute() {
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0xD1FF ^ case);
+        let ops = rng.ops();
+        let batch = 1 + rng.below(6) as usize;
+        let mut fx = Fixture::new(LsmConfig::exposition());
+        for chunk in ops.chunks(batch) {
+            fx.ingest_block(chunk);
+            // Exercise the read path so proof construction populates
+            // any lazily computed digests before the audit.
+            let key = rng.below(80);
+            let proof = build_read_proof(&fx.tree, key);
+            verify_read_proof(&proof, fx.edge, fx.cloud.id, &fx.registry, u64::MAX, None)
+                .expect("honest proof verifies");
+            fx.assert_caches_fresh();
+        }
     }
 }
