@@ -1,529 +1,79 @@
-//! The (authenticated) client actor.
+//! The (authenticated) client actor — a thin simulator driver over the
+//! sans-IO [`ClientEngine`].
 //!
-//! Clients drive the workload and are the protocol's *verifiers*: they
-//! check Phase-I receipts, compare Phase-II proofs against what the
-//! edge promised, verify read proofs end-to-end, track gossip
-//! watermarks, and file disputes when the edge fails to deliver
-//! certification in time. All latency metrics the figures report are
-//! recorded here.
+//! All protocol logic (workload pumping, receipt/proof verification,
+//! watermark tracking, dispute filing *and its timing*) lives in
+//! [`crate::engine::client::ClientEngine`]; this actor only translates
+//! simulator messages into [`ClientCommand`]s, replays
+//! [`ClientEffect`]s into the simulation [`Context`], and keeps one
+//! simulator timer armed at the engine's
+//! [`ClientEngine::next_deadline_ns`] — it never decides when a
+//! dispute fires.
 
-use crate::config::CryptoMode;
-use crate::cost::CostModel;
-use crate::messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt};
-use crate::metrics::ClientMetrics;
+use crate::engine::{ClientCommand, ClientEffect, ClientEngine};
+use crate::messages::Msg;
 use std::any::Any;
-use std::collections::HashMap;
-use wedge_crypto::Signature;
-use wedge_crypto::{Identity, IdentityId, KeyRegistry};
-use wedge_log::{BlockId, CommitPhase, Entry, WatermarkTracker};
-use wedge_lsmerkle::{verify_read_proof, KvOp, ProofError};
-use wedge_sim::{Actor, ActorId, Context, SimDuration, SimTime, TimerId};
-use wedge_workload::{KeyDist, KeySampler};
+use std::ops::{Deref, DerefMut};
+use wedge_sim::{Actor, ActorId, Context, DeadlineTimer, TimerId};
 
-/// A client's workload plan.
-#[derive(Clone, Debug)]
-pub struct ClientPlan {
-    /// Number of write batches to issue.
-    pub write_batches: u64,
-    /// Number of interactive reads to issue.
-    pub reads: u64,
-    /// Operations per write batch.
-    pub batch_size: usize,
-    /// Value bytes per operation.
-    pub value_size: usize,
-    /// Key distribution.
-    pub key_dist: KeyDist,
-    /// Key space.
-    pub key_space: u64,
-    /// Outstanding interactive reads.
-    pub read_pipeline: usize,
-    /// Interleave reads between batches (the Fig 5b mixed mode);
-    /// otherwise writes complete before reads start.
-    pub interleave: bool,
-    /// Encode operations as KV puts (exercises LSMerkle); `false`
-    /// writes raw log entries (the Fig 6 logging workload).
-    pub kv: bool,
-}
+pub use crate::engine::client::{ClientPlan, GetOutcome, PutOutcome};
 
-impl ClientPlan {
-    /// An idle plan (for harness-driven single operations).
-    pub fn idle() -> Self {
-        ClientPlan {
-            write_batches: 0,
-            reads: 0,
-            batch_size: 1,
-            value_size: 100,
-            key_dist: KeyDist::Uniform,
-            key_space: 100_000,
-            read_pipeline: 1,
-            interleave: false,
-            kv: true,
-        }
-    }
-
-    /// A pure batch-writer plan.
-    pub fn writer(batches: u64, batch_size: usize, value_size: usize, key_space: u64) -> Self {
-        ClientPlan {
-            write_batches: batches,
-            batch_size,
-            value_size,
-            key_space,
-            ..ClientPlan::idle()
-        }
-    }
-
-    /// A pure interactive-reader plan.
-    pub fn reader(reads: u64, pipeline: usize, key_space: u64) -> Self {
-        ClientPlan { reads, read_pipeline: pipeline.max(1), key_space, ..ClientPlan::idle() }
-    }
-}
-
-/// Outcome of a harness-driven single put.
-#[derive(Clone, Debug)]
-pub struct PutOutcome {
-    /// The block the put landed in.
-    pub bid: BlockId,
-    /// Phase-I commit latency.
-    pub phase1_latency: SimDuration,
-    /// Phase-II commit latency (None until certified).
-    pub phase2_latency: Option<SimDuration>,
-}
-
-/// Outcome of a harness-driven single get.
-#[derive(Clone, Debug)]
-pub struct GetOutcome {
-    /// The verified value (`None` = absent/deleted).
-    pub value: Option<Vec<u8>>,
-    /// End-to-end latency including verification.
-    pub latency: SimDuration,
-    /// Phase of the read (Phase I if any L0 page was uncertified).
-    pub phase: CommitPhase,
-    /// Set when verification failed (edge caught lying).
-    pub verify_error: Option<ProofError>,
-}
-
-/// The client state machine.
+/// The client actor: the shared engine plus its simulator wiring.
 pub struct ClientNode {
-    identity: Identity,
+    /// The protocol state machine (shared with the threaded runtime).
+    pub engine: ClientEngine,
     edge: ActorId,
     cloud: ActorId,
-    edge_identity: IdentityId,
-    cloud_identity: IdentityId,
-    registry: KeyRegistry,
-    cost: CostModel,
-    crypto_mode: CryptoMode,
-    plan: ClientPlan,
-    sampler: KeySampler,
-    freshness_window_ns: Option<u64>,
-    dispute_timeout: SimDuration,
-    // --- progress ---
-    next_req: u64,
-    next_seq: u64,
-    batches_done: u64,
-    reads_issued: u64,
-    reads_finished: u64,
-    burst_remaining: u64,
-    outstanding_batch: Option<(u64, SimTime)>,
-    outstanding_reads: HashMap<u64, (u64, SimTime, u32)>, // req -> (key, sent, retries)
-    pending_p2: HashMap<BlockId, (AddReceipt, SimTime, TimerId)>,
-    /// Phase-I log reads awaiting audit.
-    pending_log_reads: HashMap<BlockId, ReadReceipt>,
-    /// Gossip watermark tracker (omission detection).
-    pub watermarks: WatermarkTracker,
-    /// Everything measured.
-    pub metrics: ClientMetrics,
-    /// Set once the edge is known punished; workload stops.
-    pub halted: bool,
-    /// Harness-driven single-op results.
-    pub last_put: Option<PutOutcome>,
-    last_put_bid: Option<BlockId>,
-    /// Harness-driven single-get result.
-    pub last_get: Option<GetOutcome>,
+    timer: DeadlineTimer,
 }
 
 impl ClientNode {
-    /// Creates a client bound to its partition's edge node.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        identity: Identity,
-        edge: ActorId,
-        cloud: ActorId,
-        edge_identity: IdentityId,
-        cloud_identity: IdentityId,
-        registry: KeyRegistry,
-        cost: CostModel,
-        crypto_mode: CryptoMode,
-        plan: ClientPlan,
-        freshness_window_ns: Option<u64>,
-        dispute_timeout: SimDuration,
-    ) -> Self {
-        let sampler = KeySampler::new(plan.key_dist.clone(), plan.key_space);
-        ClientNode {
-            identity,
-            edge,
-            cloud,
-            edge_identity,
-            cloud_identity,
-            registry,
-            cost,
-            crypto_mode,
-            plan,
-            sampler,
-            freshness_window_ns,
-            dispute_timeout,
-            next_req: 0,
-            next_seq: 0,
-            batches_done: 0,
-            reads_issued: 0,
-            reads_finished: 0,
-            burst_remaining: 0,
-            outstanding_batch: None,
-            outstanding_reads: HashMap::new(),
-            pending_p2: HashMap::new(),
-            pending_log_reads: HashMap::new(),
-            watermarks: WatermarkTracker::new(),
-            metrics: ClientMetrics::default(),
-            halted: false,
-            last_put: None,
-            last_put_bid: None,
-            last_get: None,
-        }
+    /// Creates a client actor around an engine, bound to its
+    /// partition's edge actor and the cloud actor.
+    pub fn new(engine: ClientEngine, edge: ActorId, cloud: ActorId) -> Self {
+        ClientNode { engine, edge, cloud, timer: DeadlineTimer::new() }
     }
 
-    /// This client's identity id.
-    pub fn id(&self) -> IdentityId {
-        self.identity.id
-    }
-
-    fn make_entry(&mut self, payload: Vec<u8>) -> Entry {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        match self.crypto_mode {
-            CryptoMode::Real => Entry::new_signed(&self.identity, seq, payload),
-            CryptoMode::Modeled => Entry {
-                client: self.identity.id,
-                sequence: seq,
-                payload,
-                signature: Signature { e: 0, s: 0 },
-            },
-        }
-    }
-
-    fn send_batch(&mut self, ctx: &mut Context<'_, Msg>) {
-        let mut entries = Vec::with_capacity(self.plan.batch_size);
-        for _ in 0..self.plan.batch_size {
-            let key = self.sampler.sample(ctx.rng());
-            let payload = if self.plan.kv {
-                KvOp::put(key, vec![0xAB; self.plan.value_size]).encode()
-            } else {
-                let mut raw = vec![0xCD; self.plan.value_size];
-                raw.extend_from_slice(&key.to_be_bytes());
-                raw
-            };
-            entries.push(self.make_entry(payload));
-        }
-        let req_id = self.next_req;
-        self.next_req += 1;
-        let msg = Msg::BatchAdd { req_id, entries };
-        let sz = msg.wire_size();
-        self.outstanding_batch = Some((req_id, ctx.now_with_cpu()));
-        ctx.send(self.edge, msg, sz);
-    }
-
-    fn send_read(&mut self, ctx: &mut Context<'_, Msg>, key: Option<u64>, retries: u32) {
-        let key = key.unwrap_or_else(|| self.sampler.sample(ctx.rng()));
-        let req_id = self.next_req;
-        self.next_req += 1;
-        self.outstanding_reads.insert(req_id, (key, ctx.now_with_cpu(), retries));
-        ctx.send(self.edge, Msg::Get { req_id, key }, 24);
-    }
-
-    /// Advances the workload: issues the next batch and/or fills the
-    /// read pipeline, and records completion.
-    fn pump(&mut self, ctx: &mut Context<'_, Msg>) {
-        if self.halted {
-            return;
-        }
-        let batches_left = self.plan.write_batches.saturating_sub(self.batches_done);
-        let reads_left = self.plan.reads.saturating_sub(self.reads_issued);
-
-        // Interleave: a read burst runs between batches.
-        if self.plan.interleave && self.burst_remaining > 0 {
-            if self.reads_issued >= self.plan.reads {
-                self.burst_remaining = 0; // read budget exhausted
-            }
-            while self.outstanding_reads.len() < self.plan.read_pipeline
-                && self.burst_remaining > 0
-                && self.reads_issued < self.plan.reads
-            {
-                self.send_read(ctx, None, 0);
-                self.reads_issued += 1;
-                self.burst_remaining -= 1;
-            }
-            if !self.outstanding_reads.is_empty() || self.burst_remaining > 0 {
-                return;
+    fn run(&mut self, ctx: &mut Context<'_, Msg>, cmd: ClientCommand) {
+        for effect in self.engine.handle(cmd, ctx.now().as_nanos()) {
+            match effect {
+                ClientEffect::UseCpu(d) => ctx.use_cpu(d),
+                ClientEffect::SendEdge { msg, wire } => ctx.send(self.edge, msg, wire),
+                ClientEffect::SendCloud { msg, wire } => ctx.send(self.cloud, msg, wire),
+                // Completion routing is a real-runtime concern; sim
+                // harnesses read engine state directly.
+                ClientEffect::Notify(_) => {}
             }
         }
-
-        if batches_left > 0 {
-            if self.outstanding_batch.is_none() {
-                self.send_batch(ctx);
-            }
-            return;
-        }
-
-        // Writes finished: drain the remaining reads.
-        if reads_left > 0 {
-            while self.outstanding_reads.len() < self.plan.read_pipeline
-                && self.reads_issued < self.plan.reads
-            {
-                self.send_read(ctx, None, 0);
-                self.reads_issued += 1;
-            }
-            return;
-        }
-
-        // All issued; finished when nothing is outstanding.
-        if self.outstanding_batch.is_none()
-            && self.outstanding_reads.is_empty()
-            && self.metrics.finished_at.is_none()
-            && (self.plan.write_batches > 0 || self.plan.reads > 0)
-        {
-            self.metrics.finished_at = Some(ctx.now());
-        }
-    }
-
-    fn handle_add_response(&mut self, ctx: &mut Context<'_, Msg>, receipt: AddReceipt) {
-        if self.crypto_mode == CryptoMode::Real && !receipt.verify(&self.registry) {
-            return; // an unverifiable promise is no promise
-        }
-        ctx.use_cpu(SimDuration::from_nanos(self.cost.verify_ns));
-        let Some((req_id, sent_at)) = self.outstanding_batch.take() else {
-            return;
-        };
-        if receipt.req_id != req_id {
-            self.outstanding_batch = Some((req_id, sent_at));
-            return;
-        }
-        // Phase I commit (Definition 1): we hold signed evidence.
-        let latency = ctx.now().since(sent_at);
-        self.metrics.p1_latency.record(latency.as_millis_f64());
-        self.batches_done += 1;
-        self.metrics.ops_p1 += self.plan.batch_size as u64;
-        self.metrics.p1_timeline.record(ctx.now(), self.batches_done);
-        if self.last_put_bid.is_none() && self.plan.write_batches == 0 {
-            // Harness-driven single put.
-            self.last_put_bid = Some(receipt.bid);
-            self.last_put = Some(PutOutcome {
-                bid: receipt.bid,
-                phase1_latency: latency,
-                phase2_latency: None,
-            });
-        }
-        let timer = ctx.set_timer(self.dispute_timeout, receipt.bid.0);
-        self.pending_p2.insert(receipt.bid, (receipt, sent_at, timer));
-        if self.plan.interleave {
-            self.burst_remaining = self.plan.batch_size as u64;
-        }
-        self.pump(ctx);
-    }
-
-    fn handle_block_proof(&mut self, ctx: &mut Context<'_, Msg>, proof: wedge_log::BlockProof) {
-        let Some((receipt, sent_at, timer)) = self.pending_p2.remove(&proof.bid) else {
-            return;
-        };
-        ctx.use_cpu(SimDuration::from_nanos(self.cost.verify_ns));
-        if !proof.verify(self.cloud_identity, &self.registry) {
-            // Forged proof: keep waiting (timer still armed).
-            self.pending_p2.insert(proof.bid, (receipt, sent_at, timer));
-            return;
-        }
-        ctx.cancel_timer(timer);
-        if proof.digest != receipt.block_digest {
-            // The cloud certified a different digest than the edge
-            // promised us — the edge lied. Dispute with our receipt.
-            self.metrics.disputes_filed += 1;
-            let msg = Msg::DisputeMsg(Box::new(Dispute::MissingCertification { receipt }));
-            ctx.send(self.cloud, msg, 256);
-            return;
-        }
-        // Phase II commit (Definition 2).
-        let latency = ctx.now().since(sent_at);
-        self.metrics.p2_latency.record(latency.as_millis_f64());
-        self.metrics.ops_p2 += receipt_ops(&self.plan);
-        self.metrics
-            .p2_timeline
-            .record(ctx.now(), self.metrics.ops_p2 / self.plan.batch_size.max(1) as u64);
-        if self.last_put_bid == Some(proof.bid) {
-            if let Some(p) = self.last_put.as_mut() {
-                p.phase2_latency = Some(latency);
-            }
-        }
-    }
-
-    fn handle_get_response(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        req_id: u64,
-        proof: wedge_lsmerkle::IndexReadProof,
-    ) {
-        let Some((key, sent_at, retries)) = self.outstanding_reads.remove(&req_id) else {
-            return;
-        };
-        ctx.use_cpu(self.cost.verify_read());
-        let result = verify_read_proof(
-            &proof,
-            self.edge_identity,
-            self.cloud_identity,
-            &self.registry,
-            ctx.now().as_nanos(),
-            self.freshness_window_ns,
-        );
-        match result {
-            Ok(read) => {
-                let latency = ctx.now().since(sent_at);
-                self.metrics.read_latency.record(latency.as_millis_f64());
-                self.metrics.reads_ok += 1;
-                self.reads_finished += 1;
-                if self.plan.reads == 0 {
-                    self.last_get = Some(GetOutcome {
-                        value: read.value,
-                        latency,
-                        phase: read.phase,
-                        verify_error: None,
-                    });
-                }
-            }
-            Err(ProofError::Stale { .. }) if retries < 3 => {
-                // §V-D: retry a stale read.
-                self.metrics.stale_rejected += 1;
-                self.send_read(ctx, Some(key), retries + 1);
-                return;
-            }
-            Err(e) => {
-                self.metrics.reads_rejected += 1;
-                self.reads_finished += 1;
-                if self.plan.reads == 0 {
-                    self.last_get = Some(GetOutcome {
-                        value: None,
-                        latency: ctx.now().since(sent_at),
-                        phase: CommitPhase::Phase1,
-                        verify_error: Some(e),
-                    });
-                }
-            }
-        }
-        self.pump(ctx);
+        self.timer.resync(ctx, self.engine.next_deadline_ns());
     }
 }
 
-fn receipt_ops(plan: &ClientPlan) -> u64 {
-    plan.batch_size.max(1) as u64
+/// The actor is, protocol-wise, its engine: state access in harnesses,
+/// tests and benches goes straight through.
+impl Deref for ClientNode {
+    type Target = ClientEngine;
+
+    fn deref(&self) -> &Self::Target {
+        &self.engine
+    }
+}
+
+impl DerefMut for ClientNode {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.engine
+    }
 }
 
 impl Actor<Msg> for ClientNode {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ActorId, msg: Msg) {
-        match msg {
-            Msg::Start => self.pump(ctx),
-            Msg::AddResponse { receipt } => self.handle_add_response(ctx, receipt),
-            Msg::BlockProofForward(proof) => self.handle_block_proof(ctx, proof),
-            Msg::GetResponse { req_id, proof } => self.handle_get_response(ctx, req_id, *proof),
-            Msg::GossipForward(wm) | Msg::Gossip(wm)
-                if wm.verify(self.cloud_identity, &self.registry) =>
-            {
-                self.watermarks.record(wm);
-            }
-            Msg::LogReadResponse { receipt, block, proof } => {
-                // Omission detection via watermark (§IV-E).
-                if receipt.digest.is_none()
-                    && self.watermarks.detects_omission(self.edge_identity, receipt.bid.0)
-                {
-                    self.metrics.disputes_filed += 1;
-                    let wm = self
-                        .watermarks
-                        .latest(self.edge_identity)
-                        .expect("detects_omission implies a watermark")
-                        .clone();
-                    let msg =
-                        Msg::DisputeMsg(Box::new(Dispute::Omission { receipt, watermark: wm }));
-                    ctx.send(self.cloud, msg, 256);
-                    return;
-                }
-                // Phase-II read: verify proof against block digest.
-                if let (Some(block), Some(p)) = (&block, &proof) {
-                    let ok = p.verify(self.cloud_identity, &self.registry)
-                        && p.digest == block.digest()
-                        && p.bid == receipt.bid;
-                    if !ok {
-                        // Served content contradicts certification.
-                        self.metrics.disputes_filed += 1;
-                        let msg = Msg::DisputeMsg(Box::new(Dispute::WrongRead { receipt }));
-                        ctx.send(self.cloud, msg, 256);
-                    }
-                } else if block.is_some() {
-                    // Phase-I read: hold the receipt; a timer audits it.
-                    ctx.set_timer(self.dispute_timeout, u64::MAX - receipt.bid.0);
-                    self.pending_log_reads.insert(receipt.bid, receipt);
-                }
-            }
-            Msg::VerdictMsg(DisputeVerdict::EdgePunished { .. }) => {
-                self.metrics.disputes_upheld += 1;
-                self.halted = true;
-                if self.metrics.finished_at.is_none() {
-                    self.metrics.finished_at = Some(ctx.now());
-                }
-            }
-            Msg::DoPut { key, value } => {
-                let payload = KvOp::put(key, value).encode();
-                let entry = self.make_entry(payload);
-                let req_id = self.next_req;
-                self.next_req += 1;
-                self.last_put = None;
-                self.last_put_bid = None;
-                let msg = Msg::BatchAdd { req_id, entries: vec![entry] };
-                let sz = msg.wire_size();
-                self.outstanding_batch = Some((req_id, ctx.now_with_cpu()));
-                ctx.send(self.edge, msg, sz);
-            }
-            Msg::DoGet { key } => {
-                self.last_get = None;
-                self.send_read(ctx, Some(key), 0);
-            }
-            Msg::DoLogRead { bid } => {
-                ctx.send(self.edge, Msg::LogRead { bid }, 16);
-            }
-            _ => {}
-        }
+        let Some(cmd) = ClientCommand::from_msg(msg) else { return };
+        self.run(ctx, cmd);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _timer: TimerId, tag: u64) {
-        // Dispute timers: high tags audit Phase-I log reads, low tags
-        // audit pending Phase-II adds.
-        if tag > u64::MAX / 2 {
-            let bid = BlockId(u64::MAX - tag);
-            if let Some(receipt) = self.pending_log_reads.remove(&bid) {
-                self.metrics.disputes_filed += 1;
-                ctx.send(
-                    self.cloud,
-                    Msg::DisputeMsg(Box::new(Dispute::WrongRead { receipt })),
-                    256,
-                );
-            }
-            return;
-        }
-        let bid = BlockId(tag);
-        if let Some((receipt, sent, timer)) = self.pending_p2.remove(&bid) {
-            // Phase II never arrived: dispute with our signed evidence.
-            self.metrics.disputes_filed += 1;
-            let msg = Msg::DisputeMsg(Box::new(Dispute::MissingCertification {
-                receipt: receipt.clone(),
-            }));
-            ctx.send(self.cloud, msg, 256);
-            // Keep the receipt: if the verdict is Dismissed the cloud
-            // re-sends the proof and Phase II can still complete (the
-            // edge was lazy, not lying). The timer has already fired,
-            // so no second dispute is possible.
-            self.pending_p2.insert(bid, (receipt, sent, timer));
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, timer: TimerId, _tag: u64) {
+        if self.timer.should_tick(ctx, timer, self.engine.next_deadline_ns()) {
+            self.run(ctx, ClientCommand::Tick);
         }
     }
 

@@ -2,10 +2,12 @@
 //! sans-IO [`CloudEngine`].
 //!
 //! All protocol logic (certification ledger, merge verification,
-//! dispute rulings, punishment, gossip content) lives in
-//! [`crate::engine::cloud::CloudEngine`]; this actor only arms the
-//! gossip timer and translates messages/effects to and from the
-//! simulation [`Context`].
+//! dispute rulings, punishment, gossip content *and cadence*) lives in
+//! [`crate::engine::cloud::CloudEngine`]; this actor only translates
+//! messages/effects to and from the simulation [`Context`] and keeps
+//! one simulator timer armed at the engine's
+//! [`CloudEngine::next_deadline_ns`] — it never decides when gossip
+//! happens.
 
 use crate::cost::CostModel;
 use crate::engine::{CloudCommand, CloudEffect, CloudEngine};
@@ -15,7 +17,7 @@ use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_lsmerkle::CloudIndex;
-use wedge_sim::{Actor, ActorId, Context, SimDuration, TimerId};
+use wedge_sim::{Actor, ActorId, Context, DeadlineTimer, TimerId};
 
 pub use crate::engine::CloudStats;
 
@@ -23,21 +25,22 @@ pub use crate::engine::CloudStats;
 pub struct CloudNode {
     /// The protocol state machine (shared with the threaded runtime).
     pub engine: CloudEngine<ActorId>,
-    gossip_period: Option<SimDuration>,
+    timer: DeadlineTimer,
 }
 
 impl CloudNode {
-    /// Creates the cloud node.
+    /// Creates the cloud node. `gossip_period_ns` is handed to the
+    /// engine, which owns the cadence.
     pub fn new(
         identity: Identity,
         registry: KeyRegistry,
         cost: CostModel,
         index: CloudIndex,
         edges: HashMap<ActorId, IdentityId>,
-        gossip_period: Option<SimDuration>,
+        gossip_period_ns: Option<u64>,
     ) -> Self {
-        let engine = CloudEngine::new(identity, registry, cost, index, edges);
-        CloudNode { engine, gossip_period }
+        let engine = CloudEngine::new(identity, registry, cost, index, edges, gossip_period_ns);
+        CloudNode { engine, timer: DeadlineTimer::new() }
     }
 
     fn run(&mut self, ctx: &mut Context<'_, Msg>, cmd: CloudCommand<ActorId>) {
@@ -47,6 +50,7 @@ impl CloudNode {
                 CloudEffect::Send { to, msg, wire } => ctx.send(to, msg, wire),
             }
         }
+        self.timer.resync(ctx, self.engine.next_deadline_ns());
     }
 }
 
@@ -68,15 +72,12 @@ impl DerefMut for CloudNode {
 
 impl Actor<Msg> for CloudNode {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-        if let Some(p) = self.gossip_period {
-            ctx.set_timer(p, 0);
-        }
+        self.timer.resync(ctx, self.engine.next_deadline_ns());
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _timer: TimerId, _tag: u64) {
-        self.run(ctx, CloudCommand::GossipTick);
-        if let Some(p) = self.gossip_period {
-            ctx.set_timer(p, 0);
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, timer: TimerId, _tag: u64) {
+        if self.timer.should_tick(ctx, timer, self.engine.next_deadline_ns()) {
+            self.run(ctx, CloudCommand::Tick);
         }
     }
 

@@ -47,6 +47,10 @@ pub struct SystemConfig {
     pub gossip_period_ms: u64,
     /// How long a client waits for Phase II before disputing (ms).
     pub dispute_timeout_ms: u64,
+    /// How long an edge waits for a certification acknowledgement
+    /// before re-sending (ms); `None` disables retries. The retry
+    /// clock is engine-owned (`EdgeEngine::next_deadline_ns`).
+    pub cert_retry_ms: Option<u64>,
     /// Read freshness window (ms); `None` disables the check (§V-D).
     pub freshness_window_ms: Option<u64>,
     /// RNG seed for deterministic runs.
@@ -73,6 +77,7 @@ impl Default for SystemConfig {
             crypto_mode: CryptoMode::Modeled,
             gossip_period_ms: 1_000,
             dispute_timeout_ms: 5_000,
+            cert_retry_ms: None,
             freshness_window_ms: None,
             seed: 42,
             data_free: true,

@@ -17,7 +17,7 @@ use std::any::Any;
 use std::ops::{Deref, DerefMut};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_lsmerkle::LsMerkle;
-use wedge_sim::{Actor, ActorId, Context};
+use wedge_sim::{Actor, ActorId, Context, DeadlineTimer, TimerId};
 
 pub use crate::engine::EdgeStats;
 
@@ -26,6 +26,7 @@ pub struct EdgeNode {
     /// The protocol state machine (shared with the threaded runtime).
     pub engine: EdgeEngine<ActorId>,
     cloud: ActorId,
+    timer: DeadlineTimer,
 }
 
 impl EdgeNode {
@@ -56,7 +57,23 @@ impl EdgeNode {
             tree,
             clients,
         );
-        EdgeNode { engine, cloud }
+        EdgeNode { engine, cloud, timer: DeadlineTimer::new() }
+    }
+
+    fn run(&mut self, ctx: &mut Context<'_, Msg>, cmd: EdgeCommand<ActorId>) {
+        let cloud = self.cloud;
+        for effect in self.engine.handle(cmd, ctx.now().as_nanos()) {
+            match effect {
+                EdgeEffect::UseCpu(d) => ctx.use_cpu(d),
+                EdgeEffect::UseCpuBackground(d) => ctx.use_cpu_background(d),
+                EdgeEffect::Send { to, msg, wire } => ctx.send(to, msg, wire),
+                EdgeEffect::SendCloud { msg, wire, dispatch: Some(cost) } => {
+                    ctx.send_background(cloud, msg, wire, cost)
+                }
+                EdgeEffect::SendCloud { msg, wire, dispatch: None } => ctx.send(cloud, msg, wire),
+            }
+        }
+        self.timer.resync(ctx, self.engine.next_deadline_ns());
     }
 }
 
@@ -79,17 +96,12 @@ impl DerefMut for EdgeNode {
 impl Actor<Msg> for EdgeNode {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, msg: Msg) {
         let Some(cmd) = EdgeCommand::from_msg(from, msg) else { return };
-        let cloud = self.cloud;
-        for effect in self.engine.handle(cmd, ctx.now().as_nanos()) {
-            match effect {
-                EdgeEffect::UseCpu(d) => ctx.use_cpu(d),
-                EdgeEffect::UseCpuBackground(d) => ctx.use_cpu_background(d),
-                EdgeEffect::Send { to, msg, wire } => ctx.send(to, msg, wire),
-                EdgeEffect::SendCloud { msg, wire, dispatch: Some(cost) } => {
-                    ctx.send_background(cloud, msg, wire, cost)
-                }
-                EdgeEffect::SendCloud { msg, wire, dispatch: None } => ctx.send(cloud, msg, wire),
-            }
+        self.run(ctx, cmd);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, timer: TimerId, _tag: u64) {
+        if self.timer.should_tick(ctx, timer, self.engine.next_deadline_ns()) {
+            self.run(ctx, EdgeCommand::Tick);
         }
     }
 

@@ -8,8 +8,11 @@
 //!
 //! The engine is generic over the peer handle type `P` (the simulator
 //! instantiates `P = ActorId`, the threaded runtime a fixed peer
-//! index). Gossip rounds are driven by the runtime (a timer in the
-//! simulator) via [`CloudCommand::GossipTick`].
+//! index). The engine also owns its *clock*: the gossip cadence is
+//! engine state exposed through [`CloudEngine::next_deadline_ns`], and
+//! every runtime drives it the same way — deliver messages, and call
+//! `handle(CloudCommand::Tick, now)` once `now` reaches the deadline.
+//! No driver decides *when* to gossip; it only supplies time.
 
 use crate::cost::CostModel;
 use crate::messages::{certify_signing_bytes, Dispute, DisputeVerdict, Msg};
@@ -69,8 +72,10 @@ pub enum CloudCommand<P> {
         /// The dispute.
         dispute: Box<Dispute>,
     },
-    /// Runtime-driven gossip round (a timer in the simulator).
-    GossipTick,
+    /// Time passed: the runtime observed `now >=`
+    /// [`CloudEngine::next_deadline_ns`]. The engine decides what is
+    /// due (currently: a gossip round) — ticking early is a no-op.
+    Tick,
 }
 
 impl<P> CloudCommand<P> {
@@ -123,18 +128,25 @@ pub struct CloudEngine<P> {
     edges: HashMap<P, IdentityId>,
     /// Punished edges (also revoked in `registry`).
     pub punished: HashSet<IdentityId>,
+    /// Gossip cadence (ns); `None` disables gossip.
+    gossip_period_ns: Option<u64>,
+    /// Absolute time of the next gossip round.
+    next_gossip_at_ns: Option<u64>,
     /// Counters.
     pub stats: CloudStats,
 }
 
 impl<P: Copy + Eq + Hash> CloudEngine<P> {
-    /// Creates the cloud engine.
+    /// Creates the cloud engine. `gossip_period_ns` arms the first
+    /// gossip round one period after the epoch (time zero); `None`
+    /// disables gossip entirely.
     pub fn new(
         identity: Identity,
         registry: KeyRegistry,
         cost: CostModel,
         index: CloudIndex,
         edges: HashMap<P, IdentityId>,
+        gossip_period_ns: Option<u64>,
     ) -> Self {
         CloudEngine {
             identity,
@@ -144,6 +156,8 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
             index,
             edges,
             punished: HashSet::new(),
+            gossip_period_ns,
+            next_gossip_at_ns: gossip_period_ns,
             stats: CloudStats::default(),
         }
     }
@@ -151,6 +165,14 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
     /// The cloud's identity id.
     pub fn id(&self) -> IdentityId {
         self.identity.id
+    }
+
+    /// Earliest absolute time (ns) at which this engine has time-driven
+    /// work. The driver's contract: call `handle(CloudCommand::Tick,
+    /// now)` once `now >= next_deadline_ns()`; never schedule protocol
+    /// work itself.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        self.next_gossip_at_ns
     }
 
     /// Processes one command at time `now_ns`, returning the effects
@@ -163,9 +185,22 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
             }
             CloudCommand::Merge { from, req } => self.merge(&mut out, from, *req, now_ns),
             CloudCommand::Dispute { from, dispute } => self.dispute(&mut out, from, *dispute),
-            CloudCommand::GossipTick => self.gossip_round(&mut out, now_ns),
+            CloudCommand::Tick => self.tick(&mut out, now_ns),
         }
         out
+    }
+
+    fn tick(&mut self, out: &mut Vec<CloudEffect<P>>, now_ns: u64) {
+        let (Some(period), Some(at)) = (self.gossip_period_ns, self.next_gossip_at_ns) else {
+            return;
+        };
+        if now_ns < at {
+            return; // early tick: nothing due yet
+        }
+        self.gossip_round(out, now_ns);
+        // Re-arm from the observed tick time (not the scheduled time):
+        // a late tick shifts the cadence rather than bunching rounds.
+        self.next_gossip_at_ns = Some(now_ns + period);
     }
 
     fn punish(&mut self, edge: IdentityId, reason: RevocationReason) {

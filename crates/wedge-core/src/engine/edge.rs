@@ -45,6 +45,8 @@ pub struct EdgeStats {
     pub gets_served: u64,
     /// Log reads served.
     pub log_reads_served: u64,
+    /// Certification requests re-sent after a retry deadline expired.
+    pub certs_retried: u64,
     /// Set when the cloud rejected one of our certifications.
     pub flagged_malicious: bool,
 }
@@ -91,6 +93,10 @@ pub enum EdgeCommand<C> {
     GlobalRefresh(GlobalRootCert),
     /// A cloud gossip watermark to fan out to the partition's clients.
     Gossip(GossipWatermark),
+    /// Time passed: the runtime observed `now >=`
+    /// [`EdgeEngine::next_deadline_ns`]. The engine re-sends overdue
+    /// certification requests — ticking early is a no-op.
+    Tick,
 }
 
 impl<C> EdgeCommand<C> {
@@ -167,8 +173,22 @@ pub struct EdgeEngine<C> {
     /// All clients of this partition (gossip fan-out).
     clients: Vec<C>,
     merge_in_flight: Option<MergeRequest>,
+    /// Re-send a certification this long after sending it without an
+    /// acknowledgement; `None` disables retries (trust the transport).
+    cert_retry_ns: Option<u64>,
+    /// Certifications awaiting the cloud's proof: the digest we
+    /// certified (honest or tampered — a retry must repeat the same
+    /// claim) and the absolute retry deadline.
+    pending_certs: HashMap<BlockId, PendingCert>,
     /// Counters.
     pub stats: EdgeStats,
+}
+
+/// An unacknowledged certification request.
+struct PendingCert {
+    digest: wedge_crypto::Digest,
+    wire: u32,
+    deadline_ns: u64,
 }
 
 impl<C: Copy + Eq + Hash> EdgeEngine<C> {
@@ -203,6 +223,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             block_clients: HashMap::new(),
             clients,
             merge_in_flight: None,
+            cert_retry_ns: None,
+            pending_certs: HashMap::new(),
             stats: EdgeStats::default(),
         }
     }
@@ -210,6 +232,20 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
     /// This edge's identity id.
     pub fn id(&self) -> IdentityId {
         self.identity.id
+    }
+
+    /// Enables certification retries: an unacknowledged block-certify
+    /// is re-sent every `retry_ns` until the cloud answers.
+    pub fn set_cert_retry_ns(&mut self, retry_ns: Option<u64>) {
+        self.cert_retry_ns = retry_ns;
+    }
+
+    /// Earliest absolute time (ns) at which this engine has time-driven
+    /// work (the soonest certification-retry deadline). The driver's
+    /// contract: call `handle(EdgeCommand::Tick, now)` once
+    /// `now >= next_deadline_ns()`; never schedule retries itself.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        self.pending_certs.values().map(|p| p.deadline_ns).min()
     }
 
     /// Aligns the block-id counter with externally injected state
@@ -233,7 +269,11 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             EdgeCommand::Get { from, req_id, key } => self.get(&mut out, from, req_id, key),
             EdgeCommand::BlockProof(proof) => self.block_proof(&mut out, proof),
             EdgeCommand::MergeResult(result) => self.merge_result(&mut out, *result),
-            EdgeCommand::CertRejected { .. } => self.stats.flagged_malicious = true,
+            EdgeCommand::CertRejected { bid } => {
+                self.stats.flagged_malicious = true;
+                self.pending_certs.remove(&bid); // retrying cannot help
+            }
+            EdgeCommand::Tick => self.tick(&mut out, now_ns),
             EdgeCommand::GlobalRefresh(cert) => {
                 if let Some(freeze) = self.fault.freeze_after_epoch {
                     if self.tree.epoch() >= freeze {
@@ -343,6 +383,43 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             wire,
             dispatch: Some(self.cost.certify_dispatch(ops)),
         });
+        if let Some(retry) = self.cert_retry_ns {
+            self.pending_certs.insert(
+                bid,
+                PendingCert { digest: cert_digest, wire, deadline_ns: now_ns + retry },
+            );
+        }
+    }
+
+    /// Re-sends every certification whose retry deadline expired. The
+    /// retried request repeats the *original* claim (including a
+    /// tampered digest — equivocation does not become honesty on
+    /// retry) and re-arms its deadline.
+    fn tick(&mut self, out: &mut Vec<EdgeEffect<C>>, now_ns: u64) {
+        let Some(retry) = self.cert_retry_ns else { return };
+        let mut due: Vec<BlockId> = self
+            .pending_certs
+            .iter()
+            .filter(|(_, p)| p.deadline_ns <= now_ns)
+            .map(|(bid, _)| *bid)
+            .collect();
+        due.sort_unstable(); // deterministic resend order
+        for bid in due {
+            let pending = self.pending_certs.get_mut(&bid).expect("collected above");
+            pending.deadline_ns = now_ns + retry;
+            let digest = pending.digest;
+            let wire = pending.wire;
+            let signature =
+                self.identity.sign(&certify_signing_bytes(self.identity.id, bid, &digest));
+            self.stats.certs_retried += 1;
+            self.stats.wan_bytes_to_cloud += wire as u64;
+            self.stats.cert_bytes_to_cloud += wire as u64;
+            out.push(EdgeEffect::SendCloud {
+                msg: Msg::BlockCertify { bid, digest, signature },
+                wire,
+                dispatch: Some(self.cost.certify_dispatch(1)),
+            });
+        }
     }
 
     fn log_read(&mut self, out: &mut Vec<EdgeEffect<C>>, from: C, bid: BlockId) {
@@ -391,6 +468,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         }
         out.push(EdgeEffect::UseCpu(SimDuration::from_nanos(self.cost.verify_ns)));
         let bid = proof.bid;
+        self.pending_certs.remove(&bid);
         self.stats.certs_acked += 1;
         self.log.attach_proof(proof.clone());
         self.tree.attach_block_proof(proof.clone());
@@ -444,5 +522,111 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             dispatch: Some(SimDuration::from_micros(100)),
         });
         self.merge_in_flight = Some(req);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_lsmerkle::{CloudIndex, LsmConfig};
+
+    fn engine(retry_ns: Option<u64>, fault: FaultPlan) -> (EdgeEngine<u8>, Identity) {
+        let cloud = Identity::derive("cloud", 1);
+        let edge = Identity::derive("edge", 100);
+        let mut registry = KeyRegistry::new();
+        registry.register(cloud.id, cloud.public()).unwrap();
+        registry.register(edge.id, edge.public()).unwrap();
+        let mut index = CloudIndex::new(LsmConfig::exposition());
+        let init = index.init_edge(&cloud, edge.id, 0);
+        let tree = LsMerkle::new(edge.id, LsmConfig::exposition(), init);
+        let mut engine = EdgeEngine::new(
+            edge,
+            cloud.id,
+            registry,
+            CostModel::default(),
+            CryptoMode::Modeled,
+            fault,
+            tree,
+            vec![0u8],
+        );
+        engine.set_cert_retry_ns(retry_ns);
+        (engine, cloud)
+    }
+
+    fn entry(seq: u64) -> Entry {
+        use wedge_crypto::Signature;
+        Entry {
+            client: IdentityId(1000),
+            sequence: seq,
+            payload: wedge_lsmerkle::KvOp::put(seq, b"v".to_vec()).encode(),
+            signature: Signature { e: 0, s: 0 },
+        }
+    }
+
+    fn certify_digests(effects: &[EdgeEffect<u8>]) -> Vec<wedge_crypto::Digest> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                EdgeEffect::SendCloud { msg: Msg::BlockCertify { digest, .. }, .. } => {
+                    Some(*digest)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The engine-owned retry clock: an unacknowledged certification
+    /// re-sends the same claim at each deadline; the acknowledgement
+    /// clears the deadline. No driver schedules anything.
+    #[test]
+    fn cert_retry_is_engine_owned() {
+        let (mut engine, cloud) = engine(Some(1_000), FaultPlan::honest());
+        let effects = engine
+            .handle(EdgeCommand::BatchAdd { from: 0, req_id: 0, entries: vec![entry(0)] }, 100);
+        let sent = certify_digests(&effects);
+        assert_eq!(sent.len(), 1, "certification dispatched");
+        assert_eq!(engine.next_deadline_ns(), Some(1_100), "retry deadline armed");
+
+        // Ticking early is a no-op.
+        assert!(certify_digests(&engine.handle(EdgeCommand::Tick, 500)).is_empty());
+        assert_eq!(engine.stats.certs_retried, 0);
+
+        // At the deadline: the same digest goes out again, re-armed.
+        let effects = engine.handle(EdgeCommand::Tick, 1_100);
+        assert_eq!(certify_digests(&effects), sent, "retry repeats the original claim");
+        assert_eq!(engine.stats.certs_retried, 1);
+        assert_eq!(engine.next_deadline_ns(), Some(2_100));
+
+        // The cloud's proof clears the deadline.
+        let bid = engine.log.iter().last().unwrap().block.id;
+        let proof = wedge_log::BlockProof::issue(&cloud, engine.id(), bid, sent[0]);
+        engine.handle(EdgeCommand::BlockProof(proof), 1_200);
+        assert_eq!(engine.next_deadline_ns(), None, "acknowledged: nothing left to retry");
+        assert!(certify_digests(&engine.handle(EdgeCommand::Tick, 10_000)).is_empty());
+    }
+
+    /// A lying edge's retry repeats the lie: equivocation does not
+    /// become honesty on resend, so the cloud's ledger still convicts.
+    #[test]
+    fn cert_retry_repeats_the_tampered_digest() {
+        let (mut engine, _cloud) = engine(Some(1_000), FaultPlan::equivocate_on(0));
+        let effects =
+            engine.handle(EdgeCommand::BatchAdd { from: 0, req_id: 0, entries: vec![entry(0)] }, 0);
+        let sent = certify_digests(&effects);
+        let honest = engine.log.iter().last().unwrap().block.digest();
+        assert_ne!(sent[0], honest, "equivocating edge certifies a tampered digest");
+        let retried = certify_digests(&engine.handle(EdgeCommand::Tick, 1_000));
+        assert_eq!(retried, sent, "retry repeats the tampered digest verbatim");
+    }
+
+    /// Withheld certifications never arm a retry — the attack stays an
+    /// attack, and the client's dispute deadline is what catches it.
+    #[test]
+    fn withheld_certs_do_not_retry() {
+        let (mut engine, _cloud) = engine(Some(1_000), FaultPlan::withhold_on(0));
+        let effects =
+            engine.handle(EdgeCommand::BatchAdd { from: 0, req_id: 0, entries: vec![entry(0)] }, 0);
+        assert!(certify_digests(&effects).is_empty(), "withheld: nothing dispatched");
+        assert_eq!(engine.next_deadline_ns(), None, "no deadline for a withheld cert");
     }
 }

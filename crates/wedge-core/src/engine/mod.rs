@@ -1,29 +1,44 @@
 //! Sans-IO protocol engines.
 //!
-//! [`EdgeEngine`] and [`CloudEngine`] are the single implementation of
-//! the WedgeChain protocol state machines: they own the protocol state
-//! (`BlockBuffer` + `LogStore` + `LsMerkle` on the edge, `CertLedger` +
-//! `CloudIndex` + `KeyRegistry` on the cloud), consume typed commands,
-//! and emit typed effects. They never touch channels, sockets, clocks,
-//! or the simulator — time arrives as a `now_ns` argument and all I/O
-//! intent leaves as [`EdgeEffect`]/[`CloudEffect`] values.
+//! [`EdgeEngine`], [`CloudEngine`] and [`ClientEngine`] are the single
+//! implementation of the WedgeChain protocol state machines: they own
+//! the protocol state (`BlockBuffer` + `LogStore` + `LsMerkle` on the
+//! edge, `CertLedger` + `CloudIndex` + `KeyRegistry` on the cloud,
+//! receipts + watermarks + the proof-verification cache on the
+//! client), consume typed commands, and emit typed effects. They never
+//! touch channels, sockets, clocks, or the simulator — time arrives as
+//! a `now_ns` argument and all I/O intent leaves as effect values.
+//!
+//! The engines also own the protocol's *clocks*. Every time-driven
+//! behaviour — gossip cadence, certification retries, dispute timeouts,
+//! Phase-I read audits — is "earliest deadline" state inside an engine,
+//! exposed uniformly as `next_deadline_ns()` and driven uniformly by a
+//! `Tick` command. A driver's whole job is: deliver messages, and call
+//! `handle(Tick, now)` once `now >= next_deadline_ns()`. No runtime
+//! re-implements retry or dispute scheduling.
 //!
 //! Every runtime is a thin *driver* over these engines:
 //!
 //! - the deterministic simulator actors ([`crate::edge::EdgeNode`],
-//!   [`crate::cloud::CloudNode`]) translate `wedge-sim` messages into
-//!   commands and replay effects into the simulation `Context` (CPU
-//!   charging included);
+//!   [`crate::cloud::CloudNode`], [`crate::client::ClientNode`])
+//!   translate `wedge-sim` messages into commands, replay effects into
+//!   the simulation `Context` (CPU charging included), and keep one
+//!   simulator timer armed per engine deadline
+//!   ([`wedge_sim::DeadlineTimer`]);
 //! - the real-threads runtime ([`crate::threaded`]) feeds the same
-//!   engines from `std::sync::mpsc` channels and maps effects onto
-//!   reply channels.
+//!   engines from `std::sync::mpsc` channels, maps effects onto
+//!   channels, and turns deadlines into `recv_timeout` bounds.
 //!
 //! Adding a tokio, sharded, or networked runtime means writing another
-//! driver — not a third copy of the seal/certify/merge/read-proof
-//! logic.
+//! driver — not another copy of the seal/certify/merge/read-proof
+//! logic, and not another timer wheel.
 
+pub mod client;
 pub mod cloud;
 pub mod edge;
 
+pub use client::{
+    ClientCommand, ClientEffect, ClientEngine, ClientEvent, ClientPlan, GetOutcome, PutOutcome,
+};
 pub use cloud::{CloudCommand, CloudEffect, CloudEngine, CloudStats};
 pub use edge::{EdgeCommand, EdgeEffect, EdgeEngine, EdgeStats};

@@ -9,11 +9,12 @@ use crate::client::{ClientNode, ClientPlan, GetOutcome, PutOutcome};
 use crate::cloud::CloudNode;
 use crate::config::SystemConfig;
 use crate::edge::EdgeNode;
+use crate::engine::ClientEngine;
 use crate::fault::FaultPlan;
 use crate::messages::Msg;
 use crate::metrics::ClientMetrics;
 use std::collections::HashMap;
-use wedge_crypto::{Identity, KeyRegistry};
+use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_log::BlockProof;
 use wedge_lsmerkle::{CloudIndex, KvOp, LsMerkle};
 use wedge_sim::{ActorId, SimDuration, SimTime, Simulation};
@@ -22,6 +23,14 @@ use wedge_sim::{ActorId, SimDuration, SimTime, Simulation};
 const CLOUD_ID: u64 = 1;
 const EDGE_ID_BASE: u64 = 100;
 const CLIENT_ID_BASE: u64 = 1000;
+
+/// The engine-owned workload seed for one client: derived from the
+/// deployment seed and the client identity, so each client's key
+/// stream is deterministic regardless of how runtimes interleave
+/// their execution (the sim/threads differential depends on this).
+pub fn client_workload_seed(deployment_seed: u64, client: IdentityId) -> u64 {
+    deployment_seed ^ client.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
 /// A fully wired single-partition WedgeChain deployment.
 pub struct SystemHarness {
@@ -125,11 +134,7 @@ impl MultiPartitionHarness {
         for e in &edge_idents {
             inits.push(index.init_edge(&cloud_ident, e.id, 0));
         }
-        let gossip = if cfg.gossip_period_ms > 0 {
-            Some(SimDuration::from_millis(cfg.gossip_period_ms))
-        } else {
-            None
-        };
+        let gossip = (cfg.gossip_period_ms > 0).then(|| cfg.gossip_period_ms * 1_000_000);
         let mut edge_map = HashMap::new();
         for (p, e) in edge_idents.iter().enumerate() {
             edge_map.insert(edge_actors[p], e.id);
@@ -159,6 +164,7 @@ impl MultiPartitionHarness {
                 client_actors[p].clone(),
             );
             node.data_free = cfg.data_free;
+            node.set_cert_retry_ns(cfg.cert_retry_ms.map(|ms| ms * 1_000_000));
             assert_eq!(
                 sim.add_actor(format!("edge-{p}"), cfg.edge_region, Box::new(node)),
                 edge_actors[p]
@@ -166,10 +172,9 @@ impl MultiPartitionHarness {
         }
         for (p, idents) in client_idents.into_iter().enumerate() {
             for (c, ident) in idents.into_iter().enumerate() {
-                let node = ClientNode::new(
+                let seed = client_workload_seed(cfg.seed, ident.id);
+                let engine = ClientEngine::new(
                     ident,
-                    edge_actors[p],
-                    cloud_actor,
                     edge_idents[p].id,
                     cloud_ident.id,
                     registry.clone(),
@@ -177,8 +182,10 @@ impl MultiPartitionHarness {
                     cfg.crypto_mode,
                     plan.clone(),
                     cfg.freshness_window_ms.map(|ms| ms * 1_000_000),
-                    SimDuration::from_millis(cfg.dispute_timeout_ms),
+                    cfg.dispute_timeout_ms * 1_000_000,
+                    seed,
                 );
+                let node = ClientNode::new(engine, edge_actors[p], cloud_actor);
                 assert_eq!(
                     sim.add_actor(format!("client-{p}-{c}"), cfg.client_region, Box::new(node)),
                     client_actors[p][c]
@@ -229,6 +236,73 @@ impl MultiPartitionHarness {
         &self.sim.actor::<ClientNode>(self.clients[p][c]).metrics
     }
 
+    /// Client `c` of partition `p` (engine state access for tests).
+    pub fn client_node(&self, p: usize, c: usize) -> &ClientNode {
+        self.sim.actor::<ClientNode>(self.clients[p][c])
+    }
+
+    /// Performs one put through partition `p`'s client `c` and waits
+    /// for Phase I (scripted workloads; mirrors [`SystemHarness::put`]).
+    pub fn put(&mut self, p: usize, c: usize, key: u64, value: Vec<u8>) -> PutOutcome {
+        self.sim.start();
+        let client = self.clients[p][c];
+        self.sim.actor_mut::<ClientNode>(client).last_put = None;
+        self.sim.inject(self.cloud, client, Msg::DoPut { key, value });
+        let mut guard = 0u64;
+        while self.sim.actor::<ClientNode>(client).last_put.is_none() {
+            assert!(self.sim.step(), "simulation went idle before put completed");
+            guard += 1;
+            assert!(guard < 1_000_000, "put did not complete");
+        }
+        self.sim.actor::<ClientNode>(client).last_put.clone().unwrap()
+    }
+
+    /// Performs one put and additionally waits for Phase II.
+    pub fn put_certified(&mut self, p: usize, c: usize, key: u64, value: Vec<u8>) -> PutOutcome {
+        let first = self.put(p, c, key, value);
+        let client = self.clients[p][c];
+        let mut guard = 0u64;
+        while self
+            .sim
+            .actor::<ClientNode>(client)
+            .last_put
+            .as_ref()
+            .is_some_and(|o| o.phase2_latency.is_none())
+        {
+            if !self.sim.step() {
+                break;
+            }
+            guard += 1;
+            if guard > 1_000_000 {
+                break;
+            }
+        }
+        self.sim.actor::<ClientNode>(client).last_put.clone().unwrap_or(first)
+    }
+
+    /// Performs one verified get through partition `p`'s client `c`.
+    pub fn get(&mut self, p: usize, c: usize, key: u64) -> GetOutcome {
+        self.sim.start();
+        let client = self.clients[p][c];
+        self.sim.actor_mut::<ClientNode>(client).last_get = None;
+        self.sim.inject(self.cloud, client, Msg::DoGet { key });
+        let mut guard = 0u64;
+        while self.sim.actor::<ClientNode>(client).last_get.is_none() {
+            assert!(self.sim.step(), "simulation went idle before get completed");
+            guard += 1;
+            assert!(guard < 1_000_000, "get did not complete");
+        }
+        self.sim.actor::<ClientNode>(client).last_get.clone().unwrap()
+    }
+
+    /// Advances virtual time by `d`, letting engine-owned deadlines
+    /// (gossip rounds, dispute timeouts) fire.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.start();
+        let deadline = self.sim.now() + d;
+        self.sim.run_until(deadline, 10_000_000);
+    }
+
     /// The cloud node.
     pub fn cloud_node(&self) -> &CloudNode {
         self.sim.actor::<CloudNode>(self.cloud)
@@ -265,11 +339,7 @@ impl SystemHarness {
 
         // --- actors (placeholder wiring resolved below) ---
         // Order: cloud, edge, clients — ids are deterministic.
-        let gossip = if cfg.gossip_period_ms > 0 {
-            Some(SimDuration::from_millis(cfg.gossip_period_ms))
-        } else {
-            None
-        };
+        let gossip = (cfg.gossip_period_ms > 0).then(|| cfg.gossip_period_ms * 1_000_000);
         // Cloud must know the edge's ActorId; the edge is added right
         // after the cloud, so its id is predictable (cloud=0, edge=1).
         let cloud_actor_id = ActorId::from_index(0);
@@ -302,15 +372,15 @@ impl SystemHarness {
             client_actor_ids.clone(),
         );
         edge_node.data_free = cfg.data_free;
+        edge_node.set_cert_retry_ns(cfg.cert_retry_ms.map(|ms| ms * 1_000_000));
         let edge = sim.add_actor("edge", cfg.edge_region, Box::new(edge_node));
         assert_eq!(edge, edge_actor_id);
 
         let mut clients = Vec::with_capacity(cfg.num_clients);
         for (i, ident) in client_idents.into_iter().enumerate() {
-            let node = ClientNode::new(
+            let seed = client_workload_seed(cfg.seed, ident.id);
+            let engine = ClientEngine::new(
                 ident,
-                edge,
-                cloud,
                 edge_ident.id,
                 cloud_ident.id,
                 registry.clone(),
@@ -318,8 +388,10 @@ impl SystemHarness {
                 cfg.crypto_mode,
                 plan.clone(),
                 cfg.freshness_window_ms.map(|ms| ms * 1_000_000),
-                SimDuration::from_millis(cfg.dispute_timeout_ms),
+                cfg.dispute_timeout_ms * 1_000_000,
+                seed,
             );
+            let node = ClientNode::new(engine, edge, cloud);
             let id = sim.add_actor(format!("client-{i}"), cfg.client_region, Box::new(node));
             assert_eq!(id, client_actor_ids[i]);
             clients.push(id);

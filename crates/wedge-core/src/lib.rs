@@ -39,7 +39,10 @@ pub use cloud::{CloudNode, CloudStats};
 pub use config::{CryptoMode, SystemConfig};
 pub use cost::CostModel;
 pub use edge::{EdgeNode, EdgeStats};
-pub use engine::{CloudCommand, CloudEffect, CloudEngine, EdgeCommand, EdgeEffect, EdgeEngine};
+pub use engine::{
+    ClientCommand, ClientEffect, ClientEngine, ClientEvent, CloudCommand, CloudEffect, CloudEngine,
+    EdgeCommand, EdgeEffect, EdgeEngine,
+};
 pub use fault::FaultPlan;
 pub use harness::{Aggregate, MultiPartitionHarness, SystemHarness};
 pub use messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt};

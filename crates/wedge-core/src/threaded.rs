@@ -2,90 +2,164 @@
 //!
 //! The simulator is the measurement substrate; this module is the
 //! proof that the *same protocol engines*
-//! ([`crate::engine::EdgeEngine`], [`crate::engine::CloudEngine`]) run
-//! on actual concurrency primitives: an edge service thread and a
-//! cloud service thread exchanging messages over `std::sync::mpsc`
-//! channels, with all cryptography real. Used by the examples, the
-//! threaded integration tests, and the sim-vs-threads differential
-//! test.
+//! ([`crate::engine::EdgeEngine`], [`crate::engine::CloudEngine`],
+//! [`crate::engine::ClientEngine`]) run on actual concurrency
+//! primitives. An N-edge cluster mirrors the simulator's
+//! `MultiPartitionHarness` topology: one service thread per edge, one
+//! per partition client, and one cloud thread, exchanging messages
+//! over `std::sync::mpsc` channels with all cryptography real.
 //!
-//! The threads contain no protocol logic — they translate inbound
-//! channel messages into engine commands and engine effects back onto
-//! channels. Latency can be injected per hop to mimic a WAN without a
-//! simulator (`ThreadedConfig::cloud_hop_latency`), and block seal
-//! times can be scripted (`ThreadedConfig::seal_times`) so a threaded
-//! run is byte-for-byte comparable to a simulator run.
+//! The threads contain no protocol logic *and no protocol clocks* —
+//! they translate inbound channel messages into engine commands, map
+//! engine effects back onto channels, and turn each engine's
+//! `next_deadline_ns()` into a `recv_timeout` bound, issuing `Tick`
+//! once the deadline passes. Gossip cadence, certification retries,
+//! and dispute timeouts therefore behave identically here and in the
+//! simulator, which is what the differential test checks.
+//!
+//! Backpressure is explicit: every edge-bound and cloud-bound channel
+//! is bounded. Edges and clients block when the cloud lags (natural
+//! upstream backpressure); the cloud never blocks toward an edge —
+//! it `try_send`s, *sheds* droppable traffic (gossip and freshness
+//! refreshes, which the next round re-issues) and *defers* critical
+//! traffic (proofs, merge results), counting both in
+//! [`ThreadedReport`] so overload behaviour is measurable.
 
 use crate::config::CryptoMode;
 use crate::cost::CostModel;
 use crate::engine::{
-    CloudCommand, CloudEffect, CloudEngine, CloudStats, EdgeCommand, EdgeEffect, EdgeEngine,
-    EdgeStats,
+    ClientCommand, ClientEffect, ClientEngine, ClientEvent, ClientPlan, CloudCommand, CloudEffect,
+    CloudEngine, CloudStats, EdgeCommand, EdgeEffect, EdgeEngine, EdgeStats, GetOutcome,
 };
 use crate::fault::FaultPlan;
-use crate::messages::{AddReceipt, Msg};
+use crate::harness::client_workload_seed;
+use crate::messages::{AddReceipt, DisputeVerdict, Msg};
+use crate::metrics::ClientMetrics;
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry};
-use wedge_log::{BlockId, BlockProof, Entry};
-use wedge_lsmerkle::{
-    verify_read_proof, CloudIndex, IndexReadProof, KvOp, LsMerkle, LsmConfig, VerifiedRead,
-};
+use wedge_log::{BlockId, BlockProof};
+use wedge_lsmerkle::{CloudIndex, LsMerkle, LsmConfig, ProofError};
 
 /// Configuration for the threaded runtime.
 #[derive(Clone, Debug)]
 pub struct ThreadedConfig {
     /// LSMerkle shape.
     pub lsm: LsmConfig,
-    /// Operations per sealed block.
+    /// Number of edge partitions (each with one service thread, one
+    /// client thread, and one client-side batcher).
+    pub num_edges: usize,
+    /// Operations per sealed block (client-side batching).
     pub batch_size: usize,
-    /// Injected one-way latency for each edge↔cloud hop.
+    /// Injected one-way latency for each hop into the cloud.
     pub cloud_hop_latency: Duration,
-    /// Scripted `sealed_at_ns` per block, in seal order. When present,
-    /// block `i` seals at `seal_times[i]` instead of the wall clock —
-    /// this makes block digests reproducible and comparable across
-    /// runtimes (the differential test replays the simulator's seal
-    /// times here). Falls back to the wall clock when exhausted.
-    pub seal_times: Option<Vec<u64>>,
+    /// Injected processing latency per cloud→edge message at the edge
+    /// (slows the edge's drain rate; used to exercise backpressure).
+    pub edge_apply_latency: Duration,
+    /// Scripted `sealed_at_ns` per edge, in seal order. When present,
+    /// edge `p`'s block `i` seals at `seal_times[p][i]` instead of the
+    /// wall clock — this makes block digests reproducible and
+    /// comparable across runtimes (the differential test replays the
+    /// simulator's seal times here). Falls back to the wall clock when
+    /// exhausted.
+    pub seal_times: Option<Vec<Vec<u64>>>,
+    /// Scripted misbehaviour per edge (missing entries are honest).
+    pub faults: Vec<FaultPlan>,
+    /// Cloud gossip cadence; `None` disables gossip. Engine-owned: the
+    /// cloud thread only relays the deadline into `recv_timeout`.
+    pub gossip_period: Option<Duration>,
+    /// How long a client waits for Phase II before disputing.
+    /// Engine-owned, like gossip.
+    pub dispute_timeout: Duration,
+    /// Edge certification retry interval; `None` disables retries.
+    pub cert_retry: Option<Duration>,
+    /// Client read-freshness window (§V-D); `None` disables the check.
+    pub freshness_window: Option<Duration>,
+    /// Capacity of the shared inbox into the cloud service.
+    pub cloud_inbox_cap: usize,
+    /// Capacity of each edge service's inbox (bounds cloud→edge too).
+    pub edge_inbox_cap: usize,
 }
 
 impl Default for ThreadedConfig {
     fn default() -> Self {
         ThreadedConfig {
             lsm: LsmConfig::exposition(),
+            num_edges: 1,
             batch_size: 4,
             cloud_hop_latency: Duration::ZERO,
+            edge_apply_latency: Duration::ZERO,
             seal_times: None,
+            faults: Vec::new(),
+            gossip_period: None,
+            dispute_timeout: Duration::from_secs(30),
+            cert_retry: None,
+            freshness_window: None,
+            cloud_inbox_cap: 1024,
+            edge_inbox_cap: 1024,
         }
     }
 }
 
-/// Inbox of the edge service thread.
+/// Identity derivation mirrors the simulator harness (cloud 1, edges
+/// 100+p, clients 1000+p) so entries and blocks are byte-identical
+/// across runtimes.
+const CLOUD_ID: u64 = 1;
+const EDGE_ID_BASE: u64 = 100;
+const CLIENT_ID_BASE: u64 = 1000;
+
+/// The edge engine's single client peer handle.
+const CLIENT_PEER: u8 = 0;
+
+/// Inbox of an edge service thread.
+// `Msg` dwarfs `Shutdown`; inbox values are moved once per hop.
+#[allow(clippy::large_enum_variant)]
 enum EdgeIn {
-    /// A client batch to seal (the reply carries the Phase-I receipt).
-    Put {
-        entries: Vec<Entry>,
-        reply: Sender<PutReply>,
-    },
-    /// A client get (the reply carries the proof material).
-    Get {
-        key: u64,
-        reply: Sender<Box<IndexReadProof>>,
-    },
+    /// A protocol message from the partition's client service.
+    FromClient(Msg),
     /// A protocol message from the cloud service.
     FromCloud(Msg),
     Shutdown,
 }
 
 /// Inbox of the cloud service thread.
-// `Msg` dwarfs `Shutdown`; inbox values are moved once per hop.
 #[allow(clippy::large_enum_variant)]
 enum CloudIn {
-    /// A protocol message from the edge service.
+    /// A protocol message from peer `peer` (edges `0..E`, partition
+    /// clients `E..2E`).
+    From {
+        peer: usize,
+        msg: Msg,
+    },
+    Shutdown,
+}
+
+/// Inbox of a client service thread.
+#[allow(clippy::large_enum_variant)]
+enum ClientIn {
+    /// A caller-submitted batch of puts; the reply carries the Phase-I
+    /// receipt plus a channel resolving at Phase II.
+    PutBatch {
+        ops: Vec<(u64, Vec<u8>)>,
+        reply: Sender<PutReply>,
+    },
+    /// A caller-submitted verified get.
+    Get {
+        key: u64,
+        reply: Sender<GetOutcome>,
+    },
+    /// A caller-submitted log-read audit (fire and forget; verdicts
+    /// surface in the report).
+    LogRead(BlockId),
+    /// A protocol message from the partition's edge service.
     FromEdge(Msg),
+    /// A protocol message from the cloud service (dispute verdicts).
+    FromCloud(Msg),
     Shutdown,
 }
 
@@ -94,357 +168,729 @@ enum CloudIn {
 pub struct PutReply {
     /// The edge's signed Phase-I promise.
     pub receipt: AddReceipt,
-    /// Resolves once the cloud certifies the block.
+    /// Resolves once the cloud certifies the block (never, if the
+    /// edge withholds certification — that is what disputes are for).
     pub certified: Receiver<BlockProof>,
 }
 
-/// Final state of a threaded run, extracted at shutdown. This is what
-/// the differential test compares against the simulator.
+/// Final per-partition state of a threaded run.
 #[derive(Clone, Debug)]
-pub struct ThreadedReport {
+pub struct EdgeRunReport {
+    /// The partition's edge identity.
+    pub edge: IdentityId,
     /// Per log block, in id order: the block's digest, the proof
     /// digest attached at the edge (if Phase II arrived), and the
     /// digest the cloud's ledger certified (if any).
     pub blocks: Vec<(BlockId, Digest, Option<Digest>, Option<Digest>)>,
     /// Edge-side counters.
     pub edge_stats: EdgeStats,
-    /// Cloud-side counters.
-    pub cloud_stats: CloudStats,
+    /// The partition client's metrics (disputes filed/upheld included).
+    pub client_metrics: ClientMetrics,
+    /// Contiguously certified prefix length in the cloud's ledger —
+    /// the content of the edge's gossip watermark.
+    pub certified_len: u64,
+    /// The freshest gossip watermark the client holds for this edge.
+    pub watermark_len: Option<u64>,
+    /// Every dispute verdict the client received, in arrival order.
+    pub verdicts: Vec<DisputeVerdict>,
 }
 
-/// A running edge+cloud pair on real threads.
+/// Final state of a threaded run, extracted at shutdown. This is what
+/// the differential test compares against the simulator.
+#[derive(Clone, Debug)]
+pub struct ThreadedReport {
+    /// Per-partition state, indexed like `ThreadedConfig::faults`.
+    pub edges: Vec<EdgeRunReport>,
+    /// Cloud-side counters.
+    pub cloud_stats: CloudStats,
+    /// Punished edge identities, sorted.
+    pub punished: Vec<IdentityId>,
+    /// Droppable cloud→edge messages (gossip, freshness refreshes)
+    /// shed because an edge inbox was full.
+    pub shed_cloud_msgs: u64,
+    /// Critical cloud→edge messages (proofs, merge results) deferred
+    /// because an edge inbox was full (delivered later).
+    pub deferred_cloud_msgs: u64,
+}
+
+/// A batch of caller-submitted KV puts, pre-signing.
+type PutOps = Vec<(u64, Vec<u8>)>;
+/// What a joined client service thread yields.
+type ClientExit = (ClientEngine, Vec<DisputeVerdict>);
+/// What the joined cloud thread yields: the engine plus the shed and
+/// deferred cloud→edge message counts.
+type CloudExit = (CloudEngine<usize>, u64, u64);
+
+/// A running N-edge + cloud cluster on real threads.
 pub struct ThreadedCluster {
-    edge_tx: Sender<EdgeIn>,
+    client_txs: Vec<Sender<ClientIn>>,
+    edge_txs: Vec<SyncSender<EdgeIn>>,
     cloud_tx: SyncSender<CloudIn>,
-    edge_handle: Option<JoinHandle<EdgeEngine<u64>>>,
-    cloud_handle: Option<JoinHandle<CloudEngine<u8>>>,
-    /// Public registry for client-side verification.
+    edge_handles: Vec<Option<JoinHandle<EdgeEngine<u8>>>>,
+    client_handles: Vec<Option<JoinHandle<ClientExit>>>,
+    cloud_handle: Option<JoinHandle<CloudExit>>,
+    /// Public registry for caller-side verification.
     pub registry: KeyRegistry,
-    /// The edge's identity id.
-    pub edge_id: IdentityId,
     /// The cloud's identity id.
     pub cloud_id: IdentityId,
-    client: Identity,
-    batcher: Mutex<ClientBatcher>,
+    /// Edge identity per partition.
+    pub edge_ids: Vec<IdentityId>,
+    /// Caller-side batching per partition (ops, not entries: sequence
+    /// numbers are assigned by the client engine, on its thread, so
+    /// ordering is automatic).
+    batchers: Vec<Mutex<PutOps>>,
     batch_size: usize,
 }
 
-/// Client-side batching state. Sequence assignment and buffer
-/// insertion happen under one lock so concurrent `put`s can never
-/// enqueue entries out of sequence order (the engine's replay window
-/// would reject a lower sequence arriving after a higher one).
-struct ClientBatcher {
-    next_seq: u64,
-    pending: Vec<Entry>,
-}
-
 impl ThreadedCluster {
-    /// Spawns the edge and cloud service threads.
+    /// Spawns the cloud, edge, and client service threads.
     pub fn start(cfg: ThreadedConfig) -> Arc<Self> {
-        let cloud_ident = Identity::derive("cloud", 1);
-        let edge_ident = Identity::derive("edge", 100);
-        let client_ident = Identity::derive("client", 1000);
+        assert!(cfg.num_edges > 0, "need at least one edge");
+        assert!(cfg.cloud_inbox_cap > 0 && cfg.edge_inbox_cap > 0, "inboxes need capacity");
+        // Scripted seal times put BatchAdd handling on a virtual clock
+        // while the service loop ticks on the wall clock; a retry
+        // deadline armed in one domain and checked in the other would
+        // fire at a meaningless moment.
+        assert!(
+            cfg.seal_times.is_none() || cfg.cert_retry.is_none(),
+            "seal_times (virtual timestamps) and cert_retry (wall-clock deadlines) cannot combine"
+        );
+        let edges = cfg.num_edges;
+        let cloud_ident = Identity::derive("cloud", CLOUD_ID);
+        let edge_idents: Vec<Identity> =
+            (0..edges).map(|p| Identity::derive("edge", EDGE_ID_BASE + p as u64)).collect();
+        let client_idents: Vec<Identity> =
+            (0..edges).map(|p| Identity::derive("client", CLIENT_ID_BASE + p as u64)).collect();
         let mut registry = KeyRegistry::new();
         registry.register(cloud_ident.id, cloud_ident.public()).unwrap();
-        registry.register(edge_ident.id, edge_ident.public()).unwrap();
-        registry.register(client_ident.id, client_ident.public()).unwrap();
+        for ident in edge_idents.iter().chain(&client_idents) {
+            registry.register(ident.id, ident.public()).unwrap();
+        }
 
         let mut index = CloudIndex::new(cfg.lsm.clone());
-        let init = index.init_edge(&cloud_ident, edge_ident.id, 0);
-        let tree = LsMerkle::new(edge_ident.id, cfg.lsm.clone(), init);
+        let inits: Vec<_> =
+            edge_idents.iter().map(|e| index.init_edge(&cloud_ident, e.id, 0)).collect();
 
-        let edge_id = edge_ident.id;
+        let edge_ids: Vec<IdentityId> = edge_idents.iter().map(|e| e.id).collect();
         let cloud_id = cloud_ident.id;
-        // The same engines the simulator drives — real crypto, honest.
-        let edge_engine = EdgeEngine::new(
-            edge_ident,
-            cloud_id,
-            registry.clone(),
-            CostModel::default(),
-            CryptoMode::Real,
-            FaultPlan::honest(),
-            tree,
-            Vec::new(),
-        );
+        let cost = CostModel::default();
+
         let cloud_engine = CloudEngine::new(
             cloud_ident,
             registry.clone(),
-            CostModel::default(),
+            cost.clone(),
             index,
-            HashMap::from([(EDGE_PEER, edge_id)]),
+            (0..edges).map(|p| (p, edge_ids[p])).collect::<HashMap<_, _>>(),
+            cfg.gossip_period.map(|d| d.as_nanos() as u64),
         );
 
-        // The edge->cloud direction is bounded: certification and
-        // merge traffic queues behind the (possibly sleeping) cloud
-        // service, and an unbounded inbox would grow without limit
-        // under a sustained write load. The cloud->edge direction
-        // stays unbounded so the two services can never block on
-        // each other in a cycle.
-        let (cloud_tx, cloud_rx) = sync_channel::<CloudIn>(1024);
-        let (edge_tx, edge_rx) = channel::<EdgeIn>();
+        let (cloud_tx, cloud_rx) = sync_channel::<CloudIn>(cfg.cloud_inbox_cap);
+        let mut edge_txs = Vec::new();
+        let mut edge_rxs = Vec::new();
+        for _ in 0..edges {
+            let (tx, rx) = sync_channel::<EdgeIn>(cfg.edge_inbox_cap);
+            edge_txs.push(tx);
+            edge_rxs.push(rx);
+        }
+        let mut client_txs = Vec::new();
+        let mut client_rxs = Vec::new();
+        for _ in 0..edges {
+            let (tx, rx) = channel::<ClientIn>();
+            client_txs.push(tx);
+            client_rxs.push(rx);
+        }
 
-        let hop = cfg.cloud_hop_latency;
         let epoch = Instant::now();
-        let edge_tx_for_cloud = edge_tx.clone();
-        let cloud_handle = std::thread::Builder::new()
-            .name("wedge-cloud".into())
-            .spawn(move || cloud_service(cloud_engine, cloud_rx, edge_tx_for_cloud, hop, epoch))
-            .expect("spawn cloud thread");
 
-        let cloud_tx_for_edge = cloud_tx.clone();
-        let seal_times = cfg.seal_times.clone().unwrap_or_default().into();
-        let edge_handle = std::thread::Builder::new()
-            .name("wedge-edge".into())
-            .spawn(move || edge_service(edge_engine, edge_rx, cloud_tx_for_edge, epoch, seal_times))
-            .expect("spawn edge thread");
+        let cloud_handle = {
+            let edge_txs = edge_txs.clone();
+            let client_txs = client_txs.clone();
+            let hop = cfg.cloud_hop_latency;
+            std::thread::Builder::new()
+                .name("wedge-cloud".into())
+                .spawn(move || {
+                    cloud_service(cloud_engine, cloud_rx, edge_txs, client_txs, hop, epoch)
+                })
+                .expect("spawn cloud thread")
+        };
+
+        let mut edge_handles = Vec::new();
+        for (p, (ident, rx)) in edge_idents.into_iter().zip(edge_rxs).enumerate() {
+            let tree = LsMerkle::new(ident.id, cfg.lsm.clone(), inits[p].clone());
+            let fault = cfg.faults.get(p).cloned().unwrap_or_default();
+            let mut engine = EdgeEngine::new(
+                ident,
+                cloud_id,
+                registry.clone(),
+                cost.clone(),
+                CryptoMode::Real,
+                fault,
+                tree,
+                vec![CLIENT_PEER],
+            );
+            engine.set_cert_retry_ns(cfg.cert_retry.map(|d| d.as_nanos() as u64));
+            let cloud = cloud_tx.clone();
+            let client = client_txs[p].clone();
+            let seal_times: VecDeque<u64> = cfg
+                .seal_times
+                .as_ref()
+                .and_then(|per_edge| per_edge.get(p).cloned())
+                .unwrap_or_default()
+                .into();
+            let apply_latency = cfg.edge_apply_latency;
+            let handle = std::thread::Builder::new()
+                .name(format!("wedge-edge-{p}"))
+                .spawn(move || {
+                    edge_service(engine, rx, cloud, client, p, epoch, seal_times, apply_latency)
+                })
+                .expect("spawn edge thread");
+            edge_handles.push(Some(handle));
+        }
+
+        let mut client_handles = Vec::new();
+        for (p, (ident, rx)) in client_idents.into_iter().zip(client_rxs).enumerate() {
+            let seed = client_workload_seed(0, ident.id);
+            let engine = ClientEngine::new(
+                ident,
+                edge_ids[p],
+                cloud_id,
+                registry.clone(),
+                cost.clone(),
+                CryptoMode::Real,
+                ClientPlan::idle(),
+                cfg.freshness_window.map(|d| d.as_nanos() as u64),
+                cfg.dispute_timeout.as_nanos() as u64,
+                seed,
+            );
+            let edge = edge_txs[p].clone();
+            let cloud = cloud_tx.clone();
+            let peer = edges + p;
+            let handle = std::thread::Builder::new()
+                .name(format!("wedge-client-{p}"))
+                .spawn(move || client_service(engine, rx, edge, cloud, peer, epoch))
+                .expect("spawn client thread");
+            client_handles.push(Some(handle));
+        }
 
         Arc::new(ThreadedCluster {
-            edge_tx,
+            client_txs,
+            edge_txs,
             cloud_tx,
-            edge_handle: Some(edge_handle),
+            edge_handles,
+            client_handles,
             cloud_handle: Some(cloud_handle),
             registry,
-            edge_id,
             cloud_id,
-            client: client_ident,
-            batcher: Mutex::new(ClientBatcher { next_seq: 0, pending: Vec::new() }),
+            edge_ids,
+            batchers: (0..edges).map(|_| Mutex::new(Vec::new())).collect(),
             batch_size: cfg.batch_size.max(1),
         })
     }
 
-    /// Puts a key-value pair. Buffers client-side until a batch is
-    /// full, then submits the batch and returns the Phase-I reply.
-    /// Returns `None` while buffering.
-    pub fn put(&self, key: u64, value: Vec<u8>) -> Option<PutReply> {
-        let pending = {
-            let mut b = self.batcher.lock().unwrap();
-            let seq = b.next_seq;
-            b.next_seq += 1;
-            let entry = Entry::new_signed(&self.client, seq, KvOp::put(key, value).encode());
-            b.pending.push(entry);
-            if b.pending.len() >= self.batch_size {
-                let entries = std::mem::take(&mut b.pending);
-                Some(self.submit(entries))
+    /// Puts a key-value pair through partition `edge`'s client.
+    /// Buffers caller-side until a batch is full, then submits the
+    /// batch and returns the Phase-I reply. Returns `None` while
+    /// buffering.
+    pub fn put_on(&self, edge: usize, key: u64, value: Vec<u8>) -> Option<PutReply> {
+        let rx = {
+            let mut pending = self.batchers[edge].lock().unwrap();
+            pending.push((key, value));
+            if pending.len() >= self.batch_size {
+                let ops = std::mem::take(&mut *pending);
+                Some(self.submit(edge, ops))
             } else {
                 None
             }
         };
-        pending.map(|rx| rx.recv().expect("edge replies"))
+        rx.map(|rx| rx.recv().expect("batch Phase-I committed (a closed channel means the edge rejected it or went unresponsive past the dispute timeout)"))
     }
 
-    /// Flushes any buffered entries as a partial batch.
-    pub fn flush(&self) -> Option<PutReply> {
-        let pending = {
-            let mut b = self.batcher.lock().unwrap();
-            if b.pending.is_empty() {
+    /// Flushes partition `edge`'s buffered entries as a partial batch.
+    pub fn flush_on(&self, edge: usize) -> Option<PutReply> {
+        let rx = {
+            let mut pending = self.batchers[edge].lock().unwrap();
+            if pending.is_empty() {
                 None
             } else {
-                let entries = std::mem::take(&mut b.pending);
-                Some(self.submit(entries))
+                let ops = std::mem::take(&mut *pending);
+                Some(self.submit(edge, ops))
             }
         };
-        pending.map(|rx| rx.recv().expect("edge replies"))
+        rx.map(|rx| rx.recv().expect("batch Phase-I committed (a closed channel means the edge rejected it or went unresponsive past the dispute timeout)"))
     }
 
-    /// Sends one batch to the edge service. Must be called with the
-    /// batcher lock held: sequence numbers are assigned under that
-    /// lock, and the engine's replay window requires batches to arrive
-    /// in sequence order — only awaiting the reply happens unlocked.
-    fn submit(&self, entries: Vec<Entry>) -> Receiver<PutReply> {
+    /// Sends one batch to the partition's client service. Called with
+    /// the batcher lock held so batches enqueue in submission order;
+    /// sequence signing happens on the (single) client thread, so no
+    /// ordering hazard remains past this point.
+    fn submit(&self, edge: usize, ops: Vec<(u64, Vec<u8>)>) -> Receiver<PutReply> {
         let (tx, rx) = channel();
-        self.edge_tx.send(EdgeIn::Put { entries, reply: tx }).expect("edge thread alive");
+        self.client_txs[edge]
+            .send(ClientIn::PutBatch { ops, reply: tx })
+            .expect("client service alive");
         rx
     }
 
-    /// Gets a key with full client-side verification.
-    pub fn get(&self, key: u64) -> Result<VerifiedRead, wedge_lsmerkle::ProofError> {
-        let (tx, rx) = channel();
-        self.edge_tx.send(EdgeIn::Get { key, reply: tx }).expect("edge thread alive");
-        let proof = rx.recv().expect("edge replies");
-        verify_read_proof(&proof, self.edge_id, self.cloud_id, &self.registry, u64::MAX, None)
+    /// Puts on partition 0 (single-edge convenience).
+    pub fn put(&self, key: u64, value: Vec<u8>) -> Option<PutReply> {
+        self.put_on(0, key, value)
     }
 
-    /// Shuts both services down, joins their threads, and returns the
+    /// Flushes partition 0 (single-edge convenience).
+    pub fn flush(&self) -> Option<PutReply> {
+        self.flush_on(0)
+    }
+
+    /// Gets a key through partition `edge`'s client, with full
+    /// engine-side verification (proof cache included).
+    pub fn get_on(&self, edge: usize, key: u64) -> Result<GetOutcome, ProofError> {
+        let (tx, rx) = channel();
+        self.client_txs[edge].send(ClientIn::Get { key, reply: tx }).expect("client service alive");
+        let outcome = rx.recv().expect("client service replies");
+        match outcome.verify_error.clone() {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
+    }
+
+    /// Gets on partition 0 (single-edge convenience).
+    pub fn get(&self, key: u64) -> Result<GetOutcome, ProofError> {
+        self.get_on(0, key)
+    }
+
+    /// Audits a log block through partition `edge`'s client. Fire and
+    /// forget: a lying edge surfaces as a verdict in the report.
+    pub fn log_read_on(&self, edge: usize, bid: BlockId) {
+        let _ = self.client_txs[edge].send(ClientIn::LogRead(bid));
+    }
+
+    /// Shuts all services down, joins their threads, and returns the
     /// final protocol state (for assertions and the differential
     /// test). Returns `None` unless called on the last owner.
     pub fn shutdown(mut self: Arc<Self>) -> Option<ThreadedReport> {
         // Only the last owner actually joins.
         let this = Arc::get_mut(&mut self)?;
-        let _ = this.edge_tx.send(EdgeIn::Shutdown);
+        for tx in &this.client_txs {
+            let _ = tx.send(ClientIn::Shutdown);
+        }
+        for tx in &this.edge_txs {
+            let _ = tx.send(EdgeIn::Shutdown);
+        }
         let _ = this.cloud_tx.send(CloudIn::Shutdown);
-        let edge_engine = this.edge_handle.take().and_then(|h| h.join().ok());
-        let cloud_engine = this.cloud_handle.take().and_then(|h| h.join().ok());
-        let (edge_engine, cloud_engine) = (edge_engine?, cloud_engine?);
-        let edge_id = this.edge_id;
-        let blocks = edge_engine
-            .log
-            .iter()
-            .map(|sb| {
-                (
-                    sb.block.id,
-                    sb.block.digest(),
-                    sb.proof.as_ref().map(|p| p.digest),
-                    cloud_engine.ledger.lookup(edge_id, sb.block.id).copied(),
-                )
-            })
-            .collect();
+        let clients: Vec<ClientExit> = this
+            .client_handles
+            .iter_mut()
+            .map(|h| h.take().and_then(|h| h.join().ok()))
+            .collect::<Option<_>>()?;
+        let edges: Vec<EdgeEngine<u8>> = this
+            .edge_handles
+            .iter_mut()
+            .map(|h| h.take().and_then(|h| h.join().ok()))
+            .collect::<Option<_>>()?;
+        let (cloud_engine, shed, deferred) =
+            this.cloud_handle.take().and_then(|h| h.join().ok())?;
+
+        let mut reports = Vec::new();
+        for (p, (edge_engine, (client_engine, verdicts))) in
+            edges.into_iter().zip(clients).enumerate()
+        {
+            let edge_id = this.edge_ids[p];
+            let blocks = edge_engine
+                .log
+                .iter()
+                .map(|sb| {
+                    (
+                        sb.block.id,
+                        sb.block.digest(),
+                        sb.proof.as_ref().map(|pr| pr.digest),
+                        cloud_engine.ledger.lookup(edge_id, sb.block.id).copied(),
+                    )
+                })
+                .collect();
+            reports.push(EdgeRunReport {
+                edge: edge_id,
+                blocks,
+                edge_stats: edge_engine.stats.clone(),
+                client_metrics: client_engine.metrics.clone(),
+                certified_len: cloud_engine.ledger.contiguous_len(edge_id),
+                watermark_len: client_engine.watermarks.latest(edge_id).map(|wm| wm.log_len),
+                verdicts,
+            });
+        }
+        let mut punished: Vec<IdentityId> = cloud_engine.punished.iter().copied().collect();
+        punished.sort_by_key(|id| id.0);
         Some(ThreadedReport {
-            blocks,
-            edge_stats: edge_engine.stats.clone(),
+            edges: reports,
             cloud_stats: cloud_engine.stats.clone(),
+            punished,
+            shed_cloud_msgs: shed,
+            deferred_cloud_msgs: deferred,
         })
     }
 }
 
-/// The cloud engine's single edge peer handle.
-const EDGE_PEER: u8 = 0;
+fn elapsed_ns(epoch: Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
+}
 
-/// Peer tokens the edge engine never sends to (placeholder `from` for
-/// cloud-originated commands).
-const NO_CLIENT: u64 = u64::MAX;
+/// Blocks on the inbox until a message arrives, the engine's deadline
+/// passes, or the channel disconnects (`Err`).
+fn recv_until<T>(
+    rx: &Receiver<T>,
+    deadline_ns: Option<u64>,
+    epoch: Instant,
+) -> Result<Option<T>, ()> {
+    match deadline_ns {
+        Some(d) => {
+            let timeout = Duration::from_nanos(d.saturating_sub(elapsed_ns(epoch)));
+            match rx.recv_timeout(timeout) {
+                Ok(m) => Ok(Some(m)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(()),
+            }
+        }
+        None => match rx.recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(_) => Err(()),
+        },
+    }
+}
 
-/// The edge service: drives the [`EdgeEngine`] from the inbox and
-/// routes effects — cloud-bound messages onto the cloud channel,
-/// client-bound messages onto the per-request reply channels.
+/// The edge service: drives an [`EdgeEngine`] from its bounded inbox,
+/// routing cloud-bound effects onto the cloud channel and client-bound
+/// effects to the partition's client service. Certification-retry
+/// deadlines are consumed via `recv_timeout` + `Tick`.
+#[allow(clippy::too_many_arguments)]
 fn edge_service(
-    mut engine: EdgeEngine<u64>,
+    mut engine: EdgeEngine<u8>,
     rx: Receiver<EdgeIn>,
     cloud: SyncSender<CloudIn>,
+    client: Sender<ClientIn>,
+    peer: usize,
     epoch: Instant,
     mut seal_times: VecDeque<u64>,
-) -> EdgeEngine<u64> {
-    let mut next_token: u64 = 0;
-    // Pending reply routes, keyed by the request token the engine sees
-    // as the client handle.
-    let mut put_replies: HashMap<u64, (Sender<PutReply>, Receiver<BlockProof>)> = HashMap::new();
-    let mut proof_waiters: HashMap<u64, Sender<BlockProof>> = HashMap::new();
-    let mut get_waiters: HashMap<u64, Sender<Box<IndexReadProof>>> = HashMap::new();
-
-    let apply = |engine: &mut EdgeEngine<u64>,
-                 put_replies: &mut HashMap<u64, (Sender<PutReply>, Receiver<BlockProof>)>,
-                 proof_waiters: &mut HashMap<u64, Sender<BlockProof>>,
-                 get_waiters: &mut HashMap<u64, Sender<Box<IndexReadProof>>>,
-                 cmd: EdgeCommand<u64>,
-                 now_ns: u64| {
+    apply_latency: Duration,
+) -> EdgeEngine<u8> {
+    let apply = |engine: &mut EdgeEngine<u8>, cmd: EdgeCommand<u8>, now_ns: u64| {
         for effect in engine.handle(cmd, now_ns) {
             match effect {
                 EdgeEffect::SendCloud { msg, .. } => {
-                    let _ = cloud.send(CloudIn::FromEdge(msg));
+                    let _ = cloud.send(CloudIn::From { peer, msg });
                 }
-                EdgeEffect::Send { to, msg: Msg::AddResponse { receipt }, .. } => {
-                    if let Some((reply, certified)) = put_replies.remove(&to) {
-                        let _ = reply.send(PutReply { receipt, certified });
-                    }
+                EdgeEffect::Send { msg, .. } => {
+                    let _ = client.send(ClientIn::FromEdge(msg));
                 }
-                EdgeEffect::Send { to, msg: Msg::BlockProofForward(proof), .. } => {
-                    if let Some(tx) = proof_waiters.remove(&to) {
-                        let _ = tx.send(proof);
-                    }
-                }
-                EdgeEffect::Send { to, msg: Msg::GetResponse { proof, .. }, .. } => {
-                    if let Some(tx) = get_waiters.remove(&to) {
-                        let _ = tx.send(proof);
-                    }
-                }
-                // CPU accounting and unrouted messages have no real-
-                // time counterpart here.
-                EdgeEffect::Send { .. }
-                | EdgeEffect::UseCpu(_)
-                | EdgeEffect::UseCpuBackground(_) => {}
+                // CPU accounting has no real-time counterpart here.
+                EdgeEffect::UseCpu(_) | EdgeEffect::UseCpuBackground(_) => {}
             }
         }
     };
-
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            EdgeIn::Put { entries, reply } => {
-                let token = next_token;
-                next_token += 1;
-                let now_ns =
-                    seal_times.pop_front().unwrap_or_else(|| epoch.elapsed().as_nanos() as u64);
-                let (ptx, prx) = channel();
-                put_replies.insert(token, (reply, prx));
-                proof_waiters.insert(token, ptx);
-                let cmd = EdgeCommand::BatchAdd { from: token, req_id: token, entries };
-                apply(
-                    &mut engine,
-                    &mut put_replies,
-                    &mut proof_waiters,
-                    &mut get_waiters,
-                    cmd,
-                    now_ns,
-                );
-                // A rejected batch (bad signatures / full replay)
-                // produced no receipt and requested no certification:
-                // drop both routes so the caller observes a closed
-                // channel instead of hanging and no waiter leaks.
-                if put_replies.remove(&token).is_some() {
-                    proof_waiters.remove(&token);
+    loop {
+        match recv_until(&rx, engine.next_deadline_ns(), epoch) {
+            Ok(Some(EdgeIn::FromClient(msg))) => {
+                // Scripted seal times make block digests reproducible.
+                let now_ns = if matches!(msg, Msg::BatchAdd { .. }) {
+                    seal_times.pop_front().unwrap_or_else(|| elapsed_ns(epoch))
+                } else {
+                    elapsed_ns(epoch)
+                };
+                if let Some(cmd) = EdgeCommand::from_msg(CLIENT_PEER, msg) {
+                    apply(&mut engine, cmd, now_ns);
                 }
             }
-            EdgeIn::Get { key, reply } => {
-                let token = next_token;
-                next_token += 1;
-                get_waiters.insert(token, reply);
-                let now_ns = epoch.elapsed().as_nanos() as u64;
-                let cmd = EdgeCommand::Get { from: token, req_id: token, key };
-                apply(
-                    &mut engine,
-                    &mut put_replies,
-                    &mut proof_waiters,
-                    &mut get_waiters,
-                    cmd,
-                    now_ns,
-                );
+            Ok(Some(EdgeIn::FromCloud(msg))) => {
+                if !apply_latency.is_zero() {
+                    std::thread::sleep(apply_latency);
+                }
+                if let Some(cmd) = EdgeCommand::from_msg(CLIENT_PEER, msg) {
+                    apply(&mut engine, cmd, elapsed_ns(epoch));
+                }
             }
-            EdgeIn::FromCloud(msg) => {
-                let Some(cmd) = EdgeCommand::from_msg(NO_CLIENT, msg) else { continue };
-                let now_ns = epoch.elapsed().as_nanos() as u64;
-                apply(
-                    &mut engine,
-                    &mut put_replies,
-                    &mut proof_waiters,
-                    &mut get_waiters,
-                    cmd,
-                    now_ns,
-                );
-            }
-            EdgeIn::Shutdown => break,
+            Ok(Some(EdgeIn::Shutdown)) | Err(()) => break,
+            Ok(None) => {}
+        }
+        let now_ns = elapsed_ns(epoch);
+        if engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
+            apply(&mut engine, EdgeCommand::Tick, now_ns);
         }
     }
     engine
 }
 
-/// The cloud service: drives the [`CloudEngine`] from the inbox and
-/// sends every effect back to the edge service.
+/// Per-partition client service state: the engine plus completion
+/// routing back to callers.
+struct ClientSvc {
+    engine: ClientEngine,
+    edge: SyncSender<EdgeIn>,
+    cloud: SyncSender<CloudIn>,
+    peer: usize,
+    next_token: u64,
+    /// Caller-submitted batches not yet handed to the engine (the
+    /// engine tracks one batch in flight; receipts arrive in order).
+    queued_puts: VecDeque<(PutOps, Sender<PutReply>)>,
+    put_waiters: HashMap<u64, Sender<PutReply>>,
+    get_waiters: HashMap<u64, Sender<GetOutcome>>,
+    proof_waiters: HashMap<BlockId, Sender<BlockProof>>,
+    verdicts: Vec<DisputeVerdict>,
+}
+
+impl ClientSvc {
+    fn run(&mut self, cmd: ClientCommand, now_ns: u64) {
+        for effect in self.engine.handle(cmd, now_ns) {
+            match effect {
+                ClientEffect::SendEdge { msg, .. } => {
+                    let _ = self.edge.send(EdgeIn::FromClient(msg));
+                }
+                ClientEffect::SendCloud { msg, .. } => {
+                    let _ = self.cloud.send(CloudIn::From { peer: self.peer, msg });
+                }
+                ClientEffect::Notify(event) => self.notify(event),
+                ClientEffect::UseCpu(_) => {}
+            }
+        }
+    }
+
+    fn notify(&mut self, event: ClientEvent) {
+        match event {
+            ClientEvent::Phase1 { token, receipt } => {
+                if let Some(reply) = self.put_waiters.remove(&token) {
+                    let (ptx, prx) = channel();
+                    self.proof_waiters.insert(receipt.bid, ptx);
+                    let _ = reply.send(PutReply { receipt, certified: prx });
+                }
+            }
+            ClientEvent::Phase2 { proof } => {
+                if let Some(tx) = self.proof_waiters.remove(&proof.bid) {
+                    let _ = tx.send(proof);
+                }
+            }
+            ClientEvent::ReadDone { token, outcome } => {
+                if let Some(tx) = self.get_waiters.remove(&token) {
+                    let _ = tx.send(outcome);
+                }
+            }
+            ClientEvent::Verdict(verdict) => self.verdicts.push(verdict),
+            ClientEvent::BatchFailed { token } => {
+                // Drop the reply sender: the caller observes a closed
+                // channel instead of hanging behind a dead batch, and
+                // the engine slot is free for the next queued batch.
+                self.put_waiters.remove(&token);
+            }
+            ClientEvent::Halted => {}
+        }
+    }
+
+    /// Hands queued batches to the engine whenever it is idle.
+    fn pump_puts(&mut self, now_ns: u64) {
+        while !self.engine.has_outstanding_batch() {
+            let Some((ops, reply)) = self.queued_puts.pop_front() else { break };
+            let token = self.next_token;
+            self.next_token += 1;
+            self.put_waiters.insert(token, reply);
+            self.run(ClientCommand::PutBatch { token, ops }, now_ns);
+        }
+    }
+}
+
+/// The client service: drives a [`ClientEngine`] from its inbox,
+/// routing caller requests in and completions back out. Dispute
+/// deadlines are consumed via `recv_timeout` + `Tick` — the thread
+/// never decides when a dispute fires.
+fn client_service(
+    engine: ClientEngine,
+    rx: Receiver<ClientIn>,
+    edge: SyncSender<EdgeIn>,
+    cloud: SyncSender<CloudIn>,
+    peer: usize,
+    epoch: Instant,
+) -> ClientExit {
+    let mut svc = ClientSvc {
+        engine,
+        edge,
+        cloud,
+        peer,
+        next_token: 0,
+        queued_puts: VecDeque::new(),
+        put_waiters: HashMap::new(),
+        get_waiters: HashMap::new(),
+        proof_waiters: HashMap::new(),
+        verdicts: Vec::new(),
+    };
+    loop {
+        match recv_until(&rx, svc.engine.next_deadline_ns(), epoch) {
+            Ok(Some(ClientIn::PutBatch { ops, reply })) => {
+                svc.queued_puts.push_back((ops, reply));
+            }
+            Ok(Some(ClientIn::Get { key, reply })) => {
+                let token = svc.next_token;
+                svc.next_token += 1;
+                svc.get_waiters.insert(token, reply);
+                svc.run(ClientCommand::Get { token, key }, elapsed_ns(epoch));
+            }
+            Ok(Some(ClientIn::LogRead(bid))) => {
+                svc.run(ClientCommand::LogRead { bid }, elapsed_ns(epoch));
+            }
+            Ok(Some(ClientIn::FromEdge(msg))) | Ok(Some(ClientIn::FromCloud(msg))) => {
+                if let Some(cmd) = ClientCommand::from_msg(msg) {
+                    svc.run(cmd, elapsed_ns(epoch));
+                }
+            }
+            Ok(Some(ClientIn::Shutdown)) | Err(()) => break,
+            Ok(None) => {}
+        }
+        let now_ns = elapsed_ns(epoch);
+        svc.pump_puts(now_ns);
+        if svc.engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
+            svc.run(ClientCommand::Tick, now_ns);
+        }
+    }
+    (svc.engine, svc.verdicts)
+}
+
+/// True for cloud→edge traffic that may be shed under backpressure:
+/// the next gossip round re-issues it.
+fn droppable(msg: &Msg) -> bool {
+    matches!(msg, Msg::Gossip(_) | Msg::GlobalRefresh(_))
+}
+
+/// Cloud→edge delivery under backpressure: never block (a blocking
+/// send could cycle with an edge blocked on its cloud send), shed
+/// droppable traffic, defer the rest in FIFO order.
+struct EdgeOutbox {
+    tx: SyncSender<EdgeIn>,
+    deferred: VecDeque<Msg>,
+}
+
+impl EdgeOutbox {
+    fn flush(&mut self) {
+        while let Some(msg) = self.deferred.pop_front() {
+            match self.tx.try_send(EdgeIn::FromCloud(msg)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(EdgeIn::FromCloud(msg))) => {
+                    self.deferred.push_front(msg);
+                    break;
+                }
+                Err(_) => {
+                    // Edge gone (shutdown): nothing left to deliver.
+                    self.deferred.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, msg: Msg, shed: &mut u64, deferred_count: &mut u64) {
+        self.flush();
+        // Preserve order: once anything is deferred, everything
+        // critical queues behind it.
+        if self.deferred.is_empty() {
+            match self.tx.try_send(EdgeIn::FromCloud(msg)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(EdgeIn::FromCloud(msg))) => {
+                    self.queue_or_shed(msg, shed, deferred_count)
+                }
+                Err(_) => {}
+            }
+        } else {
+            self.queue_or_shed(msg, shed, deferred_count);
+        }
+    }
+
+    fn queue_or_shed(&mut self, msg: Msg, shed: &mut u64, deferred_count: &mut u64) {
+        if droppable(&msg) {
+            *shed += 1;
+        } else {
+            self.deferred.push_back(msg);
+            *deferred_count += 1;
+        }
+    }
+}
+
+/// The cloud service: drives the [`CloudEngine`] from the shared
+/// bounded inbox. Gossip deadlines are consumed via `recv_timeout` +
+/// `Tick`; outbound edge traffic goes through [`EdgeOutbox`].
 fn cloud_service(
-    mut engine: CloudEngine<u8>,
+    mut engine: CloudEngine<usize>,
     rx: Receiver<CloudIn>,
-    edge: Sender<EdgeIn>,
+    edge_txs: Vec<SyncSender<EdgeIn>>,
+    client_txs: Vec<Sender<ClientIn>>,
     hop: Duration,
     epoch: Instant,
-) -> CloudEngine<u8> {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            CloudIn::FromEdge(msg) => {
+) -> CloudExit {
+    let num_edges = edge_txs.len();
+    let mut outboxes: Vec<EdgeOutbox> =
+        edge_txs.into_iter().map(|tx| EdgeOutbox { tx, deferred: VecDeque::new() }).collect();
+    let mut shed = 0u64;
+    let mut deferred_count = 0u64;
+    /// While messages are deferred, wake at least this often to retry.
+    const FLUSH_RETRY: Duration = Duration::from_millis(1);
+    loop {
+        for outbox in &mut outboxes {
+            outbox.flush();
+        }
+        let deferring = outboxes.iter().any(|o| !o.deferred.is_empty());
+        let deadline = engine.next_deadline_ns();
+        let timeout = if deferring {
+            let retry_at = elapsed_ns(epoch) + FLUSH_RETRY.as_nanos() as u64;
+            Some(deadline.map_or(retry_at, |d| d.min(retry_at)))
+        } else {
+            deadline
+        };
+        match recv_until(&rx, timeout, epoch) {
+            Ok(Some(CloudIn::From { peer, msg })) => {
                 if !hop.is_zero() {
                     std::thread::sleep(hop);
                 }
-                let Some(cmd) = CloudCommand::from_msg(EDGE_PEER, msg) else { continue };
-                let now_ns = epoch.elapsed().as_nanos() as u64;
-                for effect in engine.handle(cmd, now_ns) {
-                    match effect {
-                        CloudEffect::Send { msg, .. } => {
-                            let _ = edge.send(EdgeIn::FromCloud(msg));
-                        }
-                        CloudEffect::UseCpu(_) => {}
+                if let Some(cmd) = CloudCommand::from_msg(peer, msg) {
+                    for effect in engine.handle(cmd, elapsed_ns(epoch)) {
+                        route_cloud_effect(
+                            effect,
+                            num_edges,
+                            &mut outboxes,
+                            &client_txs,
+                            &mut shed,
+                            &mut deferred_count,
+                        );
                     }
                 }
             }
-            CloudIn::Shutdown => break,
+            Ok(Some(CloudIn::Shutdown)) | Err(()) => break,
+            Ok(None) => {}
+        }
+        let now_ns = elapsed_ns(epoch);
+        if engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
+            for effect in engine.handle(CloudCommand::Tick, now_ns) {
+                route_cloud_effect(
+                    effect,
+                    num_edges,
+                    &mut outboxes,
+                    &client_txs,
+                    &mut shed,
+                    &mut deferred_count,
+                );
+            }
         }
     }
-    engine
+    (engine, shed, deferred_count)
+}
+
+fn route_cloud_effect(
+    effect: CloudEffect<usize>,
+    num_edges: usize,
+    outboxes: &mut [EdgeOutbox],
+    client_txs: &[Sender<ClientIn>],
+    shed: &mut u64,
+    deferred_count: &mut u64,
+) {
+    match effect {
+        CloudEffect::Send { to, msg, .. } if to < num_edges => {
+            outboxes[to].deliver(msg, shed, deferred_count);
+        }
+        CloudEffect::Send { to, msg, .. } => {
+            let _ = client_txs[to - num_edges].send(ClientIn::FromCloud(msg));
+        }
+        CloudEffect::UseCpu(_) => {}
+    }
 }
 
 #[cfg(test)]
@@ -484,7 +930,7 @@ mod tests {
             assert_eq!(read.value, Some(format!("v{k}").into_bytes()), "key {k}");
         }
         let report = cluster.shutdown().expect("sole owner gets the report");
-        assert_eq!(report.edge_stats.blocks_sealed, 20);
+        assert_eq!(report.edges[0].edge_stats.blocks_sealed, 20);
         assert!(report.cloud_stats.merges_processed > 0, "merges ran");
     }
 
@@ -519,10 +965,10 @@ mod tests {
 
     #[test]
     fn threaded_concurrent_writers_lose_nothing() {
-        // Regression: sequence assignment, buffer insertion, AND the
-        // channel send must happen under one lock — otherwise a
-        // higher-sequence batch can overtake a lower one and the
-        // engine's replay window silently drops the late batch.
+        // Regression: batches must reach the client engine in
+        // submission order (sequence numbers are assigned on the
+        // client thread) — otherwise the engine's replay window
+        // silently drops a late batch.
         let cluster =
             ThreadedCluster::start(ThreadedConfig { batch_size: 2, ..ThreadedConfig::default() });
         std::thread::scope(|scope| {
@@ -545,7 +991,7 @@ mod tests {
             }
         }
         let report = cluster.shutdown().expect("report");
-        assert_eq!(report.edge_stats.blocks_sealed, 50, "100 entries in full batches of 2");
+        assert_eq!(report.edges[0].edge_stats.blocks_sealed, 50, "100 entries in batches of 2");
     }
 
     #[test]
@@ -553,7 +999,7 @@ mod tests {
         let run = || {
             let cluster = ThreadedCluster::start(ThreadedConfig {
                 batch_size: 2,
-                seal_times: Some(vec![1_000, 2_000, 3_000]),
+                seal_times: Some(vec![vec![1_000, 2_000, 3_000]]),
                 ..ThreadedConfig::default()
             });
             for k in 0..6u64 {
@@ -562,10 +1008,111 @@ mod tests {
             cluster.shutdown().expect("report")
         };
         let (a, b) = (run(), run());
-        assert_eq!(a.blocks.len(), 3);
-        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+        assert_eq!(a.edges[0].blocks.len(), 3);
+        for (x, y) in a.edges[0].blocks.iter().zip(&b.edges[0].blocks) {
             assert_eq!(x.0, y.0);
             assert_eq!(x.1, y.1, "scripted seal times make digests reproducible");
         }
+    }
+
+    #[test]
+    fn threaded_n_edges_partition_data_and_certification() {
+        let cluster = ThreadedCluster::start(ThreadedConfig {
+            num_edges: 3,
+            batch_size: 1,
+            ..ThreadedConfig::default()
+        });
+        let mut last = Vec::new();
+        for p in 0..3usize {
+            for k in 0..4u64 {
+                last.push(cluster.put_on(p, k + 10 * p as u64, vec![p as u8, k as u8]).unwrap());
+            }
+        }
+        for reply in last {
+            let proof = reply.certified.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(proof.digest, reply.receipt.block_digest);
+        }
+        // Partitioned keyspaces: each edge serves its own keys...
+        for p in 0..3usize {
+            for k in 0..4u64 {
+                let read = cluster.get_on(p, k + 10 * p as u64).unwrap();
+                assert_eq!(read.value, Some(vec![p as u8, k as u8]));
+            }
+        }
+        // ...and not its neighbours'.
+        assert_eq!(cluster.get_on(0, 21).unwrap().value, None);
+        let report = cluster.shutdown().expect("report");
+        assert_eq!(report.edges.len(), 3);
+        for (p, edge) in report.edges.iter().enumerate() {
+            assert_eq!(edge.edge_stats.blocks_sealed, 4, "edge {p}");
+            assert_eq!(edge.certified_len, 4, "edge {p} fully certified");
+        }
+        assert!(report.punished.is_empty());
+        cluster_report_sane(&report);
+    }
+
+    fn cluster_report_sane(report: &ThreadedReport) {
+        for edge in &report.edges {
+            for (bid, digest, edge_proof, certified) in &edge.blocks {
+                assert_eq!(certified.as_ref(), Some(digest), "block {bid} certified honestly");
+                assert_eq!(edge_proof.as_ref(), Some(digest), "block {bid} proof attached");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_gossip_reaches_clients_via_engine_deadline() {
+        // No driver schedules gossip: the cadence lives in the cloud
+        // engine, the thread just sleeps until the engine's deadline.
+        let cluster = ThreadedCluster::start(ThreadedConfig {
+            batch_size: 1,
+            gossip_period: Some(Duration::from_millis(5)),
+            ..ThreadedConfig::default()
+        });
+        for k in 0..3u64 {
+            let reply = cluster.put(k, b"v".to_vec()).unwrap();
+            let _ = reply.certified.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        // Let at least one gossip round fire after the last cert.
+        std::thread::sleep(Duration::from_millis(30));
+        let report = cluster.shutdown().expect("report");
+        assert!(report.cloud_stats.gossip_rounds >= 1, "engine-owned gossip fired");
+        assert_eq!(
+            report.edges[0].watermark_len,
+            Some(3),
+            "client holds the freshest watermark (certified prefix)"
+        );
+    }
+
+    #[test]
+    fn threaded_backpressure_sheds_gossip_but_defers_proofs() {
+        // A slow edge (5 ms per cloud message) with a tiny inbox and a
+        // 1 ms gossip cadence: the cloud must shed gossip, but every
+        // certification proof must still arrive (deferred, not lost).
+        let cluster = ThreadedCluster::start(ThreadedConfig {
+            batch_size: 1,
+            gossip_period: Some(Duration::from_millis(1)),
+            edge_apply_latency: Duration::from_millis(5),
+            edge_inbox_cap: 2,
+            ..ThreadedConfig::default()
+        });
+        let mut replies = Vec::new();
+        for k in 0..6u64 {
+            replies.push(cluster.put(k, vec![k as u8]).unwrap());
+        }
+        for reply in replies {
+            let proof = reply.certified.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(proof.digest, reply.receipt.block_digest, "no proof lost to shedding");
+        }
+        // Keep the gossip flood running against the slow edge a while.
+        std::thread::sleep(Duration::from_millis(100));
+        let report = cluster.shutdown().expect("report");
+        assert!(
+            report.shed_cloud_msgs > 0,
+            "overloaded edge inbox must shed droppable traffic (shed {}, deferred {})",
+            report.shed_cloud_msgs,
+            report.deferred_cloud_msgs
+        );
+        assert_eq!(report.edges[0].certified_len, 6, "certification complete despite overload");
     }
 }

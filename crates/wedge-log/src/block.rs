@@ -6,7 +6,7 @@
 //! what the cloud certifies (data-free certification, §IV-B): agreeing
 //! on the digest is agreeing on the content.
 
-use crate::enc::Encoder;
+use crate::enc::{DecodeError, Decoder, Encoder};
 use crate::entry::Entry;
 use std::fmt;
 use wedge_crypto::{Digest, IdentityId, KeyRegistry};
@@ -64,6 +64,32 @@ impl Block {
     /// The block digest the cloud certifies.
     pub fn digest(&self) -> Digest {
         wedge_crypto::sha256(&self.canonical_bytes())
+    }
+
+    /// Inverse of [`Block::canonical_bytes`]: decodes a whole block,
+    /// rejecting truncation and trailing bytes. Because the canonical
+    /// bytes are exactly what [`Block::digest`] hashes, a decoded
+    /// block re-encodes to the same bytes and therefore the same
+    /// digest — the property the networked driver's certification
+    /// path depends on.
+    pub fn decode(bytes: &[u8]) -> Result<Block, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        dec.expect_tag("wedge-block-v1")?;
+        let edge = IdentityId(dec.get_u64()?);
+        let id = BlockId(dec.get_u64()?);
+        let sealed_at_ns = dec.get_u64()?;
+        let count = dec.get_u64()?;
+        // Each entry is ≥ 48 bytes on the wire; an absurd count fails
+        // fast instead of pre-allocating hostile capacity.
+        if count > (bytes.len() as u64) / 48 {
+            return Err(DecodeError::BadLength);
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            entries.push(Entry::decode(&mut dec)?);
+        }
+        dec.finish()?;
+        Ok(Block { edge, id, entries, sealed_at_ns })
     }
 
     /// Verifies every entry's client signature.

@@ -1,10 +1,18 @@
-//! Canonical wire encoding.
+//! Canonical wire encoding and decoding.
 //!
 //! Every signed WedgeChain message is serialized with this tiny,
 //! unambiguous, length-prefixed encoding before hashing/signing, so a
 //! digest or signature commits to exactly one byte string. (Generic
 //! serializers are not canonical by default; hand-rolling ~100 lines is
 //! the safer choice for signing.)
+//!
+//! [`Decoder`] is the exact inverse, for the networked driver: a
+//! stream of fields read in the same order they were written, with
+//! every malformation (truncation, bad tag, oversized length prefix,
+//! trailing bytes) a typed [`DecodeError`] rather than a panic —
+//! decoded bytes come from untrusted peers.
+
+use std::fmt;
 
 /// Incrementally builds a canonical byte string.
 #[derive(Default)]
@@ -70,6 +78,118 @@ impl Encoder {
     /// True if nothing has been written.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+}
+
+/// Why decoding failed. Every variant is a malformed (or truncated,
+/// or tampered) input — never a programming error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a field.
+    UnexpectedEof,
+    /// The domain-separation tag did not match the expected one.
+    BadTag,
+    /// A length prefix claims more bytes than the input holds.
+    BadLength,
+    /// Input continued past the final field.
+    TrailingBytes,
+    /// A field held a value the type cannot represent.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "input truncated mid-field"),
+            DecodeError::BadTag => write!(f, "domain-separation tag mismatch"),
+            DecodeError::BadLength => write!(f, "length prefix exceeds input"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after final field"),
+            DecodeError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Reads fields back out of a canonical byte string, in the order
+/// [`Encoder`] wrote them.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Consumes and checks the [`Encoder::with_tag`] prefix.
+    pub fn expect_tag(&mut self, tag: &str) -> Result<(), DecodeError> {
+        if self.get_bytes()? != tag.as_bytes() {
+            return Err(DecodeError::BadTag);
+        }
+        Ok(())
+    }
+
+    /// Reads a fixed-width u8.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a fixed-width big-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("took 4 bytes")))
+    }
+
+    /// Reads a fixed-width big-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("took 8 bytes")))
+    }
+
+    /// Reads a fixed-width big-endian u128.
+    pub fn get_u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_be_bytes(self.take(16)?.try_into().expect("took 16 bytes")))
+    }
+
+    /// Reads a length-prefixed byte string. The prefix is validated
+    /// against the remaining input *before* any allocation, so a
+    /// hostile length cannot balloon memory.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.get_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(DecodeError::BadLength);
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads a 32-byte digest (fixed width, no prefix).
+    pub fn get_digest(&mut self) -> Result<wedge_crypto::Digest, DecodeError> {
+        let bytes: [u8; 32] = self.take(32)?.try_into().expect("took 32 bytes");
+        Ok(wedge_crypto::Digest::from_bytes(bytes))
+    }
+
+    /// Requires every byte to have been consumed — a decoded message
+    /// with leftovers is not the message that was signed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(())
     }
 }
 

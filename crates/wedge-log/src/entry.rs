@@ -5,7 +5,7 @@
 //! idempotence handle of §IV-E), and the client's signature over the
 //! canonical encoding.
 
-use crate::enc::Encoder;
+use crate::enc::{DecodeError, Decoder, Encoder};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
 
 /// A single client-signed log entry.
@@ -46,6 +46,18 @@ impl Entry {
             .put_bytes(&self.payload)
             .put_u128(self.signature.e)
             .put_u128(self.signature.s);
+    }
+
+    /// Inverse of [`Entry::encode`]: reads one entry from the stream.
+    /// The signature is *not* verified here — decoding and trusting
+    /// are separate steps.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Entry, DecodeError> {
+        let client = IdentityId(dec.get_u64()?);
+        let sequence = dec.get_u64()?;
+        let payload = dec.get_bytes()?.to_vec();
+        let e = dec.get_u128()?;
+        let s = dec.get_u128()?;
+        Ok(Entry { client, sequence, payload, signature: Signature { e, s } })
     }
 
     /// Verifies the client signature against the registry.

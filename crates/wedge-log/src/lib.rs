@@ -23,7 +23,7 @@ pub mod watermark;
 pub use block::{Block, BlockId};
 pub use buffer::{BlockBuffer, PushOutcome};
 pub use cert::{BlockProof, CertLedger, CertOutcome, CommitPhase};
-pub use enc::Encoder;
+pub use enc::{DecodeError, Decoder, Encoder};
 pub use entry::Entry;
 pub use reserve::{LogPosition, PositionedRequest, Reservation, ReservePolicy, ReservingBuffer};
 pub use store::{LogStore, StoredBlock};

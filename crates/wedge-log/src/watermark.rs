@@ -6,7 +6,7 @@
 //! gossip message knows every block id below `log_len` exists, so a
 //! negative read response for such an id is provable misbehaviour.
 
-use crate::enc::Encoder;
+use crate::enc::{DecodeError, Decoder, Encoder};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
 
 /// A cloud-signed statement: "as of `timestamp_ns`, edge `edge`'s log
@@ -48,6 +48,34 @@ impl GossipWatermark {
     /// True iff this watermark proves block `bid` exists.
     pub fn proves_existence(&self, bid: u64) -> bool {
         bid < self.log_len
+    }
+
+    /// Canonical wire bytes: the signed fields plus the signature
+    /// (what a networked driver transmits; the signing bytes stay
+    /// signature-free, as signatures never sign themselves).
+    pub fn encode_wire(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_tag("wedge-gossip-wire-v1");
+        enc.put_u64(self.edge.0)
+            .put_u64(self.timestamp_ns)
+            .put_u64(self.log_len)
+            .put_u128(self.signature.e)
+            .put_u128(self.signature.s);
+        enc.finish()
+    }
+
+    /// Inverse of [`GossipWatermark::encode_wire`]. The signature is
+    /// *not* verified here — call [`GossipWatermark::verify`] on the
+    /// result before trusting it.
+    pub fn decode_wire(bytes: &[u8]) -> Result<GossipWatermark, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        dec.expect_tag("wedge-gossip-wire-v1")?;
+        let edge = IdentityId(dec.get_u64()?);
+        let timestamp_ns = dec.get_u64()?;
+        let log_len = dec.get_u64()?;
+        let e = dec.get_u128()?;
+        let s = dec.get_u128()?;
+        dec.finish()?;
+        Ok(GossipWatermark { edge, timestamp_ns, log_len, signature: Signature { e, s } })
     }
 
     /// Wire size of a gossip message.

@@ -35,7 +35,7 @@ pub use level::{GlobalRootCert, Level, SignedLevelRoot};
 pub use merge::{kway_merge_newest, CloudIndex, InitBundle, MergeError, MergeRequest, MergeResult};
 pub use page::{check_level_ranges, find_covering, split_into_pages, L0Page, Page};
 pub use proof::{
-    build_read_proof, verify_read_proof, IndexReadProof, L0Witness, LevelWitness, ProofError,
-    VerifiedRead,
+    build_read_proof, verify_read_proof, verify_read_proof_cached, IndexReadProof, L0Witness,
+    LevelWitness, ProofError, ReadProofCache, VerifiedRead,
 };
 pub use tree::{LsMerkle, RecordLocation};

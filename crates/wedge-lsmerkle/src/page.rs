@@ -37,6 +37,7 @@ pub(crate) mod hash_stats {
     thread_local! {
         pub static PAGES_CONSTRUCTED: Cell<u64> = const { Cell::new(0) };
         pub static DIGESTS_COMPUTED: Cell<u64> = const { Cell::new(0) };
+        pub static L0_DECODE_CHECKS: Cell<u64> = const { Cell::new(0) };
     }
 
     pub fn constructed() -> u64 {
@@ -47,6 +48,12 @@ pub(crate) mod hash_stats {
         DIGESTS_COMPUTED.with(|c| c.get())
     }
 
+    /// `L0Page::matches_block` executions (each one re-decodes and
+    /// re-sorts the block) — what the read-proof cache avoids.
+    pub fn l0_decode_checks() -> u64 {
+        L0_DECODE_CHECKS.with(|c| c.get())
+    }
+
     pub fn note_constructed() {
         PAGES_CONSTRUCTED.with(|c| c.set(c.get() + 1));
     }
@@ -54,16 +61,23 @@ pub(crate) mod hash_stats {
     pub fn note_computed() {
         DIGESTS_COMPUTED.with(|c| c.set(c.get() + 1));
     }
+
+    pub fn note_l0_decode_check() {
+        L0_DECODE_CHECKS.with(|c| c.set(c.get() + 1));
+    }
 }
 
 #[cfg(test)]
-use hash_stats::{note_computed, note_constructed};
+use hash_stats::{note_computed, note_constructed, note_l0_decode_check};
 
 #[cfg(not(test))]
 fn note_constructed() {}
 
 #[cfg(not(test))]
 fn note_computed() {}
+
+#[cfg(not(test))]
+fn note_l0_decode_check() {}
 
 /// A sorted, range-covering page in level ≥ 1. Immutable: fields are
 /// fixed at construction so the memoized digest can never go stale.
@@ -290,6 +304,7 @@ impl L0Page {
     /// denormalized `records` (they are not covered by the block
     /// digest) without this check.
     pub fn matches_block(&self) -> bool {
+        note_l0_decode_check();
         Self::sorted_records(&self.block) == self.records
     }
 

@@ -19,6 +19,7 @@ use crate::kv::{Key, KvRecord, Value};
 use crate::level::{compute_global_root, empty_level_root, GlobalRootCert};
 use crate::page::{l0_lookup_pages, L0Page, Page};
 use crate::tree::LsMerkle;
+use std::collections::HashMap;
 use std::sync::Arc;
 use wedge_crypto::{Digest, IdentityId, InclusionProof, KeyRegistry, MerkleTree};
 use wedge_log::{BlockProof, CommitPhase};
@@ -126,6 +127,105 @@ impl std::fmt::Display for ProofError {
 
 impl std::error::Error for ProofError {}
 
+/// A verifying client's memo of L0 witnesses it has already checked —
+/// the §V-B read-proof fast path.
+///
+/// Every read proof re-ships *all* L0 pages, so a client that reads
+/// repeatedly re-verifies the same pages on every get: re-decoding the
+/// block behind each page ([`L0Page::matches_block`]) and re-checking
+/// the cloud's block-proof signature. Both checks are pure functions
+/// of immutable data, so a client may cache the verdict.
+///
+/// Soundness: entries are keyed by page digest but only trusted when
+/// the witness is *pointer-identical* (`Arc::ptr_eq`) to the verified
+/// page. The denormalized `records` field is NOT covered by the block
+/// digest, so a forged page can share an honestly-certified block (and
+/// hence its digest) while advertising different records — digest
+/// equality alone must never skip the records check. Pointer identity
+/// is exactly the in-process sharing the tree already does (`Arc`ed
+/// pages flow from tree to proof), so honest repeat reads always hit.
+#[derive(Debug)]
+pub struct ReadProofCache {
+    map: HashMap<Digest, CachedL0>,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct CachedL0 {
+    page: Arc<L0Page>,
+    proof: Option<BlockProof>,
+}
+
+impl ReadProofCache {
+    /// A cache holding at most `cap` verified witnesses.
+    pub fn new(cap: usize) -> Self {
+        ReadProofCache { map: HashMap::new(), cap: cap.max(1) }
+    }
+
+    /// Number of cached witnesses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The two L0 witness checks — canonical-records
+/// ([`L0Page::matches_block`]) and block-proof binding + signature —
+/// implemented exactly once for the cached and uncached verifiers.
+/// With a cache, checks whose verdict is memoized (under the pointer-
+/// identity rule documented on [`ReadProofCache`]) are skipped and the
+/// verdict is admitted afterwards. Returns whether the witness is
+/// certified (Phase II material).
+fn check_l0_witness(
+    w: &L0Witness,
+    edge: IdentityId,
+    cloud: IdentityId,
+    registry: &KeyRegistry,
+    cache: &mut Option<&mut ReadProofCache>,
+) -> Result<bool, ProofError> {
+    let digest = w.page.digest();
+    let cached = cache.as_ref().and_then(|c| c.map.get(&digest));
+    let page_ok = cached.is_some_and(|e| Arc::ptr_eq(&e.page, &w.page));
+    if !page_ok && !w.page.matches_block() {
+        return Err(ProofError::BadL0Proof(w.page.bid()));
+    }
+    let certified = match &w.proof {
+        Some(bp) => {
+            let cached_ok = page_ok && cached.is_some_and(|e| e.proof.as_ref() == Some(bp));
+            let proof_ok = cached_ok
+                || (bp.edge == edge
+                    && bp.bid == w.page.block().id
+                    && bp.digest == digest
+                    && bp.verify(cloud, registry));
+            if !proof_ok {
+                return Err(ProofError::BadL0Proof(w.page.bid()));
+            }
+            true
+        }
+        None => false,
+    };
+    if let Some(c) = cache.as_deref_mut() {
+        // Admit (or refresh, e.g. a page later read with its proof
+        // attached). Eviction is wholesale: the cache exists for tight
+        // re-read loops, where it never fills.
+        if c.map.len() >= c.cap && !c.map.contains_key(&digest) {
+            c.map.clear();
+        }
+        c.map.insert(digest, CachedL0 { page: Arc::clone(&w.page), proof: w.proof.clone() });
+    }
+    Ok(certified)
+}
+
+impl Default for ReadProofCache {
+    fn default() -> Self {
+        ReadProofCache::new(4096)
+    }
+}
+
 /// Builds the read proof for `key` from the edge's tree state.
 pub fn build_read_proof(tree: &LsMerkle, key: Key) -> IndexReadProof {
     let l0: Vec<L0Witness> = tree
@@ -182,6 +282,34 @@ pub fn verify_read_proof(
     now_ns: u64,
     freshness_window_ns: Option<u64>,
 ) -> Result<VerifiedRead, ProofError> {
+    verify_read_proof_inner(proof, edge, cloud, registry, now_ns, freshness_window_ns, None)
+}
+
+/// [`verify_read_proof`] with the repeat-read fast path: L0 witnesses
+/// already verified through `cache` skip block re-decoding and
+/// signature re-checking. Same verdict as the uncached verifier for
+/// every input (the cache can only skip work it has proven redundant).
+pub fn verify_read_proof_cached(
+    proof: &IndexReadProof,
+    edge: IdentityId,
+    cloud: IdentityId,
+    registry: &KeyRegistry,
+    now_ns: u64,
+    freshness_window_ns: Option<u64>,
+    cache: &mut ReadProofCache,
+) -> Result<VerifiedRead, ProofError> {
+    verify_read_proof_inner(proof, edge, cloud, registry, now_ns, freshness_window_ns, Some(cache))
+}
+
+fn verify_read_proof_inner(
+    proof: &IndexReadProof,
+    edge: IdentityId,
+    cloud: IdentityId,
+    registry: &KeyRegistry,
+    now_ns: u64,
+    freshness_window_ns: Option<u64>,
+    mut cache: Option<&mut ReadProofCache>,
+) -> Result<VerifiedRead, ProofError> {
     // 1. Global cert: signature, binding to edge.
     if proof.edge != edge || proof.global.edge != edge {
         return Err(ProofError::BadGlobalCert);
@@ -206,20 +334,8 @@ pub fn verify_read_proof(
     //    honestly-certified block.
     let mut phase = CommitPhase::Phase2;
     for w in &proof.l0 {
-        if !w.page.matches_block() {
-            return Err(ProofError::BadL0Proof(w.page.bid()));
-        }
-        match &w.proof {
-            Some(bp) => {
-                let ok = bp.edge == edge
-                    && bp.bid == w.page.block().id
-                    && bp.digest == w.page.digest()
-                    && bp.verify(cloud, registry);
-                if !ok {
-                    return Err(ProofError::BadL0Proof(w.page.bid()));
-                }
-            }
-            None => phase = CommitPhase::Phase1,
+        if !check_l0_witness(w, edge, cloud, registry, &mut cache)? {
+            phase = CommitPhase::Phase1;
         }
     }
     // 5. Level witnesses: inclusion + coverage + uniqueness.
@@ -535,6 +651,96 @@ mod tests {
             fx.verify(&proof).unwrap();
         }
         assert_eq!(hash_stats::computed(), d1, "settled-tree reads must not hash any page");
+    }
+
+    /// The repeat-read fast path: a second verification of the same
+    /// tree's proofs re-decodes zero L0 blocks (the cache remembers the
+    /// `matches_block` verdict per shared page).
+    #[test]
+    fn read_proof_cache_skips_block_redecoding() {
+        use crate::page::hash_stats;
+        let mut fx = Fixture::new();
+        for i in 0..6u64 {
+            fx.ingest_certified(&[(i, Some(b"v"))]);
+        }
+        let mut cache = ReadProofCache::default();
+        let mut verify_cached = |fx: &Fixture, proof: &IndexReadProof| {
+            verify_read_proof_cached(
+                proof,
+                fx.edge,
+                fx.cloud.id,
+                &fx.registry,
+                2_000,
+                None,
+                &mut cache,
+            )
+        };
+        let proof = build_read_proof(&fx.tree, 3);
+        let cold = hash_stats::l0_decode_checks();
+        verify_cached(&fx, &proof).unwrap();
+        assert!(hash_stats::l0_decode_checks() > cold, "first verification must decode the blocks");
+        // Re-read (fresh proof, same shared Arc pages): zero decodes.
+        let warm = hash_stats::l0_decode_checks();
+        for key in [0u64, 3, 5, 999] {
+            let proof = build_read_proof(&fx.tree, key);
+            verify_cached(&fx, &proof).unwrap();
+        }
+        assert_eq!(
+            hash_stats::l0_decode_checks(),
+            warm,
+            "cached witnesses must skip matches_block re-decoding"
+        );
+    }
+
+    /// Soundness: a forged page sharing an honestly-certified block
+    /// (same digest, different records) is still caught when the
+    /// honest page is cached — digest equality must never stand in for
+    /// the records check.
+    #[test]
+    fn read_proof_cache_never_trusts_forged_records() {
+        let mut fx = Fixture::new();
+        fx.ingest_certified(&[(5, Some(b"honest"))]);
+        let mut cache = ReadProofCache::default();
+        let proof = build_read_proof(&fx.tree, 5);
+        verify_read_proof_cached(
+            &proof,
+            fx.edge,
+            fx.cloud.id,
+            &fx.registry,
+            2_000,
+            None,
+            &mut cache,
+        )
+        .unwrap();
+        // Forge: honest block, fabricated records hiding the value.
+        let mut forged = build_read_proof(&fx.tree, 5);
+        let honest = Arc::clone(&forged.l0[0].page);
+        forged.l0[0].page = Arc::new(L0Page::forged(honest.block().clone(), vec![]));
+        forged.outcome = None;
+        assert_eq!(forged.l0[0].page.digest(), honest.digest(), "same digest by construction");
+        let res = verify_read_proof_cached(
+            &forged,
+            fx.edge,
+            fx.cloud.id,
+            &fx.registry,
+            2_000,
+            None,
+            &mut cache,
+        );
+        assert!(matches!(res, Err(ProofError::BadL0Proof(_))), "forgery got {res:?}");
+        // And the forgery must not have poisoned the cache for the
+        // honest page.
+        let proof = build_read_proof(&fx.tree, 5);
+        verify_read_proof_cached(
+            &proof,
+            fx.edge,
+            fx.cloud.id,
+            &fx.registry,
+            2_000,
+            None,
+            &mut cache,
+        )
+        .unwrap();
     }
 
     #[test]

@@ -159,6 +159,79 @@ impl<'a, M> Context<'a, M> {
     }
 }
 
+/// Keeps exactly one simulator timer armed at an engine's earliest
+/// deadline (`next_deadline_ns`).
+///
+/// Sans-IO engines own their time-driven behaviour as "earliest
+/// deadline" state; a driver's whole job is to call the engine's
+/// `Tick` command once `now` reaches that deadline. This helper is the
+/// simulator side of that contract: after every engine interaction the
+/// actor calls [`DeadlineTimer::resync`] with the engine's current
+/// deadline, and in `on_timer` it calls [`DeadlineTimer::fired`] to
+/// recognise its timer. The timer is re-armed only when the deadline
+/// actually changed, so a steady cadence costs one timer per firing.
+#[derive(Debug, Default)]
+pub struct DeadlineTimer {
+    armed: Option<(TimerId, u64)>,
+}
+
+impl DeadlineTimer {
+    /// A timer with nothing armed.
+    pub const fn new() -> Self {
+        DeadlineTimer { armed: None }
+    }
+
+    /// Reconciles the armed simulator timer with the engine's earliest
+    /// deadline (absolute ns). Cancels/re-arms only on change.
+    pub fn resync<M>(&mut self, ctx: &mut Context<'_, M>, deadline_ns: Option<u64>) {
+        if self.armed.map(|(_, d)| d) == deadline_ns {
+            return;
+        }
+        if let Some((timer, _)) = self.armed.take() {
+            ctx.cancel_timer(timer);
+        }
+        if let Some(d) = deadline_ns {
+            let delay = SimDuration::from_nanos(d.saturating_sub(ctx.now().as_nanos()));
+            let id = ctx.set_timer(delay, 0);
+            self.armed = Some((id, d));
+        }
+    }
+
+    /// Call from `on_timer`: returns `true` (and disarms) iff `id` is
+    /// the deadline timer this helper armed.
+    pub fn fired(&mut self, id: TimerId) -> bool {
+        match self.armed {
+            Some((t, _)) if t == id => {
+                self.armed = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The whole driver-side `on_timer` protocol in one call: if `id`
+    /// is this helper's timer and the engine's deadline has passed,
+    /// returns `true` — the caller must issue its `Tick` command (and
+    /// resync afterwards). Otherwise re-arms as needed and returns
+    /// `false`.
+    pub fn should_tick<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        id: TimerId,
+        deadline_ns: Option<u64>,
+    ) -> bool {
+        if !self.fired(id) {
+            return false;
+        }
+        if deadline_ns.is_some_and(|d| d <= ctx.now().as_nanos()) {
+            return true;
+        }
+        // The deadline moved (or vanished) since this timer was armed.
+        self.resync(ctx, deadline_ns);
+        false
+    }
+}
+
 /// A deterministic protocol state machine.
 ///
 /// Implementations must also expose themselves as `Any` so test and

@@ -25,7 +25,7 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
-pub use actor::{Actor, ActorId, Context, TimerId};
+pub use actor::{Actor, ActorId, Context, DeadlineTimer, TimerId};
 pub use net::{format_table1, NetConfig, NetworkModel, Region, RTT_MS};
 pub use rng::SimRng;
 pub use sim::Simulation;

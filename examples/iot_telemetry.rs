@@ -1,11 +1,11 @@
 //! High-velocity IoT log ingestion on the *real-threads* runtime.
 //!
-//! The other examples run on the deterministic simulator; this one
-//! runs WedgeChain's actual data path on OS threads — an edge service
-//! and a cloud service exchanging messages over crossbeam channels,
-//! with every signature and Merkle proof real. An injected 30 ms
-//! cloud hop shows Phase I committing far ahead of Phase II on a real
-//! clock.
+//! Most examples run on the deterministic simulator; this one runs
+//! WedgeChain's actual data path on OS threads — edge, client, and
+//! cloud services exchanging messages over bounded `std::sync::mpsc`
+//! channels, with every signature and Merkle proof real. An injected
+//! 30 ms cloud hop shows Phase I committing far ahead of Phase II on
+//! a real clock.
 //!
 //! Run with: `cargo run --release --example iot_telemetry`
 

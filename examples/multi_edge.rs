@@ -1,0 +1,105 @@
+//! N untrusted edges, one trusted cloud, on *real threads* — with a
+//! lie caught purely by engine-owned clocks.
+//!
+//! Three edge partitions run concurrently (one edge service thread +
+//! one client-engine thread each) against a single cloud thread.
+//! Partition 1's edge withholds certification of its second block: the
+//! client's Phase-I receipt is in hand, but Phase II never comes. No
+//! thread schedules a timeout — the client *engine* exposes its
+//! dispute deadline via `next_deadline_ns()`, the service thread
+//! sleeps exactly until it (`recv_timeout`), and the resulting
+//! `MissingCertification` dispute convicts the edge at the cloud.
+//! Honest partitions keep working; the punished one burns alone.
+//!
+//! Run with: `cargo run --release --example multi_edge`
+
+use std::time::Duration;
+use wedgechain::core::fault::FaultPlan;
+use wedgechain::core::messages::DisputeVerdict;
+use wedgechain::core::threaded::{ThreadedCluster, ThreadedConfig};
+use wedgechain::lsmerkle::LsmConfig;
+
+fn main() {
+    println!("WedgeChain multi-edge threaded runtime — lazy trust across partitions\n");
+
+    let partitions = 3;
+    let cluster = ThreadedCluster::start(ThreadedConfig {
+        lsm: LsmConfig::paper_eval(),
+        num_edges: partitions,
+        batch_size: 1,
+        // Partition 1 withholds certification of its block 1.
+        faults: vec![FaultPlan::honest(), FaultPlan::withhold_on(1), FaultPlan::honest()],
+        gossip_period: Some(Duration::from_millis(25)),
+        dispute_timeout: Duration::from_millis(250),
+        ..ThreadedConfig::default()
+    });
+
+    // Each partition writes its own keyspace; every put Phase-I
+    // commits immediately at its edge.
+    for p in 0..partitions {
+        for k in 0..4u64 {
+            let key = 100 * p as u64 + k;
+            let reply = cluster
+                .put_on(p, key, format!("p{p}-v{k}").into_bytes())
+                .expect("batch size 1 seals every put");
+            assert!(reply.receipt.verify(&cluster.registry));
+            // Phase II for everything the edges actually certify.
+            let honest = !(p == 1 && k == 1);
+            if honest {
+                let proof = reply.certified.recv_timeout(Duration::from_secs(5)).unwrap();
+                assert_eq!(proof.digest, reply.receipt.block_digest);
+            }
+        }
+    }
+    println!("12 puts Phase-I committed across {partitions} partitions (11 certified, 1 withheld)");
+
+    // Reads verify end-to-end per partition, concurrently.
+    std::thread::scope(|scope| {
+        for p in 0..partitions {
+            let cluster = &cluster;
+            scope.spawn(move || {
+                for k in 0..4u64 {
+                    let read = cluster.get_on(p, 100 * p as u64 + k).expect("read verifies");
+                    assert_eq!(read.value, Some(format!("p{p}-v{k}").into_bytes()));
+                }
+            });
+        }
+    });
+    println!("12 verified reads served, every proof checked by the client engine");
+
+    // Let the engine-owned dispute deadline fire and a gossip round
+    // follow; the threads only sleep until the engines say "now".
+    std::thread::sleep(Duration::from_millis(600));
+
+    let report = cluster.shutdown().expect("sole owner receives the final state");
+    println!("\n--- final protocol state ---");
+    for (p, edge) in report.edges.iter().enumerate() {
+        println!(
+            "partition {p}: {} blocks sealed, certified prefix {}, client watermark {:?}, \
+             disputes {}/{} (filed/upheld)",
+            edge.edge_stats.blocks_sealed,
+            edge.certified_len,
+            edge.watermark_len,
+            edge.client_metrics.disputes_filed,
+            edge.client_metrics.disputes_upheld,
+        );
+        for verdict in &edge.verdicts {
+            if let DisputeVerdict::EdgePunished { edge, grounds } = verdict {
+                println!("  verdict: edge {edge:?} punished — {grounds}");
+            }
+        }
+    }
+    println!(
+        "cloud: {} certs issued, {} gossip rounds, punished {:?}",
+        report.cloud_stats.certs_issued, report.cloud_stats.gossip_rounds, report.punished,
+    );
+
+    assert_eq!(report.punished.len(), 1, "exactly the withholding edge is punished");
+    assert_eq!(report.punished[0], report.edges[1].edge);
+    assert_eq!(report.edges[1].client_metrics.disputes_upheld, 1);
+    for p in [0usize, 2] {
+        assert_eq!(report.edges[p].certified_len, 4, "honest partition fully certified");
+        assert!(report.edges[p].verdicts.is_empty());
+    }
+    println!("\nthe lying partition burned alone; no driver ever scheduled a timer");
+}
