@@ -76,6 +76,20 @@ pub fn bench_with_setup<S, T>(
     });
 }
 
+/// Records an externally measured result — e.g. a *virtual-time*
+/// latency from the deterministic simulator, where the metric is what
+/// the protocol clock says, not how long the host took. The value
+/// lands in the same results (and `BENCH_*.json`) as timed benches.
+pub fn record_ns(name: &str, ns: u128) {
+    RESULTS.lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        iters: 1,
+        mean_ns: ns,
+        median_ns: ns,
+        min_ns: ns,
+    });
+}
+
 /// Snapshot of every result recorded so far in this process.
 pub fn recorded_results() -> Vec<BenchRecord> {
     RESULTS.lock().unwrap().clone()

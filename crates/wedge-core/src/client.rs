@@ -38,8 +38,8 @@ impl ClientNode {
         for effect in self.engine.handle(cmd, ctx.now().as_nanos()) {
             match effect {
                 ClientEffect::UseCpu(d) => ctx.use_cpu(d),
-                ClientEffect::SendEdge { msg, wire } => ctx.send(self.edge, msg, wire),
-                ClientEffect::SendCloud { msg, wire } => ctx.send(self.cloud, msg, wire),
+                ClientEffect::SendEdge { msg, wire } => ctx.send(self.edge, Msg::Wire(msg), wire),
+                ClientEffect::SendCloud { msg, wire } => ctx.send(self.cloud, Msg::Wire(msg), wire),
                 // Completion routing is a real-runtime concern; sim
                 // harnesses read engine state directly.
                 ClientEffect::Notify(_) => {}

@@ -47,7 +47,7 @@ impl CloudNode {
         for effect in self.engine.handle(cmd, ctx.now().as_nanos()) {
             match effect {
                 CloudEffect::UseCpu(d) => ctx.use_cpu(d),
-                CloudEffect::Send { to, msg, wire } => ctx.send(to, msg, wire),
+                CloudEffect::Send { to, msg, wire } => ctx.send(to, Msg::Wire(msg), wire),
             }
         }
         self.timer.resync(ctx, self.engine.next_deadline_ns());
@@ -82,7 +82,9 @@ impl Actor<Msg> for CloudNode {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, msg: Msg) {
-        let Some(cmd) = CloudCommand::from_msg(from, msg) else { return };
+        // The cloud speaks only the wire protocol.
+        let Msg::Wire(wire) = msg else { return };
+        let Some(cmd) = CloudCommand::from_wire(from, wire) else { return };
         self.run(ctx, cmd);
     }
 

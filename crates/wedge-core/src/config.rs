@@ -51,6 +51,11 @@ pub struct SystemConfig {
     /// before re-sending (ms); `None` disables retries. The retry
     /// clock is engine-owned (`EdgeEngine::next_deadline_ns`).
     pub cert_retry_ms: Option<u64>,
+    /// How long an edge waits for a merge reply before re-sending the
+    /// request (ms); `None` disables retries. Engine-owned, like
+    /// `cert_retry_ms`; the cloud answers identical retries
+    /// idempotently.
+    pub merge_retry_ms: Option<u64>,
     /// Read freshness window (ms); `None` disables the check (§V-D).
     pub freshness_window_ms: Option<u64>,
     /// RNG seed for deterministic runs.
@@ -78,6 +83,7 @@ impl Default for SystemConfig {
             gossip_period_ms: 1_000,
             dispute_timeout_ms: 5_000,
             cert_retry_ms: None,
+            merge_retry_ms: None,
             freshness_window_ms: None,
             seed: 42,
             data_free: true,

@@ -66,11 +66,13 @@ impl EdgeNode {
             match effect {
                 EdgeEffect::UseCpu(d) => ctx.use_cpu(d),
                 EdgeEffect::UseCpuBackground(d) => ctx.use_cpu_background(d),
-                EdgeEffect::Send { to, msg, wire } => ctx.send(to, msg, wire),
+                EdgeEffect::Send { to, msg, wire } => ctx.send(to, Msg::Wire(msg), wire),
                 EdgeEffect::SendCloud { msg, wire, dispatch: Some(cost) } => {
-                    ctx.send_background(cloud, msg, wire, cost)
+                    ctx.send_background(cloud, Msg::Wire(msg), wire, cost)
                 }
-                EdgeEffect::SendCloud { msg, wire, dispatch: None } => ctx.send(cloud, msg, wire),
+                EdgeEffect::SendCloud { msg, wire, dispatch: None } => {
+                    ctx.send(cloud, Msg::Wire(msg), wire)
+                }
             }
         }
         self.timer.resync(ctx, self.engine.next_deadline_ns());
@@ -95,7 +97,10 @@ impl DerefMut for EdgeNode {
 
 impl Actor<Msg> for EdgeNode {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, msg: Msg) {
-        let Some(cmd) = EdgeCommand::from_msg(from, msg) else { return };
+        // Edges speak only the wire protocol; control messages are a
+        // client-driver concern.
+        let Msg::Wire(wire) = msg else { return };
+        let Some(cmd) = EdgeCommand::from_wire(from, wire) else { return };
         self.run(ctx, cmd);
     }
 

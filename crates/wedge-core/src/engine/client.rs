@@ -19,7 +19,7 @@
 
 use crate::config::CryptoMode;
 use crate::cost::CostModel;
-use crate::messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt};
+use crate::messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt, WireMsg};
 use crate::metrics::ClientMetrics;
 use std::collections::HashMap;
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
@@ -175,8 +175,9 @@ pub enum ClientCommand {
 }
 
 impl ClientCommand {
-    /// Maps a protocol message arriving at the client to a command.
-    /// Returns `None` for messages the client does not handle.
+    /// Maps a driver-level message (harness control or wire protocol)
+    /// to a command. Returns `None` for messages the client does not
+    /// handle.
     pub fn from_msg(msg: Msg) -> Option<Self> {
         Some(match msg {
             Msg::Start => ClientCommand::Start,
@@ -185,14 +186,22 @@ impl ClientCommand {
             }
             Msg::DoGet { key } => ClientCommand::Get { token: 0, key },
             Msg::DoLogRead { bid } => ClientCommand::LogRead { bid },
-            Msg::AddResponse { receipt } => ClientCommand::AddResponse(receipt),
-            Msg::BlockProofForward(proof) => ClientCommand::BlockProof(proof),
-            Msg::GetResponse { req_id, proof } => ClientCommand::GetResponse { req_id, proof },
-            Msg::GossipForward(wm) | Msg::Gossip(wm) => ClientCommand::Gossip(wm),
-            Msg::LogReadResponse { receipt, block, proof } => {
+            Msg::Wire(w) => return Self::from_wire(w),
+        })
+    }
+
+    /// Maps a protocol message arriving at the client to a command.
+    /// Returns `None` for messages the client does not handle.
+    pub fn from_wire(msg: WireMsg) -> Option<Self> {
+        Some(match msg {
+            WireMsg::AddResponse { receipt } => ClientCommand::AddResponse(receipt),
+            WireMsg::BlockProofForward(proof) => ClientCommand::BlockProof(proof),
+            WireMsg::GetResponse { req_id, proof } => ClientCommand::GetResponse { req_id, proof },
+            WireMsg::GossipForward(wm) | WireMsg::Gossip(wm) => ClientCommand::Gossip(wm),
+            WireMsg::LogReadResponse { receipt, block, proof } => {
                 ClientCommand::LogReadResponse { receipt, block, proof }
             }
-            Msg::VerdictMsg(verdict) => ClientCommand::Verdict(verdict),
+            WireMsg::VerdictMsg(verdict) => ClientCommand::Verdict(verdict),
             _ => return None,
         })
     }
@@ -203,21 +212,21 @@ impl ClientCommand {
 /// exactly two peers — its partition's edge and the cloud — so the
 /// effects name them instead of carrying a generic handle.
 #[derive(Debug)]
-#[allow(clippy::large_enum_variant)] // `Msg` dwarfs the rest; effects are short-lived
+#[allow(clippy::large_enum_variant)] // `WireMsg` dwarfs the rest; effects are short-lived
 pub enum ClientEffect {
     /// Foreground CPU consumed (verification work).
     UseCpu(SimDuration),
     /// A message to the partition's edge node.
     SendEdge {
         /// The message.
-        msg: Msg,
+        msg: WireMsg,
         /// Wire size for the bandwidth model.
         wire: u32,
     },
     /// A message to the cloud (disputes).
     SendCloud {
         /// The message.
-        msg: Msg,
+        msg: WireMsg,
         /// Wire size for the bandwidth model.
         wire: u32,
     },
@@ -317,6 +326,11 @@ pub struct ClientEngine {
     /// message actually departs (after verification work), exactly as
     /// the simulator's CPU model delivers it.
     elapsed_ns: u64,
+    /// How many put batches may be in flight at once (receipts
+    /// correlate by `req_id`, so the engine supports any depth; the
+    /// default of 1 preserves the strictly-serialized behaviour the
+    /// simulator baselines were calibrated against).
+    pipeline_depth: usize,
     // --- progress ---
     next_req: u64,
     next_seq: u64,
@@ -324,7 +338,7 @@ pub struct ClientEngine {
     reads_issued: u64,
     reads_finished: u64,
     burst_remaining: u64,
-    outstanding_batch: Option<OutstandingBatch>,
+    outstanding_batches: HashMap<u64, OutstandingBatch>,
     outstanding_reads: HashMap<u64, OutstandingRead>,
     pending_p2: HashMap<BlockId, PendingAdd>,
     /// Phase-I log reads awaiting audit.
@@ -373,13 +387,14 @@ impl ClientEngine {
             dispute_timeout_ns,
             proof_cache: ReadProofCache::default(),
             elapsed_ns: 0,
+            pipeline_depth: 1,
             next_req: 0,
             next_seq: 0,
             batches_done: 0,
             reads_issued: 0,
             reads_finished: 0,
             burst_remaining: 0,
-            outstanding_batch: None,
+            outstanding_batches: HashMap::new(),
             outstanding_reads: HashMap::new(),
             pending_p2: HashMap::new(),
             pending_log_reads: HashMap::new(),
@@ -405,15 +420,28 @@ impl ClientEngine {
     pub fn next_deadline_ns(&self) -> Option<u64> {
         let p2 = self.pending_p2.values().filter_map(|p| p.deadline_ns);
         let lr = self.pending_log_reads.values().map(|p| p.deadline_ns);
-        let batch = self.outstanding_batch.as_ref().map(|b| b.deadline_ns);
+        let batch = self.outstanding_batches.values().map(|b| b.deadline_ns);
         p2.chain(lr).chain(batch).min()
     }
 
-    /// True while a submitted batch awaits its Phase-I receipt. The
-    /// engine tracks one batch in flight; drivers that pipeline
-    /// ([`crate::threaded`]) queue behind this.
+    /// Sets how many put batches may be outstanding at once (clamped
+    /// to ≥ 1). Receipts correlate by `req_id`, so any depth is safe;
+    /// deeper pipelines overlap Phase-I round trips instead of
+    /// serializing them.
+    pub fn set_pipeline_depth(&mut self, depth: usize) {
+        self.pipeline_depth = depth.max(1);
+    }
+
+    /// True while any submitted batch awaits its Phase-I receipt.
     pub fn has_outstanding_batch(&self) -> bool {
-        self.outstanding_batch.is_some()
+        !self.outstanding_batches.is_empty()
+    }
+
+    /// True while the engine has a free outstanding-batch slot —
+    /// pipelining drivers ([`crate::threaded`], `wedge-net`) hand over
+    /// queued batches whenever this holds.
+    pub fn can_accept_batch(&self) -> bool {
+        self.outstanding_batches.len() < self.pipeline_depth
     }
 
     /// Charges foreground CPU: emits the effect and advances the
@@ -442,7 +470,7 @@ impl ClientEngine {
                 self.send_read(&mut out, Some(key), 0, token, now_ns);
             }
             ClientCommand::LogRead { bid } => {
-                out.push(ClientEffect::SendEdge { msg: Msg::LogRead { bid }, wire: 16 });
+                out.push(ClientEffect::SendEdge { msg: WireMsg::LogRead { bid }, wire: 16 });
             }
             ClientCommand::AddResponse(receipt) => {
                 self.handle_add_response(&mut out, receipt, now_ns)
@@ -499,15 +527,18 @@ impl ClientEngine {
             .collect();
         let req_id = self.next_req;
         self.next_req += 1;
-        let msg = Msg::BatchAdd { req_id, entries };
+        let msg = WireMsg::BatchAdd { req_id, entries };
         let wire = msg.wire_size();
-        self.outstanding_batch = Some(OutstandingBatch {
+        self.outstanding_batches.insert(
             req_id,
-            sent_ns: self.now_with_cpu(now_ns),
-            ops: n,
-            token,
-            deadline_ns: now_ns + self.dispute_timeout_ns,
-        });
+            OutstandingBatch {
+                req_id,
+                sent_ns: self.now_with_cpu(now_ns),
+                ops: n,
+                token,
+                deadline_ns: now_ns + self.dispute_timeout_ns,
+            },
+        );
         out.push(ClientEffect::SendEdge { msg, wire });
     }
 
@@ -526,15 +557,18 @@ impl ClientEngine {
         }
         let req_id = self.next_req;
         self.next_req += 1;
-        let msg = Msg::BatchAdd { req_id, entries };
+        let msg = WireMsg::BatchAdd { req_id, entries };
         let wire = msg.wire_size();
-        self.outstanding_batch = Some(OutstandingBatch {
+        self.outstanding_batches.insert(
             req_id,
-            sent_ns: self.now_with_cpu(now_ns),
-            ops: self.plan.batch_size as u64,
-            token: 0,
-            deadline_ns: now_ns + self.dispute_timeout_ns,
-        });
+            OutstandingBatch {
+                req_id,
+                sent_ns: self.now_with_cpu(now_ns),
+                ops: self.plan.batch_size as u64,
+                token: 0,
+                deadline_ns: now_ns + self.dispute_timeout_ns,
+            },
+        );
         out.push(ClientEffect::SendEdge { msg, wire });
     }
 
@@ -551,7 +585,7 @@ impl ClientEngine {
         self.next_req += 1;
         let sent_ns = self.now_with_cpu(now_ns);
         self.outstanding_reads.insert(req_id, OutstandingRead { key, sent_ns, retries, token });
-        out.push(ClientEffect::SendEdge { msg: Msg::Get { req_id, key }, wire: 24 });
+        out.push(ClientEffect::SendEdge { msg: WireMsg::Get { req_id, key }, wire: 24 });
     }
 
     /// Advances the workload: issues the next batch and/or fills the
@@ -582,7 +616,10 @@ impl ClientEngine {
         }
 
         if batches_left > 0 {
-            if self.outstanding_batch.is_none() {
+            // Fill the pipeline: issue until the depth is reached or
+            // the plan runs out (in-flight batches count as issued).
+            while self.can_accept_batch() && (self.outstanding_batches.len() as u64) < batches_left
+            {
                 self.send_batch(out, now_ns);
             }
             return;
@@ -600,7 +637,7 @@ impl ClientEngine {
         }
 
         // All issued; finished when nothing is outstanding.
-        if self.outstanding_batch.is_none()
+        if self.outstanding_batches.is_empty()
             && self.outstanding_reads.is_empty()
             && self.metrics.finished_at.is_none()
             && (self.plan.write_batches > 0 || self.plan.reads > 0)
@@ -619,13 +656,11 @@ impl ClientEngine {
             return; // an unverifiable promise is no promise
         }
         self.charge(out, SimDuration::from_nanos(self.cost.verify_ns));
-        let Some(batch) = self.outstanding_batch.take() else {
+        // Receipts correlate by req_id; an unknown or duplicate
+        // receipt matches nothing and is ignored.
+        let Some(batch) = self.outstanding_batches.remove(&receipt.req_id) else {
             return;
         };
-        if receipt.req_id != batch.req_id {
-            self.outstanding_batch = Some(batch);
-            return;
-        }
         // Phase I commit (Definition 1): we hold signed evidence.
         let latency = SimDuration::from_nanos(now_ns.saturating_sub(batch.sent_ns));
         self.metrics.p1_latency.record(latency.as_millis_f64());
@@ -674,7 +709,7 @@ impl ClientEngine {
             // The cloud certified a different digest than the edge
             // promised us — the edge lied. Dispute with our receipt.
             self.metrics.disputes_filed += 1;
-            let msg = Msg::DisputeMsg(Box::new(Dispute::MissingCertification {
+            let msg = WireMsg::DisputeMsg(Box::new(Dispute::MissingCertification {
                 receipt: pending.receipt,
             }));
             out.push(ClientEffect::SendCloud { msg, wire: 256 });
@@ -781,7 +816,7 @@ impl ClientEngine {
                 .latest(self.edge_identity)
                 .expect("detects_omission implies a watermark")
                 .clone();
-            let msg = Msg::DisputeMsg(Box::new(Dispute::Omission { receipt, watermark: wm }));
+            let msg = WireMsg::DisputeMsg(Box::new(Dispute::Omission { receipt, watermark: wm }));
             out.push(ClientEffect::SendCloud { msg, wire: 256 });
             return;
         }
@@ -793,7 +828,7 @@ impl ClientEngine {
             if !ok {
                 // Served content contradicts certification.
                 self.metrics.disputes_filed += 1;
-                let msg = Msg::DisputeMsg(Box::new(Dispute::WrongRead { receipt }));
+                let msg = WireMsg::DisputeMsg(Box::new(Dispute::WrongRead { receipt }));
                 out.push(ClientEffect::SendCloud { msg, wire: 256 });
             }
         } else if block.is_some() {
@@ -829,12 +864,22 @@ impl ClientEngine {
     /// never arrived, and [`Dispute::WrongRead`] for Phase-I log reads
     /// whose audit window closed.
     fn tick(&mut self, out: &mut Vec<ClientEffect>, now_ns: u64) {
-        if self.outstanding_batch.as_ref().is_some_and(|b| b.deadline_ns <= now_ns) {
+        let mut dead: Vec<u64> = self
+            .outstanding_batches
+            .values()
+            .filter(|b| b.deadline_ns <= now_ns)
+            .map(|b| b.req_id)
+            .collect();
+        dead.sort_unstable(); // deterministic failure order
+        let any_dead = !dead.is_empty();
+        for req_id in dead {
             // No receipt means no dispute evidence — all the engine
             // can do is free the slot so the workload (and a pipelining
             // driver) is not wedged behind a dead batch forever.
-            let batch = self.outstanding_batch.take().expect("checked above");
+            let batch = self.outstanding_batches.remove(&req_id).expect("collected above");
             out.push(ClientEffect::Notify(ClientEvent::BatchFailed { token: batch.token }));
+        }
+        if any_dead {
             self.pump(out, now_ns);
         }
         let mut due: Vec<BlockId> = self
@@ -852,7 +897,7 @@ impl ClientEngine {
             // no second dispute is possible.
             pending.deadline_ns = None;
             self.metrics.disputes_filed += 1;
-            let msg = Msg::DisputeMsg(Box::new(Dispute::MissingCertification {
+            let msg = WireMsg::DisputeMsg(Box::new(Dispute::MissingCertification {
                 receipt: pending.receipt.clone(),
             }));
             out.push(ClientEffect::SendCloud { msg, wire: 256 });
@@ -867,7 +912,8 @@ impl ClientEngine {
         for bid in due {
             let pending = self.pending_log_reads.remove(&bid).expect("collected above");
             self.metrics.disputes_filed += 1;
-            let msg = Msg::DisputeMsg(Box::new(Dispute::WrongRead { receipt: pending.receipt }));
+            let msg =
+                WireMsg::DisputeMsg(Box::new(Dispute::WrongRead { receipt: pending.receipt }));
             out.push(ClientEffect::SendCloud { msg, wire: 256 });
         }
     }
@@ -897,6 +943,74 @@ mod tests {
             1_000, // dispute timeout (ns) — drives every client deadline
             7,
         )
+    }
+
+    /// Pipelining: with depth N, N submitted batches all dispatch
+    /// immediately (overlapping their Phase-I round trips instead of
+    /// serializing), and receipts complete them by `req_id` in any
+    /// arrival order.
+    #[test]
+    fn pipelined_batches_overlap_and_correlate_by_req_id() {
+        let mut eng = engine();
+        eng.set_pipeline_depth(3);
+        let edge = Identity::derive("edge", 100);
+        let mut sent = Vec::new();
+        for token in 0..3u64 {
+            let effects = eng.handle(
+                ClientCommand::PutBatch { token, ops: vec![(token, vec![token as u8])] },
+                100,
+            );
+            // Every batch goes on the wire at once: nothing waits for
+            // an earlier receipt.
+            let dispatched: Vec<u64> = effects
+                .iter()
+                .filter_map(|e| match e {
+                    ClientEffect::SendEdge { msg: WireMsg::BatchAdd { req_id, .. }, .. } => {
+                        Some(*req_id)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(dispatched, vec![token], "batch {token} dispatched immediately");
+            sent.push(token);
+        }
+        assert!(eng.has_outstanding_batch());
+        assert!(!eng.can_accept_batch(), "pipeline full at depth 3");
+
+        // Receipts arrive out of order: 2, 0, 1. Each completes its
+        // own batch (token == req_id here) — no head-of-line coupling.
+        for (i, req_id) in [2u64, 0, 1].into_iter().enumerate() {
+            let receipt = AddReceipt::issue(
+                &edge,
+                eng.id(),
+                req_id,
+                wedge_crypto::sha256(b"entries"),
+                wedge_log::BlockId(req_id),
+                wedge_crypto::sha256(&[req_id as u8]),
+            );
+            let effects = eng.handle(ClientCommand::AddResponse(receipt), 200 + i as u64);
+            let done: Vec<u64> = effects
+                .iter()
+                .filter_map(|e| match e {
+                    ClientEffect::Notify(ClientEvent::Phase1 { token, .. }) => Some(*token),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(done, vec![req_id], "receipt {req_id} completed its own batch");
+        }
+        assert!(!eng.has_outstanding_batch(), "all three completed");
+        assert!(eng.can_accept_batch());
+        assert_eq!(eng.metrics.ops_p1, 3);
+    }
+
+    /// Depth 1 (the default) preserves strict serialization: the
+    /// engine accepts further batches only as receipts free the slot,
+    /// which is what the sim-calibrated baselines assume.
+    #[test]
+    fn default_depth_keeps_single_slot() {
+        let mut eng = engine();
+        eng.handle(ClientCommand::PutBatch { token: 0, ops: vec![(1, b"v".to_vec())] }, 100);
+        assert!(!eng.can_accept_batch(), "depth 1: slot taken");
     }
 
     /// An edge that never Phase-I-answers must not wedge the client:

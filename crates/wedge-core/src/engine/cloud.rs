@@ -15,7 +15,7 @@
 //! No driver decides *when* to gossip; it only supplies time.
 
 use crate::cost::CostModel;
-use crate::messages::{certify_signing_bytes, Dispute, DisputeVerdict, Msg};
+use crate::messages::{certify_signing_bytes, Dispute, DisputeVerdict, WireMsg};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, RevocationReason, Signature};
@@ -32,6 +32,9 @@ pub struct CloudStats {
     pub equivocations_detected: u64,
     /// Merges processed successfully.
     pub merges_processed: u64,
+    /// Byte-identical merge retries answered from the replay cache
+    /// (the original result was lost in transit; nothing re-applied).
+    pub merges_replayed: u64,
     /// Merge requests rejected (forged/stale inputs).
     pub merges_rejected: u64,
     /// Disputes received.
@@ -81,13 +84,13 @@ pub enum CloudCommand<P> {
 impl<P> CloudCommand<P> {
     /// Maps a protocol message arriving at the cloud to a command.
     /// Returns `None` for messages the cloud does not handle.
-    pub fn from_msg(from: P, msg: Msg) -> Option<Self> {
+    pub fn from_wire(from: P, msg: WireMsg) -> Option<Self> {
         Some(match msg {
-            Msg::BlockCertify { bid, digest, signature } => {
+            WireMsg::BlockCertify { bid, digest, signature } => {
                 CloudCommand::Certify { from, bid, digest, signature }
             }
-            Msg::MergeReq(req) => CloudCommand::Merge { from, req },
-            Msg::DisputeMsg(dispute) => CloudCommand::Dispute { from, dispute },
+            WireMsg::MergeReq(req) => CloudCommand::Merge { from, req },
+            WireMsg::DisputeMsg(dispute) => CloudCommand::Dispute { from, dispute },
             _ => return None,
         })
     }
@@ -96,7 +99,7 @@ impl<P> CloudCommand<P> {
 /// A typed effect emitted by the cloud engine. Apply in order: CPU
 /// effects time-shift the sends that follow them.
 #[derive(Debug)]
-// `Msg` dwarfs the CPU variant; effects are short-lived values moved
+// `WireMsg` dwarfs the CPU variant; effects are short-lived values moved
 // straight into the runtime's queues, so boxing would only add an
 // allocation per message.
 #[allow(clippy::large_enum_variant)]
@@ -108,7 +111,7 @@ pub enum CloudEffect<P> {
         /// The destination peer.
         to: P,
         /// The message.
-        msg: Msg,
+        msg: WireMsg,
         /// Wire size for the bandwidth model.
         wire: u32,
     },
@@ -238,7 +241,7 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
                 self.stats.certs_issued += 1;
                 out.push(CloudEffect::Send {
                     to: from,
-                    msg: Msg::BlockProofMsg(proof),
+                    msg: WireMsg::BlockProofMsg(proof),
                     wire: BlockProof::WIRE_SIZE,
                 });
             }
@@ -246,7 +249,11 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
                 // Second digest for the same block id: malicious.
                 self.stats.equivocations_detected += 1;
                 self.punish(edge, RevocationReason::Equivocation);
-                out.push(CloudEffect::Send { to: from, msg: Msg::CertRejected { bid }, wire: 16 });
+                out.push(CloudEffect::Send {
+                    to: from,
+                    msg: WireMsg::CertRejected { bid },
+                    wire: 16,
+                });
             }
         }
     }
@@ -265,10 +272,20 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
             .sum();
         out.push(CloudEffect::UseCpu(self.cost.merge(records)));
         self.stats.wan_bytes_from_edges += req.wire_size() as u64;
+        // A byte-identical retry of the last merge (its reply was
+        // lost) is answered idempotently — it re-applies nothing and
+        // is counted separately from processed merges.
+        if let Some(cached) = self.index.replay_for(&req) {
+            self.stats.merges_replayed += 1;
+            let msg = WireMsg::MergeRes(Box::new(cached));
+            let wire = msg.wire_size();
+            out.push(CloudEffect::Send { to: from, msg, wire });
+            return;
+        }
         match self.index.process_merge(&self.identity, &self.ledger, &req, now_ns) {
             Ok(result) => {
                 self.stats.merges_processed += 1;
-                let msg = Msg::MergeRes(Box::new(result));
+                let msg = WireMsg::MergeRes(Box::new(result));
                 let wire = msg.wire_size();
                 out.push(CloudEffect::Send { to: from, msg, wire });
             }
@@ -308,7 +325,7 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
                                 BlockProof::issue(&self.identity, receipt.edge, receipt.bid, *d);
                             out.push(CloudEffect::Send {
                                 to: from,
-                                msg: Msg::BlockProofForward(proof),
+                                msg: WireMsg::BlockProofForward(proof),
                                 wire: BlockProof::WIRE_SIZE,
                             });
                             DisputeVerdict::Dismissed
@@ -369,7 +386,7 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
         if matches!(verdict, DisputeVerdict::EdgePunished { .. }) {
             self.stats.disputes_upheld += 1;
         }
-        out.push(CloudEffect::Send { to: from, msg: Msg::VerdictMsg(verdict), wire: 64 });
+        out.push(CloudEffect::Send { to: from, msg: WireMsg::VerdictMsg(verdict), wire: 64 });
     }
 
     fn gossip_round(&mut self, out: &mut Vec<CloudEffect<P>>, now_ns: u64) {
@@ -386,12 +403,16 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
             let wm = GossipWatermark::issue(&self.identity, edge, now_ns, len);
             out.push(CloudEffect::Send {
                 to: peer,
-                msg: Msg::Gossip(wm),
+                msg: WireMsg::Gossip(wm),
                 wire: GossipWatermark::WIRE_SIZE,
             });
             // Freshness refresh rides the gossip cadence (§V-D).
             if let Some(cert) = self.index.refresh_global(&self.identity, edge, now_ns) {
-                out.push(CloudEffect::Send { to: peer, msg: Msg::GlobalRefresh(cert), wire: 96 });
+                out.push(CloudEffect::Send {
+                    to: peer,
+                    msg: WireMsg::GlobalRefresh(cert),
+                    wire: 96,
+                });
             }
         }
     }

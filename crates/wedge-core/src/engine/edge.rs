@@ -15,7 +15,7 @@
 use crate::config::CryptoMode;
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
-use crate::messages::{certify_signing_bytes, AddReceipt, Msg, ReadReceipt};
+use crate::messages::{certify_signing_bytes, AddReceipt, ReadReceipt, WireMsg};
 use std::collections::HashMap;
 use std::hash::Hash;
 use wedge_crypto::{sha256_concat, Identity, IdentityId, KeyRegistry};
@@ -47,6 +47,8 @@ pub struct EdgeStats {
     pub log_reads_served: u64,
     /// Certification requests re-sent after a retry deadline expired.
     pub certs_retried: u64,
+    /// Merge requests re-sent after a retry deadline expired.
+    pub merges_retried: u64,
     /// Set when the cloud rejected one of our certifications.
     pub flagged_malicious: bool,
 }
@@ -104,16 +106,18 @@ impl<C> EdgeCommand<C> {
     /// `from` identifies the sender for client requests (it is unused
     /// for cloud-originated messages). Returns `None` for messages the
     /// edge does not handle.
-    pub fn from_msg(from: C, msg: Msg) -> Option<Self> {
+    pub fn from_wire(from: C, msg: WireMsg) -> Option<Self> {
         Some(match msg {
-            Msg::BatchAdd { req_id, entries } => EdgeCommand::BatchAdd { from, req_id, entries },
-            Msg::LogRead { bid } => EdgeCommand::LogRead { from, bid },
-            Msg::Get { req_id, key } => EdgeCommand::Get { from, req_id, key },
-            Msg::BlockProofMsg(proof) => EdgeCommand::BlockProof(proof),
-            Msg::MergeRes(result) => EdgeCommand::MergeResult(result),
-            Msg::CertRejected { bid } => EdgeCommand::CertRejected { bid },
-            Msg::GlobalRefresh(cert) => EdgeCommand::GlobalRefresh(cert),
-            Msg::Gossip(wm) => EdgeCommand::Gossip(wm),
+            WireMsg::BatchAdd { req_id, entries } => {
+                EdgeCommand::BatchAdd { from, req_id, entries }
+            }
+            WireMsg::LogRead { bid } => EdgeCommand::LogRead { from, bid },
+            WireMsg::Get { req_id, key } => EdgeCommand::Get { from, req_id, key },
+            WireMsg::BlockProofMsg(proof) => EdgeCommand::BlockProof(proof),
+            WireMsg::MergeRes(result) => EdgeCommand::MergeResult(result),
+            WireMsg::CertRejected { bid } => EdgeCommand::CertRejected { bid },
+            WireMsg::GlobalRefresh(cert) => EdgeCommand::GlobalRefresh(cert),
+            WireMsg::Gossip(wm) => EdgeCommand::Gossip(wm),
             _ => return None,
         })
     }
@@ -135,7 +139,7 @@ pub enum EdgeEffect<C> {
         /// The destination peer.
         to: C,
         /// The message.
-        msg: Msg,
+        msg: WireMsg,
         /// Wire size for the bandwidth model.
         wire: u32,
     },
@@ -144,7 +148,7 @@ pub enum EdgeEffect<C> {
     /// `None` sends from the foreground lane.
     SendCloud {
         /// The message.
-        msg: Msg,
+        msg: WireMsg,
         /// Wire size for the bandwidth model.
         wire: u32,
         /// Background dispatch cost, if the send is asynchronous.
@@ -173,6 +177,15 @@ pub struct EdgeEngine<C> {
     /// All clients of this partition (gossip fan-out).
     clients: Vec<C>,
     merge_in_flight: Option<MergeRequest>,
+    /// Re-send the in-flight merge request this long after sending it
+    /// without a `MergeRes`; `None` disables retries. Without this, a
+    /// lost merge reply wedges compaction until the next block proof
+    /// happens to re-trigger `maybe_start_merge` — and if no more
+    /// blocks arrive, forever. (The cloud answers a byte-identical
+    /// retry idempotently from its replay cache.)
+    merge_retry_ns: Option<u64>,
+    /// Absolute deadline for the in-flight merge's retry, if armed.
+    merge_deadline_ns: Option<u64>,
     /// Re-send a certification this long after sending it without an
     /// acknowledgement; `None` disables retries (trust the transport).
     cert_retry_ns: Option<u64>,
@@ -223,6 +236,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             block_clients: HashMap::new(),
             clients,
             merge_in_flight: None,
+            merge_retry_ns: None,
+            merge_deadline_ns: None,
             cert_retry_ns: None,
             pending_certs: HashMap::new(),
             stats: EdgeStats::default(),
@@ -240,12 +255,23 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         self.cert_retry_ns = retry_ns;
     }
 
+    /// Enables merge retries: an unanswered merge request is re-sent
+    /// every `retry_ns` until the `MergeRes` arrives, making
+    /// compaction self-healing under a lossy transport.
+    pub fn set_merge_retry_ns(&mut self, retry_ns: Option<u64>) {
+        self.merge_retry_ns = retry_ns;
+    }
+
     /// Earliest absolute time (ns) at which this engine has time-driven
-    /// work (the soonest certification-retry deadline). The driver's
-    /// contract: call `handle(EdgeCommand::Tick, now)` once
+    /// work (the soonest certification- or merge-retry deadline). The
+    /// driver's contract: call `handle(EdgeCommand::Tick, now)` once
     /// `now >= next_deadline_ns()`; never schedule retries itself.
     pub fn next_deadline_ns(&self) -> Option<u64> {
-        self.pending_certs.values().map(|p| p.deadline_ns).min()
+        let certs = self.pending_certs.values().map(|p| p.deadline_ns).min();
+        match (certs, self.merge_deadline_ns) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Aligns the block-id counter with externally injected state
@@ -267,8 +293,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             }
             EdgeCommand::LogRead { from, bid } => self.log_read(&mut out, from, bid),
             EdgeCommand::Get { from, req_id, key } => self.get(&mut out, from, req_id, key),
-            EdgeCommand::BlockProof(proof) => self.block_proof(&mut out, proof),
-            EdgeCommand::MergeResult(result) => self.merge_result(&mut out, *result),
+            EdgeCommand::BlockProof(proof) => self.block_proof(&mut out, proof, now_ns),
+            EdgeCommand::MergeResult(result) => self.merge_result(&mut out, *result, now_ns),
             EdgeCommand::CertRejected { bid } => {
                 self.stats.flagged_malicious = true;
                 self.pending_certs.remove(&bid); // retrying cannot help
@@ -289,7 +315,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
                 for &c in &self.clients {
                     out.push(EdgeEffect::Send {
                         to: c,
-                        msg: Msg::GossipForward(wm.clone()),
+                        msg: WireMsg::GossipForward(wm.clone()),
                         wire: 56,
                     });
                 }
@@ -339,7 +365,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         // client's dispute evidence).
         let receipt =
             AddReceipt::issue(&self.identity, client_ident, req_id, entries_digest, bid, digest);
-        let resp = Msg::AddResponse { receipt };
+        let resp = WireMsg::AddResponse { receipt };
         let wire = resp.wire_size();
         out.push(EdgeEffect::Send { to: from, msg: resp, wire });
 
@@ -370,7 +396,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         };
         let signature =
             self.identity.sign(&certify_signing_bytes(self.identity.id, bid, &cert_digest));
-        let msg = Msg::BlockCertify { bid, digest: cert_digest, signature };
+        let msg = WireMsg::BlockCertify { bid, digest: cert_digest, signature };
         // Data-free: only the digest crosses the WAN. The ablation
         // ships the full block's bytes instead (same message, larger
         // wire size), quantifying what §IV-B saves.
@@ -391,11 +417,15 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         }
     }
 
-    /// Re-sends every certification whose retry deadline expired. The
-    /// retried request repeats the *original* claim (including a
+    /// Re-sends every certification whose retry deadline expired, and
+    /// the in-flight merge request if its deadline expired. A retried
+    /// certification repeats the *original* claim (including a
     /// tampered digest — equivocation does not become honesty on
-    /// retry) and re-arms its deadline.
+    /// retry); a retried merge repeats the byte-identical request (the
+    /// cloud's replay cache answers idempotently if the original was
+    /// processed and only the reply was lost). Both re-arm.
     fn tick(&mut self, out: &mut Vec<EdgeEffect<C>>, now_ns: u64) {
+        self.tick_merge(out, now_ns);
         let Some(retry) = self.cert_retry_ns else { return };
         let mut due: Vec<BlockId> = self
             .pending_certs
@@ -415,11 +445,34 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             self.stats.wan_bytes_to_cloud += wire as u64;
             self.stats.cert_bytes_to_cloud += wire as u64;
             out.push(EdgeEffect::SendCloud {
-                msg: Msg::BlockCertify { bid, digest, signature },
+                msg: WireMsg::BlockCertify { bid, digest, signature },
                 wire,
                 dispatch: Some(self.cost.certify_dispatch(1)),
             });
         }
+    }
+
+    /// Re-sends the in-flight merge request if its retry deadline
+    /// expired.
+    fn tick_merge(&mut self, out: &mut Vec<EdgeEffect<C>>, now_ns: u64) {
+        let Some(retry) = self.merge_retry_ns else { return };
+        if self.merge_deadline_ns.is_none_or(|d| d > now_ns) {
+            return;
+        }
+        let Some(req) = self.merge_in_flight.clone() else {
+            self.merge_deadline_ns = None;
+            return;
+        };
+        self.merge_deadline_ns = Some(now_ns + retry);
+        let msg = WireMsg::MergeReq(Box::new(req));
+        let wire = msg.wire_size();
+        self.stats.merges_retried += 1;
+        self.stats.wan_bytes_to_cloud += wire as u64;
+        out.push(EdgeEffect::SendCloud {
+            msg,
+            wire,
+            dispatch: Some(SimDuration::from_micros(100)),
+        });
     }
 
     fn log_read(&mut self, out: &mut Vec<EdgeEffect<C>>, from: C, bid: BlockId) {
@@ -428,7 +481,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         let client_ident = IdentityId(0); // receipts bind the requester loosely in sim
         if self.fault.deny_read(bid) || self.log.get(bid).is_none() {
             let receipt = ReadReceipt::issue(&self.identity, client_ident, bid, None);
-            let msg = Msg::LogReadResponse { receipt, block: None, proof: None };
+            let msg = WireMsg::LogReadResponse { receipt, block: None, proof: None };
             let wire = msg.wire_size();
             out.push(EdgeEffect::Send { to: from, msg, wire });
             return;
@@ -445,7 +498,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         // A proof can only accompany an honest serve; the certified
         // digest for `bid` will not match a wrong block.
         let proof = if serve_bid == bid { stored.proof.clone() } else { None };
-        let msg = Msg::LogReadResponse { receipt, block: Some(served_block), proof };
+        let msg = WireMsg::LogReadResponse { receipt, block: Some(served_block), proof };
         let wire = msg.wire_size();
         out.push(EdgeEffect::Send { to: from, msg, wire });
     }
@@ -455,12 +508,12 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         out.push(EdgeEffect::UseCpu(self.cost.build_read_proof(pages_touched)));
         self.stats.gets_served += 1;
         let proof = build_read_proof(&self.tree, key);
-        let msg = Msg::GetResponse { req_id, proof: Box::new(proof) };
+        let msg = WireMsg::GetResponse { req_id, proof: Box::new(proof) };
         let wire = msg.wire_size();
         out.push(EdgeEffect::Send { to: from, msg, wire });
     }
 
-    fn block_proof(&mut self, out: &mut Vec<EdgeEffect<C>>, proof: BlockProof) {
+    fn block_proof(&mut self, out: &mut Vec<EdgeEffect<C>>, proof: BlockProof, now_ns: u64) {
         if self.crypto_mode == CryptoMode::Real
             && !proof.verify(self.cloud_identity, &self.registry)
         {
@@ -475,27 +528,31 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         if !self.fault.suppress_proof_forwards {
             if let Some(clients) = self.block_clients.remove(&bid) {
                 for c in clients {
-                    let msg = Msg::BlockProofForward(proof.clone());
+                    let msg = WireMsg::BlockProofForward(proof.clone());
                     let wire = msg.wire_size();
                     out.push(EdgeEffect::Send { to: c, msg, wire });
                 }
             }
         }
-        self.maybe_start_merge(out);
+        self.maybe_start_merge(out, now_ns);
     }
 
-    fn merge_result(&mut self, out: &mut Vec<EdgeEffect<C>>, result: MergeResult) {
-        let req = self.merge_in_flight.take().expect("merge result without request");
+    fn merge_result(&mut self, out: &mut Vec<EdgeEffect<C>>, result: MergeResult, now_ns: u64) {
+        // Under retries, a duplicate `MergeRes` is legal (the original
+        // and a replayed copy can both arrive): only the first one
+        // finds a request to apply against.
+        let Some(req) = self.merge_in_flight.take() else { return };
+        self.merge_deadline_ns = None;
         let records: u64 = result.new_target_pages.iter().map(|p| p.records().len() as u64).sum();
         out.push(EdgeEffect::UseCpuBackground(SimDuration::from_nanos(
             records * self.cost.merge_per_record_ns,
         )));
         self.tree.apply_merge_result(&req, result).expect("cloud merge result must apply cleanly");
         self.stats.merges_completed += 1;
-        self.maybe_start_merge(out);
+        self.maybe_start_merge(out, now_ns);
     }
 
-    fn maybe_start_merge(&mut self, out: &mut Vec<EdgeEffect<C>>) {
+    fn maybe_start_merge(&mut self, out: &mut Vec<EdgeEffect<C>>, now_ns: u64) {
         if self.merge_in_flight.is_some() {
             return;
         }
@@ -511,7 +568,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         if level == 0 && req.source_l0.is_empty() {
             return; // nothing certified yet; retry on next proof
         }
-        let msg = Msg::MergeReq(Box::new(req.clone()));
+        let msg = WireMsg::MergeReq(Box::new(req.clone()));
         let wire = msg.wire_size();
         self.stats.wan_bytes_to_cloud += wire as u64;
         // Merging "does not interfere with the normal operation of the
@@ -522,6 +579,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             dispatch: Some(SimDuration::from_micros(100)),
         });
         self.merge_in_flight = Some(req);
+        self.merge_deadline_ns = self.merge_retry_ns.map(|r| now_ns + r);
     }
 }
 
@@ -567,7 +625,7 @@ mod tests {
         effects
             .iter()
             .filter_map(|e| match e {
-                EdgeEffect::SendCloud { msg: Msg::BlockCertify { digest, .. }, .. } => {
+                EdgeEffect::SendCloud { msg: WireMsg::BlockCertify { digest, .. }, .. } => {
                     Some(*digest)
                 }
                 _ => None,
@@ -617,6 +675,106 @@ mod tests {
         assert_ne!(sent[0], honest, "equivocating edge certifies a tampered digest");
         let retried = certify_digests(&engine.handle(EdgeCommand::Tick, 1_000));
         assert_eq!(retried, sent, "retry repeats the tampered digest verbatim");
+    }
+
+    /// The lossy-transport story, end-to-end at the engine level: a
+    /// merge request whose `MergeRes` is lost no longer wedges
+    /// compaction — the engine-owned merge deadline re-sends the
+    /// byte-identical request, the cloud's replay cache answers it
+    /// idempotently, and the merge completes.
+    #[test]
+    fn merge_retry_survives_lost_reply() {
+        use wedge_lsmerkle::{CloudIndex, LsmConfig};
+        let (mut engine, cloud) = engine(None, FaultPlan::honest());
+        engine.set_merge_retry_ns(Some(1_000));
+        let mut ledger = wedge_log::CertLedger::new();
+        let mut index = CloudIndex::new(LsmConfig::exposition());
+        index.init_edge(&cloud, engine.id(), 0);
+
+        // Seal + certify blocks until the L0 threshold trips and the
+        // engine dispatches a merge request.
+        let mut merge_reqs: Vec<MergeRequest> = Vec::new();
+        for i in 0..4u64 {
+            let effects = engine.handle(
+                EdgeCommand::BatchAdd { from: 0, req_id: i, entries: vec![entry(i)] },
+                i * 10,
+            );
+            let digest = certify_digests(&effects)[0];
+            let bid = engine.log.iter().last().unwrap().block.id;
+            ledger.offer(engine.id(), bid, digest);
+            let proof = wedge_log::BlockProof::issue(&cloud, engine.id(), bid, digest);
+            for e in engine.handle(EdgeCommand::BlockProof(proof), i * 10 + 5) {
+                if let EdgeEffect::SendCloud { msg: WireMsg::MergeReq(req), .. } = e {
+                    merge_reqs.push(*req);
+                }
+            }
+        }
+        assert_eq!(merge_reqs.len(), 1, "one merge in flight");
+        let deadline = engine.next_deadline_ns().expect("merge retry armed");
+
+        // The cloud processes the request, but the reply is LOST.
+        let _lost = index.process_merge(&cloud, &ledger, &merge_reqs[0], 50).unwrap();
+
+        // Early tick: nothing; at the deadline: the identical request
+        // goes out again and the deadline re-arms.
+        assert!(engine.handle(EdgeCommand::Tick, deadline - 1).is_empty());
+        let retried: Vec<MergeRequest> = engine
+            .handle(EdgeCommand::Tick, deadline)
+            .into_iter()
+            .filter_map(|e| match e {
+                EdgeEffect::SendCloud { msg: WireMsg::MergeReq(req), .. } => Some(*req),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retried, merge_reqs, "retry repeats the byte-identical request");
+        assert_eq!(engine.stats.merges_retried, 1);
+        assert!(engine.next_deadline_ns().is_some(), "re-armed until answered");
+
+        // The cloud replays its cached result for the retry; applying
+        // it completes the merge and disarms the clock.
+        let replayed = index.replay_for(&retried[0]).expect("byte-identical retry replays");
+        engine.handle(EdgeCommand::MergeResult(Box::new(replayed)), deadline + 10);
+        assert_eq!(engine.stats.merges_completed, 1);
+        assert_eq!(engine.next_deadline_ns(), None, "merge settled: nothing to retry");
+        assert!(
+            certify_digests(&engine.handle(EdgeCommand::Tick, u64::MAX / 2)).is_empty(),
+            "no ghost retries"
+        );
+    }
+
+    /// A duplicate `MergeRes` (original + replayed copy both arriving)
+    /// is dropped gracefully instead of panicking the engine.
+    #[test]
+    fn duplicate_merge_result_is_ignored() {
+        use wedge_lsmerkle::{CloudIndex, LsmConfig};
+        let (mut engine, cloud) = engine(None, FaultPlan::honest());
+        engine.set_merge_retry_ns(Some(1_000));
+        let mut ledger = wedge_log::CertLedger::new();
+        let mut index = CloudIndex::new(LsmConfig::exposition());
+        index.init_edge(&cloud, engine.id(), 0);
+        let mut req = None;
+        for i in 0..4u64 {
+            let effects = engine.handle(
+                EdgeCommand::BatchAdd { from: 0, req_id: i, entries: vec![entry(i)] },
+                i * 10,
+            );
+            let digest = certify_digests(&effects)[0];
+            let bid = engine.log.iter().last().unwrap().block.id;
+            ledger.offer(engine.id(), bid, digest);
+            let proof = wedge_log::BlockProof::issue(&cloud, engine.id(), bid, digest);
+            for e in engine.handle(EdgeCommand::BlockProof(proof), i * 10 + 5) {
+                if let EdgeEffect::SendCloud { msg: WireMsg::MergeReq(r), .. } = e {
+                    req = Some(*r);
+                }
+            }
+        }
+        let req = req.expect("merge dispatched");
+        let res = index.process_merge(&cloud, &ledger, &req, 50).unwrap();
+        engine.handle(EdgeCommand::MergeResult(Box::new(res.clone())), 60);
+        assert_eq!(engine.stats.merges_completed, 1);
+        // The duplicate finds no in-flight request and is dropped.
+        engine.handle(EdgeCommand::MergeResult(Box::new(res)), 70);
+        assert_eq!(engine.stats.merges_completed, 1);
     }
 
     /// Withheld certifications never arm a retry — the attack stays an

@@ -27,11 +27,16 @@
 //!   ([`wedge_sim::DeadlineTimer`]);
 //! - the real-threads runtime ([`crate::threaded`]) feeds the same
 //!   engines from `std::sync::mpsc` channels, maps effects onto
-//!   channels, and turns deadlines into `recv_timeout` bounds.
+//!   channels, and turns deadlines into `recv_timeout` bounds;
+//! - the networked runtime (`wedge-net`) feeds them from real TCP
+//!   sockets: every effect's [`crate::messages::WireMsg`] is framed
+//!   and written to a socket, every inbound frame is decoded with
+//!   hostile-input checks, and deadlines bound the service loop's
+//!   receive timeout.
 //!
-//! Adding a tokio, sharded, or networked runtime means writing another
-//! driver — not another copy of the seal/certify/merge/read-proof
-//! logic, and not another timer wheel.
+//! Adding a tokio or sharded runtime means writing another driver —
+//! not another copy of the seal/certify/merge/read-proof logic, and
+//! not another timer wheel.
 
 pub mod client;
 pub mod cloud;

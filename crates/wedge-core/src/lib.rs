@@ -26,6 +26,7 @@ pub mod client;
 pub mod cloud;
 pub mod config;
 pub mod cost;
+pub mod driver;
 pub mod edge;
 pub mod engine;
 pub mod fault;
@@ -45,5 +46,5 @@ pub use engine::{
 };
 pub use fault::FaultPlan;
 pub use harness::{Aggregate, MultiPartitionHarness, SystemHarness};
-pub use messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt};
+pub use messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt, WireMsg};
 pub use metrics::{ClientMetrics, LatencyStats, Timeline};

@@ -65,6 +65,31 @@ impl Encoder {
         self
     }
 
+    /// Appends a 32-byte Schnorr signature (fixed width, no prefix).
+    pub fn put_signature(&mut self, s: &wedge_crypto::Signature) -> &mut Self {
+        self.buf.extend_from_slice(&s.to_bytes());
+        self
+    }
+
+    /// Appends a presence-tagged optional field: `0` for `None`,
+    /// `1` followed by the encoded value for `Some`.
+    pub fn put_option<T>(
+        &mut self,
+        v: Option<&T>,
+        mut encode: impl FnMut(&mut Self, &T),
+    ) -> &mut Self {
+        match v {
+            Some(v) => {
+                self.put_u8(1);
+                encode(self, v);
+            }
+            None => {
+                self.put_u8(0);
+            }
+        }
+        self
+    }
+
     /// Finishes and returns the canonical bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -181,6 +206,38 @@ impl<'a> Decoder<'a> {
     pub fn get_digest(&mut self) -> Result<wedge_crypto::Digest, DecodeError> {
         let bytes: [u8; 32] = self.take(32)?.try_into().expect("took 32 bytes");
         Ok(wedge_crypto::Digest::from_bytes(bytes))
+    }
+
+    /// Reads a 32-byte Schnorr signature (fixed width, no prefix).
+    pub fn get_signature(&mut self) -> Result<wedge_crypto::Signature, DecodeError> {
+        let bytes: [u8; 32] = self.take(32)?.try_into().expect("took 32 bytes");
+        Ok(wedge_crypto::Signature::from_bytes(&bytes))
+    }
+
+    /// Reads a presence-tagged optional field written by
+    /// [`Encoder::put_option`]. Any presence byte other than 0/1 is
+    /// malformed.
+    pub fn get_option<T>(
+        &mut self,
+        decode: impl FnOnce(&mut Self) -> Result<T, DecodeError>,
+    ) -> Result<Option<T>, DecodeError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(decode(self)?)),
+            _ => Err(DecodeError::Malformed("option presence byte")),
+        }
+    }
+
+    /// Reads a length prefix for a repeated field, rejecting counts
+    /// that could not possibly fit in the remaining input (each
+    /// element occupies at least `min_elem_bytes`). This bounds
+    /// pre-allocation against hostile counts.
+    pub fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let count = self.get_u64()?;
+        if count > (self.remaining() / min_elem_bytes.max(1)) as u64 {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(count as usize)
     }
 
     /// Requires every byte to have been consumed — a decoded message

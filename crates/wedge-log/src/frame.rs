@@ -1,0 +1,216 @@
+//! The length-framed wire envelope for protocol messages.
+//!
+//! Every protocol message that crosses a byte boundary travels inside
+//! one frame:
+//!
+//! ```text
+//! magic (4B "WDGC") | version (1B) | kind (1B) | payload_len (4B BE) | payload
+//! ```
+//!
+//! The envelope is deliberately dumb: it identifies the protocol
+//! (magic), rules out incompatible peers (version), routes to the
+//! right payload codec (kind), and bounds the read (length, checked
+//! against [`MAX_FRAME_PAYLOAD`] *before* any allocation — frames come
+//! from untrusted peers). Payload semantics live with the payload
+//! codecs (`wedge-core`'s `WireMsg`).
+//!
+//! Two consumption styles:
+//! - [`decode_frame`] / [`Frame::encode`] for whole in-memory buffers
+//!   (tests, datagram-style transports);
+//! - [`read_frame`] / [`write_frame`] for `std::io` streams (the
+//!   `wedge-net` TCP runtime) — `read_frame` distinguishes clean EOF
+//!   (`Ok(None)`, the peer closed between frames) from truncation
+//!   mid-frame (an error).
+
+use crate::enc::DecodeError;
+use std::io::{self, ErrorKind, Read, Write};
+
+/// Frame magic: identifies a WedgeChain protocol stream.
+pub const FRAME_MAGIC: [u8; 4] = *b"WDGC";
+
+/// Current wire-format version. Bump on any incompatible change to
+/// the envelope or a payload codec.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload (16 MiB). A hostile length prefix
+/// beyond this is rejected before any buffer is sized. Generous: the
+/// largest honest message is a merge request shipping two full levels
+/// of pages.
+pub const MAX_FRAME_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Envelope overhead in bytes (magic + version + kind + length).
+pub const FRAME_HEADER_LEN: usize = 10;
+
+/// A decoded envelope: the payload kind tag plus the raw payload
+/// bytes, not yet interpreted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Payload type tag (routes to the message codec).
+    pub kind: u8,
+    /// The raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encodes the full frame (header + payload) into one buffer.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`] — an honest
+    /// sender never produces such a frame.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.payload.len() <= MAX_FRAME_PAYLOAD as usize, "oversized frame payload");
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.push(FRAME_VERSION);
+        out.push(self.kind);
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Validates a frame header, returning the payload length.
+fn check_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, u32), DecodeError> {
+    if header[..4] != FRAME_MAGIC {
+        return Err(DecodeError::BadTag);
+    }
+    if header[4] != FRAME_VERSION {
+        return Err(DecodeError::Malformed("unsupported frame version"));
+    }
+    let kind = header[5];
+    let len = u32::from_be_bytes(header[6..10].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(DecodeError::BadLength);
+    }
+    Ok((kind, len))
+}
+
+/// Decodes exactly one frame from a complete buffer, rejecting
+/// truncation, hostile lengths, and trailing bytes.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, DecodeError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let header: [u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().expect("checked");
+    let (kind, len) = check_header(&header)?;
+    let body = &bytes[FRAME_HEADER_LEN..];
+    if (body.len() as u64) < len as u64 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    if body.len() as u64 > len as u64 {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(Frame { kind, payload: body.to_vec() })
+}
+
+/// Writes one frame to a stream (header + payload, then flush).
+///
+/// A payload beyond [`MAX_FRAME_PAYLOAD`] is refused with
+/// `InvalidInput` *before* any bytes hit the stream — a service loop
+/// must degrade to message loss (which retries and dispute deadlines
+/// already handle), never panic mid-protocol.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_PAYLOAD as usize {
+        return Err(io::Error::new(ErrorKind::InvalidInput, "oversized frame payload"));
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4] = FRAME_VERSION;
+    header[5] = kind;
+    header[6..10].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame from a stream. Returns `Ok(None)` on a clean EOF
+/// *before* the first header byte (the peer closed the connection
+/// between frames); EOF mid-frame is `UnexpectedEof` corruption. The
+/// payload buffer is sized only after the length passed the
+/// [`MAX_FRAME_PAYLOAD`] guard.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < FRAME_HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    DecodeError::UnexpectedEof.to_string(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let (kind, len) =
+        check_header(&header).map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_buffer_and_stream() {
+        let frame = Frame { kind: 7, payload: b"hello wedge".to_vec() };
+        let bytes = frame.encode();
+        assert_eq!(decode_frame(&bytes), Ok(frame.clone()));
+
+        let mut stream = Vec::new();
+        write_frame(&mut stream, frame.kind, &frame.payload).unwrap();
+        assert_eq!(stream, bytes, "stream and buffer encodings agree");
+        let mut cursor = &stream[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn bad_magic_version_and_length_rejected() {
+        let good = Frame { kind: 1, payload: vec![0xAB; 8] }.encode();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode_frame(&bad), Err(DecodeError::BadTag));
+
+        let mut bad = good.clone();
+        bad[4] = FRAME_VERSION + 1;
+        assert!(matches!(decode_frame(&bad), Err(DecodeError::Malformed(_))));
+
+        // A hostile length prefix fails before any allocation.
+        let mut bad = good.clone();
+        bad[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(decode_frame(&bad), Err(DecodeError::BadLength));
+
+        let mut trailing = good;
+        trailing.push(0);
+        assert_eq!(decode_frame(&trailing), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_payload_is_an_error_not_a_panic() {
+        let huge = vec![0u8; MAX_FRAME_PAYLOAD as usize + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, 1, &huge).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing written for a refused frame");
+    }
+
+    #[test]
+    fn truncation_always_errors() {
+        let bytes = Frame { kind: 3, payload: b"payload".to_vec() }.encode();
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Stream: EOF mid-frame is corruption, not a clean close.
+        for cut in 1..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            assert!(read_frame(&mut cursor).is_err(), "stream cut at {cut}");
+        }
+    }
+}

@@ -16,6 +16,7 @@ pub mod buffer;
 pub mod cert;
 pub mod enc;
 pub mod entry;
+pub mod frame;
 pub mod reserve;
 pub mod store;
 pub mod watermark;
@@ -25,6 +26,10 @@ pub use buffer::{BlockBuffer, PushOutcome};
 pub use cert::{BlockProof, CertLedger, CertOutcome, CommitPhase};
 pub use enc::{DecodeError, Decoder, Encoder};
 pub use entry::Entry;
+pub use frame::{
+    decode_frame, read_frame, write_frame, Frame, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION,
+    MAX_FRAME_PAYLOAD,
+};
 pub use reserve::{LogPosition, PositionedRequest, Reservation, ReservePolicy, ReservingBuffer};
 pub use store::{LogStore, StoredBlock};
 pub use watermark::{GossipWatermark, WatermarkTracker};

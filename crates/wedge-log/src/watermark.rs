@@ -78,6 +78,27 @@ impl GossipWatermark {
         Ok(GossipWatermark { edge, timestamp_ns, log_len, signature: Signature { e, s } })
     }
 
+    /// Nestable encoding (no domain tag — the enclosing message's
+    /// envelope already routes the bytes): the signed fields plus the
+    /// signature.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.edge.0)
+            .put_u64(self.timestamp_ns)
+            .put_u64(self.log_len)
+            .put_signature(&self.signature);
+    }
+
+    /// Inverse of [`GossipWatermark::encode_into`]. The signature is
+    /// *not* verified here.
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(GossipWatermark {
+            edge: IdentityId(dec.get_u64()?),
+            timestamp_ns: dec.get_u64()?,
+            log_len: dec.get_u64()?,
+            signature: dec.get_signature()?,
+        })
+    }
+
     /// Wire size of a gossip message.
     pub const WIRE_SIZE: u32 = 8 + 8 + 8 + 32;
 }

@@ -122,6 +122,29 @@ impl KvRecord {
     pub fn wire_size(&self) -> u32 {
         (8 + 12 + 1 + self.value.as_ref().map_or(0, |v| v.len())) as u32
     }
+
+    /// Minimum bytes one encoded record occupies (hostile-count guard
+    /// for repeated-field decoding).
+    pub const MIN_ENCODED_LEN: usize = 8 + 8 + 4 + 1;
+
+    /// Canonical nestable encoding: key, version, presence-tagged
+    /// value. Field order matches what [`crate::page::Page::digest`]
+    /// hashes, so a decoded page re-hashes to the same digest.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.key).put_u64(self.version.bid).put_u32(self.version.pos);
+        enc.put_option(self.value.as_ref(), |e, v| {
+            e.put_bytes(v);
+        });
+    }
+
+    /// Inverse of [`KvRecord::encode_into`].
+    pub fn decode_from(dec: &mut wedge_log::Decoder<'_>) -> Result<Self, wedge_log::DecodeError> {
+        Ok(KvRecord {
+            key: dec.get_u64()?,
+            version: Version { bid: dec.get_u64()?, pos: dec.get_u32()? },
+            value: dec.get_option(|d| Ok(d.get_bytes()?.to_vec()))?,
+        })
+    }
 }
 
 /// Decodes every KV op in a block into versioned records, in block

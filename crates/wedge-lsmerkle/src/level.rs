@@ -46,6 +46,28 @@ impl SignedLevelRoot {
             &self.signature,
         )
     }
+
+    /// Canonical nestable wire encoding: the signed fields plus the
+    /// signature.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.edge.0)
+            .put_u32(self.level)
+            .put_u64(self.epoch)
+            .put_digest(&self.root)
+            .put_signature(&self.signature);
+    }
+
+    /// Inverse of [`SignedLevelRoot::encode_into`]. The signature is
+    /// *not* verified here.
+    pub fn decode_from(dec: &mut wedge_log::Decoder<'_>) -> Result<Self, wedge_log::DecodeError> {
+        Ok(SignedLevelRoot {
+            edge: IdentityId(dec.get_u64()?),
+            level: dec.get_u32()?,
+            epoch: dec.get_u64()?,
+            root: dec.get_digest()?,
+            signature: dec.get_signature()?,
+        })
+    }
 }
 
 /// A cloud-signed global root: hash of all level roots, plus the
@@ -91,6 +113,28 @@ impl GlobalRootCert {
             &Self::signing_bytes(self.edge, self.epoch, self.timestamp_ns, &self.root),
             &self.signature,
         )
+    }
+
+    /// Canonical nestable wire encoding: the signed fields plus the
+    /// signature.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.edge.0)
+            .put_u64(self.epoch)
+            .put_u64(self.timestamp_ns)
+            .put_digest(&self.root)
+            .put_signature(&self.signature);
+    }
+
+    /// Inverse of [`GlobalRootCert::encode_into`]. The signature is
+    /// *not* verified here.
+    pub fn decode_from(dec: &mut wedge_log::Decoder<'_>) -> Result<Self, wedge_log::DecodeError> {
+        Ok(GlobalRootCert {
+            edge: IdentityId(dec.get_u64()?),
+            epoch: dec.get_u64()?,
+            timestamp_ns: dec.get_u64()?,
+            root: dec.get_digest()?,
+            signature: dec.get_signature()?,
+        })
     }
 }
 

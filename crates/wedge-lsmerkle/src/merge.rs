@@ -27,7 +27,7 @@ use wedge_crypto::{Digest, Identity, IdentityId};
 use wedge_log::{BlockId, CertLedger};
 
 /// A merge request from an edge node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MergeRequest {
     /// The requesting edge.
     pub edge: IdentityId,
@@ -51,6 +51,69 @@ impl MergeRequest {
         let src: u32 = self.source_pages.iter().map(|p| p.wire_size()).sum();
         let tgt: u32 = self.target_pages.iter().map(|p| p.wire_size()).sum();
         32 + l0 + src + tgt
+    }
+
+    /// Canonical nestable wire encoding.
+    pub fn encode_into(&self, enc: &mut wedge_log::Encoder) {
+        enc.put_u64(self.edge.0).put_u32(self.source_level).put_u64(self.epoch);
+        enc.put_u64(self.source_l0.len() as u64);
+        for p in &self.source_l0 {
+            p.encode_into(enc);
+        }
+        enc.put_u64(self.source_pages.len() as u64);
+        for p in &self.source_pages {
+            p.encode_into(enc);
+        }
+        enc.put_u64(self.target_pages.len() as u64);
+        for p in &self.target_pages {
+            p.encode_into(enc);
+        }
+    }
+
+    /// Inverse of [`MergeRequest::encode_into`]; pages come back as
+    /// fresh `Arc`s ready for sharing.
+    pub fn decode_from(dec: &mut wedge_log::Decoder<'_>) -> Result<Self, wedge_log::DecodeError> {
+        let edge = IdentityId(dec.get_u64()?);
+        let source_level = dec.get_u32()?;
+        let epoch = dec.get_u64()?;
+        let n_l0 = dec.get_count(8)?;
+        let mut source_l0 = Vec::with_capacity(n_l0);
+        for _ in 0..n_l0 {
+            source_l0.push(L0Page::decode_from(dec)?);
+        }
+        let n_src = dec.get_count(24)?;
+        let mut source_pages = Vec::with_capacity(n_src);
+        for _ in 0..n_src {
+            source_pages.push(Page::decode_from(dec)?);
+        }
+        let n_tgt = dec.get_count(24)?;
+        let mut target_pages = Vec::with_capacity(n_tgt);
+        for _ in 0..n_tgt {
+            target_pages.push(Page::decode_from(dec)?);
+        }
+        Ok(MergeRequest { edge, source_level, source_l0, source_pages, target_pages, epoch })
+    }
+
+    /// A cheap identity for retry deduplication: a digest over the
+    /// request's scalar fields and the (memoized) digests of every
+    /// page it ships. Two requests with equal fingerprints carry the
+    /// same pages, so replaying the cached [`MergeResult`] is sound.
+    pub fn fingerprint(&self) -> Digest {
+        let mut enc = wedge_log::Encoder::with_tag("wedge-merge-fp-v1");
+        enc.put_u64(self.edge.0).put_u32(self.source_level).put_u64(self.epoch);
+        enc.put_u64(self.source_l0.len() as u64);
+        for p in &self.source_l0 {
+            enc.put_digest(&p.digest());
+        }
+        enc.put_u64(self.source_pages.len() as u64);
+        for p in &self.source_pages {
+            enc.put_digest(&p.digest());
+        }
+        enc.put_u64(self.target_pages.len() as u64);
+        for p in &self.target_pages {
+            enc.put_digest(&p.digest());
+        }
+        wedge_crypto::sha256(&enc.finish())
     }
 }
 
@@ -83,6 +146,55 @@ impl MergeResult {
         let pages: u32 = self.new_target_pages.iter().map(|p| p.wire_size()).sum();
         let roots = (self.all_level_roots.len() as u32) * 32;
         pages + roots + 2 * 96 + 32
+    }
+
+    /// Canonical nestable wire encoding.
+    pub fn encode_into(&self, enc: &mut wedge_log::Encoder) {
+        enc.put_u64(self.edge.0).put_u32(self.source_level);
+        enc.put_u64(self.new_target_pages.len() as u64);
+        for p in &self.new_target_pages {
+            p.encode_into(enc);
+        }
+        enc.put_option(self.new_source_root.as_ref(), |e, r| r.encode_into(e));
+        self.new_target_root.encode_into(enc);
+        enc.put_u64(self.all_level_roots.len() as u64);
+        for r in &self.all_level_roots {
+            enc.put_digest(r);
+        }
+        self.global.encode_into(enc);
+        enc.put_u64(self.new_epoch);
+    }
+
+    /// Inverse of [`MergeResult::encode_into`]; pages come back as
+    /// fresh `Arc`s that [`crate::tree::LsMerkle::apply_merge_result`]
+    /// shares into the level, exactly like in-process results.
+    pub fn decode_from(dec: &mut wedge_log::Decoder<'_>) -> Result<Self, wedge_log::DecodeError> {
+        let edge = IdentityId(dec.get_u64()?);
+        let source_level = dec.get_u32()?;
+        let n_pages = dec.get_count(24)?;
+        let mut new_target_pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            new_target_pages.push(Page::decode_from(dec)?);
+        }
+        let new_source_root = dec.get_option(SignedLevelRoot::decode_from)?;
+        let new_target_root = SignedLevelRoot::decode_from(dec)?;
+        let n_roots = dec.get_count(32)?;
+        let mut all_level_roots = Vec::with_capacity(n_roots);
+        for _ in 0..n_roots {
+            all_level_roots.push(dec.get_digest()?);
+        }
+        let global = GlobalRootCert::decode_from(dec)?;
+        let new_epoch = dec.get_u64()?;
+        Ok(MergeResult {
+            edge,
+            source_level,
+            new_target_pages,
+            new_source_root,
+            new_target_root,
+            all_level_roots,
+            global,
+            new_epoch,
+        })
     }
 }
 
@@ -173,6 +285,13 @@ pub struct CloudIndexState {
     pub level_roots: Vec<Digest>,
     /// Current epoch (merge count).
     pub epoch: u64,
+    /// The last merge processed: the request's
+    /// [`MergeRequest::fingerprint`] and the signed result. A retried
+    /// request (same fingerprint, one epoch behind — its `MergeRes`
+    /// was lost in transit) is answered from here instead of being
+    /// rejected as stale, which is what makes edge-side merge retries
+    /// self-healing under a lossy transport.
+    last_merge: Option<(Digest, MergeResult)>,
 }
 
 /// The cloud node's view of every edge's LSMerkle.
@@ -203,7 +322,10 @@ impl CloudIndex {
     pub fn init_edge(&mut self, cloud: &Identity, edge: IdentityId, now_ns: u64) -> InitBundle {
         let n = self.cfg.num_merkle_levels();
         let roots: Vec<Digest> = vec![empty_level_root(); n];
-        self.states.insert(edge, CloudIndexState { level_roots: roots.clone(), epoch: 0 });
+        self.states.insert(
+            edge,
+            CloudIndexState { level_roots: roots.clone(), epoch: 0, last_merge: None },
+        );
         let level_roots = (0..n)
             .map(|i| SignedLevelRoot::issue(cloud, edge, (i + 1) as u32, 0, roots[i]))
             .collect();
@@ -234,7 +356,26 @@ impl CloudIndex {
         ))
     }
 
+    /// Idempotent-retry lookup: if `req` is byte-for-byte the merge
+    /// this edge's state was last advanced by (fingerprint match, one
+    /// epoch behind — its `MergeRes` was lost in transit), returns the
+    /// cached signed result without touching any state. Replaying it
+    /// is sound, and it is the only way the edge can ever catch up
+    /// under a lossy transport. `checked_add` keeps a hostile
+    /// `epoch == u64::MAX` a clean miss, never an overflow.
+    pub fn replay_for(&self, req: &MergeRequest) -> Option<MergeResult> {
+        let state = self.states.get(&req.edge)?;
+        if req.epoch.checked_add(1) != Some(state.epoch) {
+            return None;
+        }
+        let (fp, cached) = state.last_merge.as_ref()?;
+        (*fp == req.fingerprint()).then(|| cached.clone())
+    }
+
     /// Verifies and performs a merge, returning the signed result.
+    /// A repeated request is a stale-epoch error here — retries are
+    /// answered through [`CloudIndex::replay_for`], which the caller
+    /// consults first.
     pub fn process_merge(
         &mut self,
         cloud: &Identity,
@@ -336,7 +477,7 @@ impl CloudIndex {
             now_ns,
             compute_global_root(&all_level_roots),
         );
-        Ok(MergeResult {
+        let result = MergeResult {
             edge: req.edge,
             source_level: req.source_level,
             new_target_pages: new_pages,
@@ -345,7 +486,9 @@ impl CloudIndex {
             all_level_roots,
             global,
             new_epoch,
-        })
+        };
+        state.last_merge = Some((req.fingerprint(), result.clone()));
+        Ok(result)
     }
 }
 
@@ -453,7 +596,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_epoch_rejected() {
+    fn stale_epoch_rejected_but_identical_retry_replayed() {
         let (cloud, mut ledger, mut index, edge) = setup();
         index.init_edge(&cloud, edge, 0);
         let p0 = certified_l0(&mut ledger, edge, 0, &[(1, b"a")]);
@@ -465,11 +608,41 @@ mod tests {
             target_pages: vec![],
             epoch: 0,
         };
-        index.process_merge(&cloud, &ledger, &req, 0).unwrap();
-        // Replay at the old epoch.
+        let first = index.process_merge(&cloud, &ledger, &req, 0).unwrap();
+        // A byte-identical retry (its MergeRes was lost in transit) is
+        // answered from the replay cache — this is what makes edge
+        // merge retries self-healing — while `process_merge` itself
+        // still rejects the stale epoch.
+        assert_eq!(index.replay_for(&req), Some(first.clone()));
+        assert_eq!(
+            index.process_merge(&cloud, &ledger, &req, 99),
+            Err(MergeError::EpochMismatch { expected: 1, got: 0 })
+        );
+        // A *different* request at the stale epoch never replays.
+        let p1 = certified_l0(&mut ledger, edge, 1, &[(2, b"b")]);
+        let other = MergeRequest { source_l0: vec![p1], ..req.clone() };
+        assert_eq!(index.replay_for(&other), None);
+        assert_eq!(
+            index.process_merge(&cloud, &ledger, &other, 0),
+            Err(MergeError::EpochMismatch { expected: 1, got: 0 })
+        );
+        // A hostile epoch of u64::MAX is a clean miss, not an overflow.
+        let hostile = MergeRequest { epoch: u64::MAX, ..req.clone() };
+        assert_eq!(index.replay_for(&hostile), None);
+        // And a two-epochs-stale replay never matches the cache.
+        let req2 = MergeRequest {
+            edge,
+            source_level: 1,
+            source_l0: vec![],
+            source_pages: first.new_target_pages.clone(),
+            target_pages: vec![],
+            epoch: 1,
+        };
+        index.process_merge(&cloud, &ledger, &req2, 0).unwrap();
+        assert_eq!(index.replay_for(&req), None, "two epochs stale: no replay");
         assert_eq!(
             index.process_merge(&cloud, &ledger, &req, 0),
-            Err(MergeError::EpochMismatch { expected: 1, got: 0 })
+            Err(MergeError::EpochMismatch { expected: 2, got: 0 })
         );
     }
 

@@ -203,6 +203,36 @@ impl Page {
     pub fn wire_size(&self) -> u32 {
         28 + self.records.iter().map(|r| r.wire_size()).sum::<u32>()
     }
+
+    /// Canonical nestable wire encoding: exactly the logical fields,
+    /// so decode∘encode is the identity and the decoded page's
+    /// (lazily recomputed) digest equals the original's.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.min).put_u64(self.max).put_u64(self.created_at_ns);
+        enc.put_u64(self.records.len() as u64);
+        for r in &self.records {
+            r.encode_into(enc);
+        }
+    }
+
+    /// Inverse of [`Page::encode_into`], producing a shareable
+    /// [`Arc<Page>`] — decoded pages enter the same `Arc`-page
+    /// representation the in-process paths use, so merge results and
+    /// read proofs decoded off the wire share pages with the tree
+    /// exactly like local ones.
+    pub fn decode_from(
+        dec: &mut wedge_log::Decoder<'_>,
+    ) -> Result<Arc<Page>, wedge_log::DecodeError> {
+        let min = dec.get_u64()?;
+        let max = dec.get_u64()?;
+        let created_at_ns = dec.get_u64()?;
+        let count = dec.get_count(crate::kv::KvRecord::MIN_ENCODED_LEN)?;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            records.push(KvRecord::decode_from(dec)?);
+        }
+        Ok(Arc::new(Page::new(min, max, records, created_at_ns)))
+    }
 }
 
 /// Checks the paper's level-wide range invariants over adjacent pages:
@@ -343,6 +373,25 @@ impl L0Page {
     /// Wire size when shipped to the cloud for merging.
     pub fn wire_size(&self) -> u32 {
         self.block.wire_size()
+    }
+
+    /// Canonical nestable wire encoding: the underlying block's
+    /// canonical bytes, nothing else. The denormalized `records` are
+    /// *derived* state — re-deriving them on decode means a forged
+    /// L0 page (records ≠ block) is not even representable on the
+    /// wire, and the decoded page's digest is the block digest by
+    /// construction.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_bytes(&self.block.canonical_bytes());
+    }
+
+    /// Inverse of [`L0Page::encode_into`], producing a shareable
+    /// [`Arc<L0Page>`] with records re-derived from the block.
+    pub fn decode_from(
+        dec: &mut wedge_log::Decoder<'_>,
+    ) -> Result<Arc<L0Page>, wedge_log::DecodeError> {
+        let block = wedge_log::Block::decode(dec.get_bytes()?)?;
+        Ok(Arc::new(L0Page::from_block(block)))
     }
 }
 

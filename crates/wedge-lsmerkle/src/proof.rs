@@ -22,11 +22,11 @@ use crate::tree::LsMerkle;
 use std::collections::HashMap;
 use std::sync::Arc;
 use wedge_crypto::{Digest, IdentityId, InclusionProof, KeyRegistry, MerkleTree};
-use wedge_log::{BlockProof, CommitPhase};
+use wedge_log::{BlockProof, CommitPhase, Encoder};
 
 /// An L0 page plus its certification, if any. The page is shared with
 /// the tree (`Arc`): building a witness clones a pointer, not records.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct L0Witness {
     /// The page (block-backed).
     pub page: Arc<L0Page>,
@@ -36,7 +36,7 @@ pub struct L0Witness {
 
 /// The covering page of one Merkle level, with its inclusion proof.
 /// The page is shared with the tree (`Arc`).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LevelWitness {
     /// Level number (1-based).
     pub level: u32,
@@ -47,7 +47,7 @@ pub struct LevelWitness {
 }
 
 /// Everything a client needs to verify a get response.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IndexReadProof {
     /// The edge that served the read.
     pub edge: IdentityId,
@@ -76,6 +76,75 @@ impl IndexReadProof {
             .map(|w| w.page.wire_size() + 32 * (w.inclusion.siblings.len() as u32 + 1))
             .sum();
         l0 + lv + 32 * self.level_roots.len() as u32 + 96
+    }
+
+    /// Canonical nestable wire encoding of the whole proof.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.edge.0).put_u64(self.key);
+        enc.put_option(self.outcome.as_ref(), |e, r| r.encode_into(e));
+        enc.put_u64(self.l0.len() as u64);
+        for w in &self.l0 {
+            w.page.encode_into(enc);
+            enc.put_option(w.proof.as_ref(), |e, p| p.encode_into(e));
+        }
+        enc.put_u64(self.witnesses.len() as u64);
+        for w in &self.witnesses {
+            enc.put_u32(w.level);
+            w.page.encode_into(enc);
+            enc.put_u64(w.inclusion.leaf_index as u64);
+            enc.put_u64(w.inclusion.siblings.len() as u64);
+            for s in &w.inclusion.siblings {
+                enc.put_digest(s);
+            }
+        }
+        enc.put_u64(self.level_roots.len() as u64);
+        for r in &self.level_roots {
+            enc.put_digest(r);
+        }
+        self.global.encode_into(enc);
+    }
+
+    /// Inverse of [`IndexReadProof::encode_into`]. Decoded pages are
+    /// fresh `Arc`s; nothing is verified here — the decoded proof goes
+    /// through [`verify_read_proof`] like any other.
+    pub fn decode_from(dec: &mut wedge_log::Decoder<'_>) -> Result<Self, wedge_log::DecodeError> {
+        use wedge_log::DecodeError;
+        let edge = IdentityId(dec.get_u64()?);
+        let key = dec.get_u64()?;
+        let outcome = dec.get_option(KvRecord::decode_from)?;
+        let n_l0 = dec.get_count(8)?;
+        let mut l0 = Vec::with_capacity(n_l0);
+        for _ in 0..n_l0 {
+            let page = L0Page::decode_from(dec)?;
+            let proof = dec.get_option(BlockProof::decode_from)?;
+            l0.push(L0Witness { page, proof });
+        }
+        let n_wit = dec.get_count(24)?;
+        let mut witnesses = Vec::with_capacity(n_wit);
+        for _ in 0..n_wit {
+            let level = dec.get_u32()?;
+            let page = Page::decode_from(dec)?;
+            let leaf_index = dec.get_u64()?;
+            let leaf_index =
+                usize::try_from(leaf_index).map_err(|_| DecodeError::Malformed("leaf index"))?;
+            let n_sib = dec.get_count(32)?;
+            let mut siblings = Vec::with_capacity(n_sib);
+            for _ in 0..n_sib {
+                siblings.push(dec.get_digest()?);
+            }
+            witnesses.push(LevelWitness {
+                level,
+                page,
+                inclusion: InclusionProof { leaf_index, siblings },
+            });
+        }
+        let n_roots = dec.get_count(32)?;
+        let mut level_roots = Vec::with_capacity(n_roots);
+        for _ in 0..n_roots {
+            level_roots.push(dec.get_digest()?);
+        }
+        let global = GlobalRootCert::decode_from(dec)?;
+        Ok(IndexReadProof { edge, key, outcome, l0, witnesses, level_roots, global })
     }
 }
 
@@ -136,30 +205,42 @@ impl std::error::Error for ProofError {}
 /// the cloud's block-proof signature. Both checks are pure functions
 /// of immutable data, so a client may cache the verdict.
 ///
-/// Soundness: entries are keyed by page digest but only trusted when
-/// the witness is *pointer-identical* (`Arc::ptr_eq`) to the verified
-/// page. The denormalized `records` field is NOT covered by the block
-/// digest, so a forged page can share an honestly-certified block (and
-/// hence its digest) while advertising different records — digest
-/// equality alone must never skip the records check. Pointer identity
-/// is exactly the in-process sharing the tree already does (`Arc`ed
-/// pages flow from tree to proof), so honest repeat reads always hit.
+/// Soundness: entries are keyed by page digest, but the denormalized
+/// `records` field is NOT covered by the block digest — a forged page
+/// can share an honestly-certified block (and hence its digest) while
+/// advertising different records, so digest equality alone must never
+/// skip the records check. A cached verdict is therefore trusted only
+/// when the witness is *pointer-identical* (`Arc::ptr_eq`) to the
+/// verified page — the in-process sharing the tree already does — or,
+/// failing that, when its records compare equal to the verified
+/// page's (same digest ⇒ same block, so equal records are exactly the
+/// records already proven canonical). The equality path is what lets
+/// proofs decoded off the wire (fresh `Arc`s every read) hit the
+/// cache: a record compare is far cheaper than the block re-decode +
+/// signature re-check it replaces.
 #[derive(Debug)]
 pub struct ReadProofCache {
     map: HashMap<Digest, CachedL0>,
     cap: usize,
+    /// Monotonic access clock for LRU eviction: bumped on every
+    /// witness check, stamped onto the touched entry.
+    tick: u64,
 }
 
 #[derive(Debug)]
 struct CachedL0 {
     page: Arc<L0Page>,
     proof: Option<BlockProof>,
+    last_used: u64,
 }
 
 impl ReadProofCache {
-    /// A cache holding at most `cap` verified witnesses.
+    /// A cache holding at most `cap` verified witnesses. At capacity
+    /// the least-recently-used entry is evicted, so a hot working set
+    /// keeps its verdicts under cache pressure (the old wholesale
+    /// clear threw the hot set away with the cold tail).
     pub fn new(cap: usize) -> Self {
-        ReadProofCache { map: HashMap::new(), cap: cap.max(1) }
+        ReadProofCache { map: HashMap::new(), cap: cap.max(1), tick: 0 }
     }
 
     /// Number of cached witnesses.
@@ -170,6 +251,21 @@ impl ReadProofCache {
     /// True iff nothing is cached yet.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-
+    /// used one first when at capacity.
+    fn admit(&mut self, digest: Digest, page: Arc<L0Page>, proof: Option<BlockProof>) {
+        if self.map.len() >= self.cap && !self.map.contains_key(&digest) {
+            // O(cap) scan, but only on inserts past capacity; the
+            // map's cap (default 4096) keeps this cheap relative to
+            // the signature checks the cache exists to avoid.
+            if let Some(lru) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(d, _)| *d) {
+                self.map.remove(&lru);
+            }
+        }
+        let last_used = self.tick;
+        self.map.insert(digest, CachedL0 { page, proof, last_used });
     }
 }
 
@@ -188,15 +284,32 @@ fn check_l0_witness(
     cache: &mut Option<&mut ReadProofCache>,
 ) -> Result<bool, ProofError> {
     let digest = w.page.digest();
-    let cached = cache.as_ref().and_then(|c| c.map.get(&digest));
-    let page_ok = cached.is_some_and(|e| Arc::ptr_eq(&e.page, &w.page));
+    // Consult the cache, stamping recency on the touched entry (LRU).
+    // Trust rule (see the type docs): pointer identity, or — for
+    // pages decoded off the wire into fresh Arcs — record equality
+    // against the already-verified page with the same digest.
+    let (page_ok, cached_proof_matches) = match cache.as_deref_mut() {
+        Some(c) => {
+            c.tick += 1;
+            let tick = c.tick;
+            match c.map.get_mut(&digest) {
+                Some(e) => {
+                    e.last_used = tick;
+                    let page_ok =
+                        Arc::ptr_eq(&e.page, &w.page) || e.page.records() == w.page.records();
+                    (page_ok, page_ok && e.proof.as_ref() == w.proof.as_ref())
+                }
+                None => (false, false),
+            }
+        }
+        None => (false, false),
+    };
     if !page_ok && !w.page.matches_block() {
         return Err(ProofError::BadL0Proof(w.page.bid()));
     }
     let certified = match &w.proof {
         Some(bp) => {
-            let cached_ok = page_ok && cached.is_some_and(|e| e.proof.as_ref() == Some(bp));
-            let proof_ok = cached_ok
+            let proof_ok = cached_proof_matches
                 || (bp.edge == edge
                     && bp.bid == w.page.block().id
                     && bp.digest == digest
@@ -210,12 +323,8 @@ fn check_l0_witness(
     };
     if let Some(c) = cache.as_deref_mut() {
         // Admit (or refresh, e.g. a page later read with its proof
-        // attached). Eviction is wholesale: the cache exists for tight
-        // re-read loops, where it never fills.
-        if c.map.len() >= c.cap && !c.map.contains_key(&digest) {
-            c.map.clear();
-        }
-        c.map.insert(digest, CachedL0 { page: Arc::clone(&w.page), proof: w.proof.clone() });
+        // attached).
+        c.admit(digest, Arc::clone(&w.page), w.proof.clone());
     }
     Ok(certified)
 }
@@ -692,6 +801,48 @@ mod tests {
         );
     }
 
+    /// Proofs decoded off the wire arrive as fresh `Arc`s every time;
+    /// the cache must still serve them (by digest + record equality),
+    /// or the networked runtime would re-decode and re-verify every
+    /// hot page on every read.
+    #[test]
+    fn read_proof_cache_hits_for_wire_decoded_proofs() {
+        use crate::page::hash_stats;
+        let mut fx = Fixture::new();
+        for i in 0..4u64 {
+            fx.ingest_certified(&[(i, Some(b"v"))]);
+        }
+        let mut cache = ReadProofCache::default();
+        let verify_decoded = |fx: &Fixture, key: u64, cache: &mut ReadProofCache| {
+            // Round-trip through the codec: decoded pages are fresh
+            // Arcs, pointer-distinct from anything cached.
+            let mut enc = Encoder::default();
+            build_read_proof(&fx.tree, key).encode_into(&mut enc);
+            let bytes = enc.finish();
+            let mut dec = wedge_log::Decoder::new(&bytes);
+            let proof = IndexReadProof::decode_from(&mut dec).unwrap();
+            verify_read_proof_cached(
+                &proof,
+                fx.edge,
+                fx.cloud.id,
+                &fx.registry,
+                2_000,
+                None,
+                cache,
+            )
+            .unwrap();
+        };
+        verify_decoded(&fx, 0, &mut cache);
+        // Second decoded read: zero block re-decodes despite fresh Arcs.
+        let warm = hash_stats::l0_decode_checks();
+        verify_decoded(&fx, 2, &mut cache);
+        assert_eq!(
+            hash_stats::l0_decode_checks(),
+            warm,
+            "wire-decoded witnesses must hit the cache by digest + record equality"
+        );
+    }
+
     /// Soundness: a forged page sharing an honestly-certified block
     /// (same digest, different records) is still caught when the
     /// honest page is cached — digest equality must never stand in for
@@ -741,6 +892,82 @@ mod tests {
             &mut cache,
         )
         .unwrap();
+    }
+
+    /// LRU eviction: a hot working set that keeps being re-verified
+    /// survives a stream of cold one-off proofs through the same
+    /// cache. The old clear-on-full policy threw the hot entries away
+    /// at the first overflow; LRU evicts only the cold tail, so hot
+    /// re-reads never re-decode their blocks under pressure.
+    #[test]
+    fn read_proof_cache_lru_keeps_hot_working_set() {
+        use crate::page::hash_stats;
+        let verify = |fx: &Fixture, key: u64, cache: &mut ReadProofCache| {
+            let proof = build_read_proof(&fx.tree, key);
+            verify_read_proof_cached(
+                &proof,
+                fx.edge,
+                fx.cloud.id,
+                &fx.registry,
+                2_000,
+                None,
+                cache,
+            )
+            .unwrap();
+        };
+        // Hot tree: 3 L0 pages, read repeatedly.
+        let mut hot = Fixture::new();
+        for i in 0..3u64 {
+            hot.ingest_certified(&[(i, Some(b"hot"))]);
+        }
+        // Cap 4 = the 3 hot pages + room for exactly one cold page:
+        // every cold proof forces an eviction.
+        let mut cache = ReadProofCache::new(4);
+        verify(&hot, 0, &mut cache);
+        // Cold traffic: 6 single-page trees streamed through the
+        // cache, with hot reads interleaved (keeping hot recent).
+        for i in 0..6u64 {
+            let mut cold = Fixture::new();
+            cold.ingest_certified(&[(1_000 + i, Some(b"cold"))]);
+            verify(&cold, 1_000 + i, &mut cache);
+            verify(&hot, i % 3, &mut cache);
+        }
+        assert_eq!(cache.len(), 4, "cap respected under pressure");
+        // The hot set survived: re-verifying decodes zero blocks.
+        let before = hash_stats::l0_decode_checks();
+        verify(&hot, 2, &mut cache);
+        assert_eq!(
+            hash_stats::l0_decode_checks(),
+            before,
+            "hot witnesses must survive cold-stream pressure without re-decoding"
+        );
+    }
+
+    /// Wire round-trip: a decoded proof is field-identical and — the
+    /// property verification depends on — verifies exactly like the
+    /// original, including the Phase-II certification witnesses.
+    #[test]
+    fn read_proof_wire_roundtrip_verifies() {
+        let mut fx = Fixture::new();
+        fx.ingest_certified(&[(1, Some(b"a"))]);
+        fx.ingest_certified(&[(2, Some(b"b"))]);
+        fx.ingest_certified(&[(3, Some(b"c"))]);
+        fx.drain_merges();
+        for key in [2u64, 999] {
+            let proof = build_read_proof(&fx.tree, key);
+            let mut enc = Encoder::default();
+            proof.encode_into(&mut enc);
+            let bytes = enc.finish();
+            let mut dec = wedge_log::Decoder::new(&bytes);
+            let back = IndexReadProof::decode_from(&mut dec).unwrap();
+            dec.finish().unwrap();
+            assert_eq!(back, proof, "key {key}: decoded proof field-identical");
+            assert_eq!(
+                fx.verify(&back),
+                fx.verify(&proof),
+                "key {key}: decoded proof verifies identically"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! One protocol, three transports — this is the third one.
+//!
+//! Runs a two-edge WedgeChain cluster where the cloud, both edges and
+//! both clients live behind **real TCP sockets** on loopback
+//! (`wedge-net`): every receipt, certification, merge, gossip
+//! watermark, read proof, dispute and verdict is serialized into the
+//! length-framed `WireMsg` envelope, written to a socket, and decoded
+//! with hostile-input checks on the other side. The engines are the
+//! exact same sans-IO state machines the simulator and the threaded
+//! runtime drive.
+//!
+//! Run with: `cargo run --release --example net_loopback`
+
+use std::time::Duration;
+use wedgechain::core::fault::FaultPlan;
+use wedgechain::net::{NetCluster, NetConfig};
+
+fn main() {
+    println!("== WedgeChain over loopback TCP ==\n");
+
+    let cluster = NetCluster::start(NetConfig {
+        num_edges: 2,
+        batch_size: 2,
+        gossip_period: Some(Duration::from_millis(25)),
+        dispute_timeout: Duration::from_millis(400),
+        // Edge 1 withholds certification of its block 1: detection
+        // and punishment happen over the same sockets as the data.
+        faults: vec![FaultPlan::honest(), FaultPlan::withhold_on(1)],
+        pipeline_depth: 2,
+        ..NetConfig::default()
+    });
+
+    // --- partition 0: honest writes, certified end-to-end ---
+    let mut last = None;
+    for k in 0..8u64 {
+        last = cluster.put_on(0, k, format!("value-{k}").into_bytes());
+    }
+    if let Some(reply) = last {
+        let proof = reply.certified.recv_timeout(Duration::from_secs(5)).expect("Phase II");
+        println!("edge 0: block {} Phase-II certified over TCP", proof.bid);
+    }
+    for k in [0u64, 3, 7] {
+        let read = cluster.get_on(0, k).expect("verified read");
+        println!(
+            "edge 0: get({k}) -> {:?} (proof decoded from the wire, verified locally)",
+            read.value.as_deref().map(String::from_utf8_lossy)
+        );
+    }
+
+    // --- partition 1: a withholding edge gets convicted ---
+    for k in 0..4u64 {
+        cluster.put_on(1, 100 + k, vec![k as u8]);
+    }
+    println!("\nedge 1 withholds certification of block 1; waiting for the dispute deadline…");
+    std::thread::sleep(Duration::from_millis(900));
+
+    let report = cluster.shutdown().expect("sole owner receives the report");
+    println!("\n== final state ==");
+    for (p, edge) in report.edges.iter().enumerate() {
+        println!(
+            "edge {p}: {} blocks sealed, certified prefix {}, {} dispute(s) upheld",
+            edge.edge_stats.blocks_sealed, edge.certified_len, edge.client_metrics.disputes_upheld
+        );
+    }
+    println!("punished edges: {:?}", report.punished);
+    assert_eq!(report.punished, vec![report.edges[1].edge], "withholder convicted over TCP");
+    assert!(report.edges[0].client_metrics.disputes_upheld == 0, "honest edge untouched");
+    println!("\nOK: same engines, real sockets, lies still impossible to keep.");
+}

@@ -43,6 +43,8 @@ pub use wedge_crypto as crypto;
 pub use wedge_log as log;
 /// The LSMerkle trusted index.
 pub use wedge_lsmerkle as lsmerkle;
+/// The networked (real TCP sockets) runtime.
+pub use wedge_net as net;
 /// Deterministic discrete-event simulator and WAN model.
 pub use wedge_sim as sim;
 /// Workload generation for the evaluation.
