@@ -156,7 +156,7 @@ impl EbCloud {
         self.next_seq += 1;
         let msg = BMsg::EbInstall { seq, client, req_id, block, proof, merges };
         let sz = msg.wire_size();
-        self.wan_bytes_to_edge += sz as u64;
+        self.wan_bytes_to_edge += sz;
         self.in_flight = Some((client, req_id));
         ctx.send(self.edge, msg, sz);
     }

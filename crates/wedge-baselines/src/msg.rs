@@ -90,22 +90,22 @@ pub enum BMsg {
 
 impl BMsg {
     /// Approximate wire size for the bandwidth model.
-    pub fn wire_size(&self) -> u32 {
+    pub fn wire_size(&self) -> u64 {
         match self {
             BMsg::Start | BMsg::CoBatchAck { .. } | BMsg::EbBatchAck { .. } => 8,
             BMsg::CoBatch { ops, .. } => {
                 16 + ops
                     .iter()
-                    .map(|o| 9 + o.value.as_ref().map_or(0, |v| v.len() as u32))
-                    .sum::<u32>()
+                    .map(|o| 9 + o.value.as_ref().map_or(0, |v| v.len() as u64))
+                    .sum::<u64>()
             }
             BMsg::CoGet { .. } | BMsg::EbGet { .. } => 24,
-            BMsg::CoGetResp { value, .. } => 16 + value.as_ref().map_or(0, |v| v.len() as u32),
+            BMsg::CoGetResp { value, .. } => 16 + value.as_ref().map_or(0, |v| v.len() as u64),
             BMsg::EbBatch { entries, .. } => {
-                16 + entries.iter().map(|e| e.wire_size()).sum::<u32>()
+                16 + entries.iter().map(|e| e.wire_size()).sum::<u64>()
             }
             BMsg::EbInstall { block, merges, .. } => {
-                let merge_bytes: u32 =
+                let merge_bytes: u64 =
                     merges.iter().map(|(rq, rs)| rq.wire_size() + rs.wire_size()).sum();
                 block.wire_size() + BlockProof::WIRE_SIZE + merge_bytes + 16
             }

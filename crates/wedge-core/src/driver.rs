@@ -99,12 +99,23 @@ impl PutBatcher {
         value: Vec<u8>,
         submit: impl FnOnce(PutOps) -> Receiver<PutReply>,
     ) -> Option<PutReply> {
-        let rx = {
-            let mut pending = self.batchers[partition].lock().unwrap();
-            pending.push((key, value));
-            (pending.len() >= self.batch_size).then(|| submit(std::mem::take(&mut *pending)))
-        };
-        rx.map(Self::await_phase1)
+        self.put_submit(partition, key, value, submit).map(Self::await_phase1)
+    }
+
+    /// The buffering/submission half of [`PutBatcher::put`] without
+    /// the blocking Phase-I wait: returns the reply channel when the
+    /// put sealed a batch, so callers can apply their own admission
+    /// policy (timeout, fail-fast) instead of waiting forever.
+    pub fn put_submit(
+        &self,
+        partition: usize,
+        key: u64,
+        value: Vec<u8>,
+        submit: impl FnOnce(PutOps) -> Receiver<PutReply>,
+    ) -> Option<Receiver<PutReply>> {
+        let mut pending = self.batchers[partition].lock().unwrap();
+        pending.push((key, value));
+        (pending.len() >= self.batch_size).then(|| submit(std::mem::take(&mut *pending)))
     }
 
     /// Flushes the partition's buffered entries as a partial batch.
@@ -120,7 +131,8 @@ impl PutBatcher {
         rx.map(Self::await_phase1)
     }
 
-    fn await_phase1(rx: Receiver<PutReply>) -> PutReply {
+    /// Blocks until the batch's Phase-I reply arrives.
+    pub fn await_phase1(rx: Receiver<PutReply>) -> PutReply {
         rx.recv().expect(
             "batch Phase-I committed (a closed channel means the edge rejected it or went \
              unresponsive past the dispute timeout)",

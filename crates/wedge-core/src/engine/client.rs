@@ -221,14 +221,14 @@ pub enum ClientEffect {
         /// The message.
         msg: WireMsg,
         /// Wire size for the bandwidth model.
-        wire: u32,
+        wire: u64,
     },
     /// A message to the cloud (disputes).
     SendCloud {
         /// The message.
         msg: WireMsg,
         /// Wire size for the bandwidth model.
-        wire: u32,
+        wire: u64,
     },
     /// A protocol milestone for the driver (completion routing in the
     /// threaded runtime; ignorable in the simulator, where harnesses

@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, RevocationReason, Signature};
 use wedge_log::{BlockId, BlockProof, CertLedger, CertOutcome, GossipWatermark};
-use wedge_lsmerkle::{CloudIndex, MergeRequest};
+use wedge_lsmerkle::{CloudIndex, DeltaMergeResult, MergeRequest, MergeResult};
 use wedge_sim::SimDuration;
 
 /// Counters exposed for benches and assertions.
@@ -45,6 +45,14 @@ pub struct CloudStats {
     pub gossip_rounds: u64,
     /// Bytes received from edges (data-free ablation metric).
     pub wan_bytes_from_edges: u64,
+    /// Target pages shipped in full inside merge replies.
+    pub merge_reply_pages_full: u64,
+    /// Target pages shipped as references (already held by the edge)
+    /// inside delta-encoded merge replies — the reply-size dedup.
+    pub merge_reply_pages_reused: u64,
+    /// Bytes of merge-reply dedup: full-encoding size minus the delta
+    /// actually sent, summed over all merge replies.
+    pub merge_reply_bytes_saved: u64,
 }
 
 /// A typed command for the cloud engine.
@@ -113,7 +121,7 @@ pub enum CloudEffect<P> {
         /// The message.
         msg: WireMsg,
         /// Wire size for the bandwidth model.
-        wire: u32,
+        wire: u64,
     },
 }
 
@@ -263,6 +271,11 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
         if self.punished.contains(&edge) || req.edge != edge {
             return;
         }
+        // Charged over *everything shipped*, although the rebuild
+        // itself is now incremental (dirty regions only): the cloud
+        // must still verify every page it receives against the signed
+        // roots, and pages decoded off the wire carry no memoized
+        // digests — verification is O(request), and it dominates.
         let records: u64 = req
             .source_l0
             .iter()
@@ -271,23 +284,23 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
             .chain(req.target_pages.iter().map(|p| p.records().len() as u64))
             .sum();
         out.push(CloudEffect::UseCpu(self.cost.merge(records)));
-        self.stats.wan_bytes_from_edges += req.wire_size() as u64;
+        self.stats.wan_bytes_from_edges += req.wire_size();
         // A byte-identical retry of the last merge (its reply was
         // lost) is answered idempotently — it re-applies nothing and
-        // is counted separately from processed merges.
+        // is counted separately from processed merges. The cached
+        // result is delta-encoded against the *retried* request: its
+        // fingerprint matched the cache, so it carries the same pages
+        // and every reference the edge resolves lands on its own
+        // `Arc`s.
         if let Some(cached) = self.index.replay_for(&req) {
             self.stats.merges_replayed += 1;
-            let msg = WireMsg::MergeRes(Box::new(cached));
-            let wire = msg.wire_size();
-            out.push(CloudEffect::Send { to: from, msg, wire });
+            self.send_merge_reply(out, from, &cached, &req);
             return;
         }
         match self.index.process_merge(&self.identity, &self.ledger, &req, now_ns) {
             Ok(result) => {
                 self.stats.merges_processed += 1;
-                let msg = WireMsg::MergeRes(Box::new(result));
-                let wire = msg.wire_size();
-                out.push(CloudEffect::Send { to: from, msg, wire });
+                self.send_merge_reply(out, from, &result, &req);
             }
             Err(err) => {
                 self.stats.merges_rejected += 1;
@@ -305,6 +318,26 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
                 }
             }
         }
+    }
+
+    /// Ships a merge result delta-encoded against the request it
+    /// answers: pages the edge already holds (reused `Arc`s from the
+    /// request) travel as references, so the largest cloud→edge
+    /// message scales with the changed pages, not the target level.
+    fn send_merge_reply(
+        &mut self,
+        out: &mut Vec<CloudEffect<P>>,
+        to: P,
+        result: &MergeResult,
+        req: &MergeRequest,
+    ) {
+        let delta = DeltaMergeResult::delta_against(result, req);
+        self.stats.merge_reply_pages_full += delta.full_pages();
+        self.stats.merge_reply_pages_reused += delta.reused_pages();
+        self.stats.merge_reply_bytes_saved += result.wire_size().saturating_sub(delta.wire_size());
+        let msg = WireMsg::MergeResDelta(Box::new(delta));
+        let wire = msg.wire_size();
+        out.push(CloudEffect::Send { to, msg, wire });
     }
 
     fn dispute(&mut self, out: &mut Vec<CloudEffect<P>>, from: P, dispute: Dispute) {

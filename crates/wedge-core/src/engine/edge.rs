@@ -21,7 +21,8 @@ use std::hash::Hash;
 use wedge_crypto::{sha256_concat, Identity, IdentityId, KeyRegistry};
 use wedge_log::{BlockBuffer, BlockId, BlockProof, Entry, GossipWatermark, LogStore};
 use wedge_lsmerkle::{
-    build_read_proof, GlobalRootCert, Key, KvOp, LsMerkle, MergeRequest, MergeResult,
+    build_read_proof, DeltaMergeResult, GlobalRootCert, Key, KvOp, LsMerkle, MergeRequest,
+    MergeResult,
 };
 use wedge_sim::SimDuration;
 
@@ -49,6 +50,12 @@ pub struct EdgeStats {
     pub certs_retried: u64,
     /// Merge requests re-sent after a retry deadline expired.
     pub merges_retried: u64,
+    /// Merge replies dropped without applying: a delta that failed to
+    /// resolve against the in-flight request (stale fingerprint,
+    /// hostile reuse index), or a resolved reply whose pages failed
+    /// validation against the signed roots. The retry clock stays
+    /// armed either way.
+    pub merge_deltas_unresolved: u64,
     /// Set when the cloud rejected one of our certifications.
     pub flagged_malicious: bool,
 }
@@ -84,8 +91,12 @@ pub enum EdgeCommand<C> {
     },
     /// The cloud certified one of our blocks.
     BlockProof(BlockProof),
-    /// The cloud answered a merge request.
+    /// The cloud answered a merge request in full (legacy wire tag;
+    /// in-process tests still use it).
     MergeResult(Box<MergeResult>),
+    /// The cloud answered a merge request delta-encoded against it;
+    /// the engine resolves references via its in-flight request.
+    MergeResultDelta(Box<DeltaMergeResult>),
     /// The cloud refused a certification (equivocation detected).
     CertRejected {
         /// The offending block id.
@@ -115,6 +126,7 @@ impl<C> EdgeCommand<C> {
             WireMsg::Get { req_id, key } => EdgeCommand::Get { from, req_id, key },
             WireMsg::BlockProofMsg(proof) => EdgeCommand::BlockProof(proof),
             WireMsg::MergeRes(result) => EdgeCommand::MergeResult(result),
+            WireMsg::MergeResDelta(delta) => EdgeCommand::MergeResultDelta(delta),
             WireMsg::CertRejected { bid } => EdgeCommand::CertRejected { bid },
             WireMsg::GlobalRefresh(cert) => EdgeCommand::GlobalRefresh(cert),
             WireMsg::Gossip(wm) => EdgeCommand::Gossip(wm),
@@ -141,7 +153,7 @@ pub enum EdgeEffect<C> {
         /// The message.
         msg: WireMsg,
         /// Wire size for the bandwidth model.
-        wire: u32,
+        wire: u64,
     },
     /// A message to the cloud. `dispatch` is background-lane CPU to
     /// charge before transmission (lazy certification dispatch);
@@ -150,7 +162,7 @@ pub enum EdgeEffect<C> {
         /// The message.
         msg: WireMsg,
         /// Wire size for the bandwidth model.
-        wire: u32,
+        wire: u64,
         /// Background dispatch cost, if the send is asynchronous.
         dispatch: Option<SimDuration>,
     },
@@ -200,7 +212,7 @@ pub struct EdgeEngine<C> {
 /// An unacknowledged certification request.
 struct PendingCert {
     digest: wedge_crypto::Digest,
-    wire: u32,
+    wire: u64,
     deadline_ns: u64,
 }
 
@@ -295,6 +307,9 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             EdgeCommand::Get { from, req_id, key } => self.get(&mut out, from, req_id, key),
             EdgeCommand::BlockProof(proof) => self.block_proof(&mut out, proof, now_ns),
             EdgeCommand::MergeResult(result) => self.merge_result(&mut out, *result, now_ns),
+            EdgeCommand::MergeResultDelta(delta) => {
+                self.merge_result_delta(&mut out, &delta, now_ns)
+            }
             EdgeCommand::CertRejected { bid } => {
                 self.stats.flagged_malicious = true;
                 self.pending_certs.remove(&bid); // retrying cannot help
@@ -333,7 +348,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         now_ns: u64,
     ) {
         let ops = entries.len() as u64;
-        let bytes: u64 = entries.iter().map(|e| e.wire_size() as u64).sum();
+        let bytes: u64 = entries.iter().map(|e| e.wire_size()).sum();
         out.push(EdgeEffect::UseCpu(self.cost.seal_block(ops, bytes)));
         if self.crypto_mode == CryptoMode::Real {
             // Reject batches containing invalid client signatures.
@@ -402,8 +417,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         // wire size), quantifying what §IV-B saves.
         let wire = if self.data_free { msg.wire_size() } else { block_wire_size };
         self.stats.certs_sent += 1;
-        self.stats.wan_bytes_to_cloud += wire as u64;
-        self.stats.cert_bytes_to_cloud += wire as u64;
+        self.stats.wan_bytes_to_cloud += wire;
+        self.stats.cert_bytes_to_cloud += wire;
         out.push(EdgeEffect::SendCloud {
             msg,
             wire,
@@ -442,8 +457,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             let signature =
                 self.identity.sign(&certify_signing_bytes(self.identity.id, bid, &digest));
             self.stats.certs_retried += 1;
-            self.stats.wan_bytes_to_cloud += wire as u64;
-            self.stats.cert_bytes_to_cloud += wire as u64;
+            self.stats.wan_bytes_to_cloud += wire;
+            self.stats.cert_bytes_to_cloud += wire;
             out.push(EdgeEffect::SendCloud {
                 msg: WireMsg::BlockCertify { bid, digest, signature },
                 wire,
@@ -467,7 +482,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         let msg = WireMsg::MergeReq(Box::new(req));
         let wire = msg.wire_size();
         self.stats.merges_retried += 1;
-        self.stats.wan_bytes_to_cloud += wire as u64;
+        self.stats.wan_bytes_to_cloud += wire;
         out.push(EdgeEffect::SendCloud {
             msg,
             wire,
@@ -537,17 +552,58 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         self.maybe_start_merge(out, now_ns);
     }
 
+    /// Resolves a delta-encoded merge reply against the in-flight
+    /// request (the fingerprint the cloud delta-encoded against is, by
+    /// construction, the one the retry clock re-sends). A reply that
+    /// does not resolve — stale fingerprint, out-of-range reference —
+    /// is dropped and counted; the in-flight request stays armed, so
+    /// the retry deadline keeps compaction live.
+    fn merge_result_delta(
+        &mut self,
+        out: &mut Vec<EdgeEffect<C>>,
+        delta: &DeltaMergeResult,
+        now_ns: u64,
+    ) {
+        let Some(req) = self.merge_in_flight.as_ref() else {
+            return; // duplicate of an already-applied reply: drop
+        };
+        if delta.new_epoch <= self.tree.epoch() {
+            // A late duplicate of a reply we already applied (its
+            // replayed copy, say) while the *next* merge is in flight:
+            // legal under retries, dropped silently — it must not
+            // count as unresolved.
+            return;
+        }
+        match delta.resolve(req) {
+            Ok(result) => self.merge_result(out, result, now_ns),
+            Err(_) => self.stats.merge_deltas_unresolved += 1,
+        }
+    }
+
     fn merge_result(&mut self, out: &mut Vec<EdgeEffect<C>>, result: MergeResult, now_ns: u64) {
         // Under retries, a duplicate `MergeRes` is legal (the original
-        // and a replayed copy can both arrive): only the first one
-        // finds a request to apply against.
-        let Some(req) = self.merge_in_flight.take() else { return };
-        self.merge_deadline_ns = None;
+        // and a replayed copy can both arrive): a reply with no
+        // request in flight, or one for an epoch we already applied
+        // (the next merge may already be in flight), is dropped.
+        let Some(req) = self.merge_in_flight.as_ref() else { return };
+        if result.new_epoch <= self.tree.epoch() {
+            return;
+        }
         let records: u64 = result.new_target_pages.iter().map(|p| p.records().len() as u64).sum();
+        // A reply that reaches here but does not *apply* (pages not
+        // hashing to the signed root, epoch gap — transport corruption
+        // or version skew, never honest cloud behaviour) is dropped
+        // and counted, leaving the request armed for the retry clock:
+        // a bad reply must never panic the edge mid-protocol.
+        if self.tree.apply_merge_result(req, result).is_err() {
+            self.stats.merge_deltas_unresolved += 1;
+            return;
+        }
+        self.merge_in_flight = None;
+        self.merge_deadline_ns = None;
         out.push(EdgeEffect::UseCpuBackground(SimDuration::from_nanos(
             records * self.cost.merge_per_record_ns,
         )));
-        self.tree.apply_merge_result(&req, result).expect("cloud merge result must apply cleanly");
         self.stats.merges_completed += 1;
         self.maybe_start_merge(out, now_ns);
     }
@@ -570,7 +626,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         }
         let msg = WireMsg::MergeReq(Box::new(req.clone()));
         let wire = msg.wire_size();
-        self.stats.wan_bytes_to_cloud += wire as u64;
+        self.stats.wan_bytes_to_cloud += wire;
         // Merging "does not interfere with the normal operation of the
         // LSMerkle tree" (§V-B): background lane.
         out.push(EdgeEffect::SendCloud {

@@ -27,7 +27,9 @@ use wedge_log::{
     decode_frame, Block, BlockId, BlockProof, DecodeError, Decoder, Encoder, Entry, Frame,
     GossipWatermark,
 };
-use wedge_lsmerkle::{GlobalRootCert, IndexReadProof, Key, MergeRequest, MergeResult};
+use wedge_lsmerkle::{
+    DeltaMergeResult, GlobalRootCert, IndexReadProof, Key, MergeRequest, MergeResult,
+};
 
 /// A signed edge statement: "entry set `entries_digest` from `client`
 /// is committed in block `bid` with digest `block_digest`".
@@ -405,6 +407,13 @@ pub enum WireMsg {
     VerdictMsg(DisputeVerdict),
     /// Gossip direct to a subscriber.
     Gossip(GossipWatermark),
+    /// Merge reply, delta-encoded against the originating request:
+    /// pages the edge already holds travel as references, so the reply
+    /// scales with the *changed* pages of a merge rather than the
+    /// target level's size. This is what the cloud actually sends;
+    /// [`WireMsg::MergeRes`] (tag 12) remains decodable for wire-ABI
+    /// compatibility.
+    MergeResDelta(Box<DeltaMergeResult>),
 }
 
 /// Canonical signing bytes for a block-certify message.
@@ -435,14 +444,17 @@ impl WireMsg {
             WireMsg::DisputeMsg(_) => "DisputeMsg",
             WireMsg::VerdictMsg(_) => "VerdictMsg",
             WireMsg::Gossip(_) => "Gossip",
+            WireMsg::MergeResDelta(_) => "MergeResDelta",
         }
     }
 
     /// Approximate wire size in bytes, for the bandwidth model.
-    pub fn wire_size(&self) -> u32 {
+    /// `u64`: merge traffic can exceed 4 GiB and must not wrap the
+    /// cost accounting in release builds.
+    pub fn wire_size(&self) -> u64 {
         match self {
             WireMsg::BatchAdd { entries, .. } => {
-                16 + entries.iter().map(|e| e.wire_size()).sum::<u32>()
+                16 + entries.iter().map(|e| e.wire_size()).sum::<u64>()
             }
             WireMsg::LogRead { .. } => 16,
             WireMsg::Get { .. } => 24,
@@ -456,6 +468,7 @@ impl WireMsg {
             WireMsg::BlockCertify { .. } => 8 + 32 + 32,
             WireMsg::MergeReq(r) => r.wire_size(),
             WireMsg::MergeRes(r) => r.wire_size(),
+            WireMsg::MergeResDelta(d) => d.wire_size(),
             WireMsg::CertRejected { .. } => 16,
             WireMsg::GlobalRefresh(_) => 96,
             WireMsg::DisputeMsg(_) => 256,
@@ -484,6 +497,7 @@ impl WireMsg {
             WireMsg::DisputeMsg(_) => 15,
             WireMsg::VerdictMsg(_) => 16,
             WireMsg::Gossip(_) => 17,
+            WireMsg::MergeResDelta(_) => 18,
         }
     }
 
@@ -524,6 +538,7 @@ impl WireMsg {
             }
             WireMsg::MergeReq(r) => r.encode_into(&mut enc),
             WireMsg::MergeRes(r) => r.encode_into(&mut enc),
+            WireMsg::MergeResDelta(d) => d.encode_into(&mut enc),
             WireMsg::CertRejected { bid } => {
                 enc.put_u64(bid.0);
             }
@@ -580,6 +595,7 @@ impl WireMsg {
             15 => WireMsg::DisputeMsg(Box::new(Dispute::decode_from(&mut dec)?)),
             16 => WireMsg::VerdictMsg(DisputeVerdict::decode_from(&mut dec)?),
             17 => WireMsg::Gossip(GossipWatermark::decode_from(&mut dec)?),
+            18 => WireMsg::MergeResDelta(Box::new(DeltaMergeResult::decode_from(&mut dec)?)),
             _ => return Err(DecodeError::Malformed("unknown message kind")),
         };
         dec.finish()?;
@@ -659,7 +675,7 @@ impl Msg {
     /// Approximate wire size in bytes, for the bandwidth model.
     /// Control messages are local: their nominal size only spaces
     /// harness injections in the simulator.
-    pub fn wire_size(&self) -> u32 {
+    pub fn wire_size(&self) -> u64 {
         match self {
             Msg::Start | Msg::DoPut { .. } | Msg::DoGet { .. } | Msg::DoLogRead { .. } => 8,
             Msg::Wire(w) => w.wire_size(),

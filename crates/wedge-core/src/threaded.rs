@@ -91,6 +91,12 @@ pub struct ThreadedConfig {
     pub cloud_inbox_cap: usize,
     /// Capacity of each edge service's inbox (bounds cloud→edge too).
     pub edge_inbox_cap: usize,
+    /// Per-caller admission control for [`ThreadedCluster::try_put_on`]:
+    /// how long a caller waits for Phase I before the put is *shed*
+    /// (counted in [`ThreadedReport::puts_shed`]) instead of blocking
+    /// forever behind a full edge inbox. `None` keeps the blocking
+    /// behaviour for `try_put_on` too.
+    pub admission_timeout: Option<Duration>,
 }
 
 impl Default for ThreadedConfig {
@@ -111,6 +117,7 @@ impl Default for ThreadedConfig {
             merge_retry: None,
             cloud_inbox_cap: 1024,
             edge_inbox_cap: 1024,
+            admission_timeout: None,
         }
     }
 }
@@ -212,7 +219,35 @@ pub struct ThreadedReport {
     /// Critical cloud→edge messages (proofs, merge results) deferred
     /// because an edge inbox was full (delivered later).
     pub deferred_cloud_msgs: u64,
+    /// Caller puts shed by the admission path (`try_put_on` hit its
+    /// admission timeout, or the batch was rejected outright).
+    pub puts_shed: u64,
 }
+
+/// Why [`ThreadedCluster::try_put_on`] shed a put instead of returning
+/// its Phase-I reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutShed {
+    /// Phase I did not commit within the configured admission timeout.
+    /// The batch is *not* cancelled — it may still commit later; the
+    /// shed is about never wedging the caller behind a full edge
+    /// inbox.
+    AdmissionTimeout,
+    /// The client service dropped the batch (rejected by the edge, or
+    /// the dispute deadline freed the slot, or shutdown).
+    Rejected,
+}
+
+impl std::fmt::Display for PutShed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PutShed::AdmissionTimeout => write!(f, "put shed: admission timeout"),
+            PutShed::Rejected => write!(f, "put shed: batch rejected"),
+        }
+    }
+}
+
+impl std::error::Error for PutShed {}
 
 /// What a joined client service thread yields.
 type ClientExit = (ClientEngine, Vec<DisputeVerdict>);
@@ -238,6 +273,10 @@ pub struct ThreadedCluster {
     /// numbers are assigned by the client engine, on its thread, so
     /// ordering is automatic).
     batcher: PutBatcher,
+    /// Admission timeout for `try_put_on` (see `ThreadedConfig`).
+    admission_timeout: Option<Duration>,
+    /// Puts shed by the admission path.
+    puts_shed: std::sync::atomic::AtomicU64,
 }
 
 impl ThreadedCluster {
@@ -383,6 +422,8 @@ impl ThreadedCluster {
             cloud_id,
             edge_ids,
             batcher: PutBatcher::new(edges, cfg.batch_size),
+            admission_timeout: cfg.admission_timeout,
+            puts_shed: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -397,6 +438,45 @@ impl ThreadedCluster {
     /// Flushes partition `edge`'s buffered entries as a partial batch.
     pub fn flush_on(&self, edge: usize) -> Option<PutReply> {
         self.batcher.flush(edge, |ops| self.submit(edge, ops))
+    }
+
+    /// Like [`ThreadedCluster::put_on`], but with per-caller admission
+    /// control: if the batch's Phase-I reply does not arrive within
+    /// `ThreadedConfig::admission_timeout`, the put is *shed* —
+    /// counted in [`ThreadedReport::puts_shed`] and surfaced as
+    /// [`PutShed`] — instead of blocking the caller indefinitely
+    /// behind a full edge inbox. `Ok(None)` means the put is still
+    /// buffering client-side. With no timeout configured this is
+    /// `put_on` with a `Result` wrapper.
+    pub fn try_put_on(
+        &self,
+        edge: usize,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<Option<PutReply>, PutShed> {
+        let Some(rx) = self.batcher.put_submit(edge, key, value, |ops| self.submit(edge, ops))
+        else {
+            return Ok(None);
+        };
+        let shed = |err: PutShed| {
+            self.puts_shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Err(err)
+        };
+        // Without a timeout this is still the *fallible* API: a
+        // rejected batch (dropped reply sender) is `PutShed::Rejected`,
+        // never the panic `put_on`'s infallible contract uses.
+        let Some(timeout) = self.admission_timeout else {
+            return match rx.recv() {
+                Ok(reply) => Ok(Some(reply)),
+                Err(_) => shed(PutShed::Rejected),
+            };
+        };
+        use std::sync::mpsc::RecvTimeoutError;
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => Ok(Some(reply)),
+            Err(RecvTimeoutError::Timeout) => shed(PutShed::AdmissionTimeout),
+            Err(RecvTimeoutError::Disconnected) => shed(PutShed::Rejected),
+        }
     }
 
     /// Sends one batch to the partition's client service. Called with
@@ -505,6 +585,7 @@ impl ThreadedCluster {
             punished,
             shed_cloud_msgs: shed,
             deferred_cloud_msgs: deferred,
+            puts_shed: this.puts_shed.load(std::sync::atomic::Ordering::Relaxed),
         })
     }
 }
@@ -985,6 +1066,48 @@ mod tests {
             Some(3),
             "client holds the freshest watermark (certified prefix)"
         );
+    }
+
+    #[test]
+    fn threaded_admission_sheds_puts_instead_of_blocking() {
+        // A slow edge (20 ms per cloud message) with a tiny inbox and
+        // a 1 ms gossip flood keeps the edge inbox full, so Phase I
+        // lags far past the 2 ms admission timeout: `try_put_on` must
+        // shed (fail fast) rather than wedge the caller — while
+        // `put_on`'s blocking contract is untouched. A shed put is not
+        // cancelled, so every key must still become readable.
+        let cluster = ThreadedCluster::start(ThreadedConfig {
+            batch_size: 1,
+            gossip_period: Some(Duration::from_millis(1)),
+            edge_apply_latency: Duration::from_millis(20),
+            edge_inbox_cap: 2,
+            admission_timeout: Some(Duration::from_millis(2)),
+            ..ThreadedConfig::default()
+        });
+        let mut shed = 0u64;
+        for k in 0..8u64 {
+            match cluster.try_put_on(0, k, vec![k as u8]) {
+                Ok(Some(_)) | Ok(None) => {}
+                Err(PutShed::AdmissionTimeout) => shed += 1,
+                Err(PutShed::Rejected) => panic!("batches must not be rejected here"),
+            }
+        }
+        assert!(shed > 0, "an overloaded edge must shed puts, not block the caller");
+        // Shed puts still commit: wait for the pipeline to drain, then
+        // read everything back.
+        for k in 0..8u64 {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if cluster.get(k).unwrap().value == Some(vec![k as u8]) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "key {k} never committed");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let report = cluster.shutdown().expect("report");
+        assert_eq!(report.puts_shed, shed, "every shed counted exactly once");
+        assert_eq!(report.edges[0].edge_stats.blocks_sealed, 8, "shed puts still sealed");
     }
 
     #[test]

@@ -23,8 +23,8 @@ use wedge_log::{
     Block, BlockId, BlockProof, DecodeError, Entry, GossipWatermark, FRAME_HEADER_LEN,
 };
 use wedge_lsmerkle::{
-    GlobalRootCert, IndexReadProof, KvRecord, L0Page, L0Witness, LevelWitness, MergeRequest,
-    MergeResult, Page, SignedLevelRoot, Version,
+    DeltaMergeResult, GlobalRootCert, IndexReadProof, KvRecord, L0Page, L0Witness, LevelWitness,
+    MergeRequest, MergeResult, Page, PageDelta, SignedLevelRoot, Version,
 };
 
 struct Rng(u64);
@@ -201,6 +201,30 @@ fn arb_merge_result(rng: &mut Rng) -> MergeResult {
     }
 }
 
+fn arb_delta_merge_result(rng: &mut Rng) -> DeltaMergeResult {
+    DeltaMergeResult {
+        request_fp: rng.digest(),
+        edge: IdentityId(rng.next()),
+        source_level: rng.next() as u32 % 3,
+        pages: (0..rng.below(4))
+            .map(|_| {
+                if rng.below(2) == 0 {
+                    PageDelta::Full(arb_page(rng))
+                } else {
+                    // Codec round-trips arbitrary indices; range checks
+                    // happen at resolve time, against a real request.
+                    PageDelta::Reused(rng.next() as u32)
+                }
+            })
+            .collect(),
+        new_source_root: if rng.below(2) == 0 { Some(arb_level_root(rng)) } else { None },
+        new_target_root: arb_level_root(rng),
+        all_level_roots: (0..1 + rng.below(3)).map(|_| rng.digest()).collect(),
+        global: arb_global(rng),
+        new_epoch: rng.next(),
+    }
+}
+
 fn arb_index_read_proof(rng: &mut Rng) -> IndexReadProof {
     IndexReadProof {
         edge: IdentityId(rng.next()),
@@ -259,7 +283,7 @@ fn arb_verdict(rng: &mut Rng) -> DisputeVerdict {
 
 /// One structurally arbitrary instance of every `WireMsg` variant —
 /// adding a variant without extending this list fails the
-/// `all_17_variants_covered` assertion below.
+/// `all_18_variants_covered` assertion below.
 fn arb_all_variants(rng: &mut Rng) -> Vec<WireMsg> {
     vec![
         WireMsg::BatchAdd {
@@ -290,17 +314,18 @@ fn arb_all_variants(rng: &mut Rng) -> Vec<WireMsg> {
         WireMsg::DisputeMsg(Box::new(arb_dispute(rng))),
         WireMsg::VerdictMsg(arb_verdict(rng)),
         WireMsg::Gossip(arb_watermark(rng)),
+        WireMsg::MergeResDelta(Box::new(arb_delta_merge_result(rng))),
     ]
 }
 
 #[test]
-fn all_17_variants_covered() {
+fn all_18_variants_covered() {
     let mut rng = Rng::new(0);
     let msgs = arb_all_variants(&mut rng);
     let mut kinds: Vec<u8> = msgs.iter().map(|m| m.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds, (1..=17).collect::<Vec<u8>>(), "one instance per variant, no gaps");
+    assert_eq!(kinds, (1..=18).collect::<Vec<u8>>(), "one instance per variant, no gaps");
 }
 
 #[test]
@@ -375,7 +400,7 @@ fn trailing_bytes_rejected() {
 #[test]
 fn unknown_kind_rejected() {
     // A structurally valid frame whose type tag names no message.
-    for kind in [0u8, 18, 0x7F, 0xF0, 0xFF] {
+    for kind in [0u8, 19, 0x7F, 0xF0, 0xFF] {
         let frame = wedge_log::Frame { kind, payload: vec![] }.encode();
         assert!(
             matches!(WireMsg::decode_frame(&frame), Err(DecodeError::Malformed(_))),
@@ -394,6 +419,233 @@ fn cross_variant_payloads_rejected() {
     let mut bytes = msg.encode_frame();
     bytes[FRAME_HEADER_LEN - 5] = WireMsg::LogRead { bid: BlockId(0) }.kind();
     assert!(WireMsg::decode_frame(&bytes).is_err(), "receipt bytes are not a LogRead");
+}
+
+// --- delta-encoded merge replies: resolution semantics ---
+//
+// The delta codec is deliberately not self-contained: references
+// rehydrate against the outstanding request, keyed by its fingerprint.
+// These tests build *real* merges through `CloudIndex` (entry
+// signatures are irrelevant to the cloud's merge checks, so they are
+// fake) and exercise the request-context step end to end.
+
+mod delta_resolution {
+    use super::*;
+    use wedge_core::messages::WireMsg;
+    use wedge_log::{write_frame, CertLedger, MAX_FRAME_PAYLOAD};
+    use wedge_lsmerkle::{CloudIndex, KvOp, LsmConfig};
+
+    fn kv_put_entry(seq: u64, key: u64, value: Vec<u8>) -> Entry {
+        Entry {
+            client: IdentityId(1000),
+            sequence: seq,
+            payload: KvOp::put(key, value).encode(),
+            signature: Signature { e: 0, s: 0 },
+        }
+    }
+
+    struct Cloud {
+        cloud: Identity,
+        ledger: CertLedger,
+        index: CloudIndex,
+        edge: IdentityId,
+        next_bid: u64,
+    }
+
+    impl Cloud {
+        fn new(cfg: LsmConfig) -> Self {
+            let cloud = Identity::derive("cloud", 1);
+            let edge = IdentityId(100);
+            let mut index = CloudIndex::new(cfg);
+            index.init_edge(&cloud, edge, 0);
+            Cloud { cloud, ledger: CertLedger::new(), index, edge, next_bid: 0 }
+        }
+
+        /// Seals + certifies one single-put block as an L0 page.
+        fn certified_l0(&mut self, key: u64, value: Vec<u8>) -> std::sync::Arc<L0Page> {
+            let block = Block {
+                edge: self.edge,
+                id: BlockId(self.next_bid),
+                entries: vec![kv_put_entry(self.next_bid, key, value)],
+                sealed_at_ns: self.next_bid,
+            };
+            self.next_bid += 1;
+            let page = std::sync::Arc::new(L0Page::from_block(block));
+            self.ledger.offer(self.edge, page.block().id, page.digest());
+            page
+        }
+
+        fn merge(&mut self, req: &MergeRequest) -> MergeResult {
+            self.index.process_merge(&self.cloud, &self.ledger, req, 1_000).expect("merge ok")
+        }
+    }
+
+    /// A big-target/small-source scenario: merge 1 builds the target
+    /// level, merge 2 touches only its last page.
+    fn big_target_small_source(
+        cfg: LsmConfig,
+        keys: u64,
+        value: Vec<u8>,
+    ) -> (Cloud, MergeRequest, MergeResult) {
+        let mut cloud = Cloud::new(cfg);
+        let source_l0 = (0..keys).map(|k| cloud.certified_l0(k, value.clone())).collect();
+        let req1 = MergeRequest {
+            edge: cloud.edge,
+            source_level: 0,
+            source_l0,
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        let res1 = cloud.merge(&req1);
+        // Merge 2: one small put far to the right — only the last
+        // target page's range is touched.
+        let touch = cloud.certified_l0(1 << 40, b"small".to_vec());
+        let req2 = MergeRequest {
+            edge: cloud.edge,
+            source_level: 0,
+            source_l0: vec![touch],
+            source_pages: vec![],
+            target_pages: res1.new_target_pages.clone(),
+            epoch: res1.new_epoch,
+        };
+        let res2 = cloud.merge(&req2);
+        (cloud, req2, res2)
+    }
+
+    #[test]
+    fn delta_resolves_into_the_requests_own_arcs() {
+        let cfg = LsmConfig { level_thresholds: vec![2, 100], page_capacity: 4 };
+        let (_, req2, res2) = big_target_small_source(cfg, 8, b"v".to_vec());
+        let delta = DeltaMergeResult::delta_against(&res2, &req2);
+        assert!(delta.reused_pages() >= 1, "untouched pages travel as references");
+        assert!(delta.full_pages() >= 1, "the touched region travels in full");
+        assert!(delta.wire_size() < res2.wire_size(), "delta is smaller than the full reply");
+
+        // The framed message round-trips like every other variant.
+        let msg = WireMsg::MergeResDelta(Box::new(delta.clone()));
+        let bytes = msg.encode_frame();
+        let back = WireMsg::decode_frame(&bytes).expect("delta frame decodes");
+        assert_eq!(back, msg);
+
+        // Resolution rehydrates references into the request's own
+        // pages: pointer identity, not copies.
+        let resolved = delta.resolve(&req2).expect("fingerprint-matched request resolves");
+        assert_eq!(resolved, res2);
+        let reused_idx = delta
+            .pages
+            .iter()
+            .position(|p| matches!(p, PageDelta::Reused(_)))
+            .expect("at least one reference");
+        assert!(
+            std::sync::Arc::ptr_eq(
+                &resolved.new_target_pages[reused_idx],
+                &req2.target_pages[reused_idx]
+            ),
+            "reference resolves to the request's Arc, byte-for-byte shared"
+        );
+    }
+
+    /// The replay-cache interaction: a *retried* request decoded off
+    /// the wire carries fresh `Arc`s but the same fingerprint, so the
+    /// cloud's cached result delta-encodes against the retry and every
+    /// reference resolves against the retry's own pages.
+    #[test]
+    fn replayed_delta_resolves_against_the_retried_request() {
+        let cfg = LsmConfig { level_thresholds: vec![2, 100], page_capacity: 4 };
+        let (cloud, req2, res2) = big_target_small_source(cfg, 8, b"v".to_vec());
+        // The retry crosses the wire: fresh Arcs on the cloud side.
+        let retry_bytes = WireMsg::MergeReq(Box::new(req2.clone())).encode_frame();
+        let Ok(WireMsg::MergeReq(retry)) = WireMsg::decode_frame(&retry_bytes) else {
+            panic!("retry decodes as a merge request");
+        };
+        let cached = cloud.index.replay_for(&retry).expect("fingerprint-matched retry replays");
+        assert_eq!(cached, res2);
+        let delta = DeltaMergeResult::delta_against(&cached, &retry);
+        assert!(delta.reused_pages() >= 1, "replay still dedups (digest match, not ptr match)");
+        let resolved = delta.resolve(&retry).expect("resolves against the retry");
+        assert_eq!(resolved, res2);
+        // And NOT against a different request (the original pre-wire
+        // request has the same fingerprint, so that one also resolves;
+        // a *mutated* one must not — see the hostile test below).
+    }
+
+    #[test]
+    fn hostile_out_of_range_index_and_wrong_fingerprint_are_typed_errors() {
+        let cfg = LsmConfig { level_thresholds: vec![2, 100], page_capacity: 4 };
+        let (_, req2, res2) = big_target_small_source(cfg, 8, b"v".to_vec());
+        let delta = DeltaMergeResult::delta_against(&res2, &req2);
+
+        // An out-of-range reuse index — as a hostile peer could put on
+        // the wire — is a typed error, never a panic.
+        let mut hostile = delta.clone();
+        hostile.pages[0] = PageDelta::Reused(u32::MAX);
+        assert_eq!(
+            hostile.resolve(&req2),
+            Err(DecodeError::Malformed("merge reuse index out of range"))
+        );
+        // The hostile frame still round-trips as bytes (range checks
+        // are resolution-time, against a real request).
+        let bytes = WireMsg::MergeResDelta(Box::new(hostile.clone())).encode_frame();
+        assert_eq!(WireMsg::decode_frame(&bytes), Ok(WireMsg::MergeResDelta(Box::new(hostile))));
+
+        // A delta for a different request (dangling reference context)
+        // is refused by fingerprint before any index is looked at.
+        let mut dangling = delta.clone();
+        dangling.request_fp = sha256(b"some other request");
+        assert_eq!(
+            dangling.resolve(&req2),
+            Err(DecodeError::Malformed("merge delta answers a different request"))
+        );
+
+        // A bad page-delta tag on the wire is a decode error.
+        let mut enc = wedge_log::Encoder::default();
+        delta.encode_into(&mut enc);
+        let mut payload = enc.finish();
+        // tag byte of the first page slot: fp(32) + edge(8) + level(4)
+        // + count(8).
+        payload[52] = 7;
+        assert!(DeltaMergeResult::decode_from(&mut wedge_log::Decoder::new(&payload)).is_err());
+    }
+
+    /// The motivating failure: a big-target/small-source merge whose
+    /// *full* reply exceeds the 16 MiB frame cap — `write_frame` would
+    /// refuse it and the partition would wedge. The delta encoding of
+    /// the same reply is a few pages plus references and sails through.
+    #[test]
+    fn oversized_full_reply_ships_as_small_delta() {
+        let cfg = LsmConfig { level_thresholds: vec![2, 1000], page_capacity: 1 };
+        let value = vec![0xAB; 256 * 1024];
+        let (_, req2, res2) = big_target_small_source(cfg, 65, value);
+
+        // The full reply is genuinely over the frame cap: the old
+        // representation could not have been sent at all.
+        let full = WireMsg::MergeRes(Box::new(res2.clone()));
+        let full_payload = full.encode_payload();
+        assert!(
+            full_payload.len() > MAX_FRAME_PAYLOAD as usize,
+            "full reply must exceed the cap ({} <= {MAX_FRAME_PAYLOAD})",
+            full_payload.len()
+        );
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, full.kind(), &full_payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "write_frame refuses it");
+
+        // The delta reply for the same merge is tiny and round-trips.
+        let delta = DeltaMergeResult::delta_against(&res2, &req2);
+        assert!(delta.reused_pages() >= 60, "almost everything is a reference");
+        let msg = WireMsg::MergeResDelta(Box::new(delta));
+        let bytes = msg.encode_frame();
+        assert!(
+            bytes.len() < 1024 * 1024,
+            "delta frame scales with changed pages, not target size (got {})",
+            bytes.len()
+        );
+        let Ok(WireMsg::MergeResDelta(back)) = WireMsg::decode_frame(&bytes) else {
+            panic!("delta frame decodes");
+        };
+        assert_eq!(back.resolve(&req2).expect("resolves"), res2);
+    }
 }
 
 /// The framed encoding of the certify message stays O(1): data-free

@@ -107,9 +107,11 @@ impl Block {
         self.entries.iter().any(|e| e == entry)
     }
 
-    /// Approximate wire size when shipping the full block.
-    pub fn wire_size(&self) -> u32 {
-        24 + self.entries.iter().map(|e| e.wire_size()).sum::<u32>()
+    /// Approximate wire size when shipping the full block. `u64`:
+    /// merge requests sum page sizes into this — a multi-GiB merge
+    /// must not wrap the accounting in release builds.
+    pub fn wire_size(&self) -> u64 {
+        24 + self.entries.iter().map(|e| e.wire_size()).sum::<u64>()
     }
 
     /// Number of operations (entries) in the block.

@@ -79,7 +79,7 @@ impl BlockProof {
     }
 
     /// Wire size of a proof message: ids + digest + signature.
-    pub const WIRE_SIZE: u32 = 8 + 8 + 32 + 32;
+    pub const WIRE_SIZE: u64 = 8 + 8 + 32 + 32;
 }
 
 /// Result of offering a digest to the cloud ledger.

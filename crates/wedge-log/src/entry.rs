@@ -66,8 +66,8 @@ impl Entry {
     }
 
     /// Approximate wire size in bytes (payload + fixed fields).
-    pub fn wire_size(&self) -> u32 {
-        (8 + 8 + 8 + self.payload.len() + 32) as u32
+    pub fn wire_size(&self) -> u64 {
+        (8 + 8 + 8 + self.payload.len() + 32) as u64
     }
 }
 

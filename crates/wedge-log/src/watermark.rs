@@ -100,7 +100,7 @@ impl GossipWatermark {
     }
 
     /// Wire size of a gossip message.
-    pub const WIRE_SIZE: u32 = 8 + 8 + 8 + 32;
+    pub const WIRE_SIZE: u64 = 8 + 8 + 8 + 32;
 }
 
 /// Client-side tracker keeping the freshest watermark per edge.

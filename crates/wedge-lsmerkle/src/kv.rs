@@ -119,8 +119,8 @@ pub struct KvRecord {
 
 impl KvRecord {
     /// Approximate in-memory/wire size.
-    pub fn wire_size(&self) -> u32 {
-        (8 + 12 + 1 + self.value.as_ref().map_or(0, |v| v.len())) as u32
+    pub fn wire_size(&self) -> u64 {
+        (8 + 12 + 1 + self.value.as_ref().map_or(0, |v| v.len())) as u64
     }
 
     /// Minimum bytes one encoded record occupies (hostile-count guard

@@ -32,8 +32,13 @@ pub mod tree;
 pub use config::LsmConfig;
 pub use kv::{kv_entry, records_from_block, Key, KvOp, KvRecord, Value, Version};
 pub use level::{GlobalRootCert, Level, SignedLevelRoot};
-pub use merge::{kway_merge_newest, CloudIndex, InitBundle, MergeError, MergeRequest, MergeResult};
-pub use page::{check_level_ranges, find_covering, split_into_pages, L0Page, Page};
+pub use merge::{
+    kway_merge_newest, CloudIndex, DeltaMergeResult, InitBundle, MergeError, MergeRequest,
+    MergeResult, PageDelta,
+};
+pub use page::{
+    check_level_ranges, find_covering, split_into_pages, split_into_range_pages, L0Page, Page,
+};
 pub use proof::{
     build_read_proof, verify_read_proof, verify_read_proof_cached, IndexReadProof, L0Witness,
     LevelWitness, ProofError, ReadProofCache, VerifiedRead,

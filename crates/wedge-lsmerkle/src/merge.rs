@@ -19,12 +19,14 @@ use crate::kv::KvRecord;
 use crate::level::{
     compute_global_root, empty_level_root, tree_over, GlobalRootCert, SignedLevelRoot,
 };
-use crate::page::{check_level_ranges, split_into_pages, L0Page, Page};
+use crate::page::{
+    check_level_ranges, find_covering, split_into_pages, split_into_range_pages, L0Page, Page,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use wedge_crypto::{Digest, Identity, IdentityId};
-use wedge_log::{BlockId, CertLedger};
+use wedge_log::{BlockId, CertLedger, DecodeError};
 
 /// A merge request from an edge node.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,11 +47,12 @@ pub struct MergeRequest {
 }
 
 impl MergeRequest {
-    /// Bytes shipped edge→cloud for this merge.
-    pub fn wire_size(&self) -> u32 {
-        let l0: u32 = self.source_l0.iter().map(|p| p.wire_size()).sum();
-        let src: u32 = self.source_pages.iter().map(|p| p.wire_size()).sum();
-        let tgt: u32 = self.target_pages.iter().map(|p| p.wire_size()).sum();
+    /// Bytes shipped edge→cloud for this merge. `u64`: a multi-GiB
+    /// merge must not wrap the cost accounting in release builds.
+    pub fn wire_size(&self) -> u64 {
+        let l0: u64 = self.source_l0.iter().map(|p| p.wire_size()).sum();
+        let src: u64 = self.source_pages.iter().map(|p| p.wire_size()).sum();
+        let tgt: u64 = self.target_pages.iter().map(|p| p.wire_size()).sum();
         32 + l0 + src + tgt
     }
 
@@ -141,10 +144,12 @@ pub struct MergeResult {
 }
 
 impl MergeResult {
-    /// Bytes shipped cloud→edge for this merge reply.
-    pub fn wire_size(&self) -> u32 {
-        let pages: u32 = self.new_target_pages.iter().map(|p| p.wire_size()).sum();
-        let roots = (self.all_level_roots.len() as u32) * 32;
+    /// Bytes shipped cloud→edge when the reply is sent *in full*. The
+    /// delta encoding ([`DeltaMergeResult`]) is what actually crosses
+    /// the wire; this is the baseline it is measured against.
+    pub fn wire_size(&self) -> u64 {
+        let pages: u64 = self.new_target_pages.iter().map(|p| p.wire_size()).sum();
+        let roots = (self.all_level_roots.len() as u64) * 32;
         pages + roots + 2 * 96 + 32
     }
 
@@ -189,6 +194,220 @@ impl MergeResult {
             edge,
             source_level,
             new_target_pages,
+            new_source_root,
+            new_target_root,
+            all_level_roots,
+            global,
+            new_epoch,
+        })
+    }
+}
+
+/// One target-page slot in a delta-encoded merge reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PageDelta {
+    /// A page the edge does not already hold: shipped in full.
+    Full(Arc<Page>),
+    /// Byte-identical to a page of the originating [`MergeRequest`]:
+    /// indices cover `target_pages` first, then `source_pages` shifted
+    /// by `target_pages.len()`. Resolution rehydrates the reference
+    /// into the request's own `Arc`, so nothing is re-shipped and
+    /// nothing is re-hashed.
+    Reused(u32),
+}
+
+/// A [`MergeResult`] delta-encoded against its [`MergeRequest`]: every
+/// new target page that is byte-identical to a page the edge already
+/// holds (a reused `Arc` from the request) travels as a 5-byte
+/// reference instead of its full records. This is what keeps the
+/// largest cloud→edge message proportional to the *changed* pages of a
+/// merge, not the target level's size — without it, a big-target/
+/// small-source merge reply can exceed the frame cap and silently
+/// wedge the partition.
+///
+/// The codec is deliberately not self-contained: decoding yields this
+/// struct, and [`DeltaMergeResult::resolve`] needs the outstanding
+/// request to rehydrate references. The edge keys that request by
+/// [`MergeRequest::fingerprint`], which also makes replayed results
+/// work: a retried request carries the same pages (same fingerprint),
+/// so the cloud's replay cache can delta-encode against the *retry*
+/// and the references still resolve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaMergeResult {
+    /// [`MergeRequest::fingerprint`] of the request this reply answers
+    /// — [`DeltaMergeResult::resolve`] refuses any other request.
+    pub request_fp: Digest,
+    /// The edge whose index was merged.
+    pub edge: IdentityId,
+    /// Source level that was drained.
+    pub source_level: u32,
+    /// New pages of the target level, full or by reference.
+    pub pages: Vec<PageDelta>,
+    /// Signed root for the (now empty) source level; `None` for L0.
+    pub new_source_root: Option<SignedLevelRoot>,
+    /// Signed root for the rebuilt target level.
+    pub new_target_root: SignedLevelRoot,
+    /// Authoritative roots of every Merkle level after the merge.
+    pub all_level_roots: Vec<Digest>,
+    /// Fresh timestamped global root.
+    pub global: GlobalRootCert,
+    /// The epoch after this merge.
+    pub new_epoch: u64,
+}
+
+impl DeltaMergeResult {
+    /// Delta-encodes `res` against `req` by memoized page digest (not
+    /// pointer identity, so a replay delta-encoded against a retried
+    /// request — equal pages, fresh `Arc`s — still dedups fully).
+    pub fn delta_against(res: &MergeResult, req: &MergeRequest) -> Self {
+        let mut by_digest: HashMap<Digest, u32> = HashMap::new();
+        for (i, p) in req.target_pages.iter().chain(req.source_pages.iter()).enumerate() {
+            by_digest.entry(p.digest()).or_insert(i as u32);
+        }
+        let pages = res
+            .new_target_pages
+            .iter()
+            .map(|p| match by_digest.get(&p.digest()) {
+                Some(&i) => PageDelta::Reused(i),
+                None => PageDelta::Full(Arc::clone(p)),
+            })
+            .collect();
+        DeltaMergeResult {
+            request_fp: req.fingerprint(),
+            edge: res.edge,
+            source_level: res.source_level,
+            pages,
+            new_source_root: res.new_source_root.clone(),
+            new_target_root: res.new_target_root.clone(),
+            all_level_roots: res.all_level_roots.clone(),
+            global: res.global.clone(),
+            new_epoch: res.new_epoch,
+        }
+    }
+
+    /// Rehydrates into the full [`MergeResult`] by resolving every
+    /// reference into `req`'s own `Arc`s. A fingerprint mismatch (the
+    /// reply answers a different request) or an out-of-range reference
+    /// is a typed [`DecodeError`] — hostile or stale replies can never
+    /// panic the edge, and the in-flight request stays armed for the
+    /// retry clock.
+    pub fn resolve(&self, req: &MergeRequest) -> Result<MergeResult, DecodeError> {
+        if self.request_fp != req.fingerprint() {
+            return Err(DecodeError::Malformed("merge delta answers a different request"));
+        }
+        let targets = req.target_pages.len();
+        let mut new_target_pages = Vec::with_capacity(self.pages.len());
+        for slot in &self.pages {
+            new_target_pages.push(match slot {
+                PageDelta::Full(p) => Arc::clone(p),
+                PageDelta::Reused(i) => {
+                    let i = *i as usize;
+                    let page = if i < targets {
+                        req.target_pages.get(i)
+                    } else {
+                        req.source_pages.get(i - targets)
+                    };
+                    Arc::clone(
+                        page.ok_or(DecodeError::Malformed("merge reuse index out of range"))?,
+                    )
+                }
+            });
+        }
+        Ok(MergeResult {
+            edge: self.edge,
+            source_level: self.source_level,
+            new_target_pages,
+            new_source_root: self.new_source_root.clone(),
+            new_target_root: self.new_target_root.clone(),
+            all_level_roots: self.all_level_roots.clone(),
+            global: self.global.clone(),
+            new_epoch: self.new_epoch,
+        })
+    }
+
+    /// Pages travelling as references.
+    pub fn reused_pages(&self) -> u64 {
+        self.pages.iter().filter(|p| matches!(p, PageDelta::Reused(_))).count() as u64
+    }
+
+    /// Pages travelling in full.
+    pub fn full_pages(&self) -> u64 {
+        self.pages.iter().filter(|p| matches!(p, PageDelta::Full(_))).count() as u64
+    }
+
+    /// Bytes shipped cloud→edge for this delta reply: full pages plus
+    /// 5 bytes per reference — the number the `merge_reply_bytes`
+    /// bench tracks against [`MergeResult::wire_size`].
+    pub fn wire_size(&self) -> u64 {
+        let pages: u64 = self
+            .pages
+            .iter()
+            .map(|p| match p {
+                PageDelta::Full(p) => 1 + p.wire_size(),
+                PageDelta::Reused(_) => 5,
+            })
+            .sum();
+        let roots = (self.all_level_roots.len() as u64) * 32;
+        32 + pages + roots + 2 * 96 + 32
+    }
+
+    /// Canonical nestable wire encoding.
+    pub fn encode_into(&self, enc: &mut wedge_log::Encoder) {
+        enc.put_digest(&self.request_fp).put_u64(self.edge.0).put_u32(self.source_level);
+        enc.put_u64(self.pages.len() as u64);
+        for slot in &self.pages {
+            match slot {
+                PageDelta::Full(p) => {
+                    enc.put_u8(0);
+                    p.encode_into(enc);
+                }
+                PageDelta::Reused(i) => {
+                    enc.put_u8(1);
+                    enc.put_u32(*i);
+                }
+            }
+        }
+        enc.put_option(self.new_source_root.as_ref(), |e, r| r.encode_into(e));
+        self.new_target_root.encode_into(enc);
+        enc.put_u64(self.all_level_roots.len() as u64);
+        for r in &self.all_level_roots {
+            enc.put_digest(r);
+        }
+        self.global.encode_into(enc);
+        enc.put_u64(self.new_epoch);
+    }
+
+    /// Inverse of [`DeltaMergeResult::encode_into`]. Context-free:
+    /// references stay references until [`DeltaMergeResult::resolve`]
+    /// is handed the matching request.
+    pub fn decode_from(dec: &mut wedge_log::Decoder<'_>) -> Result<Self, DecodeError> {
+        let request_fp = dec.get_digest()?;
+        let edge = IdentityId(dec.get_u64()?);
+        let source_level = dec.get_u32()?;
+        // A reference is the smallest slot: tag byte + u32 index.
+        let n_pages = dec.get_count(5)?;
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            pages.push(match dec.get_u8()? {
+                0 => PageDelta::Full(Page::decode_from(dec)?),
+                1 => PageDelta::Reused(dec.get_u32()?),
+                _ => return Err(DecodeError::Malformed("page delta tag")),
+            });
+        }
+        let new_source_root = dec.get_option(SignedLevelRoot::decode_from)?;
+        let new_target_root = SignedLevelRoot::decode_from(dec)?;
+        let n_roots = dec.get_count(32)?;
+        let mut all_level_roots = Vec::with_capacity(n_roots);
+        for _ in 0..n_roots {
+            all_level_roots.push(dec.get_digest()?);
+        }
+        let global = GlobalRootCert::decode_from(dec)?;
+        let new_epoch = dec.get_u64()?;
+        Ok(DeltaMergeResult {
+            request_fp,
+            edge,
+            source_level,
+            pages,
             new_source_root,
             new_target_root,
             all_level_roots,
@@ -265,6 +484,92 @@ pub fn kway_merge_newest(runs: &[&[KvRecord]], drop_tombstones: bool) -> Vec<KvR
             continue;
         }
         out.push(rec.clone());
+    }
+    out
+}
+
+/// Rebuilds the target level for `req`, reusing (as `Arc` clones)
+/// every target page the merge does not touch.
+///
+/// A target page is *dirty* — and must be rebuilt — iff a source
+/// record's key falls in its range, or the merge targets the deepest
+/// level and the page holds a tombstone that must now drop. Contiguous
+/// dirty pages form a region whose records (dirty target pages plus
+/// the source records within the region's range) are k-way merged and
+/// re-split inside the region's original boundaries, so the clean
+/// pages on either side keep their exact ranges. Clean pages pass
+/// through untouched — same records, same range, same `created_at_ns`,
+/// therefore the same memoized digest — which is what lets the wire
+/// codec ship them as [`PageDelta::Reused`] references.
+///
+/// A pure level move (level ≥ 1 into an empty target, nothing to
+/// drop) reuses the source pages verbatim: they already form a valid
+/// range-covering level.
+fn rebuilt_target_pages(
+    req: &MergeRequest,
+    deepest: bool,
+    page_capacity: usize,
+    now_ns: u64,
+) -> Vec<Arc<Page>> {
+    let source_runs: Vec<&[KvRecord]> = req
+        .source_l0
+        .iter()
+        .map(|p| p.records())
+        .chain(req.source_pages.iter().map(|p| p.records()))
+        .collect();
+    let targets = &req.target_pages;
+    if targets.is_empty() {
+        let tombstones = || source_runs.iter().any(|run| run.iter().any(|r| r.value.is_none()));
+        if req.source_l0.is_empty() && !req.source_pages.is_empty() && !(deepest && tombstones()) {
+            return req.source_pages.clone();
+        }
+        let merged = kway_merge_newest(&source_runs, deepest);
+        return split_into_pages(merged, page_capacity, now_ns);
+    }
+    // Mark dirty pages. Every source key lands in exactly one target
+    // page (the level covers [0, ∞]), found by binary search.
+    let mut dirty = vec![false; targets.len()];
+    for run in &source_runs {
+        for r in run.iter() {
+            if let Some((idx, _)) = find_covering(targets, r.key) {
+                dirty[idx] = true;
+            }
+        }
+    }
+    // Deepest-level target pages can never hold tombstones: every
+    // record there came out of a previous merge into the deepest level
+    // — either a k-way merge with `drop_tombstones` or the tombstone-
+    // guarded pure-move path above — and a hostile edge cannot forge
+    // target pages past the signed-root check. So no extra dirtying is
+    // needed for tombstone dropping; debug builds verify the
+    // invariant instead of release builds paying an O(level) scan.
+    debug_assert!(
+        !deepest || targets.iter().all(|p| p.records().iter().all(|r| r.value.is_some())),
+        "deepest-level target page holds a tombstone"
+    );
+    let mut out = Vec::with_capacity(targets.len());
+    let mut i = 0;
+    while i < targets.len() {
+        if !dirty[i] {
+            out.push(Arc::clone(&targets[i]));
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < targets.len() && dirty[i] {
+            i += 1;
+        }
+        let (rmin, rmax) = (targets[start].min(), targets[i - 1].max());
+        let mut runs: Vec<&[KvRecord]> = targets[start..i].iter().map(|p| p.records()).collect();
+        for run in &source_runs {
+            let lo = run.partition_point(|r| r.key < rmin);
+            let hi = run.partition_point(|r| r.key <= rmax);
+            if lo < hi {
+                runs.push(&run[lo..hi]);
+            }
+        }
+        let merged = kway_merge_newest(&runs, deepest);
+        out.extend(split_into_range_pages(merged, page_capacity, now_ns, rmin, rmax));
     }
     out
 }
@@ -426,21 +731,12 @@ impl CloudIndex {
             return Err(MergeError::TargetRootMismatch);
         }
 
-        // --- Merge: streaming k-way over the already-sorted runs ---
-        // Every run is sorted by (key asc, version desc): L0 pages by
-        // construction, level pages trivially (one version per key).
-        // Source runs carry strictly newer versions than the target
-        // for any shared key, but the heap order handles ties anyway.
+        // --- Merge: streaming k-way over the already-sorted runs,
+        // confined to the dirty regions — pages the source does not
+        // touch are *reused* (the same `Arc`s the request shipped), so
+        // the reply's delta encoding ships only what changed.
         let deepest = target_level as usize == n_levels;
-        let runs: Vec<&[KvRecord]> = req
-            .source_l0
-            .iter()
-            .map(|p| p.records())
-            .chain(req.source_pages.iter().map(|p| p.records()))
-            .chain(req.target_pages.iter().map(|p| p.records()))
-            .collect();
-        let merged = kway_merge_newest(&runs, deepest);
-        let new_pages = split_into_pages(merged, self.cfg.page_capacity, now_ns);
+        let new_pages = rebuilt_target_pages(req, deepest, self.cfg.page_capacity, now_ns);
         debug_assert!(check_level_ranges(&new_pages).is_ok());
 
         // --- Re-sign roots (tree built once, from memoized digests) ---
@@ -749,6 +1045,97 @@ mod tests {
         let keys: Vec<u64> =
             res2.new_target_pages.iter().flat_map(|p| p.records().iter().map(|r| r.key)).collect();
         assert_eq!(keys, vec![1]);
+    }
+
+    /// The incremental rebuild: target pages the source does not touch
+    /// come back as the *request's own* `Arc`s — same records, same
+    /// range, same `created_at_ns`, same memoized digest — which is
+    /// what the wire delta encodes as references.
+    #[test]
+    fn untouched_target_pages_are_reused_by_pointer() {
+        let cloud = Identity::derive("cloud", 0);
+        let mut ledger = CertLedger::new();
+        let mut index =
+            CloudIndex::new(LsmConfig { level_thresholds: vec![2, 100], page_capacity: 4 });
+        let edge = IdentityId(9);
+        index.init_edge(&cloud, edge, 0);
+        // Merge 1: keys 0..8 → two L1 pages of 4 records each.
+        let kvs: Vec<(u64, &[u8])> = (0..8u64).map(|k| (k, b"v".as_ref())).collect();
+        let p0 = certified_l0(&mut ledger, edge, 0, &kvs[..4]);
+        let p1 = certified_l0(&mut ledger, edge, 1, &kvs[4..]);
+        let req1 = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![p0, p1],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        let res1 = index.process_merge(&cloud, &ledger, &req1, 10).unwrap();
+        assert_eq!(res1.new_target_pages.len(), 2);
+        // Merge 2: one new key far to the right — only the last page's
+        // range is dirty.
+        let touch = certified_l0(&mut ledger, edge, 2, &[(1_000, b"t")]);
+        let req2 = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![touch],
+            source_pages: vec![],
+            target_pages: res1.new_target_pages.clone(),
+            epoch: res1.new_epoch,
+        };
+        let res2 = index.process_merge(&cloud, &ledger, &req2, 20).unwrap();
+        assert!(
+            Arc::ptr_eq(&res2.new_target_pages[0], &req2.target_pages[0]),
+            "clean page reused as the same Arc"
+        );
+        assert!(
+            !Arc::ptr_eq(&res2.new_target_pages[1], &req2.target_pages[1]),
+            "dirty region rebuilt"
+        );
+        assert!(check_level_ranges(&res2.new_target_pages).is_ok());
+        // The delta reply names exactly that sharing.
+        let delta = DeltaMergeResult::delta_against(&res2, &req2);
+        assert_eq!(delta.reused_pages(), 1);
+        assert_eq!(delta.pages[0], PageDelta::Reused(0));
+        let resolved = delta.resolve(&req2).unwrap();
+        assert_eq!(resolved, res2);
+    }
+
+    /// A pure level move (level ≥ 1 into an empty target, nothing to
+    /// drop) reuses the source pages verbatim: the reply is all
+    /// references.
+    #[test]
+    fn pure_level_move_reuses_source_pages() {
+        let (cloud, mut ledger, mut index, edge) = setup();
+        index.init_edge(&cloud, edge, 0);
+        let p0 = certified_l0(&mut ledger, edge, 0, &[(1, b"a"), (2, b"b")]);
+        let req1 = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![p0],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        let res1 = index.process_merge(&cloud, &ledger, &req1, 10).unwrap();
+        // L1 → empty L2: no tombstones, so the pages move as-is.
+        let req2 = MergeRequest {
+            edge,
+            source_level: 1,
+            source_l0: vec![],
+            source_pages: res1.new_target_pages.clone(),
+            target_pages: vec![],
+            epoch: res1.new_epoch,
+        };
+        let res2 = index.process_merge(&cloud, &ledger, &req2, 20).unwrap();
+        assert_eq!(res2.new_target_pages.len(), req2.source_pages.len());
+        for (new, old) in res2.new_target_pages.iter().zip(&req2.source_pages) {
+            assert!(Arc::ptr_eq(new, old), "pure move reuses the source Arc");
+        }
+        let delta = DeltaMergeResult::delta_against(&res2, &req2);
+        assert_eq!(delta.full_pages(), 0, "a pure move ships zero pages");
+        assert_eq!(delta.resolve(&req2).unwrap(), res2);
     }
 
     #[test]

@@ -199,9 +199,10 @@ impl Page {
         Ok(())
     }
 
-    /// Approximate wire size (for the network model).
-    pub fn wire_size(&self) -> u32 {
-        28 + self.records.iter().map(|r| r.wire_size()).sum::<u32>()
+    /// Approximate wire size (for the network model). `u64`: levels
+    /// can exceed 4 GiB, and a wrapped size corrupts cost accounting.
+    pub fn wire_size(&self) -> u64 {
+        28 + self.records.iter().map(|r| r.wire_size()).sum::<u64>()
     }
 
     /// Canonical nestable wire encoding: exactly the logical fields,
@@ -371,7 +372,7 @@ impl L0Page {
     }
 
     /// Wire size when shipped to the cloud for merging.
-    pub fn wire_size(&self) -> u32 {
+    pub fn wire_size(&self) -> u64 {
         self.block.wire_size()
     }
 
@@ -409,19 +410,43 @@ pub fn split_into_pages(
     page_capacity: usize,
     now_ns: u64,
 ) -> Vec<Arc<Page>> {
-    assert!(page_capacity > 0);
     if records.is_empty() {
+        assert!(page_capacity > 0);
         return Vec::new();
     }
+    split_into_range_pages(records, page_capacity, now_ns, 0, Key::MAX)
+}
+
+/// Like [`split_into_pages`], but confined to the key range
+/// `[range_min, range_max]`: the first page's min is `range_min`, the
+/// last page's max is `range_max`, adjacency holds in between. Used to
+/// rebuild only the *dirty region* of a level during an incremental
+/// merge, so the pages on either side keep their ranges untouched.
+/// Empty `records` still emit one empty page — the region's range must
+/// stay covered for the level-wide adjacency invariant to survive.
+pub fn split_into_range_pages(
+    records: Vec<KvRecord>,
+    page_capacity: usize,
+    now_ns: u64,
+    range_min: Key,
+    range_max: Key,
+) -> Vec<Arc<Page>> {
+    assert!(page_capacity > 0);
+    assert!(range_min <= range_max, "inverted region range");
+    if records.is_empty() {
+        return vec![Arc::new(Page::new(range_min, range_max, Vec::new(), now_ns))];
+    }
+    debug_assert!(records.first().is_some_and(|r| r.key >= range_min));
+    debug_assert!(records.last().is_some_and(|r| r.key <= range_max));
     let n = records.len().div_ceil(page_capacity);
     let mut pages = Vec::with_capacity(n);
-    let mut next_min: Key = 0;
+    let mut next_min: Key = range_min;
     let mut chunks = records.chunks(page_capacity).peekable();
     while let Some(chunk) = chunks.next() {
         let max = match chunks.peek() {
             // Boundary: one below the next chunk's first key.
             Some(next) => next[0].key - 1,
-            None => Key::MAX,
+            None => range_max,
         };
         pages.push(Arc::new(Page::new(next_min, max, chunk.to_vec(), now_ns)));
         next_min = max.wrapping_add(1);

@@ -68,14 +68,14 @@ pub struct IndexReadProof {
 
 impl IndexReadProof {
     /// Approximate wire size of the proof (drives the network model).
-    pub fn wire_size(&self) -> u32 {
-        let l0: u32 = self.l0.iter().map(|w| w.page.wire_size() + 88).sum();
-        let lv: u32 = self
+    pub fn wire_size(&self) -> u64 {
+        let l0: u64 = self.l0.iter().map(|w| w.page.wire_size() + 88).sum();
+        let lv: u64 = self
             .witnesses
             .iter()
-            .map(|w| w.page.wire_size() + 32 * (w.inclusion.siblings.len() as u32 + 1))
+            .map(|w| w.page.wire_size() + 32 * (w.inclusion.siblings.len() as u64 + 1))
             .sum();
-        l0 + lv + 32 * self.level_roots.len() as u32 + 96
+        l0 + lv + 32 * self.level_roots.len() as u64 + 96
     }
 
     /// Canonical nestable wire encoding of the whole proof.

@@ -497,6 +497,83 @@ mod tests {
         assert_eq!(rec.value, None); // tombstone is the newest
     }
 
+    /// Property: the incremental dirty-region rebuild inside
+    /// `process_merge` produces exactly the records the old
+    /// whole-level k-way rebuild produced, on random put/delete
+    /// schedules across cascading merges. All three runtimes share the
+    /// incremental code, so the three-way differential cannot catch a
+    /// divergence here — only a reference model can (same idea as
+    /// PR 2's k-way-equals-sort property).
+    #[test]
+    fn incremental_rebuild_equals_full_rebuild_on_random_schedules() {
+        use crate::kv::KvRecord;
+        use crate::merge::kway_merge_newest;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _seed in 0..5 {
+            let mut fx = Fixture::new();
+            let n_merkle = fx.tree.config().num_merkle_levels();
+            for _step in 0..24 {
+                // One random block: 1–3 ops over a small keyspace,
+                // ~25% tombstones, so merges collide and delete.
+                let entries: Vec<Entry> = (0..1 + rng() % 3)
+                    .map(|_| {
+                        let key = rng() % 32;
+                        let op = if rng() % 4 == 0 {
+                            KvOp::delete(key)
+                        } else {
+                            KvOp::put(key, rng().to_be_bytes().to_vec())
+                        };
+                        let e = kv_entry(&fx.client, fx.next_seq, &op);
+                        fx.next_seq += 1;
+                        e
+                    })
+                    .collect();
+                let block = Block {
+                    edge: fx.edge,
+                    id: BlockId(fx.next_bid),
+                    entries,
+                    sealed_at_ns: fx.next_bid,
+                };
+                fx.next_bid += 1;
+                let digest = block.digest();
+                fx.ledger.offer(fx.edge, block.id, digest);
+                let proof = BlockProof::issue(&fx.cloud, fx.edge, block.id, digest);
+                fx.tree.apply_block(block);
+                assert!(fx.tree.attach_block_proof(proof));
+                // Drain merges, checking each one against the full
+                // rebuild reference model before applying it.
+                while let Some(level) = fx.tree.overflowing_level() {
+                    let req = fx.tree.build_merge_request(level);
+                    let deepest = (level + 1) as usize == n_merkle;
+                    let runs: Vec<&[crate::kv::KvRecord]> = req
+                        .source_l0
+                        .iter()
+                        .map(|p| p.records())
+                        .chain(req.source_pages.iter().map(|p| p.records()))
+                        .chain(req.target_pages.iter().map(|p| p.records()))
+                        .collect();
+                    let expected = kway_merge_newest(&runs, deepest);
+                    let res = fx.index.process_merge(&fx.cloud, &fx.ledger, &req, 1_000).unwrap();
+                    let got: Vec<KvRecord> = res
+                        .new_target_pages
+                        .iter()
+                        .flat_map(|p| p.records().iter().cloned())
+                        .collect();
+                    assert_eq!(got, expected, "incremental rebuild diverged from full rebuild");
+                    crate::page::check_level_ranges(&res.new_target_pages).unwrap();
+                    fx.tree.apply_merge_result(&req, res).unwrap();
+                }
+            }
+        }
+    }
+
     #[test]
     fn many_blocks_cascade_correctly() {
         let mut fx = Fixture::new();

@@ -170,18 +170,68 @@ pub struct NetReport {
     /// Critical cloud→edge messages (proofs, merge results) deferred
     /// because an edge inbox was full (delivered later).
     pub deferred_cloud_msgs: u64,
+    /// Frames `write_frame` refused or failed to send, summed over
+    /// every connection. A healthy run is zero — the differential test
+    /// asserts it — and anything else means a peer silently missed
+    /// protocol messages (torn connection, oversized frame).
+    pub failed_sends: u64,
+    /// Per-connection breakdown of `failed_sends` (non-zero entries
+    /// only), labelled `sender→receiver`.
+    pub failed_sends_by_peer: Vec<(String, u64)>,
 }
 
 // ---------------------------------------------------------------------------
 // Socket plumbing
 // ---------------------------------------------------------------------------
 
-/// Writes one framed [`WireMsg`] to a stream. Errors are swallowed:
-/// a torn connection (or a refused oversized frame) surfaces as
-/// message loss, which retries and dispute deadlines already handle —
-/// a service loop must never panic mid-protocol.
-fn send_wire(stream: &mut TcpStream, msg: &WireMsg) {
-    let _ = write_frame(stream, msg.kind(), &msg.encode_payload());
+/// Per-connection send-failure accounting. A `write_frame` error must
+/// never be thrown away silently: the service loop degrades to message
+/// loss (retries and dispute deadlines keep the protocol live), but
+/// the drop is *counted* per peer and logged once per connection so an
+/// operator — and the run report — can see the partition was starved.
+struct SendTracker {
+    /// `sender→receiver` label for logs and the report.
+    peer: String,
+    failed: AtomicU64,
+    logged: AtomicBool,
+}
+
+impl SendTracker {
+    fn new(peer: String) -> Arc<Self> {
+        Arc::new(SendTracker { peer, failed: AtomicU64::new(0), logged: AtomicBool::new(false) })
+    }
+
+    fn record(&self, err: &std::io::Error) {
+        if !self.logged.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "wedge-net: dropped frame on {}: {err} (further drops on this connection \
+                 are counted silently)",
+                self.peer
+            );
+        }
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+/// A writable connection: the stream plus its failure accounting.
+struct Conn {
+    stream: TcpStream,
+    tracker: Arc<SendTracker>,
+}
+
+impl Conn {
+    /// Writes one framed [`WireMsg`]. A failure (torn connection, or a
+    /// refused oversized frame) surfaces as counted message loss — a
+    /// service loop must never panic mid-protocol.
+    fn send(&mut self, msg: &WireMsg) {
+        if let Err(err) = write_frame(&mut self.stream, msg.kind(), &msg.encode_payload()) {
+            self.tracker.record(&err);
+        }
+    }
 }
 
 /// Sends the connection hello identifying this peer to the acceptor.
@@ -378,8 +428,8 @@ enum ClientIn {
 fn edge_service(
     mut engine: EdgeEngine<u8>,
     rx: Receiver<EdgeIn>,
-    mut cloud: TcpStream,
-    mut client: TcpStream,
+    mut cloud: Conn,
+    mut client: Conn,
     epoch: Instant,
     mut seal_times: VecDeque<u64>,
     apply_latency: Duration,
@@ -387,12 +437,12 @@ fn edge_service(
     let apply = |engine: &mut EdgeEngine<u8>,
                  cmd: EdgeCommand<u8>,
                  now_ns: u64,
-                 cloud: &mut TcpStream,
-                 client: &mut TcpStream| {
+                 cloud: &mut Conn,
+                 client: &mut Conn| {
         for effect in engine.handle(cmd, now_ns) {
             match effect {
-                EdgeEffect::SendCloud { msg, .. } => send_wire(cloud, &msg),
-                EdgeEffect::Send { msg, .. } => send_wire(client, &msg),
+                EdgeEffect::SendCloud { msg, .. } => cloud.send(&msg),
+                EdgeEffect::Send { msg, .. } => client.send(&msg),
                 // CPU accounting has no real-time counterpart here.
                 EdgeEffect::UseCpu(_) | EdgeEffect::UseCpuBackground(_) => {}
             }
@@ -434,18 +484,18 @@ fn edge_service(
 fn cloud_service(
     mut engine: CloudEngine<usize>,
     rx: Receiver<CloudIn>,
-    mut peers: HashMap<usize, TcpStream>,
+    mut peers: HashMap<usize, Conn>,
     epoch: Instant,
 ) -> CloudEngine<usize> {
     let apply = |engine: &mut CloudEngine<usize>,
                  cmd: CloudCommand<usize>,
                  now_ns: u64,
-                 peers: &mut HashMap<usize, TcpStream>| {
+                 peers: &mut HashMap<usize, Conn>| {
         for effect in engine.handle(cmd, now_ns) {
             match effect {
                 CloudEffect::Send { to, msg, .. } => {
-                    if let Some(stream) = peers.get_mut(&to) {
-                        send_wire(stream, &msg);
+                    if let Some(conn) = peers.get_mut(&to) {
+                        conn.send(&msg);
                     }
                 }
                 CloudEffect::UseCpu(_) => {}
@@ -479,15 +529,15 @@ type ClientExit = (ClientEngine, Vec<wedge_core::messages::DisputeVerdict>);
 fn client_service(
     mut engine: ClientEngine,
     rx: Receiver<ClientIn>,
-    edge: TcpStream,
-    cloud: TcpStream,
+    edge: Conn,
+    cloud: Conn,
     epoch: Instant,
 ) -> ClientExit {
     let mut comp = ClientCompletions::new();
     let mut edge = edge;
     let mut cloud = cloud;
-    let mut send_edge = |msg: WireMsg| send_wire(&mut edge, &msg);
-    let mut send_cloud = |msg: WireMsg| send_wire(&mut cloud, &msg);
+    let mut send_edge = |msg: WireMsg| edge.send(&msg);
+    let mut send_cloud = |msg: WireMsg| cloud.send(&msg);
     loop {
         match recv_until(&rx, engine.next_deadline_ns(), epoch) {
             Inbox::Msg(ClientIn::PutBatch { ops, reply }) => comp.queue_put(ops, reply),
@@ -532,6 +582,8 @@ pub struct NetCluster {
     cloud_handle: Option<JoinHandle<CloudEngine<usize>>>,
     reader_handles: Vec<JoinHandle<()>>,
     gates: Vec<Arc<CloudGate>>,
+    /// Failure accounting for every writable connection.
+    send_trackers: Vec<Arc<SendTracker>>,
     /// One clone of every stream, for unblocking readers at shutdown.
     sockets: Vec<TcpStream>,
     /// Public registry for caller-side verification.
@@ -637,6 +689,12 @@ impl NetCluster {
         let epoch = Instant::now();
         let mut sockets = Vec::new();
         let mut reader_handles = Vec::new();
+        let mut send_trackers: Vec<Arc<SendTracker>> = Vec::new();
+        let track = |send_trackers: &mut Vec<Arc<SendTracker>>, peer: String| {
+            let tracker = SendTracker::new(peer);
+            send_trackers.push(Arc::clone(&tracker));
+            tracker
+        };
 
         // --- cloud node ---
         let cloud_engine = CloudEngine::new(
@@ -654,7 +712,18 @@ impl NetCluster {
         let mut cloud_writers = HashMap::new();
         for (peer, stream) in cloud_inbound {
             sockets.push(stream.try_clone().expect("clone"));
-            cloud_writers.insert(peer, stream.try_clone().expect("clone"));
+            let label = if peer < edges {
+                format!("cloud→edge{peer}")
+            } else {
+                format!("cloud→client{}", peer - edges)
+            };
+            cloud_writers.insert(
+                peer,
+                Conn {
+                    stream: stream.try_clone().expect("clone"),
+                    tracker: track(&mut send_trackers, label),
+                },
+            );
             let tx = cloud_tx.clone();
             reader_handles.push(spawn_reader(
                 format!("wedge-net-cloud-r{peer}"),
@@ -732,6 +801,12 @@ impl NetCluster {
                 .unwrap_or_default()
                 .into();
             let apply_latency = cfg.edge_apply_latency;
+            let up =
+                Conn { stream: up, tracker: track(&mut send_trackers, format!("edge{p}→cloud")) };
+            let down = Conn {
+                stream: down,
+                tracker: track(&mut send_trackers, format!("edge{p}→client")),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("wedge-net-edge-{p}"))
                 .spawn(move || edge_service(engine, rx, up, down, epoch, seal_times, apply_latency))
@@ -785,6 +860,14 @@ impl NetCluster {
                     || {},
                 ));
             }
+            let edge = Conn {
+                stream: edge,
+                tracker: track(&mut send_trackers, format!("client{p}→edge")),
+            };
+            let cloud = Conn {
+                stream: cloud,
+                tracker: track(&mut send_trackers, format!("client{p}→cloud")),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("wedge-net-client-{p}"))
                 .spawn(move || client_service(engine, rx, edge, cloud, epoch))
@@ -802,6 +885,7 @@ impl NetCluster {
             cloud_handle: Some(cloud_handle),
             reader_handles,
             gates,
+            send_trackers,
             sockets,
             registry,
             cloud_id,
@@ -902,6 +986,13 @@ impl NetCluster {
         let shed: u64 = this.gates.iter().map(|g| g.shed.load(Ordering::Relaxed)).sum();
         let deferred: u64 =
             this.gates.iter().map(|g| g.deferred_count.load(Ordering::Relaxed)).sum();
+        let failed_sends_by_peer: Vec<(String, u64)> = this
+            .send_trackers
+            .iter()
+            .filter(|t| t.count() > 0)
+            .map(|t| (t.peer.clone(), t.count()))
+            .collect();
+        let failed_sends: u64 = failed_sends_by_peer.iter().map(|(_, n)| n).sum();
 
         let mut reports = Vec::new();
         for (p, (edge_engine, (client_engine, verdicts))) in
@@ -938,6 +1029,8 @@ impl NetCluster {
             punished,
             shed_cloud_msgs: shed,
             deferred_cloud_msgs: deferred,
+            failed_sends,
+            failed_sends_by_peer,
         })
     }
 }
@@ -979,6 +1072,48 @@ mod tests {
         let report = cluster.shutdown().expect("sole owner gets the report");
         assert_eq!(report.edges[0].edge_stats.blocks_sealed, 20);
         assert!(report.cloud_stats.merges_processed > 0, "merges ran over the wire");
+        assert_eq!(
+            report.failed_sends, 0,
+            "no frame may be dropped: {:?}",
+            report.failed_sends_by_peer
+        );
+    }
+
+    #[test]
+    fn net_merge_replies_are_delta_encoded_over_tcp() {
+        // Sequential keys: every L0→L1 merge extends the target level
+        // on the right, so the pages to its left come back from the
+        // cloud as references into the request the edge just sent —
+        // and L1→L2 moves into an empty level reuse the source pages
+        // outright. All of it crosses real sockets as `MergeResDelta`
+        // frames and resolves against the edge's in-flight request.
+        let cluster = NetCluster::start(NetConfig { batch_size: 1, ..NetConfig::default() });
+        let mut last = None;
+        for k in 0..40u64 {
+            last = cluster.put(k, vec![k as u8; 64]);
+        }
+        if let Some(reply) = last {
+            let _ = reply.certified.recv_timeout(Duration::from_secs(5));
+        }
+        for k in 0..40u64 {
+            let read = cluster.get(k).unwrap();
+            assert_eq!(read.value, Some(vec![k as u8; 64]), "key {k}");
+        }
+        let report = cluster.shutdown().expect("report");
+        assert!(report.cloud_stats.merges_processed > 0, "merges ran");
+        assert!(
+            report.cloud_stats.merge_reply_pages_reused > 0,
+            "replies shipped references for unchanged pages (full {}, reused {})",
+            report.cloud_stats.merge_reply_pages_full,
+            report.cloud_stats.merge_reply_pages_reused
+        );
+        assert!(report.cloud_stats.merge_reply_bytes_saved > 0, "delta shrank the replies");
+        assert_eq!(report.edges[0].edge_stats.merge_deltas_unresolved, 0, "every delta resolved");
+        assert_eq!(
+            report.failed_sends, 0,
+            "no frame may be dropped: {:?}",
+            report.failed_sends_by_peer
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub struct TimerId(pub(crate) u64);
 pub(crate) struct Outbound<M> {
     pub to: ActorId,
     pub msg: M,
-    pub bytes: u32,
+    pub bytes: u64,
     /// Offset of the send within the handler's execution (CPU time
     /// consumed before the send was issued).
     pub at_offset: SimDuration,
@@ -73,7 +73,7 @@ pub(crate) enum BgOp<M> {
     /// Consume background CPU.
     Work(SimDuration),
     /// Consume `cost` of background CPU, then transmit.
-    Send { to: ActorId, msg: M, bytes: u32, cost: SimDuration },
+    Send { to: ActorId, msg: M, bytes: u64, cost: SimDuration },
 }
 
 /// Handler-side view of the simulation.
@@ -111,7 +111,7 @@ impl<'a, M> Context<'a, M> {
 
     /// Sends `msg` (`bytes` long on the wire) to `to`. The message
     /// leaves this node after any CPU consumed so far.
-    pub fn send(&mut self, to: ActorId, msg: M, bytes: u32) {
+    pub fn send(&mut self, to: ActorId, msg: M, bytes: u64) {
         self.outbox.push(Outbound { to, msg, bytes, at_offset: self.elapsed });
     }
 
@@ -133,7 +133,7 @@ impl<'a, M> Context<'a, M> {
     /// Queues `msg` for transmission from the background lane after
     /// `cost` of background CPU (e.g. digest bookkeeping before a
     /// block-certify message leaves).
-    pub fn send_background(&mut self, to: ActorId, msg: M, bytes: u32, cost: SimDuration) {
+    pub fn send_background(&mut self, to: ActorId, msg: M, bytes: u64, cost: SimDuration) {
         self.bg_ops.push(BgOp::Send { to, msg, bytes, cost });
     }
 

@@ -88,7 +88,7 @@ pub struct NetConfig {
     /// Bandwidth of intra-region (LAN/metro) paths, bytes/second.
     pub lan_bandwidth_bps: f64,
     /// Fixed per-message overhead added to the payload (headers, TLS).
-    pub per_message_overhead_bytes: u32,
+    pub per_message_overhead_bytes: u64,
     /// Latency jitter as a fraction of the base one-way delay
     /// (0.0 = fully deterministic).
     pub jitter_frac: f64,
@@ -156,7 +156,7 @@ impl NetworkModel {
     }
 
     /// Transmission delay for a message of `bytes` on the path class.
-    pub fn transmission(&self, from: Region, to: Region, bytes: u32) -> SimDuration {
+    pub fn transmission(&self, from: Region, to: Region, bytes: u64) -> SimDuration {
         let total = bytes as f64 + self.cfg.per_message_overhead_bytes as f64;
         let bw = if from == to { self.cfg.lan_bandwidth_bps } else { self.cfg.wan_bandwidth_bps };
         SimDuration::from_secs_f64(total / bw)
@@ -165,7 +165,7 @@ impl NetworkModel {
     /// Computes when a message sent at `now` arrives, advancing the
     /// link's FIFO queue. This is the mutating entry point used by the
     /// simulator for every send.
-    pub fn delivery_at(&mut self, now: SimTime, from: Region, to: Region, bytes: u32) -> SimTime {
+    pub fn delivery_at(&mut self, now: SimTime, from: Region, to: Region, bytes: u64) -> SimTime {
         let key = (from.index(), to.index());
         let tx = self.transmission(from, to, bytes);
         let mut prop = self.propagation(from, to);

@@ -33,7 +33,7 @@ enum EventKind<M> {
         from: ActorId,
         to: ActorId,
         msg: M,
-        bytes: u32,
+        bytes: u64,
     },
     Timer {
         actor: ActorId,

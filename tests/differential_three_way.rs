@@ -231,11 +231,39 @@ fn sim_threads_and_sockets_agree_end_to_end() {
     assert_outcomes_agree("sockets-vs-sim", &net_outcomes, &sim_outcomes);
     assert_eq!(net_report.punished, sim_punished, "sockets: same punished set");
     assert_eq!(net_reads, sim_reads, "sockets: same verified-read values");
+    assert_eq!(
+        net_report.failed_sends, 0,
+        "sockets: zero dropped frames — every write_frame failure is counted per peer: {:?}",
+        net_report.failed_sends_by_peer
+    );
 
     // All three exercised the merge path with the shared engine.
     assert!(sim.cloud_node().stats.merges_processed >= 1, "sim merge ran");
     assert!(threaded_report.cloud_stats.merges_processed >= 1, "threaded merge ran");
     assert!(net_report.cloud_stats.merges_processed >= 1, "socket merge ran");
+
+    // Merge replies are delta-encoded identically everywhere: the
+    // same pages ship in full, the same pages ship as references —
+    // whether the reference resolves through an in-process Arc or a
+    // decoded wire frame.
+    let sim_stats = &sim.cloud_node().stats;
+    let sim_delta = (
+        sim_stats.merge_reply_pages_full,
+        sim_stats.merge_reply_pages_reused,
+        sim_stats.merge_reply_bytes_saved,
+    );
+    let threaded_delta = (
+        threaded_report.cloud_stats.merge_reply_pages_full,
+        threaded_report.cloud_stats.merge_reply_pages_reused,
+        threaded_report.cloud_stats.merge_reply_bytes_saved,
+    );
+    let net_delta = (
+        net_report.cloud_stats.merge_reply_pages_full,
+        net_report.cloud_stats.merge_reply_pages_reused,
+        net_report.cloud_stats.merge_reply_bytes_saved,
+    );
+    assert_eq!(threaded_delta, sim_delta, "threads: same delta reuse as sim");
+    assert_eq!(net_delta, sim_delta, "sockets: same delta reuse as sim");
 }
 
 /// Runs the scripted workload against one runtime: puts (waiting for
