@@ -1,0 +1,214 @@
+//! Shape checker for `BENCH_*.json` regression artifacts.
+//!
+//! CI used to upload the JSON and rely on a human diffing it against
+//! the previous run. This binary encodes the *shape* each bench must
+//! have — which metric keys exist and which inequalities hold between
+//! them — so a regression fails the job instead of waiting for
+//! someone to read the artifact:
+//!
+//! ```text
+//! shape_check bench-json/BENCH_compaction_decay.json ...
+//! ```
+//!
+//! Two kinds of check per known bench:
+//!
+//! - **keys**: every metric the bench promises is present (a renamed
+//!   or dropped series silently breaks downstream tracking);
+//! - **bounds**: the claims the bench exists to defend, e.g.
+//!   `delta_reply_bytes` stays ~flat while the target grows 16x, or
+//!   `partial_pages_on` stays bounded while the off-twin's debris
+//!   does not shrink.
+//!
+//! Unknown benches only get the generic structural check. The parser
+//! targets exactly the format `wedge_bench::write_json` emits (one
+//! result object per line) — it is a checker for our own artifacts,
+//! not a general JSON reader.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parsed artifact: bench name plus `name -> mean_ns` (all compaction
+/// and wire-size metrics are exact counts, so mean == median == min).
+struct Artifact {
+    bench: String,
+    metrics: BTreeMap<String, u64>,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn parse(path: &str) -> Result<Artifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut bench = None;
+    let mut metrics = BTreeMap::new();
+    for line in text.lines() {
+        if bench.is_none() {
+            if let Some(b) = field(line, "bench") {
+                bench = Some(b.to_string());
+                continue;
+            }
+        }
+        if let (Some(name), Some(mean)) = (field(line, "name"), field(line, "mean_ns")) {
+            let mean: u64 =
+                mean.parse().map_err(|_| format!("{path}: non-integer mean_ns in {name}"))?;
+            metrics.insert(name.to_string(), mean);
+        }
+    }
+    let bench = bench.ok_or(format!("{path}: no \"bench\" field"))?;
+    if metrics.is_empty() {
+        return Err(format!("{path}: no results"));
+    }
+    Ok(Artifact { bench, metrics })
+}
+
+/// One failed expectation, formatted for the CI log.
+type Failure = String;
+
+fn require(a: &Artifact, key: &str, failures: &mut Vec<Failure>) -> u64 {
+    match a.metrics.get(key) {
+        Some(v) => *v,
+        None => {
+            failures.push(format!("missing metric: {key}"));
+            0
+        }
+    }
+}
+
+fn check_compaction_decay(a: &Artifact, failures: &mut Vec<Failure>) {
+    let targets = [1_024u64, 4_096, 16_384];
+    let hashes: Vec<u64> = targets
+        .iter()
+        .map(|t| {
+            require(
+                a,
+                &format!("compaction_decay/target_{t}/interior_hashes_small_merge"),
+                failures,
+            )
+        })
+        .collect();
+    let pages: Vec<u64> = targets
+        .iter()
+        .map(|t| require(a, &format!("compaction_decay/target_{t}/level_pages"), failures))
+        .collect();
+    // O(delta), not O(level): growing the level 16x may add the
+    // log-depth path but nothing like the page count. A rebuild costs
+    // ~level_pages interior hashes; demand an order of magnitude under
+    // that, and absolute growth bounded by the depth increase.
+    if hashes.last().unwrap() * 8 >= *pages.last().unwrap() {
+        failures.push(format!(
+            "interior hashes scale with level size: {} hashes for a {}-page level",
+            hashes.last().unwrap(),
+            pages.last().unwrap()
+        ));
+    }
+    if hashes.last().unwrap().saturating_sub(hashes[0]) > 16 {
+        failures.push(format!("interior hashes not ~flat across 16x: {hashes:?}"));
+    }
+
+    let cycles = 24u64;
+    let mut last = (0u64, 0u64);
+    let mut max_on = 0u64;
+    for c in 0..cycles {
+        let on = require(a, &format!("compaction_decay/cycle_{c}/partial_pages_on"), failures);
+        let off = require(a, &format!("compaction_decay/cycle_{c}/partial_pages_off"), failures);
+        let pages_on = require(a, &format!("compaction_decay/cycle_{c}/total_pages_on"), failures);
+        let pages_off =
+            require(a, &format!("compaction_decay/cycle_{c}/total_pages_off"), failures);
+        // Monotone bound: the compacting twin never holds more pages
+        // than the identical workload without compaction.
+        if pages_on > pages_off {
+            failures.push(format!(
+                "cycle {c}: compacting store has MORE pages ({pages_on} > {pages_off})"
+            ));
+        }
+        max_on = max_on.max(on);
+        last = (on, off);
+    }
+    let summary_max = require(a, "compaction_decay/summary/max_partial_pages_on", failures);
+    if summary_max != max_on {
+        failures
+            .push(format!("summary max_partial_pages_on {summary_max} != per-cycle max {max_on}"));
+    }
+    if require(a, "compaction_decay/summary/fold_runs", failures) == 0 {
+        failures.push("compactor never folded anything".into());
+    }
+    let folded_in = require(a, "compaction_decay/summary/pages_folded_in", failures);
+    let folded_out = require(a, "compaction_decay/summary/pages_folded_out", failures);
+    if folded_in <= folded_out {
+        failures.push(format!("folds did not shrink: {folded_in} pages -> {folded_out}"));
+    }
+    // Bounded decay: once the hot range has moved on, the compacting
+    // twin must end at or below the frozen-debris twin.
+    if last.0 > last.1 {
+        failures.push(format!("final partial pages: compaction on {} > off {}", last.0, last.1));
+    }
+}
+
+fn check_merge_reply_bytes(a: &Artifact, failures: &mut Vec<Failure>) {
+    let targets = [2_048u64, 8_192, 32_768];
+    let mut deltas = Vec::new();
+    for t in targets {
+        let full = require(a, &format!("merge_reply_bytes/target_{t}/full_reply_bytes"), failures);
+        let delta =
+            require(a, &format!("merge_reply_bytes/target_{t}/delta_reply_bytes"), failures);
+        require(a, &format!("merge_reply_bytes/target_{t}/pages_reused"), failures);
+        require(a, &format!("merge_reply_bytes/target_{t}/pages_shipped"), failures);
+        if delta >= full {
+            failures.push(format!(
+                "target {t}: delta reply ({delta} B) not smaller than full ({full} B)"
+            ));
+        }
+        deltas.push(delta);
+    }
+    // The delta reply scales with changed pages plus 5 B/reference —
+    // a 16x target may grow it by the references, not by 16x.
+    if *deltas.last().unwrap() > deltas[0] * 4 {
+        failures.push(format!("delta_reply_bytes not ~flat across 16x: {deltas:?}"));
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: shape_check <BENCH_*.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        let artifact = match parse(path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut failures = Vec::new();
+        match artifact.bench.as_str() {
+            "compaction_decay" => check_compaction_decay(&artifact, &mut failures),
+            "merge_reply_bytes" => check_merge_reply_bytes(&artifact, &mut failures),
+            // Other benches: the generic structural parse (bench name
+            // + at least one well-formed result) is the whole check.
+            _ => {}
+        }
+        if failures.is_empty() {
+            println!("ok   {path}: {} ({} metrics)", artifact.bench, artifact.metrics.len());
+        } else {
+            failed = true;
+            eprintln!("FAIL {path}: {}", artifact.bench);
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -56,6 +56,11 @@ pub struct SystemConfig {
     /// `cert_retry_ms`; the cloud answers identical retries
     /// idempotently.
     pub merge_retry_ms: Option<u64>,
+    /// Background compaction sweep period (ms); `None` disables it.
+    /// Each sweep, an idle edge asks the cloud to fold fragmented
+    /// levels back to whole pages (an empty-source merge). Engine-owned
+    /// like the retry clocks, so every runtime drives it identically.
+    pub compaction_period_ms: Option<u64>,
     /// Read freshness window (ms); `None` disables the check (§V-D).
     pub freshness_window_ms: Option<u64>,
     /// RNG seed for deterministic runs.
@@ -84,6 +89,7 @@ impl Default for SystemConfig {
             dispute_timeout_ms: 5_000,
             cert_retry_ms: None,
             merge_retry_ms: None,
+            compaction_period_ms: None,
             freshness_window_ms: None,
             seed: 42,
             data_free: true,

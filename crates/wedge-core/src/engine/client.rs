@@ -22,6 +22,7 @@ use crate::cost::CostModel;
 use crate::messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt, WireMsg};
 use crate::metrics::ClientMetrics;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
 use wedge_log::{
     Block, BlockId, BlockProof, CommitPhase, Entry, GossipWatermark, WatermarkTracker,
@@ -319,8 +320,13 @@ pub struct ClientEngine {
     rng: SimRng,
     freshness_window_ns: Option<u64>,
     dispute_timeout_ns: u64,
-    /// Repeat-read fast path for proof verification.
-    proof_cache: ReadProofCache,
+    /// Repeat-read fast path for proof verification. Behind a shared
+    /// handle so every client of one process can reuse one cache
+    /// ([`ClientEngine::share_proof_cache`]): a page verified for one
+    /// client is verified for all of them — the trust rule is digest +
+    /// record equality, not who asked. Engines default to a private
+    /// cache; the lock is uncontended then.
+    proof_cache: Arc<Mutex<ReadProofCache>>,
     /// CPU charged so far within the current `handle` call; sends are
     /// stamped at `now + elapsed` so measured latencies start when the
     /// message actually departs (after verification work), exactly as
@@ -385,7 +391,7 @@ impl ClientEngine {
             rng: SimRng::new(workload_seed),
             freshness_window_ns,
             dispute_timeout_ns,
-            proof_cache: ReadProofCache::default(),
+            proof_cache: Arc::new(Mutex::new(ReadProofCache::default())),
             elapsed_ns: 0,
             pipeline_depth: 1,
             next_req: 0,
@@ -422,6 +428,22 @@ impl ClientEngine {
         let lr = self.pending_log_reads.values().map(|p| p.deadline_ns);
         let batch = self.outstanding_batches.values().map(|b| b.deadline_ns);
         p2.chain(lr).chain(batch).min()
+    }
+
+    /// Replaces this engine's private proof cache with a shared one.
+    /// Runtimes hosting several clients in one process
+    /// ([`crate::threaded::ThreadedCluster`], `wedge-net`) hand every
+    /// client the same handle, so a witness verified by any client
+    /// skips re-derivation for all of them. Call before the workload
+    /// starts — swapping drops the private cache's contents.
+    pub fn share_proof_cache(&mut self, cache: Arc<Mutex<ReadProofCache>>) {
+        self.proof_cache = cache;
+    }
+
+    /// The engine's proof-cache handle (shared or private) — for
+    /// reading hit/miss counters at report time.
+    pub fn proof_cache(&self) -> &Arc<Mutex<ReadProofCache>> {
+        &self.proof_cache
     }
 
     /// Sets how many put batches may be outstanding at once (clamped
@@ -742,15 +764,18 @@ impl ClientEngine {
             return;
         };
         self.charge(out, self.cost.verify_read());
-        let result = verify_read_proof_cached(
-            &proof,
-            self.edge_identity,
-            self.cloud_identity,
-            &self.registry,
-            now_ns,
-            self.freshness_window_ns,
-            &mut self.proof_cache,
-        );
+        let result = {
+            let mut cache = self.proof_cache.lock().expect("proof cache poisoned");
+            verify_read_proof_cached(
+                &proof,
+                self.edge_identity,
+                self.cloud_identity,
+                &self.registry,
+                now_ns,
+                self.freshness_window_ns,
+                &mut cache,
+            )
+        };
         let latency = SimDuration::from_nanos(now_ns.saturating_sub(read.sent_ns));
         match result {
             Ok(verified) => {
@@ -1044,5 +1069,64 @@ mod tests {
         assert!(!eng.has_outstanding_batch(), "slot freed for the next batch");
         assert_eq!(eng.next_deadline_ns(), None);
         assert_eq!(eng.metrics.disputes_filed, 0, "no receipt, no dispute");
+    }
+
+    /// Satellite: one process-wide proof cache. The first client to
+    /// verify a witness pays the full derivation; a second client
+    /// handed the same proof answers its witness check from the shared
+    /// cache — N clients reading the same hot keys verify once.
+    #[test]
+    fn shared_proof_cache_hits_across_clients() {
+        use wedge_lsmerkle::{build_read_proof, kv_entry, CloudIndex, LsMerkle, LsmConfig};
+        let cloud = Identity::derive("cloud", 1);
+        let edge = Identity::derive("edge", 100);
+        let client = Identity::derive("client", 1000);
+        // An edge-side tree holding one certified block for key 7.
+        let mut index = CloudIndex::new(LsmConfig::exposition());
+        let init = index.init_edge(&cloud, edge.id, 0);
+        let mut tree = LsMerkle::new(edge.id, LsmConfig::exposition(), init);
+        let entries = vec![kv_entry(&client, 0, &KvOp::put(7, b"v".to_vec()))];
+        let block = Block { edge: edge.id, id: BlockId(0), entries, sealed_at_ns: 0 };
+        let digest = block.digest();
+        let proof = BlockProof::issue(&cloud, edge.id, BlockId(0), digest);
+        tree.apply_block(block);
+        tree.attach_block_proof(proof);
+
+        let cache = Arc::new(Mutex::new(ReadProofCache::default()));
+        let run_get = |cache: &Arc<Mutex<ReadProofCache>>| {
+            let mut eng = engine();
+            eng.share_proof_cache(Arc::clone(cache));
+            let effects = eng.handle(ClientCommand::Get { token: 0, key: 7 }, 100);
+            let req_id = effects
+                .iter()
+                .find_map(|e| match e {
+                    ClientEffect::SendEdge { msg: WireMsg::Get { req_id, .. }, .. } => {
+                        Some(*req_id)
+                    }
+                    _ => None,
+                })
+                .expect("read dispatched");
+            let proof = Box::new(build_read_proof(&tree, 7));
+            let effects = eng.handle(ClientCommand::GetResponse { req_id, proof }, 200);
+            let outcome = effects
+                .iter()
+                .find_map(|e| match e {
+                    ClientEffect::Notify(ClientEvent::ReadDone { outcome, .. }) => Some(outcome),
+                    _ => None,
+                })
+                .expect("read completed");
+            assert_eq!(outcome.verify_error, None);
+            assert_eq!(outcome.value.as_deref(), Some(b"v".as_ref()));
+        };
+
+        run_get(&cache);
+        {
+            let c = cache.lock().unwrap();
+            assert_eq!(c.hits(), 0, "first verification derives everything");
+            assert!(c.misses() >= 1, "the miss populated the shared cache");
+        }
+        run_get(&cache);
+        let c = cache.lock().unwrap();
+        assert!(c.hits() >= 1, "second client answered its witness check from the cache");
     }
 }

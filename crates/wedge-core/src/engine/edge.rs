@@ -50,6 +50,9 @@ pub struct EdgeStats {
     pub certs_retried: u64,
     /// Merge requests re-sent after a retry deadline expired.
     pub merges_retried: u64,
+    /// Background compaction requests dispatched by the compaction
+    /// clock (empty-source merges that fold fragmented pages).
+    pub compactions_requested: u64,
     /// Merge replies dropped without applying: a delta that failed to
     /// resolve against the in-flight request (stale fingerprint,
     /// hostile reuse index), or a resolved reply whose pages failed
@@ -201,6 +204,14 @@ pub struct EdgeEngine<C> {
     /// Re-send a certification this long after sending it without an
     /// acknowledgement; `None` disables retries (trust the transport).
     cert_retry_ns: Option<u64>,
+    /// Period of the background compaction clock; `None` disables it.
+    /// Each sweep checks the tree for a fragmented level and, when no
+    /// merge is in flight and no organic merge is due, dispatches an
+    /// empty-source merge request that folds it (see
+    /// [`wedge_lsmerkle::tree::LsMerkle::build_compaction_request`]).
+    compaction_period_ns: Option<u64>,
+    /// Absolute time of the next compaction sweep, if armed.
+    next_compaction_at_ns: Option<u64>,
     /// Certifications awaiting the cloud's proof: the digest we
     /// certified (honest or tampered — a retry must repeat the same
     /// claim) and the absolute retry deadline.
@@ -251,6 +262,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             merge_retry_ns: None,
             merge_deadline_ns: None,
             cert_retry_ns: None,
+            compaction_period_ns: None,
+            next_compaction_at_ns: None,
             pending_certs: HashMap::new(),
             stats: EdgeStats::default(),
         }
@@ -274,16 +287,25 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         self.merge_retry_ns = retry_ns;
     }
 
+    /// Enables the background compaction clock: every `period_ns` the
+    /// engine sweeps its tree for fragmented levels and dispatches a
+    /// fold (an empty-source merge) when one is found and the merge
+    /// lane is idle. Like every engine clock, it surfaces through
+    /// [`EdgeEngine::next_deadline_ns`] and fires on `Tick` — all
+    /// runtimes get it for free.
+    pub fn set_compaction_period_ns(&mut self, period_ns: Option<u64>) {
+        self.compaction_period_ns = period_ns;
+        self.next_compaction_at_ns = period_ns;
+    }
+
     /// Earliest absolute time (ns) at which this engine has time-driven
-    /// work (the soonest certification- or merge-retry deadline). The
-    /// driver's contract: call `handle(EdgeCommand::Tick, now)` once
-    /// `now >= next_deadline_ns()`; never schedule retries itself.
+    /// work (the soonest certification-/merge-retry or compaction
+    /// deadline). The driver's contract: call
+    /// `handle(EdgeCommand::Tick, now)` once `now >=
+    /// next_deadline_ns()`; never schedule retries itself.
     pub fn next_deadline_ns(&self) -> Option<u64> {
         let certs = self.pending_certs.values().map(|p| p.deadline_ns).min();
-        match (certs, self.merge_deadline_ns) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        [certs, self.merge_deadline_ns, self.next_compaction_at_ns].into_iter().flatten().min()
     }
 
     /// Aligns the block-id counter with externally injected state
@@ -441,6 +463,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
     /// processed and only the reply was lost). Both re-arm.
     fn tick(&mut self, out: &mut Vec<EdgeEffect<C>>, now_ns: u64) {
         self.tick_merge(out, now_ns);
+        self.tick_compaction(out, now_ns);
         let Some(retry) = self.cert_retry_ns else { return };
         let mut due: Vec<BlockId> = self
             .pending_certs
@@ -465,6 +488,40 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
                 dispatch: Some(self.cost.certify_dispatch(1)),
             });
         }
+    }
+
+    /// One sweep of the compaction clock: if the period elapsed, the
+    /// merge lane is idle, and no organic merge is due (overflow work
+    /// outranks housekeeping on the single merge lane), dispatch an
+    /// empty-source merge for the shallowest fragmented level. The
+    /// sweep always re-arms — fragmentation accrues between sweeps,
+    /// not during them.
+    fn tick_compaction(&mut self, out: &mut Vec<EdgeEffect<C>>, now_ns: u64) {
+        let Some(period) = self.compaction_period_ns else { return };
+        if self.next_compaction_at_ns.is_none_or(|d| d > now_ns) {
+            return;
+        }
+        self.next_compaction_at_ns = Some(now_ns + period);
+        if self.merge_in_flight.is_some() || self.tree.overflowing_level().is_some() {
+            return;
+        }
+        if let Some(freeze) = self.fault.freeze_after_epoch {
+            if self.tree.epoch() >= freeze {
+                return; // stale-serving attack: stop compacting
+            }
+        }
+        let Some(req) = self.tree.build_compaction_request() else { return };
+        let msg = WireMsg::MergeReq(Box::new(req.clone()));
+        let wire = msg.wire_size();
+        self.stats.compactions_requested += 1;
+        self.stats.wan_bytes_to_cloud += wire;
+        out.push(EdgeEffect::SendCloud {
+            msg,
+            wire,
+            dispatch: Some(SimDuration::from_micros(100)),
+        });
+        self.merge_in_flight = Some(req);
+        self.merge_deadline_ns = self.merge_retry_ns.map(|r| now_ns + r);
     }
 
     /// Re-sends the in-flight merge request if its retry deadline
@@ -831,6 +888,145 @@ mod tests {
         // The duplicate finds no in-flight request and is dropped.
         engine.handle(EdgeCommand::MergeResult(Box::new(res)), 70);
         assert_eq!(engine.stats.merges_completed, 1);
+    }
+
+    fn kv(op: wedge_lsmerkle::KvOp, seq: u64) -> Entry {
+        use wedge_crypto::Signature;
+        Entry {
+            client: IdentityId(1000),
+            sequence: seq,
+            payload: op.encode(),
+            signature: Signature { e: 0, s: 0 },
+        }
+    }
+
+    /// Seals one block through the engine, certifies it, and relays
+    /// every merge request the engine dispatches (including cascades)
+    /// to the given cloud index until the merge lane is idle.
+    fn pump(
+        engine: &mut EdgeEngine<u8>,
+        cloud: &Identity,
+        ledger: &mut wedge_log::CertLedger,
+        index: &mut wedge_lsmerkle::CloudIndex,
+        entries: Vec<Entry>,
+        req_id: u64,
+        now_ns: u64,
+    ) {
+        let effects = engine.handle(EdgeCommand::BatchAdd { from: 0, req_id, entries }, now_ns);
+        let digest = certify_digests(&effects)[0];
+        let bid = engine.log.iter().last().unwrap().block.id;
+        ledger.offer(engine.id(), bid, digest);
+        let proof = wedge_log::BlockProof::issue(cloud, engine.id(), bid, digest);
+        let mut pending = engine.handle(EdgeCommand::BlockProof(proof), now_ns);
+        loop {
+            let reqs: Vec<MergeRequest> = pending
+                .into_iter()
+                .filter_map(|e| match e {
+                    EdgeEffect::SendCloud { msg: WireMsg::MergeReq(req), .. } => Some(*req),
+                    _ => None,
+                })
+                .collect();
+            if reqs.is_empty() {
+                break;
+            }
+            pending = Vec::new();
+            for req in reqs {
+                let res = index.process_merge(cloud, ledger, &req, now_ns).unwrap();
+                pending.extend(engine.handle(EdgeCommand::MergeResult(Box::new(res)), now_ns));
+            }
+        }
+    }
+
+    /// The engine-owned compaction clock: a due sweep on a healthy
+    /// tree re-arms silently; once incremental merges fragment a
+    /// level, the sweep dispatches an empty-source merge request, the
+    /// cloud folds and re-signs, and edge and cloud agree on the
+    /// post-compaction roots — no driver schedules anything.
+    #[test]
+    fn compaction_clock_is_engine_owned() {
+        use wedge_lsmerkle::{CloudIndex, KvOp, LsmConfig};
+        let (mut engine, cloud) = engine(None, FaultPlan::honest());
+        let mut ledger = wedge_log::CertLedger::new();
+        let mut index = CloudIndex::new(LsmConfig::exposition());
+        index.init_edge(&cloud, engine.id(), 0);
+        engine.set_compaction_period_ns(Some(1_000_000));
+        assert_eq!(engine.next_deadline_ns(), Some(1_000_000), "compaction deadline armed");
+
+        // Sparse wide fill, then narrow insert/delete bands: region
+        // re-chunking leaves partial boundary pages behind.
+        let mut seq = 0u64;
+        let mut req_id = 0u64;
+        let mut now = 0u64;
+        let mut send = |engine: &mut EdgeEngine<u8>,
+                        ledger: &mut wedge_log::CertLedger,
+                        index: &mut CloudIndex,
+                        ops: Vec<KvOp>| {
+            let entries = ops
+                .into_iter()
+                .map(|op| {
+                    let e = kv(op, seq);
+                    seq += 1;
+                    e
+                })
+                .collect();
+            req_id += 1;
+            now += 10;
+            pump(engine, &cloud, ledger, index, entries, req_id, now);
+        };
+        for chunk in (0..64u64).collect::<Vec<_>>().chunks(4) {
+            let ops = chunk.iter().map(|k| KvOp::put(k * 8, vec![*k as u8])).collect();
+            send(&mut engine, &mut ledger, &mut index, ops);
+        }
+
+        // A due sweep on a healthy tree: re-arms, dispatches nothing.
+        assert_eq!(engine.tree.fragmented_level(), None, "wide fill stays whole-paged");
+        let effects = engine.handle(EdgeCommand::Tick, 1_000_000);
+        assert!(effects.is_empty(), "nothing to compact yet");
+        assert_eq!(engine.stats.compactions_requested, 0);
+        assert_eq!(engine.next_deadline_ns(), Some(2_000_000), "sweep re-armed");
+
+        let mut round = 0u64;
+        while engine.tree.fragmented_level().is_none() {
+            assert!(round < 400, "narrow workload failed to fragment any level");
+            let base = (round * 37) % 500;
+            let ops = (0..3)
+                .map(|i| {
+                    if (round + i).is_multiple_of(5) {
+                        KvOp::delete(base + i)
+                    } else {
+                        KvOp::put(base + i, vec![round as u8])
+                    }
+                })
+                .collect();
+            send(&mut engine, &mut ledger, &mut index, ops);
+            round += 1;
+        }
+
+        // The next sweep dispatches an empty-source merge request.
+        let effects = engine.handle(EdgeCommand::Tick, 2_000_000);
+        let reqs: Vec<MergeRequest> = effects
+            .into_iter()
+            .filter_map(|e| match e {
+                EdgeEffect::SendCloud { msg: WireMsg::MergeReq(req), .. } => Some(*req),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reqs.len(), 1, "compaction dispatched");
+        assert!(reqs[0].source_l0.is_empty() && reqs[0].source_pages.is_empty());
+        assert_eq!(engine.stats.compactions_requested, 1);
+
+        // The cloud folds + re-signs; the edge applies the result.
+        let before = index.compaction_stats();
+        let res = index.process_merge(&cloud, &ledger, &reqs[0], 2_000_000).unwrap();
+        engine.handle(EdgeCommand::MergeResult(Box::new(res)), 2_000_100);
+        let stats = index.compaction_stats();
+        assert!(stats.fold_runs > before.fold_runs, "the compaction folded a run");
+        assert_eq!(
+            engine.tree.level_roots(),
+            index.state(engine.id()).unwrap().level_roots,
+            "edge and cloud agree on post-compaction roots"
+        );
+        assert!(engine.next_deadline_ns().is_some(), "clock stays armed");
     }
 
     /// Withheld certifications never arm a retry — the attack stays an

@@ -166,6 +166,7 @@ impl MultiPartitionHarness {
             node.data_free = cfg.data_free;
             node.set_cert_retry_ns(cfg.cert_retry_ms.map(|ms| ms * 1_000_000));
             node.set_merge_retry_ns(cfg.merge_retry_ms.map(|ms| ms * 1_000_000));
+            node.set_compaction_period_ns(cfg.compaction_period_ms.map(|ms| ms * 1_000_000));
             assert_eq!(
                 sim.add_actor(format!("edge-{p}"), cfg.edge_region, Box::new(node)),
                 edge_actors[p]
@@ -375,6 +376,7 @@ impl SystemHarness {
         edge_node.data_free = cfg.data_free;
         edge_node.set_cert_retry_ns(cfg.cert_retry_ms.map(|ms| ms * 1_000_000));
         edge_node.set_merge_retry_ns(cfg.merge_retry_ms.map(|ms| ms * 1_000_000));
+        edge_node.set_compaction_period_ns(cfg.compaction_period_ms.map(|ms| ms * 1_000_000));
         let edge = sim.add_actor("edge", cfg.edge_region, Box::new(edge_node));
         assert_eq!(edge, edge_actor_id);
 

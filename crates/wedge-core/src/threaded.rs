@@ -38,12 +38,14 @@ use crate::messages::{DisputeVerdict, WireMsg};
 use crate::metrics::ClientMetrics;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry};
 use wedge_log::BlockId;
-use wedge_lsmerkle::{CloudIndex, LsMerkle, LsmConfig, ProofError};
+use wedge_lsmerkle::{
+    CloudIndex, CompactionStats, LsMerkle, LsmConfig, ProofError, ReadProofCache,
+};
 
 /// Configuration for the threaded runtime.
 #[derive(Clone, Debug)]
@@ -87,6 +89,10 @@ pub struct ThreadedConfig {
     /// Edge merge-request retry interval; `None` disables retries
     /// (trust the transport). Engine-owned, like `cert_retry`.
     pub merge_retry: Option<Duration>,
+    /// Background compaction sweep period; `None` disables it. Each
+    /// sweep an idle edge asks the cloud to fold fragmented levels
+    /// back to whole pages. Engine-owned, like the retry clocks.
+    pub compaction_period: Option<Duration>,
     /// Capacity of the shared inbox into the cloud service.
     pub cloud_inbox_cap: usize,
     /// Capacity of each edge service's inbox (bounds cloud→edge too).
@@ -115,6 +121,7 @@ impl Default for ThreadedConfig {
             freshness_window: None,
             pipeline_depth: 1,
             merge_retry: None,
+            compaction_period: None,
             cloud_inbox_cap: 1024,
             edge_inbox_cap: 1024,
             admission_timeout: None,
@@ -222,6 +229,14 @@ pub struct ThreadedReport {
     /// Caller puts shed by the admission path (`try_put_on` hit its
     /// admission timeout, or the batch was rejected outright).
     pub puts_shed: u64,
+    /// Fold work across every merge the cloud processed (organic
+    /// merges and background compaction requests alike).
+    pub compaction: CompactionStats,
+    /// Witness checks the process-shared read-proof cache answered
+    /// without re-derivation, across all clients.
+    pub proof_cache_hits: u64,
+    /// Witness checks that paid the full re-derivation.
+    pub proof_cache_misses: u64,
 }
 
 /// Why [`ThreadedCluster::try_put_on`] shed a put instead of returning
@@ -277,6 +292,8 @@ pub struct ThreadedCluster {
     admission_timeout: Option<Duration>,
     /// Puts shed by the admission path.
     puts_shed: std::sync::atomic::AtomicU64,
+    /// The process-wide read-proof cache every client shares.
+    proof_cache: Arc<Mutex<ReadProofCache>>,
 }
 
 impl ThreadedCluster {
@@ -289,8 +306,10 @@ impl ThreadedCluster {
         // deadline armed in one domain and checked in the other would
         // fire at a meaningless moment.
         assert!(
-            cfg.seal_times.is_none() || cfg.cert_retry.is_none(),
-            "seal_times (virtual timestamps) and cert_retry (wall-clock deadlines) cannot combine"
+            cfg.seal_times.is_none()
+                || (cfg.cert_retry.is_none() && cfg.compaction_period.is_none()),
+            "seal_times (virtual timestamps) and cert_retry/compaction (wall-clock deadlines) \
+             cannot combine"
         );
         let edges = cfg.num_edges;
         let cloud_ident = Identity::derive("cloud", CLOUD_ID);
@@ -367,6 +386,7 @@ impl ThreadedCluster {
             );
             engine.set_cert_retry_ns(cfg.cert_retry.map(|d| d.as_nanos() as u64));
             engine.set_merge_retry_ns(cfg.merge_retry.map(|d| d.as_nanos() as u64));
+            engine.set_compaction_period_ns(cfg.compaction_period.map(|d| d.as_nanos() as u64));
             let cloud = cloud_tx.clone();
             let client = client_txs[p].clone();
             let seal_times: VecDeque<u64> = cfg
@@ -385,6 +405,10 @@ impl ThreadedCluster {
             edge_handles.push(Some(handle));
         }
 
+        // One proof cache for the whole process: a witness verified by
+        // any partition's client is verified for all of them (the
+        // cache's trust rule is content-based, not per-client).
+        let proof_cache = Arc::new(Mutex::new(ReadProofCache::default()));
         let mut client_handles = Vec::new();
         for (p, (ident, rx)) in client_idents.into_iter().zip(client_rxs).enumerate() {
             let seed = client_workload_seed(0, ident.id);
@@ -401,6 +425,7 @@ impl ThreadedCluster {
                 seed,
             );
             engine.set_pipeline_depth(cfg.pipeline_depth);
+            engine.share_proof_cache(Arc::clone(&proof_cache));
             let edge = edge_txs[p].clone();
             let cloud = cloud_tx.clone();
             let peer = edges + p;
@@ -424,6 +449,7 @@ impl ThreadedCluster {
             batcher: PutBatcher::new(edges, cfg.batch_size),
             admission_timeout: cfg.admission_timeout,
             puts_shed: std::sync::atomic::AtomicU64::new(0),
+            proof_cache,
         })
     }
 
@@ -579,6 +605,10 @@ impl ThreadedCluster {
         }
         let mut punished: Vec<IdentityId> = cloud_engine.punished.iter().copied().collect();
         punished.sort_by_key(|id| id.0);
+        let (proof_cache_hits, proof_cache_misses) = {
+            let cache = this.proof_cache.lock().expect("proof cache poisoned");
+            (cache.hits(), cache.misses())
+        };
         Some(ThreadedReport {
             edges: reports,
             cloud_stats: cloud_engine.stats.clone(),
@@ -586,6 +616,9 @@ impl ThreadedCluster {
             shed_cloud_msgs: shed,
             deferred_cloud_msgs: deferred,
             puts_shed: this.puts_shed.load(std::sync::atomic::Ordering::Relaxed),
+            compaction: cloud_engine.index.compaction_stats(),
+            proof_cache_hits,
+            proof_cache_misses,
         })
     }
 }

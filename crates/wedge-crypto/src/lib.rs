@@ -30,6 +30,8 @@ pub mod sha256;
 
 pub use digest::Digest;
 pub use keys::{Identity, IdentityId, KeyRegistry, RegistryError, RevocationReason};
-pub use merkle::{global_root, InclusionProof, MerkleTree};
+pub use merkle::{
+    empty_root, global_root, hash_leaf_digest, hash_node, InclusionProof, MerkleTree,
+};
 pub use schnorr::{Keypair, PublicKey, Signature};
 pub use sha256::{sha256, sha256_concat, Sha256};

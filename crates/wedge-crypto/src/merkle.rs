@@ -28,12 +28,57 @@ pub fn empty_root() -> Digest {
 
 /// Hashes raw leaf data with the leaf domain tag.
 pub fn hash_leaf(data: &[u8]) -> Digest {
+    hash_stats::note_leaf();
     sha256_concat(&[LEAF_TAG, data])
+}
+
+/// Tags an already-computed content digest (e.g. a page digest) as a
+/// leaf node: `H(0x00 || digest)`. This is the leaf form used by
+/// [`MerkleTree::from_leaves`] and by the incremental level forests,
+/// which must agree byte-for-byte on every node.
+pub fn hash_leaf_digest(d: &Digest) -> Digest {
+    hash_stats::note_leaf();
+    sha256_concat(&[LEAF_TAG, d.as_bytes()])
 }
 
 /// Hashes two child digests into their parent.
 pub fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    hash_stats::note_interior();
     sha256_concat(&[NODE_TAG, left.as_bytes(), right.as_bytes()])
+}
+
+/// Always-on, per-thread counters of Merkle hash work.
+///
+/// Incremental forests exist to avoid interior hashes; the benches
+/// (and the `compaction_decay` artifact) need to *measure* that in
+/// release builds, so unlike the test-only page decode counters this
+/// lives in the real build. The cost is one thread-local increment
+/// per SHA-256 compression — noise next to the hash itself.
+pub mod hash_stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static INTERIOR: Cell<u64> = const { Cell::new(0) };
+        static LEAF: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Interior (`H(0x01 || l || r)`) hashes computed on this thread.
+    pub fn interior_hashes() -> u64 {
+        INTERIOR.with(|c| c.get())
+    }
+
+    /// Leaf-tagging (`H(0x00 || leaf)`) hashes computed on this thread.
+    pub fn leaf_hashes() -> u64 {
+        LEAF.with(|c| c.get())
+    }
+
+    pub(super) fn note_interior() {
+        INTERIOR.with(|c| c.set(c.get().wrapping_add(1)));
+    }
+
+    pub(super) fn note_leaf() {
+        LEAF.with(|c| c.set(c.get().wrapping_add(1)));
+    }
 }
 
 /// An immutable Merkle tree over a sequence of leaf digests.
@@ -67,8 +112,7 @@ impl MerkleTree {
     /// materializing them first — the caller can stream cached page
     /// digests straight in.
     pub fn from_leaf_iter<I: IntoIterator<Item = Digest>>(leaves: I) -> Self {
-        let tagged: Vec<Digest> =
-            leaves.into_iter().map(|d| sha256_concat(&[LEAF_TAG, d.as_bytes()])).collect();
+        let tagged: Vec<Digest> = leaves.into_iter().map(|d| hash_leaf_digest(&d)).collect();
         Self::from_tagged(tagged)
     }
 
@@ -139,7 +183,7 @@ impl MerkleTree {
     /// Verifies that `leaf_digest` (a content digest, as passed to
     /// [`MerkleTree::from_leaves`]) is included under `root`.
     pub fn verify(root: &Digest, leaf_digest: &Digest, proof: &InclusionProof) -> bool {
-        let mut acc = sha256_concat(&[LEAF_TAG, leaf_digest.as_bytes()]);
+        let mut acc = hash_leaf_digest(leaf_digest);
         let mut idx = proof.leaf_index;
         for sib in &proof.siblings {
             acc = if idx & 1 == 0 { hash_node(&acc, sib) } else { hash_node(sib, &acc) };

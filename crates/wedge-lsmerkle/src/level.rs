@@ -5,6 +5,7 @@
 //! of all level roots — is signed together with a timestamp and epoch,
 //! which is what read freshness (§V-D) checks against.
 
+use crate::forest::MerkleForest;
 use crate::page::Page;
 use std::sync::Arc;
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, MerkleTree, Signature};
@@ -138,44 +139,50 @@ impl GlobalRootCert {
     }
 }
 
-/// A Merkle level held at the edge: pages plus the tree over their
-/// digests and the cloud's signature on the root.
+/// A Merkle level held at the edge: pages plus the Merkle forest over
+/// their digests and the cloud's signature on the root.
 ///
-/// Immutable after construction: the tree is built exactly once (from
-/// memoized page digests) and reused for every root read and
-/// inclusion proof until the level is replaced by a merge.
+/// Immutable after construction: the forest is built exactly once
+/// (from memoized page digests, reusing the previous level's subtrees
+/// where possible) and reused for every root read and inclusion proof
+/// until the level is replaced by a merge.
 #[derive(Clone, Debug)]
 pub struct Level {
     /// Range-partitioned pages, sorted by `min`.
     pages: Vec<Arc<Page>>,
-    /// Merkle tree over page digests (built once per level lifetime).
-    tree: MerkleTree,
-    /// The cloud's signature on `tree.root()` at the current epoch.
+    /// Merkle forest over page digests (built once per level
+    /// lifetime); root-compatible with the flat [`MerkleTree`].
+    forest: MerkleForest,
+    /// The cloud's signature on `forest.root()` at the current epoch.
     signed_root: SignedLevelRoot,
 }
 
 impl Level {
-    /// Builds a level from pages, the tree already computed over their
-    /// digests, and a matching signed root. The caller builds the tree
-    /// once (usually to validate the signed root) and hands it over —
-    /// the level never rebuilds it.
+    /// Builds a level from pages, the forest already computed over
+    /// their digests, and a matching signed root. The caller builds
+    /// the forest once (usually to validate the signed root) and hands
+    /// it over — the level never rebuilds it.
     ///
     /// # Panics
-    /// Panics (debug) if the tree does not match the signed root —
-    /// that would mean the edge accepted a bogus merge result.
+    /// Panics (debug) if the forest does not match the signed root or
+    /// the pages — that would mean the edge accepted a bogus merge
+    /// result.
     pub fn from_parts(
         pages: Vec<Arc<Page>>,
-        tree: MerkleTree,
+        forest: MerkleForest,
         signed_root: SignedLevelRoot,
     ) -> Self {
-        debug_assert_eq!(tree.root(), signed_root.root, "signed root mismatch");
-        debug_assert_eq!(tree.root(), tree_over(&pages).root(), "tree does not cover pages");
-        Level { pages, tree, signed_root }
+        debug_assert_eq!(forest.root(), signed_root.root, "signed root mismatch");
+        debug_assert!(
+            forest.leaves().iter().copied().eq(pages.iter().map(|p| p.digest())),
+            "forest does not cover pages"
+        );
+        Level { pages, forest, signed_root }
     }
 
     /// An empty level under a signed empty root.
     pub fn empty(signed_root: SignedLevelRoot) -> Self {
-        Self::from_parts(Vec::new(), MerkleTree::from_leaves(&[]), signed_root)
+        Self::from_parts(Vec::new(), MerkleForest::empty(), signed_root)
     }
 
     /// Range-partitioned pages, sorted by `min`.
@@ -183,9 +190,9 @@ impl Level {
         &self.pages
     }
 
-    /// The Merkle tree over the page digests.
-    pub fn tree(&self) -> &MerkleTree {
-        &self.tree
+    /// The Merkle forest over the page digests.
+    pub fn forest(&self) -> &MerkleForest {
+        &self.forest
     }
 
     /// The cloud's signature on the level root.
@@ -200,15 +207,28 @@ impl Level {
 
     /// The level's current Merkle root.
     pub fn root(&self) -> Digest {
-        self.tree.root()
+        self.forest.root()
     }
 }
 
-/// Builds the Merkle tree over a page list (empty list ⇒ sentinel
-/// empty-tree root). Page digests are memoized, so rebuilding a tree
-/// over already-hashed pages costs only the interior node hashes.
+/// Builds the flat Merkle tree over a page list (empty list ⇒ sentinel
+/// empty-tree root). Kept as the *reference* construction: the forest
+/// must agree with it byte-for-byte, and tests assert exactly that.
 pub fn tree_over(pages: &[Arc<Page>]) -> MerkleTree {
     MerkleTree::from_leaf_iter(pages.iter().map(|p| p.digest()))
+}
+
+/// Builds the Merkle forest over a page list from scratch.
+pub fn forest_over(pages: &[Arc<Page>]) -> MerkleForest {
+    MerkleForest::from_digests(pages.iter().map(|p| p.digest()).collect())
+}
+
+/// Builds the Merkle forest over a page list, reusing every unchanged
+/// aligned subtree of `old` — O(k log n) interior hashes for a k-page
+/// change instead of O(n). This is the construction every merge and
+/// compaction uses.
+pub fn forest_over_reusing(pages: &[Arc<Page>], old: &MerkleForest) -> MerkleForest {
+    MerkleForest::rebuild(pages.iter().map(|p| p.digest()).collect(), old)
 }
 
 /// The root of an empty level (computed once per process).
@@ -268,18 +288,22 @@ mod tests {
     }
 
     #[test]
-    fn level_tree_matches_pages() {
+    fn level_forest_matches_pages() {
         let (cloud, _) = cloud_reg();
         let pages = sample_pages(3);
-        let tree = tree_over(&pages);
-        let root = tree.root();
+        let forest = forest_over(&pages);
+        let root = forest.root();
+        // The forest root is the flat-tree root — the signed value is
+        // unchanged by the forest representation.
+        assert_eq!(root, tree_over(&pages).root());
         let slr = SignedLevelRoot::issue(&cloud, IdentityId(9), 1, 0, root);
-        let level = Level::from_parts(pages.clone(), tree, slr);
+        let level = Level::from_parts(pages.clone(), forest, slr);
         assert_eq!(level.page_count(), pages.len());
         assert_eq!(level.root(), root);
-        // Inclusion proofs work for each page.
+        // Inclusion proofs work for each page and verify against the
+        // flat-tree verifier (wire format unchanged).
         for (i, p) in pages.iter().enumerate() {
-            let proof = level.tree().prove(i).unwrap();
+            let proof = level.forest().prove(i).unwrap();
             assert!(MerkleTree::verify(&level.root(), &p.digest(), &proof));
         }
     }

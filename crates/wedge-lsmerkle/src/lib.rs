@@ -21,7 +21,9 @@
 //! - [`config`]: tree shape ([`config::LsmConfig`]), including the
 //!   paper's evaluation configuration (thresholds 10/10/100/1000).
 
+pub mod compact;
 pub mod config;
+pub mod forest;
 pub mod kv;
 pub mod level;
 pub mod merge;
@@ -29,7 +31,9 @@ pub mod page;
 pub mod proof;
 pub mod tree;
 
+pub use compact::{fold_partial_pages, needs_compaction, CompactionStats, FoldOutcome};
 pub use config::LsmConfig;
+pub use forest::MerkleForest;
 pub use kv::{kv_entry, records_from_block, Key, KvOp, KvRecord, Value, Version};
 pub use level::{GlobalRootCert, Level, SignedLevelRoot};
 pub use merge::{

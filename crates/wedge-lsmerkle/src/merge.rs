@@ -3,21 +3,25 @@
 //! When level `i` exceeds its page threshold, the edge ships *all* of
 //! level `i`'s pages plus level `i+1`'s pages to the cloud. The cloud
 //! verifies their authenticity (L0 pages against the block-cert
-//! ledger, deeper levels against the level roots it previously
-//! signed), performs a streaming k-way LSM merge over the
+//! ledger, deeper levels leaf-for-leaf against the level forests it
+//! maintains), performs a streaming k-way LSM merge over the
 //! already-sorted runs (newest version per key wins, tombstones
 //! dropped at the deepest level), re-partitions into range-covering
-//! pages, builds the level's Merkle tree exactly once from memoized
-//! page digests, and signs the new level roots and a fresh
-//! timestamped global root.
+//! pages, patches the level's Merkle forest incrementally (O(k log n)
+//! interior hashes for a k-page change), and signs the new level roots
+//! and a fresh timestamped global root. An *empty-source* request is
+//! background compaction: the same path, where the only change is
+//! folding fragmented page runs back to capacity ([`crate::compact`]).
 //!
 //! Pages travel as `Arc`s: building a [`MergeRequest`] clones
 //! pointers, not records.
 
+use crate::compact::{fold_partial_pages, CompactionStats};
 use crate::config::LsmConfig;
+use crate::forest::MerkleForest;
 use crate::kv::KvRecord;
 use crate::level::{
-    compute_global_root, empty_level_root, tree_over, GlobalRootCert, SignedLevelRoot,
+    compute_global_root, empty_level_root, forest_over_reusing, GlobalRootCert, SignedLevelRoot,
 };
 use crate::page::{
     check_level_ranges, find_covering, split_into_pages, split_into_range_pages, L0Page, Page,
@@ -597,6 +601,13 @@ pub struct CloudIndexState {
     /// rejected as stale, which is what makes edge-side merge retries
     /// self-healing under a lossy transport.
     last_merge: Option<(Digest, MergeResult)>,
+    /// The Merkle forest of each level, kept in lockstep with
+    /// `level_roots` (`level_forests[i].root() == level_roots[i]`).
+    /// Caching it buys two things per merge: request verification is a
+    /// leaf-run digest comparison (no hashing at all — digest equality
+    /// is content equality), and re-signing patches the forest
+    /// incrementally instead of rebuilding O(level) interior nodes.
+    level_forests: Vec<MerkleForest>,
 }
 
 /// The cloud node's view of every edge's LSMerkle.
@@ -608,18 +619,33 @@ pub struct CloudIndexState {
 pub struct CloudIndex {
     cfg: LsmConfig,
     states: HashMap<IdentityId, CloudIndexState>,
+    compaction: CompactionStats,
+}
+
+/// True iff the pages' digest run matches the forest leaf-for-leaf.
+/// Digest equality is content equality (collision resistance), so this
+/// is equivalent to — and strictly cheaper than — rebuilding the tree
+/// and comparing roots: page digests are memoized, so no hashing runs.
+fn digest_run_matches(pages: &[Arc<Page>], forest: &MerkleForest) -> bool {
+    pages.len() == forest.leaf_count()
+        && pages.iter().map(|p| p.digest()).eq(forest.leaves().iter().copied())
 }
 
 impl CloudIndex {
     /// Creates a cloud index for the given LSMerkle shape.
     pub fn new(cfg: LsmConfig) -> Self {
         cfg.validate().expect("invalid LSMerkle config");
-        CloudIndex { cfg, states: HashMap::new() }
+        CloudIndex { cfg, states: HashMap::new(), compaction: CompactionStats::default() }
     }
 
     /// The configured shape.
     pub fn config(&self) -> &LsmConfig {
         &self.cfg
+    }
+
+    /// Cumulative fold work across every merge this cloud processed.
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.compaction
     }
 
     /// Initializes (or re-issues) the empty index for an edge and
@@ -629,7 +655,12 @@ impl CloudIndex {
         let roots: Vec<Digest> = vec![empty_level_root(); n];
         self.states.insert(
             edge,
-            CloudIndexState { level_roots: roots.clone(), epoch: 0, last_merge: None },
+            CloudIndexState {
+                level_roots: roots.clone(),
+                epoch: 0,
+                last_merge: None,
+                level_forests: vec![MerkleForest::empty(); n],
+            },
         );
         let level_roots = (0..n)
             .map(|i| SignedLevelRoot::issue(cloud, edge, (i + 1) as u32, 0, roots[i]))
@@ -718,16 +749,19 @@ impl CloudIndex {
             }
         } else {
             let idx = (req.source_level - 1) as usize;
-            let root = tree_over(&req.source_pages).root();
-            if root != state.level_roots[idx] {
+            // The shipped pages are authentic iff their digest run
+            // matches the cached forest leaf-for-leaf (digest equality
+            // *is* content equality): the forest's leaves are exactly
+            // the page digests whose root the cloud last signed, so
+            // this is the old root comparison with zero hashing.
+            if !digest_run_matches(&req.source_pages, &state.level_forests[idx]) {
                 return Err(MergeError::SourceRootMismatch);
             }
         }
 
         // --- Verify target ---
         let t_idx = (target_level - 1) as usize;
-        let t_root = tree_over(&req.target_pages).root();
-        if t_root != state.level_roots[t_idx] {
+        if !digest_run_matches(&req.target_pages, &state.level_forests[t_idx]) {
             return Err(MergeError::TargetRootMismatch);
         }
 
@@ -736,18 +770,40 @@ impl CloudIndex {
         // touch are *reused* (the same `Arc`s the request shipped), so
         // the reply's delta encoding ships only what changed.
         let deepest = target_level as usize == n_levels;
-        let new_pages = rebuilt_target_pages(req, deepest, self.cfg.page_capacity, now_ns);
+        let mut new_pages = rebuilt_target_pages(req, deepest, self.cfg.page_capacity, now_ns);
+
+        // --- Compact: an *empty-source* request is the background
+        // compactor asking for a whole-level fold — nothing was merged,
+        // so every `Arc` above was reused and the fold is the only
+        // change. Organic merges do NOT fold: their dirty regions are
+        // already re-split to capacity by the rebuild, and folding the
+        // clean remainder would rehash — and re-ship, breaking the
+        // reply's delta encoding — pages the merge never touched.
+        let is_compaction = req.source_l0.is_empty() && req.source_pages.is_empty();
+        let fold_stats = if is_compaction {
+            let fold = fold_partial_pages(&new_pages, self.cfg.page_capacity, now_ns);
+            new_pages = fold.pages;
+            fold.stats
+        } else {
+            CompactionStats::default()
+        };
         debug_assert!(check_level_ranges(&new_pages).is_ok());
 
-        // --- Re-sign roots (tree built once, from memoized digests) ---
-        let new_tree = tree_over(&new_pages);
+        // --- Re-sign roots. The target forest is patched from the
+        // cached one: O(k log n) interior hashes for a k-page change,
+        // not O(level) — this is what keeps a long-lived store's merge
+        // cost proportional to the delta.
         let state = self.states.get_mut(&req.edge).expect("checked above");
+        let new_forest = forest_over_reusing(&new_pages, &state.level_forests[t_idx]);
         let new_epoch = state.epoch + 1;
         state.epoch = new_epoch;
-        state.level_roots[t_idx] = new_tree.root();
+        state.level_roots[t_idx] = new_forest.root();
+        state.level_forests[t_idx] = new_forest;
+        self.compaction.absorb(fold_stats);
         let new_source_root = if req.source_level >= 1 {
             let s_idx = (req.source_level - 1) as usize;
             state.level_roots[s_idx] = empty_level_root();
+            state.level_forests[s_idx] = MerkleForest::empty();
             Some(SignedLevelRoot::issue(
                 cloud,
                 req.edge,

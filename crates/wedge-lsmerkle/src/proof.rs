@@ -225,6 +225,10 @@ pub struct ReadProofCache {
     /// Monotonic access clock for LRU eviction: bumped on every
     /// witness check, stamped onto the touched entry.
     tick: u64,
+    /// Witness checks answered from the cache (trust rule satisfied).
+    hits: u64,
+    /// Witness checks that had to re-derive (absent or untrusted).
+    misses: u64,
 }
 
 #[derive(Debug)]
@@ -240,12 +244,24 @@ impl ReadProofCache {
     /// keeps its verdicts under cache pressure (the old wholesale
     /// clear threw the hot set away with the cold tail).
     pub fn new(cap: usize) -> Self {
-        ReadProofCache { map: HashMap::new(), cap: cap.max(1), tick: 0 }
+        ReadProofCache { map: HashMap::new(), cap: cap.max(1), tick: 0, hits: 0, misses: 0 }
     }
 
     /// Number of cached witnesses.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Witness checks answered from the cache (block re-decode and
+    /// signature re-check skipped). Cumulative over the cache's
+    /// lifetime — for a process-shared cache, over every client.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Witness checks that paid the full re-derivation.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// True iff nothing is cached yet.
@@ -292,7 +308,7 @@ fn check_l0_witness(
         Some(c) => {
             c.tick += 1;
             let tick = c.tick;
-            match c.map.get_mut(&digest) {
+            let verdict = match c.map.get_mut(&digest) {
                 Some(e) => {
                     e.last_used = tick;
                     let page_ok =
@@ -300,7 +316,13 @@ fn check_l0_witness(
                     (page_ok, page_ok && e.proof.as_ref() == w.proof.as_ref())
                 }
                 None => (false, false),
+            };
+            if verdict.0 {
+                c.hits += 1;
+            } else {
+                c.misses += 1;
             }
+            verdict
         }
         None => (false, false),
     };
@@ -364,7 +386,7 @@ pub fn build_read_proof(tree: &LsMerkle, key: Key) -> IndexReadProof {
         }
         let (pidx, page) = crate::page::find_covering(level.pages(), key)
             .expect("non-empty level ranges span the whole key space");
-        let inclusion = level.tree().prove(pidx).expect("page index in range");
+        let inclusion = level.forest().prove(pidx).expect("page index in range");
         witnesses.push(LevelWitness { level: level_no, page: Arc::clone(page), inclusion });
     }
     IndexReadProof {

@@ -6,9 +6,10 @@
 //! and produces/applies the merge protocol messages; it never signs
 //! anything itself — an untrusted edge only *relays* cloud signatures.
 
+use crate::compact::needs_compaction;
 use crate::config::LsmConfig;
 use crate::kv::Key;
-use crate::level::{empty_level_root, tree_over, GlobalRootCert, Level};
+use crate::level::{empty_level_root, forest_over_reusing, GlobalRootCert, Level};
 use crate::merge::{InitBundle, MergeRequest, MergeResult};
 use crate::page::L0Page;
 use std::sync::Arc;
@@ -187,6 +188,53 @@ impl LsMerkle {
         }
     }
 
+    /// The shallowest Merkle level with a foldable run of fragmented
+    /// pages, if any (1-based level number). Fragmentation comes from
+    /// incremental merges re-splitting dirty regions within old page
+    /// boundaries — one partial page per region boundary.
+    pub fn fragmented_level(&self) -> Option<u32> {
+        self.levels
+            .iter()
+            .position(|l| needs_compaction(l.pages(), self.cfg.page_capacity))
+            .map(|i| (i + 1) as u32)
+    }
+
+    /// Builds a background-compaction merge request for the shallowest
+    /// fragmented level, or `None` when nothing is worth compacting.
+    ///
+    /// A compaction is an ordinary [`MergeRequest`] with an *empty
+    /// source*: the cloud verifies it, folds the target's fragmented
+    /// runs, and re-signs — same wire messages, same replay and delta
+    /// machinery, same epoch bump as any merge. For level 1 the empty
+    /// source is L0 (ship no blocks); for deeper levels the level
+    /// above must currently be empty, otherwise the fold simply rides
+    /// the next organic merge into that level.
+    pub fn build_compaction_request(&self) -> Option<MergeRequest> {
+        for t_idx in 0..self.levels.len() {
+            if !needs_compaction(self.levels[t_idx].pages(), self.cfg.page_capacity) {
+                continue;
+            }
+            if t_idx > 0 && !self.levels[t_idx - 1].pages().is_empty() {
+                // Draining that level would carry real records; let the
+                // next organic merge into this level fold instead.
+                continue;
+            }
+            return Some(MergeRequest {
+                edge: self.edge,
+                source_level: t_idx as u32,
+                source_l0: Vec::new(),
+                source_pages: if t_idx == 0 {
+                    Vec::new()
+                } else {
+                    self.levels[t_idx - 1].pages().to_vec()
+                },
+                target_pages: self.levels[t_idx].pages().to_vec(),
+                epoch: self.epoch,
+            });
+        }
+        None
+    }
+
     /// Applies a cloud merge result produced for `req`.
     ///
     /// Validates that the returned pages hash to the signed roots
@@ -205,18 +253,20 @@ impl LsMerkle {
             return Err(format!("epoch gap: have {}, result is {}", self.epoch, res.new_epoch));
         }
         let t_idx = res.source_level as usize; // target level index in self.levels
-                                               // Build the target tree exactly once: it both validates the
-                                               // signed root and becomes the installed level's tree. Page
-                                               // digests are memoized, so this costs interior hashes only.
-        let new_tree = tree_over(&res.new_target_pages);
-        if new_tree.root() != res.new_target_root.root {
+                                               // Build the target forest exactly once: it both validates the
+                                               // signed root and becomes the installed level's forest. It
+                                               // reuses the outgoing level's subtrees, so a k-page merge
+                                               // costs O(k log n) interior hashes, not O(n).
+        let new_forest = forest_over_reusing(&res.new_target_pages, self.levels[t_idx].forest());
+        if new_forest.root() != res.new_target_root.root {
             return Err("target pages do not hash to signed root".into());
         }
         if res.all_level_roots.len() != self.levels.len() {
             return Err("level root count mismatch".into());
         }
         // Install the new target level.
-        self.levels[t_idx] = Level::from_parts(res.new_target_pages, new_tree, res.new_target_root);
+        self.levels[t_idx] =
+            Level::from_parts(res.new_target_pages, new_forest, res.new_target_root);
         // Drain the source.
         if res.source_level == 0 {
             let merged: std::collections::HashSet<BlockId> =

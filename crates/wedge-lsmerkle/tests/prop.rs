@@ -11,8 +11,9 @@ use std::sync::Arc;
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, MerkleTree};
 use wedge_log::{Block, BlockId, BlockProof, CertLedger, Entry};
 use wedge_lsmerkle::{
-    build_read_proof, check_level_ranges, kv_entry, records_from_block, verify_read_proof,
-    CloudIndex, KvOp, KvRecord, L0Page, LsMerkle, LsmConfig, MergeRequest, Page,
+    build_read_proof, check_level_ranges, kv_entry, needs_compaction, records_from_block,
+    verify_read_proof, CloudIndex, KvOp, KvRecord, L0Page, LsMerkle, LsmConfig, MergeRequest,
+    MerkleForest, Page,
 };
 
 struct Rng(u64);
@@ -315,6 +316,153 @@ fn tampered_proofs_rejected() {
         }
         let read = verify_read_proof(&proof, fx.edge, fx.cloud.id, &fx.registry, u64::MAX, None);
         assert!(read.is_err(), "case {case}: tampered proof accepted");
+    }
+}
+
+/// Tentpole property: a Merkle forest carried through any random
+/// schedule of appends, run replacements, point edits, and
+/// truncations has the same root as a flat `MerkleTree` rebuilt from
+/// scratch over the same leaf run — and its inclusion proofs verify
+/// through the flat verifier. This is what makes swapping the level
+/// trees for forests invisible at the signed-root level: no wire or
+/// signature change.
+#[test]
+fn forest_root_matches_flat_tree_under_random_schedules() {
+    use wedge_crypto::merkle::hash_leaf;
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0xF0BE57 ^ case);
+        let mut leaves: Vec<wedge_crypto::Digest> = Vec::new();
+        let mut forest = MerkleForest::empty();
+        for step in 0..2 + rng.below(24) {
+            match rng.below(4) {
+                // Append a short run (a merge growing the level).
+                0 => {
+                    for _ in 0..=rng.below(5) {
+                        leaves.push(hash_leaf(&rng.next().to_le_bytes()));
+                    }
+                }
+                // Replace a contiguous run with one of a different
+                // length (an incremental merge re-chunking a region).
+                1 if !leaves.is_empty() => {
+                    let start = rng.below(leaves.len() as u64) as usize;
+                    let end = start + 1 + rng.below((leaves.len() - start) as u64) as usize;
+                    let repl: Vec<_> =
+                        (0..rng.below(6)).map(|_| hash_leaf(&rng.next().to_le_bytes())).collect();
+                    leaves.splice(start..end, repl);
+                }
+                // Truncate (a drained or folded level shrinking).
+                2 if !leaves.is_empty() => {
+                    let keep = rng.below(leaves.len() as u64 + 1) as usize;
+                    leaves.truncate(keep);
+                }
+                // Point edit (a single dirty page).
+                _ => {
+                    if !leaves.is_empty() {
+                        let i = rng.below(leaves.len() as u64) as usize;
+                        leaves[i] = hash_leaf(&rng.next().to_le_bytes());
+                    }
+                }
+            }
+            forest = MerkleForest::rebuild(leaves.clone(), &forest);
+            let flat = MerkleTree::from_leaf_iter(leaves.iter().copied());
+            assert_eq!(
+                forest.root(),
+                flat.root(),
+                "case {case} step {step}: forest root diverged from flat tree"
+            );
+            assert_eq!(forest.leaf_count(), leaves.len());
+            if !leaves.is_empty() {
+                let i = rng.below(leaves.len() as u64) as usize;
+                let proof = forest.prove(i).expect("in-range leaf proves");
+                assert!(
+                    MerkleTree::verify(&flat.root(), &leaves[i], &proof),
+                    "case {case} step {step}: forest proof rejected by the flat verifier"
+                );
+            }
+        }
+    }
+}
+
+/// Fragmentation regression: incremental merges confined to dirty
+/// regions leave one partial page per region boundary, so narrow
+/// updates decay a level toward tiny pages. A background-compaction
+/// request (empty source, same merge path) must fold every shrinkable
+/// run back to the configured page capacity — without disturbing a
+/// single record.
+#[test]
+fn background_compaction_folds_partial_pages_back_to_capacity() {
+    let cap = LsmConfig::exposition().page_capacity;
+    let partials = |fx: &Fixture| -> usize {
+        fx.tree.levels().iter().flat_map(|l| l.pages()).filter(|p| p.records().len() < cap).count()
+    };
+    let mut fx = Fixture::new(LsmConfig::exposition());
+    let mut model: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+    let mut ingest = |fx: &mut Fixture, ops: Vec<(u64, Option<Vec<u8>>)>| {
+        fx.ingest_block(&ops);
+        for (k, v) in ops {
+            model.insert(k, v);
+        }
+    };
+    // Fill a sparse key space wide so deep levels hold full pages...
+    let wide: Vec<(u64, Option<Vec<u8>>)> = (0..64).map(|k| (k * 8, Some(vec![k as u8]))).collect();
+    for chunk in wide.chunks(4) {
+        ingest(&mut fx, chunk.to_vec());
+    }
+    // ...then hammer narrow key bands with *inserts and deletes*:
+    // each merge dirties one or two deep pages, and a region whose
+    // record count changed re-splits into full pages plus a partial
+    // boundary page. (Pure updates would not fragment — counts are
+    // preserved and regions re-split into the same full pages.)
+    let mut rng = Rng::new(0xF01D);
+    let mut fragmented = false;
+    for round in 0..400u64 {
+        let base = rng.below(500);
+        let ops: Vec<(u64, Option<Vec<u8>>)> = (0..3)
+            .map(|i| {
+                let key = base + i;
+                let value = if rng.below(5) == 0 { None } else { Some(vec![round as u8, i as u8]) };
+                (key, value)
+            })
+            .collect();
+        ingest(&mut fx, ops);
+        if fx.tree.fragmented_level().is_some() {
+            fragmented = true;
+            break;
+        }
+    }
+    assert!(fragmented, "narrow insert/delete workload failed to fragment any level");
+    let partial_before = partials(&fx);
+
+    // Drive the compactor exactly as the edge engine's clock does:
+    // build an empty-source request, have the cloud fold + re-sign,
+    // apply the result. Repeat while eligible levels remain.
+    let stats_before = fx.index.compaction_stats();
+    while let Some(req) = fx.tree.build_compaction_request() {
+        assert!(req.source_l0.is_empty() && req.source_pages.is_empty());
+        let res = fx.index.process_merge(&fx.cloud, &fx.ledger, &req, 0).unwrap();
+        fx.tree.apply_merge_result(&req, res).unwrap();
+    }
+    let stats = fx.index.compaction_stats();
+    assert!(stats.fold_runs > stats_before.fold_runs, "compaction folded nothing");
+    assert!(stats.pages_folded_in > stats.pages_folded_out, "folds must shrink the level");
+
+    // Partial boundary pages are folded back to capacity: fewer
+    // partial pages overall, and no level the compactor may touch
+    // still holds a shrinkable run.
+    assert!(partials(&fx) < partial_before, "partial page count did not drop");
+    for (i, level) in fx.tree.levels().iter().enumerate() {
+        let above_empty = i == 0 || fx.tree.levels()[i - 1].pages().is_empty();
+        if above_empty {
+            assert!(!needs_compaction(level.pages(), cap), "level {} still foldable", i + 1);
+        }
+    }
+    fx.assert_caches_fresh();
+
+    // Folding moved records between pages but changed none of them.
+    for key in 0u64..512 {
+        let expect = model.get(&key).cloned().flatten();
+        let got = fx.tree.find_newest(key).and_then(|(r, _)| r.value);
+        assert_eq!(expect, got, "key {key} corrupted by compaction");
     }
 }
 

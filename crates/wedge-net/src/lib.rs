@@ -65,10 +65,12 @@ use wedge_core::engine::{
 use wedge_core::fault::FaultPlan;
 use wedge_core::harness::client_workload_seed;
 use wedge_core::messages::WireMsg;
-use wedge_core::threaded::EdgeRunReport;
+use wedge_core::threaded::{EdgeRunReport, PutShed};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_log::{read_frame, write_frame, BlockId};
-use wedge_lsmerkle::{CloudIndex, LsMerkle, LsmConfig, ProofError};
+use wedge_lsmerkle::{
+    CloudIndex, CompactionStats, LsMerkle, LsmConfig, ProofError, ReadProofCache,
+};
 
 pub use wedge_core::engine::CloudStats;
 
@@ -98,6 +100,10 @@ pub struct NetConfig {
     pub cert_retry: Option<Duration>,
     /// Edge merge-request retry interval; `None` disables retries.
     pub merge_retry: Option<Duration>,
+    /// Background compaction sweep period; `None` disables it. Each
+    /// sweep an idle edge asks the cloud to fold fragmented levels
+    /// back to whole pages. Engine-owned, like the retry clocks.
+    pub compaction_period: Option<Duration>,
     /// Client read-freshness window (§V-D); `None` disables the check.
     pub freshness_window: Option<Duration>,
     /// Put batches each client keeps in flight (≥ 1).
@@ -113,6 +119,13 @@ pub struct NetConfig {
     /// reader blocks (backpressure to the client); the cloud-facing
     /// reader sheds/defers instead (see module docs).
     pub edge_inbox_cap: usize,
+    /// Per-caller admission control for [`NetCluster::try_put_on`]:
+    /// how long a caller waits for Phase I before the put is *shed*
+    /// (counted in [`NetReport::puts_shed`]) instead of blocking
+    /// forever behind a full edge inbox. `None` keeps the blocking
+    /// behaviour for `try_put_on` too. Mirrors
+    /// `ThreadedConfig::admission_timeout`.
+    pub admission_timeout: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -127,11 +140,13 @@ impl Default for NetConfig {
             dispute_timeout: Duration::from_secs(30),
             cert_retry: None,
             merge_retry: None,
+            compaction_period: None,
             freshness_window: None,
             pipeline_depth: 1,
             edge_apply_latency: Duration::ZERO,
             cloud_inbox_cap: 1024,
             edge_inbox_cap: 1024,
+            admission_timeout: None,
         }
     }
 }
@@ -178,6 +193,17 @@ pub struct NetReport {
     /// Per-connection breakdown of `failed_sends` (non-zero entries
     /// only), labelled `sender→receiver`.
     pub failed_sends_by_peer: Vec<(String, u64)>,
+    /// Caller puts shed by the admission path (`try_put_on` hit its
+    /// admission timeout, or the batch was rejected outright).
+    pub puts_shed: u64,
+    /// Fold work across every merge the cloud processed (organic
+    /// merges and background compaction requests alike).
+    pub compaction: CompactionStats,
+    /// Witness checks the process-shared read-proof cache answered
+    /// without re-derivation, across all clients.
+    pub proof_cache_hits: u64,
+    /// Witness checks that paid the full re-derivation.
+    pub proof_cache_misses: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -594,6 +620,12 @@ pub struct NetCluster {
     pub edge_ids: Vec<IdentityId>,
     /// Caller-side batching per partition.
     batcher: PutBatcher,
+    /// Admission timeout for `try_put_on` (see `NetConfig`).
+    admission_timeout: Option<Duration>,
+    /// Puts shed by the admission path.
+    puts_shed: AtomicU64,
+    /// The process-wide read-proof cache every client shares.
+    proof_cache: Arc<Mutex<ReadProofCache>>,
 }
 
 impl NetCluster {
@@ -607,8 +639,12 @@ impl NetCluster {
         // while deadlines tick on the wall clock (same rule as the
         // threaded runtime).
         assert!(
-            cfg.seal_times.is_none() || (cfg.cert_retry.is_none() && cfg.merge_retry.is_none()),
-            "seal_times (virtual timestamps) and retries (wall-clock deadlines) cannot combine"
+            cfg.seal_times.is_none()
+                || (cfg.cert_retry.is_none()
+                    && cfg.merge_retry.is_none()
+                    && cfg.compaction_period.is_none()),
+            "seal_times (virtual timestamps) and retries/compaction (wall-clock deadlines) \
+             cannot combine"
         );
         let edges = cfg.num_edges;
         let cloud_ident = Identity::derive("cloud", CLOUD_ID);
@@ -756,6 +792,7 @@ impl NetCluster {
             );
             engine.set_cert_retry_ns(cfg.cert_retry.map(|d| d.as_nanos() as u64));
             engine.set_merge_retry_ns(cfg.merge_retry.map(|d| d.as_nanos() as u64));
+            engine.set_compaction_period_ns(cfg.compaction_period.map(|d| d.as_nanos() as u64));
             let (tx, rx) = sync_channel::<EdgeIn>(cfg.edge_inbox_cap);
             let up = edge_to_cloud.remove(0);
             let down = edge_inbound.remove(0);
@@ -816,6 +853,10 @@ impl NetCluster {
         }
 
         // --- client nodes ---
+        // One proof cache for the whole process: a witness verified by
+        // any partition's client is verified for all of them (the
+        // cache's trust rule is content-based, not per-client).
+        let proof_cache = Arc::new(Mutex::new(ReadProofCache::default()));
         let mut client_txs = Vec::new();
         let mut client_handles = Vec::new();
         for (p, ident) in client_idents.into_iter().enumerate() {
@@ -833,6 +874,7 @@ impl NetCluster {
                 seed,
             );
             engine.set_pipeline_depth(cfg.pipeline_depth);
+            engine.share_proof_cache(Arc::clone(&proof_cache));
             // Unbounded on purpose: client inbound volume is responses
             // to the client's own requests plus verdicts/gossip —
             // self-limiting — and an unbounded client inbox breaks the
@@ -891,6 +933,9 @@ impl NetCluster {
             cloud_id,
             edge_ids,
             batcher: PutBatcher::new(edges, cfg.batch_size),
+            admission_timeout: cfg.admission_timeout,
+            puts_shed: AtomicU64::new(0),
+            proof_cache,
         })
     }
 
@@ -905,6 +950,44 @@ impl NetCluster {
     /// Flushes partition `edge`'s buffered entries as a partial batch.
     pub fn flush_on(&self, edge: usize) -> Option<PutReply> {
         self.batcher.flush(edge, |ops| self.submit(edge, ops))
+    }
+
+    /// Like [`NetCluster::put_on`], but with per-caller admission
+    /// control: if the batch's Phase-I reply does not arrive within
+    /// `NetConfig::admission_timeout`, the put is *shed* — counted in
+    /// [`NetReport::puts_shed`] and surfaced as [`PutShed`] — instead
+    /// of blocking the caller indefinitely behind a full edge inbox.
+    /// `Ok(None)` means the put is still buffering client-side. With
+    /// no timeout configured this is `put_on` with a `Result` wrapper.
+    pub fn try_put_on(
+        &self,
+        edge: usize,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<Option<PutReply>, PutShed> {
+        let Some(rx) = self.batcher.put_submit(edge, key, value, |ops| self.submit(edge, ops))
+        else {
+            return Ok(None);
+        };
+        let shed = |err: PutShed| {
+            self.puts_shed.fetch_add(1, Ordering::Relaxed);
+            Err(err)
+        };
+        // Without a timeout this is still the *fallible* API: a
+        // rejected batch (dropped reply sender) is `PutShed::Rejected`,
+        // never the panic `put_on`'s infallible contract uses.
+        let Some(timeout) = self.admission_timeout else {
+            return match rx.recv() {
+                Ok(reply) => Ok(Some(reply)),
+                Err(_) => shed(PutShed::Rejected),
+            };
+        };
+        use std::sync::mpsc::RecvTimeoutError;
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => Ok(Some(reply)),
+            Err(RecvTimeoutError::Timeout) => shed(PutShed::AdmissionTimeout),
+            Err(RecvTimeoutError::Disconnected) => shed(PutShed::Rejected),
+        }
     }
 
     fn submit(&self, edge: usize, ops: PutOps) -> Receiver<PutReply> {
@@ -1023,6 +1106,10 @@ impl NetCluster {
         }
         let mut punished: Vec<IdentityId> = cloud_engine.punished.iter().copied().collect();
         punished.sort_by_key(|id| id.0);
+        let (proof_cache_hits, proof_cache_misses) = {
+            let cache = this.proof_cache.lock().expect("proof cache poisoned");
+            (cache.hits(), cache.misses())
+        };
         Some(NetReport {
             edges: reports,
             cloud_stats: cloud_engine.stats.clone(),
@@ -1031,6 +1118,10 @@ impl NetCluster {
             deferred_cloud_msgs: deferred,
             failed_sends,
             failed_sends_by_peer,
+            puts_shed: this.puts_shed.load(Ordering::Relaxed),
+            compaction: cloud_engine.index.compaction_stats(),
+            proof_cache_hits,
+            proof_cache_misses,
         })
     }
 }
@@ -1215,5 +1306,47 @@ mod tests {
             report.deferred_cloud_msgs
         );
         assert_eq!(report.edges[0].certified_len, 6, "certification complete despite overload");
+    }
+
+    #[test]
+    fn net_admission_sheds_puts_instead_of_blocking() {
+        // Same story as the threaded runtime, with real sockets in the
+        // path: a slow edge (20 ms per cloud message), a tiny inbox,
+        // and a 1 ms gossip flood keep Phase I far past the 2 ms
+        // admission timeout, so `try_put_on` must shed (fail fast)
+        // rather than wedge the caller. A shed put is not cancelled,
+        // so every key must still become readable.
+        let cluster = NetCluster::start(NetConfig {
+            batch_size: 1,
+            gossip_period: Some(Duration::from_millis(1)),
+            edge_apply_latency: Duration::from_millis(20),
+            edge_inbox_cap: 2,
+            admission_timeout: Some(Duration::from_millis(2)),
+            ..NetConfig::default()
+        });
+        let mut shed = 0u64;
+        for k in 0..8u64 {
+            match cluster.try_put_on(0, k, vec![k as u8]) {
+                Ok(Some(_)) | Ok(None) => {}
+                Err(PutShed::AdmissionTimeout) => shed += 1,
+                Err(PutShed::Rejected) => panic!("batches must not be rejected here"),
+            }
+        }
+        assert!(shed > 0, "an overloaded edge must shed puts, not block the caller");
+        // Shed puts still commit: wait for the pipeline to drain, then
+        // read everything back.
+        for k in 0..8u64 {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if cluster.get(k).unwrap().value == Some(vec![k as u8]) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "key {k} never committed");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let report = cluster.shutdown().expect("report");
+        assert_eq!(report.puts_shed, shed, "every shed counted exactly once");
+        assert_eq!(report.edges[0].edge_stats.blocks_sealed, 8, "shed puts still sealed");
     }
 }

@@ -264,6 +264,28 @@ fn sim_threads_and_sockets_agree_end_to_end() {
     );
     assert_eq!(threaded_delta, sim_delta, "threads: same delta reuse as sim");
     assert_eq!(net_delta, sim_delta, "sockets: same delta reuse as sim");
+
+    // Compaction stats are a pure function of the replayed merge
+    // sequence, so the three runtimes must agree byte-for-byte. In
+    // this scenario the compaction clock is unarmed (seal_times and
+    // wall-clock deadlines cannot combine) and no organic merge
+    // folds, so agreeing means agreeing on zero — the sim-side
+    // compaction e2e test covers the non-zero case deterministically.
+    let sim_compaction = sim.cloud_node().index.compaction_stats();
+    assert_eq!(threaded_report.compaction, sim_compaction, "threads: same compaction stats");
+    assert_eq!(net_report.compaction, sim_compaction, "sockets: same compaction stats");
+
+    // The shared proof cache is wired identically in both OS-thread
+    // runtimes: the scripted reads run synchronously in script order,
+    // so the witness-check sequence — and with it the hit/miss split —
+    // matches exactly. Unmerged partitions carry several L0 witnesses
+    // per proof, so repeat reads genuinely hit.
+    assert_eq!(
+        (threaded_report.proof_cache_hits, threaded_report.proof_cache_misses),
+        (net_report.proof_cache_hits, net_report.proof_cache_misses),
+        "same shared-cache hit/miss split across runtimes"
+    );
+    assert!(threaded_report.proof_cache_hits > 0, "repeat L0 witnesses hit the shared cache");
 }
 
 /// Runs the scripted workload against one runtime: puts (waiting for
