@@ -1,0 +1,166 @@
+//! Merge-request wire size: full encoding vs the delta encoding that
+//! actually ships (`MergeReqDelta`, envelope tag 19).
+//!
+//! The mirror image of `merge_reply_bytes`: once a merge has run, the
+//! cloud retains the target run it shipped back, so the *next* merge
+//! request only needs to carry the new L0 blocks plus 5-byte
+//! `(level, index)` references into the cloud's retained set. The full
+//! request re-uploads the entire target level edge→cloud — the
+//! expensive WAN direction in the paper's §V-B deployment — and past
+//! ~16 MiB it stops fitting in a frame at all.
+//!
+//! Reported numbers are **bytes** (exact encoded sizes, deterministic),
+//! recorded through the same JSON pipeline CI tracks latency with:
+//! a regression shows up as `delta_request_bytes` growing with target
+//! size instead of staying flat.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use wedge_bench::{banner, record_ns, write_json};
+use wedge_core::messages::WireMsg;
+use wedge_crypto::{Identity, IdentityId, Signature};
+use wedge_log::{Block, BlockId, CertLedger, Entry, MAX_FRAME_PAYLOAD};
+use wedge_lsmerkle::{
+    CloudIndex, DeltaMergeRequest, KvOp, L0Page, LsmConfig, MergeRequest, RetainedLevel,
+};
+
+/// Records per L0 block in the setup phase.
+const SETUP_BLOCK_OPS: u64 = 64;
+/// Value payload per record.
+const VALUE_BYTES: usize = 64;
+/// Keys the small follow-up merge writes (all landing in one page).
+const TOUCH_OPS: u64 = 4;
+
+fn kv_put_entry(seq: u64, key: u64, value: Vec<u8>) -> Entry {
+    // The cloud's merge checks never verify entry signatures (that is
+    // the edge's ingest job), so the bench skips real signing.
+    Entry {
+        client: IdentityId(1000),
+        sequence: seq,
+        payload: KvOp::put(key, value).encode(),
+        signature: Signature { e: 0, s: 0 },
+    }
+}
+
+struct Setup {
+    cloud: Identity,
+    ledger: CertLedger,
+    index: CloudIndex,
+    edge: IdentityId,
+    next_bid: u64,
+    next_seq: u64,
+}
+
+impl Setup {
+    fn new(page_capacity: usize) -> Self {
+        let cloud = Identity::derive("cloud", 1);
+        let edge = IdentityId(100);
+        let mut index =
+            CloudIndex::new(LsmConfig { level_thresholds: vec![2, 1_000_000], page_capacity });
+        index.init_edge(&cloud, edge, 0);
+        Setup { cloud, ledger: CertLedger::new(), index, edge, next_bid: 0, next_seq: 0 }
+    }
+
+    fn certified_block(&mut self, keys: impl Iterator<Item = u64>) -> Arc<L0Page> {
+        let entries: Vec<Entry> = keys
+            .map(|k| {
+                let e = kv_put_entry(self.next_seq, k, vec![0xAB; VALUE_BYTES]);
+                self.next_seq += 1;
+                e
+            })
+            .collect();
+        let block = Block { edge: self.edge, id: BlockId(self.next_bid), entries, sealed_at_ns: 0 };
+        self.next_bid += 1;
+        let page = Arc::new(L0Page::from_block(block));
+        self.ledger.offer(self.edge, page.block().id, page.digest());
+        page
+    }
+}
+
+/// One sweep point: build a target level of `target_records` with a
+/// first merge, then encode the follow-up `TOUCH_OPS`-record merge
+/// request both ways against what the cloud retained from the first.
+fn sweep_point(target_records: u64) -> (u64, u64, u64, u64) {
+    let mut s = Setup::new(64);
+    // Keys spaced by 8 so the follow-up touch lands between them.
+    let blocks: Vec<Arc<L0Page>> = (0..target_records / SETUP_BLOCK_OPS)
+        .map(|b| {
+            let base = b * SETUP_BLOCK_OPS;
+            s.certified_block((base..base + SETUP_BLOCK_OPS).map(|i| i * 8))
+        })
+        .collect();
+    let req1 = MergeRequest {
+        edge: s.edge,
+        source_level: 0,
+        source_l0: blocks,
+        source_pages: vec![],
+        target_pages: vec![],
+        epoch: 0,
+    };
+    let res1 = s.index.process_merge(&s.cloud, &s.ledger, &req1, 0).expect("setup merge");
+
+    // The measured request: TOUCH_OPS new keys plus the whole retained
+    // target level, exactly what the edge sends for the next merge.
+    let mid = target_records / 2 * 8;
+    let touch = s.certified_block((0..TOUCH_OPS).map(|i| mid + 1 + i));
+    let req2 = MergeRequest {
+        edge: s.edge,
+        source_level: 0,
+        source_l0: vec![touch],
+        source_pages: vec![],
+        target_pages: res1.new_target_pages.clone(),
+        epoch: res1.new_epoch,
+    };
+
+    // What the edge learned from reply 1 — the same run the cloud
+    // captured in its retention cache when it processed merge 1.
+    let retained = HashMap::from([(1u32, RetainedLevel::over(s.edge, 1, &res1.new_target_pages))]);
+
+    let full_bytes = WireMsg::MergeReq(Box::new(req2.clone())).encode_payload().len() as u64;
+    let delta = DeltaMergeRequest::delta_against(&req2, &retained);
+    let (reused, full_pages) = (delta.reused_pages(), delta.full_pages());
+    let resolved = s.index.resolve_delta_request(&delta).expect("cloud resolves its own run");
+    assert_eq!(resolved.fingerprint(), req2.fingerprint(), "delta must resolve losslessly");
+    let delta_bytes = WireMsg::MergeReqDelta(Box::new(delta)).encode_frame().len() as u64;
+    (full_bytes, delta_bytes, reused, full_pages)
+}
+
+fn main() {
+    banner(
+        "merge_request_bytes",
+        "edge→cloud merge request: full re-upload vs delta (new blocks + references)",
+    );
+    println!(
+        "{:<16} {:>14} {:>14} {:>8} {:>8} {:>8}",
+        "target_records", "full_bytes", "delta_bytes", "reused", "shipped", "ratio"
+    );
+    for target_records in [2_048u64, 8_192, 32_768] {
+        let (full, delta, reused, shipped) = sweep_point(target_records);
+        println!(
+            "{:<16} {:>14} {:>14} {:>8} {:>8} {:>7.1}x{}",
+            target_records,
+            full,
+            delta,
+            reused,
+            shipped,
+            full as f64 / delta as f64,
+            if full > MAX_FRAME_PAYLOAD as u64 {
+                "  (full request would exceed the frame cap)"
+            } else {
+                ""
+            },
+        );
+        let label = |metric: &str| format!("merge_request_bytes/target_{target_records}/{metric}");
+        record_ns(&label("full_request_bytes"), full as u128);
+        record_ns(&label("delta_request_bytes"), delta as u128);
+        record_ns(&label("pages_reused"), reused as u128);
+        record_ns(&label("pages_shipped"), shipped as u128);
+    }
+    println!(
+        "\ndelta_request_bytes must stay ~flat across target sizes (it scales with the \
+         {TOUCH_OPS} changed records, plus one 5-byte reference per retained page); \
+         full_request_bytes grows linearly and is the upload that used to wedge partitions \
+         past the 16 MiB frame cap."
+    );
+    write_json("merge_request_bytes");
+}

@@ -172,6 +172,47 @@ fn check_merge_reply_bytes(a: &Artifact, failures: &mut Vec<Failure>) {
     }
 }
 
+fn check_merge_request_bytes(a: &Artifact, failures: &mut Vec<Failure>) {
+    let targets = [2_048u64, 8_192, 32_768];
+    let mut deltas = Vec::new();
+    let mut reused = Vec::new();
+    let mut last_ratio = 0u64;
+    for t in targets {
+        let full =
+            require(a, &format!("merge_request_bytes/target_{t}/full_request_bytes"), failures);
+        let delta =
+            require(a, &format!("merge_request_bytes/target_{t}/delta_request_bytes"), failures);
+        let r = require(a, &format!("merge_request_bytes/target_{t}/pages_reused"), failures);
+        require(a, &format!("merge_request_bytes/target_{t}/pages_shipped"), failures);
+        if delta >= full {
+            failures.push(format!(
+                "target {t}: delta request ({delta} B) not smaller than full ({full} B)"
+            ));
+        }
+        deltas.push(delta);
+        reused.push(r);
+        last_ratio = full.checked_div(delta).unwrap_or(0);
+    }
+    // The delta request scales with the changed pages plus 5 B per
+    // retained-page reference — a 16x target may grow it by the
+    // references, not by 16x.
+    if *deltas.last().unwrap() > deltas[0] * 4 {
+        failures.push(format!("delta_request_bytes not ~flat across 16x: {deltas:?}"));
+    }
+    // References must track the retained level: 16x the target pages
+    // means 16x the reused references, not a constant.
+    if *reused.last().unwrap() < reused[0] * 8 {
+        failures.push(format!("pages_reused does not scale with the retained level: {reused:?}"));
+    }
+    // Headline claim (PR 7 acceptance): at the largest target the full
+    // request is at least 10x the delta.
+    if last_ratio < 10 {
+        failures.push(format!(
+            "full/delta ratio at largest target is {last_ratio}x, below the 10x bar"
+        ));
+    }
+}
+
 fn main() -> ExitCode {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
@@ -192,6 +233,7 @@ fn main() -> ExitCode {
         match artifact.bench.as_str() {
             "compaction_decay" => check_compaction_decay(&artifact, &mut failures),
             "merge_reply_bytes" => check_merge_reply_bytes(&artifact, &mut failures),
+            "merge_request_bytes" => check_merge_request_bytes(&artifact, &mut failures),
             // Other benches: the generic structural parse (bench name
             // + at least one well-formed result) is the whole check.
             _ => {}

@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, RevocationReason, Signature};
 use wedge_log::{BlockId, BlockProof, CertLedger, CertOutcome, GossipWatermark};
-use wedge_lsmerkle::{CloudIndex, DeltaMergeResult, MergeRequest, MergeResult};
+use wedge_lsmerkle::{CloudIndex, DeltaMergeRequest, DeltaMergeResult, MergeRequest, MergeResult};
 use wedge_sim::SimDuration;
 
 /// Counters exposed for benches and assertions.
@@ -53,6 +53,20 @@ pub struct CloudStats {
     /// Bytes of merge-reply dedup: full-encoding size minus the delta
     /// actually sent, summed over all merge replies.
     pub merge_reply_bytes_saved: u64,
+    /// Pages that arrived shipped in full inside merge requests
+    /// (either a full `MergeReq` or the full slots of a delta).
+    pub merge_req_pages_full: u64,
+    /// Pages that arrived as 5-byte references inside delta-encoded
+    /// merge requests and were rehydrated from the retention cache —
+    /// the request-size dedup.
+    pub merge_req_pages_reused: u64,
+    /// Bytes of merge-request dedup: what the resolved request would
+    /// have cost in full minus the delta actually received, summed
+    /// over all delta merge requests.
+    pub merge_req_bytes_saved: u64,
+    /// Delta merge requests that failed to resolve (stale or evicted
+    /// retention) and were answered with a full-request nack.
+    pub merge_req_nacks: u64,
 }
 
 /// A typed command for the cloud engine.
@@ -76,6 +90,14 @@ pub enum CloudCommand<P> {
         /// The request (ships pages).
         req: Box<MergeRequest>,
     },
+    /// An edge's delta-encoded merge request: pages the cloud proved
+    /// it retains travel as 5-byte references.
+    MergeDelta {
+        /// The submitting peer.
+        from: P,
+        /// The delta request (resolved against the retention cache).
+        req: Box<DeltaMergeRequest>,
+    },
     /// A client dispute with evidence.
     Dispute {
         /// The filing peer.
@@ -98,6 +120,7 @@ impl<P> CloudCommand<P> {
                 CloudCommand::Certify { from, bid, digest, signature }
             }
             WireMsg::MergeReq(req) => CloudCommand::Merge { from, req },
+            WireMsg::MergeReqDelta(req) => CloudCommand::MergeDelta { from, req },
             WireMsg::DisputeMsg(dispute) => CloudCommand::Dispute { from, dispute },
             _ => return None,
         })
@@ -195,6 +218,9 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
                 self.certify(&mut out, from, bid, digest, signature)
             }
             CloudCommand::Merge { from, req } => self.merge(&mut out, from, *req, now_ns),
+            CloudCommand::MergeDelta { from, req } => {
+                self.merge_delta(&mut out, from, *req, now_ns)
+            }
             CloudCommand::Dispute { from, dispute } => self.dispute(&mut out, from, *dispute),
             CloudCommand::Tick => self.tick(&mut out, now_ns),
         }
@@ -271,6 +297,63 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
         if self.punished.contains(&edge) || req.edge != edge {
             return;
         }
+        self.stats.wan_bytes_from_edges += req.wire_size();
+        self.stats.merge_req_pages_full += req.source_l0.len() as u64
+            + req.source_pages.len() as u64
+            + req.target_pages.len() as u64;
+        self.merge_resolved(out, from, req, now_ns);
+    }
+
+    /// The delta-request entry point: rehydrate references from the
+    /// retention cache, then run the exact same merge path as a full
+    /// request — including the replay cache, which is keyed by the
+    /// *resolved* request's fingerprint, so an idempotent retry hits
+    /// whether it arrives full or delta-encoded. A delta that no
+    /// longer resolves (retention evicted, cloud restarted, or a
+    /// hostile fabrication) is answered with a `MergeReqResend` nack:
+    /// the edge falls back to one full request and the merge proceeds
+    /// — a one-round-trip blip, never a wedge.
+    fn merge_delta(
+        &mut self,
+        out: &mut Vec<CloudEffect<P>>,
+        from: P,
+        dreq: DeltaMergeRequest,
+        now_ns: u64,
+    ) {
+        let Some(edge) = self.edge_identity(from) else { return };
+        if self.punished.contains(&edge) || dreq.edge != edge {
+            return;
+        }
+        self.stats.wan_bytes_from_edges += dreq.wire_size();
+        match self.index.resolve_delta_request(&dreq) {
+            Ok(req) => {
+                self.stats.merge_req_pages_full += dreq.full_pages();
+                self.stats.merge_req_pages_reused += dreq.reused_pages();
+                self.stats.merge_req_bytes_saved +=
+                    req.wire_size().saturating_sub(dreq.wire_size());
+                self.merge_resolved(out, from, req, now_ns);
+            }
+            Err(_) => {
+                self.stats.merge_req_nacks += 1;
+                let msg = WireMsg::MergeReqResend {
+                    edge,
+                    source_level: dreq.source_level,
+                    epoch: dreq.epoch,
+                };
+                let wire = msg.wire_size();
+                out.push(CloudEffect::Send { to: from, msg, wire });
+            }
+        }
+    }
+
+    fn merge_resolved(
+        &mut self,
+        out: &mut Vec<CloudEffect<P>>,
+        from: P,
+        req: MergeRequest,
+        now_ns: u64,
+    ) {
+        let edge = req.edge;
         // Charged over *everything shipped*, although the rebuild
         // itself is now incremental (dirty regions only): the cloud
         // must still verify every page it receives against the signed
@@ -284,7 +367,6 @@ impl<P: Copy + Eq + Hash> CloudEngine<P> {
             .chain(req.target_pages.iter().map(|p| p.records().len() as u64))
             .sum();
         out.push(CloudEffect::UseCpu(self.cost.merge(records)));
-        self.stats.wan_bytes_from_edges += req.wire_size();
         // A byte-identical retry of the last merge (its reply was
         // lost) is answered idempotently — it re-applies nothing and
         // is counted separately from processed merges. The cached

@@ -21,8 +21,8 @@ use std::hash::Hash;
 use wedge_crypto::{sha256_concat, Identity, IdentityId, KeyRegistry};
 use wedge_log::{BlockBuffer, BlockId, BlockProof, Entry, GossipWatermark, LogStore};
 use wedge_lsmerkle::{
-    build_read_proof, DeltaMergeResult, GlobalRootCert, Key, KvOp, LsMerkle, MergeRequest,
-    MergeResult,
+    build_read_proof, DeltaMergeRequest, DeltaMergeResult, GlobalRootCert, Key, KvOp, LsMerkle,
+    MergeRequest, MergeResult, RetainedLevel,
 };
 use wedge_sim::SimDuration;
 
@@ -59,6 +59,10 @@ pub struct EdgeStats {
     /// validation against the signed roots. The retry clock stays
     /// armed either way.
     pub merge_deltas_unresolved: u64,
+    /// Full-request resends after the cloud nacked a delta-encoded
+    /// merge request it could not resolve (restart or retention
+    /// eviction). Each is one extra round trip, never a wedge.
+    pub merge_req_resends: u64,
     /// Set when the cloud rejected one of our certifications.
     pub flagged_malicious: bool,
 }
@@ -100,6 +104,16 @@ pub enum EdgeCommand<C> {
     /// The cloud answered a merge request delta-encoded against it;
     /// the engine resolves references via its in-flight request.
     MergeResultDelta(Box<DeltaMergeResult>),
+    /// The cloud could not resolve our delta-encoded merge request
+    /// (restart or retention eviction): resend it in full.
+    MergeReqResend {
+        /// The edge the nack addresses (must be us).
+        edge: IdentityId,
+        /// Source level of the unresolvable request.
+        source_level: u32,
+        /// Epoch of the unresolvable request.
+        epoch: u64,
+    },
     /// The cloud refused a certification (equivocation detected).
     CertRejected {
         /// The offending block id.
@@ -130,6 +144,9 @@ impl<C> EdgeCommand<C> {
             WireMsg::BlockProofMsg(proof) => EdgeCommand::BlockProof(proof),
             WireMsg::MergeRes(result) => EdgeCommand::MergeResult(result),
             WireMsg::MergeResDelta(delta) => EdgeCommand::MergeResultDelta(delta),
+            WireMsg::MergeReqResend { edge, source_level, epoch } => {
+                EdgeCommand::MergeReqResend { edge, source_level, epoch }
+            }
             WireMsg::CertRejected { bid } => EdgeCommand::CertRejected { bid },
             WireMsg::GlobalRefresh(cert) => EdgeCommand::GlobalRefresh(cert),
             WireMsg::Gossip(wm) => EdgeCommand::Gossip(wm),
@@ -212,6 +229,13 @@ pub struct EdgeEngine<C> {
     compaction_period_ns: Option<u64>,
     /// Absolute time of the next compaction sweep, if armed.
     next_compaction_at_ns: Option<u64>,
+    /// What the last *applied* merge reply proves the cloud retains
+    /// per Merkle level — the runs merge requests may delta-encode
+    /// against. Updated in lockstep with `apply_merge_result` (the
+    /// target level's new run; an empty run for a drained source), and
+    /// dropped entirely when the cloud nacks a delta, so the recovery
+    /// resend is always full.
+    cloud_retained: HashMap<u32, RetainedLevel>,
     /// Certifications awaiting the cloud's proof: the digest we
     /// certified (honest or tampered — a retry must repeat the same
     /// claim) and the absolute retry deadline.
@@ -264,6 +288,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             cert_retry_ns: None,
             compaction_period_ns: None,
             next_compaction_at_ns: None,
+            cloud_retained: HashMap::new(),
             pending_certs: HashMap::new(),
             stats: EdgeStats::default(),
         }
@@ -331,6 +356,9 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             EdgeCommand::MergeResult(result) => self.merge_result(&mut out, *result, now_ns),
             EdgeCommand::MergeResultDelta(delta) => {
                 self.merge_result_delta(&mut out, &delta, now_ns)
+            }
+            EdgeCommand::MergeReqResend { edge, source_level, epoch } => {
+                self.merge_req_resend(&mut out, edge, source_level, epoch, now_ns)
             }
             EdgeCommand::CertRejected { bid } => {
                 self.stats.flagged_malicious = true;
@@ -511,16 +539,60 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             }
         }
         let Some(req) = self.tree.build_compaction_request() else { return };
-        let msg = WireMsg::MergeReq(Box::new(req.clone()));
-        let wire = msg.wire_size();
         self.stats.compactions_requested += 1;
+        self.send_merge_request(out, &req);
+        self.merge_in_flight = Some(req);
+        self.merge_deadline_ns = self.merge_retry_ns.map(|r| now_ns + r);
+    }
+
+    /// Encodes and dispatches a merge request on the background lane,
+    /// delta-encoding against the runs the last applied reply proves
+    /// the cloud retains. A request with at least one resolvable
+    /// reference ships as [`WireMsg::MergeReqDelta`]; otherwise (cold
+    /// start, empty target, post-nack) the full [`WireMsg::MergeReq`]
+    /// goes out. Retries re-encode from the same state and are
+    /// therefore byte-identical until a reply or nack changes it.
+    fn send_merge_request(&mut self, out: &mut Vec<EdgeEffect<C>>, req: &MergeRequest) {
+        let delta = DeltaMergeRequest::delta_against(req, &self.cloud_retained);
+        let msg = if delta.reused_pages() > 0 {
+            WireMsg::MergeReqDelta(Box::new(delta))
+        } else {
+            WireMsg::MergeReq(Box::new(req.clone()))
+        };
+        let wire = msg.wire_size();
         self.stats.wan_bytes_to_cloud += wire;
+        // Merging "does not interfere with the normal operation of the
+        // LSMerkle tree" (§V-B): background lane.
         out.push(EdgeEffect::SendCloud {
             msg,
             wire,
             dispatch: Some(SimDuration::from_micros(100)),
         });
-        self.merge_in_flight = Some(req);
+    }
+
+    /// The cloud nacked our delta-encoded merge request: its retention
+    /// no longer covers the references (restart, eviction). Our view
+    /// of what it retains is void — drop it and resend the in-flight
+    /// request in full immediately, re-arming the retry clock. One
+    /// round trip, no wedge; a stray or stale nack is ignored.
+    fn merge_req_resend(
+        &mut self,
+        out: &mut Vec<EdgeEffect<C>>,
+        edge: IdentityId,
+        source_level: u32,
+        epoch: u64,
+        now_ns: u64,
+    ) {
+        if edge != self.identity.id {
+            return;
+        }
+        let Some(req) = self.merge_in_flight.clone() else { return };
+        if req.source_level != source_level || req.epoch != epoch {
+            return;
+        }
+        self.cloud_retained.clear();
+        self.stats.merge_req_resends += 1;
+        self.send_merge_request(out, &req);
         self.merge_deadline_ns = self.merge_retry_ns.map(|r| now_ns + r);
     }
 
@@ -536,15 +608,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             return;
         };
         self.merge_deadline_ns = Some(now_ns + retry);
-        let msg = WireMsg::MergeReq(Box::new(req));
-        let wire = msg.wire_size();
         self.stats.merges_retried += 1;
-        self.stats.wan_bytes_to_cloud += wire;
-        out.push(EdgeEffect::SendCloud {
-            msg,
-            wire,
-            dispatch: Some(SimDuration::from_micros(100)),
-        });
+        self.send_merge_request(out, &req);
     }
 
     fn log_read(&mut self, out: &mut Vec<EdgeEffect<C>>, from: C, bid: BlockId) {
@@ -647,6 +712,8 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             return;
         }
         let records: u64 = result.new_target_pages.iter().map(|p| p.records().len() as u64).sum();
+        let source_level = req.source_level;
+        let new_target_run = result.new_target_pages.clone();
         // A reply that reaches here but does not *apply* (pages not
         // hashing to the signed root, epoch gap — transport corruption
         // or version skew, never honest cloud behaviour) is dropped
@@ -655,6 +722,16 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         if self.tree.apply_merge_result(req, result).is_err() {
             self.stats.merge_deltas_unresolved += 1;
             return;
+        }
+        // The applied reply proves what the cloud now retains: the
+        // target level's new run, and an empty run for a drained
+        // source. Future merge requests delta-encode against this.
+        let target_level = source_level + 1;
+        let me = self.identity.id;
+        self.cloud_retained
+            .insert(target_level, RetainedLevel::over(me, target_level, &new_target_run));
+        if source_level >= 1 {
+            self.cloud_retained.insert(source_level, RetainedLevel::over(me, source_level, &[]));
         }
         self.merge_in_flight = None;
         self.merge_deadline_ns = None;
@@ -681,16 +758,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         if level == 0 && req.source_l0.is_empty() {
             return; // nothing certified yet; retry on next proof
         }
-        let msg = WireMsg::MergeReq(Box::new(req.clone()));
-        let wire = msg.wire_size();
-        self.stats.wan_bytes_to_cloud += wire;
-        // Merging "does not interfere with the normal operation of the
-        // LSMerkle tree" (§V-B): background lane.
-        out.push(EdgeEffect::SendCloud {
-            msg,
-            wire,
-            dispatch: Some(SimDuration::from_micros(100)),
-        });
+        self.send_merge_request(out, &req);
         self.merge_in_flight = Some(req);
         self.merge_deadline_ns = self.merge_retry_ns.map(|r| now_ns + r);
     }
@@ -900,9 +968,29 @@ mod tests {
         }
     }
 
+    /// Extracts every merge request an effect batch dispatched,
+    /// resolving delta-encoded ones through the given cloud index
+    /// exactly as the cloud engine would.
+    fn sent_merge_reqs(
+        index: &wedge_lsmerkle::CloudIndex,
+        effects: Vec<EdgeEffect<u8>>,
+    ) -> Vec<MergeRequest> {
+        effects
+            .into_iter()
+            .filter_map(|e| match e {
+                EdgeEffect::SendCloud { msg: WireMsg::MergeReq(req), .. } => Some(*req),
+                EdgeEffect::SendCloud { msg: WireMsg::MergeReqDelta(d), .. } => {
+                    Some(index.resolve_delta_request(&d).expect("delta request resolves"))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Seals one block through the engine, certifies it, and relays
-    /// every merge request the engine dispatches (including cascades)
-    /// to the given cloud index until the merge lane is idle.
+    /// every merge request the engine dispatches (including cascades,
+    /// full or delta-encoded) to the given cloud index until the merge
+    /// lane is idle.
     fn pump(
         engine: &mut EdgeEngine<u8>,
         cloud: &Identity,
@@ -919,13 +1007,7 @@ mod tests {
         let proof = wedge_log::BlockProof::issue(cloud, engine.id(), bid, digest);
         let mut pending = engine.handle(EdgeCommand::BlockProof(proof), now_ns);
         loop {
-            let reqs: Vec<MergeRequest> = pending
-                .into_iter()
-                .filter_map(|e| match e {
-                    EdgeEffect::SendCloud { msg: WireMsg::MergeReq(req), .. } => Some(*req),
-                    _ => None,
-                })
-                .collect();
+            let reqs = sent_merge_reqs(index, pending);
             if reqs.is_empty() {
                 break;
             }
@@ -1004,13 +1086,7 @@ mod tests {
 
         // The next sweep dispatches an empty-source merge request.
         let effects = engine.handle(EdgeCommand::Tick, 2_000_000);
-        let reqs: Vec<MergeRequest> = effects
-            .into_iter()
-            .filter_map(|e| match e {
-                EdgeEffect::SendCloud { msg: WireMsg::MergeReq(req), .. } => Some(*req),
-                _ => None,
-            })
-            .collect();
+        let reqs = sent_merge_reqs(&index, effects);
         assert_eq!(reqs.len(), 1, "compaction dispatched");
         assert!(reqs[0].source_l0.is_empty() && reqs[0].source_pages.is_empty());
         assert_eq!(engine.stats.compactions_requested, 1);
@@ -1027,6 +1103,136 @@ mod tests {
             "edge and cloud agree on post-compaction roots"
         );
         assert!(engine.next_deadline_ns().is_some(), "clock stays armed");
+    }
+
+    /// The eviction story end-to-end at the engine level: once
+    /// retention is established the engine ships merge requests
+    /// delta-encoded; a cloud that lost its retention cache nacks the
+    /// delta, the edge answers with exactly one full-request resend,
+    /// the merge converges, and the next merge is delta-encoded again.
+    #[test]
+    fn evicted_cloud_triggers_one_full_resend_and_converges() {
+        use wedge_lsmerkle::{CloudIndex, LsmConfig};
+        let cloud = Identity::derive("cloud", 1);
+        let edge_ident = Identity::derive("edge", 100);
+        let mut registry = KeyRegistry::new();
+        registry.register(cloud.id, cloud.public()).unwrap();
+        registry.register(edge_ident.id, edge_ident.public()).unwrap();
+        // L1 threshold high enough that nothing cascades: every merge
+        // is L0 → L1 and the L1 run is the retained target.
+        let cfg = LsmConfig { level_thresholds: vec![2, 1_000], page_capacity: 4 };
+        let mut index = CloudIndex::new(cfg.clone());
+        let init = index.init_edge(&cloud, edge_ident.id, 0);
+        let tree = LsMerkle::new(edge_ident.id, cfg, init);
+        let mut engine = EdgeEngine::new(
+            edge_ident,
+            cloud.id,
+            registry,
+            CostModel::default(),
+            CryptoMode::Modeled,
+            FaultPlan::honest(),
+            tree,
+            vec![0u8],
+        );
+        engine.set_merge_retry_ns(Some(1_000));
+        let mut ledger = wedge_log::CertLedger::new();
+
+        // Seals one single-entry block and returns the block-proof
+        // effects (where merge dispatches surface).
+        let seal = |engine: &mut EdgeEngine<u8>,
+                    ledger: &mut wedge_log::CertLedger,
+                    k: u64,
+                    now: u64|
+         -> Vec<EdgeEffect<u8>> {
+            let effects = engine
+                .handle(EdgeCommand::BatchAdd { from: 0, req_id: k, entries: vec![entry(k)] }, now);
+            let digest = certify_digests(&effects)[0];
+            let bid = engine.log.iter().last().unwrap().block.id;
+            ledger.offer(engine.id(), bid, digest);
+            let proof = wedge_log::BlockProof::issue(&cloud, engine.id(), bid, digest);
+            engine.handle(EdgeCommand::BlockProof(proof), now + 1)
+        };
+        let full_reqs = |effects: &[EdgeEffect<u8>]| {
+            effects
+                .iter()
+                .filter(|e| matches!(e, EdgeEffect::SendCloud { msg: WireMsg::MergeReq(_), .. }))
+                .count()
+        };
+
+        // Merge 1 (cold start): the third certified block overflows
+        // the L0 threshold of 2; the request is dispatched in full.
+        seal(&mut engine, &mut ledger, 0, 10);
+        seal(&mut engine, &mut ledger, 1, 20);
+        let effects = seal(&mut engine, &mut ledger, 2, 25);
+        assert_eq!(full_reqs(&effects), 1, "cold-start merge ships in full");
+        let req1 = sent_merge_reqs(&index, effects).remove(0);
+        let res1 = index.process_merge(&cloud, &ledger, &req1, 30).unwrap();
+        engine.handle(EdgeCommand::MergeResult(Box::new(res1)), 40);
+        assert_eq!(engine.stats.merges_completed, 1);
+
+        // Merge 2: the target level is now retained on both sides, so
+        // the request ships delta-encoded.
+        seal(&mut engine, &mut ledger, 3, 50);
+        seal(&mut engine, &mut ledger, 4, 55);
+        let effects = seal(&mut engine, &mut ledger, 5, 60);
+        let delta = effects
+            .iter()
+            .find_map(|e| match e {
+                EdgeEffect::SendCloud { msg: WireMsg::MergeReqDelta(d), .. } => Some(d.clone()),
+                _ => None,
+            })
+            .expect("warm merge ships as a delta");
+        assert_eq!(full_reqs(&effects), 0, "no full request alongside the delta");
+        assert!(delta.reused_pages() > 0, "the delta actually references retained pages");
+
+        // The cloud lost its retention cache: the delta no longer
+        // resolves, and the engine-level nack round-trips recovery.
+        index.evict_retained(engine.id());
+        assert!(index.resolve_delta_request(&delta).is_err(), "evicted cache: typed error");
+        let effects = engine.handle(
+            EdgeCommand::MergeReqResend {
+                edge: engine.id(),
+                source_level: delta.source_level,
+                epoch: delta.epoch,
+            },
+            70,
+        );
+        assert_eq!(engine.stats.merge_req_resends, 1);
+        assert_eq!(full_reqs(&effects), 1, "exactly one full-request resend");
+        let req2 = sent_merge_reqs(&index, effects).remove(0);
+        let res2 = index.process_merge(&cloud, &ledger, &req2, 80).unwrap();
+        engine.handle(EdgeCommand::MergeResult(Box::new(res2)), 90);
+        assert_eq!(engine.stats.merges_completed, 2, "converged after one resend");
+        assert_eq!(engine.next_deadline_ns(), None, "merge settled: nothing to retry");
+        assert_eq!(
+            engine.tree.level_roots(),
+            index.state(engine.id()).unwrap().level_roots,
+            "edge and cloud agree after recovery"
+        );
+
+        // A stray duplicate nack after completion is ignored.
+        let effects = engine.handle(
+            EdgeCommand::MergeReqResend { edge: engine.id(), source_level: 0, epoch: 0 },
+            100,
+        );
+        assert!(effects.is_empty());
+        assert_eq!(engine.stats.merge_req_resends, 1);
+
+        // Retention re-established by the full-path reply: the next
+        // merge is delta-encoded again.
+        seal(&mut engine, &mut ledger, 6, 110);
+        seal(&mut engine, &mut ledger, 7, 115);
+        let effects = seal(&mut engine, &mut ledger, 8, 120);
+        assert!(
+            effects
+                .iter()
+                .any(|e| matches!(e, EdgeEffect::SendCloud { msg: WireMsg::MergeReqDelta(_), .. })),
+            "back to delta encoding after recovery"
+        );
+        let req3 = sent_merge_reqs(&index, effects).remove(0);
+        let res3 = index.process_merge(&cloud, &ledger, &req3, 130).unwrap();
+        engine.handle(EdgeCommand::MergeResult(Box::new(res3)), 140);
+        assert_eq!(engine.stats.merges_completed, 3);
     }
 
     /// Withheld certifications never arm a retry — the attack stays an

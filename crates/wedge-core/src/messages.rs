@@ -28,7 +28,8 @@ use wedge_log::{
     GossipWatermark,
 };
 use wedge_lsmerkle::{
-    DeltaMergeResult, GlobalRootCert, IndexReadProof, Key, MergeRequest, MergeResult,
+    DeltaMergeRequest, DeltaMergeResult, GlobalRootCert, IndexReadProof, Key, MergeRequest,
+    MergeResult,
 };
 
 /// A signed edge statement: "entry set `entries_digest` from `client`
@@ -414,6 +415,26 @@ pub enum WireMsg {
     /// [`WireMsg::MergeRes`] (tag 12) remains decodable for wire-ABI
     /// compatibility.
     MergeResDelta(Box<DeltaMergeResult>),
+    /// Merge request, delta-encoded against the pages the cloud
+    /// retains from its own last replies: pages the cloud already
+    /// holds travel as 5-byte references, so the request scales with
+    /// the *changed* pages rather than the target level's size. This
+    /// is what the edge sends once retention is established;
+    /// [`WireMsg::MergeReq`] (tag 10) remains decodable forever as the
+    /// cold-start/fallback path.
+    MergeReqDelta(Box<DeltaMergeRequest>),
+    /// Cloud → edge nack: a delta request referenced retention the
+    /// cloud no longer holds (restart, eviction). The edge answers by
+    /// resending the merge as a full [`WireMsg::MergeReq`] — one extra
+    /// round trip on the existing retry clock, never a wedge.
+    MergeReqResend {
+        /// The edge whose delta failed to resolve.
+        edge: IdentityId,
+        /// Source level of the unresolvable request.
+        source_level: u32,
+        /// Epoch of the unresolvable request.
+        epoch: u64,
+    },
 }
 
 /// Canonical signing bytes for a block-certify message.
@@ -445,6 +466,8 @@ impl WireMsg {
             WireMsg::VerdictMsg(_) => "VerdictMsg",
             WireMsg::Gossip(_) => "Gossip",
             WireMsg::MergeResDelta(_) => "MergeResDelta",
+            WireMsg::MergeReqDelta(_) => "MergeReqDelta",
+            WireMsg::MergeReqResend { .. } => "MergeReqResend",
         }
     }
 
@@ -469,6 +492,8 @@ impl WireMsg {
             WireMsg::MergeReq(r) => r.wire_size(),
             WireMsg::MergeRes(r) => r.wire_size(),
             WireMsg::MergeResDelta(d) => d.wire_size(),
+            WireMsg::MergeReqDelta(d) => d.wire_size(),
+            WireMsg::MergeReqResend { .. } => 24,
             WireMsg::CertRejected { .. } => 16,
             WireMsg::GlobalRefresh(_) => 96,
             WireMsg::DisputeMsg(_) => 256,
@@ -498,6 +523,8 @@ impl WireMsg {
             WireMsg::VerdictMsg(_) => 16,
             WireMsg::Gossip(_) => 17,
             WireMsg::MergeResDelta(_) => 18,
+            WireMsg::MergeReqDelta(_) => 19,
+            WireMsg::MergeReqResend { .. } => 20,
         }
     }
 
@@ -539,6 +566,10 @@ impl WireMsg {
             WireMsg::MergeReq(r) => r.encode_into(&mut enc),
             WireMsg::MergeRes(r) => r.encode_into(&mut enc),
             WireMsg::MergeResDelta(d) => d.encode_into(&mut enc),
+            WireMsg::MergeReqDelta(d) => d.encode_into(&mut enc),
+            WireMsg::MergeReqResend { edge, source_level, epoch } => {
+                enc.put_u64(edge.0).put_u32(*source_level).put_u64(*epoch);
+            }
             WireMsg::CertRejected { bid } => {
                 enc.put_u64(bid.0);
             }
@@ -596,6 +627,12 @@ impl WireMsg {
             16 => WireMsg::VerdictMsg(DisputeVerdict::decode_from(&mut dec)?),
             17 => WireMsg::Gossip(GossipWatermark::decode_from(&mut dec)?),
             18 => WireMsg::MergeResDelta(Box::new(DeltaMergeResult::decode_from(&mut dec)?)),
+            19 => WireMsg::MergeReqDelta(Box::new(DeltaMergeRequest::decode_from(&mut dec)?)),
+            20 => WireMsg::MergeReqResend {
+                edge: IdentityId(dec.get_u64()?),
+                source_level: dec.get_u32()?,
+                epoch: dec.get_u64()?,
+            },
             _ => return Err(DecodeError::Malformed("unknown message kind")),
         };
         dec.finish()?;

@@ -23,8 +23,9 @@ use wedge_log::{
     Block, BlockId, BlockProof, DecodeError, Entry, GossipWatermark, FRAME_HEADER_LEN,
 };
 use wedge_lsmerkle::{
-    DeltaMergeResult, GlobalRootCert, IndexReadProof, KvRecord, L0Page, L0Witness, LevelWitness,
-    MergeRequest, MergeResult, Page, PageDelta, SignedLevelRoot, Version,
+    DeltaMergeRequest, DeltaMergeResult, GlobalRootCert, IndexReadProof, KvRecord, L0Page,
+    L0Witness, LevelWitness, MergeRequest, MergeResult, Page, PageDelta, ReqPageSlot,
+    SignedLevelRoot, Version,
 };
 
 struct Rng(u64);
@@ -225,6 +226,28 @@ fn arb_delta_merge_result(rng: &mut Rng) -> DeltaMergeResult {
     }
 }
 
+fn arb_req_slot(rng: &mut Rng) -> ReqPageSlot {
+    if rng.below(2) == 0 {
+        ReqPageSlot::Full(arb_page(rng))
+    } else {
+        // Codec round-trips arbitrary references; level/index checks
+        // happen at resolve time, against the real retention cache.
+        ReqPageSlot::Retained { level: 1 + (rng.next() as u8 % 4), index: rng.next() as u32 }
+    }
+}
+
+fn arb_delta_merge_request(rng: &mut Rng) -> DeltaMergeRequest {
+    DeltaMergeRequest {
+        edge: IdentityId(rng.next()),
+        source_level: rng.next() as u32 % 3,
+        epoch: rng.next(),
+        retention: (0..rng.below(3)).map(|_| (1 + rng.next() as u32 % 4, rng.digest())).collect(),
+        source_l0: (0..rng.below(3)).map(|_| arb_l0_page(rng)).collect(),
+        source_pages: (0..rng.below(3)).map(|_| arb_req_slot(rng)).collect(),
+        target_pages: (0..rng.below(3)).map(|_| arb_req_slot(rng)).collect(),
+    }
+}
+
 fn arb_index_read_proof(rng: &mut Rng) -> IndexReadProof {
     IndexReadProof {
         edge: IdentityId(rng.next()),
@@ -283,7 +306,7 @@ fn arb_verdict(rng: &mut Rng) -> DisputeVerdict {
 
 /// One structurally arbitrary instance of every `WireMsg` variant —
 /// adding a variant without extending this list fails the
-/// `all_18_variants_covered` assertion below.
+/// `all_20_variants_covered` assertion below.
 fn arb_all_variants(rng: &mut Rng) -> Vec<WireMsg> {
     vec![
         WireMsg::BatchAdd {
@@ -315,17 +338,23 @@ fn arb_all_variants(rng: &mut Rng) -> Vec<WireMsg> {
         WireMsg::VerdictMsg(arb_verdict(rng)),
         WireMsg::Gossip(arb_watermark(rng)),
         WireMsg::MergeResDelta(Box::new(arb_delta_merge_result(rng))),
+        WireMsg::MergeReqDelta(Box::new(arb_delta_merge_request(rng))),
+        WireMsg::MergeReqResend {
+            edge: IdentityId(rng.next()),
+            source_level: rng.next() as u32,
+            epoch: rng.next(),
+        },
     ]
 }
 
 #[test]
-fn all_18_variants_covered() {
+fn all_20_variants_covered() {
     let mut rng = Rng::new(0);
     let msgs = arb_all_variants(&mut rng);
     let mut kinds: Vec<u8> = msgs.iter().map(|m| m.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds, (1..=18).collect::<Vec<u8>>(), "one instance per variant, no gaps");
+    assert_eq!(kinds, (1..=20).collect::<Vec<u8>>(), "one instance per variant, no gaps");
 }
 
 #[test]
@@ -400,7 +429,7 @@ fn trailing_bytes_rejected() {
 #[test]
 fn unknown_kind_rejected() {
     // A structurally valid frame whose type tag names no message.
-    for kind in [0u8, 19, 0x7F, 0xF0, 0xFF] {
+    for kind in [0u8, 21, 0x7F, 0xF0, 0xFF] {
         let frame = wedge_log::Frame { kind, payload: vec![] }.encode();
         assert!(
             matches!(WireMsg::decode_frame(&frame), Err(DecodeError::Malformed(_))),
@@ -431,9 +460,10 @@ fn cross_variant_payloads_rejected() {
 
 mod delta_resolution {
     use super::*;
+    use std::collections::HashMap;
     use wedge_core::messages::WireMsg;
     use wedge_log::{write_frame, CertLedger, MAX_FRAME_PAYLOAD};
-    use wedge_lsmerkle::{CloudIndex, KvOp, LsmConfig};
+    use wedge_lsmerkle::{CloudIndex, KvOp, LsmConfig, RetainedLevel};
 
     fn kv_put_entry(seq: u64, key: u64, value: Vec<u8>) -> Entry {
         Entry {
@@ -645,6 +675,176 @@ mod delta_resolution {
             panic!("delta frame decodes");
         };
         assert_eq!(back.resolve(&req2).expect("resolves"), res2);
+    }
+
+    // --- the request direction: references rehydrate against the
+    // cloud's retention cache, keyed by per-level fingerprints ---
+
+    /// Builds the third merge of a warm partition: the target run is
+    /// retained on both sides, so its pages can travel as references.
+    fn warm_third_merge(
+        cfg: LsmConfig,
+        keys: u64,
+        value: Vec<u8>,
+    ) -> (Cloud, MergeRequest, HashMap<u32, RetainedLevel>) {
+        let (mut cloud, _req2, res2) = big_target_small_source(cfg, keys, value);
+        let touch = cloud.certified_l0(2 << 40, b"next".to_vec());
+        let req3 = MergeRequest {
+            edge: cloud.edge,
+            source_level: 0,
+            source_l0: vec![touch],
+            source_pages: vec![],
+            target_pages: res2.new_target_pages.clone(),
+            epoch: res2.new_epoch,
+        };
+        // What the edge learned from res2's reply — the same run the
+        // cloud retained when it processed that merge.
+        let mut retained = HashMap::new();
+        retained.insert(1u32, RetainedLevel::over(cloud.edge, 1, &res2.new_target_pages));
+        (cloud, req3, retained)
+    }
+
+    #[test]
+    fn delta_request_resolves_into_the_clouds_own_arcs() {
+        let cfg = LsmConfig { level_thresholds: vec![2, 100], page_capacity: 4 };
+        let (mut cloud, req3, retained) = warm_third_merge(cfg, 8, b"v".to_vec());
+        let delta = DeltaMergeRequest::delta_against(&req3, &retained);
+        assert!(delta.reused_pages() >= 1, "retained target pages travel as references");
+        assert!(delta.full_pages() >= 1, "the new L0 page travels in full");
+        assert!(delta.wire_size() < req3.wire_size(), "delta is smaller than the full request");
+
+        // The framed message round-trips like every other variant.
+        let msg = WireMsg::MergeReqDelta(Box::new(delta.clone()));
+        let bytes = msg.encode_frame();
+        assert_eq!(WireMsg::decode_frame(&bytes), Ok(msg));
+
+        // Resolution rehydrates references into the cloud's own
+        // retained pages: pointer identity, not copies.
+        let resolved = cloud.index.resolve_delta_request(&delta).expect("warm cache resolves");
+        assert_eq!(resolved, req3);
+        let reused_idx = delta
+            .target_pages
+            .iter()
+            .position(|s| matches!(s, ReqPageSlot::Retained { .. }))
+            .expect("at least one reference");
+        assert!(
+            Arc::ptr_eq(&resolved.target_pages[reused_idx], &req3.target_pages[reused_idx]),
+            "reference resolves to the cloud's retained Arc, byte-for-byte shared"
+        );
+        // The resolved request is a processable merge.
+        cloud.merge(&resolved);
+    }
+
+    #[test]
+    fn hostile_delta_requests_are_typed_errors() {
+        let cfg = LsmConfig { level_thresholds: vec![2, 100], page_capacity: 4 };
+        let (mut cloud, req3, retained) = warm_third_merge(cfg, 8, b"v".to_vec());
+        let delta = DeltaMergeRequest::delta_against(&req3, &retained);
+
+        // A fingerprint naming a run the cloud never retained.
+        let mut stale = delta.clone();
+        stale.retention[0].1 = sha256(b"never retained");
+        assert_eq!(
+            cloud.index.resolve_delta_request(&stale),
+            Err(DecodeError::Malformed("merge request retention claim stale or unknown"))
+        );
+
+        // A reference into a level the request never declared.
+        let mut undeclared = delta.clone();
+        undeclared.retention.clear();
+        assert_eq!(
+            cloud.index.resolve_delta_request(&undeclared),
+            Err(DecodeError::Malformed("merge request references an undeclared level"))
+        );
+
+        // An out-of-range reuse index — as a hostile peer could put on
+        // the wire — is a typed error, never a panic.
+        let mut oob = delta.clone();
+        let pos = oob
+            .target_pages
+            .iter()
+            .position(|s| matches!(s, ReqPageSlot::Retained { .. }))
+            .expect("a reference to corrupt");
+        let ReqPageSlot::Retained { level, .. } = oob.target_pages[pos] else { unreachable!() };
+        oob.target_pages[pos] = ReqPageSlot::Retained { level, index: u32::MAX };
+        assert_eq!(
+            cloud.index.resolve_delta_request(&oob),
+            Err(DecodeError::Malformed("merge request reuse index out of range"))
+        );
+        // The hostile frame still round-trips as bytes (range checks
+        // are resolution-time, against the real retention cache).
+        let bytes = WireMsg::MergeReqDelta(Box::new(oob.clone())).encode_frame();
+        assert_eq!(WireMsg::decode_frame(&bytes), Ok(WireMsg::MergeReqDelta(Box::new(oob))));
+
+        // After eviction even the honest delta no longer resolves —
+        // the typed error is what the engine turns into a resend nack.
+        cloud.index.evict_retained(cloud.edge);
+        assert!(matches!(
+            cloud.index.resolve_delta_request(&delta),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    /// The request-direction motivating failure: a merge whose *full*
+    /// request re-ships a 16 MiB+ target level — `write_frame` would
+    /// refuse the frame and the merge could never be submitted. The
+    /// delta encoding of the same request is one new page plus 5-byte
+    /// references and sails through.
+    #[test]
+    fn oversized_full_request_ships_as_small_delta() {
+        let cfg = LsmConfig { level_thresholds: vec![2, 1000], page_capacity: 1 };
+        let value = vec![0xCD; 256 * 1024];
+        let mut cloud = Cloud::new(cfg.clone());
+        let source_l0 = (0..65).map(|k| cloud.certified_l0(k, value.clone())).collect();
+        let req1 = MergeRequest {
+            edge: cloud.edge,
+            source_level: 0,
+            source_l0,
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        let res1 = cloud.merge(&req1);
+        let touch = cloud.certified_l0(1 << 40, b"small".to_vec());
+        let req2 = MergeRequest {
+            edge: cloud.edge,
+            source_level: 0,
+            source_l0: vec![touch],
+            source_pages: vec![],
+            target_pages: res1.new_target_pages.clone(),
+            epoch: res1.new_epoch,
+        };
+
+        // The full request is genuinely over the frame cap.
+        let full = WireMsg::MergeReq(Box::new(req2.clone()));
+        let full_payload = full.encode_payload();
+        assert!(
+            full_payload.len() > MAX_FRAME_PAYLOAD as usize,
+            "full request must exceed the cap ({} <= {MAX_FRAME_PAYLOAD})",
+            full_payload.len()
+        );
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, full.kind(), &full_payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "write_frame refuses it");
+
+        // The delta request for the same merge is tiny and round-trips.
+        let mut retained = HashMap::new();
+        retained.insert(1u32, RetainedLevel::over(cloud.edge, 1, &res1.new_target_pages));
+        let delta = DeltaMergeRequest::delta_against(&req2, &retained);
+        assert!(delta.reused_pages() >= 60, "almost everything is a reference");
+        let msg = WireMsg::MergeReqDelta(Box::new(delta));
+        let bytes = msg.encode_frame();
+        assert!(
+            bytes.len() < 1024 * 1024,
+            "delta frame scales with changed pages, not target size (got {})",
+            bytes.len()
+        );
+        let Ok(WireMsg::MergeReqDelta(back)) = WireMsg::decode_frame(&bytes) else {
+            panic!("delta request frame decodes");
+        };
+        let resolved = cloud.index.resolve_delta_request(&back).expect("resolves");
+        assert_eq!(resolved, req2);
+        cloud.merge(&resolved);
     }
 }
 

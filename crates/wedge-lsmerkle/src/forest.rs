@@ -57,6 +57,21 @@ impl Peak {
     fn size(&self) -> usize {
         1usize << self.height()
     }
+
+    /// Merges an adjacent equal-height right sibling into `self`,
+    /// producing one peak of double size. Every existing row is the
+    /// concatenation of the two peaks' rows (no rehashing); only the
+    /// new top node is hashed.
+    fn absorb_right(&mut self, right: Peak) {
+        debug_assert_eq!(self.height(), right.height(), "carry merges equal heights only");
+        debug_assert_eq!(right.start, self.start + self.size(), "peaks must be adjacent");
+        for (lv, row) in right.levels.into_iter().enumerate() {
+            self.levels[lv].extend(row);
+        }
+        let top = self.levels.last().expect("peaks have at least one level");
+        let new_top = hash_node(&top[0], &top[1]);
+        self.levels.push(vec![new_top]);
+    }
 }
 
 /// A Merkle forest over page digests, root-compatible with
@@ -108,6 +123,12 @@ impl MerkleForest {
         if let Some(o) = old {
             if o.leaves == leaves {
                 return o.clone();
+            }
+            // Pure append — the shape of every merge that only adds
+            // pages past the current boundary — takes the carry-merge
+            // fast path instead of the generic aligned-diff rebuild.
+            if n > o.leaves.len() && leaves[..o.leaves.len()] == o.leaves[..] {
+                return o.appended(&leaves[o.leaves.len()..]);
             }
         }
 
@@ -184,6 +205,32 @@ impl MerkleForest {
             start += size;
         }
 
+        let mut forest = MerkleForest { leaves, peaks, accs: Vec::new(), root: empty_root() };
+        forest.bag_peaks();
+        forest
+    }
+
+    /// Pure-append fast path: extends the forest by `new` leaves with
+    /// the Merkle-mountain-range carry rule. Each leaf becomes a
+    /// height-0 peak; while the two trailing peaks have equal height
+    /// they merge (one hash for the new top, rows concatenated). No
+    /// interior peak row is revisited and leading peaks are reused
+    /// untouched, so hash work is one leaf tag per new leaf plus
+    /// O(log n) carries and accumulators — not O(n).
+    fn appended(&self, new: &[Digest]) -> Self {
+        let mut leaves = self.leaves.clone();
+        let mut peaks = self.peaks.clone();
+        for leaf in new {
+            let start = leaves.len();
+            leaves.push(*leaf);
+            peaks.push(Peak { start, levels: vec![vec![hash_leaf_digest(leaf)]] });
+            while peaks.len() >= 2
+                && peaks[peaks.len() - 1].height() == peaks[peaks.len() - 2].height()
+            {
+                let right = peaks.pop().expect("just checked len >= 2");
+                peaks.last_mut().expect("just checked len >= 2").absorb_right(right);
+            }
+        }
         let mut forest = MerkleForest { leaves, peaks, accs: Vec::new(), root: empty_root() };
         forest.bag_peaks();
         forest
@@ -435,6 +482,60 @@ mod tests {
         let rebuilt = MerkleForest::rebuild(leaves.clone(), &forest);
         let interior = hash_stats::interior_hashes() - before;
         assert!(interior <= 2 * ceil_log2(n + 1) as u64 + 2, "append cost {interior} too high");
+        assert_eq!(rebuilt.root(), MerkleTree::from_leaves(&leaves).root());
+    }
+
+    /// The append fast path must be observationally identical to a
+    /// fresh build: byte-identical roots and proofs across random
+    /// append schedules of every alignment (including appends onto an
+    /// empty forest and one-leaf growth through carry cascades).
+    #[test]
+    fn append_fast_path_matches_full_rebuild_on_random_schedules() {
+        let mut rng = SplitMix64(0xAB5EED);
+        for schedule in 0..30 {
+            let mut leaves = digests(rng.below(40));
+            let mut forest = MerkleForest::from_digests(leaves.clone());
+            for step in 0..10 {
+                let k = 1 + rng.below(6);
+                let fresh: Vec<Digest> =
+                    (0..k).map(|i| sha256(format!("a{schedule}-{step}-{i}").as_bytes())).collect();
+                leaves.extend(fresh);
+                forest = MerkleForest::rebuild(leaves.clone(), &forest);
+                let reference = MerkleForest::from_digests(leaves.clone());
+                assert_eq!(
+                    forest.root(),
+                    reference.root(),
+                    "schedule={schedule} step={step}: append root == fresh-build root"
+                );
+                assert_eq!(forest.root(), MerkleTree::from_leaves(&leaves).root());
+                assert_eq!(forest.peak_count(), leaves.len().count_ones() as usize);
+                for i in 0..leaves.len() {
+                    assert_eq!(
+                        forest.prove(i),
+                        reference.prove(i),
+                        "schedule={schedule} step={step} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The strictest carry cascade: appending one leaf to 1023 (ten
+    /// peaks) collapses everything into a single 1024-leaf peak with
+    /// exactly ten interior hashes — one per carry — and one leaf tag.
+    #[test]
+    fn append_carry_cascade_hashes_exactly_log_n() {
+        let mut leaves = digests(1023);
+        let forest = MerkleForest::from_digests(leaves.clone());
+        assert_eq!(forest.peak_count(), 10);
+        leaves.push(sha256(b"the-1024th"));
+        let before = (hash_stats::interior_hashes(), hash_stats::leaf_hashes());
+        let rebuilt = MerkleForest::rebuild(leaves.clone(), &forest);
+        let interior = hash_stats::interior_hashes() - before.0;
+        let tags = hash_stats::leaf_hashes() - before.1;
+        assert_eq!(tags, 1, "one new leaf, one tag");
+        assert_eq!(interior, 10, "ten carry merges, no accumulator (power of two)");
+        assert_eq!(rebuilt.peak_count(), 1);
         assert_eq!(rebuilt.root(), MerkleTree::from_leaves(&leaves).root());
     }
 

@@ -37,8 +37,8 @@ pub use forest::MerkleForest;
 pub use kv::{kv_entry, records_from_block, Key, KvOp, KvRecord, Value, Version};
 pub use level::{GlobalRootCert, Level, SignedLevelRoot};
 pub use merge::{
-    kway_merge_newest, CloudIndex, DeltaMergeResult, InitBundle, MergeError, MergeRequest,
-    MergeResult, PageDelta,
+    kway_merge_newest, retention_fingerprint, CloudIndex, DeltaMergeRequest, DeltaMergeResult,
+    InitBundle, MergeError, MergeRequest, MergeResult, PageDelta, ReqPageSlot, RetainedLevel,
 };
 pub use page::{
     check_level_ranges, find_covering, split_into_pages, split_into_range_pages, L0Page, Page,

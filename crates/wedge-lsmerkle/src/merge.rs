@@ -421,6 +421,309 @@ impl DeltaMergeResult {
     }
 }
 
+/// One page slot in a delta-encoded merge request.
+///
+/// The tag byte *is* the level: `0` means a full page follows; any
+/// other value `L` is a reference into the cloud's retained run for
+/// Merkle level `L` followed by a `u32` index — exactly 5 bytes on
+/// the wire. L0 is never retained (its pages are blocks, re-verified
+/// against the cert ledger every merge), so `0` is unambiguous.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReqPageSlot {
+    /// A page the cloud does not retain: shipped in full.
+    Full(Arc<Page>),
+    /// Byte-identical to the page at `index` of the run the cloud
+    /// retains for `level` — resolution rehydrates it into the
+    /// cloud's own `Arc`, so nothing is re-shipped or re-hashed.
+    Retained {
+        /// Merkle level whose retained run holds the page.
+        level: u8,
+        /// Index into that run.
+        index: u32,
+    },
+}
+
+/// The fingerprint a retained run is claimed under: a digest over the
+/// edge, the level, and the run's page digests in order. Both sides
+/// derive it independently — the cloud over the pages it just shipped
+/// in a reply, the edge over the pages that reply installed — so a
+/// reference is resolvable iff both still mean the same run.
+pub fn retention_fingerprint(edge: IdentityId, level: u32, pages: &[Arc<Page>]) -> Digest {
+    let mut enc = wedge_log::Encoder::with_tag("wedge-retain-fp-v1");
+    enc.put_u64(edge.0).put_u32(level).put_u64(pages.len() as u64);
+    for p in pages {
+        enc.put_digest(&p.digest());
+    }
+    wedge_crypto::sha256(&enc.finish())
+}
+
+/// One retained page run: the `Arc` pages the cloud shipped (or
+/// passed through) for a level in its last merge reply, under the
+/// fingerprint the edge will claim them by. Shared pointers, not
+/// copies — retaining a run costs O(pages) pointers, never records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetainedLevel {
+    /// [`retention_fingerprint`] over the run.
+    pub fingerprint: Digest,
+    /// The run's pages in level order.
+    pub pages: Vec<Arc<Page>>,
+}
+
+impl RetainedLevel {
+    /// Captures `pages` as the retained run for `level`.
+    pub fn over(edge: IdentityId, level: u32, pages: &[Arc<Page>]) -> Self {
+        RetainedLevel {
+            fingerprint: retention_fingerprint(edge, level, pages),
+            pages: pages.to_vec(),
+        }
+    }
+}
+
+fn encode_req_slots(slots: &[ReqPageSlot], enc: &mut wedge_log::Encoder) {
+    enc.put_u64(slots.len() as u64);
+    for slot in slots {
+        match slot {
+            ReqPageSlot::Full(p) => {
+                enc.put_u8(0);
+                p.encode_into(enc);
+            }
+            ReqPageSlot::Retained { level, index } => {
+                debug_assert_ne!(*level, 0, "level 0 is the Full tag");
+                enc.put_u8(*level);
+                enc.put_u32(*index);
+            }
+        }
+    }
+}
+
+fn decode_req_slots(
+    dec: &mut wedge_log::Decoder<'_>,
+) -> Result<Vec<ReqPageSlot>, wedge_log::DecodeError> {
+    // A reference is the smallest slot: tag byte + u32 index.
+    let n = dec.get_count(5)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match dec.get_u8()? {
+            0 => ReqPageSlot::Full(Page::decode_from(dec)?),
+            level => ReqPageSlot::Retained { level, index: dec.get_u32()? },
+        });
+    }
+    Ok(out)
+}
+
+/// A [`MergeRequest`] delta-encoded against the pages the cloud
+/// retains from its own last replies: every source or target page the
+/// last applied reply proves the cloud already holds travels as a
+/// 5-byte [`ReqPageSlot::Retained`] reference instead of its full
+/// records. This is the request-side mirror of [`DeltaMergeResult`]:
+/// it keeps the largest edge→cloud message proportional to the
+/// *changed* pages of a merge, not the target level's size — without
+/// it, a big-target merge request can exceed the frame cap and wedge
+/// the partition before the cloud ever sees it.
+///
+/// The codec is deliberately not self-contained: decoding yields this
+/// struct, and [`DeltaMergeRequest::resolve`] needs the cloud's
+/// retained runs to rehydrate references. Each referenced run is
+/// claimed by `(level, fingerprint)`; a claim the cloud cannot match
+/// (restart, eviction, a run two merges old) is a typed error the
+/// engine answers with a full-request resend nack — one round trip,
+/// never a wedge and never a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaMergeRequest {
+    /// The requesting edge.
+    pub edge: IdentityId,
+    /// Source level (0 = L0). All its pages move to `source_level+1`.
+    pub source_level: u32,
+    /// The edge's view of the index epoch.
+    pub epoch: u64,
+    /// The retained runs this request references, as `(level,
+    /// fingerprint)` claims. Resolution checks every claim before
+    /// honouring a single reference; levels the request does not
+    /// reference are not claimed.
+    pub retention: Vec<(u32, Digest)>,
+    /// L0 source pages always travel in full (blocks are re-verified
+    /// against the cert ledger, never retained).
+    pub source_l0: Vec<Arc<L0Page>>,
+    /// Source pages when `source_level >= 1`, full or by reference.
+    pub source_pages: Vec<ReqPageSlot>,
+    /// The current pages of the target level, full or by reference.
+    pub target_pages: Vec<ReqPageSlot>,
+}
+
+impl DeltaMergeRequest {
+    /// Delta-encodes `req` against the runs the edge knows the cloud
+    /// retains (proven by the last applied reply), by memoized page
+    /// digest. Levels are scanned in ascending order so the encoding
+    /// — and therefore every byte-level stat downstream — is
+    /// deterministic across runtimes.
+    pub fn delta_against(req: &MergeRequest, retained: &HashMap<u32, RetainedLevel>) -> Self {
+        let mut levels: Vec<u32> =
+            retained.keys().copied().filter(|l| (1..=255).contains(l)).collect();
+        levels.sort_unstable();
+        let mut by_digest: HashMap<Digest, (u8, u32)> = HashMap::new();
+        for &level in &levels {
+            for (i, p) in retained[&level].pages.iter().enumerate() {
+                by_digest.entry(p.digest()).or_insert((level as u8, i as u32));
+            }
+        }
+        let mut used: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut encode = |pages: &[Arc<Page>]| -> Vec<ReqPageSlot> {
+            pages
+                .iter()
+                .map(|p| match by_digest.get(&p.digest()) {
+                    Some(&(level, index)) => {
+                        used.insert(level as u32);
+                        ReqPageSlot::Retained { level, index }
+                    }
+                    None => ReqPageSlot::Full(Arc::clone(p)),
+                })
+                .collect()
+        };
+        let source_pages = encode(&req.source_pages);
+        let target_pages = encode(&req.target_pages);
+        let retention = used.into_iter().map(|l| (l, retained[&l].fingerprint)).collect();
+        DeltaMergeRequest {
+            edge: req.edge,
+            source_level: req.source_level,
+            epoch: req.epoch,
+            retention,
+            source_l0: req.source_l0.clone(),
+            source_pages,
+            target_pages,
+        }
+    }
+
+    /// Rehydrates into the full [`MergeRequest`] by resolving every
+    /// reference into the cloud's own retained `Arc`s. `retained` maps
+    /// a `(level, fingerprint)` claim to the run it names, or `None`
+    /// if the cloud no longer holds it. Any unresolvable claim, a
+    /// slot referencing an undeclared level, or an out-of-range index
+    /// is a typed [`DecodeError`] — hostile or stale deltas can never
+    /// panic the cloud, only earn a resend nack.
+    pub fn resolve<'a>(
+        &self,
+        retained: impl Fn(u32, &Digest) -> Option<&'a [Arc<Page>]>,
+    ) -> Result<MergeRequest, DecodeError> {
+        let mut runs: HashMap<u32, &[Arc<Page>]> = HashMap::with_capacity(self.retention.len());
+        for (level, fp) in &self.retention {
+            let run = retained(*level, fp)
+                .ok_or(DecodeError::Malformed("merge request retention claim stale or unknown"))?;
+            runs.insert(*level, run);
+        }
+        let rehydrate = |slots: &[ReqPageSlot]| -> Result<Vec<Arc<Page>>, DecodeError> {
+            slots
+                .iter()
+                .map(|slot| match slot {
+                    ReqPageSlot::Full(p) => Ok(Arc::clone(p)),
+                    ReqPageSlot::Retained { level, index } => {
+                        let run = runs.get(&(*level as u32)).ok_or(DecodeError::Malformed(
+                            "merge request references an undeclared level",
+                        ))?;
+                        run.get(*index as usize)
+                            .map(Arc::clone)
+                            .ok_or(DecodeError::Malformed("merge request reuse index out of range"))
+                    }
+                })
+                .collect()
+        };
+        Ok(MergeRequest {
+            edge: self.edge,
+            source_level: self.source_level,
+            source_l0: self.source_l0.clone(),
+            source_pages: rehydrate(&self.source_pages)?,
+            target_pages: rehydrate(&self.target_pages)?,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Pages travelling as references (source + target slots).
+    pub fn reused_pages(&self) -> u64 {
+        self.source_pages
+            .iter()
+            .chain(self.target_pages.iter())
+            .filter(|s| matches!(s, ReqPageSlot::Retained { .. }))
+            .count() as u64
+    }
+
+    /// Pages travelling in full (L0 blocks plus full slots).
+    pub fn full_pages(&self) -> u64 {
+        self.source_l0.len() as u64
+            + self
+                .source_pages
+                .iter()
+                .chain(self.target_pages.iter())
+                .filter(|s| matches!(s, ReqPageSlot::Full(_)))
+                .count() as u64
+    }
+
+    /// Bytes shipped edge→cloud for this delta request: full pages
+    /// plus 5 bytes per reference plus 36 per retention claim — the
+    /// number the `merge_request_bytes` bench tracks against
+    /// [`MergeRequest::wire_size`].
+    pub fn wire_size(&self) -> u64 {
+        let l0: u64 = self.source_l0.iter().map(|p| p.wire_size()).sum();
+        let slots = |s: &[ReqPageSlot]| -> u64 {
+            s.iter()
+                .map(|s| match s {
+                    ReqPageSlot::Full(p) => 1 + p.wire_size(),
+                    ReqPageSlot::Retained { .. } => 5,
+                })
+                .sum()
+        };
+        32 + 36 * self.retention.len() as u64
+            + l0
+            + slots(&self.source_pages)
+            + slots(&self.target_pages)
+    }
+
+    /// Canonical nestable wire encoding.
+    pub fn encode_into(&self, enc: &mut wedge_log::Encoder) {
+        enc.put_u64(self.edge.0).put_u32(self.source_level).put_u64(self.epoch);
+        enc.put_u64(self.retention.len() as u64);
+        for (level, fp) in &self.retention {
+            enc.put_u32(*level);
+            enc.put_digest(fp);
+        }
+        enc.put_u64(self.source_l0.len() as u64);
+        for p in &self.source_l0 {
+            p.encode_into(enc);
+        }
+        encode_req_slots(&self.source_pages, enc);
+        encode_req_slots(&self.target_pages, enc);
+    }
+
+    /// Inverse of [`DeltaMergeRequest::encode_into`]. Context-free:
+    /// references stay references until [`DeltaMergeRequest::resolve`]
+    /// is handed the cloud's retained runs.
+    pub fn decode_from(dec: &mut wedge_log::Decoder<'_>) -> Result<Self, DecodeError> {
+        let edge = IdentityId(dec.get_u64()?);
+        let source_level = dec.get_u32()?;
+        let epoch = dec.get_u64()?;
+        let n_ret = dec.get_count(36)?;
+        let mut retention = Vec::with_capacity(n_ret);
+        for _ in 0..n_ret {
+            let level = dec.get_u32()?;
+            retention.push((level, dec.get_digest()?));
+        }
+        let n_l0 = dec.get_count(8)?;
+        let mut source_l0 = Vec::with_capacity(n_l0);
+        for _ in 0..n_l0 {
+            source_l0.push(L0Page::decode_from(dec)?);
+        }
+        let source_pages = decode_req_slots(dec)?;
+        let target_pages = decode_req_slots(dec)?;
+        Ok(DeltaMergeRequest {
+            edge,
+            source_level,
+            epoch,
+            retention,
+            source_l0,
+            source_pages,
+            target_pages,
+        })
+    }
+}
+
 /// Why the cloud refused a merge.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MergeError {
@@ -608,6 +911,14 @@ pub struct CloudIndexState {
     /// is content equality), and re-signing patches the forest
     /// incrementally instead of rebuilding O(level) interior nodes.
     level_forests: Vec<MerkleForest>,
+    /// The page runs retained per Merkle level for delta-request
+    /// resolution: newest last, bounded at **two** (the current run
+    /// plus one prior, so a delta retried after its reply was lost —
+    /// retention has advanced past the retry's view — still resolves
+    /// and hits the replay cache). Older runs are evicted as epochs
+    /// advance; losing the cache entirely costs one full-request
+    /// resend, never a wedge.
+    retained: HashMap<u32, Vec<RetainedLevel>>,
 }
 
 /// The cloud node's view of every edge's LSMerkle.
@@ -660,6 +971,7 @@ impl CloudIndex {
                 epoch: 0,
                 last_merge: None,
                 level_forests: vec![MerkleForest::empty(); n],
+                retained: HashMap::new(),
             },
         );
         let level_roots = (0..n)
@@ -706,6 +1018,40 @@ impl CloudIndex {
         }
         let (fp, cached) = state.last_merge.as_ref()?;
         (*fp == req.fingerprint()).then(|| cached.clone())
+    }
+
+    /// Resolves a delta-encoded request against this cloud's retained
+    /// runs, rehydrating every reference into the cloud's own `Arc`s.
+    /// An unknown edge, a stale retention claim, an undeclared level,
+    /// or an out-of-range index is a typed [`DecodeError`] — the
+    /// engine answers it with a `MergeReqResend` nack, never a panic.
+    pub fn resolve_delta_request(
+        &self,
+        dreq: &DeltaMergeRequest,
+    ) -> Result<MergeRequest, DecodeError> {
+        let state = self
+            .states
+            .get(&dreq.edge)
+            .ok_or(DecodeError::Malformed("delta merge request from unknown edge"))?;
+        dreq.resolve(|level, fp| {
+            state
+                .retained
+                .get(&level)?
+                .iter()
+                .rev()
+                .find(|r| r.fingerprint == *fp)
+                .map(|r| r.pages.as_slice())
+        })
+    }
+
+    /// Drops every retained run for `edge` — a cloud restart or cache
+    /// eviction in miniature. The next delta request fails to resolve
+    /// and is answered with a full-request resend nack: one extra
+    /// round trip, no wedge.
+    pub fn evict_retained(&mut self, edge: IdentityId) {
+        if let Some(state) = self.states.get_mut(&edge) {
+            state.retained.clear();
+        }
     }
 
     /// Verifies and performs a merge, returning the signed result.
@@ -839,6 +1185,21 @@ impl CloudIndex {
             global,
             new_epoch,
         };
+        // Retain the rebuilt target run (and the drained source's
+        // now-empty run) so the *next* request can reference these
+        // pages instead of re-shipping them. Newest last, capped at
+        // two runs per level — see `CloudIndexState::retained`.
+        let mut retain = |level: u32, pages: &[Arc<Page>]| {
+            let runs = state.retained.entry(level).or_default();
+            runs.push(RetainedLevel::over(req.edge, level, pages));
+            if runs.len() > 2 {
+                runs.remove(0);
+            }
+        };
+        retain(target_level, &result.new_target_pages);
+        if req.source_level >= 1 {
+            retain(req.source_level, &[]);
+        }
         state.last_merge = Some((req.fingerprint(), result.clone()));
         Ok(result)
     }
@@ -1234,5 +1595,144 @@ mod tests {
             index.process_merge(&cloud, &ledger, &req, 0),
             Err(MergeError::UnknownEdge(edge))
         );
+    }
+
+    /// Builds a two-page L1 via merge 1, then a touch request whose
+    /// target pages are exactly the run the cloud now retains —
+    /// the shape every delta-request test starts from.
+    fn retained_setup() -> (Identity, CertLedger, CloudIndex, IdentityId, MergeRequest, MergeResult)
+    {
+        let cloud = Identity::derive("cloud", 0);
+        let mut ledger = CertLedger::new();
+        let mut index =
+            CloudIndex::new(LsmConfig { level_thresholds: vec![2, 100], page_capacity: 4 });
+        let edge = IdentityId(9);
+        index.init_edge(&cloud, edge, 0);
+        let kvs: Vec<(u64, &[u8])> = (0..8u64).map(|k| (k, b"v".as_ref())).collect();
+        let p0 = certified_l0(&mut ledger, edge, 0, &kvs[..4]);
+        let p1 = certified_l0(&mut ledger, edge, 1, &kvs[4..]);
+        let req1 = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![p0, p1],
+            source_pages: vec![],
+            target_pages: vec![],
+            epoch: 0,
+        };
+        let res1 = index.process_merge(&cloud, &ledger, &req1, 10).unwrap();
+        assert_eq!(res1.new_target_pages.len(), 2);
+        let touch = certified_l0(&mut ledger, edge, 2, &[(1_000, b"t")]);
+        let req2 = MergeRequest {
+            edge,
+            source_level: 0,
+            source_l0: vec![touch],
+            source_pages: vec![],
+            target_pages: res1.new_target_pages.clone(),
+            epoch: res1.new_epoch,
+        };
+        (cloud, ledger, index, edge, req2, res1)
+    }
+
+    /// The edge's view of what the cloud retains after `res1`.
+    fn edge_view(edge: IdentityId, res1: &MergeResult) -> HashMap<u32, RetainedLevel> {
+        let mut view = HashMap::new();
+        view.insert(1, RetainedLevel::over(edge, 1, &res1.new_target_pages));
+        view
+    }
+
+    #[test]
+    fn delta_request_references_resolve_to_cloud_arcs() {
+        let (cloud, ledger, mut index, edge, req2, res1) = retained_setup();
+        let dreq = DeltaMergeRequest::delta_against(&req2, &edge_view(edge, &res1));
+        // Both target pages are references; only the L0 block ships.
+        assert_eq!(dreq.reused_pages(), 2);
+        assert_eq!(dreq.full_pages(), 1);
+        assert_eq!(dreq.retention, vec![(1, retention_fingerprint(edge, 1, &req2.target_pages))]);
+        assert!(dreq.wire_size() < req2.wire_size());
+        let resolved = index.resolve_delta_request(&dreq).unwrap();
+        assert_eq!(resolved, req2);
+        // Same fingerprint ⇒ the replay cache keyed on the resolved
+        // request behaves identically for delta and full retries.
+        assert_eq!(resolved.fingerprint(), req2.fingerprint());
+        // References rehydrate into the cloud's *own* retained Arcs.
+        let cloud_run = &index.state(edge).unwrap().retained.get(&1).unwrap().last().unwrap().pages;
+        for (r, c) in resolved.target_pages.iter().zip(cloud_run) {
+            assert!(Arc::ptr_eq(r, c), "resolution shares the cloud's Arc");
+        }
+        // Codec round-trip preserves the delta exactly.
+        let mut enc = wedge_log::Encoder::default();
+        dreq.encode_into(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = wedge_log::Decoder::new(&bytes);
+        assert_eq!(DeltaMergeRequest::decode_from(&mut dec).unwrap(), dreq);
+        dec.finish().unwrap();
+        // And the resolved request merges.
+        index.process_merge(&cloud, &ledger, &resolved, 20).unwrap();
+    }
+
+    #[test]
+    fn stale_or_hostile_delta_requests_are_typed_errors() {
+        let (_cloud, _ledger, mut index, edge, req2, res1) = retained_setup();
+        let view = edge_view(edge, &res1);
+        let dreq = DeltaMergeRequest::delta_against(&req2, &view);
+
+        // Stale / forged retention claim.
+        let mut stale = dreq.clone();
+        stale.retention[0].1 = wedge_crypto::sha256(b"not the retained run");
+        assert_eq!(
+            index.resolve_delta_request(&stale),
+            Err(DecodeError::Malformed("merge request retention claim stale or unknown"))
+        );
+        // Reference into a level the request never claimed.
+        let mut undeclared = dreq.clone();
+        undeclared.retention.clear();
+        assert_eq!(
+            index.resolve_delta_request(&undeclared),
+            Err(DecodeError::Malformed("merge request references an undeclared level"))
+        );
+        // Out-of-range index.
+        let mut hostile = dreq.clone();
+        hostile.target_pages[0] = ReqPageSlot::Retained { level: 1, index: u32::MAX };
+        assert_eq!(
+            index.resolve_delta_request(&hostile),
+            Err(DecodeError::Malformed("merge request reuse index out of range"))
+        );
+        // Unknown edge.
+        let mut stranger = dreq.clone();
+        stranger.edge = IdentityId(404);
+        assert_eq!(
+            index.resolve_delta_request(&stranger),
+            Err(DecodeError::Malformed("delta merge request from unknown edge"))
+        );
+        // Evicted cache (cloud restart in miniature): same delta that
+        // resolved fine a moment ago now earns a typed error.
+        assert!(index.resolve_delta_request(&dreq).is_ok());
+        index.evict_retained(edge);
+        assert_eq!(
+            index.resolve_delta_request(&dreq),
+            Err(DecodeError::Malformed("merge request retention claim stale or unknown"))
+        );
+    }
+
+    /// A delta retried after its reply was lost references runs that
+    /// retention has since advanced past — the bounded one-prior-run
+    /// window is exactly what keeps that retry resolvable, and the
+    /// resolved fingerprint is what lets the replay cache answer it.
+    #[test]
+    fn delta_retry_after_lost_reply_resolves_against_prior_run_and_replays() {
+        let (cloud, ledger, mut index, edge, req2, res1) = retained_setup();
+        let dreq = DeltaMergeRequest::delta_against(&req2, &edge_view(edge, &res1));
+        let resolved = index.resolve_delta_request(&dreq).unwrap();
+        let res2 = index.process_merge(&cloud, &ledger, &resolved, 20).unwrap();
+        // Reply lost; the edge retries the same delta. Level 1's
+        // retained runs have advanced (the merge pushed a new run),
+        // but the prior run still resolves the retry...
+        let retried = index.resolve_delta_request(&dreq).unwrap();
+        assert_eq!(retried, req2);
+        // ...and the replay cache answers it without re-merging.
+        assert_eq!(index.replay_for(&retried), Some(res2));
+        // Runs per level stay bounded at two across further merges.
+        let retained = &index.state(edge).unwrap().retained;
+        assert!(retained.values().all(|runs| runs.len() <= 2));
     }
 }

@@ -1208,6 +1208,58 @@ mod tests {
     }
 
     #[test]
+    fn net_oversized_full_request_merges_as_small_delta_over_tcp() {
+        use wedge_log::MAX_FRAME_PAYLOAD;
+        // 70 sequential keys with 256 KiB values and one-record pages:
+        // by the last L0→L1 merge the target level holds ~67 pages
+        // (~17 MiB), so a *full* merge request re-shipping it would
+        // blow the 16 MiB frame cap — `write_frame` would refuse the
+        // frame, `failed_sends` would count it, and the merge would
+        // wedge. Delta-encoded requests reference the retained run in
+        // 5 bytes per page, so every merge crosses the socket small.
+        let cluster = NetCluster::start(NetConfig {
+            lsm: LsmConfig { level_thresholds: vec![2, 1000], page_capacity: 1 },
+            batch_size: 1,
+            ..NetConfig::default()
+        });
+        let mut last = None;
+        for k in 0..70u64 {
+            last = cluster.put(k, vec![k as u8; 256 * 1024]);
+        }
+        if let Some(reply) = last {
+            let _ = reply.certified.recv_timeout(Duration::from_secs(30));
+        }
+        for k in (0..70u64).step_by(13) {
+            let read = cluster.get(k).unwrap();
+            assert_eq!(read.value, Some(vec![k as u8; 256 * 1024]), "key {k}");
+        }
+        let report = cluster.shutdown().expect("report");
+        let stats = &report.cloud_stats;
+        assert!(stats.merges_processed > 0, "merges ran over the wire");
+        assert!(
+            stats.merge_req_pages_reused > stats.merge_req_pages_full,
+            "requests mostly reference retained pages (full {}, reused {})",
+            stats.merge_req_pages_full,
+            stats.merge_req_pages_reused
+        );
+        // The last merge alone re-ships a >16 MiB target as references:
+        // its saving exceeds an entire frame cap.
+        assert!(
+            stats.merge_req_bytes_saved > MAX_FRAME_PAYLOAD as u64,
+            "request dedup saved more than one whole frame cap (saved {})",
+            stats.merge_req_bytes_saved
+        );
+        assert_eq!(stats.merge_req_nacks, 0, "warm retention: no resend nacks");
+        assert_eq!(report.edges[0].edge_stats.merge_req_resends, 0);
+        assert_eq!(report.edges[0].edge_stats.merge_deltas_unresolved, 0);
+        assert_eq!(
+            report.failed_sends, 0,
+            "no frame was ever refused: {:?}",
+            report.failed_sends_by_peer
+        );
+    }
+
+    #[test]
     fn net_n_edges_partition_data() {
         let cluster =
             NetCluster::start(NetConfig { num_edges: 3, batch_size: 1, ..NetConfig::default() });

@@ -265,6 +265,34 @@ fn sim_threads_and_sockets_agree_end_to_end() {
     assert_eq!(threaded_delta, sim_delta, "threads: same delta reuse as sim");
     assert_eq!(net_delta, sim_delta, "sockets: same delta reuse as sim");
 
+    // And so are merge *requests*: the edge's full-vs-delta choice and
+    // the per-page full/reference split are a pure function of the
+    // replayed merge sequence, so the request-side counters must agree
+    // byte-for-byte across all three transports (including zero nacks
+    // — nothing was evicted in this scenario).
+    let sim_req = (
+        sim_stats.merge_req_pages_full,
+        sim_stats.merge_req_pages_reused,
+        sim_stats.merge_req_bytes_saved,
+        sim_stats.merge_req_nacks,
+    );
+    let threaded_req = (
+        threaded_report.cloud_stats.merge_req_pages_full,
+        threaded_report.cloud_stats.merge_req_pages_reused,
+        threaded_report.cloud_stats.merge_req_bytes_saved,
+        threaded_report.cloud_stats.merge_req_nacks,
+    );
+    let net_req = (
+        net_report.cloud_stats.merge_req_pages_full,
+        net_report.cloud_stats.merge_req_pages_reused,
+        net_report.cloud_stats.merge_req_bytes_saved,
+        net_report.cloud_stats.merge_req_nacks,
+    );
+    assert_eq!(threaded_req, sim_req, "threads: same request-side delta split as sim");
+    assert_eq!(net_req, sim_req, "sockets: same request-side delta split as sim");
+    assert!(sim_req.0 > 0, "the cold-start merge shipped its pages in full");
+    assert_eq!(sim_req.3, 0, "no resend nacks in a warm, eviction-free run");
+
     // Compaction stats are a pure function of the replayed merge
     // sequence, so the three runtimes must agree byte-for-byte. In
     // this scenario the compaction clock is unarmed (seal_times and
