@@ -8,7 +8,7 @@
 //! from batching: WedgeChain ~15×, Cloud-only ~18.5×, Edge-baseline
 //! worst.
 
-use wedge_bench::{banner, latency_header, run_all};
+use wedge_bench::{banner, latency_header, record_x1000, run_all, write_json};
 use wedge_core::config::SystemConfig;
 use wedge_workload::Scenario;
 
@@ -28,6 +28,12 @@ fn main() {
             batch, out[0].agg.p1_latency_ms, out[1].agg.p1_latency_ms, out[2].agg.p1_latency_ms
         );
         rows.push((batch, out));
+    }
+    for (batch, out) in &rows {
+        for (sys, o) in ["wc", "co", "eb"].iter().zip(out.iter()) {
+            record_x1000(&format!("fig4/batch_{batch}/p1_ms_x1000_{sys}"), o.agg.p1_latency_ms);
+            record_x1000(&format!("fig4/batch_{batch}/kops_x1000_{sys}"), o.agg.throughput_kops);
+        }
     }
 
     banner("Figure 4(b)", "Put throughput (K ops/s) vs batch size");
@@ -58,4 +64,8 @@ fn main() {
     println!("  WedgeChain batching gain   (paper ~15x):  {wc_gain:.1}x");
     println!("  Cloud-only batching gain   (paper ~18.5x): {co_gain:.1}x");
     println!("  Edge-baseline batching gain (paper worst): {eb_gain:.1}x");
+    record_x1000("fig4/summary/wc_gain_x1000", wc_gain);
+    record_x1000("fig4/summary/co_gain_x1000", co_gain);
+    record_x1000("fig4/summary/eb_gain_x1000", eb_gain);
+    write_json("fig4_batch_size");
 }

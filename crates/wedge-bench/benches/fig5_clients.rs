@@ -8,11 +8,11 @@
 //! Edge-baseline ~1.3 K, Cloud-only ~0.27 K ops/s; (c) WedgeChain ≈
 //! Edge-baseline ≫ Cloud-only.
 
-use wedge_bench::{banner, latency_header, run_all};
+use wedge_bench::{banner, latency_header, record_x1000, run_all, write_json};
 use wedge_core::config::SystemConfig;
 use wedge_workload::{Mix, Scenario};
 
-fn sweep(mix: Mix, caption: &str) -> Vec<(usize, [wedge_baselines::RunOutput; 3])> {
+fn sweep(mix: Mix, caption: &str, tag: &str) -> Vec<(usize, [wedge_baselines::RunOutput; 3])> {
     banner(caption, "Throughput (K ops/s) vs number of clients");
     latency_header("clients");
     let cfg = SystemConfig::default();
@@ -46,13 +46,21 @@ fn sweep(mix: Mix, caption: &str) -> Vec<(usize, [wedge_baselines::RunOutput; 3]
         );
         rows.push((clients, out));
     }
+    for (clients, out) in &rows {
+        for (sys, o) in ["wc", "co", "eb"].iter().zip(out.iter()) {
+            record_x1000(
+                &format!("{tag}/clients_{clients}/kops_x1000_{sys}"),
+                o.agg.throughput_kops,
+            );
+        }
+    }
     rows
 }
 
 fn main() {
-    let a = sweep(Mix::AllWrite, "Figure 5(a) all-write");
-    let b = sweep(Mix::Mixed5050, "Figure 5(b) 50% reads / 50% writes");
-    let c = sweep(Mix::AllRead, "Figure 5(c) all-read");
+    let a = sweep(Mix::AllWrite, "Figure 5(a) all-write", "fig5a");
+    let b = sweep(Mix::Mixed5050, "Figure 5(b) 50% reads / 50% writes", "fig5b");
+    let c = sweep(Mix::AllRead, "Figure 5(c) all-read", "fig5c");
 
     println!("\nshape checks:");
     let gain = |rows: &[(usize, [wedge_baselines::RunOutput; 3])], i: usize| {
@@ -86,4 +94,7 @@ fn main() {
         c_last[1].agg.throughput_kops,
         c_last[1].agg.throughput_kops < c_last[0].agg.throughput_kops / 2.0
     );
+    record_x1000("fig5/summary/a_co_gain_pct_x1000", gain(&a, 1));
+    record_x1000("fig5/summary/a_wc_gain_pct_x1000", gain(&a, 0));
+    write_json("fig5_clients");
 }

@@ -6,7 +6,7 @@
 //! behind at B=500/1000 because the (asynchronous) certification
 //! pipeline's per-batch cost grows with the batch size.
 
-use wedge_bench::banner;
+use wedge_bench::{banner, record_x1000, write_json};
 use wedge_core::client::ClientPlan;
 use wedge_core::config::SystemConfig;
 use wedge_core::fault::FaultPlan;
@@ -61,6 +61,10 @@ fn main() {
         }
         if let (Some(p1), Some(p2)) = (p1_done, p2_done) {
             println!("  P2 lag vs P1: {:.1}x (paper: ~1x at B=100, >1.7x at B>=500)", p2 / p1);
+            record_x1000(&format!("fig6/batch_{batch}/p1_done_s_x1000"), p1);
+            record_x1000(&format!("fig6/batch_{batch}/p2_done_s_x1000"), p2);
+            record_x1000(&format!("fig6/batch_{batch}/p2_lag_x1000"), p2 / p1);
         }
     }
+    write_json("fig6_commit_phases");
 }

@@ -9,7 +9,7 @@
 //! (17–247 ms); all three systems converge when the edge is co-located
 //! with the cloud.
 
-use wedge_bench::{banner, latency_header, run_all};
+use wedge_bench::{banner, latency_header, record_x1000, run_all, write_json};
 use wedge_core::config::SystemConfig;
 use wedge_sim::Region;
 use wedge_workload::Scenario;
@@ -33,12 +33,19 @@ fn main() {
             out[2].agg.p1_latency_ms
         );
         flat_wc.push(out[0].agg.p1_latency_ms);
+        for (sys, o) in ["wc", "co", "eb"].iter().zip(out.iter()) {
+            record_x1000(
+                &format!("fig7a/cloud_{}/p1_ms_x1000_{sys}", cloud.code()),
+                o.agg.p1_latency_ms,
+            );
+        }
     }
     let spread = flat_wc.iter().cloned().fold(f64::MIN, f64::max)
         - flat_wc.iter().cloned().fold(f64::MAX, f64::min);
     println!(
         "\n  WedgeChain latency spread across cloud locations: {spread:.1} ms (paper: ~2 ms — the cloud is off the write path)"
     );
+    record_x1000("fig7a/summary/wc_spread_ms_x1000", spread);
 
     banner("Figure 7(b)", "Put latency (ms) vs edge location (client in C, cloud in M)");
     latency_header("edge@");
@@ -56,8 +63,15 @@ fn main() {
             out[1].agg.p1_latency_ms,
             out[2].agg.p1_latency_ms
         );
+        for (sys, o) in ["wc", "co", "eb"].iter().zip(out.iter()) {
+            record_x1000(
+                &format!("fig7b/edge_{}/p1_ms_x1000_{sys}", edge.code()),
+                o.agg.p1_latency_ms,
+            );
+        }
     }
     println!(
         "\n  (paper: WedgeChain tracks client→edge RTT; with edge co-located at the cloud (M), all three systems converge)"
     );
+    write_json("fig7_locations");
 }

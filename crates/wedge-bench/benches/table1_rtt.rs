@@ -4,8 +4,8 @@
 //! verbatim measurement; see `wedge_sim::net::RTT_MS`) and verifies the
 //! simulator actually delivers those RTTs end to end.
 
-use wedge_bench::banner;
-use wedge_sim::{format_table1, NetConfig, NetworkModel, Region, SimTime};
+use wedge_bench::{banner, record_ns, record_x1000, write_json};
+use wedge_sim::{format_table1, NetConfig, NetworkModel, Region, SimTime, RTT_MS};
 
 fn main() {
     banner("Table I", "Average RTTs (ms) between California and other datacenters");
@@ -14,11 +14,14 @@ fn main() {
     // Verify the model: measured delivery RTT == configured matrix.
     let mut net = NetworkModel::new(NetConfig::default(), 1);
     println!("\nmeasured end-to-end RTTs from California (model check):");
-    for to in Region::ALL {
+    for (to, cfg_ms) in Region::ALL.into_iter().zip(RTT_MS[0]) {
         net.reset_queues();
         let t1 = net.delivery_at(SimTime::ZERO, Region::California, to, 64);
         net.reset_queues();
         let t2 = net.delivery_at(t1, to, Region::California, 64);
         println!("  C -> {} -> C : {:>7.1} ms", to.code(), t2.as_millis_f64());
+        record_ns(&format!("table1/cfg_rtt_ms_C_{}", to.code()), cfg_ms as u128);
+        record_x1000(&format!("table1/measured_rtt_ms_x1000_C_{}", to.code()), t2.as_millis_f64());
     }
+    write_json("table1_rtt");
 }

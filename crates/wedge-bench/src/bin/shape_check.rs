@@ -213,6 +213,170 @@ fn check_merge_request_bytes(a: &Artifact, failures: &mut Vec<Failure>) {
     }
 }
 
+fn check_merge_cpu_parallel(a: &Artifact, failures: &mut Vec<Failure>) {
+    for w in [1u64, 2, 4, 8] {
+        require(a, &format!("merge_wall_ns_p{w}"), failures);
+        require(a, &format!("merge_cpu_ns_p{w}"), failures);
+    }
+    // Determinism is non-negotiable: the wire-encoded MergeResult must
+    // be byte-identical at every pool width.
+    if require(a, "roots_match", failures) != 1 {
+        failures.push("merge results are NOT byte-identical across pool widths".into());
+    }
+    // The caller-thread CPU speedup is scheduler-independent (condvar
+    // waits accrue no thread CPU), so it must show the fan-out on any
+    // host, single-core CI runners included.
+    let cpu_speedup = require(a, "speedup_cpu_x1000_p4", failures);
+    if cpu_speedup < 2_000 {
+        failures.push(format!(
+            "caller-thread CPU speedup at width 4 is {:.2}x, below the 2x bar",
+            cpu_speedup as f64 / 1000.0
+        ));
+    }
+    // Wall clock can only improve where the cores exist.
+    let wall_speedup = require(a, "speedup_wall_x1000_p4", failures);
+    if require(a, "host_parallelism", failures) >= 4 && wall_speedup < 2_000 {
+        failures.push(format!(
+            "wall-clock speedup at width 4 is {:.2}x on a >=4-core host, below the 2x bar",
+            wall_speedup as f64 / 1000.0
+        ));
+    }
+}
+
+/// Fetch the {wc, co, eb} triple for one sweep point.
+fn triple(a: &Artifact, prefix: &str, metric: &str, failures: &mut Vec<Failure>) -> [u64; 3] {
+    ["wc", "co", "eb"].map(|sys| require(a, &format!("{prefix}/{metric}_{sys}"), failures))
+}
+
+fn check_fig4_batch_size(a: &Artifact, failures: &mut Vec<Failure>) {
+    for batch in [100u64, 500, 1000, 1500, 2000] {
+        let prefix = format!("fig4/batch_{batch}");
+        let [wc, co, eb] = triple(a, &prefix, "p1_ms_x1000", failures);
+        triple(a, &prefix, "kops_x1000", failures);
+        // The paper's headline ordering at every batch size.
+        if !(wc < co && co < eb) {
+            failures.push(format!(
+                "batch {batch}: latency order violated (WC {wc} < CO {co} < EB {eb} expected)"
+            ));
+        }
+    }
+    let wc_gain = require(a, "fig4/summary/wc_gain_x1000", failures);
+    let co_gain = require(a, "fig4/summary/co_gain_x1000", failures);
+    let eb_gain = require(a, "fig4/summary/eb_gain_x1000", failures);
+    // Batching pays off roughly an order of magnitude (paper: WC ~15x,
+    // CO ~18.5x) and the edge baseline profits least.
+    if wc_gain < 8_000 {
+        failures.push(format!("WedgeChain batching gain {wc_gain} < 8x (paper ~15x)"));
+    }
+    if co_gain < 10_000 {
+        failures.push(format!("Cloud-only batching gain {co_gain} < 10x (paper ~18.5x)"));
+    }
+    if eb_gain >= wc_gain || eb_gain >= co_gain {
+        failures.push(format!(
+            "edge baseline should profit least from batching: EB {eb_gain} vs WC {wc_gain} / CO {co_gain}"
+        ));
+    }
+}
+
+fn check_fig5_clients(a: &Artifact, failures: &mut Vec<Failure>) {
+    let clients = [1u64, 3, 5, 7, 9];
+    for sweep in ["fig5a", "fig5b", "fig5c"] {
+        for c in clients {
+            triple(a, &format!("{sweep}/clients_{c}"), "kops_x1000", failures);
+        }
+    }
+    // (a): added concurrency helps Cloud-only the most (paper +433%).
+    let wc_gain = require(a, "fig5/summary/a_wc_gain_pct_x1000", failures);
+    let co_gain = require(a, "fig5/summary/a_co_gain_pct_x1000", failures);
+    if co_gain <= wc_gain {
+        failures.push(format!(
+            "fig5(a): Cloud-only should gain most from concurrency (CO +{co_gain} vs WC +{wc_gain})"
+        ));
+    }
+    // (b) at 9 clients: WC > EB > CO.
+    let [wc, co, eb] = triple(a, "fig5b/clients_9", "kops_x1000", failures);
+    if !(wc > eb && eb > co) {
+        failures.push(format!(
+            "fig5(b) @9 clients: expected WC > EB > CO, got WC {wc} / EB {eb} / CO {co}"
+        ));
+    }
+    // (c) at 9 clients: Cloud-only reads far behind (less than half WC).
+    let [wc, co, _] = triple(a, "fig5c/clients_9", "kops_x1000", failures);
+    if co * 2 >= wc {
+        failures.push(format!("fig5(c) @9 clients: Cloud-only ({co}) not far behind WC ({wc})"));
+    }
+}
+
+fn check_fig6_commit_phases(a: &Artifact, failures: &mut Vec<Failure>) {
+    let lags: Vec<u64> = [100u64, 500, 1000]
+        .iter()
+        .map(|b| {
+            let prefix = format!("fig6/batch_{b}");
+            require(a, &format!("{prefix}/p1_done_s_x1000"), failures);
+            require(a, &format!("{prefix}/p2_done_s_x1000"), failures);
+            require(a, &format!("{prefix}/p2_lag_x1000"), failures)
+        })
+        .collect();
+    // Paper: P2 keeps pace at B=100, lags behind at larger batches, and
+    // the lag grows with the batch size.
+    if lags[0] > 1_300 {
+        failures.push(format!("P2 lag at B=100 is {}x1000, should be ~1x", lags[0]));
+    }
+    if !(lags[0] <= lags[1] && lags[1] <= lags[2]) {
+        failures.push(format!("P2 lag not monotone in batch size: {lags:?}"));
+    }
+    if lags[2] < 1_700 {
+        failures.push(format!("P2 lag at B=1000 is {}x1000, paper says >1.7x", lags[2]));
+    }
+}
+
+fn check_fig7_locations(a: &Artifact, failures: &mut Vec<Failure>) {
+    // (a) WedgeChain stays flat while the cloud moves away; the
+    // cloud-bound baselines track the distance.
+    let mut co = Vec::new();
+    for cloud in ["O", "V", "I", "M"] {
+        let [_, c, _] = triple(a, &format!("fig7a/cloud_{cloud}"), "p1_ms_x1000", failures);
+        co.push(c);
+    }
+    let spread = require(a, "fig7a/summary/wc_spread_ms_x1000", failures);
+    if spread > 2_000 {
+        failures.push(format!(
+            "fig7(a): WedgeChain spread across cloud locations is {spread} (x1000 ms), paper ~2 ms"
+        ));
+    }
+    if co.last().unwrap().saturating_sub(co[0]) < 50_000 {
+        failures.push(format!("fig7(a): Cloud-only should track the cloud distance, got {co:?}"));
+    }
+    // (b) WedgeChain tracks the client↔edge RTT: monotone in distance.
+    let wc: Vec<u64> = ["C", "O", "V", "I", "M"]
+        .iter()
+        .map(|e| triple(a, &format!("fig7b/edge_{e}"), "p1_ms_x1000", failures)[0])
+        .collect();
+    if !wc.windows(2).all(|w| w[0] < w[1]) {
+        failures.push(format!("fig7(b): WedgeChain latency not monotone in edge distance: {wc:?}"));
+    }
+}
+
+fn check_table1_rtt(a: &Artifact, failures: &mut Vec<Failure>) {
+    for region in ["C", "O", "V", "I", "M"] {
+        let cfg = require(a, &format!("table1/cfg_rtt_ms_C_{region}"), failures);
+        let measured = require(a, &format!("table1/measured_rtt_ms_x1000_C_{region}"), failures);
+        if region == "C" {
+            // Table I lists 0 for C↔C; the model substitutes the local
+            // (metro) RTT, which must be small but nonzero.
+            if measured == 0 || measured > 20_000 {
+                failures.push(format!("C->C->C local RTT {measured} (x1000 ms) out of range"));
+            }
+        } else if measured < cfg * 1_000 || measured > cfg * 1_000 + 1_000 {
+            // The probe pays serialization for its 64 B + overhead on
+            // top of the propagation delay — allow under a millisecond.
+            failures.push(format!(
+                "C->{region}->C measured RTT {measured} (x1000 ms) not within 1 ms of configured {cfg} ms"
+            ));
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
@@ -232,8 +396,14 @@ fn main() -> ExitCode {
         let mut failures = Vec::new();
         match artifact.bench.as_str() {
             "compaction_decay" => check_compaction_decay(&artifact, &mut failures),
+            "merge_cpu_parallel" => check_merge_cpu_parallel(&artifact, &mut failures),
             "merge_reply_bytes" => check_merge_reply_bytes(&artifact, &mut failures),
             "merge_request_bytes" => check_merge_request_bytes(&artifact, &mut failures),
+            "fig4_batch_size" => check_fig4_batch_size(&artifact, &mut failures),
+            "fig5_clients" => check_fig5_clients(&artifact, &mut failures),
+            "fig6_commit_phases" => check_fig6_commit_phases(&artifact, &mut failures),
+            "fig7_locations" => check_fig7_locations(&artifact, &mut failures),
+            "table1_rtt" => check_table1_rtt(&artifact, &mut failures),
             // Other benches: the generic structural parse (bench name
             // + at least one well-formed result) is the whole check.
             _ => {}

@@ -90,6 +90,13 @@ pub fn record_ns(name: &str, ns: u128) {
     });
 }
 
+/// Records a fractional metric (ms, ratios, K ops/s) through the
+/// integer-only JSON pipeline, scaled by 1000. Callers encode the
+/// scale in the metric name (`..._x1000`).
+pub fn record_x1000(name: &str, v: f64) {
+    record_ns(name, (v * 1000.0).max(0.0) as u128);
+}
+
 /// Snapshot of every result recorded so far in this process.
 pub fn recorded_results() -> Vec<BenchRecord> {
     RESULTS.lock().unwrap().clone()

@@ -69,6 +69,12 @@ pub struct SystemConfig {
     /// to the cloud. `false` ships the whole block (the ablation in
     /// `benches/ablations.rs`).
     pub data_free: bool,
+    /// Worker-pool width for hash/verify hot paths (merge rebuilds,
+    /// forest hashing, batched signature checks). `1` = fully inline
+    /// on the caller thread — the simulator's default, keeping the
+    /// discrete-event run single-threaded and its virtual clock exact.
+    /// Results are byte-identical for every width.
+    pub pool_threads: usize,
 }
 
 impl Default for SystemConfig {
@@ -93,6 +99,7 @@ impl Default for SystemConfig {
             freshness_window_ms: None,
             seed: 42,
             data_free: true,
+            pool_threads: 1,
         }
     }
 }

@@ -3,7 +3,8 @@
 //! Clients drive the workload and are the protocol's *verifiers*: they
 //! check Phase-I receipts, compare Phase-II proofs against what the
 //! edge promised, verify read proofs end-to-end (with the repeat-read
-//! [`ReadProofCache`]), track gossip watermarks, and file disputes
+//! [`ShardedReadProofCache`]), track gossip watermarks, and file
+//! disputes
 //! when the edge fails to deliver in time. All latency metrics the
 //! figures report are recorded here.
 //!
@@ -22,13 +23,13 @@ use crate::cost::CostModel;
 use crate::messages::{AddReceipt, Dispute, DisputeVerdict, Msg, ReadReceipt, WireMsg};
 use crate::metrics::ClientMetrics;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use wedge_crypto::{Identity, IdentityId, KeyRegistry, Signature};
 use wedge_log::{
     Block, BlockId, BlockProof, CommitPhase, Entry, GossipWatermark, WatermarkTracker,
 };
 use wedge_lsmerkle::{
-    verify_read_proof_cached, IndexReadProof, Key, KvOp, ProofError, ReadProofCache,
+    verify_read_proof_sharded, IndexReadProof, Key, KvOp, ProofError, ShardedReadProofCache,
 };
 use wedge_sim::{SimDuration, SimRng, SimTime};
 use wedge_workload::{KeyDist, KeySampler};
@@ -324,9 +325,12 @@ pub struct ClientEngine {
     /// handle so every client of one process can reuse one cache
     /// ([`ClientEngine::share_proof_cache`]): a page verified for one
     /// client is verified for all of them — the trust rule is digest +
-    /// record equality, not who asked. Engines default to a private
-    /// cache; the lock is uncontended then.
-    proof_cache: Arc<Mutex<ReadProofCache>>,
+    /// record equality, not who asked. Sharded, so concurrent
+    /// verifiers contend per-shard per-consult rather than
+    /// serializing the whole verification behind one mutex. Engines
+    /// default to a private cache; the shard locks are uncontended
+    /// then.
+    proof_cache: Arc<ShardedReadProofCache>,
     /// CPU charged so far within the current `handle` call; sends are
     /// stamped at `now + elapsed` so measured latencies start when the
     /// message actually departs (after verification work), exactly as
@@ -391,7 +395,7 @@ impl ClientEngine {
             rng: SimRng::new(workload_seed),
             freshness_window_ns,
             dispute_timeout_ns,
-            proof_cache: Arc::new(Mutex::new(ReadProofCache::default())),
+            proof_cache: Arc::new(ShardedReadProofCache::default()),
             elapsed_ns: 0,
             pipeline_depth: 1,
             next_req: 0,
@@ -436,13 +440,13 @@ impl ClientEngine {
     /// client the same handle, so a witness verified by any client
     /// skips re-derivation for all of them. Call before the workload
     /// starts — swapping drops the private cache's contents.
-    pub fn share_proof_cache(&mut self, cache: Arc<Mutex<ReadProofCache>>) {
+    pub fn share_proof_cache(&mut self, cache: Arc<ShardedReadProofCache>) {
         self.proof_cache = cache;
     }
 
     /// The engine's proof-cache handle (shared or private) — for
     /// reading hit/miss counters at report time.
-    pub fn proof_cache(&self) -> &Arc<Mutex<ReadProofCache>> {
+    pub fn proof_cache(&self) -> &Arc<ShardedReadProofCache> {
         &self.proof_cache
     }
 
@@ -764,18 +768,15 @@ impl ClientEngine {
             return;
         };
         self.charge(out, self.cost.verify_read());
-        let result = {
-            let mut cache = self.proof_cache.lock().expect("proof cache poisoned");
-            verify_read_proof_cached(
-                &proof,
-                self.edge_identity,
-                self.cloud_identity,
-                &self.registry,
-                now_ns,
-                self.freshness_window_ns,
-                &mut cache,
-            )
-        };
+        let result = verify_read_proof_sharded(
+            &proof,
+            self.edge_identity,
+            self.cloud_identity,
+            &self.registry,
+            now_ns,
+            self.freshness_window_ns,
+            &self.proof_cache,
+        );
         let latency = SimDuration::from_nanos(now_ns.saturating_sub(read.sent_ns));
         match result {
             Ok(verified) => {
@@ -1092,8 +1093,8 @@ mod tests {
         tree.apply_block(block);
         tree.attach_block_proof(proof);
 
-        let cache = Arc::new(Mutex::new(ReadProofCache::default()));
-        let run_get = |cache: &Arc<Mutex<ReadProofCache>>| {
+        let cache = Arc::new(ShardedReadProofCache::default());
+        let run_get = |cache: &Arc<ShardedReadProofCache>| {
             let mut eng = engine();
             eng.share_proof_cache(Arc::clone(cache));
             let effects = eng.handle(ClientCommand::Get { token: 0, key: 7 }, 100);
@@ -1120,13 +1121,9 @@ mod tests {
         };
 
         run_get(&cache);
-        {
-            let c = cache.lock().unwrap();
-            assert_eq!(c.hits(), 0, "first verification derives everything");
-            assert!(c.misses() >= 1, "the miss populated the shared cache");
-        }
+        assert_eq!(cache.hits(), 0, "first verification derives everything");
+        assert!(cache.misses() >= 1, "the miss populated the shared cache");
         run_get(&cache);
-        let c = cache.lock().unwrap();
-        assert!(c.hits() >= 1, "second client answered its witness check from the cache");
+        assert!(cache.hits() >= 1, "second client answered its witness check from the cache");
     }
 }

@@ -240,6 +240,9 @@ pub struct EdgeEngine<C> {
     /// certified (honest or tampered — a retry must repeat the same
     /// claim) and the absolute retry deadline.
     pending_certs: HashMap<BlockId, PendingCert>,
+    /// Worker pool for batched Schnorr verification (inline by
+    /// default: everything stays on the caller thread).
+    pool: wedge_pool::Pool,
     /// Counters.
     pub stats: EdgeStats,
 }
@@ -290,6 +293,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             next_compaction_at_ns: None,
             cloud_retained: HashMap::new(),
             pending_certs: HashMap::new(),
+            pool: wedge_pool::Pool::default(),
             stats: EdgeStats::default(),
         }
     }
@@ -297,6 +301,15 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
     /// This edge's identity id.
     pub fn id(&self) -> IdentityId {
         self.identity.id
+    }
+
+    /// Installs a worker pool: batched client-signature checks in
+    /// `batch_add` and the tree's merge-apply forest rebuilds fan out
+    /// across its lanes. Verdicts and roots are byte-identical for
+    /// every pool size.
+    pub fn set_pool(&mut self, pool: wedge_pool::Pool) {
+        self.tree.set_pool(pool.clone());
+        self.pool = pool;
     }
 
     /// Enables certification retries: an unacknowledged block-certify
@@ -402,7 +415,16 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
         out.push(EdgeEffect::UseCpu(self.cost.seal_block(ops, bytes)));
         if self.crypto_mode == CryptoMode::Real {
             // Reject batches containing invalid client signatures.
-            if !entries.iter().all(|e| e.verify(&self.registry)) {
+            // Each Schnorr check is independent, so a pooled edge fans
+            // the batch across its lanes; the verdict (all-or-nothing)
+            // is order-insensitive, hence identical to the serial scan.
+            let registry = &self.registry;
+            let all_ok = if self.pool.is_inline() {
+                entries.iter().all(|e| e.verify(registry))
+            } else {
+                self.pool.map(&entries, |e| e.verify(registry)).into_iter().all(|ok| ok)
+            };
+            if !all_ok {
                 return;
             }
         }

@@ -130,6 +130,8 @@ impl MultiPartitionHarness {
             .collect();
 
         let mut index = CloudIndex::new(cfg.lsm.clone());
+        let pool = wedge_pool::Pool::new(cfg.pool_threads);
+        index.set_pool(pool.clone());
         let mut inits = Vec::new();
         for e in &edge_idents {
             inits.push(index.init_edge(&cloud_ident, e.id, 0));
@@ -164,6 +166,7 @@ impl MultiPartitionHarness {
                 client_actors[p].clone(),
             );
             node.data_free = cfg.data_free;
+            node.set_pool(pool.clone());
             node.set_cert_retry_ns(cfg.cert_retry_ms.map(|ms| ms * 1_000_000));
             node.set_merge_retry_ns(cfg.merge_retry_ms.map(|ms| ms * 1_000_000));
             node.set_compaction_period_ns(cfg.compaction_period_ms.map(|ms| ms * 1_000_000));
@@ -336,6 +339,10 @@ impl SystemHarness {
 
         // --- cloud-side index bootstrap ---
         let mut index = CloudIndex::new(cfg.lsm.clone());
+        // One pool serves both sides: the sim is single-threaded, so
+        // scopes never overlap; the default width 1 keeps it inline.
+        let pool = wedge_pool::Pool::new(cfg.pool_threads);
+        index.set_pool(pool.clone());
         let init = index.init_edge(&cloud_ident, edge_ident.id, 0);
         let tree = LsMerkle::new(edge_ident.id, cfg.lsm.clone(), init);
 
@@ -374,6 +381,7 @@ impl SystemHarness {
             client_actor_ids.clone(),
         );
         edge_node.data_free = cfg.data_free;
+        edge_node.set_pool(pool.clone());
         edge_node.set_cert_retry_ns(cfg.cert_retry_ms.map(|ms| ms * 1_000_000));
         edge_node.set_merge_retry_ns(cfg.merge_retry_ms.map(|ms| ms * 1_000_000));
         edge_node.set_compaction_period_ns(cfg.compaction_period_ms.map(|ms| ms * 1_000_000));

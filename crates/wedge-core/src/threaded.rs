@@ -38,13 +38,13 @@ use crate::messages::{DisputeVerdict, WireMsg};
 use crate::metrics::ClientMetrics;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry};
 use wedge_log::BlockId;
 use wedge_lsmerkle::{
-    CloudIndex, CompactionStats, LsMerkle, LsmConfig, ProofError, ReadProofCache,
+    CloudIndex, CompactionStats, LsMerkle, LsmConfig, ProofError, ShardedReadProofCache,
 };
 
 /// Configuration for the threaded runtime.
@@ -103,6 +103,11 @@ pub struct ThreadedConfig {
     /// forever behind a full edge inbox. `None` keeps the blocking
     /// behaviour for `try_put_on` too.
     pub admission_timeout: Option<Duration>,
+    /// Worker-pool width for the hash/verify hot paths (cloud merge
+    /// rebuilds, edge forest rebuilds, batched signature checks).
+    /// Defaults from `WEDGE_POOL_THREADS` (1 when unset = inline).
+    /// Results are byte-identical for every width.
+    pub pool_threads: usize,
 }
 
 impl Default for ThreadedConfig {
@@ -125,6 +130,7 @@ impl Default for ThreadedConfig {
             cloud_inbox_cap: 1024,
             edge_inbox_cap: 1024,
             admission_timeout: None,
+            pool_threads: wedge_pool::threads_from_env(),
         }
     }
 }
@@ -292,8 +298,10 @@ pub struct ThreadedCluster {
     admission_timeout: Option<Duration>,
     /// Puts shed by the admission path.
     puts_shed: std::sync::atomic::AtomicU64,
-    /// The process-wide read-proof cache every client shares.
-    proof_cache: Arc<Mutex<ReadProofCache>>,
+    /// The process-wide read-proof cache every client shares —
+    /// sharded, so partitions verifying in parallel contend per-shard,
+    /// not on one global lock.
+    proof_cache: Arc<ShardedReadProofCache>,
 }
 
 impl ThreadedCluster {
@@ -324,6 +332,10 @@ impl ThreadedCluster {
         }
 
         let mut index = CloudIndex::new(cfg.lsm.clone());
+        // Each engine runs on its own service thread and scopes its
+        // own parallel sections; a shared pool would serialize them,
+        // so the cloud and every edge get a pool of their own.
+        index.set_pool(wedge_pool::Pool::new(cfg.pool_threads));
         let inits: Vec<_> =
             edge_idents.iter().map(|e| index.init_edge(&cloud_ident, e.id, 0)).collect();
 
@@ -384,6 +396,7 @@ impl ThreadedCluster {
                 tree,
                 vec![CLIENT_PEER],
             );
+            engine.set_pool(wedge_pool::Pool::new(cfg.pool_threads));
             engine.set_cert_retry_ns(cfg.cert_retry.map(|d| d.as_nanos() as u64));
             engine.set_merge_retry_ns(cfg.merge_retry.map(|d| d.as_nanos() as u64));
             engine.set_compaction_period_ns(cfg.compaction_period.map(|d| d.as_nanos() as u64));
@@ -408,7 +421,7 @@ impl ThreadedCluster {
         // One proof cache for the whole process: a witness verified by
         // any partition's client is verified for all of them (the
         // cache's trust rule is content-based, not per-client).
-        let proof_cache = Arc::new(Mutex::new(ReadProofCache::default()));
+        let proof_cache = Arc::new(ShardedReadProofCache::default());
         let mut client_handles = Vec::new();
         for (p, (ident, rx)) in client_idents.into_iter().zip(client_rxs).enumerate() {
             let seed = client_workload_seed(0, ident.id);
@@ -605,10 +618,8 @@ impl ThreadedCluster {
         }
         let mut punished: Vec<IdentityId> = cloud_engine.punished.iter().copied().collect();
         punished.sort_by_key(|id| id.0);
-        let (proof_cache_hits, proof_cache_misses) = {
-            let cache = this.proof_cache.lock().expect("proof cache poisoned");
-            (cache.hits(), cache.misses())
-        };
+        let (proof_cache_hits, proof_cache_misses) =
+            (this.proof_cache.hits(), this.proof_cache.misses());
         Some(ThreadedReport {
             edges: reports,
             cloud_stats: cloud_engine.stats.clone(),

@@ -231,6 +231,27 @@ pub fn forest_over_reusing(pages: &[Arc<Page>], old: &MerkleForest) -> MerkleFor
     MerkleForest::rebuild(pages.iter().map(|p| p.digest()).collect(), old)
 }
 
+/// [`forest_over_reusing`] with the two hashing phases fanned out
+/// across a pool: page content digests are memoized in parallel (the
+/// dominant cost when pages were decoded off the wire and carry no
+/// memo), then the forest rebuild tags new leaves in parallel too.
+/// Byte-identical to the serial build for every pool size — digest
+/// memoization is idempotent and tags are pure; an inline pool takes
+/// the serial path untouched.
+pub fn forest_over_reusing_pooled(
+    pages: &[Arc<Page>],
+    old: &MerkleForest,
+    pool: &wedge_pool::Pool,
+) -> MerkleForest {
+    if pool.is_inline() {
+        return forest_over_reusing(pages, old);
+    }
+    pool.for_each(pages, |p| {
+        p.digest();
+    });
+    MerkleForest::rebuild_pooled(pages.iter().map(|p| p.digest()).collect(), old, pool)
+}
+
 /// The root of an empty level (computed once per process).
 pub fn empty_level_root() -> Digest {
     wedge_crypto::merkle::empty_root()

@@ -44,7 +44,8 @@ pub use page::{
     check_level_ranges, find_covering, split_into_pages, split_into_range_pages, L0Page, Page,
 };
 pub use proof::{
-    build_read_proof, verify_read_proof, verify_read_proof_cached, IndexReadProof, L0Witness,
-    LevelWitness, ProofError, ReadProofCache, VerifiedRead,
+    build_read_proof, verify_read_proof, verify_read_proof_cached, verify_read_proof_sharded,
+    IndexReadProof, L0Witness, LevelWitness, ProofError, ReadProofCache, ShardedReadProofCache,
+    VerifiedRead,
 };
 pub use tree::{LsMerkle, RecordLocation};

@@ -21,7 +21,8 @@ use crate::config::LsmConfig;
 use crate::forest::MerkleForest;
 use crate::kv::KvRecord;
 use crate::level::{
-    compute_global_root, empty_level_root, forest_over_reusing, GlobalRootCert, SignedLevelRoot,
+    compute_global_root, empty_level_root, forest_over_reusing_pooled, GlobalRootCert,
+    SignedLevelRoot,
 };
 use crate::page::{
     check_level_ranges, find_covering, split_into_pages, split_into_range_pages, L0Page, Page,
@@ -31,6 +32,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use wedge_crypto::{Digest, Identity, IdentityId};
 use wedge_log::{BlockId, CertLedger, DecodeError};
+use wedge_pool::Pool;
 
 /// A merge request from an edge node.
 #[derive(Clone, Debug, PartialEq)]
@@ -817,6 +819,7 @@ fn rebuilt_target_pages(
     deepest: bool,
     page_capacity: usize,
     now_ns: u64,
+    pool: &Pool,
 ) -> Vec<Arc<Page>> {
     let source_runs: Vec<&[KvRecord]> = req
         .source_l0
@@ -854,11 +857,22 @@ fn rebuilt_target_pages(
         !deepest || targets.iter().all(|p| p.records().iter().all(|r| r.value.is_some())),
         "deepest-level target page holds a tombstone"
     );
-    let mut out = Vec::with_capacity(targets.len());
+    // Walk the dirty map into slots first: clean pages pass through as
+    // the same `Arc`s, and each contiguous dirty run becomes a region.
+    // Regions are confined to disjoint key ranges, so their k-way
+    // merges and re-splits are independent — the pool rebuilds them on
+    // separate lanes and the slot order makes the stitch-back
+    // deterministic regardless of which lane finished first.
+    enum Slot {
+        Clean(usize),
+        Region,
+    }
+    let mut slots = Vec::new();
+    let mut regions = Vec::new();
     let mut i = 0;
     while i < targets.len() {
         if !dirty[i] {
-            out.push(Arc::clone(&targets[i]));
+            slots.push(Slot::Clean(i));
             i += 1;
             continue;
         }
@@ -866,8 +880,12 @@ fn rebuilt_target_pages(
         while i < targets.len() && dirty[i] {
             i += 1;
         }
-        let (rmin, rmax) = (targets[start].min(), targets[i - 1].max());
-        let mut runs: Vec<&[KvRecord]> = targets[start..i].iter().map(|p| p.records()).collect();
+        slots.push(Slot::Region);
+        regions.push((start, i));
+    }
+    let rebuild_region = |&(start, end): &(usize, usize)| -> Vec<Arc<Page>> {
+        let (rmin, rmax) = (targets[start].min(), targets[end - 1].max());
+        let mut runs: Vec<&[KvRecord]> = targets[start..end].iter().map(|p| p.records()).collect();
         for run in &source_runs {
             let lo = run.partition_point(|r| r.key < rmin);
             let hi = run.partition_point(|r| r.key <= rmax);
@@ -876,7 +894,29 @@ fn rebuilt_target_pages(
             }
         }
         let merged = kway_merge_newest(&runs, deepest);
-        out.extend(split_into_range_pages(merged, page_capacity, now_ns, rmin, rmax));
+        let pages = split_into_range_pages(merged, page_capacity, now_ns, rmin, rmax);
+        if !pool.is_inline() {
+            // Memoize the fresh pages' digests while still on this
+            // lane — the forest rebuild and the reply's delta encoding
+            // both need them, and a memo is idempotent.
+            for p in &pages {
+                p.digest();
+            }
+        }
+        pages
+    };
+    let rebuilt: Vec<Vec<Arc<Page>>> = if pool.is_inline() {
+        regions.iter().map(rebuild_region).collect()
+    } else {
+        pool.map(&regions, rebuild_region)
+    };
+    let mut rebuilt = rebuilt.into_iter();
+    let mut out = Vec::with_capacity(targets.len());
+    for slot in slots {
+        match slot {
+            Slot::Clean(i) => out.push(Arc::clone(&targets[i])),
+            Slot::Region => out.extend(rebuilt.next().expect("one rebuilt run per region")),
+        }
     }
     out
 }
@@ -931,6 +971,12 @@ pub struct CloudIndex {
     cfg: LsmConfig,
     states: HashMap<IdentityId, CloudIndexState>,
     compaction: CompactionStats,
+    /// Worker pool for the embarrassingly-parallel phases of a merge:
+    /// digest memoization of wire-decoded pages, L0 record
+    /// re-derivation, per-region rebuilds, and forest leaf tagging.
+    /// Inline (size 1) by default — results are byte-identical for
+    /// every pool size, so this is purely a throughput knob.
+    pool: Pool,
 }
 
 /// True iff the pages' digest run matches the forest leaf-for-leaf.
@@ -946,12 +992,49 @@ impl CloudIndex {
     /// Creates a cloud index for the given LSMerkle shape.
     pub fn new(cfg: LsmConfig) -> Self {
         cfg.validate().expect("invalid LSMerkle config");
-        CloudIndex { cfg, states: HashMap::new(), compaction: CompactionStats::default() }
+        CloudIndex {
+            cfg,
+            states: HashMap::new(),
+            compaction: CompactionStats::default(),
+            pool: Pool::default(),
+        }
     }
 
     /// The configured shape.
     pub fn config(&self) -> &LsmConfig {
         &self.cfg
+    }
+
+    /// Installs the worker pool merge processing fans out on. The
+    /// drivers call this with their configured `pool_threads`; the
+    /// default is the inline pool, so nothing changes unless asked.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
+    }
+
+    /// The installed worker pool.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Memoizes, across the pool, every page digest the merge path
+    /// will ask for: fingerprinting (replay lookup), run verification,
+    /// retention, and the reply's delta encoding all force them.
+    /// Pages rehydrated from retained `Arc`s already carry their memo
+    /// and cost nothing; wire-decoded pages hash once each, spread
+    /// over the lanes. Idempotent, pure, byte-identical at any size.
+    pub fn prime_request_digests(&self, req: &MergeRequest) {
+        if self.pool.is_inline() {
+            return;
+        }
+        self.pool.for_each(&req.source_l0, |p| {
+            p.digest();
+        });
+        let pages: Vec<&Arc<Page>> =
+            req.source_pages.iter().chain(req.target_pages.iter()).collect();
+        self.pool.for_each(&pages, |p| {
+            p.digest();
+        });
     }
 
     /// Cumulative fold work across every merge this cloud processed.
@@ -1074,10 +1157,20 @@ impl CloudIndex {
         if state.epoch != req.epoch {
             return Err(MergeError::EpochMismatch { expected: state.epoch, got: req.epoch });
         }
+        // Hash every shipped page across the pool before the serial
+        // verification below forces the digests one by one.
+        self.prime_request_digests(req);
+        let pool = self.pool.clone();
 
         // --- Verify sources ---
         if req.source_level == 0 {
-            for page in &req.source_l0 {
+            // `matches_block` re-derives each block's records — the
+            // expensive half of L0 verification — so precompute the
+            // verdicts across the pool. They are consumed in page
+            // order below, keeping error precedence identical.
+            let records_ok: Option<Vec<bool>> =
+                (!pool.is_inline()).then(|| pool.map(&req.source_l0, |p| p.matches_block()));
+            for (i, page) in req.source_l0.iter().enumerate() {
                 // Memoized: the block is hashed at most once per page
                 // lifetime, even across certify → merge → proof.
                 let digest = page.digest();
@@ -1089,7 +1182,11 @@ impl CloudIndex {
                     Some(_) => {}
                 }
                 // Never trust the edge's decoded records; re-derive.
-                if !page.matches_block() {
+                let ok = match &records_ok {
+                    Some(v) => v[i],
+                    None => page.matches_block(),
+                };
+                if !ok {
                     return Err(MergeError::L0RecordsMismatch(page.block().id));
                 }
             }
@@ -1116,7 +1213,8 @@ impl CloudIndex {
         // touch are *reused* (the same `Arc`s the request shipped), so
         // the reply's delta encoding ships only what changed.
         let deepest = target_level as usize == n_levels;
-        let mut new_pages = rebuilt_target_pages(req, deepest, self.cfg.page_capacity, now_ns);
+        let mut new_pages =
+            rebuilt_target_pages(req, deepest, self.cfg.page_capacity, now_ns, &pool);
 
         // --- Compact: an *empty-source* request is the background
         // compactor asking for a whole-level fold — nothing was merged,
@@ -1134,13 +1232,21 @@ impl CloudIndex {
             CompactionStats::default()
         };
         debug_assert!(check_level_ranges(&new_pages).is_ok());
+        if !pool.is_inline() {
+            // Fresh pages from a full merge or a compaction fold have
+            // no digest memo yet; hash them across the lanes before
+            // the forest build and delta encoding force them serially.
+            pool.for_each(&new_pages, |p| {
+                p.digest();
+            });
+        }
 
         // --- Re-sign roots. The target forest is patched from the
         // cached one: O(k log n) interior hashes for a k-page change,
         // not O(level) — this is what keeps a long-lived store's merge
         // cost proportional to the delta.
         let state = self.states.get_mut(&req.edge).expect("checked above");
-        let new_forest = forest_over_reusing(&new_pages, &state.level_forests[t_idx]);
+        let new_forest = forest_over_reusing_pooled(&new_pages, &state.level_forests[t_idx], &pool);
         let new_epoch = state.epoch + 1;
         state.epoch = new_epoch;
         state.level_roots[t_idx] = new_forest.root();
@@ -1734,5 +1840,69 @@ mod tests {
         // Runs per level stay bounded at two across further merges.
         let retained = &index.state(edge).unwrap().retained;
         assert!(retained.values().all(|runs| runs.len() <= 2));
+    }
+
+    /// Satellite: delta rehydration reuses memoized digests end to
+    /// end. Request side: references resolve into the cloud's retained
+    /// `Arc`s, whose digests were memoized when the prior merge built
+    /// them — resolving hashes nothing, and fingerprinting the
+    /// resolved request hashes exactly the wire-shipped full pages.
+    /// Reply side: the edge resolves reply references into its own
+    /// request `Arc`s, so only the pages shipped in full are ever
+    /// hashed again.
+    #[test]
+    fn delta_paths_never_rehash_retained_pages() {
+        use crate::page::hash_stats;
+        let (cloud, ledger, mut index, edge, req2, res1) = retained_setup();
+        // Request fingerprint baseline before any wire traffic: req2's
+        // pages get their memos here, as on a real edge.
+        let want_fp = req2.fingerprint();
+        let dreq = DeltaMergeRequest::delta_against(&req2, &edge_view(edge, &res1));
+        // Wire round-trip: the delta's full pages arrive memo-free,
+        // the references as indices — exactly what the cloud decodes.
+        let mut enc = wedge_log::Encoder::default();
+        dreq.encode_into(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = wedge_log::Decoder::new(&bytes);
+        let dreq = DeltaMergeRequest::decode_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        let h0 = hash_stats::computed();
+        let resolved = index.resolve_delta_request(&dreq).unwrap();
+        assert_eq!(hash_stats::computed() - h0, 0, "request rehydration hashes nothing");
+
+        let h1 = hash_stats::computed();
+        assert_eq!(resolved.fingerprint(), want_fp, "delta and full retries share a fingerprint");
+        assert_eq!(
+            hash_stats::computed() - h1,
+            dreq.full_pages(),
+            "fingerprinting hashes only wire-shipped pages; retained references keep their memos"
+        );
+
+        // Reply side: merge, delta-encode the reply, round-trip it,
+        // and resolve it against the request the way the edge does.
+        let res2 = index.process_merge(&cloud, &ledger, &resolved, 20).unwrap();
+        let dres = DeltaMergeResult::delta_against(&res2, &resolved);
+        assert!(dres.reused_pages() > 0, "the reply must actually reference request pages");
+        let mut enc = wedge_log::Encoder::default();
+        dres.encode_into(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = wedge_log::Decoder::new(&bytes);
+        let dres = DeltaMergeResult::decode_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        let h2 = hash_stats::computed();
+        let reply = dres.resolve(&resolved).unwrap();
+        assert_eq!(hash_stats::computed() - h2, 0, "reply rehydration hashes nothing");
+        let h3 = hash_stats::computed();
+        for p in &reply.new_target_pages {
+            p.digest();
+        }
+        assert_eq!(
+            hash_stats::computed() - h3,
+            dres.full_pages(),
+            "only the reply's wire-shipped pages are hashed; reused references keep their memos"
+        );
+        assert_eq!(reply, res2, "the resolved reply is the full result, byte for byte");
     }
 }

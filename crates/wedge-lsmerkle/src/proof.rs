@@ -20,7 +20,7 @@ use crate::level::{compute_global_root, empty_level_root, GlobalRootCert};
 use crate::page::{l0_lookup_pages, L0Page, Page};
 use crate::tree::LsMerkle;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use wedge_crypto::{Digest, IdentityId, InclusionProof, KeyRegistry, MerkleTree};
 use wedge_log::{BlockProof, CommitPhase, Encoder};
 
@@ -269,6 +269,29 @@ impl ReadProofCache {
         self.map.is_empty()
     }
 
+    /// One cache consult for witness `w` under the trust rule
+    /// documented on the type: returns `(page_ok, proof_matches)` and
+    /// stamps recency on the touched entry (LRU). Exactly one of
+    /// `hits`/`misses` is bumped per call.
+    fn consult(&mut self, digest: &Digest, w: &L0Witness) -> (bool, bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        let verdict = match self.map.get_mut(digest) {
+            Some(e) => {
+                e.last_used = tick;
+                let page_ok = Arc::ptr_eq(&e.page, &w.page) || e.page.records() == w.page.records();
+                (page_ok, page_ok && e.proof.as_ref() == w.proof.as_ref())
+            }
+            None => (false, false),
+        };
+        if verdict.0 {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        verdict
+    }
+
     /// Inserts (or refreshes) an entry, evicting the least-recently-
     /// used one first when at capacity.
     fn admit(&mut self, digest: Digest, page: Arc<L0Page>, proof: Option<BlockProof>) {
@@ -297,35 +320,14 @@ fn check_l0_witness(
     edge: IdentityId,
     cloud: IdentityId,
     registry: &KeyRegistry,
-    cache: &mut Option<&mut ReadProofCache>,
+    cache: &mut CacheRef<'_>,
 ) -> Result<bool, ProofError> {
     let digest = w.page.digest();
     // Consult the cache, stamping recency on the touched entry (LRU).
     // Trust rule (see the type docs): pointer identity, or — for
     // pages decoded off the wire into fresh Arcs — record equality
     // against the already-verified page with the same digest.
-    let (page_ok, cached_proof_matches) = match cache.as_deref_mut() {
-        Some(c) => {
-            c.tick += 1;
-            let tick = c.tick;
-            let verdict = match c.map.get_mut(&digest) {
-                Some(e) => {
-                    e.last_used = tick;
-                    let page_ok =
-                        Arc::ptr_eq(&e.page, &w.page) || e.page.records() == w.page.records();
-                    (page_ok, page_ok && e.proof.as_ref() == w.proof.as_ref())
-                }
-                None => (false, false),
-            };
-            if verdict.0 {
-                c.hits += 1;
-            } else {
-                c.misses += 1;
-            }
-            verdict
-        }
-        None => (false, false),
-    };
+    let (page_ok, cached_proof_matches) = cache.consult(&digest, w);
     if !page_ok && !w.page.matches_block() {
         return Err(ProofError::BadL0Proof(w.page.bid()));
     }
@@ -343,17 +345,127 @@ fn check_l0_witness(
         }
         None => false,
     };
-    if let Some(c) = cache.as_deref_mut() {
-        // Admit (or refresh, e.g. a page later read with its proof
-        // attached).
-        c.admit(digest, Arc::clone(&w.page), w.proof.clone());
-    }
+    // Admit (or refresh, e.g. a page later read with its proof
+    // attached).
+    cache.admit(digest, w);
     Ok(certified)
 }
 
 impl Default for ReadProofCache {
     fn default() -> Self {
         ReadProofCache::new(4096)
+    }
+}
+
+/// A [`ReadProofCache`] split into independently-locked shards, for
+/// sharing across verifier threads.
+///
+/// A process-wide cache behind one mutex serializes every concurrent
+/// verifier on every witness check — exactly the hot path the cache
+/// exists to speed up. Sharding by witness digest means two verifiers
+/// contend only when they touch the *same* shard, and each lock is
+/// held for a single consult or admit, never across the block decode
+/// or signature check.
+///
+/// Stats stay exact: every consult bumps hit or miss on exactly one
+/// shard (under that shard's lock), and [`hits`](Self::hits) /
+/// [`misses`](Self::misses) / [`len`](Self::len) sum over shards.
+/// Eviction is per-shard LRU — capacity is split evenly, so the
+/// worst-case total never exceeds `cap` rounded up per shard.
+#[derive(Debug)]
+pub struct ShardedReadProofCache {
+    shards: Vec<Mutex<ReadProofCache>>,
+}
+
+impl ShardedReadProofCache {
+    /// A cache of `cap` total entries spread over `shards` mutexed
+    /// shards. The shard count is rounded up to a power of two (so a
+    /// digest byte masks to a shard index uniformly); each shard holds
+    /// `cap / shards` entries, at least one.
+    pub fn new(cap: usize, shards: usize) -> Self {
+        let n = shards.clamp(1, 256).next_power_of_two();
+        let per_shard = cap.div_ceil(n).max(1);
+        ShardedReadProofCache {
+            shards: (0..n).map(|_| Mutex::new(ReadProofCache::new(per_shard))).collect(),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `digest`, locked. Digests are hash outputs, so
+    /// the first byte is already uniform — masking it picks a shard
+    /// without re-hashing. Poison-tolerant: a panicking verifier must
+    /// not wedge every other client's reads.
+    fn shard(&self, digest: &Digest) -> MutexGuard<'_, ReadProofCache> {
+        let idx = digest.as_bytes()[0] as usize & (self.shards.len() - 1);
+        self.shards[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Total cached witnesses across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len()).sum()
+    }
+
+    /// True iff nothing is cached in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Witness checks answered from the cache, summed over shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).hits()).sum()
+    }
+
+    /// Witness checks that paid the full re-derivation, summed over
+    /// shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).misses()).sum()
+    }
+}
+
+impl Default for ShardedReadProofCache {
+    /// Same total capacity as [`ReadProofCache::default`], over 8
+    /// shards.
+    fn default() -> Self {
+        ShardedReadProofCache::new(4096, 8)
+    }
+}
+
+/// How a verifier reaches its cache: not at all, exclusively (the
+/// original single-client path), or through a shared sharded cache.
+/// One enum so [`check_l0_witness`] implements the trust rule exactly
+/// once for all three.
+enum CacheRef<'a> {
+    None,
+    Plain(&'a mut ReadProofCache),
+    Sharded(&'a ShardedReadProofCache),
+}
+
+impl CacheRef<'_> {
+    /// Consult for `w`. Sharded: locks the owning shard for just this
+    /// call.
+    fn consult(&mut self, digest: &Digest, w: &L0Witness) -> (bool, bool) {
+        match self {
+            CacheRef::None => (false, false),
+            CacheRef::Plain(c) => c.consult(digest, w),
+            CacheRef::Sharded(s) => s.shard(digest).consult(digest, w),
+        }
+    }
+
+    /// Admit (or refresh) the verified witness. Sharded: a second
+    /// short lock of the owning shard — the lock is deliberately not
+    /// held across the verification in between.
+    fn admit(&mut self, digest: Digest, w: &L0Witness) {
+        match self {
+            CacheRef::None => {}
+            CacheRef::Plain(c) => c.admit(digest, Arc::clone(&w.page), w.proof.clone()),
+            CacheRef::Sharded(s) => {
+                s.shard(&digest).admit(digest, Arc::clone(&w.page), w.proof.clone())
+            }
+        }
     }
 }
 
@@ -413,7 +525,15 @@ pub fn verify_read_proof(
     now_ns: u64,
     freshness_window_ns: Option<u64>,
 ) -> Result<VerifiedRead, ProofError> {
-    verify_read_proof_inner(proof, edge, cloud, registry, now_ns, freshness_window_ns, None)
+    verify_read_proof_inner(
+        proof,
+        edge,
+        cloud,
+        registry,
+        now_ns,
+        freshness_window_ns,
+        CacheRef::None,
+    )
 }
 
 /// [`verify_read_proof`] with the repeat-read fast path: L0 witnesses
@@ -429,7 +549,40 @@ pub fn verify_read_proof_cached(
     freshness_window_ns: Option<u64>,
     cache: &mut ReadProofCache,
 ) -> Result<VerifiedRead, ProofError> {
-    verify_read_proof_inner(proof, edge, cloud, registry, now_ns, freshness_window_ns, Some(cache))
+    verify_read_proof_inner(
+        proof,
+        edge,
+        cloud,
+        registry,
+        now_ns,
+        freshness_window_ns,
+        CacheRef::Plain(cache),
+    )
+}
+
+/// [`verify_read_proof_cached`] against a process-shared
+/// [`ShardedReadProofCache`]: the cache is taken by shared reference,
+/// so any number of verifier threads call this concurrently and only
+/// contend per-shard, per-consult. Verdicts are identical to the
+/// plain cached verifier.
+pub fn verify_read_proof_sharded(
+    proof: &IndexReadProof,
+    edge: IdentityId,
+    cloud: IdentityId,
+    registry: &KeyRegistry,
+    now_ns: u64,
+    freshness_window_ns: Option<u64>,
+    cache: &ShardedReadProofCache,
+) -> Result<VerifiedRead, ProofError> {
+    verify_read_proof_inner(
+        proof,
+        edge,
+        cloud,
+        registry,
+        now_ns,
+        freshness_window_ns,
+        CacheRef::Sharded(cache),
+    )
 }
 
 fn verify_read_proof_inner(
@@ -439,7 +592,7 @@ fn verify_read_proof_inner(
     registry: &KeyRegistry,
     now_ns: u64,
     freshness_window_ns: Option<u64>,
-    mut cache: Option<&mut ReadProofCache>,
+    mut cache: CacheRef<'_>,
 ) -> Result<VerifiedRead, ProofError> {
     // 1. Global cert: signature, binding to edge.
     if proof.edge != edge || proof.global.edge != edge {
@@ -963,6 +1116,98 @@ mod tests {
             before,
             "hot witnesses must survive cold-stream pressure without re-decoding"
         );
+    }
+
+    /// The sharded cache is behaviorally identical to the plain one:
+    /// same verdicts, same exact hit/miss totals, same entry count —
+    /// sharding changes locking, never semantics.
+    #[test]
+    fn sharded_cache_matches_plain_cache_verdicts_and_stats() {
+        let mut fx = Fixture::new();
+        for i in 0..6u64 {
+            fx.ingest_certified(&[(i, Some(b"v"))]);
+        }
+        let mut plain = ReadProofCache::default();
+        let sharded = ShardedReadProofCache::default();
+        for key in [0u64, 3, 5, 999, 3, 0] {
+            let proof = build_read_proof(&fx.tree, key);
+            let a = verify_read_proof_cached(
+                &proof,
+                fx.edge,
+                fx.cloud.id,
+                &fx.registry,
+                2_000,
+                None,
+                &mut plain,
+            );
+            let b = verify_read_proof_sharded(
+                &proof,
+                fx.edge,
+                fx.cloud.id,
+                &fx.registry,
+                2_000,
+                None,
+                &sharded,
+            );
+            assert_eq!(a, b, "sharded verifier diverged on key {key}");
+        }
+        assert_eq!(sharded.hits(), plain.hits(), "hit totals must match exactly");
+        assert_eq!(sharded.misses(), plain.misses(), "miss totals must match exactly");
+        assert_eq!(sharded.len(), plain.len(), "entry counts must match below capacity");
+        assert!(sharded.hits() > 0, "repeat reads must actually hit");
+    }
+
+    /// Concurrent verifiers against one shared sharded cache: every
+    /// verdict is correct and the summed hit/miss stats account for
+    /// every consult exactly — no lost updates under contention.
+    #[test]
+    fn sharded_cache_concurrent_verifiers_stay_exact() {
+        let mut fx = Fixture::new();
+        for i in 0..4u64 {
+            fx.ingest_certified(&[(i, Some(b"v"))]);
+        }
+        let proof = build_read_proof(&fx.tree, 2);
+        let l0_pages = proof.l0.len() as u64;
+        let mut enc = Encoder::default();
+        proof.encode_into(&mut enc);
+        let bytes = enc.finish();
+        let cache = ShardedReadProofCache::new(4096, 8);
+        const THREADS: u64 = 4;
+        const ITERS: u64 = 25;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..ITERS {
+                        // Fresh Arcs per decode: hits go through the
+                        // record-equality trust rule, like real wire
+                        // traffic.
+                        let mut dec = wedge_log::Decoder::new(&bytes);
+                        let p = IndexReadProof::decode_from(&mut dec).unwrap();
+                        verify_read_proof_sharded(
+                            &p,
+                            fx.edge,
+                            fx.cloud.id,
+                            &fx.registry,
+                            2_000,
+                            None,
+                            &cache,
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            THREADS * ITERS * l0_pages,
+            "every consult must be counted exactly once"
+        );
+        // Each distinct page digest misses at least once (cold) and at
+        // most once per racing thread (threads can each miss the same
+        // cold page before any admit lands).
+        assert!(cache.misses() >= l0_pages, "cold consults must miss");
+        assert!(cache.misses() <= l0_pages * THREADS, "after admission every consult must hit");
+        assert_eq!(cache.len() as u64, l0_pages, "one entry per distinct page");
     }
 
     /// Wire round-trip: a decoded proof is field-identical and — the

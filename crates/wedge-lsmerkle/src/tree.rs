@@ -9,7 +9,7 @@
 use crate::compact::needs_compaction;
 use crate::config::LsmConfig;
 use crate::kv::Key;
-use crate::level::{empty_level_root, forest_over_reusing, GlobalRootCert, Level};
+use crate::level::{empty_level_root, forest_over_reusing_pooled, GlobalRootCert, Level};
 use crate::merge::{InitBundle, MergeRequest, MergeResult};
 use crate::page::L0Page;
 use std::sync::Arc;
@@ -30,6 +30,10 @@ pub struct LsMerkle {
     global: GlobalRootCert,
     /// Current index epoch (must match the cloud's).
     epoch: u64,
+    /// Worker pool for re-hashing wire-decoded reply pages when a
+    /// merge result is applied. Inline by default; purely a
+    /// throughput knob (results are byte-identical at any size).
+    pool: wedge_pool::Pool,
 }
 
 impl LsMerkle {
@@ -38,7 +42,22 @@ impl LsMerkle {
         cfg.validate().expect("invalid LSMerkle config");
         assert_eq!(init.level_roots.len(), cfg.num_merkle_levels());
         let levels = init.level_roots.into_iter().map(Level::empty).collect();
-        LsMerkle { edge, cfg, l0: Vec::new(), levels, global: init.global, epoch: 0 }
+        LsMerkle {
+            edge,
+            cfg,
+            l0: Vec::new(),
+            levels,
+            global: init.global,
+            epoch: 0,
+            pool: wedge_pool::Pool::default(),
+        }
+    }
+
+    /// Installs the worker pool [`LsMerkle::apply_merge_result`] fans
+    /// its re-hashing out on. The drivers call this with their
+    /// configured `pool_threads`.
+    pub fn set_pool(&mut self, pool: wedge_pool::Pool) {
+        self.pool = pool;
     }
 
     /// The owning edge identity.
@@ -257,7 +276,11 @@ impl LsMerkle {
                                                // signed root and becomes the installed level's forest. It
                                                // reuses the outgoing level's subtrees, so a k-page merge
                                                // costs O(k log n) interior hashes, not O(n).
-        let new_forest = forest_over_reusing(&res.new_target_pages, self.levels[t_idx].forest());
+        let new_forest = forest_over_reusing_pooled(
+            &res.new_target_pages,
+            self.levels[t_idx].forest(),
+            &self.pool,
+        );
         if new_forest.root() != res.new_target_root.root {
             return Err("target pages do not hash to signed root".into());
         }
@@ -620,6 +643,97 @@ mod tests {
                     crate::page::check_level_ranges(&res.new_target_pages).unwrap();
                     fx.tree.apply_merge_result(&req, res).unwrap();
                 }
+            }
+        }
+    }
+
+    /// Satellite: pooling is invisible to every byte the protocol
+    /// produces. One randomized schedule (random blocks, ~25%
+    /// tombstones, cascading merges) is replayed with the cloud index
+    /// and edge tree running inline (width 1) and again over real
+    /// worker pools; the wire-encoded merge results, level roots, and
+    /// global root must match byte for byte at every step.
+    #[test]
+    fn pooled_pipeline_is_byte_identical_to_inline_on_random_schedules() {
+        use crate::kv::KvRecord;
+        let run = |threads: usize, seed: u64| -> Vec<Vec<u8>> {
+            let pool = wedge_pool::Pool::new(threads);
+            let mut fx = Fixture::new();
+            fx.index.set_pool(pool.clone());
+            fx.tree.set_pool(pool);
+            let mut state = seed;
+            let mut rng = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut trace: Vec<Vec<u8>> = Vec::new();
+            for _step in 0..24 {
+                let entries: Vec<Entry> = (0..1 + rng() % 3)
+                    .map(|_| {
+                        let key = rng() % 32;
+                        let op = if rng() % 4 == 0 {
+                            KvOp::delete(key)
+                        } else {
+                            KvOp::put(key, rng().to_be_bytes().to_vec())
+                        };
+                        let e = kv_entry(&fx.client, fx.next_seq, &op);
+                        fx.next_seq += 1;
+                        e
+                    })
+                    .collect();
+                let block = Block {
+                    edge: fx.edge,
+                    id: BlockId(fx.next_bid),
+                    entries,
+                    sealed_at_ns: fx.next_bid,
+                };
+                fx.next_bid += 1;
+                let digest = block.digest();
+                fx.ledger.offer(fx.edge, block.id, digest);
+                let proof = BlockProof::issue(&fx.cloud, fx.edge, block.id, digest);
+                fx.tree.apply_block(block);
+                assert!(fx.tree.attach_block_proof(proof));
+                while let Some(level) = fx.tree.overflowing_level() {
+                    let req = fx.tree.build_merge_request(level);
+                    let res = fx.index.process_merge(&fx.cloud, &fx.ledger, &req, 1_000).unwrap();
+                    let mut enc = wedge_log::Encoder::default();
+                    res.encode_into(&mut enc);
+                    trace.push(enc.finish());
+                    fx.tree.apply_merge_result(&req, res).unwrap();
+                }
+                // Per-step digest of every root the protocol signs or
+                // proves against: a single later divergence cannot hide.
+                let mut enc = wedge_log::Encoder::default();
+                for r in fx.tree.level_roots() {
+                    enc.put_digest(&r);
+                }
+                enc.put_digest(&fx.tree.global().root);
+                trace.push(enc.finish());
+            }
+            // Final state probe: every live key resolves identically.
+            let mut enc = wedge_log::Encoder::default();
+            for key in 0..32u64 {
+                if let Some((rec, _)) = fx.tree.find_newest(key) {
+                    let KvRecord { key, version, value } = rec;
+                    enc.put_u64(key).put_u64(version.bid).put_u32(version.pos);
+                    enc.put_bytes(&value.unwrap_or_default());
+                }
+            }
+            trace.push(enc.finish());
+            trace
+        };
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let inline = run(1, seed);
+            assert!(!inline.is_empty());
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    run(threads, seed),
+                    inline,
+                    "pool width {threads} diverged from inline on seed {seed:#x}"
+                );
             }
         }
     }

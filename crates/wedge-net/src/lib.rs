@@ -69,7 +69,7 @@ use wedge_core::threaded::{EdgeRunReport, PutShed};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry};
 use wedge_log::{read_frame, write_frame, BlockId};
 use wedge_lsmerkle::{
-    CloudIndex, CompactionStats, LsMerkle, LsmConfig, ProofError, ReadProofCache,
+    CloudIndex, CompactionStats, LsMerkle, LsmConfig, ProofError, ShardedReadProofCache,
 };
 
 pub use wedge_core::engine::CloudStats;
@@ -126,6 +126,12 @@ pub struct NetConfig {
     /// behaviour for `try_put_on` too. Mirrors
     /// `ThreadedConfig::admission_timeout`.
     pub admission_timeout: Option<Duration>,
+    /// Worker-pool width for the hash/verify hot paths (cloud merge
+    /// rebuilds, edge forest rebuilds, batched signature checks).
+    /// Defaults from `WEDGE_POOL_THREADS` (1 when unset = inline).
+    /// Results are byte-identical for every width. Mirrors
+    /// `ThreadedConfig::pool_threads`.
+    pub pool_threads: usize,
 }
 
 impl Default for NetConfig {
@@ -147,6 +153,7 @@ impl Default for NetConfig {
             cloud_inbox_cap: 1024,
             edge_inbox_cap: 1024,
             admission_timeout: None,
+            pool_threads: wedge_pool::threads_from_env(),
         }
     }
 }
@@ -625,7 +632,7 @@ pub struct NetCluster {
     /// Puts shed by the admission path.
     puts_shed: AtomicU64,
     /// The process-wide read-proof cache every client shares.
-    proof_cache: Arc<Mutex<ReadProofCache>>,
+    proof_cache: Arc<ShardedReadProofCache>,
 }
 
 impl NetCluster {
@@ -658,6 +665,9 @@ impl NetCluster {
             registry.register(ident.id, ident.public()).unwrap();
         }
         let mut index = CloudIndex::new(cfg.lsm.clone());
+        // Per-engine pools, as in the threaded runtime: each service
+        // thread scopes its own parallel sections independently.
+        index.set_pool(wedge_pool::Pool::new(cfg.pool_threads));
         let inits: Vec<_> =
             edge_idents.iter().map(|e| index.init_edge(&cloud_ident, e.id, 0)).collect();
         let edge_ids: Vec<IdentityId> = edge_idents.iter().map(|e| e.id).collect();
@@ -790,6 +800,7 @@ impl NetCluster {
                 tree,
                 vec![CLIENT_PEER],
             );
+            engine.set_pool(wedge_pool::Pool::new(cfg.pool_threads));
             engine.set_cert_retry_ns(cfg.cert_retry.map(|d| d.as_nanos() as u64));
             engine.set_merge_retry_ns(cfg.merge_retry.map(|d| d.as_nanos() as u64));
             engine.set_compaction_period_ns(cfg.compaction_period.map(|d| d.as_nanos() as u64));
@@ -856,7 +867,7 @@ impl NetCluster {
         // One proof cache for the whole process: a witness verified by
         // any partition's client is verified for all of them (the
         // cache's trust rule is content-based, not per-client).
-        let proof_cache = Arc::new(Mutex::new(ReadProofCache::default()));
+        let proof_cache = Arc::new(ShardedReadProofCache::default());
         let mut client_txs = Vec::new();
         let mut client_handles = Vec::new();
         for (p, ident) in client_idents.into_iter().enumerate() {
@@ -1106,10 +1117,8 @@ impl NetCluster {
         }
         let mut punished: Vec<IdentityId> = cloud_engine.punished.iter().copied().collect();
         punished.sort_by_key(|id| id.0);
-        let (proof_cache_hits, proof_cache_misses) = {
-            let cache = this.proof_cache.lock().expect("proof cache poisoned");
-            (cache.hits(), cache.misses())
-        };
+        let (proof_cache_hits, proof_cache_misses) =
+            (this.proof_cache.hits(), this.proof_cache.misses());
         Some(NetReport {
             edges: reports,
             cloud_stats: cloud_engine.stats.clone(),

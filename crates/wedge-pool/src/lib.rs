@@ -1,0 +1,501 @@
+//! A tiny std-only scoped worker pool for embarrassingly-parallel
+//! hash/verify work.
+//!
+//! WedgeChain's engines are sans-IO and deterministic: commands in,
+//! effects out, time as an argument. The CPU-heavy leaves of that
+//! work — page digests, Merkle leaf tagging, Schnorr verification —
+//! are pure functions over immutable inputs, so they can fan out
+//! across threads without the engines noticing. This crate provides
+//! the one concurrency primitive those call sites need:
+//!
+//! * [`Pool::scope`] — run one closure concurrently on every lane
+//!   (the caller participates as lane 0), returning only after all
+//!   lanes finish. Worker panics are surfaced as a panic in the
+//!   caller.
+//! * [`Pool::for_each`] / [`Pool::map`] — chunked dynamic
+//!   work-claiming over a slice, with `map` writing results into
+//!   per-index slots so the output order always matches the input
+//!   order regardless of which lane ran which item.
+//!
+//! # Determinism
+//!
+//! Nothing here introduces nondeterminism: `map` preserves input
+//! order, `for_each` is only handed idempotent work (memoizing a
+//! `OnceLock` digest computes the same bytes on every lane), and
+//! `scope` callers partition work by index. A `Pool::new(1)` pool
+//! runs everything inline on the caller thread — byte-identical to
+//! any larger pool by construction, and the default everywhere so
+//! unit tests (including the exact hash-count assertions, which use
+//! thread-local counters) see unchanged behaviour.
+//!
+//! # Non-goals
+//!
+//! No futures, no channels-per-task, no nested scopes (re-entering
+//! [`Pool::scope`] from inside a running scope deadlocks — don't),
+//! no external dependencies. Fixed worker threads are spawned once
+//! at construction and joined when the last [`Pool`] clone drops.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::MutexGuard;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased pointer to the scope closure. Only valid for the
+/// duration of the [`Pool::scope`] call that installed it; `scope`
+/// does not return until every worker has finished running it.
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (the bound on `scope`) and outlives
+// every dereference: workers only run the job between the moment
+// `scope` installs it and the moment `scope` observes `active == 0`,
+// and `scope` borrows the closure for that whole window.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Current broadcast job, if a scope is running.
+    job: Option<Job>,
+    /// Bumped once per scope so workers can tell a new job from a
+    /// spurious wakeup.
+    generation: u64,
+    /// Workers still running the current job.
+    active: usize,
+    /// Set by `Drop`; workers exit their loop.
+    shutdown: bool,
+    /// Set by a worker whose job closure panicked.
+    panicked: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Workers wait here for a new generation (or shutdown).
+    work_cv: Condvar,
+    /// The scope caller waits here for `active == 0`.
+    done_cv: Condvar,
+    /// Serializes concurrent `scope` callers from different threads
+    /// sharing one pool (clones share the same workers).
+    scope_lock: Mutex<()>,
+    /// Worker thread count (lanes = workers + 1: the caller is lane 0).
+    workers: usize,
+}
+
+/// Joins the workers when the last `Pool` clone drops. Kept separate
+/// from `Inner` because the workers themselves hold `Arc<Inner>`.
+struct Shared {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_ok(&self.inner.state);
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        for h in lock_ok(&self.handles).drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A fixed-size scoped worker pool. Cheap to clone (clones share the
+/// same worker threads); a pool of size 1 runs everything inline on
+/// the caller thread and spawns nothing.
+#[derive(Clone)]
+pub struct Pool {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("lanes", &self.lanes()).finish()
+    }
+}
+
+impl Default for Pool {
+    /// The inline pool: one lane, zero threads.
+    fn default() -> Self {
+        Pool::new(1)
+    }
+}
+
+impl Pool {
+    /// Builds a pool with `threads` lanes total. `threads <= 1` is
+    /// the inline pool (no worker threads at all); otherwise
+    /// `threads - 1` workers are spawned and the caller thread acts
+    /// as the remaining lane during each scope.
+    pub fn new(threads: usize) -> Pool {
+        let workers = threads.max(1) - 1;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                active: 0,
+                shutdown: false,
+                panicked: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            scope_lock: Mutex::new(()),
+            workers,
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for lane in 1..=workers {
+            let inner = Arc::clone(&inner);
+            let h = std::thread::Builder::new()
+                .name(format!("wedge-pool-{lane}"))
+                .spawn(move || worker_loop(&inner, lane))
+                .expect("spawn wedge-pool worker");
+            handles.push(h);
+        }
+        Pool { shared: Arc::new(Shared { inner, handles: Mutex::new(handles) }) }
+    }
+
+    /// Builds a pool sized from the `WEDGE_POOL_THREADS` environment
+    /// variable (clamped to 1..=64), defaulting to the inline pool.
+    /// The CI matrix uses this to run the whole driver-level test
+    /// suite at pool sizes 1 and 8 without a per-test knob.
+    pub fn from_env() -> Pool {
+        Pool::new(threads_from_env())
+    }
+
+    /// Total lanes (worker threads + the participating caller).
+    pub fn lanes(&self) -> usize {
+        self.shared.inner.workers + 1
+    }
+
+    /// True when the pool runs everything inline on the caller
+    /// thread (no worker threads).
+    pub fn is_inline(&self) -> bool {
+        self.shared.inner.workers == 0
+    }
+
+    /// Runs `f(lane)` once per lane concurrently (`lane` in
+    /// `0..lanes()`, the caller is lane 0) and returns when every
+    /// lane has finished. If any lane panics, `scope` panics after
+    /// all lanes have stopped. Must not be re-entered from inside a
+    /// running scope on the same pool.
+    pub fn scope<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let inner = &*self.shared.inner;
+        if inner.workers == 0 {
+            f(0);
+            return;
+        }
+        let _serial = inner.scope_lock.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let job: &(dyn Fn(usize) + Sync) = &f;
+            // SAFETY: lifetime erasure only — `scope` does not return
+            // (and so `f` stays alive) until every worker has finished
+            // with the pointer; see `Job`.
+            let job: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+            let mut st = lock_ok(&inner.state);
+            st.job = Some(Job(job as *const _));
+            st.generation += 1;
+            st.active = inner.workers;
+            st.panicked = false;
+        }
+        inner.work_cv.notify_all();
+        // The caller is lane 0: do our share instead of just waiting.
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let worker_panicked = {
+            let mut st = lock_ok(&inner.state);
+            while st.active > 0 {
+                st = inner.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+            st.panicked
+        };
+        match caller {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) if worker_panicked => {
+                panic!("wedge-pool: a worker lane panicked during scope")
+            }
+            Ok(()) => {}
+        }
+    }
+
+    /// Applies `f` to every item, claiming chunks of indices
+    /// dynamically across lanes. Item order of *execution* is
+    /// unspecified; use this only for idempotent or independent
+    /// per-item work (e.g. priming `OnceLock` digest memos).
+    pub fn for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        if self.is_inline() || items.len() <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let n = items.len();
+        let chunk = self.chunk_size(n);
+        let next = AtomicUsize::new(0);
+        self.scope(|_lane| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            for item in &items[start..(start + chunk).min(n)] {
+                f(item);
+            }
+        });
+    }
+
+    /// Maps `f` over the items and returns the results **in input
+    /// order** — each lane writes results into the slot of the index
+    /// it claimed, so the output is independent of scheduling.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send + Sync,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.is_inline() || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let n = items.len();
+        let chunk = self.chunk_size(n);
+        let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        self.scope(|_lane| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            for i in start..(start + chunk).min(n) {
+                // Each index is claimed by exactly one lane, so the
+                // slot is always empty here.
+                let _ = slots[i].set(f(&items[i]));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("wedge-pool: map slot left unfilled"))
+            .collect()
+    }
+
+    /// Chunk size for dynamic claiming: a few chunks per lane for
+    /// load balance, but never less than one item.
+    fn chunk_size(&self, n: usize) -> usize {
+        (n / (self.lanes() * 4)).max(1)
+    }
+}
+
+/// Locks ignoring poison: a panicked scope is a supported path (the
+/// panic is re-raised in the caller), so pool state must stay usable
+/// after one.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(inner: &Inner, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = lock_ok(&inner.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    break;
+                }
+                st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            // `scope` holds `active > 0` until we decrement below, so
+            // the pointee outlives this borrow.
+            st.job.as_ref().map(|j| j.0)
+        };
+        if let Some(job) = job {
+            // SAFETY: see `Job`'s Send rationale — `scope` keeps the
+            // closure alive until `active` hits zero.
+            let f = unsafe { &*job };
+            let result = catch_unwind(AssertUnwindSafe(|| f(lane)));
+            let mut st = lock_ok(&inner.state);
+            if result.is_err() {
+                st.panicked = true;
+            }
+            st.active -= 1;
+            if st.active == 0 {
+                inner.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Pool size from `WEDGE_POOL_THREADS` (clamped to 1..=64), default 1.
+pub fn threads_from_env() -> usize {
+    std::env::var("WEDGE_POOL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, 64))
+        .unwrap_or(1)
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds. Unlike a
+/// wall clock this only advances while the thread is scheduled, so
+/// per-lane measurements stay meaningful on hosts with fewer cores
+/// than lanes (the bench uses it to report the critical-path length
+/// of a parallel phase: the busiest lane's CPU time).
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: `ts` is a valid, writable `timespec`-layout struct and
+    // the clock id is a Linux constant; libc is always linked by std.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc != 0 {
+        return 0;
+    }
+    (ts.tv_sec as u64).saturating_mul(1_000_000_000) + ts.tv_nsec as u64
+}
+
+/// Fallback for non-Linux hosts: a monotonic wall clock (per-thread
+/// CPU time is not portably available from std).
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_ns() -> u64 {
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn inline_pool_spawns_nothing_and_runs_on_caller() {
+        let pool = Pool::new(1);
+        assert!(pool.is_inline());
+        assert_eq!(pool.lanes(), 1);
+        let caller = std::thread::current().id();
+        pool.scope(|lane| {
+            assert_eq!(std::thread::current().id(), caller);
+            assert_eq!(lane, 0);
+        });
+        let sum = AtomicU64::new(0);
+        pool.for_each(&[1u64, 2, 3], |x| {
+            assert_eq!(std::thread::current().id(), caller);
+            sum.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn map_preserves_input_order_at_every_size() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            let got = pool.map(&items, |x| x * x);
+            assert_eq!(got, expect, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..777).map(|_| AtomicU64::new(0)).collect();
+        let idx: Vec<usize> = (0..777).collect();
+        let pool = Pool::new(4);
+        pool.for_each(&idx, |i| {
+            hits[*i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn scope_runs_every_lane() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.lanes(), 4);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        pool.scope(|lane| {
+            hits[lane].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes_and_clones() {
+        let pool = Pool::new(3);
+        let clone = pool.clone();
+        for round in 0..50u64 {
+            let sum = AtomicU64::new(0);
+            let items: Vec<u64> = (0..round + 1).collect();
+            clone.for_each(&items, |x| {
+                sum.fetch_add(*x, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (round + 1) * round / 2);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller_and_pool_survives() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each(&items, |i| {
+                if *i == 63 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool is still usable after a panicked scope.
+        let ok = pool.map(&items, |i| i + 1);
+        assert_eq!(ok.len(), 100);
+        assert_eq!(ok[99], 100);
+    }
+
+    #[test]
+    fn concurrent_scopes_from_clones_serialize_safely() {
+        let pool = Pool::new(4);
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let p = pool.clone();
+            joins.push(std::thread::spawn(move || {
+                let items: Vec<u64> = (0..500).collect();
+                let got = p.map(&items, |x| x.wrapping_mul(31));
+                assert_eq!(got[499], 499u64.wrapping_mul(31));
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn env_sizing_clamps() {
+        // Not testing the env var itself (process-global), just the
+        // clamp arithmetic via Pool::new.
+        assert_eq!(Pool::new(0).lanes(), 1);
+        assert_eq!(Pool::new(64).lanes(), 64);
+    }
+
+    #[test]
+    fn thread_cpu_clock_advances_under_work() {
+        let t0 = thread_cpu_ns();
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        assert_ne!(acc, 1); // keep the loop alive
+        assert!(thread_cpu_ns() > t0);
+    }
+}
