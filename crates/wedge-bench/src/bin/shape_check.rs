@@ -357,6 +357,53 @@ fn check_fig7_locations(a: &Artifact, failures: &mut Vec<Failure>) {
     }
 }
 
+fn check_load_open_loop(a: &Artifact, failures: &mut Vec<Failure>) {
+    // The allocation-free encode path: pooled encode must allocate
+    // strictly less than the fresh path (PR 9 acceptance), and its
+    // bytes-per-op must not exceed the baseline's.
+    let fresh_allocs = require(a, "encode_fresh_allocs_per_op_x1000", failures);
+    let pooled_allocs = require(a, "encode_pooled_allocs_per_op_x1000", failures);
+    let fresh_bytes = require(a, "encode_fresh_bytes_per_op_x1000", failures);
+    let pooled_bytes = require(a, "encode_pooled_bytes_per_op_x1000", failures);
+    if pooled_allocs >= fresh_allocs {
+        failures.push(format!(
+            "pooled encode does not reduce allocations/op: {pooled_allocs} >= {fresh_allocs} (x1000)"
+        ));
+    }
+    if pooled_bytes > fresh_bytes {
+        failures.push(format!(
+            "pooled encode allocates more bytes/op than fresh: {pooled_bytes} > {fresh_bytes} (x1000)"
+        ));
+    }
+    // Latency percentiles exist for both runtimes and order sanely:
+    // p50 <= p95 <= p99 <= p999, none zero.
+    for rt in ["threaded", "net"] {
+        if require(a, &format!("{rt}_throughput_kops_x1000"), failures) == 0 {
+            failures.push(format!("{rt}: zero throughput"));
+        }
+        for op in ["put", "get"] {
+            let ps: Vec<u64> = ["p50", "p95", "p99", "p999"]
+                .iter()
+                .map(|p| require(a, &format!("{rt}_{op}_{p}_us_x1000"), failures))
+                .collect();
+            if ps[0] == 0 {
+                failures.push(format!("{rt} {op}: zero p50"));
+            }
+            if !ps.windows(2).all(|w| w[0] <= w[1]) {
+                failures.push(format!("{rt} {op}: percentiles not monotone: {ps:?}"));
+            }
+        }
+    }
+    // Coalescing must actually fire under pipelined load, and the run
+    // must not have dropped frames.
+    if require(a, "net_coalesced_frames", failures) == 0 {
+        failures.push("no frames coalesced under pipelined load".into());
+    }
+    if require(a, "net_failed_sends", failures) != 0 {
+        failures.push("frames were dropped during the load run".into());
+    }
+}
+
 fn check_table1_rtt(a: &Artifact, failures: &mut Vec<Failure>) {
     for region in ["C", "O", "V", "I", "M"] {
         let cfg = require(a, &format!("table1/cfg_rtt_ms_C_{region}"), failures);
@@ -403,6 +450,7 @@ fn main() -> ExitCode {
             "fig5_clients" => check_fig5_clients(&artifact, &mut failures),
             "fig6_commit_phases" => check_fig6_commit_phases(&artifact, &mut failures),
             "fig7_locations" => check_fig7_locations(&artifact, &mut failures),
+            "load_open_loop" => check_load_open_loop(&artifact, &mut failures),
             "table1_rtt" => check_table1_rtt(&artifact, &mut failures),
             // Other benches: the generic structural parse (bench name
             // + at least one well-formed result) is the whole check.

@@ -24,8 +24,7 @@
 
 use wedge_crypto::{Digest, Identity, IdentityId, KeyRegistry, Signature};
 use wedge_log::{
-    decode_frame, Block, BlockId, BlockProof, DecodeError, Decoder, Encoder, Entry, Frame,
-    GossipWatermark,
+    decode_frame, Block, BlockId, BlockProof, DecodeError, Decoder, Encoder, Entry, GossipWatermark,
 };
 use wedge_lsmerkle::{
     DeltaMergeRequest, DeltaMergeResult, GlobalRootCert, IndexReadProof, Key, MergeRequest,
@@ -65,7 +64,7 @@ impl AddReceipt {
         bid: BlockId,
         block_digest: &Digest,
     ) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-add-receipt-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-add-receipt-v1", 96);
         enc.put_u64(edge.0)
             .put_u64(client.0)
             .put_u64(req_id)
@@ -111,6 +110,9 @@ impl AddReceipt {
             &self.signature,
         )
     }
+
+    /// Exact byte length of [`AddReceipt::encode_into`]'s output.
+    pub const ENCODED_LEN: usize = 8 + 8 + 8 + 32 + 8 + 32 + 32;
 
     /// Canonical nestable wire encoding: the signed fields plus the
     /// signature.
@@ -162,7 +164,7 @@ impl ReadReceipt {
         bid: BlockId,
         digest: &Option<Digest>,
     ) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-read-receipt-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-read-receipt-v1", 57);
         enc.put_u64(edge.0).put_u64(client.0).put_u64(bid.0);
         match digest {
             Some(d) => {
@@ -194,6 +196,11 @@ impl ReadReceipt {
             &Self::signing_bytes(self.edge, self.client, self.bid, &self.digest),
             &self.signature,
         )
+    }
+
+    /// Exact byte length of [`ReadReceipt::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        8 + 8 + 8 + 1 + self.digest.as_ref().map_or(0, |_| 32) + 32
     }
 
     /// Canonical nestable wire encoding: the signed fields plus the
@@ -242,6 +249,17 @@ pub enum Dispute {
 }
 
 impl Dispute {
+    /// Exact byte length of [`Dispute::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            Dispute::MissingCertification { .. } => AddReceipt::ENCODED_LEN,
+            Dispute::WrongRead { receipt } => receipt.encoded_len(),
+            Dispute::Omission { receipt, .. } => {
+                receipt.encoded_len() + GossipWatermark::ENCODED_LEN
+            }
+        }
+    }
+
     /// Canonical nestable wire encoding (variant tag + evidence).
     pub fn encode_into(&self, enc: &mut Encoder) {
         match self {
@@ -291,6 +309,14 @@ pub enum DisputeVerdict {
 }
 
 impl DisputeVerdict {
+    /// Exact byte length of [`DisputeVerdict::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            DisputeVerdict::EdgePunished { grounds, .. } => 1 + 8 + 8 + grounds.len(),
+            DisputeVerdict::Dismissed => 1,
+        }
+    }
+
     /// Canonical nestable wire encoding.
     pub fn encode_into(&self, enc: &mut Encoder) {
         match self {
@@ -439,7 +465,7 @@ pub enum WireMsg {
 
 /// Canonical signing bytes for a block-certify message.
 pub fn certify_signing_bytes(edge: IdentityId, bid: BlockId, digest: &Digest) -> Vec<u8> {
-    let mut enc = Encoder::with_tag("wedge-certify-v1");
+    let mut enc = Encoder::with_tag_and_capacity("wedge-certify-v1", 48);
     enc.put_u64(edge.0).put_u64(bid.0).put_digest(digest);
     enc.finish()
 }
@@ -528,16 +554,70 @@ impl WireMsg {
         }
     }
 
+    /// Exact byte length of [`WireMsg::encode_payload`]'s output —
+    /// unlike [`WireMsg::wire_size`], which is the bandwidth model's
+    /// approximation. Callers size encode buffers with this; the
+    /// round-trip property suite holds it to exact equality for every
+    /// variant.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            WireMsg::BatchAdd { entries, .. } => {
+                8 + 8 + entries.iter().map(|e| e.encoded_len()).sum::<usize>()
+            }
+            WireMsg::LogRead { .. } => 8,
+            WireMsg::Get { .. } => 16,
+            WireMsg::AddResponse { .. } => AddReceipt::ENCODED_LEN,
+            WireMsg::LogReadResponse { receipt, block, proof } => {
+                receipt.encoded_len()
+                    + 1
+                    + block.as_ref().map_or(0, |b| 8 + b.canonical_len())
+                    + 1
+                    + proof.as_ref().map_or(0, |_| BlockProof::ENCODED_LEN)
+            }
+            WireMsg::GetResponse { proof, .. } => 8 + proof.encoded_len(),
+            WireMsg::BlockProofForward(_) | WireMsg::BlockProofMsg(_) => BlockProof::ENCODED_LEN,
+            WireMsg::GossipForward(_) | WireMsg::Gossip(_) => GossipWatermark::ENCODED_LEN,
+            WireMsg::BlockCertify { .. } => 8 + 32 + 32,
+            WireMsg::MergeReq(r) => r.encoded_len(),
+            WireMsg::MergeRes(r) => r.encoded_len(),
+            WireMsg::MergeResDelta(d) => d.encoded_len(),
+            WireMsg::MergeReqDelta(d) => d.encoded_len(),
+            WireMsg::MergeReqResend { .. } => 8 + 4 + 8,
+            WireMsg::CertRejected { .. } => 8,
+            WireMsg::GlobalRefresh(_) => GlobalRootCert::ENCODED_LEN,
+            WireMsg::DisputeMsg(d) => d.encoded_len(),
+            WireMsg::VerdictMsg(v) => v.encoded_len(),
+        }
+    }
+
     /// Encodes the payload (envelope-free; [`WireMsg::kind`] routes
     /// the decode).
     pub fn encode_payload(&self) -> Vec<u8> {
-        let mut enc = Encoder::default();
+        let mut buf = Vec::new();
+        self.encode_payload_into(&mut buf);
+        buf
+    }
+
+    /// Buffer-reusing twin of [`WireMsg::encode_payload`]: clears
+    /// `buf`, reserves exactly [`WireMsg::encoded_len`] bytes, and
+    /// encodes into it — a pooled buffer keeps its capacity across
+    /// messages, so the steady-state encode path never allocates.
+    pub fn encode_payload_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.encoded_len());
+        let mut enc = Encoder::append_to(std::mem::take(buf));
+        self.encode_payload_body(&mut enc);
+        *buf = enc.finish();
+        debug_assert_eq!(buf.len(), self.encoded_len(), "encoded_len drift: {}", self.name());
+    }
+
+    fn encode_payload_body(&self, enc: &mut Encoder) {
         match self {
             WireMsg::BatchAdd { req_id, entries } => {
                 enc.put_u64(*req_id);
                 enc.put_u64(entries.len() as u64);
                 for e in entries {
-                    e.encode(&mut enc);
+                    e.encode(enc);
                 }
             }
             WireMsg::LogRead { bid } => {
@@ -546,9 +626,9 @@ impl WireMsg {
             WireMsg::Get { req_id, key } => {
                 enc.put_u64(*req_id).put_u64(*key);
             }
-            WireMsg::AddResponse { receipt } => receipt.encode_into(&mut enc),
+            WireMsg::AddResponse { receipt } => receipt.encode_into(enc),
             WireMsg::LogReadResponse { receipt, block, proof } => {
-                receipt.encode_into(&mut enc);
+                receipt.encode_into(enc);
                 enc.put_option(block.as_ref(), |e, b| {
                     e.put_bytes(&b.canonical_bytes());
                 });
@@ -556,28 +636,27 @@ impl WireMsg {
             }
             WireMsg::GetResponse { req_id, proof } => {
                 enc.put_u64(*req_id);
-                proof.encode_into(&mut enc);
+                proof.encode_into(enc);
             }
-            WireMsg::BlockProofForward(p) | WireMsg::BlockProofMsg(p) => p.encode_into(&mut enc),
-            WireMsg::GossipForward(wm) | WireMsg::Gossip(wm) => wm.encode_into(&mut enc),
+            WireMsg::BlockProofForward(p) | WireMsg::BlockProofMsg(p) => p.encode_into(enc),
+            WireMsg::GossipForward(wm) | WireMsg::Gossip(wm) => wm.encode_into(enc),
             WireMsg::BlockCertify { bid, digest, signature } => {
                 enc.put_u64(bid.0).put_digest(digest).put_signature(signature);
             }
-            WireMsg::MergeReq(r) => r.encode_into(&mut enc),
-            WireMsg::MergeRes(r) => r.encode_into(&mut enc),
-            WireMsg::MergeResDelta(d) => d.encode_into(&mut enc),
-            WireMsg::MergeReqDelta(d) => d.encode_into(&mut enc),
+            WireMsg::MergeReq(r) => r.encode_into(enc),
+            WireMsg::MergeRes(r) => r.encode_into(enc),
+            WireMsg::MergeResDelta(d) => d.encode_into(enc),
+            WireMsg::MergeReqDelta(d) => d.encode_into(enc),
             WireMsg::MergeReqResend { edge, source_level, epoch } => {
                 enc.put_u64(edge.0).put_u32(*source_level).put_u64(*epoch);
             }
             WireMsg::CertRejected { bid } => {
                 enc.put_u64(bid.0);
             }
-            WireMsg::GlobalRefresh(cert) => cert.encode_into(&mut enc),
-            WireMsg::DisputeMsg(d) => d.encode_into(&mut enc),
-            WireMsg::VerdictMsg(v) => v.encode_into(&mut enc),
+            WireMsg::GlobalRefresh(cert) => cert.encode_into(enc),
+            WireMsg::DisputeMsg(d) => d.encode_into(enc),
+            WireMsg::VerdictMsg(v) => v.encode_into(enc),
         }
-        enc.finish()
     }
 
     /// Decodes a payload routed by `kind`, requiring every byte to be
@@ -642,7 +721,28 @@ impl WireMsg {
     /// Encodes the full framed message: envelope header + payload.
     /// This is the byte string `wedge-net` writes to a socket.
     pub fn encode_frame(&self) -> Vec<u8> {
-        Frame { kind: self.kind(), payload: self.encode_payload() }.encode()
+        let mut buf = Vec::new();
+        self.append_frame_to(&mut buf).expect("oversized frame payload");
+        buf
+    }
+
+    /// Appends the full framed message — `[header | payload]`,
+    /// contiguous — to a caller-owned buffer without clearing it, so
+    /// several frames for the same peer can be packed into one buffer
+    /// and shipped with a single `write_all`. The payload length comes
+    /// from [`WireMsg::encoded_len`], so the header is written first
+    /// and the bytes land in their final position; an oversized
+    /// payload is refused with `InvalidInput` before any byte is
+    /// appended.
+    pub fn append_frame_to(&self, buf: &mut Vec<u8>) -> std::io::Result<()> {
+        let payload_len = self.encoded_len();
+        wedge_log::append_frame_header(buf, self.kind(), payload_len)?;
+        let before = buf.len();
+        let mut enc = Encoder::append_to(std::mem::take(buf));
+        self.encode_payload_body(&mut enc);
+        *buf = enc.finish();
+        debug_assert_eq!(buf.len() - before, payload_len, "encoded_len drift: {}", self.name());
+        Ok(())
     }
 
     /// Decodes one framed message from a complete buffer — the exact

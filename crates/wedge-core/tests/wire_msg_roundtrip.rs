@@ -375,6 +375,62 @@ fn every_variant_roundtrips_framed() {
 }
 
 #[test]
+fn encode_into_reused_dirty_buffer_is_byte_identical() {
+    // The pooled encode path: one buffer reused across every variant
+    // and case, pre-filled with garbage each time, must produce bytes
+    // identical to the allocating `encode_payload()`, and
+    // `encoded_len()` must predict the exact byte count — that
+    // arithmetic is what lets the wire path pre-size without growth
+    // reallocation.
+    let mut buf = Vec::new();
+    for case in 0..24u64 {
+        let mut rng = Rng::new(0xB0F5 ^ case);
+        for msg in arb_all_variants(&mut rng) {
+            let fresh = msg.encode_payload();
+            assert_eq!(
+                fresh.len(),
+                msg.encoded_len(),
+                "case {case}: {} encoded_len is exact",
+                msg.name()
+            );
+            // Dirty the scratch so stale bytes would be caught.
+            buf.clear();
+            buf.extend_from_slice(&[0xAA; 37]);
+            msg.encode_payload_into(&mut buf);
+            assert_eq!(buf, fresh, "case {case}: {} pooled encode byte-identical", msg.name());
+        }
+    }
+}
+
+#[test]
+fn append_frame_to_packs_contiguous_frames() {
+    // The coalescing primitive: appending several frames to one
+    // buffer yields exactly the concatenation of their standalone
+    // frames — header and payload contiguous, nothing between them.
+    for case in 0..8u64 {
+        let mut rng = Rng::new(0xC0A1 ^ case);
+        let msgs = arb_all_variants(&mut rng);
+        let mut packed = Vec::new();
+        let mut expect = Vec::new();
+        for msg in &msgs {
+            msg.append_frame_to(&mut packed).expect("in-cap frame");
+            expect.extend_from_slice(&msg.encode_frame());
+        }
+        assert_eq!(packed, expect, "case {case}: packed batch is the frame concatenation");
+        // And the batch decodes back to the same sequence, frame by
+        // frame.
+        let mut off = 0;
+        for msg in &msgs {
+            let len = FRAME_HEADER_LEN + msg.encoded_len();
+            let back = WireMsg::decode_frame(&packed[off..off + len]).expect("decode");
+            assert_eq!(&back, msg, "case {case}: {} survives packing", msg.name());
+            off += len;
+        }
+        assert_eq!(off, packed.len(), "case {case}: no trailing bytes");
+    }
+}
+
+#[test]
 fn truncation_always_errors_never_panics() {
     for case in 0..4u64 {
         let mut rng = Rng::new(0x7C91 ^ case);

@@ -50,15 +50,38 @@ pub struct Block {
 }
 
 impl Block {
+    /// Exact byte length of [`Block::canonical_bytes`].
+    pub fn canonical_len(&self) -> usize {
+        // Tag ("wedge-block-v1" behind a u64 length prefix) + edge +
+        // id + sealed_at_ns + entry count + entries.
+        8 + 14 + 8 + 8 + 8 + 8 + self.entries.iter().map(|e| e.encoded_len()).sum::<usize>()
+    }
+
     /// Canonical bytes of the whole block (id + edge + entries).
     pub fn canonical_bytes(&self) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-block-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-block-v1", self.canonical_len() - 22);
+        self.encode_canonical_body(&mut enc);
+        enc.finish()
+    }
+
+    /// Appends everything after the domain tag to `enc`. Split out so
+    /// wire codecs that already wrote the tag (or a length prefix)
+    /// can stream the block without building an intermediate `Vec`.
+    fn encode_canonical_body(&self, enc: &mut Encoder) {
         enc.put_u64(self.edge.0).put_u64(self.id.0).put_u64(self.sealed_at_ns);
         enc.put_u64(self.entries.len() as u64);
         for e in &self.entries {
-            e.encode(&mut enc);
+            e.encode(enc);
         }
-        enc.finish()
+    }
+
+    /// Appends the canonical bytes (tag included) directly to an
+    /// in-progress encoding — byte-identical to
+    /// `enc.put_bytes(&block.canonical_bytes())` minus the length
+    /// prefix, without materializing the intermediate buffer.
+    pub fn encode_canonical_into(&self, enc: &mut Encoder) {
+        enc.put_bytes(b"wedge-block-v1");
+        self.encode_canonical_body(enc);
     }
 
     /// The block digest the cloud certifies.

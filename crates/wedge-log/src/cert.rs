@@ -38,7 +38,7 @@ pub struct BlockProof {
 impl BlockProof {
     /// Canonical bytes covered by the cloud signature.
     pub fn signing_bytes(edge: IdentityId, bid: BlockId, digest: &Digest) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-block-proof-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-block-proof-v1", 48);
         enc.put_u64(edge.0).put_u64(bid.0).put_digest(digest);
         enc.finish()
     }
@@ -80,6 +80,9 @@ impl BlockProof {
 
     /// Wire size of a proof message: ids + digest + signature.
     pub const WIRE_SIZE: u64 = 8 + 8 + 32 + 32;
+
+    /// Exact byte length of [`BlockProof::encode_into`]'s output.
+    pub const ENCODED_LEN: usize = Self::WIRE_SIZE as usize;
 }
 
 /// Result of offering a digest to the cloud ledger.

@@ -23,9 +23,31 @@ pub struct Encoder {
 impl Encoder {
     /// Creates an encoder seeded with a domain-separation tag.
     pub fn with_tag(tag: &str) -> Self {
-        let mut e = Encoder { buf: Vec::with_capacity(64 + tag.len()) };
+        Self::with_tag_and_capacity(tag, 64)
+    }
+
+    /// Creates a tag-seeded encoder pre-sized for `payload_len` more
+    /// bytes after the tag — an exact `encoded_len()` here means the
+    /// encode never reallocates.
+    pub fn with_tag_and_capacity(tag: &str, payload_len: usize) -> Self {
+        let mut e = Encoder { buf: Vec::with_capacity(8 + tag.len() + payload_len) };
         e.put_bytes(tag.as_bytes());
         e
+    }
+
+    /// Wraps a caller-owned buffer and appends to its existing
+    /// contents; [`Encoder::finish`] hands the buffer back. This is
+    /// the reuse path: pooled buffers keep their capacity across
+    /// messages, and frame builders can lay payload bytes directly
+    /// after a header they already wrote.
+    pub fn append_to(buf: Vec<u8>) -> Self {
+        Encoder { buf }
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) -> &mut Self {
+        self.buf.reserve(additional);
+        self
     }
 
     /// Appends a fixed-width big-endian u8.

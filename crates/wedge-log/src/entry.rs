@@ -34,9 +34,15 @@ impl Entry {
 
     /// The canonical bytes covered by the signature.
     pub fn signing_bytes(&self) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-entry-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-entry-v1", 24 + self.payload.len());
         enc.put_u64(self.client.0).put_u64(self.sequence).put_bytes(&self.payload);
         enc.finish()
+    }
+
+    /// Exact byte length of [`Entry::encode`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        // client + sequence + (len prefix + payload) + e + s.
+        8 + 8 + 8 + self.payload.len() + 16 + 16
     }
 
     /// Canonical encoding *including* the signature (what blocks hash).

@@ -58,12 +58,9 @@ impl Frame {
     /// Panics if the payload exceeds [`MAX_FRAME_PAYLOAD`] — an honest
     /// sender never produces such a frame.
     pub fn encode(&self) -> Vec<u8> {
-        assert!(self.payload.len() <= MAX_FRAME_PAYLOAD as usize, "oversized frame payload");
         let mut out = Vec::with_capacity(FRAME_HEADER_LEN + self.payload.len());
-        out.extend_from_slice(&FRAME_MAGIC);
-        out.push(FRAME_VERSION);
-        out.push(self.kind);
-        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        append_frame_header(&mut out, self.kind, self.payload.len())
+            .expect("oversized frame payload");
         out.extend_from_slice(&self.payload);
         out
     }
@@ -103,6 +100,24 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, DecodeError> {
     Ok(Frame { kind, payload: body.to_vec() })
 }
 
+/// Appends a frame header for a payload of `payload_len` bytes to a
+/// buffer. The caller appends exactly `payload_len` payload bytes
+/// immediately after, producing the contiguous `[header | payload]`
+/// layout a single `write_all` can ship. Refuses oversized payloads
+/// with `InvalidInput` before touching the buffer, mirroring
+/// [`write_frame`].
+pub fn append_frame_header(buf: &mut Vec<u8>, kind: u8, payload_len: usize) -> io::Result<()> {
+    if payload_len > MAX_FRAME_PAYLOAD as usize {
+        return Err(io::Error::new(ErrorKind::InvalidInput, "oversized frame payload"));
+    }
+    buf.reserve(FRAME_HEADER_LEN + payload_len);
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(FRAME_VERSION);
+    buf.push(kind);
+    buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    Ok(())
+}
+
 /// Writes one frame to a stream (header + payload, then flush).
 ///
 /// A payload beyond [`MAX_FRAME_PAYLOAD`] is refused with
@@ -129,6 +144,15 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<(
 /// payload buffer is sized only after the length passed the
 /// [`MAX_FRAME_PAYLOAD`] guard.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(r, &mut payload)?.map(|kind| Frame { kind, payload }))
+}
+
+/// [`read_frame`]'s buffer-reusing twin: reads one frame's payload
+/// into a caller-owned buffer (cleared and resized to the payload
+/// length, keeping its capacity across frames) and returns the kind
+/// tag, or `Ok(None)` on a clean EOF before the first header byte.
+pub fn read_frame_into(r: &mut impl Read, payload: &mut Vec<u8>) -> io::Result<Option<u8>> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     let mut filled = 0usize;
     while filled < FRAME_HEADER_LEN {
@@ -147,9 +171,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     }
     let (kind, len) =
         check_header(&header).map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some(Frame { kind, payload }))
+    payload.clear();
+    payload.resize(len as usize, 0);
+    r.read_exact(payload)?;
+    Ok(Some(kind))
 }
 
 #[cfg(test)]

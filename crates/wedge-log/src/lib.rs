@@ -27,8 +27,8 @@ pub use cert::{BlockProof, CertLedger, CertOutcome, CommitPhase};
 pub use enc::{DecodeError, Decoder, Encoder};
 pub use entry::Entry;
 pub use frame::{
-    decode_frame, read_frame, write_frame, Frame, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION,
-    MAX_FRAME_PAYLOAD,
+    append_frame_header, decode_frame, read_frame, read_frame_into, write_frame, Frame,
+    FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_PAYLOAD,
 };
 pub use reserve::{LogPosition, PositionedRequest, Reservation, ReservePolicy, ReservingBuffer};
 pub use store::{LogStore, StoredBlock};

@@ -42,7 +42,7 @@ pub struct Reservation {
 
 impl Reservation {
     fn signing_bytes(client: IdentityId, pos: LogPosition) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-reservation-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-reservation-v1", 8 + 8 + 4);
         enc.put_u64(client.0).put_u64(pos.bid.0).put_u32(pos.offset);
         enc.finish()
     }
@@ -70,7 +70,8 @@ pub struct PositionedRequest {
 
 impl PositionedRequest {
     fn signing_bytes(client: IdentityId, pos: LogPosition, payload: &[u8]) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-positioned-v1");
+        let mut enc =
+            Encoder::with_tag_and_capacity("wedge-positioned-v1", 8 + 8 + 4 + 8 + payload.len());
         enc.put_u64(client.0).put_u64(pos.bid.0).put_u32(pos.offset).put_bytes(payload);
         enc.finish()
     }

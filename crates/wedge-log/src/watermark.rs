@@ -25,7 +25,7 @@ pub struct GossipWatermark {
 
 impl GossipWatermark {
     fn signing_bytes(edge: IdentityId, timestamp_ns: u64, log_len: u64) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-gossip-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-gossip-v1", 24);
         enc.put_u64(edge.0).put_u64(timestamp_ns).put_u64(log_len);
         enc.finish()
     }
@@ -54,7 +54,7 @@ impl GossipWatermark {
     /// (what a networked driver transmits; the signing bytes stay
     /// signature-free, as signatures never sign themselves).
     pub fn encode_wire(&self) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-gossip-wire-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-gossip-wire-v1", 56);
         enc.put_u64(self.edge.0)
             .put_u64(self.timestamp_ns)
             .put_u64(self.log_len)
@@ -101,6 +101,9 @@ impl GossipWatermark {
 
     /// Wire size of a gossip message.
     pub const WIRE_SIZE: u64 = 8 + 8 + 8 + 32;
+
+    /// Exact byte length of [`GossipWatermark::encode_into`]'s output.
+    pub const ENCODED_LEN: usize = Self::WIRE_SIZE as usize;
 }
 
 /// Client-side tracker keeping the freshest watermark per edge.

@@ -51,7 +51,8 @@ impl KvOp {
 
     /// Encodes into an entry payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-kvop-v1");
+        let body = 8 + 1 + self.value.as_ref().map_or(0, |v| 8 + v.len());
+        let mut enc = Encoder::with_tag_and_capacity("wedge-kvop-v1", body);
         enc.put_u64(self.key);
         match &self.value {
             Some(v) => {
@@ -126,6 +127,11 @@ impl KvRecord {
     /// Minimum bytes one encoded record occupies (hostile-count guard
     /// for repeated-field decoding).
     pub const MIN_ENCODED_LEN: usize = 8 + 8 + 4 + 1;
+
+    /// Exact byte length of [`KvRecord::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        Self::MIN_ENCODED_LEN + self.value.as_ref().map_or(0, |v| 8 + v.len())
+    }
 
     /// Canonical nestable encoding: key, version, presence-tagged
     /// value. Field order matches what [`crate::page::Page::digest`]

@@ -28,7 +28,7 @@ pub struct SignedLevelRoot {
 
 impl SignedLevelRoot {
     fn signing_bytes(edge: IdentityId, level: u32, epoch: u64, root: &Digest) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-level-root-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-level-root-v1", 8 + 4 + 8 + 32);
         enc.put_u64(edge.0).put_u32(level).put_u64(epoch).put_digest(root);
         enc.finish()
     }
@@ -50,6 +50,9 @@ impl SignedLevelRoot {
 
     /// Canonical nestable wire encoding: the signed fields plus the
     /// signature.
+    /// Exact byte length of [`SignedLevelRoot::encode_into`]'s output.
+    pub const ENCODED_LEN: usize = 8 + 4 + 8 + 32 + 32;
+
     pub fn encode_into(&self, enc: &mut Encoder) {
         enc.put_u64(self.edge.0)
             .put_u32(self.level)
@@ -90,7 +93,7 @@ pub struct GlobalRootCert {
 
 impl GlobalRootCert {
     fn signing_bytes(edge: IdentityId, epoch: u64, timestamp_ns: u64, root: &Digest) -> Vec<u8> {
-        let mut enc = Encoder::with_tag("wedge-global-root-v1");
+        let mut enc = Encoder::with_tag_and_capacity("wedge-global-root-v1", 8 + 8 + 8 + 32);
         enc.put_u64(edge.0).put_u64(epoch).put_u64(timestamp_ns).put_digest(root);
         enc.finish()
     }
@@ -115,6 +118,9 @@ impl GlobalRootCert {
             &self.signature,
         )
     }
+
+    /// Exact byte length of [`GlobalRootCert::encode_into`]'s output.
+    pub const ENCODED_LEN: usize = 8 + 8 + 8 + 32 + 32;
 
     /// Canonical nestable wire encoding: the signed fields plus the
     /// signature.

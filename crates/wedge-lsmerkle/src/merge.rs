@@ -62,6 +62,15 @@ impl MergeRequest {
         32 + l0 + src + tgt
     }
 
+    /// Exact byte length of [`MergeRequest::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        let l0: usize = self.source_l0.iter().map(|p| p.encoded_len()).sum();
+        let src: usize = self.source_pages.iter().map(|p| p.encoded_len()).sum();
+        let tgt: usize = self.target_pages.iter().map(|p| p.encoded_len()).sum();
+        // edge + source_level + epoch + three counted page runs.
+        8 + 4 + 8 + (8 + l0) + (8 + src) + (8 + tgt)
+    }
+
     /// Canonical nestable wire encoding.
     pub fn encode_into(&self, enc: &mut wedge_log::Encoder) {
         enc.put_u64(self.edge.0).put_u32(self.source_level).put_u64(self.epoch);
@@ -108,7 +117,9 @@ impl MergeRequest {
     /// page it ships. Two requests with equal fingerprints carry the
     /// same pages, so replaying the cached [`MergeResult`] is sound.
     pub fn fingerprint(&self) -> Digest {
-        let mut enc = wedge_log::Encoder::with_tag("wedge-merge-fp-v1");
+        let n_pages = self.source_l0.len() + self.source_pages.len() + self.target_pages.len();
+        let mut enc =
+            wedge_log::Encoder::with_tag_and_capacity("wedge-merge-fp-v1", 44 + 32 * n_pages);
         enc.put_u64(self.edge.0).put_u32(self.source_level).put_u64(self.epoch);
         enc.put_u64(self.source_l0.len() as u64);
         for p in &self.source_l0 {
@@ -157,6 +168,19 @@ impl MergeResult {
         let pages: u64 = self.new_target_pages.iter().map(|p| p.wire_size()).sum();
         let roots = (self.all_level_roots.len() as u64) * 32;
         pages + roots + 2 * 96 + 32
+    }
+
+    /// Exact byte length of [`MergeResult::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        let pages: usize = self.new_target_pages.iter().map(|p| p.encoded_len()).sum();
+        8 + 4
+            + (8 + pages)
+            + 1
+            + self.new_source_root.as_ref().map_or(0, |_| SignedLevelRoot::ENCODED_LEN)
+            + SignedLevelRoot::ENCODED_LEN
+            + (8 + 32 * self.all_level_roots.len())
+            + GlobalRootCert::ENCODED_LEN
+            + 8
     }
 
     /// Canonical nestable wire encoding.
@@ -357,6 +381,27 @@ impl DeltaMergeResult {
         32 + pages + roots + 2 * 96 + 32
     }
 
+    /// Exact byte length of [`DeltaMergeResult::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        let pages: usize = self
+            .pages
+            .iter()
+            .map(|p| match p {
+                PageDelta::Full(p) => 1 + p.encoded_len(),
+                PageDelta::Reused(_) => 1 + 4,
+            })
+            .sum();
+        32 + 8
+            + 4
+            + (8 + pages)
+            + 1
+            + self.new_source_root.as_ref().map_or(0, |_| SignedLevelRoot::ENCODED_LEN)
+            + SignedLevelRoot::ENCODED_LEN
+            + (8 + 32 * self.all_level_roots.len())
+            + GlobalRootCert::ENCODED_LEN
+            + 8
+    }
+
     /// Canonical nestable wire encoding.
     pub fn encode_into(&self, enc: &mut wedge_log::Encoder) {
         enc.put_digest(&self.request_fp).put_u64(self.edge.0).put_u32(self.source_level);
@@ -451,7 +496,8 @@ pub enum ReqPageSlot {
 /// in a reply, the edge over the pages that reply installed — so a
 /// reference is resolvable iff both still mean the same run.
 pub fn retention_fingerprint(edge: IdentityId, level: u32, pages: &[Arc<Page>]) -> Digest {
-    let mut enc = wedge_log::Encoder::with_tag("wedge-retain-fp-v1");
+    let mut enc =
+        wedge_log::Encoder::with_tag_and_capacity("wedge-retain-fp-v1", 20 + 32 * pages.len());
     enc.put_u64(edge.0).put_u32(level).put_u64(pages.len() as u64);
     for p in pages {
         enc.put_digest(&p.digest());
@@ -674,6 +720,27 @@ impl DeltaMergeRequest {
         };
         32 + 36 * self.retention.len() as u64
             + l0
+            + slots(&self.source_pages)
+            + slots(&self.target_pages)
+    }
+
+    /// Exact byte length of [`DeltaMergeRequest::encode_into`]'s
+    /// output.
+    pub fn encoded_len(&self) -> usize {
+        let slots = |s: &[ReqPageSlot]| -> usize {
+            8 + s
+                .iter()
+                .map(|s| match s {
+                    ReqPageSlot::Full(p) => 1 + p.encoded_len(),
+                    ReqPageSlot::Retained { .. } => 1 + 4,
+                })
+                .sum::<usize>()
+        };
+        let l0: usize = self.source_l0.iter().map(|p| p.encoded_len()).sum();
+        8 + 4
+            + 8
+            + (8 + (4 + 32) * self.retention.len())
+            + (8 + l0)
             + slots(&self.source_pages)
             + slots(&self.target_pages)
     }

@@ -148,7 +148,9 @@ impl Page {
     pub fn digest(&self) -> Digest {
         *self.digest.get_or_init(|| {
             note_computed();
-            let mut enc = Encoder::with_tag("wedge-page-v1");
+            // Same field bytes as the wire encoding, so `encoded_len`
+            // sizes this buffer exactly.
+            let mut enc = Encoder::with_tag_and_capacity("wedge-page-v1", self.encoded_len());
             enc.put_u64(self.min).put_u64(self.max).put_u64(self.created_at_ns);
             enc.put_u64(self.records.len() as u64);
             for r in &self.records {
@@ -203,6 +205,12 @@ impl Page {
     /// can exceed 4 GiB, and a wrapped size corrupts cost accounting.
     pub fn wire_size(&self) -> u64 {
         28 + self.records.iter().map(|r| r.wire_size()).sum::<u64>()
+    }
+
+    /// Exact byte length of [`Page::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        // min + max + created_at_ns + record count + records.
+        8 + 8 + 8 + 8 + self.records.iter().map(|r| r.encoded_len()).sum::<usize>()
     }
 
     /// Canonical nestable wire encoding: exactly the logical fields,
@@ -383,7 +391,15 @@ impl L0Page {
     /// wire, and the decoded page's digest is the block digest by
     /// construction.
     pub fn encode_into(&self, enc: &mut Encoder) {
-        enc.put_bytes(&self.block.canonical_bytes());
+        // Byte-identical to `put_bytes(&canonical_bytes())`, without
+        // materializing the intermediate block buffer.
+        enc.put_u64(self.block.canonical_len() as u64);
+        self.block.encode_canonical_into(enc);
+    }
+
+    /// Exact byte length of [`L0Page::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        8 + self.block.canonical_len()
     }
 
     /// Inverse of [`L0Page::encode_into`], producing a shareable

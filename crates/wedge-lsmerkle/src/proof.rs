@@ -78,6 +78,31 @@ impl IndexReadProof {
         l0 + lv + 32 * self.level_roots.len() as u64 + 96
     }
 
+    /// Exact byte length of [`IndexReadProof::encode_into`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        let l0: usize = self
+            .l0
+            .iter()
+            .map(|w| {
+                w.page.encoded_len()
+                    + 1
+                    + w.proof.as_ref().map_or(0, |_| wedge_log::BlockProof::ENCODED_LEN)
+            })
+            .sum();
+        let wit: usize = self
+            .witnesses
+            .iter()
+            .map(|w| 4 + w.page.encoded_len() + 8 + 8 + 32 * w.inclusion.siblings.len())
+            .sum();
+        8 + 8
+            + 1
+            + self.outcome.as_ref().map_or(0, |r| r.encoded_len())
+            + (8 + l0)
+            + (8 + wit)
+            + (8 + 32 * self.level_roots.len())
+            + GlobalRootCert::ENCODED_LEN
+    }
+
     /// Canonical nestable wire encoding of the whole proof.
     pub fn encode_into(&self, enc: &mut Encoder) {
         enc.put_u64(self.edge.0).put_u64(self.key);

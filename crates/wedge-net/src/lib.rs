@@ -31,8 +31,14 @@
 //! receive timeout on that inbox (exactly the threaded runtime's
 //! discipline), so gossip cadence, certification/merge retries and
 //! dispute timeouts run through the same engine-owned clocks as every
-//! other runtime. Writes are framed and flushed per message
-//! (`TCP_NODELAY` set) from the service thread only.
+//! other runtime. Writes go through a per-connection scratch buffer
+//! ([`Conn`]): each frame is packed `[header | payload]` contiguously
+//! via `WireMsg::append_frame_to`, and every frame a service wakeup
+//! queues for the same peer coalesces into one `write_all`
+//! (`TCP_NODELAY` set), from the service thread only. The service
+//! loops drain their inbox greedily (up to a budget) per wakeup, so
+//! pipelined traffic turns into multi-frame writes — counted in
+//! [`NetReport::coalesced_frames`].
 //!
 //! Backpressure mirrors the threaded runtime's design at the
 //! transport boundary: the cloud and edge inboxes are **bounded**
@@ -47,6 +53,7 @@
 //! per-edge flusher thread, both counted in [`NetReport`].
 
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
 use std::net::{Shutdown as SockShutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
@@ -67,7 +74,9 @@ use wedge_core::harness::client_workload_seed;
 use wedge_core::messages::WireMsg;
 use wedge_core::threaded::{EdgeRunReport, PutShed};
 use wedge_crypto::{Identity, IdentityId, KeyRegistry};
-use wedge_log::{read_frame, write_frame, BlockId};
+use wedge_log::{
+    read_frame, read_frame_into, write_frame, BlockId, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD,
+};
 use wedge_lsmerkle::{
     CloudIndex, CompactionStats, LsMerkle, LsmConfig, ProofError, ShardedReadProofCache,
 };
@@ -200,6 +209,16 @@ pub struct NetReport {
     /// Per-connection breakdown of `failed_sends` (non-zero entries
     /// only), labelled `sender→receiver`.
     pub failed_sends_by_peer: Vec<(String, u64)>,
+    /// Frames that reached a socket, summed over every connection.
+    pub frames_sent: u64,
+    /// `write_all` calls that carried those frames. Coalescing makes
+    /// this ≤ [`NetReport::frames_sent`]; the gap is
+    /// [`NetReport::coalesced_frames`].
+    pub frame_writes: u64,
+    /// Frames that shared a syscall with a predecessor queued for the
+    /// same peer in the same service wakeup
+    /// (`frames_sent - frame_writes`).
+    pub coalesced_frames: u64,
     /// Caller puts shed by the admission path (`try_put_on` hit its
     /// admission timeout, or the batch was rejected outright).
     pub puts_shed: u64,
@@ -217,24 +236,39 @@ pub struct NetReport {
 // Socket plumbing
 // ---------------------------------------------------------------------------
 
-/// Per-connection send-failure accounting. A `write_frame` error must
-/// never be thrown away silently: the service loop degrades to message
-/// loss (retries and dispute deadlines keep the protocol live), but
-/// the drop is *counted* per peer and logged once per connection so an
+/// Per-connection send-failure accounting. A send error must never be
+/// thrown away silently: the service loop degrades to message loss
+/// (retries and dispute deadlines keep the protocol live), but the
+/// drop is *counted* per peer and logged once per connection so an
 /// operator — and the run report — can see the partition was starved.
+/// Also carries the coalescing counters: frames packed vs syscalls
+/// issued.
 struct SendTracker {
     /// `sender→receiver` label for logs and the report.
     peer: String,
     failed: AtomicU64,
     logged: AtomicBool,
+    /// Frames that reached the socket on this connection.
+    frames: AtomicU64,
+    /// `write_all` calls that carried them (≤ `frames`; the gap is
+    /// frames that shared a syscall with a predecessor).
+    writes: AtomicU64,
 }
 
 impl SendTracker {
     fn new(peer: String) -> Arc<Self> {
-        Arc::new(SendTracker { peer, failed: AtomicU64::new(0), logged: AtomicBool::new(false) })
+        Arc::new(SendTracker {
+            peer,
+            failed: AtomicU64::new(0),
+            logged: AtomicBool::new(false),
+            frames: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
     }
 
-    fn record(&self, err: &std::io::Error) {
+    /// Counts `frames` lost messages (one torn write can lose a whole
+    /// coalesced batch), logging the first loss on this connection.
+    fn record_failed(&self, err: &dyn std::fmt::Display, frames: u64) {
         if !self.logged.swap(true, Ordering::Relaxed) {
             eprintln!(
                 "wedge-net: dropped frame on {}: {err} (further drops on this connection \
@@ -242,7 +276,7 @@ impl SendTracker {
                 self.peer
             );
         }
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.fetch_add(frames, Ordering::Relaxed);
     }
 
     fn count(&self) -> u64 {
@@ -250,41 +284,131 @@ impl SendTracker {
     }
 }
 
-/// A writable connection: the stream plus its failure accounting.
+/// Coalescing bound: a queued batch never grows past one frame cap,
+/// so a flush write is at most `FRAME_HEADER_LEN + MAX_FRAME_PAYLOAD`
+/// past it (the frame that tripped the bound).
+const COALESCE_CAP: usize = MAX_FRAME_PAYLOAD as usize;
+
+/// Scratch capacity retained across flushes/frames. One near-cap
+/// merge frame must not pin 16 MiB per connection forever.
+const SCRATCH_RETAIN: usize = 256 * 1024;
+
+/// A writable connection: the stream, its failure accounting, and the
+/// send scratch buffer frames are packed into.
 struct Conn {
     stream: TcpStream,
     tracker: Arc<SendTracker>,
+    /// Queued frames laid out back to back, each `[header | payload]`
+    /// contiguous, written with a single `write_all` per flush.
+    scratch: Vec<u8>,
+    /// Frames currently packed in `scratch`.
+    queued: u64,
 }
 
 impl Conn {
-    /// Writes one framed [`WireMsg`]. A failure (torn connection, or a
-    /// refused oversized frame) surfaces as counted message loss — a
-    /// service loop must never panic mid-protocol.
-    fn send(&mut self, msg: &WireMsg) {
-        if let Err(err) = write_frame(&mut self.stream, msg.kind(), &msg.encode_payload()) {
-            self.tracker.record(&err);
+    fn new(stream: TcpStream, tracker: Arc<SendTracker>) -> Self {
+        Conn { stream, tracker, scratch: Vec::new(), queued: 0 }
+    }
+
+    /// Packs one framed [`WireMsg`] into the scratch buffer. Every
+    /// frame queued for this peer in one service wakeup coalesces
+    /// into a single syscall at the next [`Conn::flush`], bounded by
+    /// the frame cap: a frame that would grow the batch past
+    /// [`COALESCE_CAP`] flushes the batch first. A refused oversized
+    /// frame surfaces as counted message loss — a service loop must
+    /// never panic mid-protocol.
+    fn queue(&mut self, msg: &WireMsg) {
+        let need = FRAME_HEADER_LEN + msg.encoded_len();
+        if !self.scratch.is_empty() && self.scratch.len() + need > COALESCE_CAP {
+            self.flush();
+        }
+        match msg.append_frame_to(&mut self.scratch) {
+            Ok(()) => self.queued += 1,
+            Err(err) => self.tracker.record_failed(&err, 1),
+        }
+    }
+
+    /// Writes every queued frame with one `write_all`. A failure
+    /// (torn connection) loses the whole batch; each lost frame is
+    /// counted.
+    fn flush(&mut self) {
+        if self.scratch.is_empty() {
+            return;
+        }
+        match self.stream.write_all(&self.scratch) {
+            Ok(()) => {
+                self.tracker.frames.fetch_add(self.queued, Ordering::Relaxed);
+                self.tracker.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(err) => self.tracker.record_failed(&err, self.queued),
+        }
+        self.scratch.clear();
+        self.scratch.shrink_to(SCRATCH_RETAIN);
+        self.queued = 0;
+    }
+}
+
+/// Why a connection hello failed. Hellos run once per connection at
+/// cluster start; a failure means the peer tore the connection before
+/// the cluster was even wired (or spoke garbage), and the cluster
+/// starts without that peer — counted in
+/// [`NetReport::failed_sends`] instead of panicking the process.
+#[derive(Debug)]
+pub enum HandshakeError {
+    /// The socket failed mid-hello.
+    Io(std::io::Error),
+    /// The peer closed cleanly before sending its hello.
+    Closed,
+    /// The first frame was not a well-formed hello.
+    BadHello(&'static str),
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::Io(err) => write!(f, "hello io error: {err}"),
+            HandshakeError::Closed => write!(f, "peer closed before hello"),
+            HandshakeError::BadHello(what) => write!(f, "malformed hello: {what}"),
         }
     }
 }
 
+impl std::error::Error for HandshakeError {}
+
 /// Sends the connection hello identifying this peer to the acceptor.
-fn send_hello(stream: &mut TcpStream, role: u8, index: u64) {
+fn send_hello(stream: &mut TcpStream, role: u8, index: u64) -> Result<(), HandshakeError> {
     let mut payload = Vec::with_capacity(9);
     payload.push(role);
     payload.extend_from_slice(&index.to_be_bytes());
-    write_frame(stream, HELLO_KIND, &payload).expect("hello write on fresh connection");
+    write_frame(stream, HELLO_KIND, &payload).map_err(HandshakeError::Io)
 }
 
 /// Reads and parses the hello frame that opens every connection.
-fn read_hello(stream: &mut TcpStream) -> (u8, u64) {
-    let frame = read_frame(stream)
-        .expect("hello read on fresh connection")
-        .expect("peer sent hello before closing");
-    assert_eq!(frame.kind, HELLO_KIND, "first frame must be the hello");
-    assert_eq!(frame.payload.len(), 9, "hello payload is role + index");
+fn read_hello(stream: &mut TcpStream) -> Result<(u8, u64), HandshakeError> {
+    let frame = read_frame(stream).map_err(HandshakeError::Io)?.ok_or(HandshakeError::Closed)?;
+    if frame.kind != HELLO_KIND {
+        return Err(HandshakeError::BadHello("first frame must be the hello"));
+    }
+    if frame.payload.len() != 9 {
+        return Err(HandshakeError::BadHello("hello payload is role + index"));
+    }
     let role = frame.payload[0];
     let index = u64::from_be_bytes(frame.payload[1..9].try_into().expect("8 bytes"));
-    (role, index)
+    Ok((role, index))
+}
+
+/// A loopback stream whose peer is already gone: reads see EOF,
+/// writes fail with a counted error. Stands in for a peer whose hello
+/// failed, so the surviving services still construct and their sends
+/// to the dead peer degrade to counted message loss.
+fn dead_stream() -> TcpStream {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind throwaway listener");
+    let addr = listener.local_addr().expect("throwaway addr");
+    let stream = TcpStream::connect(addr).expect("loopback connect");
+    let (accepted, _) = listener.accept().expect("throwaway accept");
+    drop(accepted);
+    let _ = stream.shutdown(SockShutdown::Both);
+    stream
 }
 
 /// Spawns the per-connection reader: blocks on frames, decodes each
@@ -302,18 +426,29 @@ fn spawn_reader(
     std::thread::Builder::new()
         .name(name)
         .spawn(move || {
-            while let Ok(Some(frame)) = read_frame(&mut stream) {
-                let Ok(msg) = WireMsg::decode_payload(frame.kind, &frame.payload) else {
+            // One payload buffer for the connection's life: every
+            // frame lands in place instead of allocating a fresh Vec.
+            let mut payload = Vec::new();
+            while let Ok(Some(kind)) = read_frame_into(&mut stream, &mut payload) {
+                let Ok(msg) = WireMsg::decode_payload(kind, &payload) else {
                     break;
                 };
                 if !deliver(msg) {
                     break;
                 }
+                payload.shrink_to(SCRATCH_RETAIN);
             }
             on_exit();
         })
         .expect("spawn reader thread")
 }
+
+/// How many extra inbox messages a service drains (non-blocking)
+/// after each blocking receive, before ticking and flushing its
+/// connections. The greedy drain is what lets frames for the same
+/// peer coalesce into one write; the budget bounds how long queued
+/// responses wait for the wire.
+const DRAIN_BUDGET: usize = 32;
 
 /// True for cloud→edge traffic that may be shed under backpressure:
 /// the next gossip round re-issues it.
@@ -474,40 +609,66 @@ fn edge_service(
                  client: &mut Conn| {
         for effect in engine.handle(cmd, now_ns) {
             match effect {
-                EdgeEffect::SendCloud { msg, .. } => cloud.send(&msg),
-                EdgeEffect::Send { msg, .. } => client.send(&msg),
+                EdgeEffect::SendCloud { msg, .. } => cloud.queue(&msg),
+                EdgeEffect::Send { msg, .. } => client.queue(&msg),
                 // CPU accounting has no real-time counterpart here.
                 EdgeEffect::UseCpu(_) | EdgeEffect::UseCpuBackground(_) => {}
             }
         }
     };
+    let mut batch: Vec<EdgeIn> = Vec::with_capacity(DRAIN_BUDGET + 1);
     loop {
         match recv_until(&rx, engine.next_deadline_ns(), epoch) {
-            Inbox::Msg(EdgeIn::FromClient(msg)) => {
-                // Scripted seal times make block digests reproducible.
-                let now_ns = if matches!(msg, WireMsg::BatchAdd { .. }) {
-                    seal_times.pop_front().unwrap_or_else(|| elapsed_ns(epoch))
-                } else {
-                    elapsed_ns(epoch)
-                };
-                if let Some(cmd) = EdgeCommand::from_wire(CLIENT_PEER, msg) {
-                    apply(&mut engine, cmd, now_ns, &mut cloud, &mut client);
-                }
-            }
-            Inbox::Msg(EdgeIn::FromCloud(msg)) => {
-                if !apply_latency.is_zero() {
-                    std::thread::sleep(apply_latency);
-                }
-                if let Some(cmd) = EdgeCommand::from_wire(CLIENT_PEER, msg) {
-                    apply(&mut engine, cmd, elapsed_ns(epoch), &mut cloud, &mut client);
-                }
-            }
-            Inbox::Msg(EdgeIn::Shutdown) | Inbox::Disconnected => break,
+            Inbox::Msg(msg) => batch.push(msg),
+            Inbox::Disconnected => break,
             Inbox::Deadline => {}
         }
-        let now_ns = elapsed_ns(epoch);
-        if engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
-            apply(&mut engine, EdgeCommand::Tick, now_ns, &mut cloud, &mut client);
+        while batch.len() <= DRAIN_BUDGET {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        let mut shutdown = false;
+        for msg in batch.drain(..) {
+            match msg {
+                EdgeIn::FromClient(msg) => {
+                    // Scripted seal times make block digests
+                    // reproducible.
+                    let now_ns = if matches!(msg, WireMsg::BatchAdd { .. }) {
+                        seal_times.pop_front().unwrap_or_else(|| elapsed_ns(epoch))
+                    } else {
+                        elapsed_ns(epoch)
+                    };
+                    if let Some(cmd) = EdgeCommand::from_wire(CLIENT_PEER, msg) {
+                        apply(&mut engine, cmd, now_ns, &mut cloud, &mut client);
+                    }
+                }
+                EdgeIn::FromCloud(msg) => {
+                    if !apply_latency.is_zero() {
+                        std::thread::sleep(apply_latency);
+                    }
+                    if let Some(cmd) = EdgeCommand::from_wire(CLIENT_PEER, msg) {
+                        apply(&mut engine, cmd, elapsed_ns(epoch), &mut cloud, &mut client);
+                    }
+                }
+                EdgeIn::Shutdown => {
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+        batch.clear();
+        if !shutdown {
+            let now_ns = elapsed_ns(epoch);
+            if engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
+                apply(&mut engine, EdgeCommand::Tick, now_ns, &mut cloud, &mut client);
+            }
+        }
+        cloud.flush();
+        client.flush();
+        if shutdown {
+            break;
         }
     }
     engine
@@ -528,26 +689,52 @@ fn cloud_service(
             match effect {
                 CloudEffect::Send { to, msg, .. } => {
                     if let Some(conn) = peers.get_mut(&to) {
-                        conn.send(&msg);
+                        conn.queue(&msg);
                     }
                 }
                 CloudEffect::UseCpu(_) => {}
             }
         }
     };
+    let mut batch: Vec<CloudIn> = Vec::with_capacity(DRAIN_BUDGET + 1);
     loop {
         match recv_until(&rx, engine.next_deadline_ns(), epoch) {
-            Inbox::Msg(CloudIn::From { peer, msg }) => {
-                if let Some(cmd) = CloudCommand::from_wire(peer, msg) {
-                    apply(&mut engine, cmd, elapsed_ns(epoch), &mut peers);
-                }
-            }
-            Inbox::Msg(CloudIn::Shutdown) | Inbox::Disconnected => break,
+            Inbox::Msg(msg) => batch.push(msg),
+            Inbox::Disconnected => break,
             Inbox::Deadline => {}
         }
-        let now_ns = elapsed_ns(epoch);
-        if engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
-            apply(&mut engine, CloudCommand::Tick, now_ns, &mut peers);
+        while batch.len() <= DRAIN_BUDGET {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        let mut shutdown = false;
+        for msg in batch.drain(..) {
+            match msg {
+                CloudIn::From { peer, msg } => {
+                    if let Some(cmd) = CloudCommand::from_wire(peer, msg) {
+                        apply(&mut engine, cmd, elapsed_ns(epoch), &mut peers);
+                    }
+                }
+                CloudIn::Shutdown => {
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+        batch.clear();
+        if !shutdown {
+            let now_ns = elapsed_ns(epoch);
+            if engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
+                apply(&mut engine, CloudCommand::Tick, now_ns, &mut peers);
+            }
+        }
+        for conn in peers.values_mut() {
+            conn.flush();
+        }
+        if shutdown {
+            break;
         }
     }
     engine
@@ -569,32 +756,86 @@ fn client_service(
     let mut comp = ClientCompletions::new();
     let mut edge = edge;
     let mut cloud = cloud;
-    let mut send_edge = |msg: WireMsg| edge.send(&msg);
-    let mut send_cloud = |msg: WireMsg| cloud.send(&msg);
+    let mut batch: Vec<ClientIn> = Vec::with_capacity(DRAIN_BUDGET + 1);
     loop {
         match recv_until(&rx, engine.next_deadline_ns(), epoch) {
-            Inbox::Msg(ClientIn::PutBatch { ops, reply }) => comp.queue_put(ops, reply),
-            Inbox::Msg(ClientIn::Get { key, reply }) => {
-                let token = comp.register_get(reply);
-                let cmd = ClientCommand::Get { token, key };
-                comp.run(&mut engine, cmd, elapsed_ns(epoch), &mut send_edge, &mut send_cloud);
-            }
-            Inbox::Msg(ClientIn::LogRead(bid)) => {
-                let cmd = ClientCommand::LogRead { bid };
-                comp.run(&mut engine, cmd, elapsed_ns(epoch), &mut send_edge, &mut send_cloud);
-            }
-            Inbox::Msg(ClientIn::FromEdge(msg)) | Inbox::Msg(ClientIn::FromCloud(msg)) => {
-                if let Some(cmd) = ClientCommand::from_wire(msg) {
-                    comp.run(&mut engine, cmd, elapsed_ns(epoch), &mut send_edge, &mut send_cloud);
-                }
-            }
-            Inbox::Msg(ClientIn::Shutdown) | Inbox::Disconnected => break,
+            Inbox::Msg(msg) => batch.push(msg),
+            Inbox::Disconnected => break,
             Inbox::Deadline => {}
         }
-        let now_ns = elapsed_ns(epoch);
-        comp.pump_puts(&mut engine, now_ns, &mut send_edge, &mut send_cloud);
-        if engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
-            comp.run(&mut engine, ClientCommand::Tick, now_ns, &mut send_edge, &mut send_cloud);
+        while batch.len() <= DRAIN_BUDGET {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        let mut shutdown = false;
+        {
+            // Sends queue into the connection scratch buffers; the
+            // flushes below put every frame this wakeup produced on
+            // the wire together (pipelined put batches coalesce).
+            let mut send_edge = |msg: WireMsg| edge.queue(&msg);
+            let mut send_cloud = |msg: WireMsg| cloud.queue(&msg);
+            for msg in batch.drain(..) {
+                match msg {
+                    ClientIn::PutBatch { ops, reply } => comp.queue_put(ops, reply),
+                    ClientIn::Get { key, reply } => {
+                        let token = comp.register_get(reply);
+                        let cmd = ClientCommand::Get { token, key };
+                        comp.run(
+                            &mut engine,
+                            cmd,
+                            elapsed_ns(epoch),
+                            &mut send_edge,
+                            &mut send_cloud,
+                        );
+                    }
+                    ClientIn::LogRead(bid) => {
+                        let cmd = ClientCommand::LogRead { bid };
+                        comp.run(
+                            &mut engine,
+                            cmd,
+                            elapsed_ns(epoch),
+                            &mut send_edge,
+                            &mut send_cloud,
+                        );
+                    }
+                    ClientIn::FromEdge(msg) | ClientIn::FromCloud(msg) => {
+                        if let Some(cmd) = ClientCommand::from_wire(msg) {
+                            comp.run(
+                                &mut engine,
+                                cmd,
+                                elapsed_ns(epoch),
+                                &mut send_edge,
+                                &mut send_cloud,
+                            );
+                        }
+                    }
+                    ClientIn::Shutdown => {
+                        shutdown = true;
+                        break;
+                    }
+                }
+            }
+            if !shutdown {
+                let now_ns = elapsed_ns(epoch);
+                comp.pump_puts(&mut engine, now_ns, &mut send_edge, &mut send_cloud);
+                if engine.next_deadline_ns().is_some_and(|d| d <= now_ns) {
+                    comp.run(
+                        &mut engine,
+                        ClientCommand::Tick,
+                        now_ns,
+                        &mut send_edge,
+                        &mut send_cloud,
+                    );
+                }
+            }
+        }
+        batch.clear();
+        edge.flush();
+        cloud.flush();
+        if shutdown {
+            break;
         }
     }
     (engine, comp.into_verdicts())
@@ -690,45 +931,91 @@ impl NetCluster {
         };
 
         // --- outbound connections + hellos ---
+        // A hello that fails (connection torn before the cluster is
+        // even wired) is counted, never fatal: the peer is dropped
+        // cleanly, a dead stream keeps the surviving services
+        // constructible, and their sends to the missing peer degrade
+        // to counted message loss.
+        let mut hello_failures: Vec<(String, String)> = Vec::new();
+        let mut edge_hello_ok = vec![true; edges];
+        let mut client_cloud_hello_ok = vec![true; edges];
         let mut edge_to_cloud = Vec::new();
-        for (p, _) in edge_idents.iter().enumerate() {
+        for (p, ok) in edge_hello_ok.iter_mut().enumerate() {
             let mut s = connect(cloud_addr);
-            send_hello(&mut s, ROLE_EDGE, p as u64);
+            if let Err(err) = send_hello(&mut s, ROLE_EDGE, p as u64) {
+                hello_failures.push((format!("edge{p}→cloud (hello)"), err.to_string()));
+                *ok = false;
+                s = dead_stream();
+            }
             edge_to_cloud.push(s);
         }
+        let mut client_edge_hello_ok = vec![true; edges];
         let mut client_to_edge = Vec::new();
         let mut client_to_cloud = Vec::new();
         for (p, addr) in edge_addrs.iter().enumerate() {
             let mut s = connect(*addr);
-            send_hello(&mut s, ROLE_CLIENT, p as u64);
+            if let Err(err) = send_hello(&mut s, ROLE_CLIENT, p as u64) {
+                hello_failures.push((format!("client{p}→edge (hello)"), err.to_string()));
+                client_edge_hello_ok[p] = false;
+                s = dead_stream();
+            }
             client_to_edge.push(s);
             let mut s = connect(cloud_addr);
-            send_hello(&mut s, ROLE_CLIENT, p as u64);
+            if let Err(err) = send_hello(&mut s, ROLE_CLIENT, p as u64) {
+                hello_failures.push((format!("client{p}→cloud (hello)"), err.to_string()));
+                client_cloud_hello_ok[p] = false;
+                s = dead_stream();
+            }
             client_to_cloud.push(s);
         }
 
         // --- accept + identify ---
-        // Cloud: 2E inbound (E edges + E clients), any order.
+        // Cloud: one inbound per *successful* hello (E edges + E
+        // clients in a healthy start), any order. A hello that cannot
+        // be read leaves its peer out of the map — the peer's writer
+        // below becomes a dead stream.
+        let cloud_expected = edge_hello_ok.iter().filter(|ok| **ok).count()
+            + client_cloud_hello_ok.iter().filter(|ok| **ok).count();
         let mut cloud_inbound: HashMap<usize, TcpStream> = HashMap::new();
-        for _ in 0..2 * edges {
+        for _ in 0..cloud_expected {
             let (mut s, _) = cloud_listener.accept().expect("cloud accept");
             s.set_nodelay(true).expect("nodelay");
-            let (role, index) = read_hello(&mut s);
-            let peer = match role {
-                ROLE_EDGE => index as usize,
-                ROLE_CLIENT => edges + index as usize,
-                _ => panic!("unknown hello role {role}"),
-            };
-            let prev = cloud_inbound.insert(peer, s);
-            assert!(prev.is_none(), "duplicate hello for peer {peer}");
+            match read_hello(&mut s) {
+                Ok((role, index)) => {
+                    let peer = match role {
+                        ROLE_EDGE => index as usize,
+                        ROLE_CLIENT => edges + index as usize,
+                        _ => panic!("unknown hello role {role}"),
+                    };
+                    let prev = cloud_inbound.insert(peer, s);
+                    assert!(prev.is_none(), "duplicate hello for peer {peer}");
+                }
+                Err(err) => hello_failures.push(("cloud←peer (hello)".into(), err.to_string())),
+            }
         }
-        // Each edge: one inbound (its client).
+        // Each edge: one inbound (its client), unless that client's
+        // hello already failed on the client side.
         let mut edge_inbound = Vec::new();
         for (p, listener) in edge_listeners.iter().enumerate() {
+            if !client_edge_hello_ok[p] {
+                edge_inbound.push(dead_stream());
+                continue;
+            }
             let (mut s, _) = listener.accept().expect("edge accept");
             s.set_nodelay(true).expect("nodelay");
-            let (role, index) = read_hello(&mut s);
-            assert_eq!((role, index as usize), (ROLE_CLIENT, p), "edge {p} expects its client");
+            match read_hello(&mut s) {
+                Ok((role, index)) => {
+                    assert_eq!(
+                        (role, index as usize),
+                        (ROLE_CLIENT, p),
+                        "edge {p} expects its client"
+                    );
+                }
+                Err(err) => {
+                    hello_failures.push((format!("edge{p}←client (hello)"), err.to_string()));
+                    s = dead_stream();
+                }
+            }
             edge_inbound.push(s);
         }
 
@@ -741,6 +1028,11 @@ impl NetCluster {
             send_trackers.push(Arc::clone(&tracker));
             tracker
         };
+        // Hello failures surface through the same per-peer accounting
+        // as any other lost frame.
+        for (label, err) in hello_failures {
+            track(&mut send_trackers, label).record_failed(&err, 1);
+        }
 
         // --- cloud node ---
         let cloud_engine = CloudEngine::new(
@@ -756,27 +1048,30 @@ impl NetCluster {
         // the writing edges/clients.
         let (cloud_tx, cloud_rx) = sync_channel::<CloudIn>(cfg.cloud_inbox_cap);
         let mut cloud_writers = HashMap::new();
-        for (peer, stream) in cloud_inbound {
-            sockets.push(stream.try_clone().expect("clone"));
+        for peer in 0..2 * edges {
             let label = if peer < edges {
                 format!("cloud→edge{peer}")
             } else {
                 format!("cloud→client{}", peer - edges)
             };
-            cloud_writers.insert(
-                peer,
-                Conn {
-                    stream: stream.try_clone().expect("clone"),
-                    tracker: track(&mut send_trackers, label),
-                },
-            );
-            let tx = cloud_tx.clone();
-            reader_handles.push(spawn_reader(
-                format!("wedge-net-cloud-r{peer}"),
-                stream,
-                move |msg| tx.send(CloudIn::From { peer, msg }).is_ok(),
-                || {},
-            ));
+            let tracker = track(&mut send_trackers, label);
+            // A peer whose hello failed gets a dead stream and no
+            // reader: sends to it fail and are counted.
+            let stream = match cloud_inbound.remove(&peer) {
+                Some(stream) => {
+                    sockets.push(stream.try_clone().expect("clone"));
+                    let tx = cloud_tx.clone();
+                    reader_handles.push(spawn_reader(
+                        format!("wedge-net-cloud-r{peer}"),
+                        stream.try_clone().expect("clone"),
+                        move |msg| tx.send(CloudIn::From { peer, msg }).is_ok(),
+                        || {},
+                    ));
+                    stream
+                }
+                None => dead_stream(),
+            };
+            cloud_writers.insert(peer, Conn::new(stream, tracker));
         }
         let cloud_handle = std::thread::Builder::new()
             .name("wedge-net-cloud".into())
@@ -849,12 +1144,8 @@ impl NetCluster {
                 .unwrap_or_default()
                 .into();
             let apply_latency = cfg.edge_apply_latency;
-            let up =
-                Conn { stream: up, tracker: track(&mut send_trackers, format!("edge{p}→cloud")) };
-            let down = Conn {
-                stream: down,
-                tracker: track(&mut send_trackers, format!("edge{p}→client")),
-            };
+            let up = Conn::new(up, track(&mut send_trackers, format!("edge{p}→cloud")));
+            let down = Conn::new(down, track(&mut send_trackers, format!("edge{p}→client")));
             let handle = std::thread::Builder::new()
                 .name(format!("wedge-net-edge-{p}"))
                 .spawn(move || edge_service(engine, rx, up, down, epoch, seal_times, apply_latency))
@@ -913,14 +1204,8 @@ impl NetCluster {
                     || {},
                 ));
             }
-            let edge = Conn {
-                stream: edge,
-                tracker: track(&mut send_trackers, format!("client{p}→edge")),
-            };
-            let cloud = Conn {
-                stream: cloud,
-                tracker: track(&mut send_trackers, format!("client{p}→cloud")),
-            };
+            let edge = Conn::new(edge, track(&mut send_trackers, format!("client{p}→edge")));
+            let cloud = Conn::new(cloud, track(&mut send_trackers, format!("client{p}→cloud")));
             let handle = std::thread::Builder::new()
                 .name(format!("wedge-net-client-{p}"))
                 .spawn(move || client_service(engine, rx, edge, cloud, epoch))
@@ -1087,6 +1372,10 @@ impl NetCluster {
             .map(|t| (t.peer.clone(), t.count()))
             .collect();
         let failed_sends: u64 = failed_sends_by_peer.iter().map(|(_, n)| n).sum();
+        let frames_sent: u64 =
+            this.send_trackers.iter().map(|t| t.frames.load(Ordering::Relaxed)).sum();
+        let frame_writes: u64 =
+            this.send_trackers.iter().map(|t| t.writes.load(Ordering::Relaxed)).sum();
 
         let mut reports = Vec::new();
         for (p, (edge_engine, (client_engine, verdicts))) in
@@ -1127,6 +1416,9 @@ impl NetCluster {
             deferred_cloud_msgs: deferred,
             failed_sends,
             failed_sends_by_peer,
+            frames_sent,
+            frame_writes,
+            coalesced_frames: frames_sent.saturating_sub(frame_writes),
             puts_shed: this.puts_shed.load(Ordering::Relaxed),
             compaction: cloud_engine.index.compaction_stats(),
             proof_cache_hits,
@@ -1138,6 +1430,90 @@ impl NetCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A connected loopback socket pair.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn coalesced_writes_decode_to_same_sequence() {
+        // N messages queued in one wakeup must cross the wire in one
+        // write and decode to exactly the sequence one-frame-per-write
+        // would have produced.
+        let (writer, mut reader) = socket_pair();
+        let msgs = vec![
+            WireMsg::Get { req_id: 7, key: 42 },
+            WireMsg::LogRead { bid: BlockId(3) },
+            WireMsg::MergeReqResend { edge: IdentityId(9), source_level: 1, epoch: 5 },
+            WireMsg::Get { req_id: 8, key: 43 },
+        ];
+        let mut conn = Conn::new(writer, SendTracker::new("test→peer".into()));
+        for msg in &msgs {
+            conn.queue(msg);
+        }
+        conn.flush();
+        assert_eq!(conn.tracker.frames.load(Ordering::Relaxed), msgs.len() as u64);
+        assert_eq!(conn.tracker.writes.load(Ordering::Relaxed), 1, "one syscall for the batch");
+        assert_eq!(conn.tracker.count(), 0);
+        // Half-close so the reader sees EOF after the batch.
+        conn.stream.shutdown(SockShutdown::Write).expect("half-close");
+        let mut decoded = Vec::new();
+        let mut payload = Vec::new();
+        while let Some(kind) = read_frame_into(&mut reader, &mut payload).expect("read") {
+            decoded.push(WireMsg::decode_payload(kind, &payload).expect("decode"));
+        }
+        assert_eq!(decoded, msgs, "coalesced frames decode to the same message sequence");
+    }
+
+    #[test]
+    fn flush_on_torn_connection_counts_the_whole_batch() {
+        let (writer, reader) = socket_pair();
+        drop(reader);
+        let _ = writer.shutdown(SockShutdown::Both);
+        let mut conn = Conn::new(writer, SendTracker::new("test→gone".into()));
+        for key in 0..3u64 {
+            conn.queue(&WireMsg::Get { req_id: key, key });
+        }
+        conn.flush();
+        assert_eq!(conn.tracker.count(), 3, "every frame in the lost batch is counted");
+        assert_eq!(conn.tracker.frames.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn hello_on_torn_connection_is_a_typed_error_not_a_panic() {
+        let (mut writer, reader) = socket_pair();
+        drop(reader);
+        let _ = writer.shutdown(SockShutdown::Both);
+        match send_hello(&mut writer, ROLE_EDGE, 0) {
+            Err(HandshakeError::Io(_)) => {}
+            other => panic!("expected an io handshake error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_read_on_closed_peer_is_a_typed_error() {
+        let (writer, mut reader) = socket_pair();
+        drop(writer); // peer closes without sending a hello
+        match read_hello(&mut reader) {
+            Err(HandshakeError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_with_wrong_first_frame_is_a_typed_error() {
+        let (mut writer, mut reader) = socket_pair();
+        write_frame(&mut writer, 1, b"not a hello").expect("write");
+        match read_hello(&mut reader) {
+            Err(HandshakeError::BadHello(_)) => {}
+            other => panic!("expected BadHello, got {other:?}"),
+        }
+    }
 
     #[test]
     fn net_put_get_roundtrip_over_tcp() {
