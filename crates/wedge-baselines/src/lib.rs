@@ -11,6 +11,8 @@
 //! - [`runner`]: a unified [`runner::run_scenario`] entry point so the
 //!   bench harness can sweep all three systems uniformly.
 
+#![forbid(unsafe_code)]
+
 pub mod cloud_only;
 pub mod edge_baseline;
 pub mod msg;

@@ -8,6 +8,9 @@
 //! 3. **Gossip period**: omission-detection window vs gossip
 //!    message overhead (§IV-E).
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedge_baselines::{run_scenario, SystemKind};
 use wedge_bench::banner;
 use wedge_core::client::ClientPlan;

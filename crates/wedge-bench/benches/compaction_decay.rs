@@ -28,6 +28,9 @@
 //! regression shows up as `interior_hashes` scaling with level size
 //! or `partial_pages_on` drifting upward across cycles.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::sync::Arc;
 use wedge_bench::{banner, record_ns, write_json};
 use wedge_crypto::merkle::hash_stats;

@@ -8,6 +8,9 @@
 //! §2 for the substitution note — 100 M resident keys are simulated,
 //! not materialized).
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedge_bench::{banner, latency_header, run_all};
 use wedge_core::config::SystemConfig;
 use wedge_workload::Scenario;

@@ -16,6 +16,9 @@
 //! period (the watermark wait dominates), with a floor set by the
 //! audit cadence and the WAN round trip.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedge_bench::{banner, record_ns, write_json};
 use wedge_core::config::SystemConfig;
 use wedge_core::fault::FaultPlan;

@@ -8,6 +8,9 @@
 //! from batching: WedgeChain ~15×, Cloud-only ~18.5×, Edge-baseline
 //! worst.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedge_bench::{banner, latency_header, record_x1000, run_all, write_json};
 use wedge_core::config::SystemConfig;
 use wedge_workload::Scenario;

@@ -8,6 +8,9 @@
 //! Edge-baseline ~1.3 K, Cloud-only ~0.27 K ops/s; (c) WedgeChain ≈
 //! Edge-baseline ≫ Cloud-only.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedge_bench::{banner, latency_header, record_x1000, run_all, write_json};
 use wedge_core::config::SystemConfig;
 use wedge_workload::{Mix, Scenario};

@@ -8,6 +8,9 @@
 //! the numbers here are hardware-dependent; the shape to check is
 //! `verify > 0` and `trusted read < proof-carrying read`.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use wedge_bench::bench_fn;

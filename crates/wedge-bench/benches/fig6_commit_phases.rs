@@ -6,6 +6,9 @@
 //! behind at B=500/1000 because the (asynchronous) certification
 //! pipeline's per-batch cost grows with the batch size.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedge_bench::{banner, record_x1000, write_json};
 use wedge_core::client::ClientPlan;
 use wedge_core::config::SystemConfig;

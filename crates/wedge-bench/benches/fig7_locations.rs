@@ -9,6 +9,9 @@
 //! (17–247 ms); all three systems converge when the edge is co-located
 //! with the cloud.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedge_bench::{banner, latency_header, record_x1000, run_all, write_json};
 use wedge_core::config::SystemConfig;
 use wedge_sim::Region;

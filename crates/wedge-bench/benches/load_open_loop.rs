@@ -20,6 +20,16 @@
 //! The process runs under a counting global allocator so the bench
 //! can report allocations-per-op for the fresh (`encode_payload`) vs
 //! pooled (`encode_payload_into`) encode paths directly.
+//!
+//! # Unsafety
+//!
+//! The `GlobalAlloc` impl is the one unsafe surface in this target:
+//! it forwards verbatim to [`System`] under the caller's own layout
+//! contract, adding only relaxed atomic counter bumps.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -26,6 +26,9 @@
 //! regions stay disjoint — the shape that exercises parallel region
 //! rebuilds rather than collapsing into one coalesced run.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::sync::Arc;
 use wedge_bench::{banner, bench_with_setup, record_ns, recorded_results, write_json};
 use wedge_crypto::{Identity, IdentityId, Signature};

@@ -16,6 +16,9 @@
 //! a regression shows up as `delta_reply_bytes` growing with target
 //! size instead of staying flat.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::sync::Arc;
 use wedge_bench::{banner, record_ns, write_json};
 use wedge_core::messages::WireMsg;

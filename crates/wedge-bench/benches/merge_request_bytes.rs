@@ -14,6 +14,9 @@
 //! a regression shows up as `delta_request_bytes` growing with target
 //! size instead of staying flat.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 use wedge_bench::{banner, record_ns, write_json};

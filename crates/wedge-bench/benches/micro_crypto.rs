@@ -5,6 +5,9 @@
 //! Schnorr sign/verify (every receipt and proof), and Merkle
 //! build/prove/verify (every LSMerkle level and read proof).
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::hint::black_box;
 use std::time::Instant;
 use wedge_bench::bench_fn;

@@ -1,5 +1,8 @@
 //! Microbenches of the LSMerkle index and logging layer.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::hint::black_box;
 use wedge_bench::{bench_fn, bench_with_setup};
 use wedge_crypto::{Identity, IdentityId};

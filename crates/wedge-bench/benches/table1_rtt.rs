@@ -4,6 +4,9 @@
 //! verbatim measurement; see `wedge_sim::net::RTT_MS`) and verifies the
 //! simulator actually delivers those RTTs end to end.
 
+// Bench targets print their tables to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedge_bench::{banner, record_ns, record_x1000, write_json};
 use wedge_sim::{format_table1, NetConfig, NetworkModel, Region, SimTime, RTT_MS};
 

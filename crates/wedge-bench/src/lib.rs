@@ -8,6 +8,11 @@
 //! crossovers are — is the reproduction target recorded in
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+// Bench reporting prints by design: stdout is the table the paper
+// compares against, stderr carries artifact-write diagnostics.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use wedge_baselines::{run_scenario, RunOutput, SystemKind};

@@ -18,7 +18,8 @@
 use crate::engine::{ClientCommand, ClientEffect, ClientEngine, ClientEvent, GetOutcome};
 use crate::messages::{AddReceipt, DisputeVerdict, WireMsg};
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::PoisonError;
 use std::time::{Duration, Instant};
 use wedge_log::{BlockId, BlockProof};
 
@@ -99,7 +100,7 @@ impl PutBatcher {
         value: Vec<u8>,
         submit: impl FnOnce(PutOps) -> Receiver<PutReply>,
     ) -> Option<PutReply> {
-        self.put_submit(partition, key, value, submit).map(Self::await_phase1)
+        self.put_submit(partition, key, value, submit).and_then(Self::await_phase1)
     }
 
     /// The buffering/submission half of [`PutBatcher::put`] without
@@ -113,7 +114,10 @@ impl PutBatcher {
         value: Vec<u8>,
         submit: impl FnOnce(PutOps) -> Receiver<PutReply>,
     ) -> Option<Receiver<PutReply>> {
-        let mut pending = self.batchers[partition].lock().unwrap();
+        // Poison recovery: the batcher holds plain data (a Vec of
+        // pending ops); a caller thread that panicked elsewhere must
+        // not wedge every other writer on this partition.
+        let mut pending = self.batchers[partition].lock().unwrap_or_else(PoisonError::into_inner);
         pending.push((key, value));
         (pending.len() >= self.batch_size).then(|| submit(std::mem::take(&mut *pending)))
     }
@@ -125,18 +129,19 @@ impl PutBatcher {
         submit: impl FnOnce(PutOps) -> Receiver<PutReply>,
     ) -> Option<PutReply> {
         let rx = {
-            let mut pending = self.batchers[partition].lock().unwrap();
+            let mut pending =
+                self.batchers[partition].lock().unwrap_or_else(PoisonError::into_inner);
             (!pending.is_empty()).then(|| submit(std::mem::take(&mut *pending)))
         };
-        rx.map(Self::await_phase1)
+        rx.and_then(Self::await_phase1)
     }
 
-    /// Blocks until the batch's Phase-I reply arrives.
-    pub fn await_phase1(rx: Receiver<PutReply>) -> PutReply {
-        rx.recv().expect(
-            "batch Phase-I committed (a closed channel means the edge rejected it or went \
-             unresponsive past the dispute timeout)",
-        )
+    /// Blocks until the batch's Phase-I reply arrives. `None` means
+    /// the reply channel closed first: the edge rejected the batch or
+    /// went unresponsive past the dispute timeout — a protocol
+    /// failure the caller observes, never a panic in the put path.
+    pub fn await_phase1(rx: Receiver<PutReply>) -> Option<PutReply> {
+        rx.recv().ok()
     }
 }
 
@@ -152,10 +157,10 @@ pub struct ClientCompletions {
     next_token: u64,
     /// Caller-submitted batches not yet handed to the engine; drains
     /// eagerly into every free pipeline slot.
-    queued_puts: VecDeque<(PutOps, Sender<PutReply>)>,
-    put_waiters: HashMap<u64, Sender<PutReply>>,
-    get_waiters: HashMap<u64, Sender<GetOutcome>>,
-    proof_waiters: HashMap<BlockId, Sender<BlockProof>>,
+    queued_puts: VecDeque<(PutOps, SyncSender<PutReply>)>,
+    put_waiters: HashMap<u64, SyncSender<PutReply>>,
+    get_waiters: HashMap<u64, SyncSender<GetOutcome>>,
+    proof_waiters: HashMap<BlockId, SyncSender<BlockProof>>,
     verdicts: Vec<DisputeVerdict>,
 }
 
@@ -169,13 +174,13 @@ impl ClientCompletions {
     /// engine once a pipeline slot frees.
     ///
     /// [`pump_puts`]: ClientCompletions::pump_puts
-    pub fn queue_put(&mut self, ops: PutOps, reply: Sender<PutReply>) {
+    pub fn queue_put(&mut self, ops: PutOps, reply: SyncSender<PutReply>) {
         self.queued_puts.push_back((ops, reply));
     }
 
     /// Registers a caller's get reply channel, returning the token to
     /// put on the [`ClientCommand::Get`].
-    pub fn register_get(&mut self, reply: Sender<GetOutcome>) -> u64 {
+    pub fn register_get(&mut self, reply: SyncSender<GetOutcome>) -> u64 {
         let token = self.next_token;
         self.next_token += 1;
         self.get_waiters.insert(token, reply);
@@ -230,18 +235,23 @@ impl ClientCompletions {
         match event {
             ClientEvent::Phase1 { token, receipt } => {
                 if let Some(reply) = self.put_waiters.remove(&token) {
-                    let (ptx, prx) = channel();
+                    // Single-shot: exactly one proof ever rides this
+                    // channel, so the rendezvous send cannot block.
+                    let (ptx, prx) = sync_channel(1);
                     self.proof_waiters.insert(receipt.bid, ptx);
+                    // lint:allow(discarded-result): caller dropped its reply receiver (admission shed or abandoned put); a closed reply channel is the failure signal itself
                     let _ = reply.send(PutReply { receipt, certified: prx });
                 }
             }
             ClientEvent::Phase2 { proof } => {
                 if let Some(tx) = self.proof_waiters.remove(&proof.bid) {
+                    // lint:allow(discarded-result): caller stopped waiting for certification; the proof still lives in the engine's log for audits
                     let _ = tx.send(proof);
                 }
             }
             ClientEvent::ReadDone { token, outcome } => {
                 if let Some(tx) = self.get_waiters.remove(&token) {
+                    // lint:allow(discarded-result): caller abandoned the get; dropping the outcome changes no protocol state
                     let _ = tx.send(outcome);
                 }
             }

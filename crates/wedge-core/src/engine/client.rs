@@ -428,10 +428,10 @@ impl ClientEngine {
     /// `handle(ClientCommand::Tick, now)` once `now >=
     /// next_deadline_ns()`; never schedule disputes itself.
     pub fn next_deadline_ns(&self) -> Option<u64> {
-        let p2 = self.pending_p2.values().filter_map(|p| p.deadline_ns);
-        let lr = self.pending_log_reads.values().map(|p| p.deadline_ns);
-        let batch = self.outstanding_batches.values().map(|b| b.deadline_ns);
-        p2.chain(lr).chain(batch).min()
+        let p2 = self.pending_p2.values().filter_map(|p| p.deadline_ns).min();
+        let lr = self.pending_log_reads.values().map(|p| p.deadline_ns).min();
+        let batch = self.outstanding_batches.values().map(|b| b.deadline_ns).min();
+        [p2, lr, batch].into_iter().flatten().min()
     }
 
     /// Replaces this engine's private proof cache with a shared one.
@@ -836,12 +836,11 @@ impl ClientEngine {
         if receipt.digest.is_none()
             && self.watermarks.detects_omission(self.edge_identity, receipt.bid.0)
         {
+            // `detects_omission` implies a watermark was recorded; if
+            // that invariant ever breaks, skip this dispute rather
+            // than panic the partition mid-protocol.
+            let Some(wm) = self.watermarks.latest(self.edge_identity).cloned() else { return };
             self.metrics.disputes_filed += 1;
-            let wm = self
-                .watermarks
-                .latest(self.edge_identity)
-                .expect("detects_omission implies a watermark")
-                .clone();
             let msg = WireMsg::DisputeMsg(Box::new(Dispute::Omission { receipt, watermark: wm }));
             out.push(ClientEffect::SendCloud { msg, wire: 256 });
             return;
@@ -902,7 +901,7 @@ impl ClientEngine {
             // No receipt means no dispute evidence — all the engine
             // can do is free the slot so the workload (and a pipelining
             // driver) is not wedged behind a dead batch forever.
-            let batch = self.outstanding_batches.remove(&req_id).expect("collected above");
+            let Some(batch) = self.outstanding_batches.remove(&req_id) else { continue };
             out.push(ClientEffect::Notify(ClientEvent::BatchFailed { token: batch.token }));
         }
         if any_dead {
@@ -916,7 +915,7 @@ impl ClientEngine {
             .collect();
         due.sort_unstable(); // deterministic dispute order
         for bid in due {
-            let pending = self.pending_p2.get_mut(&bid).expect("collected above");
+            let Some(pending) = self.pending_p2.get_mut(&bid) else { continue };
             // Keep the receipt: if the verdict is Dismissed the cloud
             // re-sends the proof and Phase II can still complete (the
             // edge was lazy, not lying). The deadline is disarmed, so
@@ -936,7 +935,7 @@ impl ClientEngine {
             .collect();
         due.sort_unstable();
         for bid in due {
-            let pending = self.pending_log_reads.remove(&bid).expect("collected above");
+            let Some(pending) = self.pending_log_reads.remove(&bid) else { continue };
             self.metrics.disputes_filed += 1;
             let msg =
                 WireMsg::DisputeMsg(Box::new(Dispute::WrongRead { receipt: pending.receipt }));

@@ -523,7 +523,7 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             .collect();
         due.sort_unstable(); // deterministic resend order
         for bid in due {
-            let pending = self.pending_certs.get_mut(&bid).expect("collected above");
+            let Some(pending) = self.pending_certs.get_mut(&bid) else { continue };
             pending.deadline_ns = now_ns + retry;
             let digest = pending.digest;
             let wire = pending.wire;
@@ -650,7 +650,15 @@ impl<C: Copy + Eq + Hash> EdgeEngine<C> {
             Some(other) if self.log.get(BlockId(*other)).is_some() => BlockId(*other),
             _ => bid,
         };
-        let stored = self.log.get(serve_bid).expect("checked above");
+        // Both arms above verified `serve_bid` is present; degrade to
+        // the deny-read path if that somehow stops holding.
+        let Some(stored) = self.log.get(serve_bid) else {
+            let receipt = ReadReceipt::issue(&self.identity, client_ident, bid, None);
+            let msg = WireMsg::LogReadResponse { receipt, block: None, proof: None };
+            let wire = msg.wire_size();
+            out.push(EdgeEffect::Send { to: from, msg, wire });
+            return;
+        };
         let served_block = stored.block.clone();
         let digest = served_block.digest();
         let receipt = ReadReceipt::issue(&self.identity, client_ident, bid, Some(digest));

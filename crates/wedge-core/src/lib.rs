@@ -22,6 +22,8 @@
 //!   knobs; [`metrics`]: latency/timeline collection; [`threaded`]: a
 //!   real-threads driver over the same engines.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod cloud;
 pub mod config;

@@ -20,6 +20,8 @@
 //!   "known identities, punishable, no re-entry" PKI of §II-D.
 //! - [`digest`]: the 32-byte [`digest::Digest`] type.
 
+#![forbid(unsafe_code)]
+
 pub mod digest;
 pub mod hmac;
 pub mod keys;

@@ -1,0 +1,304 @@
+//! R1 `wire-abi`: the machine-checked wire-ABI lockfile.
+//!
+//! The envelope tag space (`WireMsg::kind()` in
+//! `crates/wedge-core/src/messages.rs`) and the frame header
+//! constants (`crates/wedge-log/src/frame.rs`) ARE the wire ABI:
+//! renumbering, deleting, or reusing a tag silently breaks every
+//! deployed peer. `WIRE_ABI.lock` pins the mapping; this module
+//! extracts the live mapping from source, parses the committed lock,
+//! and diffs the two with append-only semantics — the only legal
+//! change is a brand-new tag strictly greater than everything
+//! already locked (plus the matching lockfile regeneration).
+
+use crate::rules::Violation;
+
+/// Source paths the manifest is extracted from, workspace-relative.
+pub const MESSAGES_PATH: &str = "crates/wedge-core/src/messages.rs";
+pub const FRAME_PATH: &str = "crates/wedge-log/src/frame.rs";
+/// The committed manifest.
+pub const LOCK_PATH: &str = "WIRE_ABI.lock";
+
+/// The wire ABI surface: envelope constants plus tag → variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireAbi {
+    pub magic: String,
+    pub version: u64,
+    pub header_len: u64,
+    pub max_payload: u64,
+    /// Sorted by tag. `(tag, variant, source_line)` — the line is 0
+    /// for manifests parsed from a lockfile.
+    pub tags: Vec<(u8, String, usize)>,
+}
+
+impl WireAbi {
+    /// Renders the canonical lockfile text. Stable: same ABI, same
+    /// bytes — CI diffs the regenerated file against the committed
+    /// one.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# WIRE_ABI.lock — machine-checked wire-ABI manifest.\n");
+        out.push_str("#\n");
+        out.push_str("# Envelope tags are append-only: adding a NEW tag greater than every\n");
+        out.push_str("# tag below (then regenerating this file) is the only legal change.\n");
+        out.push_str("# Renumbering, deleting, renaming, or reusing a tag is a silent ABI\n");
+        out.push_str("# break and fails `wedge-lint`.\n");
+        out.push_str("#\n");
+        out.push_str("# Regenerate: cargo run -p wedge-lint -- --write-abi\n");
+        out.push_str("\n[envelope]\n");
+        out.push_str(&format!("magic = \"{}\"\n", self.magic));
+        out.push_str(&format!("version = {}\n", self.version));
+        out.push_str(&format!("header_len = {}\n", self.header_len));
+        out.push_str(&format!("max_payload = {}\n", self.max_payload));
+        out.push_str("\n[tags]\n");
+        for (tag, name, _) in &self.tags {
+            out.push_str(&format!("{tag} = {name}\n"));
+        }
+        out
+    }
+
+    /// Parses a lockfile previously produced by [`WireAbi::render`].
+    pub fn parse(text: &str) -> Result<WireAbi, String> {
+        let mut magic = None;
+        let mut version = None;
+        let mut header_len = None;
+        let mut max_payload = None;
+        let mut tags: Vec<(u8, String, usize)> = Vec::new();
+        let mut section = "";
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = match name {
+                    "envelope" => "envelope",
+                    "tags" => "tags",
+                    other => return Err(format!("line {}: unknown section [{other}]", n + 1)),
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", n + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match section {
+                "envelope" => match key {
+                    "magic" => magic = Some(value.trim_matches('"').to_string()),
+                    "version" => version = Some(parse_u64(value, n + 1)?),
+                    "header_len" => header_len = Some(parse_u64(value, n + 1)?),
+                    "max_payload" => max_payload = Some(parse_u64(value, n + 1)?),
+                    other => return Err(format!("line {}: unknown envelope key {other}", n + 1)),
+                },
+                "tags" => {
+                    let tag = parse_u64(key, n + 1)?;
+                    if tag == 0 || tag > u8::MAX as u64 {
+                        return Err(format!("line {}: tag {tag} out of range", n + 1));
+                    }
+                    tags.push((tag as u8, value.to_string(), 0));
+                }
+                _ => return Err(format!("line {}: entry before any [section]", n + 1)),
+            }
+        }
+        tags.sort_by_key(|(tag, _, _)| *tag);
+        Ok(WireAbi {
+            magic: magic.ok_or("missing envelope.magic")?,
+            version: version.ok_or("missing envelope.version")?,
+            header_len: header_len.ok_or("missing envelope.header_len")?,
+            max_payload: max_payload.ok_or("missing envelope.max_payload")?,
+            tags,
+        })
+    }
+}
+
+fn parse_u64(s: &str, line: usize) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("line {line}: `{s}` is not an integer"))
+}
+
+/// Extracts the live ABI from the two source files. Works on raw
+/// source (string literals matter here — the magic is one).
+pub fn extract(messages_src: &str, frame_src: &str) -> Result<WireAbi, String> {
+    let tags = extract_tags(messages_src)?;
+    let magic =
+        find_str_const(frame_src, "FRAME_MAGIC").ok_or("FRAME_MAGIC not found in frame.rs")?;
+    let version =
+        find_int_const(frame_src, "FRAME_VERSION").ok_or("FRAME_VERSION not found in frame.rs")?;
+    let header_len = find_int_const(frame_src, "FRAME_HEADER_LEN")
+        .ok_or("FRAME_HEADER_LEN not found in frame.rs")?;
+    let max_payload = find_int_const(frame_src, "MAX_FRAME_PAYLOAD")
+        .ok_or("MAX_FRAME_PAYLOAD not found in frame.rs")?;
+    Ok(WireAbi { magic, version, header_len, max_payload, tags })
+}
+
+/// Parses the arms of `WireMsg::kind()`: `WireMsg::Name { .. } => N,`.
+fn extract_tags(messages_src: &str) -> Result<Vec<(u8, String, usize)>, String> {
+    let lines: Vec<&str> = messages_src.lines().collect();
+    let start = lines
+        .iter()
+        .position(|l| l.contains("fn kind(") && l.contains("u8"))
+        .ok_or("fn kind() not found in messages.rs")?;
+    let mut tags: Vec<(u8, String, usize)> = Vec::new();
+    let mut depth = 0i64;
+    let mut entered = false;
+    for (off, line) in lines.iter().enumerate().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some((tag, name)) = parse_arm(line) {
+            tags.push((tag, name, off + 1));
+        }
+        if entered && depth <= 0 {
+            break;
+        }
+    }
+    if tags.is_empty() {
+        return Err("no `WireMsg::Variant => tag` arms found in kind()".into());
+    }
+    tags.sort_by_key(|(tag, _, _)| *tag);
+    Ok(tags)
+}
+
+/// One match arm: `WireMsg::Name(..) => 7,` → `(7, "Name")`.
+fn parse_arm(line: &str) -> Option<(u8, String)> {
+    let pos = line.find("WireMsg::")?;
+    let rest = &line[pos + "WireMsg::".len()..];
+    let name: String =
+        rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    if name.is_empty() {
+        return None;
+    }
+    let arrow = rest.find("=>")?;
+    let tag_text: String =
+        rest[arrow + 2..].trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+    let tag: u8 = tag_text.parse().ok()?;
+    Some((tag, name))
+}
+
+/// Finds `NAME: <ty> = *b"...."` and returns the string contents.
+fn find_str_const(src: &str, name: &str) -> Option<String> {
+    for line in src.lines() {
+        if !line.contains(name) || !line.contains('=') {
+            continue;
+        }
+        let rhs = line.split('=').nth(1)?;
+        let open = rhs.find('"')? + 1;
+        let close = rhs[open..].find('"')? + open;
+        return Some(rhs[open..close].to_string());
+    }
+    None
+}
+
+/// Finds `NAME: <ty> = <int expr>;` where the expression is an
+/// integer or a `*`-product of integers (e.g. `16 * 1024 * 1024`).
+fn find_int_const(src: &str, name: &str) -> Option<u64> {
+    for line in src.lines() {
+        let Some(pos) = line.find(name) else { continue };
+        if !line.contains("const") {
+            continue;
+        }
+        let rhs = line[pos..].split('=').nth(1)?;
+        let expr = rhs.split(';').next()?.trim();
+        let mut product: u64 = 1;
+        for factor in expr.split('*') {
+            let factor = factor.trim().replace('_', "");
+            product = product.checked_mul(factor.parse().ok()?)?;
+        }
+        return Some(product);
+    }
+    None
+}
+
+/// Diffs the committed lock against the live source extraction with
+/// append-only semantics. Every finding is a `wire-abi` violation.
+pub fn check(committed: &WireAbi, current: &WireAbi) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |file: &str, line: usize, msg: String| {
+        out.push(Violation { file: file.to_string(), line, rule: "wire-abi", msg });
+    };
+    for (field, locked, live) in [
+        ("magic", committed.magic.clone(), current.magic.clone()),
+        ("version", committed.version.to_string(), current.version.to_string()),
+        ("header_len", committed.header_len.to_string(), current.header_len.to_string()),
+        ("max_payload", committed.max_payload.to_string(), current.max_payload.to_string()),
+    ] {
+        if locked != live {
+            push(
+                FRAME_PATH,
+                1,
+                format!(
+                    "envelope.{field} changed: locked `{locked}`, source says `{live}` — \
+                     this breaks every deployed peer"
+                ),
+            );
+        }
+    }
+    // Duplicate tags in source: reuse, the worst break of all.
+    for pair in current.tags.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            push(
+                MESSAGES_PATH,
+                pair[1].2,
+                format!(
+                    "tag {} assigned to both {} and {} — tags are never reused",
+                    pair[1].0, pair[0].1, pair[1].1
+                ),
+            );
+        }
+    }
+    let max_locked = committed.tags.iter().map(|(t, _, _)| *t).max().unwrap_or(0);
+    for (tag, name, _) in &committed.tags {
+        match current.tags.iter().find(|(t, _, _)| t == tag) {
+            None => push(
+                MESSAGES_PATH,
+                1,
+                format!(
+                    "tag {tag} ({name}) is locked but gone from kind() — deleting or \
+                     renumbering a shipped tag breaks the wire ABI; retired variants keep \
+                     their tag forever"
+                ),
+            ),
+            Some((_, live_name, line)) if live_name != name => push(
+                MESSAGES_PATH,
+                *line,
+                format!(
+                    "tag {tag} is locked as {name} but source says {live_name} — a tag's \
+                     meaning is frozen at first ship"
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+    for (tag, name, line) in &current.tags {
+        if committed.tags.iter().any(|(t, _, _)| t == tag) {
+            continue;
+        }
+        if *tag <= max_locked {
+            push(
+                MESSAGES_PATH,
+                *line,
+                format!(
+                    "new variant {name} uses tag {tag}, which is below the locked maximum \
+                     {max_locked} — a retired number must never be reassigned; append tag \
+                     {} instead",
+                    max_locked + 1
+                ),
+            );
+        } else {
+            push(
+                MESSAGES_PATH,
+                *line,
+                format!(
+                    "tag {tag} ({name}) is not in {LOCK_PATH} — append it by regenerating: \
+                     cargo run -p wedge-lint -- --write-abi"
+                ),
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,80 @@
+//! CLI: `cargo run -p wedge-lint` lints the workspace (exit 1 on
+//! findings), `-- --write-abi` regenerates `WIRE_ABI.lock`.
+
+// The CLI reporter prints by design; the library stays print-free.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut write_abi = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-abi" => write_abi = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "wedge-lint — workspace static analyzer + wire-ABI lock\n\n\
+                     usage: cargo run -p wedge-lint [-- --write-abi] [-- --root <dir>]\n\n\
+                     (no flags)   lint the workspace; exit 1 on violations\n\
+                     --write-abi  regenerate WIRE_ABI.lock from source (append-only)\n\
+                     --root DIR   workspace root (default: walk up from cwd)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("wedge-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        wedge_lint::find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("wedge-lint: no workspace root found (no Cargo.toml with [workspace] above cwd)");
+        return ExitCode::from(2);
+    };
+
+    if write_abi {
+        return match wedge_lint::write_abi(&root) {
+            Ok(Ok(_)) => {
+                println!("wrote {}", root.join(wedge_lint::abi::LOCK_PATH).display());
+                ExitCode::SUCCESS
+            }
+            Ok(Err(reason)) => {
+                eprintln!("wedge-lint: {reason}");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("wedge-lint: io error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match wedge_lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "wedge-lint: clean ({} rules, wire ABI locked)",
+                wedge_lint::rules::RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("\nwedge-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("wedge-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

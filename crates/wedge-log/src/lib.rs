@@ -11,6 +11,8 @@
 //! `wedge-core`; this crate is the pure data layer and is fully
 //! testable without a network.
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod buffer;
 pub mod cert;

@@ -21,6 +21,8 @@
 //! - [`config`]: tree shape ([`config::LsmConfig`]), including the
 //!   paper's evaluation configuration (thresholds 10/10/100/1000).
 
+#![forbid(unsafe_code)]
+
 pub mod compact;
 pub mod config;
 pub mod forest;

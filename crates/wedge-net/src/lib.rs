@@ -52,12 +52,14 @@
 //! (proofs, merge results) in an in-memory queue flushed by a
 //! per-edge flusher thread, both counted in [`NetReport`].
 
+#![forbid(unsafe_code)]
+
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{Shutdown as SockShutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wedge_core::config::CryptoMode;
@@ -268,6 +270,10 @@ impl SendTracker {
 
     /// Counts `frames` lost messages (one torn write can lose a whole
     /// coalesced batch), logging the first loss on this connection.
+    // First-loss diagnostic on an otherwise silent counter: the one
+    // place library code writes to stderr, and it fires at most once
+    // per connection.
+    #[allow(clippy::print_stderr)]
     fn record_failed(&self, err: &dyn std::fmt::Display, frames: u64) {
         if !self.logged.swap(true, Ordering::Relaxed) {
             eprintln!(
@@ -393,6 +399,7 @@ fn read_hello(stream: &mut TcpStream) -> Result<(u8, u64), HandshakeError> {
         return Err(HandshakeError::BadHello("hello payload is role + index"));
     }
     let role = frame.payload[0];
+    // lint:allow(no-panic-path): payload length was checked to be exactly 9 two lines above, so the 8-byte slice conversion cannot fail
     let index = u64::from_be_bytes(frame.payload[1..9].try_into().expect("8 bytes"));
     Ok((role, index))
 }
@@ -402,11 +409,16 @@ fn read_hello(stream: &mut TcpStream) -> Result<(u8, u64), HandshakeError> {
 /// failed, so the surviving services still construct and their sends
 /// to the dead peer degrade to counted message loss.
 fn dead_stream() -> TcpStream {
+    // lint:allow(no-panic-path): runs on the caller thread during cluster construction; a host without a working loopback cannot run the TCP runtime at all, so fail fast
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind throwaway listener");
+    // lint:allow(no-panic-path): construction-time loopback setup, as above
     let addr = listener.local_addr().expect("throwaway addr");
+    // lint:allow(no-panic-path): construction-time loopback setup, as above
     let stream = TcpStream::connect(addr).expect("loopback connect");
+    // lint:allow(no-panic-path): construction-time loopback setup, as above
     let (accepted, _) = listener.accept().expect("throwaway accept");
     drop(accepted);
+    // lint:allow(discarded-result): the stream being torn down IS the product — a failed shutdown still leaves a dead peer, which is all callers need
     let _ = stream.shutdown(SockShutdown::Both);
     stream
 }
@@ -440,6 +452,7 @@ fn spawn_reader(
             }
             on_exit();
         })
+        // lint:allow(no-panic-path): spawn happens while wiring a connection up (construction/accept path); spawn failure is resource exhaustion the harness should fail fast on
         .expect("spawn reader thread")
 }
 
@@ -486,11 +499,14 @@ impl CloudGate {
     /// Delivery from the reader: try the inbox directly when nothing
     /// is deferred (order preservation), else shed or queue.
     fn deliver(&self, tx: &SyncSender<EdgeIn>, msg: WireMsg) -> bool {
-        let mut q = self.deferred.lock().unwrap();
+        // Poison recovery: the gate holds plain data (a deferred
+        // queue); a panic elsewhere must not wedge cloud→edge traffic.
+        let mut q = self.deferred.lock().unwrap_or_else(PoisonError::into_inner);
         if q.is_empty() {
             match tx.try_send(EdgeIn::FromCloud(msg)) {
                 Ok(()) => return true,
                 Err(TrySendError::Full(EdgeIn::FromCloud(m))) => self.queue_or_shed(&mut q, m),
+                // lint:allow(no-panic-path): the value is the FromCloud constructed in this very expression; any other variant is a type-level impossibility
                 Err(TrySendError::Full(_)) => unreachable!("gate only sends FromCloud"),
                 Err(TrySendError::Disconnected(_)) => return false,
             }
@@ -531,15 +547,19 @@ fn spawn_gate_flusher(
     std::thread::Builder::new()
         .name(name)
         .spawn(move || loop {
-            let mut q = gate.deferred.lock().unwrap();
+            // Poison recovery mirrors `CloudGate::deliver`.
+            let mut q = gate.deferred.lock().unwrap_or_else(PoisonError::into_inner);
             while q.is_empty() {
                 if gate.closed.load(Ordering::Acquire) {
                     return; // reader gone and nothing left to deliver
                 }
-                let (guard, _) = gate.wake.wait_timeout(q, Duration::from_millis(50)).unwrap();
+                let (guard, _) = gate
+                    .wake
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
                 q = guard;
             }
-            let msg = q.pop_front().expect("checked non-empty");
+            let Some(msg) = q.pop_front() else { continue };
             match tx.try_send(EdgeIn::FromCloud(msg)) {
                 Ok(()) => {}
                 Err(TrySendError::Full(EdgeIn::FromCloud(m))) => {
@@ -547,10 +567,12 @@ fn spawn_gate_flusher(
                     drop(q);
                     std::thread::sleep(RETRY);
                 }
+                // lint:allow(no-panic-path): the value is the FromCloud constructed in this very expression; any other variant is a type-level impossibility
                 Err(TrySendError::Full(_)) => unreachable!("gate only sends FromCloud"),
                 Err(TrySendError::Disconnected(_)) => return,
             }
         })
+        // lint:allow(no-panic-path): construction-time spawn on the caller thread; failing fast before the run starts is the harness contract
         .expect("spawn gate flusher")
 }
 
@@ -579,8 +601,8 @@ enum CloudIn {
 
 #[allow(clippy::large_enum_variant)]
 enum ClientIn {
-    PutBatch { ops: PutOps, reply: Sender<PutReply> },
-    Get { key: u64, reply: Sender<GetOutcome> },
+    PutBatch { ops: PutOps, reply: SyncSender<PutReply> },
+    Get { key: u64, reply: SyncSender<GetOutcome> },
     LogRead(BlockId),
     FromEdge(WireMsg),
     FromCloud(WireMsg),
@@ -730,6 +752,7 @@ fn cloud_service(
                 apply(&mut engine, CloudCommand::Tick, now_ns, &mut peers);
             }
         }
+        // lint:allow(nondet-iter): each peer owns its own socket; flush order across independent connections is not observable by any peer
         for conn in peers.values_mut() {
             conn.flush();
         }
@@ -901,8 +924,10 @@ impl NetCluster {
         let client_idents: Vec<Identity> =
             (0..edges).map(|p| Identity::derive("client", CLIENT_ID_BASE + p as u64)).collect();
         let mut registry = KeyRegistry::new();
+        // lint:allow(no-panic-path): cluster construction on the caller thread — fail fast before the run starts
         registry.register(cloud_ident.id, cloud_ident.public()).unwrap();
         for ident in edge_idents.iter().chain(&client_idents) {
+            // lint:allow(no-panic-path): construction-time registration of distinct derived ids, as above
             registry.register(ident.id, ident.public()).unwrap();
         }
         let mut index = CloudIndex::new(cfg.lsm.clone());
@@ -916,16 +941,22 @@ impl NetCluster {
         let cost = CostModel::default();
 
         // --- listeners first, so connects land in the backlog ---
+        // lint:allow(no-panic-path): cluster construction on the caller thread — fail fast before the run starts
         let cloud_listener = TcpListener::bind("127.0.0.1:0").expect("bind cloud listener");
+        // lint:allow(no-panic-path): construction-time loopback setup, as above
         let cloud_addr = cloud_listener.local_addr().expect("cloud addr");
         let edge_listeners: Vec<TcpListener> = (0..edges)
+            // lint:allow(no-panic-path): construction-time loopback setup, as above
             .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind edge listener"))
             .collect();
         let edge_addrs: Vec<_> =
+// lint:allow(no-panic-path): construction-time loopback setup, as above
             edge_listeners.iter().map(|l| l.local_addr().expect("edge addr")).collect();
 
         let connect = |addr| {
+            // lint:allow(no-panic-path): construction-time loopback connect; hello failures past this point are counted, not fatal
             let s = TcpStream::connect(addr).expect("loopback connect");
+            // lint:allow(no-panic-path): construction-time socket option, as above
             s.set_nodelay(true).expect("nodelay");
             s
         };
@@ -978,13 +1009,16 @@ impl NetCluster {
             + client_cloud_hello_ok.iter().filter(|ok| **ok).count();
         let mut cloud_inbound: HashMap<usize, TcpStream> = HashMap::new();
         for _ in 0..cloud_expected {
+            // lint:allow(no-panic-path): cluster construction on the caller thread — fail fast before the run starts
             let (mut s, _) = cloud_listener.accept().expect("cloud accept");
+            // lint:allow(no-panic-path): construction-time socket option, as above
             s.set_nodelay(true).expect("nodelay");
             match read_hello(&mut s) {
                 Ok((role, index)) => {
                     let peer = match role {
                         ROLE_EDGE => index as usize,
                         ROLE_CLIENT => edges + index as usize,
+                        // lint:allow(no-panic-path): loopback-only harness during construction — an unknown role is a wiring bug, not a runtime peer
                         _ => panic!("unknown hello role {role}"),
                     };
                     let prev = cloud_inbound.insert(peer, s);
@@ -1001,7 +1035,9 @@ impl NetCluster {
                 edge_inbound.push(dead_stream());
                 continue;
             }
+            // lint:allow(no-panic-path): cluster construction on the caller thread — fail fast before the run starts
             let (mut s, _) = listener.accept().expect("edge accept");
+            // lint:allow(no-panic-path): construction-time socket option, as above
             s.set_nodelay(true).expect("nodelay");
             match read_hello(&mut s) {
                 Ok((role, index)) => {
@@ -1059,10 +1095,12 @@ impl NetCluster {
             // reader: sends to it fail and are counted.
             let stream = match cloud_inbound.remove(&peer) {
                 Some(stream) => {
+                    // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
                     sockets.push(stream.try_clone().expect("clone"));
                     let tx = cloud_tx.clone();
                     reader_handles.push(spawn_reader(
                         format!("wedge-net-cloud-r{peer}"),
+                        // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
                         stream.try_clone().expect("clone"),
                         move |msg| tx.send(CloudIn::From { peer, msg }).is_ok(),
                         || {},
@@ -1076,6 +1114,7 @@ impl NetCluster {
         let cloud_handle = std::thread::Builder::new()
             .name("wedge-net-cloud".into())
             .spawn(move || cloud_service(cloud_engine, cloud_rx, cloud_writers, epoch))
+            // lint:allow(no-panic-path): construction-time spawn on the caller thread — fail fast before the run starts
             .expect("spawn cloud service");
 
         // --- edge nodes ---
@@ -1102,7 +1141,9 @@ impl NetCluster {
             let (tx, rx) = sync_channel::<EdgeIn>(cfg.edge_inbox_cap);
             let up = edge_to_cloud.remove(0);
             let down = edge_inbound.remove(0);
+            // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
             sockets.push(up.try_clone().expect("clone"));
+            // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
             sockets.push(down.try_clone().expect("clone"));
             // From-cloud: never block the socket drain — shed/defer
             // through the gate (see module docs), flushed by a
@@ -1119,6 +1160,7 @@ impl NetCluster {
                 let reader_tx = tx.clone();
                 reader_handles.push(spawn_reader(
                     format!("wedge-net-edge{p}-rcloud"),
+                    // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
                     up.try_clone().expect("clone"),
                     move |msg| deliver_gate.deliver(&reader_tx, msg),
                     move || exit_gate.close(),
@@ -1132,6 +1174,7 @@ impl NetCluster {
                 let tx = tx.clone();
                 reader_handles.push(spawn_reader(
                     format!("wedge-net-edge{p}-rclient"),
+                    // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
                     down.try_clone().expect("clone"),
                     move |msg| tx.send(EdgeIn::FromClient(msg)).is_ok(),
                     || {},
@@ -1149,6 +1192,7 @@ impl NetCluster {
             let handle = std::thread::Builder::new()
                 .name(format!("wedge-net-edge-{p}"))
                 .spawn(move || edge_service(engine, rx, up, down, epoch, seal_times, apply_latency))
+                // lint:allow(no-panic-path): construction-time spawn on the caller thread — fail fast before the run starts
                 .expect("spawn edge service");
             edge_txs.push(tx);
             edge_handles.push(Some(handle));
@@ -1181,15 +1225,19 @@ impl NetCluster {
             // to the client's own requests plus verdicts/gossip —
             // self-limiting — and an unbounded client inbox breaks the
             // client→edge→cloud→client blocking cycle.
+            // lint:allow(bounded-channels): deliberately unbounded — see the comment above; bounding this inbox re-creates the deadlock cycle
             let (tx, rx) = channel::<ClientIn>();
             let edge = client_to_edge.remove(0);
             let cloud = client_to_cloud.remove(0);
+            // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
             sockets.push(edge.try_clone().expect("clone"));
+            // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
             sockets.push(cloud.try_clone().expect("clone"));
             {
                 let tx = tx.clone();
                 reader_handles.push(spawn_reader(
                     format!("wedge-net-client{p}-redge"),
+                    // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
                     edge.try_clone().expect("clone"),
                     move |msg| tx.send(ClientIn::FromEdge(msg)).is_ok(),
                     || {},
@@ -1199,6 +1247,7 @@ impl NetCluster {
                 let tx = tx.clone();
                 reader_handles.push(spawn_reader(
                     format!("wedge-net-client{p}-rcloud"),
+                    // lint:allow(no-panic-path): construction-time socket clone on the caller thread — fail fast before the run starts
                     cloud.try_clone().expect("clone"),
                     move |msg| tx.send(ClientIn::FromCloud(msg)).is_ok(),
                     || {},
@@ -1209,6 +1258,7 @@ impl NetCluster {
             let handle = std::thread::Builder::new()
                 .name(format!("wedge-net-client-{p}"))
                 .spawn(move || client_service(engine, rx, edge, cloud, epoch))
+                // lint:allow(no-panic-path): construction-time spawn on the caller thread — fail fast before the run starts
                 .expect("spawn client service");
             client_txs.push(tx);
             client_handles.push(Some(handle));
@@ -1287,10 +1337,11 @@ impl NetCluster {
     }
 
     fn submit(&self, edge: usize, ops: PutOps) -> Receiver<PutReply> {
-        let (tx, rx) = channel();
-        self.client_txs[edge]
-            .send(ClientIn::PutBatch { ops, reply: tx })
-            .expect("client service alive");
+        // Single-shot reply: exactly one Phase-I reply ever rides the
+        // channel, so the rendezvous send cannot block the service.
+        let (tx, rx) = sync_channel(1);
+        // lint:allow(discarded-result): client service gone = shutdown race; the caller sees the closed reply channel and sheds the put
+        let _ = self.client_txs[edge].send(ClientIn::PutBatch { ops, reply: tx });
         rx
     }
 
@@ -1308,8 +1359,10 @@ impl NetCluster {
     /// engine-side verification — the proof travels edge→client as
     /// real bytes and is decoded before verifying.
     pub fn get_on(&self, edge: usize, key: u64) -> Result<GetOutcome, ProofError> {
-        let (tx, rx) = channel();
+        let (tx, rx) = sync_channel(1);
+        // lint:allow(no-panic-path): caller-facing harness API; the client service outlives the cluster handle by construction, and a violated contract must fail fast here, not corrupt a measurement
         self.client_txs[edge].send(ClientIn::Get { key, reply: tx }).expect("client service alive");
+        // lint:allow(no-panic-path): same contract as the send above — the service replies or the run is already broken
         let outcome = rx.recv().expect("client service replies");
         match outcome.verify_error.clone() {
             Some(e) => Err(e),
@@ -1325,6 +1378,7 @@ impl NetCluster {
     /// Audits a log block through partition `edge`'s client. Fire and
     /// forget: a lying edge surfaces as a verdict in the report.
     pub fn log_read_on(&self, edge: usize, bid: BlockId) {
+        // lint:allow(discarded-result): fire-and-forget audit — a dead client service means shutdown already began and there is nothing left to audit
         let _ = self.client_txs[edge].send(ClientIn::LogRead(bid));
     }
 
@@ -1334,11 +1388,14 @@ impl NetCluster {
     pub fn shutdown(mut self: Arc<Self>) -> Option<NetReport> {
         let this = Arc::get_mut(&mut self)?;
         for tx in &this.client_txs {
+            // lint:allow(discarded-result): best-effort shutdown — a service whose inbox is closed has already exited, which is the goal
             let _ = tx.send(ClientIn::Shutdown);
         }
         for tx in &this.edge_txs {
+            // lint:allow(discarded-result): best-effort shutdown, as above
             let _ = tx.send(EdgeIn::Shutdown);
         }
+        // lint:allow(discarded-result): best-effort shutdown, as above
         let _ = this.cloud_tx.send(CloudIn::Shutdown);
         let clients: Vec<ClientExit> = this
             .client_handles
@@ -1354,6 +1411,7 @@ impl NetCluster {
         // Readers block in `read`; closing both directions wakes them.
         // Gate flushers exit on their closed flag or disconnect.
         for s in &this.sockets {
+            // lint:allow(discarded-result): teardown — a socket that fails to shut down is already torn, and the reader joins below either way
             let _ = s.shutdown(SockShutdown::Both);
         }
         for gate in &this.gates {

@@ -34,6 +34,17 @@
 //! [`Pool::scope`] from inside a running scope deadlocks — don't),
 //! no external dependencies. Fixed worker threads are spawned once
 //! at construction and joined when the last [`Pool`] clone drops.
+//!
+//! # Unsafety
+//!
+//! This is the one workspace crate that cannot be
+//! `#![forbid(unsafe_code)]`: the scoped-broadcast design erases the
+//! scope closure's lifetime to hand it to long-lived workers. Every
+//! unsafe block carries a `SAFETY:` comment; the shared invariant is
+//! that [`Pool::scope`] does not return until every worker has
+//! finished with the erased pointer.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

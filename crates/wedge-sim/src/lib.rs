@@ -18,6 +18,8 @@
 //! per experiment, places actors in regions, and measures virtual-time
 //! latency/throughput exactly as the paper measures wall-clock.
 
+#![forbid(unsafe_code)]
+
 pub mod actor;
 pub mod net;
 pub mod rng;

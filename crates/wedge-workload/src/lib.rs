@@ -4,6 +4,8 @@
 //! ([`keys::KeyDist`]), operation mixes, and the parameter sweeps the
 //! paper's figures use ([`scenario::Scenario`]).
 
+#![forbid(unsafe_code)]
+
 pub mod keys;
 pub mod scenario;
 

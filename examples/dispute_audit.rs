@@ -15,6 +15,9 @@
 //!
 //! Run with: `cargo run --release --example dispute_audit`
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedgechain::core::client::ClientPlan;
 use wedgechain::core::config::SystemConfig;
 use wedgechain::core::fault::FaultPlan;

@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --release --example iot_telemetry`
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::time::{Duration, Instant};
 use wedgechain::core::threaded::{ThreadedCluster, ThreadedConfig};
 use wedgechain::lsmerkle::LsmConfig;

@@ -13,6 +13,9 @@
 //!
 //! Run with: `cargo run --release --example multi_edge`
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::time::Duration;
 use wedgechain::core::fault::FaultPlan;
 use wedgechain::core::messages::DisputeVerdict;

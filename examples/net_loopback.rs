@@ -11,6 +11,9 @@
 //!
 //! Run with: `cargo run --release --example net_loopback`
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::time::Duration;
 use wedgechain::core::fault::FaultPlan;
 use wedgechain::net::{NetCluster, NetConfig};

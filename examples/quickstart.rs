@@ -8,6 +8,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedgechain::core::config::SystemConfig;
 use wedgechain::core::harness::SystemHarness;
 

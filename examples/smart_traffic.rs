@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --release --example smart_traffic`
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use wedgechain::core::client::ClientPlan;
 use wedgechain::core::config::SystemConfig;
 use wedgechain::core::fault::FaultPlan;

@@ -33,6 +33,8 @@
 //! assert_eq!(got.value.as_deref(), Some(b"72F".as_ref()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Cloud-only and Edge-baseline comparison systems.
 pub use wedge_baselines as baselines;
 /// The WedgeChain protocol: client/edge/cloud state machines.
